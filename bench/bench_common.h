@@ -1,0 +1,36 @@
+// Shared helpers for the experiment binaries: flag parsing and run scaling.
+// Every binary runs a quick configuration by default (a few seconds) and a
+// larger sweep with --full; --csv switches the tables to CSV.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "parhull/stats/table.h"
+
+namespace parhull::bench {
+
+struct Options {
+  bool full = false;
+  bool csv = false;
+};
+
+inline Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) opt.full = true;
+    if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
+  }
+  return opt;
+}
+
+inline void emit(const Options& opt, const Table& table) {
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace parhull::bench

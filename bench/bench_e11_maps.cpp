@@ -1,0 +1,96 @@
+// E11 — Appendix A: the InsertAndSet/GetValue multimap, Algorithm 4
+// (CompareAndSwap) vs Algorithm 5 (TestAndSet-only) vs the chained
+// fallback. Measures throughput of the exactly-two-inserts-per-key
+// workload the hull generates, probe counts, and correctness totals.
+#include <atomic>
+#include <iostream>
+
+#include "bench_common.h"
+#include "parhull/common/timer.h"
+#include "parhull/containers/ridge_map.h"
+#include "parhull/parallel/parallel_for.h"
+
+using namespace parhull;
+
+namespace {
+
+template <template <int> class MapT>
+void run_backend(Table& table, const char* name, std::size_t keys) {
+  MapT<3> map(keys);
+  std::atomic<std::uint64_t> losers{0};
+  Timer t;
+  parallel_for(0, 2 * keys, [&](std::size_t j) {
+    std::size_t k = j / 2;
+    auto key = RidgeKey<3>::from_unsorted(
+        {static_cast<PointId>(k), static_cast<PointId>(k + 1000000000u)});
+    if (!map.insert_and_set(key, static_cast<FacetId>(j))) {
+      FacetId other = map.get_value(key, static_cast<FacetId>(j));
+      if (other / 2 == k) losers.fetch_add(1, std::memory_order_relaxed);
+    }
+  }, 256);
+  double secs = t.elapsed();
+  table.row()
+      .cell(name)
+      .cell(static_cast<std::uint64_t>(keys))
+      .cell(secs * 1e9 / static_cast<double>(2 * keys), 1)
+      .cell(losers.load())
+      .cell(losers.load() == keys ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse(argc, argv);
+  print_banner(std::cout,
+               "E11: ridge multimap backends (Algorithms 4 and 5)");
+  std::size_t keys = opt.full ? 4000000 : 500000;
+  Table table({"backend", "keys", "ns/op", "second-arrivals",
+               "exactly one per key"});
+  run_backend<RidgeMapCAS>(table, "Algorithm 4 (CAS probing)", keys);
+  run_backend<RidgeMapTAS>(table, "Algorithm 5 (TestAndSet)", keys);
+  run_backend<RidgeMapChained>(table, "chained (unbounded)", keys);
+  bench::emit(opt, table);
+
+  // Probe behavior under load for the probing backends.
+  {
+    Table probes({"backend", "keys", "capacity", "avg probes/insert"});
+    {
+      RidgeMapCAS<3> map(keys);
+      for (std::size_t k = 0; k < keys; ++k) {
+        map.insert_and_set(RidgeKey<3>::from_unsorted(
+                               {static_cast<PointId>(k),
+                                static_cast<PointId>(k + 500000000u)}),
+                           static_cast<FacetId>(k));
+      }
+      probes.row()
+          .cell("Algorithm 4 (CAS)")
+          .cell(static_cast<std::uint64_t>(keys))
+          .cell(map.capacity())
+          .cell(static_cast<double>(map.total_probes()) /
+                    static_cast<double>(keys),
+                2);
+    }
+    {
+      RidgeMapTAS<3> map(keys);
+      for (std::size_t k = 0; k < keys; ++k) {
+        map.insert_and_set(RidgeKey<3>::from_unsorted(
+                               {static_cast<PointId>(k),
+                                static_cast<PointId>(k + 500000000u)}),
+                           static_cast<FacetId>(k));
+      }
+      probes.row()
+          .cell("Algorithm 5 (TAS)")
+          .cell(static_cast<std::uint64_t>(keys))
+          .cell(map.capacity())
+          .cell(static_cast<double>(map.total_probes()) /
+                    static_cast<double>(keys),
+                2);
+    }
+    bench::emit(opt, probes);
+  }
+  std::cout << "\nPASS criterion: every backend returns exactly one "
+               "second-arrival per key (Theorem A.1) and finds the partner "
+               "(Theorem A.2); probe counts stay O(1) at the design load."
+            << std::endl;
+  return 0;
+}

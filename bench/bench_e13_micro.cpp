@@ -1,0 +1,163 @@
+// E13 — substrate microbenchmarks (google-benchmark): exact predicates and
+// their filter hit rate, scheduler fork-join overhead, data-parallel
+// primitives, and the facet pool. These are the constants behind the
+// O(·) terms in Theorems 5.4/5.5.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "parhull/common/random.h"
+#include "parhull/containers/concurrent_pool.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/parallel/parallel_for.h"
+#include "parhull/parallel/primitives.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+// ---- predicates ----
+
+void BM_Orient2D_Random(benchmark::State& state) {
+  auto pts = uniform_ball<2>(1024, 3);
+  Rng rng(7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Point2& a = pts[(i * 3 + 1) & 1023];
+    const Point2& b = pts[(i * 5 + 2) & 1023];
+    const Point2& c = pts[(i * 7 + 3) & 1023];
+    benchmark::DoNotOptimize(orient2d(a, b, c));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient2D_Random);
+
+void BM_Orient2D_ExactPath(benchmark::State& state) {
+  // Exactly collinear inputs force the expansion fallback every call.
+  Point2 a{{0, 0}}, b{{1e6, 1e6}}, c{{2e6, 2e6}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient2d(a, b, c));
+  }
+}
+BENCHMARK(BM_Orient2D_ExactPath);
+
+void BM_Orient3D_Random(benchmark::State& state) {
+  auto pts = uniform_ball<3>(1024, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient3d(pts[(i * 3 + 1) & 1023],
+                                      pts[(i * 5 + 2) & 1023],
+                                      pts[(i * 7 + 3) & 1023],
+                                      pts[(i * 11 + 4) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient3D_Random);
+
+void BM_OrientGeneric5D(benchmark::State& state) {
+  auto pts = uniform_ball<5>(512, 9);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::array<const Point<5>*, 6> ptr{};
+    for (int k = 0; k < 6; ++k) {
+      ptr[static_cast<std::size_t>(k)] =
+          &pts[(i * (2 * static_cast<std::size_t>(k) + 3) + 1) & 511];
+    }
+    benchmark::DoNotOptimize(orient<5>(ptr));
+    ++i;
+  }
+}
+BENCHMARK(BM_OrientGeneric5D);
+
+void BM_FilterHitRate(benchmark::State& state) {
+  // Reports the fraction of predicate calls that needed the exact path on
+  // a realistic random workload (expected ~0).
+  auto pts = uniform_ball<2>(4096, 11);
+  reset_predicate_stats();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient2d(pts[(i * 3) & 4095],
+                                      pts[(i * 5 + 1) & 4095],
+                                      pts[(i * 7 + 2) & 4095]));
+    ++i;
+  }
+  state.counters["exact_fallback_rate"] =
+      predicate_calls() == 0
+          ? 0.0
+          : static_cast<double>(predicate_exact_fallbacks()) /
+                static_cast<double>(predicate_calls());
+}
+BENCHMARK(BM_FilterHitRate);
+
+// ---- scheduler ----
+
+void BM_ForkJoinOverhead(benchmark::State& state) {
+  for (auto _ : state) {
+    int a = 0, b = 0;
+    par_do([&] { a = 1; }, [&] { b = 2; });
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_ForkJoinOverhead);
+
+void BM_ParallelForSum(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> v(n, 1);
+  for (auto _ : state) {
+    std::uint64_t sum = parallel_sum<std::uint64_t>(
+        0, n, [&](std::size_t i) { return v[i]; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelForSum)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelScan(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> v(n, 1), out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel_scan_exclusive(v, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelScan)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ParallelSort(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<std::uint64_t> base(n);
+  for (auto& x : base) x = rng.next_u64();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    state.ResumeTiming();
+    parallel_sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelSort)->Arg(1 << 16)->Arg(1 << 20);
+
+// ---- pool ----
+
+void BM_PoolAllocate(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ConcurrentPool<std::uint64_t> pool;
+    state.ResumeTiming();
+    for (int i = 0; i < 100000; ++i) {
+      benchmark::DoNotOptimize(pool.allocate());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_PoolAllocate);
+
+}  // namespace
+}  // namespace parhull
+
+BENCHMARK_MAIN();

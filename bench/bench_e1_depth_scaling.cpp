@@ -1,0 +1,82 @@
+// E1 — Theorem 1.1 / Theorem 4.2: the configuration dependence graph of
+// incremental convex hull has depth O(log n) whp.
+//
+// Measures the dependence depth (max over facets of 1 + max support depth)
+// for d = 2 and d = 3 across distributions and a geometric grid of n,
+// averaged over seeds. Reports depth / ln n (the paper predicts a constant
+// around σ with σ ≥ g·k·e² in the worst case, far smaller in practice) and
+// a least-squares fit depth ≈ a·ln n + b.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/stats/fit.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+
+namespace {
+
+template <int D>
+void sweep(const bench::Options& opt, Distribution dist) {
+  std::vector<std::size_t> sizes = {1000, 4000, 16000, 64000};
+  int seeds = 3;
+  if (opt.full) {
+    sizes = {1000, 4000, 16000, 64000, 256000, 1000000};
+    seeds = 5;
+  }
+  Table table({"d", "dist", "n", "ln n", "depth(avg)", "depth/ln n",
+               "rounds(avg)", "hull facets"});
+  std::vector<double> xs, ys;
+  for (std::size_t n : sizes) {
+    double depth_sum = 0, round_sum = 0, hull_sum = 0;
+    for (int s = 0; s < seeds; ++s) {
+      auto pts = generate<D>(dist, n, 1000 + static_cast<std::uint64_t>(s));
+      pts = random_order(pts, 77 + static_cast<std::uint64_t>(s));
+      if (!prepare_input<D>(pts)) continue;
+      ParallelHull<D> hull;
+      auto res = hull.run(pts);
+      depth_sum += res.dependence_depth;
+      round_sum += res.max_round;
+      hull_sum += static_cast<double>(res.hull.size());
+    }
+    double depth = depth_sum / seeds;
+    double ln_n = std::log(static_cast<double>(n));
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(depth);
+    table.row()
+        .cell(D)
+        .cell(distribution_name(dist))
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(ln_n, 2)
+        .cell(depth, 1)
+        .cell(depth / ln_n, 3)
+        .cell(round_sum / seeds, 1)
+        .cell(hull_sum / seeds, 0);
+  }
+  bench::emit(opt, table);
+  auto fit = log_fit(xs, ys);
+  std::cout << "fit: depth ≈ " << fit.slope << "·ln n + " << fit.intercept
+            << "  (r² = " << fit.r2 << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse(argc, argv);
+  print_banner(std::cout,
+               "E1: dependence depth vs n (Theorem 1.1: O(log n) whp)");
+  for (Distribution dist :
+       {Distribution::kUniformBall, Distribution::kOnSphere,
+        Distribution::kUniformCube, Distribution::kGaussian}) {
+    sweep<2>(opt, dist);
+  }
+  for (Distribution dist :
+       {Distribution::kUniformBall, Distribution::kOnSphere}) {
+    sweep<3>(opt, dist);
+  }
+  std::cout << "\nPASS criterion: depth/ln n stays bounded (no growth with n)."
+            << std::endl;
+  return 0;
+}

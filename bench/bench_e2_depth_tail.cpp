@@ -1,0 +1,67 @@
+// E2 — Theorem 4.2 tail bound: Pr[D(G(S)) ≥ σ·H_n] < c·n^-(σ-g).
+//
+// Fixes n, runs many random insertion orders, and reports the empirical
+// tail of depth/H_n next to the theorem's bound with g = d, c = 2. The
+// theorem is meaningful for σ ≥ g·k·e² (≈ 29.6 in 2D); empirically the
+// whole distribution sits far below that, so the bound should hold with
+// enormous slack — that is the expected "shape".
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/stats/fit.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse(argc, argv);
+  print_banner(std::cout, "E2: depth tail vs Theorem 4.2 bound");
+
+  const std::size_t n = 4096;
+  const int trials = opt.full ? 1000 : 200;
+  const double h_n = harmonic(n);
+
+  auto base = uniform_ball<2>(n, 7);
+  std::vector<double> sigmas;  // depth / H_n per trial
+  for (int t = 0; t < trials; ++t) {
+    auto pts = random_order(base, 10000 + static_cast<std::uint64_t>(t));
+    if (!prepare_input<2>(pts)) continue;
+    ParallelHull<2> hull;
+    auto res = hull.run(pts);
+    sigmas.push_back(res.dependence_depth / h_n);
+  }
+  std::sort(sigmas.begin(), sigmas.end());
+  auto s = summarize(sigmas);
+  std::cout << "n = " << n << ", trials = " << trials << ", H_n = " << h_n
+            << "\n"
+            << "depth/H_n: mean " << s.mean << "  sd " << s.stddev << "  min "
+            << s.min << "  max " << s.max << "\n\n";
+
+  Table table({"sigma", "empirical Pr[D >= sigma*H_n]",
+               "Thm 4.2 bound c*n^-(sigma-g)", "bound applies"});
+  const double g = 2;  // degree = d
+  const double c = 2;  // multiplicity
+  const double sigma_min = g * 2 * std::exp(2.0) * 1.0;  // g·k·e²
+  for (double sigma : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 10.0, 30.0}) {
+    double tail =
+        static_cast<double>(sigmas.end() -
+                            std::lower_bound(sigmas.begin(), sigmas.end(),
+                                             sigma)) /
+        static_cast<double>(sigmas.size());
+    double bound = c * std::pow(static_cast<double>(n), -(sigma - g));
+    table.row()
+        .cell(sigma, 1)
+        .cell(tail, 4)
+        .cell(bound > 1 ? 1.0 : bound, 6)
+        .cell(sigma >= sigma_min ? "yes" : "vacuous(min 29.6)");
+  }
+  bench::emit(opt, table);
+  std::cout << "\nPASS criterion: empirical tail is 0 well before σ reaches "
+               "the theorem's regime (σ ≥ g·k·e² ≈ 29.6); the bound holds "
+               "with large slack."
+            << std::endl;
+  return 0;
+}

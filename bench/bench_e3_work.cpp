@@ -1,0 +1,74 @@
+// E3 — Theorem 3.1 (total conflict size) and the work-efficiency claim of
+// Theorem 5.4: the parallel algorithm performs exactly the sequential
+// algorithm's visibility tests and creates exactly the same facets.
+//
+// For each n: run Algorithm 2 and Algorithm 3 on the same input, verify
+// the test/facet counters are identical, and report total conflicts and
+// visibility tests against the O(n log n) shape (d = 2, 3: the n^{⌊d/2⌋}
+// term is linear, so n·ln n dominates).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/stats/fit.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+
+namespace {
+
+template <int D>
+void sweep(const bench::Options& opt, Distribution dist) {
+  std::vector<std::size_t> sizes = {1000, 4000, 16000, 64000};
+  if (opt.full) sizes = {1000, 4000, 16000, 64000, 256000, 1000000};
+  Table table({"d", "dist", "n", "seq tests", "par tests", "identical",
+               "conflicts", "tests/(n ln n)", "facets"});
+  bool all_identical = true;
+  for (std::size_t n : sizes) {
+    auto pts = generate<D>(dist, n, 5);
+    pts = random_order(pts, 31);
+    if (!prepare_input<D>(pts)) continue;
+    SequentialHull<D> seq;
+    auto sres = seq.run(pts);
+    ParallelHull<D> par;
+    auto pres = par.run(pts);
+    bool identical = sres.visibility_tests == pres.visibility_tests &&
+                     sres.facets_created == pres.facets_created &&
+                     sres.total_conflicts == pres.total_conflicts;
+    all_identical = all_identical && identical;
+    double nlogn = static_cast<double>(n) * std::log(static_cast<double>(n));
+    table.row()
+        .cell(D)
+        .cell(distribution_name(dist))
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(sres.visibility_tests)
+        .cell(pres.visibility_tests)
+        .cell(identical ? "yes" : "NO")
+        .cell(sres.total_conflicts)
+        .cell(static_cast<double>(sres.visibility_tests) / nlogn, 3)
+        .cell(sres.facets_created);
+  }
+  bench::emit(opt, table);
+  std::cout << (all_identical
+                    ? "work-efficiency: parallel == sequential on every row\n"
+                    : "work-efficiency VIOLATED\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse(argc, argv);
+  print_banner(std::cout,
+               "E3: total work (Theorem 3.1) and test-set identity "
+               "(Theorem 5.4)");
+  sweep<2>(opt, Distribution::kUniformBall);
+  sweep<2>(opt, Distribution::kOnSphere);
+  sweep<3>(opt, Distribution::kUniformBall);
+  sweep<3>(opt, Distribution::kOnSphere);
+  std::cout << "\nPASS criterion: 'identical' is yes everywhere and "
+               "tests/(n ln n) stays bounded."
+            << std::endl;
+  return 0;
+}

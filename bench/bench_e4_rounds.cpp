@@ -1,0 +1,84 @@
+// E4 — Theorem 5.3 / Theorem 5.5: the ProcessRidge recursion depth (the
+// span-determining quantity in the binary-forking model, up to the
+// O(log n) cost of the per-round primitives) is O(log n) whp.
+//
+// Reports max recursion round and dependence depth side by side: rounds ≤
+// depth always (the recursion chains through one support per step), and
+// both fit a·ln n + b.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/stats/fit.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse(argc, argv);
+  print_banner(std::cout, "E4: ProcessRidge recursion depth (Theorem 5.3)");
+
+  std::vector<std::size_t> sizes = {1000, 4000, 16000, 64000, 128000};
+  int seeds = 3;
+  if (opt.full) {
+    sizes = {1000, 4000, 16000, 64000, 256000, 1000000};
+    seeds = 5;
+  }
+  Table table({"d", "n", "ln n", "rounds(avg)", "depth(avg)", "rounds<=depth",
+               "rounds/ln n"});
+  std::vector<double> xs2, ys2, xs3, ys3;
+  bool invariant = true;
+  for (int d : {2, 3}) {
+    for (std::size_t n : sizes) {
+      double rounds = 0, depth = 0;
+      bool le = true;
+      for (int s = 0; s < seeds; ++s) {
+        std::uint64_t seed = 900 + static_cast<std::uint64_t>(s);
+        if (d == 2) {
+          auto pts = random_order(uniform_ball<2>(n, seed), seed + 1);
+          if (!prepare_input<2>(pts)) continue;
+          ParallelHull<2> hull;
+          auto res = hull.run(pts);
+          rounds += res.max_round;
+          depth += res.dependence_depth;
+          le = le && res.max_round <= res.dependence_depth;
+        } else {
+          auto pts = random_order(uniform_ball<3>(n, seed), seed + 1);
+          if (!prepare_input<3>(pts)) continue;
+          ParallelHull<3> hull;
+          auto res = hull.run(pts);
+          rounds += res.max_round;
+          depth += res.dependence_depth;
+          le = le && res.max_round <= res.dependence_depth;
+        }
+      }
+      rounds /= seeds;
+      depth /= seeds;
+      invariant = invariant && le;
+      double ln_n = std::log(static_cast<double>(n));
+      (d == 2 ? xs2 : xs3).push_back(static_cast<double>(n));
+      (d == 2 ? ys2 : ys3).push_back(rounds);
+      table.row()
+          .cell(d)
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(ln_n, 2)
+          .cell(rounds, 1)
+          .cell(depth, 1)
+          .cell(le ? "yes" : "NO")
+          .cell(rounds / ln_n, 3);
+    }
+  }
+  bench::emit(opt, table);
+  auto f2 = log_fit(xs2, ys2);
+  auto f3 = log_fit(xs3, ys3);
+  std::cout << "2D fit: rounds ≈ " << f2.slope << "·ln n + " << f2.intercept
+            << " (r²=" << f2.r2 << ")\n"
+            << "3D fit: rounds ≈ " << f3.slope << "·ln n + " << f3.intercept
+            << " (r²=" << f3.r2 << ")\n"
+            << (invariant ? "rounds <= depth everywhere\n"
+                          : "INVARIANT VIOLATED\n")
+            << "\nPASS criterion: rounds/ln n bounded; good log fit."
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E5 — practicality claim ("can lead to an efficient parallel
+// implementation in practice"): wall-clock comparison of the parallel
+// incremental hull against Algorithm 2 and the classic baselines, with a
+// worker sweep.
+//
+// NOTE: this host exposes a single hardware thread, so T > 1 cannot show
+// real speedup here; the worker sweep is still exercised for overhead
+// measurement and the machine-independent metrics live in E1–E4.
+#include <functional>
+#include <iostream>
+
+#include "bench_common.h"
+#include "parhull/common/timer.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/hull/baselines.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+
+namespace {
+
+double time_once(const std::function<void()>& f) {
+  Timer t;
+  f();
+  return t.elapsed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse(argc, argv);
+  print_banner(std::cout, "E5: runtime vs baselines (1-thread host)");
+  std::cout << "scheduler workers: " << Scheduler::get().num_workers() << "\n";
+
+  // ---- 2D ----
+  {
+    std::size_t n = opt.full ? 2000000 : 200000;
+    auto pts = random_order(uniform_ball<2>(n, 3), 11);
+    bool prepared = prepare_input<2>(pts);
+    Table table({"algorithm (2D)", "n", "seconds", "hull size"});
+    if (prepared) {
+      {
+        SequentialHull<2> h;
+        SequentialHull<2>::Result r;
+        double t = time_once([&] { r = h.run(pts); });
+        table.row().cell("Alg 2 sequential incremental").cell(static_cast<std::uint64_t>(n)).cell(t, 3).cell(r.hull.size());
+      }
+      for (int workers : {1, 2, 4}) {
+        Scheduler::WorkerLimit limit(workers);
+        ParallelHull<2> h;
+        ParallelHull<2>::Result r;
+        double t = time_once([&] { r = h.run(pts); });
+        table.row()
+            .cell(std::string("Alg 3 parallel, T=") + std::to_string(workers))
+            .cell(static_cast<std::uint64_t>(n))
+            .cell(t, 3)
+            .cell(r.hull.size());
+      }
+      {
+        std::vector<Point2> hull;
+        double t = time_once([&] { hull = monotone_chain(pts); });
+        table.row().cell("monotone chain").cell(static_cast<std::uint64_t>(n)).cell(t, 3).cell(hull.size());
+      }
+      {
+        std::vector<Point2> hull;
+        double t = time_once([&] { hull = quickhull2d(pts); });
+        table.row().cell("quickhull 2D").cell(static_cast<std::uint64_t>(n)).cell(t, 3).cell(hull.size());
+      }
+      {
+        std::vector<Point2> hull;
+        double t = time_once([&] { hull = divide_conquer_hull2d(pts); });
+        table.row().cell("divide & conquer 2D").cell(static_cast<std::uint64_t>(n)).cell(t, 3).cell(hull.size());
+      }
+    }
+    bench::emit(opt, table);
+  }
+
+  // ---- 3D ----
+  {
+    std::size_t n = opt.full ? 500000 : 100000;
+    auto pts = random_order(uniform_ball<3>(n, 5), 13);
+    bool prepared = prepare_input<3>(pts);
+    Table table({"algorithm (3D)", "n", "seconds", "hull facets"});
+    if (prepared) {
+      {
+        SequentialHull<3> h;
+        SequentialHull<3>::Result r;
+        double t = time_once([&] { r = h.run(pts); });
+        table.row().cell("Alg 2 sequential incremental").cell(static_cast<std::uint64_t>(n)).cell(t, 3).cell(r.hull.size());
+      }
+      for (int workers : {1, 2, 4}) {
+        Scheduler::WorkerLimit limit(workers);
+        ParallelHull<3> h;
+        ParallelHull<3>::Result r;
+        double t = time_once([&] { r = h.run(pts); });
+        table.row()
+            .cell(std::string("Alg 3 parallel, T=") + std::to_string(workers))
+            .cell(static_cast<std::uint64_t>(n))
+            .cell(t, 3)
+            .cell(r.hull.size());
+      }
+      {
+        QuickHull3DResult r;
+        double t = time_once([&] { r = quickhull3d(pts); });
+        table.row().cell("quickhull 3D").cell(static_cast<std::uint64_t>(n)).cell(t, 3).cell(r.facets.size());
+      }
+    }
+    bench::emit(opt, table);
+  }
+
+  std::cout << "\nPASS criterion (shape): Alg 3 at T=1 is within a small "
+               "factor of Alg 2 (same tests, relaxed order), and classic "
+               "output-sensitive baselines win on interior-heavy inputs — "
+               "as the paper expects; parallel scaling requires a "
+               "multi-core host."
+            << std::endl;
+  return 0;
+}

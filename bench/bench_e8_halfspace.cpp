@@ -1,0 +1,101 @@
+// E8 — Section 7, half-space intersection: the dual formulation has
+// 2-support, so depth is O(log m) whp; the reduction also verifies against
+// the brute-force vertex enumerator at small m.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "parhull/common/random.h"
+#include "parhull/halfspace/halfspace.h"
+#include "parhull/stats/fit.h"
+
+using namespace parhull;
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse(argc, argv);
+  print_banner(std::cout, "E8: half-space intersection (Section 7)");
+
+  // Verification at small m.
+  {
+    Table table({"d", "m", "vertices", "oracle vertices", "match"});
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      auto hs2 = random_tangent_halfspaces<2>(30, seed, 0.5);
+      auto r2 = intersect_halfspaces<2>(hs2);
+      auto o2 = brute_force_halfspace_vertices<2>(hs2);
+      table.row()
+          .cell(2)
+          .cell(std::uint64_t{30})
+          .cell(r2.vertices.size())
+          .cell(o2.size())
+          .cell(r2.ok && r2.vertices.size() == o2.size() ? "yes" : "NO");
+      auto hs3 = random_tangent_halfspaces<3>(20, seed + 5, 0.5);
+      auto r3 = intersect_halfspaces<3>(hs3);
+      auto o3 = brute_force_halfspace_vertices<3>(hs3);
+      table.row()
+          .cell(3)
+          .cell(std::uint64_t{20})
+          .cell(r3.vertices.size())
+          .cell(o3.size())
+          .cell(r3.ok && r3.vertices.size() == o3.size() ? "yes" : "NO");
+    }
+    bench::emit(opt, table);
+  }
+
+  // Depth scaling.
+  {
+    std::vector<std::size_t> sizes = {1000, 4000, 16000, 64000};
+    if (opt.full) sizes.push_back(256000);
+    Table table({"d", "m", "ln m", "vertices", "essential", "depth",
+                 "depth/ln m"});
+    std::vector<double> xs, ys;
+    for (std::size_t m : sizes) {
+      for (int d : {2, 3}) {
+        double depth = 0, verts = 0, ess = 0;
+        const int seeds = 3;
+        for (int s = 0; s < seeds; ++s) {
+          Rng rng(500 + static_cast<std::uint64_t>(s));
+          if (d == 2) {
+            auto hs = random_tangent_halfspaces<2>(
+                m, 100 + static_cast<std::uint64_t>(s));
+            shuffle(hs, rng);
+            auto r = intersect_halfspaces<2>(hs);
+            if (!r.ok) continue;
+            depth += r.dependence_depth;
+            verts += static_cast<double>(r.vertices.size());
+            ess += static_cast<double>(r.essential.size());
+          } else {
+            auto hs = random_tangent_halfspaces<3>(
+                m, 200 + static_cast<std::uint64_t>(s));
+            shuffle(hs, rng);
+            auto r = intersect_halfspaces<3>(hs);
+            if (!r.ok) continue;
+            depth += r.dependence_depth;
+            verts += static_cast<double>(r.vertices.size());
+            ess += static_cast<double>(r.essential.size());
+          }
+        }
+        double ln_m = std::log(static_cast<double>(m));
+        if (d == 2) {
+          xs.push_back(static_cast<double>(m));
+          ys.push_back(depth / seeds);
+        }
+        table.row()
+            .cell(d)
+            .cell(static_cast<std::uint64_t>(m))
+            .cell(ln_m, 2)
+            .cell(verts / seeds, 0)
+            .cell(ess / seeds, 0)
+            .cell(depth / seeds, 1)
+            .cell(depth / seeds / ln_m, 3);
+      }
+    }
+    bench::emit(opt, table);
+    auto fit = log_fit(xs, ys);
+    std::cout << "2D fit: depth ≈ " << fit.slope << "·ln m + " << fit.intercept
+              << " (r²=" << fit.r2 << ")\n";
+  }
+  std::cout << "\nPASS criterion: oracle match at small m; depth/ln m bounded "
+               "(tangent half-spaces keep every input essential)."
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Build a convex collision proxy for a noisy 3D scan with the parallel
+// hull, then answer support queries (the core primitive of GJK-style
+// collision pipelines) against the proxy.
+//
+//   ./example_collision_proxy [points] [seed]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "parhull/core/parallel_hull.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+
+namespace {
+
+// A synthetic "scanned object": a torus-ish shell with noise.
+PointSet<3> scan_cloud(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  PointSet<3> pts(n);
+  constexpr double kTwoPi = 6.283185307179586;
+  for (auto& p : pts) {
+    double u = rng.next_double(0, kTwoPi);
+    double v = rng.next_double(0, kTwoPi);
+    double noise = 0.02 * rng.next_gaussian();
+    double r = 1.0 + (0.35 + noise) * std::cos(v);
+    p = {{r * std::cos(u), r * std::sin(u), (0.35 + noise) * std::sin(v)}};
+  }
+  return pts;
+}
+
+// Signed volume of the hull via the divergence theorem over facets.
+double hull_volume(const ParallelHull<3>& hull,
+                   const std::vector<FacetId>& facets, const PointSet<3>& pts) {
+  double vol = 0;
+  for (FacetId id : facets) {
+    const auto& f = hull.facet(id);
+    const Point3 &a = pts[f.vertices[0]], &b = pts[f.vertices[1]],
+                 &c = pts[f.vertices[2]];
+    // Outward facets: vol += det(a,b,c)/6. Our orientation convention makes
+    // the interior invisible, i.e. orient(vertices, interior) < 0; the
+    // corresponding outward triple contributes positively when wound so
+    // that det(a, b, c) has the outward sign — flip via the interior test.
+    double det = a[0] * (b[1] * c[2] - b[2] * c[1]) -
+                 a[1] * (b[0] * c[2] - b[2] * c[0]) +
+                 a[2] * (b[0] * c[1] - b[1] * c[0]);
+    vol += det / 6.0;
+  }
+  return std::fabs(vol);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+  std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  PointSet<3> cloud = random_order(scan_cloud(n, seed), seed + 1);
+  if (!prepare_input<3>(cloud)) {
+    std::cerr << "degenerate scan\n";
+    return 1;
+  }
+  ParallelHull<3> hull;
+  auto res = hull.run(cloud);
+
+  std::cout << "scan points:      " << n << "\n"
+            << "proxy facets:     " << res.hull.size() << "\n"
+            << "dependence depth: " << res.dependence_depth << " (ln n = "
+            << std::log(static_cast<double>(n)) << ")\n"
+            << "proxy volume:     " << hull_volume(hull, res.hull, cloud)
+            << "\n\n";
+
+  // Support queries: farthest proxy vertex along a direction. This is what
+  // a GJK loop asks the proxy thousands of times per frame.
+  std::cout << "support queries (direction -> extremal vertex):\n";
+  std::vector<Point3> dirs = {{{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}},
+                              {{-1, -1, 0.5}}};
+  // Collect hull vertices once.
+  std::vector<PointId> verts;
+  {
+    std::vector<char> seen(cloud.size(), 0);
+    for (FacetId id : res.hull) {
+      for (PointId v : hull.facet(id).vertices) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          verts.push_back(v);
+        }
+      }
+    }
+  }
+  std::cout << "proxy vertices:   " << verts.size() << " (vs " << n
+            << " scan points — the proxy is what you ship)\n";
+  for (const auto& d : dirs) {
+    PointId best = verts.front();
+    double best_dot = cloud[best].dot(d);
+    for (PointId v : verts) {
+      double dot = cloud[v].dot(d);
+      if (dot > best_dot) {
+        best_dot = dot;
+        best = v;
+      }
+    }
+    std::cout << "  (" << d[0] << "," << d[1] << "," << d[2] << ") -> vertex "
+              << best << " at (" << cloud[best][0] << ", " << cloud[best][1]
+              << ", " << cloud[best][2] << ")\n";
+  }
+  return 0;
+}

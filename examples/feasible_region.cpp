@@ -1,0 +1,56 @@
+// Compute the feasible region of a system of linear constraints (an LP
+// feasibility polytope) with the Section 7 half-space intersection: the
+// constraints dualize to points and the parallel hull does the work.
+//
+//   ./example_feasible_region [constraints] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "parhull/common/random.h"
+#include "parhull/halfspace/halfspace.h"
+
+using namespace parhull;
+
+int main(int argc, char** argv) {
+  std::size_t m = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500;
+  std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  // Random constraints n·x <= c all satisfied by the origin: tangent planes
+  // of the unit sphere pushed outward by random slack.
+  auto constraints = random_tangent_halfspaces<3>(m, seed, 1.0);
+  Rng rng(seed + 1);
+  shuffle(constraints, rng);  // random insertion order: the whp guarantee
+
+  auto region = intersect_halfspaces<3>(constraints);
+  if (!region.ok) {
+    std::cerr << "region unbounded or degenerate\n";
+    return 1;
+  }
+  std::cout << "constraints:       " << m << "\n"
+            << "essential:         " << region.essential.size() << "  ("
+            << (m - region.essential.size()) << " redundant)\n"
+            << "region vertices:   " << region.vertices.size() << "\n"
+            << "dependence depth:  " << region.dependence_depth << "\n\n";
+
+  std::cout << "first vertices (each tight on 3 constraints):\n";
+  for (std::size_t i = 0; i < region.vertices.size() && i < 5; ++i) {
+    const auto& v = region.vertices[i];
+    std::cout << "  (" << v[0] << ", " << v[1] << ", " << v[2]
+              << ")  constraints {";
+    for (std::size_t k = 0; k < region.vertex_defs[i].size(); ++k) {
+      std::cout << (k ? ", " : "") << region.vertex_defs[i][k];
+    }
+    std::cout << "}\n";
+  }
+
+  // Feasibility checks.
+  std::cout << "\nfeasibility checks:\n";
+  for (const Point3& q : {Point3{{0, 0, 0}}, Point3{{0.5, 0.5, 0.5}},
+                          Point3{{3, 3, 3}}}) {
+    std::cout << "  (" << q[0] << "," << q[1] << "," << q[2] << ") -> "
+              << (halfspaces_contain<3>(constraints, q) ? "feasible"
+                                                        : "infeasible")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Walk through the paper's Figure 1 example (Section 5.3) and narrate what
+// the parallel algorithm does, wave by wave.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "parhull/core/parallel_hull.h"
+#include "parhull/workload/figure1.h"
+
+using namespace parhull;
+using namespace parhull::figure1;
+
+int main() {
+  auto pts = points();
+  ParallelHull<2> hull;
+  auto res = hull.run(pts);
+  if (!res.ok) return 1;
+
+  auto ename = [&](FacetId id) {
+    const auto& f = hull.facet(id);
+    return edge_name(std::min(f.vertices[0], f.vertices[1]),
+                     std::max(f.vertices[0], f.vertices[1]));
+  };
+  auto is_new = [&](const Facet<2>& f) {
+    return f.apex == kA || f.apex == kB || f.apex == kC;
+  };
+
+  std::cout << "Starting hull: u-v-w-x-y-z-t; inserting a, b, c "
+               "(lexicographic priorities).\n\n";
+  std::vector<std::uint32_t> wave(hull.facet_count(), 0);
+  std::map<std::uint32_t, std::vector<FacetId>> by_wave;
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    const auto& f = hull.facet(id);
+    if (!is_new(f)) continue;
+    wave[id] = 1 + std::max(wave[f.support0], wave[f.support1]);
+    by_wave[wave[id]].push_back(id);
+  }
+  for (const auto& [w, ids] : by_wave) {
+    std::cout << "wave " << w << ":\n";
+    for (FacetId id : ids) {
+      const auto& f = hull.facet(id);
+      std::cout << "  add " << ename(id) << " (apex " << name(f.apex)
+                << "), supported by {" << ename(f.support0) << ", "
+                << ename(f.support1) << "}"
+                << (f.alive() ? "" : "   [later removed]") << "\n";
+    }
+  }
+  std::cout << "\nburied ridge pairs: " << res.buried_pairs
+            << " (w-b and b-a both see c, so their shared ridge is buried)\n";
+  std::cout << "final hull edges: ";
+  for (FacetId id : res.hull) std::cout << ename(id) << " ";
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,335 @@
+#include "parhull/circles/circle_intersection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parhull/common/assert.h"
+
+namespace parhull {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double normalize_angle(double a) {
+  while (a < 0) a += kTwoPi;
+  while (a >= kTwoPi) a -= kTwoPi;
+  return a;
+}
+
+// The angular interval of circle i (unit radius, center oi) lying inside
+// the closed unit disk centered at oj.
+struct InsideInterval {
+  bool empty = false;
+  bool full = false;
+  double start = 0;   // CCW start angle on circle i
+  double length = 0;  // extent
+};
+
+InsideInterval inside_interval(const Point2& oi, const Point2& oj) {
+  InsideInterval r;
+  double dx = oj[0] - oi[0], dy = oj[1] - oi[1];
+  double d = std::sqrt(dx * dx + dy * dy);
+  if (d == 0) {
+    r.full = true;
+    return r;
+  }
+  if (d >= 2) {
+    r.empty = true;
+    return r;
+  }
+  double phi = std::atan2(dy, dx);
+  double alpha = std::acos(d / 2);
+  r.start = normalize_angle(phi - alpha);
+  r.length = 2 * alpha;
+  return r;
+}
+
+// Pieces of an arc surviving a clip against an inside-interval, with exact
+// bookkeeping of which ends were cut (no floating-point endpoint matching).
+struct ClipResult {
+  struct Piece {
+    double start, length;
+    bool cut_start, cut_end;
+  };
+  int count = 0;
+  Piece piece[2];
+};
+
+// Intersect arc (s, len) with interval I on the same circle. len may be 2π
+// (full circle). Returns up to two pieces in positional (CCW-from-s) order.
+ClipResult clip_arc(double s, double len, bool is_full,
+                    const InsideInterval& inside) {
+  ClipResult out;
+  if (inside.full) {
+    out.count = 1;
+    out.piece[0] = {s, len, false, false};
+    return out;
+  }
+  if (inside.empty) return out;
+  if (is_full) {
+    // Full circle: the survivor is exactly the inside interval; both ends
+    // are cuts.
+    out.count = 1;
+    out.piece[0] = {inside.start, inside.length, true, true};
+    return out;
+  }
+  // Work in offsets from s: arc = [0, len]; inside = [d, d + inside.length]
+  // and its wrap copy [d - 2π, d - 2π + inside.length].
+  double d = normalize_angle(inside.start - s);
+  for (double base : {d - kTwoPi, d}) {
+    double lo = std::max(0.0, base);
+    double hi = std::min(len, base + inside.length);
+    if (hi > lo) {
+      bool cut_start = lo > 0;                       // start trimmed by the clip
+      bool cut_end = hi < len;                       // end trimmed by the clip
+      PARHULL_CHECK(out.count < 2);
+      out.piece[out.count++] = {normalize_angle(s + lo), hi - lo, cut_start,
+                                cut_end};
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void UnitCircleIntersection::insert_circle(std::uint32_t x, Result& res) {
+  if (empty_region_) return;
+  const Point2& ox = centers_[x];
+
+  // Conflicting (alive) arcs.
+  std::vector<std::uint32_t> killed;
+  for (std::uint32_t a : circle_arcs_[x]) {
+    if (!arcs_[a].dead) killed.push_back(a);
+  }
+  if (killed.empty()) {
+    ++res.redundant;  // every boundary arc is inside disk x
+    return;
+  }
+
+  // Emit the new boundary by walking the old one in CCW order, replacing
+  // each killed arc with its surviving pieces.
+  struct Emitted {
+    std::uint32_t id;        // new arc id
+    bool dangling_start, dangling_end;
+  };
+  std::vector<Emitted> sequence;
+  std::vector<std::uint32_t> order = boundary();
+  PARHULL_CHECK(!order.empty());
+  InsideInterval x_on_owner;  // reused
+  std::uint32_t max_killed_depth = 0;
+  std::uint32_t dangle_end_parent = Arc::kInvalid;   // arc cut at the A side
+  std::uint32_t dangle_start_parent = Arc::kInvalid; // arc cut at the B side
+  for (std::uint32_t id : order) {
+    Arc& a = arcs_[id];
+    bool is_killed =
+        std::binary_search(a.conflicts.begin(), a.conflicts.end(), x);
+    if (!is_killed) {
+      sequence.push_back({id, false, false});
+      continue;
+    }
+    max_killed_depth = std::max(max_killed_depth, a.depth);
+    a.dead = true;
+    x_on_owner = inside_interval(centers_[a.owner], ox);
+    auto clipped = clip_arc(a.start, a.length, a.full, x_on_owner);
+    for (int k = 0; k < clipped.count; ++k) {
+      const auto& p = clipped.piece[k];
+      // Trimmed arc: a NEW configuration with singleton support {parent}
+      // (Section 7). An untouched piece cannot occur for a killed arc
+      // unless clipping is degenerate.
+      std::uint32_t nid = static_cast<std::uint32_t>(arcs_.size());
+      arcs_.push_back(Arc{});
+      Arc& na = arcs_.back();
+      Arc& parent = arcs_[id];  // re-fetch: push_back may reallocate
+      na.owner = parent.owner;
+      na.start = p.start;
+      na.length = p.length;
+      na.full = false;
+      na.created_by = x;
+      na.depth = parent.depth + 1;
+      na.support0 = id;
+      res.max_depth = std::max(res.max_depth, na.depth);
+      // Conflicts: filter the parent's list against the smaller arc.
+      for (std::uint32_t j : parent.conflicts) {
+        if (j == x) continue;
+        InsideInterval in = inside_interval(centers_[na.owner], centers_[j]);
+        auto sub = clip_arc(na.start, na.length, false, in);
+        bool contained = sub.count == 1 && !sub.piece[0].cut_start &&
+                         !sub.piece[0].cut_end;
+        if (!contained) {
+          na.conflicts.push_back(j);
+          circle_arcs_[j].push_back(nid);
+        }
+      }
+      ++res.arcs_created;
+      res.total_conflicts += na.conflicts.size();
+      bool dangle_end = p.cut_end;      // arc of x continues after this piece
+      bool dangle_start = p.cut_start;  // arc of x ends before this piece
+      sequence.push_back({nid, dangle_start, dangle_end});
+      if (dangle_end) {
+        PARHULL_CHECK_MSG(dangle_end_parent == Arc::kInvalid,
+                          "multiple boundary exits: degenerate input?");
+        dangle_end_parent = id;
+      }
+      if (dangle_start) {
+        PARHULL_CHECK_MSG(dangle_start_parent == Arc::kInvalid,
+                          "multiple boundary entries: degenerate input?");
+        dangle_start_parent = id;
+      }
+    }
+  }
+
+  // No surviving pieces at all: the region is disjoint from disk x (a
+  // survivor-free region inside x would mean no arc conflicted).
+  bool any_piece = false;
+  for (const auto& e : sequence) {
+    if (!arcs_[e.id].dead) any_piece = true;
+  }
+  if (sequence.empty() || !any_piece) {
+    empty_region_ = true;
+    res.nonempty = false;
+    res.emptied_at = x;
+    head_ = Arc::kInvalid;
+    return;
+  }
+  PARHULL_CHECK_MSG(
+      dangle_end_parent != Arc::kInvalid && dangle_start_parent != Arc::kInvalid,
+      "boundary cut bookkeeping failed (degenerate input?)");
+
+  // Create the arc of circle x bridging the two dangling endpoints.
+  // Endpoint A: where the old boundary exits disk x (dangling end of a
+  // piece on circle c = owner of dangle_end_parent). On circle x, A is an
+  // endpoint of inside_interval(x, c); the new arc leaves A going INTO that
+  // interval. Under general position the exit point is the interval's
+  // start (entering disk c as we advance CCW on x).
+  std::uint32_t nid = static_cast<std::uint32_t>(arcs_.size());
+  arcs_.push_back(Arc{});
+  Arc& nx = arcs_.back();
+  nx.owner = x;
+  nx.created_by = x;
+  nx.support0 = dangle_end_parent;
+  nx.support1 = dangle_start_parent;
+  nx.depth = 1 + std::max(arcs_[dangle_end_parent].depth,
+                          arcs_[dangle_start_parent].depth);
+  res.max_depth = std::max(res.max_depth, nx.depth);
+  {
+    const Arc& pe = arcs_[dangle_end_parent];
+    const Arc& ps = arcs_[dangle_start_parent];
+    InsideInterval in_a = inside_interval(ox, centers_[pe.owner]);
+    InsideInterval in_b = inside_interval(ox, centers_[ps.owner]);
+    PARHULL_CHECK(!in_a.empty && !in_a.full && !in_b.empty && !in_b.full);
+    // CCW boundary orientation: on circle x the region lies inside every
+    // cutting disk; the bridge starts where x enters disk c_A, i.e. at
+    // in_a.start, and ends where x leaves disk c_B, i.e. at
+    // in_b.start + in_b.length.
+    nx.start = in_a.start;
+    nx.length = normalize_angle(in_b.start + in_b.length - nx.start);
+    if (nx.length == 0) nx.length = kTwoPi;  // degenerate guard
+  }
+  // Conflicts of the bridge: union over killed arcs' lists, filtered.
+  {
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t id : killed) {
+      for (std::uint32_t j : arcs_[id].conflicts) {
+        if (j != x) candidates.push_back(j);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (std::uint32_t j : candidates) {
+      InsideInterval in = inside_interval(ox, centers_[j]);
+      auto sub = clip_arc(nx.start, nx.length, false, in);
+      bool contained =
+          sub.count == 1 && !sub.piece[0].cut_start && !sub.piece[0].cut_end;
+      if (!contained) {
+        nx.conflicts.push_back(j);
+        circle_arcs_[j].push_back(nid);
+      }
+    }
+  }
+  ++res.arcs_created;
+  res.total_conflicts += nx.conflicts.size();
+
+  // Relink the boundary: insert the bridge between the dangling-end piece
+  // and the dangling-start piece in the cyclic emitted order.
+  std::size_t end_pos = sequence.size(), start_pos = sequence.size();
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    if (sequence[i].dangling_end) end_pos = i;
+    if (sequence[i].dangling_start) start_pos = i;
+  }
+  PARHULL_CHECK(end_pos < sequence.size() && start_pos < sequence.size());
+  std::vector<std::uint32_t> ring;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    std::size_t at = (end_pos + i) % sequence.size();
+    const Arc& e = arcs_[sequence[at].id];
+    if (!e.dead) ring.push_back(sequence[at].id);
+    if (at == end_pos) ring.push_back(nid);
+  }
+  // Rebuild links.
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    std::uint32_t cur = ring[i];
+    std::uint32_t nxt = ring[(i + 1) % ring.size()];
+    arcs_[cur].next = nxt;
+    arcs_[nxt].prev = cur;
+  }
+  head_ = nid;
+}
+
+UnitCircleIntersection::Result UnitCircleIntersection::run(
+    const std::vector<Point2>& centers) {
+  Result res;
+  if (centers.empty()) return res;
+  centers_ = centers;
+  arcs_.clear();
+  circle_arcs_.assign(centers.size(), {});
+  empty_region_ = false;
+
+  // Circle 0: a single full-circle arc.
+  arcs_.push_back(Arc{});
+  Arc& first = arcs_.back();
+  first.owner = 0;
+  first.start = 0;
+  first.length = kTwoPi;
+  first.full = true;
+  first.prev = first.next = 0;
+  first.depth = 0;
+  head_ = 0;
+  ++res.arcs_created;
+  for (std::uint32_t j = 1; j < centers.size(); ++j) {
+    InsideInterval in = inside_interval(centers_[0], centers_[j]);
+    if (!in.full) {  // anything but an identical circle modifies a full arc
+      first.conflicts.push_back(j);
+      circle_arcs_[j].push_back(0);
+    }
+  }
+  res.total_conflicts += first.conflicts.size();
+
+  for (std::uint32_t x = 1; x < centers.size(); ++x) {
+    insert_circle(x, res);
+  }
+  res.boundary_arcs = boundary().size();
+  res.nonempty = !empty_region_;
+  res.ok = true;
+  return res;
+}
+
+std::vector<std::uint32_t> UnitCircleIntersection::boundary() const {
+  std::vector<std::uint32_t> out;
+  if (head_ == Arc::kInvalid || empty_region_ || arcs_.empty()) return out;
+  std::uint32_t cur = head_;
+  do {
+    out.push_back(cur);
+    cur = arcs_[cur].next;
+  } while (cur != head_ && out.size() <= arcs_.size());
+  return out;
+}
+
+Point2 UnitCircleIntersection::arc_point(std::uint32_t id, double t) const {
+  const Arc& a = arcs_[id];
+  double ang = a.start + a.length * t;
+  const Point2& o = centers_[a.owner];
+  return Point2{{o[0] + std::cos(ang), o[1] + std::sin(ang)}};
+}
+
+}  // namespace parhull

@@ -1,0 +1,77 @@
+// Section 7: randomized incremental intersection of unit disks.
+//
+// Configuration space (paper): objects are unit circles, configurations are
+// boundary arcs defined by 2–3 circles; an arc conflicts with every circle
+// that does not fully contain it (adding such a circle removes or trims the
+// arc). The space has 2-support: a new arc on the inserted circle x is
+// supported by the two arcs cut at its ends; an arc trimmed by x is
+// supported by the single arc it was cut from. Hence the dependence depth
+// is O(log n) whp (Theorem 4.2 with k = 2, multiplicity 3).
+//
+// This module implements the sequential incremental algorithm with
+// Clarkson–Shor conflict lists and full support/depth instrumentation,
+// which is what experiment E9 measures. Inputs must be in general position
+// (no tangent circles, no three circles through a point).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+class UnitCircleIntersection {
+ public:
+  struct Arc {
+    std::uint32_t owner = 0;   // circle the arc lies on
+    double start = 0;          // CCW start angle on the owner circle
+    double length = 0;         // CCW extent; 2π for the initial full circle
+    bool full = false;         // full circle (only before the second cut)
+    bool dead = false;
+    std::uint32_t prev = 0, next = 0;  // boundary links (alive arcs)
+    std::vector<std::uint32_t> conflicts;  // ascending circle indices
+    // Dependence instrumentation (Section 7's support sets).
+    std::uint32_t depth = 0;
+    std::uint32_t support0 = kInvalid, support1 = kInvalid;
+    std::uint32_t created_by = kInvalid;  // circle whose insertion made it
+
+    static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  };
+
+  struct Result {
+    bool ok = false;
+    bool nonempty = true;       // intersection has interior
+    std::size_t boundary_arcs = 0;
+    std::uint64_t arcs_created = 0;
+    std::uint64_t total_conflicts = 0;
+    std::uint32_t max_depth = 0;       // dependence depth (O(log n) whp)
+    std::uint32_t redundant = 0;       // circles that changed nothing
+    std::uint32_t emptied_at = 0;      // insertion step that emptied, or 0
+  };
+
+  // Intersect unit disks centered at `centers`, inserted in index order
+  // (shuffle beforehand for the whp bounds).
+  Result run(const std::vector<Point2>& centers);
+
+  // Alive boundary arcs in CCW order (empty if the region is empty or no
+  // run happened).
+  std::vector<std::uint32_t> boundary() const;
+  const Arc& arc(std::uint32_t id) const { return arcs_[id]; }
+  std::size_t arc_count() const { return arcs_.size(); }
+
+  // A point on arc `id` at parameter t in (0,1); for validity checks.
+  Point2 arc_point(std::uint32_t id, double t) const;
+
+ private:
+  void insert_circle(std::uint32_t x, Result& res);
+
+  std::vector<Point2> centers_;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::uint32_t>> circle_arcs_;  // conflict inverse
+  std::uint32_t head_ = Arc::kInvalid;  // any alive arc on the boundary
+  bool empty_region_ = false;
+};
+
+}  // namespace parhull

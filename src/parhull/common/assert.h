@@ -1,0 +1,40 @@
+// Always-on invariant checks (PARHULL_CHECK) and debug-only checks
+// (PARHULL_DCHECK). Algorithmic invariants that are cheap relative to the
+// work they guard stay on in release builds; per-element hot-loop checks are
+// debug-only.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parhull::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "parhull: check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace parhull::detail
+
+#define PARHULL_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::parhull::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                      nullptr);                          \
+  } while (0)
+
+#define PARHULL_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::parhull::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define PARHULL_DCHECK(cond) PARHULL_CHECK(cond)
+#else
+#define PARHULL_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif

@@ -1,0 +1,52 @@
+// Per-worker padded counters for low-overhead instrumentation of parallel
+// phases (visibility tests, hash probes, facets created, ...). Each worker
+// increments its own cache line; totals are summed on demand.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parhull/common/types.h"
+
+namespace parhull {
+
+class WorkerCounter {
+ public:
+  explicit WorkerCounter(int num_workers = 1) { resize(num_workers); }
+
+  void resize(int num_workers) {
+    slots_.assign(static_cast<std::size_t>(num_workers < 1 ? 1 : num_workers),
+                  Slot{});
+  }
+
+  void add(int worker, std::uint64_t delta = 1) {
+    slots_[static_cast<std::size_t>(worker)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (Slot& s : slots_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> value{0};
+    Slot() = default;
+    Slot(const Slot& o) : value(o.value.load(std::memory_order_relaxed)) {}
+    Slot& operator=(const Slot& o) {
+      value.store(o.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace parhull

@@ -1,0 +1,24 @@
+// Wall-clock timer for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace parhull {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parhull

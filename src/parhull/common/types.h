@@ -1,0 +1,23 @@
+// Core scalar and identifier types shared across the library.
+//
+// Points and facets are referenced by dense 32-bit indices into flat arrays.
+// Insertion priority is the point's index position in the (caller-shuffled)
+// input sequence, matching the random order S of the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace parhull {
+
+using PointId = std::uint32_t;
+using FacetId = std::uint32_t;
+
+inline constexpr PointId kInvalidPoint = std::numeric_limits<PointId>::max();
+inline constexpr FacetId kInvalidFacet = std::numeric_limits<FacetId>::max();
+
+// Cache line size used to pad per-worker mutable state.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace parhull

@@ -1,0 +1,94 @@
+// Segmented concurrent object pool: lock-free bump allocation into
+// fixed-size blocks, with stable references (no relocation — facets are
+// pointed at by concurrent readers while the pool grows). Indices are dense
+// [0, size()), so the pool doubles as an id space.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/types.h"
+
+namespace parhull {
+
+template <typename T>
+class ConcurrentPool {
+ public:
+  // Up to kMaxBlocks * kBlockSize elements.
+  static constexpr std::size_t kBlockBits = 12;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+  static constexpr std::size_t kMaxBlocks = std::size_t{1} << 16;
+
+  ConcurrentPool() {
+    blocks_ = std::make_unique<std::atomic<Block*>[]>(kMaxBlocks);
+    for (std::size_t i = 0; i < kMaxBlocks; ++i) {
+      blocks_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~ConcurrentPool() {
+    for (std::size_t i = 0; i < kMaxBlocks; ++i) {
+      delete blocks_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  ConcurrentPool(const ConcurrentPool&) = delete;
+  ConcurrentPool& operator=(const ConcurrentPool&) = delete;
+
+  // Allocate one default-constructed element; returns its dense index.
+  std::uint32_t allocate() {
+    std::uint32_t id = next_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t block_index = id >> kBlockBits;
+    PARHULL_CHECK_MSG(block_index < kMaxBlocks, "ConcurrentPool exhausted");
+    Block* block = blocks_[block_index].load(std::memory_order_acquire);
+    if (block == nullptr) {
+      block = install_block(block_index);
+    }
+    return id;
+  }
+
+  T& operator[](std::uint32_t id) {
+    Block* block =
+        blocks_[id >> kBlockBits].load(std::memory_order_acquire);
+    PARHULL_DCHECK(block != nullptr);
+    return block->items[id & (kBlockSize - 1)];
+  }
+  const T& operator[](std::uint32_t id) const {
+    Block* block =
+        blocks_[id >> kBlockBits].load(std::memory_order_acquire);
+    PARHULL_DCHECK(block != nullptr);
+    return block->items[id & (kBlockSize - 1)];
+  }
+
+  // Number of ids handed out. Elements with ids < size() are constructed
+  // (default state) but may still be mid-initialization by their allocator;
+  // synchronization of contents is the caller's concern.
+  std::uint32_t size() const { return next_.load(std::memory_order_acquire); }
+
+ private:
+  struct Block {
+    T items[kBlockSize];
+  };
+
+  Block* install_block(std::size_t index) {
+    std::lock_guard<std::mutex> lock(grow_mutex_);
+    Block* existing = blocks_[index].load(std::memory_order_acquire);
+    if (existing != nullptr) return existing;
+    // Install this block and any missing predecessors (allocation order can
+    // race ahead by more than one block).
+    for (std::size_t b = 0; b <= index; ++b) {
+      if (blocks_[b].load(std::memory_order_acquire) == nullptr) {
+        blocks_[b].store(new Block(), std::memory_order_release);
+      }
+    }
+    return blocks_[index].load(std::memory_order_acquire);
+  }
+
+  std::unique_ptr<std::atomic<Block*>[]> blocks_;
+  std::atomic<std::uint32_t> next_{0};
+  std::mutex grow_mutex_;
+};
+
+}  // namespace parhull

@@ -1,0 +1,50 @@
+// Ridge identifiers. A ridge in dimension D is a (d-2)-face of the hull,
+// defined by D-1 points (general position); we canonicalize as the sorted
+// tuple of point ids. The key hashes with a mixed multiply-shift over the
+// id words.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "parhull/common/random.h"
+#include "parhull/common/types.h"
+
+namespace parhull {
+
+template <int D>
+struct RidgeKey {
+  static_assert(D >= 2);
+  std::array<PointId, static_cast<std::size_t>(D - 1)> v;
+
+  // Build from up to D unsorted ids with one id omitted by the caller.
+  static RidgeKey from_sorted(
+      const std::array<PointId, static_cast<std::size_t>(D - 1)>& ids) {
+    RidgeKey k{ids};
+    return k;
+  }
+
+  static RidgeKey from_unsorted(
+      std::array<PointId, static_cast<std::size_t>(D - 1)> ids) {
+    std::sort(ids.begin(), ids.end());
+    return RidgeKey{ids};
+  }
+
+  friend bool operator==(const RidgeKey& a, const RidgeKey& b) {
+    return a.v == b.v;
+  }
+  friend bool operator<(const RidgeKey& a, const RidgeKey& b) {
+    return a.v < b.v;
+  }
+
+  std::uint64_t hash() const {
+    std::uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (PointId id : v) {
+      h = hash64(h ^ (static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ULL));
+    }
+    return h;
+  }
+};
+
+}  // namespace parhull

@@ -1,0 +1,309 @@
+// Concurrent ridge → facet multimaps implementing the paper's
+// InsertAndSet / GetValue protocol (Section 5.2 and Appendix A).
+//
+// Contract (paper, Theorems A.1/A.2): every ridge key is inserted by
+// exactly two facets over the life of a run. Exactly one of the two
+// insert_and_set calls returns false, and that caller — which is
+// responsible for processing the ridge — can then use get_value to fetch
+// the facet inserted by the other call.
+//
+// Three backends:
+//   RidgeMapCAS     — Algorithm 4: linear probing, CompareAndSwap on slot
+//                     pointers. The losing inserter does not store.
+//   RidgeMapTAS     — Algorithm 5: linear probing using only TestAndSet
+//                     (weaker primitive, binary-forking model default).
+//                     Both inserters store; a two-pass protocol decides.
+//   RidgeMapChained — lock-free chaining with unbounded capacity (not in
+//                     the paper; used for high dimensions where the ridge
+//                     count is hard to bound a priori).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/types.h"
+#include "parhull/containers/concurrent_pool.h"
+#include "parhull/containers/ridge_key.h"
+
+namespace parhull {
+
+namespace detail {
+inline std::size_t next_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Algorithm 4: CompareAndSwap linear probing.
+// ---------------------------------------------------------------------------
+template <int D>
+class RidgeMapCAS {
+ public:
+  using Key = RidgeKey<D>;
+
+  // expected_keys: expected number of distinct ridges; the table is sized
+  // at 4x for a low load factor.
+  explicit RidgeMapCAS(std::size_t expected_keys) {
+    capacity_ = detail::next_pow2(expected_keys * 4 + 64);
+    mask_ = capacity_ - 1;
+    slots_ = std::make_unique<std::atomic<Entry*>[]>(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  // Returns true if this call inserted the first value for the key; false
+  // if the key was already present (the caller is the ridge's second facet
+  // and owns processing it).
+  bool insert_and_set(const Key& key, FacetId value) {
+    std::size_t i = key.hash() & mask_;
+    Entry* mine = nullptr;
+    std::size_t probes = 0;
+    while (true) {
+      Entry* cur = slots_[i].load(std::memory_order_acquire);
+      if (cur == nullptr) {
+        if (mine == nullptr) {
+          std::uint32_t id = pool_.allocate();
+          mine = &pool_[id];
+          mine->key = key;
+          mine->value = value;
+        }
+        if (slots_[i].compare_exchange_strong(cur, mine,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire)) {
+          probes_.fetch_add(probes + 1, std::memory_order_relaxed);
+          return true;
+        }
+        // cur now holds the racing winner; fall through to inspect it.
+      }
+      if (cur->key == key) {
+        probes_.fetch_add(probes + 1, std::memory_order_relaxed);
+        return false;
+      }
+      i = (i + 1) & mask_;
+      PARHULL_CHECK_MSG(++probes <= capacity_,
+                        "RidgeMapCAS full: raise HullParams::table_factor");
+    }
+  }
+
+  // Value stored for key by the other facet (never `self`). Only valid
+  // after this thread's insert_and_set(key, self) returned false.
+  FacetId get_value(const Key& key, FacetId self) const {
+    std::size_t i = key.hash() & mask_;
+    std::size_t probes = 0;
+    while (true) {
+      Entry* cur = slots_[i].load(std::memory_order_acquire);
+      PARHULL_CHECK_MSG(cur != nullptr, "RidgeMapCAS::get_value: key absent");
+      if (cur->key == key) {
+        PARHULL_DCHECK(cur->value != self);
+        (void)self;
+        return cur->value;
+      }
+      i = (i + 1) & mask_;
+      PARHULL_CHECK_MSG(++probes <= capacity_, "RidgeMapCAS: probe overflow");
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_probes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr const char* name() { return "cas"; }
+
+ private:
+  struct Entry {
+    Key key;
+    FacetId value = kInvalidFacet;
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<std::atomic<Entry*>[]> slots_;
+  ConcurrentPool<Entry> pool_;
+  std::atomic<std::uint64_t> probes_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Algorithm 5 (Appendix A): TestAndSet-only linear probing.
+// ---------------------------------------------------------------------------
+//
+// First pass reserves a slot with TAS(taken) and publishes (key, value);
+// second pass re-scans from the hash index and TASes the `check` flag of
+// every slot holding this key — the first insert_and_set to lose such a TAS
+// returns false. Publication uses seq_cst so the paper's sequential-
+// consistency argument (Theorem A.1, case 2) carries over: if one inserter
+// misses the other's unpublished slot, the other is guaranteed to see the
+// first's published slot.
+template <int D>
+class RidgeMapTAS {
+ public:
+  using Key = RidgeKey<D>;
+
+  explicit RidgeMapTAS(std::size_t expected_keys) {
+    // Both facets of a ridge store an entry, hence 2 entries per key.
+    capacity_ = detail::next_pow2(expected_keys * 8 + 64);
+    mask_ = capacity_ - 1;
+    slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+
+  bool insert_and_set(const Key& key, FacetId value) {
+    const std::size_t start = key.hash() & mask_;
+    // Pass 1: reserve a slot.
+    std::size_t i = start;
+    std::size_t probes = 0;
+    while (slots_[i].taken.exchange(true, std::memory_order_acq_rel)) {
+      i = (i + 1) & mask_;
+      PARHULL_CHECK_MSG(++probes <= capacity_,
+                        "RidgeMapTAS full: raise HullParams::table_factor");
+    }
+    Slot& mine = slots_[i];
+    for (int k = 0; k < D - 1; ++k) {
+      mine.key[static_cast<std::size_t>(k)].store(
+          key.v[static_cast<std::size_t>(k)], std::memory_order_relaxed);
+    }
+    mine.value.store(value, std::memory_order_relaxed);
+    mine.ready.store(true, std::memory_order_seq_cst);
+
+    // Pass 2: TAS the check flag of every published slot with this key.
+    i = start;
+    probes = 0;
+    while (slots_[i].taken.load(std::memory_order_seq_cst)) {
+      Slot& s = slots_[i];
+      if (s.ready.load(std::memory_order_seq_cst) && key_equals(s, key)) {
+        if (s.check.exchange(true, std::memory_order_seq_cst)) {
+          probes_.fetch_add(probes + 1, std::memory_order_relaxed);
+          return false;  // lost the TAS: we are the ridge's second facet
+        }
+      }
+      i = (i + 1) & mask_;
+      PARHULL_CHECK_MSG(++probes <= capacity_, "RidgeMapTAS: probe overflow");
+    }
+    probes_.fetch_add(probes + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  FacetId get_value(const Key& key, FacetId self) const {
+    std::size_t i = key.hash() & mask_;
+    std::size_t probes = 0;
+    while (slots_[i].taken.load(std::memory_order_seq_cst)) {
+      const Slot& s = slots_[i];
+      if (s.ready.load(std::memory_order_seq_cst) && key_equals(s, key)) {
+        FacetId v = s.value.load(std::memory_order_relaxed);
+        if (v != self) return v;
+      }
+      i = (i + 1) & mask_;
+      PARHULL_CHECK_MSG(++probes <= capacity_, "RidgeMapTAS: probe overflow");
+    }
+    PARHULL_CHECK_MSG(false, "RidgeMapTAS::get_value: other facet absent");
+    return kInvalidFacet;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_probes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr const char* name() { return "tas"; }
+
+ private:
+  struct Slot {
+    std::atomic<bool> taken{false};
+    std::atomic<bool> check{false};
+    std::atomic<bool> ready{false};
+    std::array<std::atomic<PointId>, static_cast<std::size_t>(D - 1)> key{};
+    std::atomic<FacetId> value{kInvalidFacet};
+  };
+
+  static bool key_equals(const Slot& s, const Key& key) {
+    for (int k = 0; k < D - 1; ++k) {
+      if (s.key[static_cast<std::size_t>(k)].load(std::memory_order_relaxed) !=
+          key.v[static_cast<std::size_t>(k)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> probes_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Chained backend: unbounded capacity.
+// ---------------------------------------------------------------------------
+template <int D>
+class RidgeMapChained {
+ public:
+  using Key = RidgeKey<D>;
+
+  explicit RidgeMapChained(std::size_t expected_keys) {
+    buckets_count_ = detail::next_pow2(expected_keys * 2 + 64);
+    mask_ = buckets_count_ - 1;
+    buckets_ = std::make_unique<std::atomic<Node*>[]>(buckets_count_);
+    for (std::size_t i = 0; i < buckets_count_; ++i) {
+      buckets_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  bool insert_and_set(const Key& key, FacetId value) {
+    std::atomic<Node*>& bucket = buckets_[key.hash() & mask_];
+    // Fast path: key already present.
+    for (Node* n = bucket.load(std::memory_order_acquire); n != nullptr;
+         n = n->next) {
+      if (n->key == key) return false;
+    }
+    // Insert; publication order along the chain decides races.
+    std::uint32_t id = pool_.allocate();
+    Node* mine = &pool_[id];
+    mine->key = key;
+    mine->value = value;
+    Node* head = bucket.load(std::memory_order_acquire);
+    do {
+      mine->next = head;
+    } while (!bucket.compare_exchange_weak(head, mine,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_acquire));
+    // Post-check: if a same-key node exists deeper in the chain than ours,
+    // it was pushed earlier, so we are the second inserter.
+    for (Node* n = mine->next; n != nullptr; n = n->next) {
+      if (n->key == key) return false;
+    }
+    return true;
+  }
+
+  FacetId get_value(const Key& key, FacetId self) const {
+    const std::atomic<Node*>& bucket = buckets_[key.hash() & mask_];
+    for (Node* n = bucket.load(std::memory_order_acquire); n != nullptr;
+         n = n->next) {
+      if (n->key == key && n->value != self) return n->value;
+    }
+    PARHULL_CHECK_MSG(false, "RidgeMapChained::get_value: other facet absent");
+    return kInvalidFacet;
+  }
+
+  std::size_t capacity() const { return buckets_count_; }
+  std::uint64_t total_probes() const { return 0; }
+
+  static constexpr const char* name() { return "chained"; }
+
+ private:
+  struct Node {
+    Key key;
+    FacetId value = kInvalidFacet;
+    Node* next = nullptr;
+  };
+
+  std::size_t buckets_count_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<std::atomic<Node*>[]> buckets_;
+  ConcurrentPool<Node> pool_;
+};
+
+}  // namespace parhull

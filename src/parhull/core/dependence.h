@@ -1,0 +1,84 @@
+// Analysis utilities over the configuration dependence graph (Section 4)
+// recorded by a hull run: level structure, critical-path extraction, and a
+// Graphviz export for inspecting small instances.
+//
+// The paper contrasts this graph with history/influence graphs: paths here
+// are arbitrary support chains, not point-location search paths, and
+// Theorem 4.2 bounds ALL of them. critical_path() materializes one longest
+// chain so its facets can be examined.
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/hull/hull_common.h"
+
+namespace parhull {
+
+struct DependenceStats {
+  std::uint32_t depth = 0;                  // D(G): max facet depth
+  std::vector<std::uint64_t> level_sizes;   // facets per depth level
+  double mean_depth = 0;
+  std::uint64_t facets = 0;
+};
+
+// HullT must expose facet(FacetId) and facet_count() (ParallelHull or
+// SequentialHull).
+template <typename HullT>
+DependenceStats dependence_stats(const HullT& hull) {
+  DependenceStats s;
+  s.facets = hull.facet_count();
+  double sum = 0;
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    std::uint32_t d = hull.facet(id).depth;
+    if (d >= s.level_sizes.size()) s.level_sizes.resize(d + 1, 0);
+    ++s.level_sizes[d];
+    sum += d;
+    s.depth = std::max(s.depth, d);
+  }
+  s.mean_depth = s.facets ? sum / static_cast<double>(s.facets) : 0;
+  return s;
+}
+
+// One longest support chain, deepest facet first, ending at a base facet.
+template <typename HullT>
+std::vector<FacetId> critical_path(const HullT& hull) {
+  std::vector<FacetId> path;
+  if (hull.facet_count() == 0) return path;
+  FacetId deepest = 0;
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    if (hull.facet(id).depth > hull.facet(deepest).depth) deepest = id;
+  }
+  FacetId cur = deepest;
+  while (true) {
+    path.push_back(cur);
+    const auto& f = hull.facet(cur);
+    if (f.apex == kInvalidPoint) break;  // initial facet
+    const auto& s0 = hull.facet(f.support0);
+    const auto& s1 = hull.facet(f.support1);
+    // Follow the deeper support; its depth is f.depth - 1 by construction.
+    cur = s0.depth >= s1.depth ? f.support0 : f.support1;
+  }
+  return path;
+}
+
+// Graphviz DOT of the support DAG (every facet, edges to its supports).
+// Intended for small runs (hundreds of facets).
+template <typename HullT>
+void write_dependence_dot(std::ostream& os, const HullT& hull) {
+  os << "digraph dependence {\n  rankdir=BT;\n";
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    const auto& f = hull.facet(id);
+    os << "  f" << id << " [label=\"" << id << " d" << f.depth
+       << (f.alive() ? "" : " x") << "\"];\n";
+    if (f.apex != kInvalidPoint) {
+      os << "  f" << id << " -> f" << f.support0 << ";\n";
+      os << "  f" << id << " -> f" << f.support1 << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace parhull

@@ -1,0 +1,82 @@
+// Output adapters: turn a hull run's facet set into the shapes downstream
+// code wants — an ordered 2D polygon, a 3D triangle mesh, or the set of
+// hull vertices — in any dimension.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/types.h"
+#include "parhull/hull/hull_common.h"
+
+namespace parhull {
+
+// Vertex ids appearing on any of the given facets, ascending.
+template <int D, typename HullT>
+std::vector<PointId> hull_vertex_ids(const HullT& hull,
+                                     const std::vector<FacetId>& facets) {
+  std::vector<PointId> out;
+  for (FacetId id : facets) {
+    const auto& f = hull.facet(id);
+    out.insert(out.end(), f.vertices.begin(), f.vertices.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// CCW polygon of a 2D hull: walk the edge cycle. Edges are outward
+// oriented, so each edge's vertex order already runs CCW around the hull;
+// chain them by endpoint.
+template <typename HullT>
+std::vector<PointId> hull_polygon(const HullT& hull,
+                                  const std::vector<FacetId>& edges,
+                                  const PointSet<2>& pts) {
+  std::vector<PointId> cycle;
+  if (edges.empty()) return cycle;
+  // Outward orientation in 2D: visible(p) = left of (v0 -> v1)? Our
+  // convention makes the interior invisible, i.e. the interior is right of
+  // v0->v1... determine the traversal direction once, then chain.
+  std::map<PointId, PointId> next;
+  for (FacetId id : edges) {
+    const auto& f = hull.facet(id);
+    next[f.vertices[0]] = f.vertices[1];
+  }
+  PARHULL_CHECK_MSG(next.size() == edges.size(),
+                    "2D hull edge chain is not a simple cycle");
+  PointId start = next.begin()->first;
+  PointId cur = start;
+  do {
+    cycle.push_back(cur);
+    auto it = next.find(cur);
+    PARHULL_CHECK_MSG(it != next.end(), "broken 2D hull cycle");
+    cur = it->second;
+  } while (cur != start && cycle.size() <= next.size());
+  PARHULL_CHECK_MSG(cycle.size() == next.size(), "2D hull cycle length");
+  // Ensure CCW (positive signed area).
+  double area2 = 0;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const Point2& a = pts[cycle[i]];
+    const Point2& b = pts[cycle[(i + 1) % cycle.size()]];
+    area2 += a[0] * b[1] - b[0] * a[1];
+  }
+  if (area2 < 0) std::reverse(cycle.begin(), cycle.end());
+  // Canonical start: smallest id.
+  auto smallest = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), smallest, cycle.end());
+  return cycle;
+}
+
+// Outward-oriented triangle mesh of a 3D hull.
+template <typename HullT>
+std::vector<std::array<PointId, 3>> hull_mesh(
+    const HullT& hull, const std::vector<FacetId>& facets) {
+  std::vector<std::array<PointId, 3>> out;
+  out.reserve(facets.size());
+  for (FacetId id : facets) out.push_back(hull.facet(id).vertices);
+  return out;
+}
+
+}  // namespace parhull

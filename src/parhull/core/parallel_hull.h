@@ -1,0 +1,274 @@
+// Algorithm 3: the parallel randomized incremental convex hull.
+//
+// The algorithm creates the exact same facets and performs the exact same
+// visibility tests as the sequential Algorithm 2, in a relaxed order driven
+// by the configuration dependence graph (Section 4): a facet t = r ∪ {p}
+// becomes creatable as soon as its support set — the two facets t1, t2
+// sharing ridge r (Fact 5.2) — exists, regardless of what else has been
+// added. ProcessRidge(t1, r, t2) implements the four cases of Section 5.2:
+//
+//   1. both conflict sets empty            -> ridge is finalized;
+//   2. equal conflict pivots               -> p' buries the ridge, both
+//                                             facets are deleted;
+//   3. pivot(t2) < pivot(t1)               -> flip and retry;
+//   4. p = pivot(t1) < pivot(t2)           -> create t = r ∪ {p}, replacing
+//                                             t1; recurse on t's ridges.
+//
+// Ridges pair their two facets through an InsertAndSet/GetValue multimap
+// (Algorithms 4/5): the second facet to arrive at a ridge owns processing
+// it, so ProcessRidge is called exactly once per ridge and never blocks.
+//
+// Instrumentation records, per created facet, the support set, the
+// dependence depth (1 + max over supports; Theorem 1.1 predicts max depth
+// O(log n) whp) and the ProcessRidge recursion round (Theorem 5.3).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/counters.h"
+#include "parhull/common/types.h"
+#include "parhull/containers/concurrent_pool.h"
+#include "parhull/containers/ridge_map.h"
+#include "parhull/hull/hull_common.h"
+#include "parhull/parallel/parallel_for.h"
+#include "parhull/parallel/primitives.h"
+
+namespace parhull {
+
+namespace detail {
+// Relaxed fetch-max.
+inline void atomic_max(std::atomic<std::uint32_t>& a, std::uint32_t v) {
+  std::uint32_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+template <int D, template <int> class MapT = RidgeMapCAS>
+class ParallelHull {
+ public:
+  struct Params {
+    // Expected distinct ridge keys; 0 = auto (4·D·n). The CAS/TAS maps are
+    // fixed-capacity (they abort with a clear message when exceeded — raise
+    // this); the chained map treats it as a bucket-count hint only.
+    std::size_t expected_keys = 0;
+    bool parallel_filter = true;  // parallel conflict filtering for big lists
+  };
+
+  struct Result {
+    bool ok = false;
+    std::vector<FacetId> hull;
+    std::uint64_t facets_created = 0;
+    std::uint64_t visibility_tests = 0;
+    std::uint64_t total_conflicts = 0;
+    std::uint64_t buried_pairs = 0;      // case-2 executions
+    std::uint64_t finalized_ridges = 0;  // case-1 executions
+    std::uint32_t dependence_depth = 0;  // max facet depth (Theorem 1.1)
+    std::uint32_t max_round = 0;         // ProcessRidge recursion depth
+  };
+
+  explicit ParallelHull(Params params = {}) : params_(params) {}
+
+  // pts must be prepared (prepare_input<D>): first D+1 points affinely
+  // independent. Insertion priority = index.
+  Result run(const PointSet<D>& pts) {
+    const std::size_t n = pts.size();
+    PARHULL_CHECK(n >= static_cast<std::size_t>(D) + 1);
+    PARHULL_CHECK_MSG(pts_ == nullptr, "ParallelHull::run is single-shot");
+    pts_ = &pts;
+    int workers = Scheduler::get().num_workers();
+    tests_.resize(workers);
+    conflicts_sum_.resize(workers);
+    buried_.resize(workers);
+    finalized_.resize(workers);
+    std::size_t expected = params_.expected_keys != 0
+                               ? params_.expected_keys
+                               : 4 * static_cast<std::size_t>(D) * n;
+    map_ = std::make_unique<MapT<D>>(expected);
+    interior_ = centroid<D>(pts.data(), D + 1);
+
+    // --- Initial hull on d+1 points (Algorithm 3, lines 2–4).
+    std::array<FacetId, static_cast<std::size_t>(D) + 1> initial{};
+    for (int k = 0; k <= D; ++k) {
+      FacetId id = pool_.allocate();
+      initial[static_cast<std::size_t>(k)] = id;
+      Facet<D>& f = pool_[id];
+      int out = 0;
+      for (int v = 0; v <= D; ++v) {
+        if (v != k) f.vertices[static_cast<std::size_t>(out++)] =
+            static_cast<PointId>(v);
+      }
+      bool ok = orient_outward<D>(pts, f.vertices, interior_);
+      PARHULL_CHECK_MSG(ok, "initial simplex degenerate (prepare_input?)");
+      f.depth = 0;
+      f.round = 0;
+    }
+    // Conflict lists of the initial facets, each via a parallel filter over
+    // all later points.
+    parallel_for(0, static_cast<std::size_t>(D) + 1, [&](std::size_t k) {
+      Facet<D>& f = pool_[initial[k]];
+      f.conflicts = parallel_pack_index<PointId>(
+          n - (static_cast<std::size_t>(D) + 1),
+          [&](std::size_t i) {
+            PointId q = static_cast<PointId>(i + D + 1);
+            return visible<D>(pts, f.vertices, q);
+          },
+          [&](std::size_t i) { return static_cast<PointId>(i + D + 1); });
+      tests_.add(Scheduler::worker_id(),
+                 n - (static_cast<std::size_t>(D) + 1));
+      conflicts_sum_.add(Scheduler::worker_id(), f.conflicts.size());
+    }, 1);
+
+    // --- Seed ProcessRidge on every ridge of the initial simplex
+    // (lines 5–6): facets F_i and F_j share the ridge omitting {i, j}.
+    std::vector<Call> seeds;
+    for (int i = 0; i <= D; ++i) {
+      for (int j = i + 1; j <= D; ++j) {
+        std::array<PointId, static_cast<std::size_t>(D - 1)> ids{};
+        int out = 0;
+        for (int v = 0; v <= D; ++v) {
+          if (v != i && v != j) ids[static_cast<std::size_t>(out++)] =
+              static_cast<PointId>(v);
+        }
+        seeds.push_back(Call{initial[static_cast<std::size_t>(i)],
+                             RidgeKey<D>::from_unsorted(ids),
+                             initial[static_cast<std::size_t>(j)]});
+      }
+    }
+    parallel_for(0, seeds.size(), [&](std::size_t s) {
+      process_ridge(seeds[s].t1, seeds[s].r, seeds[s].t2, 1);
+    }, 1);
+
+    // --- Collect results.
+    Result res;
+    res.ok = true;
+    res.facets_created = pool_.size();
+    res.visibility_tests = tests_.total();
+    res.total_conflicts = conflicts_sum_.total();
+    res.buried_pairs = buried_.total();
+    res.finalized_ridges = finalized_.total();
+    res.dependence_depth = max_depth_.load(std::memory_order_relaxed);
+    res.max_round = max_round_.load(std::memory_order_relaxed);
+    for (FacetId id = 0; id < pool_.size(); ++id) {
+      if (pool_[id].alive()) res.hull.push_back(id);
+    }
+    return res;
+  }
+
+  const Facet<D>& facet(FacetId id) const { return pool_[id]; }
+  std::uint32_t facet_count() const { return pool_.size(); }
+  const MapT<D>& ridge_map() const { return *map_; }
+  const Point<D>& interior() const { return interior_; }
+
+ private:
+  struct Call {
+    FacetId t1;
+    RidgeKey<D> r;
+    FacetId t2;
+  };
+
+  void process_ridge(FacetId t1, RidgeKey<D> r, FacetId t2,
+                     std::uint32_t round) {
+    const PointSet<D>& pts = *pts_;
+    // Cases 1–3 (lines 9–12). kInvalidPoint is the +inf sentinel for an
+    // empty conflict set, so the pivot comparisons below implement the
+    // paper's conditions directly.
+    PointId p1, p2;
+    while (true) {
+      p1 = pool_[t1].pivot();
+      p2 = pool_[t2].pivot();
+      if (p1 == kInvalidPoint && p2 == kInvalidPoint) {
+        finalized_.add(Scheduler::worker_id());
+        return;  // case 1: ridge is on the final hull
+      }
+      if (p1 == p2) {
+        // Case 2: the pivot buries ridge r; both facets leave the hull.
+        pool_[t1].kill();
+        pool_[t2].kill();
+        buried_.add(Scheduler::worker_id());
+        return;
+      }
+      if (p2 < p1) {
+        std::swap(t1, t2);  // case 3: flip roles (tail call in the paper)
+        continue;
+      }
+      break;  // case 4
+    }
+
+    // Case 4 (lines 14–22): p = pivot(t1) is visible from t1 and not from
+    // t2, so {t1, t2} supports t = r ∪ {p} (Fact 5.2). Create t, replacing
+    // t1 in the hull.
+    const PointId p = p1;
+    Facet<D>& f1 = pool_[t1];
+    Facet<D>& f2 = pool_[t2];
+    FacetId tid = pool_.allocate();
+    Facet<D>& t = pool_[tid];
+    for (int v = 0; v < D - 1; ++v) {
+      t.vertices[static_cast<std::size_t>(v)] = r.v[static_cast<std::size_t>(v)];
+    }
+    t.vertices[static_cast<std::size_t>(D - 1)] = p;
+    bool ok = orient_outward<D>(pts, t.vertices, interior_);
+    PARHULL_CHECK_MSG(ok, "degenerate facet: input not in general position");
+    t.apex = p;
+    t.support0 = t1;
+    t.support1 = t2;
+    t.depth = 1 + std::max(f1.depth, f2.depth);
+    t.round = round;
+    detail::atomic_max(max_depth_, t.depth);
+    detail::atomic_max(max_round_, round);
+
+    auto mf = merge_filter_conflicts<D>(f1.conflicts, f2.conflicts, pts,
+                                        t.vertices, p, params_.parallel_filter);
+    t.conflicts = std::move(mf.conflicts);
+    tests_.add(Scheduler::worker_id(), mf.tests);
+    conflicts_sum_.add(Scheduler::worker_id(), t.conflicts.size());
+    f1.kill();  // line 17: H <- (H \ {t1}) ∪ {t}
+
+    // Lines 18–22: recurse on the ridges of t that are ready. The ridge r
+    // itself now separates t and t2 and is always ready; each other ridge
+    // r' is ready iff we are the second facet to announce it.
+    Call calls[D];
+    int pending = 0;
+    for (int v = 0; v < D; ++v) {
+      if (t.vertices[static_cast<std::size_t>(v)] == p) {
+        calls[pending++] = Call{tid, r, t2};
+      } else {
+        RidgeKey<D> side = t.ridge_omitting(v);
+        if (!map_->insert_and_set(side, tid)) {
+          FacetId other = map_->get_value(side, tid);
+          calls[pending++] = Call{tid, side, other};
+        }
+      }
+    }
+    spawn(calls, pending, round + 1);
+  }
+
+  void spawn(Call* calls, int count, std::uint32_t round) {
+    if (count == 0) return;
+    if (count == 1) {
+      process_ridge(calls[0].t1, calls[0].r, calls[0].t2, round);
+      return;
+    }
+    int half = count / 2;
+    par_do([&] { spawn(calls, half, round); },
+           [&] { spawn(calls + half, count - half, round); });
+  }
+
+  Params params_;
+  const PointSet<D>* pts_ = nullptr;
+  ConcurrentPool<Facet<D>> pool_;
+  std::unique_ptr<MapT<D>> map_;
+  Point<D> interior_{};
+
+  WorkerCounter tests_;
+  WorkerCounter conflicts_sum_;
+  WorkerCounter buried_;
+  WorkerCounter finalized_;
+  std::atomic<std::uint32_t> max_depth_{0};
+  std::atomic<std::uint32_t> max_round_{0};
+};
+
+}  // namespace parhull

@@ -1,0 +1,113 @@
+#include "parhull/degenerate/corner_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "parhull/common/assert.h"
+#include "parhull/degenerate/degenerate_hull3d.h"
+
+namespace parhull {
+
+namespace {
+
+// Canonical corner identity: (corner point, unordered wing pair).
+using CornerKey = std::tuple<PointId, PointId, PointId>;
+
+CornerKey key_of(const Corner& c) {
+  PointId lo = std::min(c.left, c.right);
+  PointId hi = std::max(c.left, c.right);
+  return {c.mid, lo, hi};
+}
+
+}  // namespace
+
+CornerDepthResult corner_dependence_depth(const PointSet<3>& pts) {
+  CornerDepthResult res;
+  const std::size_t n = pts.size();
+  if (n < 4) return res;
+
+  std::map<CornerKey, std::uint32_t> depth;  // active corners
+  bool started = false;
+
+  for (std::size_t i = 3; i < n; ++i) {
+    PointSet<3> prefix(pts.begin(), pts.begin() + static_cast<long>(i) + 1);
+    auto hull = degenerate_hull3d(prefix);
+    if (!hull.ok) continue;  // prefix still degenerate (affine dim < 3)
+    auto corners = hull_corners(hull);
+
+    std::map<CornerKey, std::uint32_t> next;
+    if (!started) {
+      // First full-dimensional prefix: all corners are base configurations.
+      for (const auto& c : corners) next[key_of(c)] = 0;
+      depth = std::move(next);
+      res.corners_created += depth.size();
+      started = true;
+      continue;
+    }
+
+    const PointId x = static_cast<PointId>(i);
+    // Partition: survivors, killed, created.
+    std::vector<std::pair<CornerKey, std::uint32_t>> killed;
+    for (const auto& [k, d] : depth) killed.emplace_back(k, d);
+    // Start from old set; remove entries still present.
+    std::vector<Corner> created;
+    for (const auto& c : corners) {
+      auto it = depth.find(key_of(c));
+      if (it != depth.end()) {
+        next[key_of(c)] = it->second;  // survivor keeps its depth
+      } else {
+        created.push_back(c);
+      }
+    }
+    killed.erase(std::remove_if(killed.begin(), killed.end(),
+                                [&](const auto& kv) {
+                                  return next.count(kv.first) != 0;
+                                }),
+                 killed.end());
+
+    // Depth of each created corner: 1 + max over support candidates —
+    // killed corners whose corner point is a defining point of the new
+    // corner (Lemma 6.2's supports are of this form).
+    std::uint32_t max_killed_any = 0;
+    std::map<PointId, std::uint32_t> killed_by_mid;
+    for (const auto& [k, d] : killed) {
+      max_killed_any = std::max(max_killed_any, d);
+      PointId mid = std::get<0>(k);
+      auto it = killed_by_mid.find(mid);
+      if (it == killed_by_mid.end() || it->second < d) killed_by_mid[mid] = d;
+    }
+    for (const auto& c : created) {
+      std::uint32_t support = 0;
+      bool found = false;
+      for (PointId p : {c.left, c.mid, c.right}) {
+        if (p == x) continue;
+        auto it = killed_by_mid.find(p);
+        if (it != killed_by_mid.end()) {
+          support = std::max(support, it->second);
+          found = true;
+        }
+      }
+      if (!found) support = max_killed_any;  // conservative fallback
+      std::uint32_t d = support + 1;
+      next[key_of(c)] = d;
+      res.max_depth = std::max(res.max_depth, d);
+      ++res.corners_created;
+    }
+    depth = std::move(next);
+  }
+
+  auto final_hull = degenerate_hull3d(pts);
+  if (final_hull.ok) {
+    res.final_corners = final_hull.corner_count();
+    res.final_faces = final_hull.faces.size();
+    res.final_vertices = final_hull.vertices.size();
+    res.hull_triangles_bound =
+        final_hull.vertices.size() >= 2 ? 2 * final_hull.vertices.size() - 4
+                                        : 0;
+  }
+  res.ok = started;
+  return res;
+}
+
+}  // namespace parhull

@@ -1,0 +1,35 @@
+// Section 6 measurement: dependence depth of the corner configuration
+// space on (possibly degenerate) 3D inputs.
+//
+// Lemma 6.2 proves corners have 4-support, so Theorem 4.2 predicts
+// O(log n) depth whp. This simulator inserts points in the given order,
+// recomputing the degenerate hull per prefix; a corner created at step i is
+// assigned depth 1 + max over its support candidates — the corners REMOVED
+// at step i whose corner point is one of the new corner's defining points
+// (the corners Lemma 6.2's proof names are among these, so the measured
+// depth is a conservative upper bound on the true dependence depth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+struct CornerDepthResult {
+  bool ok = false;
+  std::uint32_t max_depth = 0;        // upper bound on dependence depth
+  std::uint64_t corners_created = 0;  // total over all steps
+  std::size_t final_corners = 0;
+  std::size_t final_faces = 0;
+  std::size_t final_vertices = 0;
+  std::size_t hull_triangles_bound = 0;  // 2V-4: Lemma 6.1's comparison base
+};
+
+// Insert pts in index order (shuffle beforehand for the whp guarantee).
+// O(n^2 log n): recomputes the hull per prefix; intended for n up to a few
+// thousand (the benchmark regime).
+CornerDepthResult corner_dependence_depth(const PointSet<3>& pts);
+
+}  // namespace parhull

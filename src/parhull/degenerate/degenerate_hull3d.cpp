@@ -1,0 +1,275 @@
+#include "parhull/degenerate/degenerate_hull3d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/random.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/baselines.h"
+
+namespace parhull {
+
+namespace {
+
+// Union-find over facet indices.
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+  std::vector<std::size_t> parent;
+};
+
+}  // namespace
+
+DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
+                                   std::uint64_t jiggle_seed) {
+  DegenerateHull3D out;
+  const std::size_t n = pts.size();
+  if (n < 4) return out;
+
+  // Exact full-dimensionality check: the jiggled copy is always full
+  // dimensional, so this must be decided on the original coordinates.
+  {
+    std::vector<const Point3*> probe;
+    std::vector<std::size_t> chosen;
+    for (std::size_t i = 0; i < n && chosen.size() < 4; ++i) {
+      probe.clear();
+      for (std::size_t c : chosen) probe.push_back(&pts[c]);
+      probe.push_back(&pts[i]);
+      if (affinely_independent<3>(probe)) chosen.push_back(i);
+    }
+    if (chosen.size() < 4) return out;  // affine dimension < 3
+  }
+
+  // Bounding-box scale for the perturbation.
+  double lo[3], hi[3];
+  for (int c = 0; c < 3; ++c) lo[c] = hi[c] = pts[0][c];
+  for (const auto& p : pts) {
+    for (int c = 0; c < 3; ++c) {
+      lo[c] = std::min(lo[c], p[c]);
+      hi[c] = std::max(hi[c], p[c]);
+    }
+  }
+  double diag = 0;
+  for (int c = 0; c < 3; ++c) diag += (hi[c] - lo[c]) * (hi[c] - lo[c]);
+  diag = std::sqrt(diag);
+  if (diag == 0) return out;  // all points identical
+  const double scale = diag * 1e-9;
+
+  PointSet<3> jiggled(n);
+  Rng base(jiggle_seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = base.fork(i);
+    for (int c = 0; c < 3; ++c) {
+      jiggled[i][c] = pts[i][c] + scale * (rng.next_double() - 0.5);
+    }
+  }
+
+  auto qh = quickhull3d(jiggled);
+  if (!qh.ok) return out;
+
+  // Group simplicial facets by exact coplanarity in ORIGINAL coordinates.
+  // Triangles whose original points are collinear ("slivers") have no plane
+  // of their own; they sit on hull edges and must not bridge the grouping,
+  // so phase 1 merges only non-degenerate coplanar neighbors and phase 2
+  // reconnects real groups separated by sliver chains when (and only when)
+  // the groups themselves are exactly coplanar.
+  const auto& tris = qh.facets;
+  UnionFind groups(tris.size());
+  std::vector<char> is_sliver(tris.size(), 0);
+  for (std::size_t t = 0; t < tris.size(); ++t) {
+    std::vector<const Point3*> probe{&pts[tris[t][0]], &pts[tris[t][1]],
+                                     &pts[tris[t][2]]};
+    is_sliver[t] = affinely_independent<3>(probe) ? 0 : 1;
+  }
+  auto tri_plane_side = [&](std::size_t t, PointId q) {
+    return orient3d(pts[tris[t][0]], pts[tris[t][1]], pts[tris[t][2]],
+                    pts[q]);
+  };
+  // Triangles t1, t2 (both non-degenerate) are coplanar iff every vertex of
+  // t2 lies on t1's plane.
+  auto coplanar_tris = [&](std::size_t t1, std::size_t t2) {
+    for (PointId q : tris[t2]) {
+      if (tri_plane_side(t1, q) != 0) return false;
+    }
+    return true;
+  };
+  std::map<std::pair<PointId, PointId>, std::size_t> edge_map;
+  std::vector<std::pair<std::size_t, std::size_t>> sliver_adjacent;
+  for (std::size_t t = 0; t < tris.size(); ++t) {
+    for (int k = 0; k < 3; ++k) {
+      PointId a = tris[t][static_cast<std::size_t>(k)];
+      PointId b = tris[t][(static_cast<std::size_t>(k) + 1) % 3];
+      std::pair<PointId, PointId> key = std::minmax(a, b);
+      auto it = edge_map.find(key);
+      if (it == edge_map.end()) {
+        edge_map.emplace(key, t);
+        continue;
+      }
+      std::size_t other = it->second;
+      edge_map.erase(it);
+      if (!is_sliver[t] && !is_sliver[other]) {
+        if (coplanar_tris(t, other)) groups.unite(t, other);
+      } else if (is_sliver[t] && is_sliver[other]) {
+        groups.unite(t, other);  // sliver chains merge among themselves
+      } else {
+        sliver_adjacent.emplace_back(t, other);
+      }
+    }
+  }
+  // Phase 2: for each sliver component, collect the bordering real groups
+  // and merge the ones that are mutually coplanar.
+  {
+    std::map<std::size_t, std::vector<std::size_t>> borders;  // sliver root -> tris
+    for (auto [t, other] : sliver_adjacent) {
+      std::size_t sliver = is_sliver[t] ? t : other;
+      std::size_t real = is_sliver[t] ? other : t;
+      borders[groups.find(sliver)].push_back(real);
+    }
+    for (auto& [root, reals] : borders) {
+      for (std::size_t i = 0; i + 1 < reals.size(); ++i) {
+        for (std::size_t j = i + 1; j < reals.size(); ++j) {
+          if (coplanar_tris(reals[i], reals[j])) {
+            groups.unite(reals[i], reals[j]);
+          }
+        }
+      }
+    }
+  }
+
+  // Collect each group's vertex set.
+  std::map<std::size_t, std::vector<std::size_t>> members;
+  for (std::size_t t = 0; t < tris.size(); ++t) {
+    members[groups.find(t)].push_back(t);
+  }
+
+  for (auto& [root, list] : members) {
+    // Representative non-collinear triple (in original coordinates).
+    std::array<PointId, 3> rep{};
+    bool have_rep = false;
+    for (std::size_t t : list) {
+      std::vector<const Point3*> probe{&pts[tris[t][0]], &pts[tris[t][1]],
+                                       &pts[tris[t][2]]};
+      if (affinely_independent<3>(probe)) {
+        rep = tris[t];
+        have_rep = true;
+        break;
+      }
+    }
+    if (!have_rep) continue;  // a fully collinear sliver absorbed elsewhere
+
+    // Gather distinct vertex ids of the group.
+    std::vector<PointId> ids;
+    for (std::size_t t : list) {
+      for (PointId v : tris[t]) ids.push_back(v);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+    // Project along the dominant axis of the (approximate) face normal and
+    // take the exact 2D hull; exact orient2d on the projection equals the
+    // in-plane orientation for exactly coplanar points.
+    const Point3 &pa = pts[rep[0]], &pb = pts[rep[1]], &pc = pts[rep[2]];
+    Point3 u = pb - pa, v = pc - pa;
+    double nx = u[1] * v[2] - u[2] * v[1];
+    double ny = u[2] * v[0] - u[0] * v[2];
+    double nz = u[0] * v[1] - u[1] * v[0];
+    int axis = 0;
+    double best = std::fabs(nx);
+    if (std::fabs(ny) > best) {
+      axis = 1;
+      best = std::fabs(ny);
+    }
+    if (std::fabs(nz) > best) axis = 2;
+    int c0 = (axis + 1) % 3, c1 = (axis + 2) % 3;
+
+    std::vector<Point2> proj(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      proj[i] = {{pts[ids[i]][c0], pts[ids[i]][c1]}};
+    }
+    auto hull2d = monotone_chain(proj);
+    // Map projected hull points back to ids (projection is injective on a
+    // non-vertical-to-axis plane).
+    std::map<std::pair<double, double>, PointId> back;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      back[{proj[i][0], proj[i][1]}] = ids[i];
+    }
+    PolyFace face;
+    face.rep = rep;
+    for (const auto& p : hull2d) {
+      auto it = back.find({p[0], p[1]});
+      PARHULL_CHECK(it != back.end());
+      face.cycle.push_back(it->second);
+    }
+    // Orient the cycle CCW as seen from OUTSIDE the hull: the outward side
+    // is where rep (already outward-oriented by quickhull on the jiggled
+    // copy... but rep orientation came from jiggled interior) — re-derive
+    // exactly: the cycle as computed is CCW in (c0,c1) projection; viewed
+    // from +axis. It is CCW from outside iff the outward normal has a
+    // positive `axis` component. Use the rep triple's exact side against
+    // any interior point — the centroid of the first four extreme-ish
+    // points is fragile; instead use the jiggled-hull orientation of the
+    // first member triangle, which quickhull guaranteed outward.
+    {
+      const auto& t0 = tris[list.front()];
+      // Outward normal (jiggled, but orientation is combinatorial).
+      const Point3 &a = jiggled[t0[0]], &b = jiggled[t0[1]], &c = jiggled[t0[2]];
+      Point3 uu = b - a, vv = c - a;
+      double naxis = 0;
+      switch (axis) {
+        case 0: naxis = uu[1] * vv[2] - uu[2] * vv[1]; break;
+        case 1: naxis = uu[2] * vv[0] - uu[0] * vv[2]; break;
+        default: naxis = uu[0] * vv[1] - uu[1] * vv[0]; break;
+      }
+      if (naxis < 0) std::reverse(face.cycle.begin(), face.cycle.end());
+      // Make rep outward-oriented in original coordinates: no input point
+      // may be strictly above it. Flip if the jiggled orientation disagrees
+      // with the original-coordinate side of some off-plane hull point.
+      for (const auto& q : pts) {
+        int s = orient3d(pts[face.rep[0]], pts[face.rep[1]], pts[face.rep[2]],
+                         q);
+        if (s > 0) {
+          std::swap(face.rep[0], face.rep[1]);
+          break;
+        }
+        if (s < 0) break;  // already outward
+      }
+    }
+    if (face.cycle.size() >= 3) out.faces.push_back(std::move(face));
+  }
+
+  std::vector<PointId> verts;
+  for (const auto& f : out.faces) {
+    for (PointId v : f.cycle) verts.push_back(v);
+  }
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  out.vertices = std::move(verts);
+  out.ok = !out.faces.empty();
+  return out;
+}
+
+std::vector<Corner> hull_corners(const DegenerateHull3D& hull) {
+  std::vector<Corner> corners;
+  for (const auto& f : hull.faces) {
+    std::size_t k = f.cycle.size();
+    for (std::size_t i = 0; i < k; ++i) {
+      corners.push_back(Corner{f.cycle[(i + k - 1) % k], f.cycle[i],
+                               f.cycle[(i + 1) % k]});
+    }
+  }
+  return corners;
+}
+
+}  // namespace parhull

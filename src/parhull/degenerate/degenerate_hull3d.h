@@ -1,0 +1,60 @@
+// Section 6 substrate: degeneracy-tolerant 3D convex hull with polygonal
+// faces, and the corner configurations defined by the paper's corner
+// configuration space (Figure 3, Lemma 6.1).
+//
+// Inputs may contain masses of exactly coplanar / collinear / duplicate
+// points. The construction is two-phase:
+//   1. a deterministic micro-perturbation (seeded, ~1e-9 of the bounding
+//      box) puts the points in general position, and the exact simplicial
+//      quickhull runs on the perturbed copy;
+//   2. the simplicial facets are grouped by EXACT coplanarity in the
+//      ORIGINAL coordinates (orient3d == 0), each group's vertex set is
+//      reduced to its in-plane 2D hull (exact orient2d on the dominant-axis
+//      projection), dropping face-interior and edge-collinear points.
+// The perturbation can only misclassify a relation whose exact determinant
+// magnitude is below the jiggle scale — impossible for the integer-grid
+// degenerate generators this module is benchmarked with, and negligible
+// for float data away from that scale (documented limitation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+struct PolyFace {
+  // CCW vertex cycle viewed from outside.
+  std::vector<PointId> cycle;
+  // A non-collinear, outward-oriented representative triple on the face
+  // plane (for exact side tests against the face).
+  std::array<PointId, 3> rep{};
+};
+
+struct DegenerateHull3D {
+  bool ok = false;
+  std::vector<PolyFace> faces;
+  std::vector<PointId> vertices;  // extreme points of the input, sorted
+  std::size_t corner_count() const {
+    std::size_t c = 0;
+    for (const auto& f : faces) c += f.cycle.size();
+    return c;
+  }
+};
+
+// Hull of pts; requires affine dimension 3 (returns ok=false otherwise).
+DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
+                                   std::uint64_t jiggle_seed = 0x5eed);
+
+// A corner of the hull: face-cycle triple (prev, corner, next).
+struct Corner {
+  PointId left, mid, right;
+};
+
+// All corners of a hull (one per face-cycle position; Lemma 6.1).
+std::vector<Corner> hull_corners(const DegenerateHull3D& hull);
+
+}  // namespace parhull

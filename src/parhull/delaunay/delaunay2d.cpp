@@ -1,0 +1,211 @@
+#include "parhull/delaunay/delaunay2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "parhull/common/assert.h"
+#include "parhull/geometry/predicates.h"
+
+namespace parhull {
+
+namespace {
+
+// Conflict test: q strictly inside the circumcircle of CCW triangle (a,b,c).
+bool in_circumcircle(const Point2& a, const Point2& b, const Point2& c,
+                     const Point2& q) {
+  return incircle(a, b, c, q) > 0;
+}
+
+// "No neighbor" marker for the three outer edges of the super-triangle.
+// Nothing lies beyond them, so a boundary edge with this neighbor draws its
+// conflicts from the cavity triangle alone (every point is inside the
+// super-triangle, hence on the cavity side of an outer edge).
+constexpr std::uint32_t kNoneTri = 0xffffffffu;
+
+}  // namespace
+
+void Delaunay2D::insert_point(PointId p, Result& res) {
+  // Cavity: alive triangles whose circumcircle contains p.
+  std::vector<std::uint32_t> cavity;
+  for (std::uint32_t t : point_tris_[p]) {
+    if (!tris_[t].dead) cavity.push_back(t);
+  }
+  if (cavity.empty()) {
+    ++res.points_skipped;  // duplicate point (exactly cocircular handled
+    return;                // as outside by the strict test)
+  }
+  std::vector<char> in_cavity_stamp;  // indexed lazily by triangle id
+  in_cavity_stamp.assign(tris_.size(), 0);
+  for (std::uint32_t t : cavity) in_cavity_stamp[t] = 1;
+
+  struct Pending {
+    std::uint32_t tri;
+    int slot;
+  };
+  std::map<PointId, Pending> spoke_map;  // cavity-boundary vertex -> new tri
+  std::vector<std::uint32_t> created;
+  static const std::vector<PointId> kEmptyConflicts;
+  for (std::uint32_t tid : cavity) {
+    for (int k = 0; k < 3; ++k) {
+      std::uint32_t nb = tris_[tid].nbr[static_cast<std::size_t>(k)];
+      if (nb != kNoneTri && in_cavity_stamp[nb]) continue;
+      // Boundary edge: (v[k+1], v[k+2]) of tid, shared with surviving nb.
+      PointId a = tris_[tid].v[(static_cast<std::size_t>(k) + 1) % 3];
+      PointId b = tris_[tid].v[(static_cast<std::size_t>(k) + 2) % 3];
+      std::uint32_t new_id = static_cast<std::uint32_t>(tris_.size());
+      tris_.push_back(Triangle{});
+      Triangle& t = tris_.back();
+      // tid was CCW with (a, b) appearing in this rotational position, so
+      // (a, b, p) is CCW as well (p is inside tid's circumcircle side).
+      t.v = {a, b, p};
+      PARHULL_DCHECK(orient2d(coords_[a], coords_[b], coords_[p]) > 0);
+      t.apex = p;
+      t.support0 = tid;
+      t.support1 = nb;
+      t.depth = 1 + std::max(tris_[tid].depth,
+                             nb == kNoneTri ? 0u : tris_[nb].depth);
+      if (t.depth > res.dependence_depth) res.dependence_depth = t.depth;
+      // Conflicts: C(t) ⊆ C(tid) ∪ C(nb) (a point inside the circumcircle
+      // of (a, b, p) is inside tid's or nb's — the standard Delaunay
+      // support argument mirrored from Fact 5.2). Outer edges have no nb
+      // and need C(tid) only.
+      {
+        const auto& ca = tris_[tid].conflicts;
+        const auto& cb =
+            nb == kNoneTri ? kEmptyConflicts : tris_[nb].conflicts;
+        std::size_t i = 0, j = 0;
+        while (i < ca.size() || j < cb.size()) {
+          PointId next;
+          if (j >= cb.size() || (i < ca.size() && ca[i] <= cb[j])) {
+            next = ca[i];
+            if (j < cb.size() && cb[j] == next) ++j;
+            ++i;
+          } else {
+            next = cb[j];
+            ++j;
+          }
+          if (next == p) continue;
+          ++res.incircle_tests;
+          if (in_circumcircle(coords_[t.v[0]], coords_[t.v[1]],
+                              coords_[t.v[2]], coords_[next])) {
+            t.conflicts.push_back(next);
+          }
+        }
+      }
+      res.total_conflicts += t.conflicts.size();
+      for (PointId q : t.conflicts) point_tris_[q].push_back(new_id);
+      ++res.triangles_created;
+      created.push_back(new_id);
+
+      // Neighbor wiring. Across (a, b): the new triangle and nb.
+      tris_[new_id].nbr[2] = nb;  // edge opposite p == (a, b)
+      if (nb != kNoneTri) {
+        Triangle& nbt = tris_[nb];
+        for (int m = 0; m < 3; ++m) {
+          if (nbt.nbr[static_cast<std::size_t>(m)] == tid) {
+            nbt.nbr[static_cast<std::size_t>(m)] = new_id;
+          }
+        }
+      }
+      // Spokes (a, p) and (b, p) pair adjacent new triangles: keyed by the
+      // boundary vertex.
+      for (int m = 0; m < 2; ++m) {
+        PointId key = m == 0 ? a : b;
+        int slot = m == 0 ? 1 : 0;  // edge opposite v[1]=b is (p,a); v[0]=a is (b,p)
+        auto it = spoke_map.find(key);
+        if (it == spoke_map.end()) {
+          spoke_map.emplace(key, Pending{new_id, slot});
+        } else {
+          tris_[new_id].nbr[static_cast<std::size_t>(slot)] = it->second.tri;
+          tris_[it->second.tri].nbr[static_cast<std::size_t>(it->second.slot)] =
+              new_id;
+          spoke_map.erase(it);
+        }
+      }
+    }
+  }
+  PARHULL_CHECK_MSG(spoke_map.empty(), "Delaunay cavity boundary not closed");
+  for (std::uint32_t t : cavity) tris_[t].dead = true;
+}
+
+Delaunay2D::Result Delaunay2D::run(const PointSet<2>& pts) {
+  Result res;
+  const std::size_t n = pts.size();
+  if (n < 3) return res;
+  n_real_ = static_cast<PointId>(n);
+  coords_ = pts;
+
+  // Super-triangle ~1e8 spreads away, containing everything.
+  double lo_x = pts[0][0], hi_x = pts[0][0], lo_y = pts[0][1], hi_y = pts[0][1];
+  for (const auto& p : pts) {
+    lo_x = std::min(lo_x, p[0]);
+    hi_x = std::max(hi_x, p[0]);
+    lo_y = std::min(lo_y, p[1]);
+    hi_y = std::max(hi_y, p[1]);
+  }
+  double cx = (lo_x + hi_x) / 2, cy = (lo_y + hi_y) / 2;
+  double spread = std::max({hi_x - lo_x, hi_y - lo_y, 1.0});
+  double R = 1e8 * spread;
+  coords_.push_back({{cx - R, cy - R}});
+  coords_.push_back({{cx + R, cy - R}});
+  coords_.push_back({{cx, cy + R}});
+  PointId g0 = static_cast<PointId>(n), g1 = g0 + 1, g2 = g0 + 2;
+
+  tris_.clear();
+  point_tris_.assign(n, {});
+  Triangle root;
+  root.v = {g0, g1, g2};  // CCW by construction
+  PARHULL_CHECK(orient2d(coords_[g0], coords_[g1], coords_[g2]) > 0);
+  root.nbr = {kNoneTri, kNoneTri, kNoneTri};
+  tris_.push_back(root);  // id 0
+  ++res.triangles_created;
+  // All real points conflict with the root triangle (they are inside it,
+  // hence inside its circumcircle).
+  for (PointId q = 0; q < n_real_; ++q) {
+    tris_[0].conflicts.push_back(q);
+    point_tris_[q].push_back(0);
+  }
+  res.total_conflicts += tris_[0].conflicts.size();
+
+  for (PointId p = 0; p < n_real_; ++p) {
+    insert_point(p, res);
+  }
+
+  for (const Triangle& t : tris_) {
+    if (t.dead) continue;
+    if (t.v[0] < n_real_ && t.v[1] < n_real_ && t.v[2] < n_real_) {
+      auto tri = t.v;
+      res.triangles.push_back(tri);
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+std::vector<std::array<PointId, 3>> brute_force_delaunay(
+    const PointSet<2>& pts) {
+  std::vector<std::array<PointId, 3>> out;
+  const std::size_t n = pts.size();
+  for (PointId i = 0; i < n; ++i) {
+    for (PointId j = i + 1; j < n; ++j) {
+      for (PointId k = j + 1; k < n; ++k) {
+        // Orient CCW.
+        PointId a = i, b = j, c = k;
+        int o = orient2d(pts[a], pts[b], pts[c]);
+        if (o == 0) continue;
+        if (o < 0) std::swap(b, c);
+        bool empty = true;
+        for (PointId q = 0; q < n && empty; ++q) {
+          if (q == i || q == j || q == k) continue;
+          if (incircle(pts[a], pts[b], pts[c], pts[q]) > 0) empty = false;
+        }
+        if (empty) out.push_back({i, j, k});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace parhull

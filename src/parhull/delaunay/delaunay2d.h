@@ -1,0 +1,76 @@
+// 2D Delaunay triangulation by randomized incremental insertion
+// (Bowyer–Watson with Clarkson–Shor conflict lists).
+//
+// This is the configuration space the paper uses as its running example in
+// Section 3 (objects = points, configurations = triangles, conflict set =
+// points in the circumcircle) and the subject of the prior work [17, 18]
+// the paper builds on: with the same support-set instrumentation as the
+// hull, a new triangle t = (edge, p) is supported by the two triangles
+// incident on its base edge before the insertion, so the dependence depth
+// is measured exactly as in Section 4. Experiment E14 shows it is O(log n)
+// whp, mirroring the hull result.
+//
+// The triangulation uses a finite super-triangle placed ~1e8 spreads away;
+// with exact predicates the construction is deterministic, and for point
+// sets whose circumradii are small against that distance the real part
+// equals the true Delaunay triangulation (verified against a brute-force
+// oracle in the tests).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+class Delaunay2D {
+ public:
+  struct Triangle {
+    std::array<PointId, 3> v{};   // CCW; ids >= n are super-triangle ghosts
+    std::array<std::uint32_t, 3> nbr{};  // neighbor across edge opposite v[k]
+    std::vector<PointId> conflicts;      // ascending insertion order
+    bool dead = false;
+    // Dependence instrumentation (Section 4).
+    PointId apex = kInvalidPoint;
+    std::uint32_t support0 = kInvalidFacet, support1 = kInvalidFacet;
+    std::uint32_t depth = 0;
+  };
+
+  struct Result {
+    bool ok = false;
+    std::vector<std::array<PointId, 3>> triangles;  // all-real, CCW
+    std::uint64_t triangles_created = 0;
+    std::uint64_t incircle_tests = 0;
+    std::uint64_t total_conflicts = 0;
+    std::uint32_t dependence_depth = 0;
+    std::uint64_t points_skipped = 0;  // duplicates (no cavity)
+  };
+
+  // Triangulate pts in insertion (index) order; shuffle beforehand for the
+  // whp bounds. Requires n >= 3 and at least 3 non-collinear points.
+  Result run(const PointSet<2>& pts);
+
+  const Triangle& triangle(std::uint32_t id) const { return tris_[id]; }
+  std::uint32_t triangle_count() const {
+    return static_cast<std::uint32_t>(tris_.size());
+  }
+
+ private:
+  void insert_point(PointId p, Result& res);
+
+  std::vector<Point2> coords_;  // input + 3 ghost points
+  PointId n_real_ = 0;
+  std::vector<Triangle> tris_;
+  std::vector<std::vector<std::uint32_t>> point_tris_;  // conflict inverse
+};
+
+// Brute-force Delaunay oracle for tests: all CCW triples whose open
+// circumdisk contains no other point (general position assumed). Returns
+// canonically sorted vertex triples.
+std::vector<std::array<PointId, 3>> brute_force_delaunay(
+    const PointSet<2>& pts);
+
+}  // namespace parhull

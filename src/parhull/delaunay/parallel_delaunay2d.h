@@ -1,0 +1,288 @@
+// Parallel 2D Delaunay triangulation: the paper's generic Algorithm 1
+// instantiated for the Delaunay configuration space, with exactly the
+// ProcessRidge skeleton of Algorithm 3.
+//
+// Configurations are triangles, "ridges" are edges, and a new triangle
+// t = e ∪ {p} is supported by the two triangles sharing edge e before p's
+// insertion (the Delaunay analog of Fact 5.2: a point inside the
+// circumcircle of (e, p) is inside the circumcircle of one of the two old
+// triangles). ProcessEdge runs the same four cases as the hull:
+// both-empty → edge final; equal pivots → edge buried; otherwise the
+// earlier pivot's side is replaced by e ∪ {pivot} and the recursion
+// continues over the new triangle's edges, paired through the lock-free
+// ridge map.
+//
+// The outer face is handled with a finite super-triangle (as in the
+// sequential Delaunay2D); its three outer edges have no partner triangle
+// and use a "none" sentinel whose conflict set is empty forever.
+//
+// The algorithm creates exactly the same triangles as the sequential
+// Bowyer–Watson run on the same insertion order (verified by the tests),
+// in a relaxed order with O(log n) dependence depth whp — the result of
+// Blelloch–Gu–Shun–Sun (SPAA'16) that this paper's framework generalizes.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/counters.h"
+#include "parhull/common/types.h"
+#include "parhull/containers/concurrent_pool.h"
+#include "parhull/containers/ridge_map.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/parallel/parallel_for.h"
+#include "parhull/parallel/primitives.h"
+
+namespace parhull {
+
+template <template <int> class MapT = RidgeMapCAS>
+class ParallelDelaunay2D {
+ public:
+  struct Tri {
+    std::array<PointId, 3> vertices{};  // CCW; ids >= n are ghosts
+    std::vector<PointId> conflicts;     // ascending priority
+    std::atomic<bool> dead{false};
+    PointId apex = kInvalidPoint;
+    FacetId support0 = kInvalidFacet, support1 = kInvalidFacet;
+    std::uint32_t depth = 0;
+    std::uint32_t round = 0;
+
+    bool alive() const { return !dead.load(std::memory_order_acquire); }
+    void kill() { dead.store(true, std::memory_order_release); }
+    PointId pivot() const {
+      return conflicts.empty() ? kInvalidPoint : conflicts.front();
+    }
+  };
+
+  struct Result {
+    bool ok = false;
+    std::vector<std::array<PointId, 3>> triangles;  // all-real, CCW
+    std::uint64_t triangles_created = 0;
+    std::uint64_t incircle_tests = 0;
+    std::uint64_t total_conflicts = 0;
+    std::uint32_t dependence_depth = 0;
+    std::uint32_t max_round = 0;
+    std::uint64_t buried_edges = 0;
+    std::uint64_t finalized_edges = 0;
+  };
+
+  struct Params {
+    std::size_t expected_keys = 0;  // 0 = auto (8n)
+  };
+
+  explicit ParallelDelaunay2D(Params params = {}) : params_(params) {}
+
+  Result run(const PointSet<2>& pts) {
+    Result res;
+    const std::size_t n = pts.size();
+    if (n < 1) return res;
+    PARHULL_CHECK_MSG(coords_.empty(), "ParallelDelaunay2D::run is single-shot");
+    coords_ = pts;
+    n_real_ = static_cast<PointId>(n);
+    int workers = Scheduler::get().num_workers();
+    tests_.resize(workers);
+    conflicts_sum_.resize(workers);
+    buried_.resize(workers);
+    finalized_.resize(workers);
+    std::size_t expected =
+        params_.expected_keys != 0 ? params_.expected_keys : 8 * n + 64;
+    map_ = std::make_unique<MapT<3>>(expected);
+
+    // Super-triangle (same construction as the sequential Delaunay2D).
+    double lo_x = pts[0][0], hi_x = pts[0][0];
+    double lo_y = pts[0][1], hi_y = pts[0][1];
+    for (const auto& p : pts) {
+      lo_x = std::min(lo_x, p[0]);
+      hi_x = std::max(hi_x, p[0]);
+      lo_y = std::min(lo_y, p[1]);
+      hi_y = std::max(hi_y, p[1]);
+    }
+    double cx = (lo_x + hi_x) / 2, cy = (lo_y + hi_y) / 2;
+    double spread = std::max({hi_x - lo_x, hi_y - lo_y, 1.0});
+    double R = 1e8 * spread;
+    coords_.push_back({{cx - R, cy - R}});
+    coords_.push_back({{cx + R, cy - R}});
+    coords_.push_back({{cx, cy + R}});
+
+    FacetId root = pool_.allocate();
+    Tri& rt = pool_[root];
+    rt.vertices = {n_real_, static_cast<PointId>(n_real_ + 1),
+                   static_cast<PointId>(n_real_ + 2)};
+    canonicalize(rt.vertices);
+    rt.conflicts = parallel_pack_index<PointId>(
+        n, [](std::size_t) { return true; },
+        [&](std::size_t i) { return static_cast<PointId>(i); });
+    conflicts_sum_.add(Scheduler::worker_id(), rt.conflicts.size());
+
+    // Seed: the three outer edges, each with the "none" partner.
+    parallel_for(0, 3, [&](std::size_t k) {
+      RidgeKey<3> e = edge_omitting(pool_[root].vertices, static_cast<int>(k));
+      process_edge(root, e, kInvalidFacet, 1);
+    }, 1);
+
+    res.ok = true;
+    res.triangles_created = pool_.size();
+    res.incircle_tests = tests_.total();
+    res.total_conflicts = conflicts_sum_.total();
+    res.buried_edges = buried_.total();
+    res.finalized_edges = finalized_.total();
+    res.dependence_depth = max_depth_.load(std::memory_order_relaxed);
+    res.max_round = max_round_.load(std::memory_order_relaxed);
+    for (FacetId id = 0; id < pool_.size(); ++id) {
+      const Tri& t = pool_[id];
+      if (t.alive() && t.vertices[0] < n_real_ && t.vertices[1] < n_real_ &&
+          t.vertices[2] < n_real_) {
+        res.triangles.push_back(t.vertices);
+      }
+    }
+    return res;
+  }
+
+  const Tri& triangle(FacetId id) const { return pool_[id]; }
+  std::uint32_t triangle_count() const { return pool_.size(); }
+
+ private:
+  struct Call {
+    FacetId t1;
+    RidgeKey<3> e;
+    FacetId t2;
+  };
+
+  // Canonical CCW order: sort ascending, flip the first two if clockwise.
+  void canonicalize(std::array<PointId, 3>& v) const {
+    std::sort(v.begin(), v.end());
+    int o = orient2d(coords_[v[0]], coords_[v[1]], coords_[v[2]]);
+    PARHULL_CHECK_MSG(o != 0, "degenerate triangle: input not in general position");
+    if (o < 0) std::swap(v[0], v[1]);
+  }
+
+  static RidgeKey<3> edge_omitting(const std::array<PointId, 3>& v, int k) {
+    std::array<PointId, 2> ids{};
+    int out = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (i != k) ids[static_cast<std::size_t>(out++)] = v[static_cast<std::size_t>(i)];
+    }
+    return RidgeKey<3>::from_unsorted(ids);
+  }
+
+  bool conflicts_with(const std::array<PointId, 3>& v, PointId q) const {
+    return incircle(coords_[v[0]], coords_[v[1]], coords_[v[2]],
+                    coords_[q]) > 0;
+  }
+
+  void process_edge(FacetId t1, RidgeKey<3> e, FacetId t2,
+                    std::uint32_t round) {
+    PointId p1, p2;
+    while (true) {
+      p1 = pool_[t1].pivot();
+      p2 = t2 == kInvalidFacet ? kInvalidPoint : pool_[t2].pivot();
+      if (p1 == kInvalidPoint && p2 == kInvalidPoint) {
+        finalized_.add(Scheduler::worker_id());
+        return;  // case 1: edge is Delaunay in the final triangulation
+      }
+      if (p1 == p2) {  // case 2: the pivot's cavity swallows the edge
+        pool_[t1].kill();
+        pool_[t2].kill();
+        buried_.add(Scheduler::worker_id());
+        return;
+      }
+      if (p2 < p1) {
+        std::swap(t1, t2);
+        std::swap(p1, p2);
+      }
+      break;  // case 4: p1 earliest, strictly on t1's side
+    }
+    const PointId p = p1;
+    Tri& f1 = pool_[t1];
+    FacetId tid = pool_.allocate();
+    Tri& t = pool_[tid];
+    t.vertices = {e.v[0], e.v[1], p};
+    canonicalize(t.vertices);
+    t.apex = p;
+    t.support0 = t1;
+    t.support1 = t2;  // kInvalidFacet on outer edges (singleton support)
+    std::uint32_t d2 = t2 == kInvalidFacet ? 0 : pool_[t2].depth;
+    t.depth = 1 + std::max(f1.depth, d2);
+    t.round = round;
+    atomic_max(max_depth_, t.depth);
+    atomic_max(max_round_, round);
+
+    // Conflicts: filter of C(t1) ∪ C(t2), one incircle test per distinct
+    // non-apex candidate.
+    {
+      static const std::vector<PointId> kEmpty;
+      const auto& ca = f1.conflicts;
+      const auto& cb = t2 == kInvalidFacet ? kEmpty : pool_[t2].conflicts;
+      std::uint64_t tests = 0;
+      std::size_t i = 0, j = 0;
+      while (i < ca.size() || j < cb.size()) {
+        PointId next;
+        if (j >= cb.size() || (i < ca.size() && ca[i] <= cb[j])) {
+          next = ca[i];
+          if (j < cb.size() && cb[j] == next) ++j;
+          ++i;
+        } else {
+          next = cb[j];
+          ++j;
+        }
+        if (next == p) continue;
+        ++tests;
+        if (conflicts_with(t.vertices, next)) t.conflicts.push_back(next);
+      }
+      tests_.add(Scheduler::worker_id(), tests);
+      conflicts_sum_.add(Scheduler::worker_id(), t.conflicts.size());
+    }
+    f1.kill();
+
+    // Recurse on t's edges: the base edge e keeps partner t2; the two
+    // apex edges pair through the map.
+    Call calls[3];
+    int pending = 0;
+    for (int k = 0; k < 3; ++k) {
+      if (t.vertices[static_cast<std::size_t>(k)] == p) {
+        calls[pending++] = Call{tid, e, t2};
+      } else {
+        RidgeKey<3> side = edge_omitting(t.vertices, k);
+        if (!map_->insert_and_set(side, tid)) {
+          FacetId other = map_->get_value(side, tid);
+          calls[pending++] = Call{tid, side, other};
+        }
+      }
+    }
+    spawn(calls, pending, round + 1);
+  }
+
+  void spawn(Call* calls, int count, std::uint32_t round) {
+    if (count == 0) return;
+    if (count == 1) {
+      process_edge(calls[0].t1, calls[0].e, calls[0].t2, round);
+      return;
+    }
+    int half = count / 2;
+    par_do([&] { spawn(calls, half, round); },
+           [&] { spawn(calls + half, count - half, round); });
+  }
+
+  static void atomic_max(std::atomic<std::uint32_t>& a, std::uint32_t v) {
+    std::uint32_t cur = a.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  Params params_;
+  PointSet<2> coords_;
+  PointId n_real_ = 0;
+  ConcurrentPool<Tri> pool_;
+  std::unique_ptr<MapT<3>> map_;
+  WorkerCounter tests_;
+  WorkerCounter conflicts_sum_;
+  WorkerCounter buried_;
+  WorkerCounter finalized_;
+  std::atomic<std::uint32_t> max_depth_{0};
+  std::atomic<std::uint32_t> max_round_{0};
+};
+
+}  // namespace parhull

@@ -1,0 +1,141 @@
+#include "parhull/geometry/expansion.h"
+
+namespace parhull {
+
+namespace {
+
+// FAST-EXPANSION-SUM-ZEROELIM (Shewchuk, Fig. 13): merge two
+// nonoverlapping expansions into one, eliminating zeros. Both inputs must
+// be nonoverlapping and increasing-magnitude ordered; strongly
+// nonoverlapping inputs give a strongly nonoverlapping output, which holds
+// for all expansions produced in this module.
+std::vector<double> fast_expansion_sum(const std::vector<double>& e,
+                                       const std::vector<double>& f) {
+  if (e.empty()) return f;
+  if (f.empty()) return e;
+  std::vector<double> h;
+  h.reserve(e.size() + f.size());
+
+  std::size_t ei = 0, fi = 0;
+  double enow = e[0], fnow = f[0];
+  double q;
+  // Start with the smaller-magnitude leading component.
+  if ((fnow > enow) == (fnow > -enow)) {
+    q = enow;
+    if (++ei < e.size()) enow = e[ei];
+  } else {
+    q = fnow;
+    if (++fi < f.size()) fnow = f[fi];
+  }
+  double qnew, hh;
+  if (ei < e.size() && fi < f.size()) {
+    // First merge step uses the cheaper FAST-TWO-SUM; subsequent steps need
+    // TWO-SUM. We just use TWO-SUM throughout: unconditionally correct.
+    while (ei < e.size() && fi < f.size()) {
+      if ((fnow > enow) == (fnow > -enow)) {
+        two_sum(q, enow, qnew, hh);
+        if (++ei < e.size()) enow = e[ei];
+      } else {
+        two_sum(q, fnow, qnew, hh);
+        if (++fi < f.size()) fnow = f[fi];
+      }
+      q = qnew;
+      if (hh != 0.0) h.push_back(hh);
+    }
+  }
+  while (ei < e.size()) {
+    two_sum(q, enow, qnew, hh);
+    if (++ei < e.size()) enow = e[ei];
+    q = qnew;
+    if (hh != 0.0) h.push_back(hh);
+  }
+  while (fi < f.size()) {
+    two_sum(q, fnow, qnew, hh);
+    if (++fi < f.size()) fnow = f[fi];
+    q = qnew;
+    if (hh != 0.0) h.push_back(hh);
+  }
+  if (q != 0.0 || h.empty()) {
+    if (q != 0.0) h.push_back(q);
+  }
+  return h;
+}
+
+// SCALE-EXPANSION-ZEROELIM (Shewchuk, Fig. 19): exact product of an
+// expansion and a double.
+std::vector<double> scale_expansion(const std::vector<double>& e, double b) {
+  std::vector<double> h;
+  if (e.empty() || b == 0.0) return h;
+  h.reserve(2 * e.size());
+  double q, hh;
+  two_product(e[0], b, q, hh);
+  if (hh != 0.0) h.push_back(hh);
+  for (std::size_t i = 1; i < e.size(); ++i) {
+    double t1, t0;
+    two_product(e[i], b, t1, t0);
+    double sum, err;
+    two_sum(q, t0, sum, err);
+    if (err != 0.0) h.push_back(err);
+    two_sum(t1, sum, q, err);  // fast_two_sum is valid here; two_sum is safe
+    if (err != 0.0) h.push_back(err);
+  }
+  if (q != 0.0 || h.empty()) {
+    if (q != 0.0) h.push_back(q);
+  }
+  return h;
+}
+
+}  // namespace
+
+Expansion Expansion::diff(double a, double b) {
+  Expansion r;
+  double x, y;
+  two_diff(a, b, x, y);
+  if (y != 0.0) r.comps_.push_back(y);
+  if (x != 0.0) r.comps_.push_back(x);
+  return r;
+}
+
+Expansion Expansion::product(double a, double b) {
+  Expansion r;
+  double x, y;
+  two_product(a, b, x, y);
+  if (y != 0.0) r.comps_.push_back(y);
+  if (x != 0.0) r.comps_.push_back(x);
+  return r;
+}
+
+Expansion Expansion::operator+(const Expansion& o) const {
+  Expansion r;
+  r.comps_ = fast_expansion_sum(comps_, o.comps_);
+  return r;
+}
+
+Expansion Expansion::operator-() const {
+  Expansion r;
+  r.comps_ = comps_;
+  for (double& c : r.comps_) c = -c;
+  return r;
+}
+
+Expansion Expansion::operator-(const Expansion& o) const {
+  return *this + (-o);
+}
+
+Expansion Expansion::scaled(double b) const {
+  Expansion r;
+  r.comps_ = scale_expansion(comps_, b);
+  return r;
+}
+
+Expansion Expansion::operator*(const Expansion& o) const {
+  // Distribute: this * o = sum_j scale(this, o_j). Component counts stay
+  // small for the fixed-size determinants we evaluate.
+  Expansion acc;
+  for (double c : o.comps_) {
+    acc = acc + this->scaled(c);
+  }
+  return acc;
+}
+
+}  // namespace parhull

@@ -1,0 +1,87 @@
+// Floating-point expansion arithmetic (Shewchuk 1997): a real number is
+// represented exactly as a sum of nonoverlapping doubles in increasing
+// magnitude order. Supports exact addition, subtraction, scaling by a
+// double, and multiplication — enough to evaluate small determinants
+// exactly, which is what the hull predicates need when the floating-point
+// filter cannot certify a sign.
+//
+// Compiled with -ffp-contract=off (see src/CMakeLists.txt): the error-free
+// transformations below are correct only without FMA contraction.
+#pragma once
+
+#include <vector>
+
+namespace parhull {
+
+// Error-free transformations. x is the rounded result, y the exact
+// roundoff so that a (op) b == x + y exactly.
+inline void two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  double b_virtual = x - a;
+  double a_virtual = x - b_virtual;
+  double b_round = b - b_virtual;
+  double a_round = a - a_virtual;
+  y = a_round + b_round;
+}
+
+inline void two_diff(double a, double b, double& x, double& y) {
+  x = a - b;
+  double b_virtual = a - x;
+  double a_virtual = x + b_virtual;
+  double b_round = b_virtual - b;
+  double a_round = a - a_virtual;
+  y = a_round + b_round;
+}
+
+inline void two_product(double a, double b, double& x, double& y) {
+  x = a * b;
+  y = __builtin_fma(a, b, -x);  // exact: fma computes a*b - x with one rounding
+}
+
+// An exact multi-component value. The component vector is kept
+// zero-eliminated and in nonoverlapping increasing-magnitude order, so the
+// sign of the expansion equals the sign of its last component.
+class Expansion {
+ public:
+  Expansion() = default;
+  explicit Expansion(double v) {
+    if (v != 0.0) comps_.push_back(v);
+  }
+
+  // Exact a - b of two doubles.
+  static Expansion diff(double a, double b);
+
+  // Exact a * b of two doubles.
+  static Expansion product(double a, double b);
+
+  Expansion operator+(const Expansion& o) const;
+  Expansion operator-(const Expansion& o) const;
+  Expansion operator-() const;
+
+  // Exact multiplication by a double.
+  Expansion scaled(double b) const;
+
+  // Exact expansion * expansion (distributes scaled() over o's components).
+  Expansion operator*(const Expansion& o) const;
+
+  // Sign of the exactly-represented value: -1, 0, or +1.
+  int sign() const {
+    if (comps_.empty()) return 0;
+    return comps_.back() > 0 ? 1 : -1;
+  }
+
+  // A (single rounding per step) approximation of the value.
+  double estimate() const {
+    double s = 0;
+    for (double c : comps_) s += c;
+    return s;
+  }
+
+  std::size_t size() const { return comps_.size(); }
+  const std::vector<double>& components() const { return comps_; }
+
+ private:
+  std::vector<double> comps_;
+};
+
+}  // namespace parhull

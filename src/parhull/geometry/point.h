@@ -1,0 +1,72 @@
+// Fixed-dimension points. The hull algorithms are templates over the
+// (compile-time constant) dimension D, matching the paper's assumption that
+// d is constant.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+namespace parhull {
+
+template <int D>
+struct Point {
+  static_assert(D >= 1, "dimension must be positive");
+  std::array<double, D> x{};
+
+  double& operator[](int i) { return x[static_cast<std::size_t>(i)]; }
+  double operator[](int i) const { return x[static_cast<std::size_t>(i)]; }
+
+  friend bool operator==(const Point& a, const Point& b) { return a.x == b.x; }
+
+  friend Point operator+(const Point& a, const Point& b) {
+    Point r;
+    for (int i = 0; i < D; ++i) r[i] = a[i] + b[i];
+    return r;
+  }
+  friend Point operator-(const Point& a, const Point& b) {
+    Point r;
+    for (int i = 0; i < D; ++i) r[i] = a[i] - b[i];
+    return r;
+  }
+  friend Point operator*(const Point& a, double s) {
+    Point r;
+    for (int i = 0; i < D; ++i) r[i] = a[i] * s;
+    return r;
+  }
+
+  double dot(const Point& o) const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) s += x[static_cast<std::size_t>(i)] * o[i];
+    return s;
+  }
+
+  double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+template <int D>
+std::ostream& operator<<(std::ostream& os, const Point<D>& p) {
+  os << '(';
+  for (int i = 0; i < D; ++i) os << (i ? ", " : "") << p[i];
+  return os << ')';
+}
+
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+template <int D>
+using PointSet = std::vector<Point<D>>;
+
+// Centroid of a small set of points (used to orient initial facets against
+// a strictly interior reference point).
+template <int D>
+Point<D> centroid(const Point<D>* pts, int count) {
+  Point<D> c{};
+  for (int i = 0; i < count; ++i) c = c + pts[i];
+  return c * (1.0 / count);
+}
+
+}  // namespace parhull

@@ -1,0 +1,353 @@
+#include "parhull/geometry/predicates.h"
+
+#include <atomic>
+#include <cfloat>
+#include <cmath>
+
+#include "parhull/common/assert.h"
+#include "parhull/geometry/expansion.h"
+
+namespace parhull {
+
+namespace {
+
+std::atomic<std::uint64_t> g_exact_fallbacks{0};
+std::atomic<std::uint64_t> g_calls{0};
+
+inline int sign_of(double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+// Shewchuk's static filter constants.
+const double kEps = DBL_EPSILON / 2;  // machine epsilon in Shewchuk's sense
+const double kCcwErrBoundA = (3.0 + 16.0 * kEps) * kEps;
+const double kO3dErrBoundA = (7.0 + 56.0 * kEps) * kEps;
+
+// --------------------------------------------------------------------------
+// Generic-dimension machinery
+// --------------------------------------------------------------------------
+
+// Recursive cofactor determinant of an n x n matrix of doubles, also
+// accumulating the permanent of absolute values (for the error bound).
+void det_and_perm(const double* m, int n, int stride, double& det,
+                  double& perm) {
+  if (n == 1) {
+    det = m[0];
+    perm = std::fabs(m[0]);
+    return;
+  }
+  if (n == 2) {
+    det = m[0] * m[stride + 1] - m[1] * m[stride];
+    perm = std::fabs(m[0] * m[stride + 1]) + std::fabs(m[1] * m[stride]);
+    return;
+  }
+  det = 0;
+  perm = 0;
+  // Expand along the first row; build the minor by column exclusion.
+  double minor[detail::kMaxGenericDim * detail::kMaxGenericDim];
+  for (int col = 0; col < n; ++col) {
+    for (int r = 1; r < n; ++r) {
+      int out_c = 0;
+      for (int c = 0; c < n; ++c) {
+        if (c == col) continue;
+        minor[(r - 1) * (n - 1) + out_c] = m[r * stride + c];
+        ++out_c;
+      }
+    }
+    double sub_det, sub_perm;
+    det_and_perm(minor, n - 1, n - 1, sub_det, sub_perm);
+    double sgn = (col % 2 == 0) ? 1.0 : -1.0;
+    det += sgn * m[col] * sub_det;
+    perm += std::fabs(m[col]) * sub_perm;
+  }
+}
+
+// Exact cofactor determinant over expansions.
+Expansion det_exact(const Expansion* m, int n, int stride) {
+  if (n == 1) return m[0];
+  if (n == 2) return m[0] * m[stride + 1] - m[1] * m[stride];
+  Expansion acc;
+  std::vector<Expansion> minor(static_cast<std::size_t>((n - 1) * (n - 1)));
+  for (int col = 0; col < n; ++col) {
+    for (int r = 1; r < n; ++r) {
+      int out_c = 0;
+      for (int c = 0; c < n; ++c) {
+        if (c == col) continue;
+        minor[static_cast<std::size_t>((r - 1) * (n - 1) + out_c)] =
+            m[r * stride + c];
+        ++out_c;
+      }
+    }
+    Expansion term = m[col] * det_exact(minor.data(), n - 1, n - 1);
+    if (col % 2 == 0) {
+      acc = acc + term;
+    } else {
+      acc = acc - term;
+    }
+  }
+  return acc;
+}
+
+// Conservative relative error coefficient for the cofactor evaluation in
+// dimension n, including the rounding of the coordinate differences that
+// form the matrix entries. Deliberately generous (a few orders of magnitude
+// above the true bound): a too-large bound only sends borderline cases to
+// the exact path, never misclassifies.
+double generic_err_coeff(int n) {
+  double fact = 1;
+  for (int i = 2; i <= n; ++i) fact *= i;
+  return fact * std::ldexp(1.0, 2 * n) * DBL_EPSILON;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// 2D
+// --------------------------------------------------------------------------
+
+int orient2d(const Point2& a, const Point2& b, const Point2& c) {
+  g_calls.fetch_add(1, std::memory_order_relaxed);
+  double detleft = (a[0] - c[0]) * (b[1] - c[1]);
+  double detright = (a[1] - c[1]) * (b[0] - c[0]);
+  double det = detleft - detright;
+
+  double detsum;
+  if (detleft > 0) {
+    if (detright <= 0) return sign_of(det);
+    detsum = detleft + detright;
+  } else if (detleft < 0) {
+    if (detright >= 0) return sign_of(det);
+    detsum = -detleft - detright;
+  } else {
+    return sign_of(det);
+  }
+  double errbound = kCcwErrBoundA * detsum;
+  if (det >= errbound || -det >= errbound) return sign_of(det);
+
+  // Exact path: det = (ax-cx)(by-cy) - (ay-cy)(bx-cx) over expansions.
+  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  Expansion axcx = Expansion::diff(a[0], c[0]);
+  Expansion bycy = Expansion::diff(b[1], c[1]);
+  Expansion aycy = Expansion::diff(a[1], c[1]);
+  Expansion bxcx = Expansion::diff(b[0], c[0]);
+  Expansion exact = axcx * bycy - aycy * bxcx;
+  return exact.sign();
+}
+
+// --------------------------------------------------------------------------
+// 3D
+// --------------------------------------------------------------------------
+
+// Shewchuk's formulation evaluates det[[a-d],[b-d],[c-d]], which is the
+// NEGATION of this library's convention det[[b-a],[c-a],[d-a]] (they agree
+// in 2D but differ by an odd permutation in 3D). The wrapper below flips
+// the sign at the end.
+namespace {
+int orient3d_shewchuk(const Point3& a, const Point3& b, const Point3& c,
+                      const Point3& d) {
+  double adx = a[0] - d[0], ady = a[1] - d[1], adz = a[2] - d[2];
+  double bdx = b[0] - d[0], bdy = b[1] - d[1], bdz = b[2] - d[2];
+  double cdx = c[0] - d[0], cdy = c[1] - d[1], cdz = c[2] - d[2];
+
+  double bdxcdy = bdx * cdy, cdxbdy = cdx * bdy;
+  double cdxady = cdx * ady, adxcdy = adx * cdy;
+  double adxbdy = adx * bdy, bdxady = bdx * ady;
+
+  double det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy) +
+               cdz * (adxbdy - bdxady);
+
+  double permanent = (std::fabs(bdxcdy) + std::fabs(cdxbdy)) * std::fabs(adz) +
+                     (std::fabs(cdxady) + std::fabs(adxcdy)) * std::fabs(bdz) +
+                     (std::fabs(adxbdy) + std::fabs(bdxady)) * std::fabs(cdz);
+  double errbound = kO3dErrBoundA * permanent;
+  if (det > errbound || -det > errbound) return sign_of(det);
+
+  // Exact path over expansions.
+  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  Expansion eadx = Expansion::diff(a[0], d[0]);
+  Expansion eady = Expansion::diff(a[1], d[1]);
+  Expansion eadz = Expansion::diff(a[2], d[2]);
+  Expansion ebdx = Expansion::diff(b[0], d[0]);
+  Expansion ebdy = Expansion::diff(b[1], d[1]);
+  Expansion ebdz = Expansion::diff(b[2], d[2]);
+  Expansion ecdx = Expansion::diff(c[0], d[0]);
+  Expansion ecdy = Expansion::diff(c[1], d[1]);
+  Expansion ecdz = Expansion::diff(c[2], d[2]);
+
+  Expansion exact = eadz * (ebdx * ecdy - ecdx * ebdy) +
+                    ebdz * (ecdx * eady - eadx * ecdy) +
+                    ecdz * (eadx * ebdy - ebdx * eady);
+  return exact.sign();
+}
+}  // namespace
+
+int orient3d(const Point3& a, const Point3& b, const Point3& c,
+             const Point3& d) {
+  g_calls.fetch_add(1, std::memory_order_relaxed);
+  return -orient3d_shewchuk(a, b, c, d);
+}
+
+// --------------------------------------------------------------------------
+// Generic D
+// --------------------------------------------------------------------------
+
+namespace detail {
+
+int orient_generic(const double* const* rows, int dim) {
+  g_calls.fetch_add(1, std::memory_order_relaxed);
+  PARHULL_CHECK(dim >= 1 && dim <= kMaxGenericDim);
+  // Build the difference matrix m[i][j] = rows[i+1][j] - rows[0][j].
+  double m[kMaxGenericDim * kMaxGenericDim];
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      m[i * dim + j] = rows[i + 1][j] - rows[0][j];
+    }
+  }
+  double det, perm;
+  det_and_perm(m, dim, dim, det, perm);
+  double errbound = generic_err_coeff(dim) * perm;
+  if (det > errbound || -det > errbound) return sign_of(det);
+
+  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Expansion> em(static_cast<std::size_t>(dim * dim));
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      em[static_cast<std::size_t>(i * dim + j)] =
+          Expansion::diff(rows[i + 1][j], rows[0][j]);
+    }
+  }
+  return det_exact(em.data(), dim, dim).sign();
+}
+
+}  // namespace detail
+
+// --------------------------------------------------------------------------
+// Incircle (2D Delaunay)
+// --------------------------------------------------------------------------
+
+namespace {
+const double kIccErrBoundA = (10.0 + 96.0 * kEps) * kEps;
+}
+
+int incircle(const Point2& a, const Point2& b, const Point2& c,
+             const Point2& d) {
+  g_calls.fetch_add(1, std::memory_order_relaxed);
+  double adx = a[0] - d[0], ady = a[1] - d[1];
+  double bdx = b[0] - d[0], bdy = b[1] - d[1];
+  double cdx = c[0] - d[0], cdy = c[1] - d[1];
+
+  double bdxcdy = bdx * cdy, cdxbdy = cdx * bdy;
+  double alift = adx * adx + ady * ady;
+  double cdxady = cdx * ady, adxcdy = adx * cdy;
+  double blift = bdx * bdx + bdy * bdy;
+  double adxbdy = adx * bdy, bdxady = bdx * ady;
+  double clift = cdx * cdx + cdy * cdy;
+
+  double det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) +
+               clift * (adxbdy - bdxady);
+  double permanent = (std::fabs(bdxcdy) + std::fabs(cdxbdy)) * alift +
+                     (std::fabs(cdxady) + std::fabs(adxcdy)) * blift +
+                     (std::fabs(adxbdy) + std::fabs(bdxady)) * clift;
+  double errbound = kIccErrBoundA * permanent;
+  if (det > errbound || -det > errbound) return sign_of(det);
+
+  // Exact path over expansions.
+  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  Expansion eadx = Expansion::diff(a[0], d[0]);
+  Expansion eady = Expansion::diff(a[1], d[1]);
+  Expansion ebdx = Expansion::diff(b[0], d[0]);
+  Expansion ebdy = Expansion::diff(b[1], d[1]);
+  Expansion ecdx = Expansion::diff(c[0], d[0]);
+  Expansion ecdy = Expansion::diff(c[1], d[1]);
+
+  Expansion ealift = eadx * eadx + eady * eady;
+  Expansion eblift = ebdx * ebdx + ebdy * ebdy;
+  Expansion eclift = ecdx * ecdx + ecdy * ecdy;
+
+  Expansion exact = ealift * (ebdx * ecdy - ecdx * ebdy) +
+                    eblift * (ecdx * eady - eadx * ecdy) +
+                    eclift * (eadx * ebdy - ebdx * eady);
+  return exact.sign();
+}
+
+// --------------------------------------------------------------------------
+// Affine independence
+// --------------------------------------------------------------------------
+
+bool affinely_independent(const double* const* rows, int k, int dim) {
+  PARHULL_CHECK(k >= 0 && k <= dim && dim <= detail::kMaxGenericDim);
+  if (k == 0) return true;
+  // Difference matrix: k rows, dim columns.
+  double diff[detail::kMaxGenericDim * detail::kMaxGenericDim];
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      diff[i * dim + j] = rows[i + 1][j] - rows[0][j];
+    }
+  }
+  // Full affine rank iff some k x k column-minor has nonzero determinant.
+  // Enumerate column subsets of size k (dim <= 8, so at most C(8,4) = 70).
+  int cols[detail::kMaxGenericDim];
+  for (int i = 0; i < k; ++i) cols[i] = i;
+  while (true) {
+    // Fast double check first; exact only when the filter is inconclusive.
+    double sub[detail::kMaxGenericDim * detail::kMaxGenericDim];
+    for (int r = 0; r < k; ++r) {
+      for (int c = 0; c < k; ++c) sub[r * k + c] = diff[r * dim + cols[c]];
+    }
+    double det, perm;
+    det_and_perm(sub, k, k, det, perm);
+    if (std::fabs(det) > generic_err_coeff(k) * perm) return true;
+    // Inconclusive: evaluate this minor exactly.
+    std::vector<Expansion> em(static_cast<std::size_t>(k * k));
+    for (int r = 0; r < k; ++r) {
+      for (int c = 0; c < k; ++c) {
+        em[static_cast<std::size_t>(r * k + c)] =
+            Expansion::diff(rows[r + 1][cols[c]], rows[0][cols[c]]);
+      }
+    }
+    if (det_exact(em.data(), k, k).sign() != 0) return true;
+    // Next column combination.
+    int i = k - 1;
+    while (i >= 0 && cols[i] == dim - k + i) --i;
+    if (i < 0) break;
+    ++cols[i];
+    for (int j = i + 1; j < k; ++j) cols[j] = cols[j - 1] + 1;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Circle helper
+// --------------------------------------------------------------------------
+
+int side_of_circle(const Point2& center, double radius, const Point2& p) {
+  g_calls.fetch_add(1, std::memory_order_relaxed);
+  double dx = p[0] - center[0], dy = p[1] - center[1];
+  double d2 = dx * dx + dy * dy;
+  double r2 = radius * radius;
+  double diff = d2 - r2;
+  // Filter: |d2 - exact| <= 4 eps * (|dx^2| + |dy^2|), |r2 - exact| <= eps r2.
+  double bound = 8 * DBL_EPSILON * (std::fabs(d2) + r2);
+  if (diff > bound || -diff > bound) return sign_of(diff);
+
+  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  Expansion edx = Expansion::diff(p[0], center[0]);
+  Expansion edy = Expansion::diff(p[1], center[1]);
+  Expansion exact = edx * edx + edy * edy - Expansion::product(radius, radius);
+  return exact.sign();
+}
+
+// --------------------------------------------------------------------------
+// Stats
+// --------------------------------------------------------------------------
+
+std::uint64_t predicate_exact_fallbacks() {
+  return g_exact_fallbacks.load(std::memory_order_relaxed);
+}
+std::uint64_t predicate_calls() {
+  return g_calls.load(std::memory_order_relaxed);
+}
+void reset_predicate_stats() {
+  g_exact_fallbacks.store(0, std::memory_order_relaxed);
+  g_calls.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace parhull

@@ -1,0 +1,93 @@
+// Exact-sign orientation predicates with floating-point filters.
+//
+// orient<D>(p0, ..., pD) returns the sign (-1, 0, +1) of
+//     det [ p1-p0 ; p2-p0 ; ... ; pD-p0 ]
+// i.e. the side of the oriented hyperplane through p0..p_{D-1} that pD lies
+// on. The fast path evaluates the determinant in doubles with a forward
+// error bound; if the bound cannot certify the sign, the determinant is
+// re-evaluated exactly with expansion arithmetic. The returned sign is
+// always exact, which the incremental hull needs: a single misclassified
+// visibility test corrupts the facet structure.
+//
+// d = 2 and d = 3 use Shewchuk's tight static filters; general d uses a
+// conservative permanent-based bound (see predicates.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+// Compiled specializations.
+int orient2d(const Point2& a, const Point2& b, const Point2& c);
+int orient3d(const Point3& a, const Point3& b, const Point3& c,
+             const Point3& d);
+
+namespace detail {
+// Generic filtered + exact determinant sign for (D+1) points in R^D.
+// Implemented for D up to kMaxGenericDim.
+inline constexpr int kMaxGenericDim = 8;
+int orient_generic(const double* const* rows, int dim);
+}  // namespace detail
+
+// Number of predicate invocations that needed the exact (expansion) path
+// since process start; used by the filter-effectiveness microbenchmark.
+std::uint64_t predicate_exact_fallbacks();
+std::uint64_t predicate_calls();
+void reset_predicate_stats();
+
+// Orientation of pts[0..D] (D+1 points) in R^D.
+template <int D>
+int orient(const std::array<const Point<D>*, static_cast<std::size_t>(D) + 1>&
+               pts) {
+  if constexpr (D == 2) {
+    return orient2d(*pts[0], *pts[1], *pts[2]);
+  } else if constexpr (D == 3) {
+    return orient3d(*pts[0], *pts[1], *pts[2], *pts[3]);
+  } else {
+    static_assert(D <= detail::kMaxGenericDim,
+                  "generic exact predicate supports D <= 8");
+    const double* rows[static_cast<std::size_t>(D) + 1];
+    for (int i = 0; i <= D; ++i) rows[i] = pts[static_cast<std::size_t>(i)]->x.data();
+    return detail::orient_generic(rows, D);
+  }
+}
+
+// Convenience overloads for the common dimensions.
+inline int orient(const Point2& a, const Point2& b, const Point2& c) {
+  return orient2d(a, b, c);
+}
+inline int orient(const Point3& a, const Point3& b, const Point3& c,
+                  const Point3& d) {
+  return orient3d(a, b, c, d);
+}
+
+// In-sphere style helper for the circle-intersection subsystem: sign of
+// |p - q|^2 - r^2, evaluated exactly.
+int side_of_circle(const Point2& center, double radius, const Point2& p);
+
+// Exact incircle test: positive iff d lies strictly inside the circle
+// through a, b, c when (a, b, c) is counter-clockwise (orient2d(a,b,c) > 0);
+// the sign flips for clockwise triangles. Zero iff cocircular. Statically
+// filtered double evaluation with an expansion-exact fallback.
+int incircle(const Point2& a, const Point2& b, const Point2& c,
+             const Point2& d);
+
+// Exact affine-independence test: are the k+1 points rows[0..k] (each a
+// dim-vector) affinely independent? Decided by checking whether any k x k
+// minor of the difference matrix has nonzero determinant, evaluated
+// exactly. Used to find a non-degenerate initial simplex.
+bool affinely_independent(const double* const* rows, int k, int dim);
+
+template <int D>
+bool affinely_independent(const std::vector<const Point<D>*>& pts) {
+  const double* rows[detail::kMaxGenericDim + 1];
+  int k = static_cast<int>(pts.size()) - 1;
+  for (int i = 0; i <= k; ++i) rows[i] = pts[static_cast<std::size_t>(i)]->x.data();
+  return affinely_independent(rows, k, D);
+}
+
+}  // namespace parhull

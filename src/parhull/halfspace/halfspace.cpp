@@ -1,0 +1,220 @@
+#include "parhull/halfspace/halfspace.h"
+
+#include <cmath>
+#include <set>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/random.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+
+namespace {
+
+// Solve A v = b for a D x D system with partial pivoting. Returns false if
+// (numerically) singular.
+template <int D>
+bool solve(double a[D][D], double b[D], Point<D>& out) {
+  int perm[D];
+  for (int i = 0; i < D; ++i) perm[i] = i;
+  for (int col = 0; col < D; ++col) {
+    int best = col;
+    for (int r = col + 1; r < D; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[best][col])) best = r;
+    }
+    if (std::fabs(a[best][col]) < 1e-14) return false;
+    if (best != col) {
+      for (int c = 0; c < D; ++c) std::swap(a[col][c], a[best][c]);
+      std::swap(b[col], b[best]);
+    }
+    for (int r = col + 1; r < D; ++r) {
+      double factor = a[r][col] / a[col][col];
+      for (int c = col; c < D; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  for (int r = D - 1; r >= 0; --r) {
+    double acc = b[r];
+    for (int c = r + 1; c < D; ++c) acc -= a[r][c] * out[c];
+    out[r] = acc / a[r][r];
+  }
+  return true;
+}
+
+}  // namespace
+
+template <int D>
+HalfspaceIntersection<D> intersect_halfspaces(
+    const std::vector<HalfSpace<D>>& hs) {
+  HalfspaceIntersection<D> res;
+  if (hs.size() < static_cast<std::size_t>(D) + 1) return res;
+  for (const auto& h : hs) {
+    if (!(h.offset > 0)) return res;  // origin must be strictly inside
+  }
+  // Dual points q = n / c; remember the original index through the order
+  // permutation that prepare_input may apply.
+  PointSet<D> duals(hs.size());
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    duals[i] = hs[i].normal * (1.0 / hs[i].offset);
+  }
+  // prepare_input reorders; track indices by appending an id via a parallel
+  // array keyed on coordinates is fragile — instead reorder ourselves with
+  // the same greedy rule and keep ids.
+  std::vector<std::uint32_t> order(duals.size());
+  {
+    std::vector<std::size_t> chosen;
+    std::vector<const Point<D>*> probe;
+    for (std::size_t i = 0;
+         i < duals.size() && chosen.size() < static_cast<std::size_t>(D) + 1;
+         ++i) {
+      probe.clear();
+      for (std::size_t c : chosen) probe.push_back(&duals[c]);
+      probe.push_back(&duals[i]);
+      if (affinely_independent<D>(probe)) chosen.push_back(i);
+    }
+    if (chosen.size() < static_cast<std::size_t>(D) + 1) return res;
+    std::vector<char> is_chosen(duals.size(), 0);
+    std::size_t out = 0;
+    for (std::size_t c : chosen) {
+      order[out++] = static_cast<std::uint32_t>(c);
+      is_chosen[c] = 1;
+    }
+    for (std::size_t i = 0; i < duals.size(); ++i) {
+      if (!is_chosen[i]) order[out++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  PointSet<D> reordered(duals.size());
+  for (std::size_t i = 0; i < duals.size(); ++i) reordered[i] = duals[order[i]];
+
+  ParallelHull<D, RidgeMapChained> hull;
+  auto hres = hull.run(reordered);
+  if (!hres.ok) return res;
+  res.facets_created = hres.facets_created;
+  res.visibility_tests = hres.visibility_tests;
+  res.dependence_depth = hres.dependence_depth;
+  res.max_round = hres.max_round;
+
+  // The duality is valid only if the dual hull strictly contains the dual
+  // origin (bounded primal intersection). The hull code orients facets
+  // against the initial-simplex centroid; re-check against the origin.
+  Point<D> origin{};
+  std::set<std::uint32_t> essential;
+  for (FacetId id : hres.hull) {
+    const auto& f = hull.facet(id);
+    if (visible<D>(reordered, f.vertices, origin)) {
+      return res;  // origin outside the dual hull: unbounded intersection
+    }
+    // Primal vertex v: q_i · v = 1 for the facet's dual points.
+    double a[D][D];
+    double b[D];
+    for (int r = 0; r < D; ++r) {
+      const Point<D>& q = reordered[f.vertices[static_cast<std::size_t>(r)]];
+      for (int c = 0; c < D; ++c) a[r][c] = q[c];
+      b[r] = 1.0;
+    }
+    Point<D> v{};
+    if (!solve<D>(a, b, v)) return res;
+    res.vertices.push_back(v);
+    std::vector<std::uint32_t> defs;
+    for (int r = 0; r < D; ++r) {
+      std::uint32_t original =
+          order[f.vertices[static_cast<std::size_t>(r)]];
+      defs.push_back(original);
+      essential.insert(original);
+    }
+    res.vertex_defs.push_back(std::move(defs));
+  }
+  res.essential.assign(essential.begin(), essential.end());
+  res.ok = true;
+  return res;
+}
+
+template <int D>
+bool halfspaces_contain(const std::vector<HalfSpace<D>>& hs, const Point<D>& x,
+                        double tol) {
+  for (const auto& h : hs) {
+    if (h.normal.dot(x) > h.offset + tol) return false;
+  }
+  return true;
+}
+
+template <int D>
+std::vector<Point<D>> brute_force_halfspace_vertices(
+    const std::vector<HalfSpace<D>>& hs, double tol) {
+  std::vector<Point<D>> vertices;
+  const std::size_t m = hs.size();
+  std::vector<std::size_t> idx(static_cast<std::size_t>(D));
+  // All D-combinations.
+  for (int i = 0; i < D; ++i) idx[static_cast<std::size_t>(i)] = static_cast<std::size_t>(i);
+  if (m < static_cast<std::size_t>(D)) return vertices;
+  while (true) {
+    double a[D][D];
+    double b[D];
+    for (int r = 0; r < D; ++r) {
+      for (int c = 0; c < D; ++c) a[r][c] = hs[idx[static_cast<std::size_t>(r)]].normal[c];
+      b[r] = hs[idx[static_cast<std::size_t>(r)]].offset;
+    }
+    Point<D> v{};
+    if (solve<D>(a, b, v) && halfspaces_contain(hs, v, tol)) {
+      bool duplicate = false;
+      for (const auto& u : vertices) {
+        double d2 = (u - v).norm2();
+        if (d2 < tol) duplicate = true;
+      }
+      if (!duplicate) vertices.push_back(v);
+    }
+    int i = D - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] == m - static_cast<std::size_t>(D - i)) --i;
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < D; ++j) idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+  }
+  return vertices;
+}
+
+template <int D>
+std::vector<HalfSpace<D>> random_tangent_halfspaces(std::size_t m,
+                                                    std::uint64_t seed,
+                                                    double offset_spread) {
+  auto dirs = on_sphere<D>(m, seed);
+  std::vector<HalfSpace<D>> hs(m);
+  Rng rng(seed ^ 0xabcdef12345ULL);
+  for (std::size_t i = 0; i < m; ++i) {
+    hs[i].normal = dirs[i];
+    hs[i].offset = 1.0 + (offset_spread > 0 ? rng.next_double(0, offset_spread) : 0.0);
+  }
+  return hs;
+}
+
+// Explicit instantiations.
+template struct HalfSpace<2>;
+template struct HalfSpace<3>;
+template struct HalfSpace<4>;
+template HalfspaceIntersection<2> intersect_halfspaces<2>(
+    const std::vector<HalfSpace<2>>&);
+template HalfspaceIntersection<3> intersect_halfspaces<3>(
+    const std::vector<HalfSpace<3>>&);
+template HalfspaceIntersection<4> intersect_halfspaces<4>(
+    const std::vector<HalfSpace<4>>&);
+template bool halfspaces_contain<2>(const std::vector<HalfSpace<2>>&,
+                                    const Point<2>&, double);
+template bool halfspaces_contain<3>(const std::vector<HalfSpace<3>>&,
+                                    const Point<3>&, double);
+template bool halfspaces_contain<4>(const std::vector<HalfSpace<4>>&,
+                                    const Point<4>&, double);
+template std::vector<Point<2>> brute_force_halfspace_vertices<2>(
+    const std::vector<HalfSpace<2>>&, double);
+template std::vector<Point<3>> brute_force_halfspace_vertices<3>(
+    const std::vector<HalfSpace<3>>&, double);
+template std::vector<HalfSpace<2>> random_tangent_halfspaces<2>(std::size_t,
+                                                                std::uint64_t,
+                                                                double);
+template std::vector<HalfSpace<3>> random_tangent_halfspaces<3>(std::size_t,
+                                                                std::uint64_t,
+                                                                double);
+template std::vector<HalfSpace<4>> random_tangent_halfspaces<4>(std::size_t,
+                                                                std::uint64_t,
+                                                                double);
+
+}  // namespace parhull

@@ -1,0 +1,74 @@
+// Section 7: intersection of half-spaces, via point–hyperplane duality on
+// top of the parallel incremental hull.
+//
+// A half-space {x : n·x <= c} with c > 0 (the origin strictly inside)
+// dualizes to the point n/c. The convex hull of the dual points is dual to
+// the intersection polytope: hull FACETS correspond to intersection
+// VERTICES (solve q_i · v = 1 for the facet's dual points q_i), and hull
+// VERTICES correspond to the non-redundant (essential) half-spaces.
+//
+// Because the reduction runs the parallel incremental hull on the duals,
+// the configuration dependence graph of the half-space problem is exactly
+// the hull's — 2-support, depth O(log m) whp (paper, Section 7) — and the
+// instrumentation carries over.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+template <int D>
+struct HalfSpace {
+  Point<D> normal;  // need not be unit length
+  double offset;    // n·x <= offset; offset must be > 0 (origin inside)
+};
+
+template <int D>
+struct HalfspaceIntersection {
+  bool ok = false;
+  // Vertices of the intersection polytope (approximate coordinates from a
+  // D x D linear solve; the combinatorial structure is exact).
+  std::vector<Point<D>> vertices;
+  // Indices of essential (non-redundant) half-spaces.
+  std::vector<std::uint32_t> essential;
+  // For each vertex, the D half-space indices whose boundaries meet there.
+  std::vector<std::vector<std::uint32_t>> vertex_defs;
+  // Instrumentation from the underlying parallel hull run.
+  std::uint64_t facets_created = 0;
+  std::uint64_t visibility_tests = 0;
+  std::uint32_t dependence_depth = 0;
+  std::uint32_t max_round = 0;
+};
+
+// Intersect half-spaces that all strictly contain the origin. The input
+// order is the insertion order (shuffle for the whp guarantees). Requires
+// at least D+1 half-spaces whose duals are full-dimensional and a BOUNDED
+// intersection (the dual hull must contain the origin; returns ok=false
+// otherwise).
+template <int D>
+HalfspaceIntersection<D> intersect_halfspaces(
+    const std::vector<HalfSpace<D>>& hs);
+
+// Membership test: is x in every half-space?
+template <int D>
+bool halfspaces_contain(const std::vector<HalfSpace<D>>& hs,
+                        const Point<D>& x, double tol = 1e-9);
+
+// Brute-force oracle: enumerate all D-subsets, solve for the candidate
+// vertex, keep feasible ones. O(m^D · m); small inputs only.
+template <int D>
+std::vector<Point<D>> brute_force_halfspace_vertices(
+    const std::vector<HalfSpace<D>>& hs, double tol = 1e-9);
+
+// Generator: m half-spaces tangent to the unit sphere at random directions
+// (offset 1), all essential, bounded intersection containing the origin.
+template <int D>
+std::vector<HalfSpace<D>> random_tangent_halfspaces(std::size_t m,
+                                                    std::uint64_t seed,
+                                                    double offset_spread = 0.0);
+
+}  // namespace parhull

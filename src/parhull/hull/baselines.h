@@ -1,0 +1,42 @@
+// Classic convex hull baselines the paper's algorithm is compared against
+// in the runtime experiments (E5), and used as oracles in the test suite.
+//
+// 2D baselines return hull vertices in counter-clockwise order starting
+// from the lexicographically smallest point; collinear points on the hull
+// boundary are EXCLUDED (vertices only), matching what the incremental
+// algorithms produce for inputs in general position.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+// Andrew's monotone chain: O(n log n), the standard exact 2D baseline.
+std::vector<Point2> monotone_chain(std::vector<Point2> pts);
+
+// Graham scan (sort by angle around the bottom-most point).
+std::vector<Point2> graham_scan(std::vector<Point2> pts);
+
+// Gift wrapping / Jarvis march: O(n·h).
+std::vector<Point2> gift_wrapping(const std::vector<Point2>& pts);
+
+// Divide and conquer (sort by x, recursive hull merge via monotone chains).
+std::vector<Point2> divide_conquer_hull2d(std::vector<Point2> pts);
+
+// Quickhull in 2D: O(n log n) expected on random inputs.
+std::vector<Point2> quickhull2d(const std::vector<Point2>& pts);
+
+// Quickhull in 3D. Returns the hull facets as triangles of point indices
+// into `pts`, outward oriented. Requires general position.
+struct QuickHull3DResult {
+  bool ok = false;
+  std::vector<std::array<std::uint32_t, 3>> facets;
+  std::uint64_t orientation_tests = 0;
+};
+QuickHull3DResult quickhull3d(const PointSet<3>& pts);
+
+}  // namespace parhull

@@ -1,0 +1,47 @@
+#include <algorithm>
+
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/baselines.h"
+#include "parhull/parallel/parallel_for.h"
+
+namespace parhull {
+
+namespace {
+
+// Merge two CCW hulls whose x-ranges may overlap: the robust textbook merge
+// is to re-run a linear-time chain over the concatenated hull vertices,
+// which are already few. Since both inputs are convex polygons of combined
+// size m, the merge costs O(m log m) from the sort — still O(n log n)
+// overall and exact with robust predicates.
+std::vector<Point2> merge_hulls(const std::vector<Point2>& a,
+                                const std::vector<Point2>& b) {
+  std::vector<Point2> all;
+  all.reserve(a.size() + b.size());
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  return monotone_chain(std::move(all));
+}
+
+std::vector<Point2> hull_rec(const Point2* pts, std::size_t n) {
+  if (n <= 64) {
+    return monotone_chain(std::vector<Point2>(pts, pts + n));
+  }
+  std::size_t half = n / 2;
+  std::vector<Point2> left, right;
+  par_do([&] { left = hull_rec(pts, half); },
+         [&] { right = hull_rec(pts + half, n - half); });
+  return merge_hulls(left, right);
+}
+
+}  // namespace
+
+std::vector<Point2> divide_conquer_hull2d(std::vector<Point2> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() <= 2) return pts;
+  return hull_rec(pts.data(), pts.size());
+}
+
+}  // namespace parhull

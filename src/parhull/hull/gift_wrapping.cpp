@@ -1,0 +1,44 @@
+#include <algorithm>
+
+#include "parhull/common/assert.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/baselines.h"
+
+namespace parhull {
+
+std::vector<Point2> gift_wrapping(const std::vector<Point2>& input) {
+  std::vector<Point2> pts = input;
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  std::size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  std::vector<Point2> hull;
+  std::size_t start = 0;  // lexicographically smallest is surely on the hull
+  std::size_t current = start;
+  do {
+    hull.push_back(pts[current]);
+    // Find the point such that all others are strictly to the left of
+    // current -> candidate (CCW wrapping); collinear ties keep the
+    // farthest, so interior collinear points are skipped.
+    std::size_t candidate = (current + 1) % n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == current || i == candidate) continue;
+      int o = orient2d(pts[current], pts[candidate], pts[i]);
+      if (o < 0) {
+        candidate = i;
+      } else if (o == 0) {
+        double dc = (pts[candidate] - pts[current]).norm2();
+        double di = (pts[i] - pts[current]).norm2();
+        if (di > dc) candidate = i;
+      }
+    }
+    current = candidate;
+    PARHULL_CHECK_MSG(hull.size() <= n, "gift wrapping failed to close");
+  } while (current != start);
+  return hull;
+}
+
+}  // namespace parhull

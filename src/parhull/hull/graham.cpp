@@ -1,0 +1,48 @@
+#include <algorithm>
+
+#include "parhull/common/assert.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/baselines.h"
+
+namespace parhull {
+
+std::vector<Point2> graham_scan(std::vector<Point2> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a[1] < b[1] || (a[1] == b[1] && a[0] < b[0]);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  std::size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  const Point2 pivot = pts[0];  // bottom-most (then left-most) point
+  // Sort the rest by polar angle around the pivot; ties (collinear with the
+  // pivot) break by distance so the scan sees nearer points first.
+  std::sort(pts.begin() + 1, pts.end(),
+            [&](const Point2& a, const Point2& b) {
+              int o = orient2d(pivot, a, b);
+              if (o != 0) return o > 0;
+              double da = (a - pivot).norm2();
+              double db = (b - pivot).norm2();
+              return da < db;
+            });
+
+  std::vector<Point2> hull;
+  hull.push_back(pts[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    while (hull.size() >= 2 &&
+           orient2d(hull[hull.size() - 2], hull.back(), pts[i]) <= 0) {
+      hull.pop_back();
+    }
+    hull.push_back(pts[i]);
+  }
+  // Rotate so the hull starts at the lexicographically smallest point, the
+  // convention shared by all 2D baselines (simplifies equality testing).
+  auto first = std::min_element(
+      hull.begin(), hull.end(), [](const Point2& a, const Point2& b) {
+        return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]);
+      });
+  std::rotate(hull.begin(), first, hull.end());
+  return hull;
+}
+
+}  // namespace parhull

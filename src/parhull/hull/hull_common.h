@@ -1,0 +1,207 @@
+// Machinery shared by the sequential (Algorithm 2) and parallel
+// (Algorithm 3) incremental hulls: the facet record, visibility tests,
+// outward orientation, and initial-simplex construction.
+//
+// Conventions:
+//  * The input PointSet is in insertion order; the index of a point IS its
+//    priority in the random order S of the paper.
+//  * Facet vertices are stored sorted ascending, then the first two entries
+//    are swapped if needed so the facet is oriented outward (the interior
+//    reference point — centroid of the initial simplex — is on the
+//    non-visible side).
+//  * Conflict lists are sorted ascending, so the conflict pivot
+//    b_t = min_S(C(t)) (Section 5.2) is the front element.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/types.h"
+#include "parhull/containers/ridge_key.h"
+#include "parhull/geometry/point.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/parallel/primitives.h"
+
+namespace parhull {
+
+template <int D>
+struct Facet {
+  std::array<PointId, D> vertices{};  // sorted ascending, then orientation swap
+  std::vector<PointId> conflicts;     // ascending priority, excludes vertices
+  std::array<FacetId, D> neighbors{}; // sequential algorithm only:
+                                      // neighbors[k] is across the ridge
+                                      // omitting vertices[k]
+  std::atomic<bool> dead{false};
+
+  // Instrumentation (configuration dependence graph, Section 4).
+  PointId apex = kInvalidPoint;       // point p joined with the ridge
+  FacetId support0 = kInvalidFacet;   // the support set {t1, t2} (Fact 5.2)
+  FacetId support1 = kInvalidFacet;
+  std::uint32_t depth = 0;            // 1 + max(depth of supports); 0 initial
+  std::uint32_t round = 0;            // ProcessRidge recursion depth at creation
+
+  bool alive() const { return !dead.load(std::memory_order_acquire); }
+  void kill() { dead.store(true, std::memory_order_release); }
+
+  PointId pivot() const {  // min_S(C(t)), or kInvalidPoint if no conflicts
+    return conflicts.empty() ? kInvalidPoint : conflicts.front();
+  }
+
+  // The ridge opposite position k (all vertices but vertices[k]).
+  RidgeKey<D> ridge_omitting(int k) const {
+    std::array<PointId, static_cast<std::size_t>(D - 1)> ids{};
+    int out = 0;
+    for (int i = 0; i < D; ++i) {
+      if (i != k) ids[static_cast<std::size_t>(out++)] =
+          vertices[static_cast<std::size_t>(i)];
+    }
+    return RidgeKey<D>::from_unsorted(ids);
+  }
+};
+
+// True iff point p is strictly visible from facet vertices f (positive side
+// of the oriented hyperplane).
+template <int D>
+inline bool visible(const PointSet<D>& pts,
+                    const std::array<PointId, static_cast<std::size_t>(D)>& f,
+                    const Point<D>& p) {
+  std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
+  for (int i = 0; i < D; ++i)
+    ptr[static_cast<std::size_t>(i)] = &pts[f[static_cast<std::size_t>(i)]];
+  ptr[static_cast<std::size_t>(D)] = &p;
+  return orient<D>(ptr) > 0;
+}
+
+template <int D>
+inline bool visible(const PointSet<D>& pts,
+                    const std::array<PointId, static_cast<std::size_t>(D)>& f,
+                    PointId p) {
+  return visible<D>(pts, f, pts[p]);
+}
+
+// Canonicalize facet vertex order: sort ascending, then ensure the interior
+// reference point is NOT visible (swap the first two vertices to flip
+// orientation if needed). Returns false if the facet is degenerate (the
+// interior point lies on its hyperplane), which cannot happen for hull
+// facets of a full-dimensional point set in general position.
+template <int D>
+bool orient_outward(const PointSet<D>& pts,
+                    std::array<PointId, static_cast<std::size_t>(D)>& f,
+                    const Point<D>& interior) {
+  std::sort(f.begin(), f.end());
+  std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
+  for (int i = 0; i < D; ++i)
+    ptr[static_cast<std::size_t>(i)] = &pts[f[static_cast<std::size_t>(i)]];
+  ptr[static_cast<std::size_t>(D)] = &interior;
+  int s = orient<D>(ptr);
+  if (s == 0) return false;
+  if (s > 0) std::swap(f[0], f[1]);
+  return true;
+}
+
+// Reorder pts in place so that the first D+1 points are affinely
+// independent (exact test), moving the chosen points to the front while
+// preserving the relative order of all other points. Returns false if the
+// whole input is degenerate (affine dimension < D). Both hull algorithms
+// call this identically, so they see the same insertion order.
+template <int D>
+bool prepare_input(PointSet<D>& pts) {
+  const std::size_t n = pts.size();
+  if (n < static_cast<std::size_t>(D) + 1) return false;
+  std::vector<std::size_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(D) + 1);
+  std::vector<const Point<D>*> probe;
+  for (std::size_t i = 0; i < n && chosen.size() < static_cast<std::size_t>(D) + 1;
+       ++i) {
+    probe.clear();
+    for (std::size_t c : chosen) probe.push_back(&pts[c]);
+    probe.push_back(&pts[i]);
+    if (affinely_independent<D>(probe)) chosen.push_back(i);
+  }
+  if (chosen.size() < static_cast<std::size_t>(D) + 1) return false;
+  // Stable partition: chosen points to the front in their original order.
+  PointSet<D> reordered;
+  reordered.reserve(n);
+  std::vector<char> is_chosen(n, 0);
+  for (std::size_t c : chosen) {
+    reordered.push_back(pts[c]);
+    is_chosen[c] = 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_chosen[i]) reordered.push_back(pts[i]);
+  }
+  pts = std::move(reordered);
+  return true;
+}
+
+// Merge two ascending conflict lists (line 9 of Algorithm 2 / line 16 of
+// Algorithm 3): drop duplicates and the apex p, keep points visible from
+// the new facet fv. One visibility test per distinct non-apex candidate —
+// identical counting in the sequential and parallel algorithms, which is
+// what makes invariant I2 (test-set identity) checkable.
+template <int D>
+struct MergeFilterResult {
+  std::vector<PointId> conflicts;
+  std::uint64_t tests = 0;
+};
+
+template <int D>
+MergeFilterResult<D> merge_filter_conflicts(
+    const std::vector<PointId>& a, const std::vector<PointId>& b,
+    const PointSet<D>& pts,
+    const std::array<PointId, static_cast<std::size_t>(D)>& fv, PointId apex,
+    bool parallel_ok = false);
+
+// Sorted vertex tuple (canonical identity of a facet as a configuration).
+template <int D>
+std::array<PointId, static_cast<std::size_t>(D)> canonical_vertices(
+    const Facet<D>& f) {
+  auto v = f.vertices;
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+template <int D>
+MergeFilterResult<D> merge_filter_conflicts(
+    const std::vector<PointId>& a, const std::vector<PointId>& b,
+    const PointSet<D>& pts,
+    const std::array<PointId, static_cast<std::size_t>(D)>& fv, PointId apex,
+    bool parallel_ok) {
+  MergeFilterResult<D> result;
+  // Merge the two ascending unique lists into a unique candidate sequence,
+  // skipping the apex.
+  std::vector<PointId> candidates;
+  candidates.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    PointId next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) ++j;  // duplicate
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    if (next != apex) candidates.push_back(next);
+  }
+  result.tests = candidates.size();
+  constexpr std::size_t kParallelCutoff = 4096;
+  if (!parallel_ok || candidates.size() < kParallelCutoff) {
+    result.conflicts.reserve(candidates.size());
+    for (PointId q : candidates) {
+      if (visible<D>(pts, fv, q)) result.conflicts.push_back(q);
+    }
+  } else {
+    result.conflicts = parallel_pack_index<PointId>(
+        candidates.size(),
+        [&](std::size_t k) { return visible<D>(pts, fv, candidates[k]); },
+        [&](std::size_t k) { return candidates[k]; });
+  }
+  return result;
+}
+
+}  // namespace parhull

@@ -1,0 +1,36 @@
+#include <algorithm>
+
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/baselines.h"
+
+namespace parhull {
+
+namespace {
+bool lex_less(const Point2& a, const Point2& b) {
+  return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]);
+}
+}  // namespace
+
+std::vector<Point2> monotone_chain(std::vector<Point2> pts) {
+  std::sort(pts.begin(), pts.end(), lex_less);
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  std::size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  std::vector<Point2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull. Strict left turns only: collinear points are dropped.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && orient2d(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  for (std::size_t i = n - 1, lower = k + 1; i-- > 0;) {
+    while (k >= lower && orient2d(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point == first point
+  return hull;
+}
+
+}  // namespace parhull

@@ -1,0 +1,80 @@
+#include <algorithm>
+
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/baselines.h"
+#include "parhull/parallel/parallel_for.h"
+
+namespace parhull {
+
+namespace {
+
+// Signed doubled triangle area (a, b, c): a floating score for choosing the
+// farthest point. Exactness is not needed for the choice (any point with
+// positive orientation works), only for side tests, which use orient2d.
+double area2(const Point2& a, const Point2& b, const Point2& c) {
+  return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+}
+
+// pts must be strictly left of a->b. Appends the hull vertices strictly
+// between a and b to `out`, ordered from a towards b.
+void quickhull_rec(const std::vector<Point2>& pts, const Point2& a,
+                   const Point2& b, std::vector<Point2>& out) {
+  if (pts.empty()) return;
+  std::size_t far = 0;
+  double best = -1;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    double d = area2(a, b, pts[i]);
+    if (d > best) {
+      best = d;
+      far = i;
+    }
+  }
+  const Point2 f = pts[far];
+  std::vector<Point2> left_af, left_fb;
+  for (const Point2& p : pts) {
+    if (p == f) continue;
+    if (orient2d(a, f, p) > 0) left_af.push_back(p);
+    else if (orient2d(f, b, p) > 0) left_fb.push_back(p);
+  }
+  std::vector<Point2> before, after;
+  par_do([&] { quickhull_rec(left_af, a, f, before); },
+         [&] { quickhull_rec(left_fb, f, b, after); });
+  out.insert(out.end(), before.begin(), before.end());
+  out.push_back(f);
+  out.insert(out.end(), after.begin(), after.end());
+}
+
+}  // namespace
+
+std::vector<Point2> quickhull2d(const std::vector<Point2>& input) {
+  std::vector<Point2> pts = input;
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() <= 2) return pts;
+
+  const Point2 lo = pts.front();
+  const Point2 hi = pts.back();
+  std::vector<Point2> below, above;  // sides of the lo-hi line
+  for (const Point2& p : pts) {
+    int o = orient2d(lo, hi, p);
+    if (o > 0) above.push_back(p);
+    else if (o < 0) below.push_back(p);
+  }
+  // CCW traversal from lo runs along the below side to hi, then back along
+  // the above side. quickhull_rec(below, hi, lo) emits hi->lo order and
+  // quickhull_rec(above, lo, hi) emits lo->hi order, so both are reversed.
+  std::vector<Point2> below_chain, above_chain;
+  par_do([&] { quickhull_rec(below, hi, lo, below_chain); },
+         [&] { quickhull_rec(above, lo, hi, above_chain); });
+  std::vector<Point2> hull;
+  hull.reserve(below_chain.size() + above_chain.size() + 2);
+  hull.push_back(lo);
+  hull.insert(hull.end(), below_chain.rbegin(), below_chain.rend());
+  hull.push_back(hi);
+  hull.insert(hull.end(), above_chain.rbegin(), above_chain.rend());
+  return hull;
+}
+
+}  // namespace parhull

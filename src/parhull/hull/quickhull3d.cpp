@@ -1,0 +1,236 @@
+#include <algorithm>
+#include <array>
+#include <map>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/baselines.h"
+
+namespace parhull {
+
+namespace {
+
+using Tri = std::array<std::uint32_t, 3>;
+
+struct Face {
+  Tri v{};                      // outward oriented
+  std::array<int, 3> nbr{-1, -1, -1};  // neighbor across edge omitting v[k]
+  std::vector<std::uint32_t> outside;  // points assigned to this face
+  bool dead = false;
+};
+
+double plane_dist(const PointSet<3>& pts, const Tri& t, std::uint32_t p) {
+  // Unnormalized signed volume; positive = outside. Used only for
+  // farthest-point selection.
+  const Point3 &a = pts[t[0]], &b = pts[t[1]], &c = pts[t[2]], &d = pts[p];
+  Point3 u = b - a, v = c - a, w = d - a;
+  return u[1] * v[2] * w[0] - u[2] * v[1] * w[0] + u[2] * v[0] * w[1] -
+         u[0] * v[2] * w[1] + u[0] * v[1] * w[2] - u[1] * v[0] * w[2];
+}
+
+}  // namespace
+
+QuickHull3DResult quickhull3d(const PointSet<3>& pts) {
+  QuickHull3DResult res;
+  const std::uint32_t n = static_cast<std::uint32_t>(pts.size());
+  if (n < 4) return res;
+
+  // --- Initial tetrahedron: exact independence via affinely_independent.
+  std::vector<std::uint32_t> init;
+  std::vector<const Point3*> probe;
+  for (std::uint32_t i = 0; i < n && init.size() < 4; ++i) {
+    probe.clear();
+    for (std::uint32_t c : init) probe.push_back(&pts[c]);
+    probe.push_back(&pts[i]);
+    if (affinely_independent<3>(probe)) init.push_back(i);
+  }
+  if (init.size() < 4) return res;  // degenerate input
+
+  Point3 interior{};
+  for (std::uint32_t c : init) interior = interior + pts[c];
+  interior = interior * 0.25;
+
+  auto orient_outward3 = [&](Tri& t) {
+    ++res.orientation_tests;
+    int s = orient3d(pts[t[0]], pts[t[1]], pts[t[2]], interior);
+    PARHULL_CHECK(s != 0);
+    if (s > 0) std::swap(t[0], t[1]);
+  };
+
+  std::vector<Face> faces;
+  faces.reserve(64);
+  for (int k = 0; k < 4; ++k) {
+    Face f;
+    int out = 0;
+    for (int v = 0; v < 4; ++v) {
+      if (v != k) f.v[static_cast<std::size_t>(out++)] = init[static_cast<std::size_t>(v)];
+    }
+    std::sort(f.v.begin(), f.v.end());
+    orient_outward3(f.v);
+    faces.push_back(std::move(f));
+  }
+  // Neighbor wiring of the tetrahedron: faces share edges pairwise; find by
+  // brute force (4 faces only).
+  auto shares_edge = [](const Tri& a, const Tri& b, int& slot) {
+    for (int k = 0; k < 3; ++k) {
+      std::uint32_t e0 = a[(static_cast<std::size_t>(k) + 1) % 3];
+      std::uint32_t e1 = a[(static_cast<std::size_t>(k) + 2) % 3];
+      int match = 0;
+      for (int m = 0; m < 3; ++m) {
+        if (b[static_cast<std::size_t>(m)] == e0 || b[static_cast<std::size_t>(m)] == e1) ++match;
+      }
+      if (match == 2) {
+        slot = k;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      int slot;
+      if (shares_edge(faces[static_cast<std::size_t>(i)].v,
+                      faces[static_cast<std::size_t>(j)].v, slot)) {
+        faces[static_cast<std::size_t>(i)].nbr[static_cast<std::size_t>(slot)] = j;
+      }
+    }
+  }
+
+  // --- Assign every point to one visible face.
+  auto assign = [&](std::uint32_t p, const std::vector<int>& candidates) {
+    for (int fi : candidates) {
+      Face& f = faces[static_cast<std::size_t>(fi)];
+      if (f.dead) continue;
+      ++res.orientation_tests;
+      if (orient3d(pts[f.v[0]], pts[f.v[1]], pts[f.v[2]], pts[p]) > 0) {
+        f.outside.push_back(p);
+        return;
+      }
+    }
+  };
+  {
+    std::vector<int> all{0, 1, 2, 3};
+    for (std::uint32_t p = 0; p < n; ++p) {
+      if (p == init[0] || p == init[1] || p == init[2] || p == init[3]) continue;
+      assign(p, all);
+    }
+  }
+
+  // --- Main loop: process faces with nonempty outside sets.
+  std::vector<int> pending;
+  for (int i = 0; i < 4; ++i) {
+    if (!faces[static_cast<std::size_t>(i)].outside.empty()) pending.push_back(i);
+  }
+  std::vector<std::uint32_t> stamp;  // face -> visit stamp
+  std::uint32_t epoch = 0;
+  while (!pending.empty()) {
+    int fi = pending.back();
+    pending.pop_back();
+    Face& f0 = faces[static_cast<std::size_t>(fi)];
+    if (f0.dead || f0.outside.empty()) continue;
+    // Farthest outside point.
+    std::uint32_t apex = f0.outside[0];
+    double best = -1;
+    for (std::uint32_t p : f0.outside) {
+      double d = plane_dist(pts, f0.v, p);
+      if (d > best) {
+        best = d;
+        apex = p;
+      }
+    }
+    // Visible region by BFS over neighbors.
+    ++epoch;
+    if (stamp.size() < faces.size()) stamp.resize(faces.size() * 2 + 8, 0);
+    std::vector<int> visible_faces{fi};
+    stamp[static_cast<std::size_t>(fi)] = epoch;
+    std::vector<std::pair<int, int>> horizon;  // (visible face, slot)
+    for (std::size_t head = 0; head < visible_faces.size(); ++head) {
+      int cur = visible_faces[head];
+      Face& fc = faces[static_cast<std::size_t>(cur)];
+      for (int k = 0; k < 3; ++k) {
+        int g = fc.nbr[static_cast<std::size_t>(k)];
+        PARHULL_CHECK(g >= 0);
+        if (stamp[static_cast<std::size_t>(g)] == epoch) continue;
+        Face& fg = faces[static_cast<std::size_t>(g)];
+        ++res.orientation_tests;
+        if (orient3d(pts[fg.v[0]], pts[fg.v[1]], pts[fg.v[2]], pts[apex]) > 0) {
+          stamp[static_cast<std::size_t>(g)] = epoch;
+          visible_faces.push_back(g);
+        } else {
+          horizon.emplace_back(cur, k);
+        }
+      }
+    }
+    // Build the cone of new faces over horizon edges.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<int, int>>
+        edge_map;  // sorted edge -> (new face, slot)
+    std::vector<int> new_faces;
+    for (auto [vf, slot] : horizon) {
+      Face& fv = faces[static_cast<std::size_t>(vf)];
+      int g = fv.nbr[static_cast<std::size_t>(slot)];
+      // Horizon edge = fv.v minus fv.v[slot].
+      Tri t;
+      int out = 0;
+      for (int v = 0; v < 3; ++v) {
+        if (v != slot) t[static_cast<std::size_t>(out++)] = fv.v[static_cast<std::size_t>(v)];
+      }
+      t[2] = apex;
+      std::sort(t.begin(), t.end());
+      orient_outward3(t);
+      Face nf;
+      nf.v = t;
+      int nfi = static_cast<int>(faces.size());
+      // Wire across the horizon edge: new face <-> g.
+      int apex_slot = 0;
+      for (int v = 0; v < 3; ++v) {
+        if (t[static_cast<std::size_t>(v)] == apex) apex_slot = v;
+      }
+      nf.nbr[static_cast<std::size_t>(apex_slot)] = g;
+      Face& fg = faces[static_cast<std::size_t>(g)];
+      for (int v = 0; v < 3; ++v) {
+        if (fg.nbr[static_cast<std::size_t>(v)] == vf) fg.nbr[static_cast<std::size_t>(v)] = nfi;
+      }
+      // Side edges (containing apex) pair new faces together.
+      faces.push_back(std::move(nf));
+      new_faces.push_back(nfi);
+      for (int v = 0; v < 3; ++v) {
+        if (v == apex_slot) continue;
+        std::uint32_t e0 = t[(static_cast<std::size_t>(v) + 1) % 3];
+        std::uint32_t e1 = t[(static_cast<std::size_t>(v) + 2) % 3];
+        std::pair<std::uint32_t, std::uint32_t> key = std::minmax(e0, e1);
+        auto it = edge_map.find(key);
+        if (it == edge_map.end()) {
+          edge_map.emplace(key, std::make_pair(nfi, v));
+        } else {
+          faces[static_cast<std::size_t>(nfi)].nbr[static_cast<std::size_t>(v)] = it->second.first;
+          faces[static_cast<std::size_t>(it->second.first)]
+              .nbr[static_cast<std::size_t>(it->second.second)] = nfi;
+          edge_map.erase(it);
+        }
+      }
+    }
+    PARHULL_CHECK(edge_map.empty());
+    // Reassign outside points of deleted faces to the new faces.
+    for (int vf : visible_faces) {
+      Face& fv = faces[static_cast<std::size_t>(vf)];
+      fv.dead = true;
+      for (std::uint32_t p : fv.outside) {
+        if (p != apex) assign(p, new_faces);
+      }
+      fv.outside.clear();
+    }
+    for (int nfi : new_faces) {
+      if (!faces[static_cast<std::size_t>(nfi)].outside.empty()) pending.push_back(nfi);
+    }
+  }
+
+  for (const Face& f : faces) {
+    if (!f.dead) res.facets.push_back(f.v);
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace parhull

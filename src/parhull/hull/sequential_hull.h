@@ -1,0 +1,197 @@
+// Algorithm 2: the classic sequential randomized incremental convex hull
+// with Clarkson–Shor conflict lists, in any constant dimension D.
+//
+// This is the baseline the parallel algorithm is measured against: the
+// paper's work-efficiency claim is that Algorithm 3 performs exactly the
+// same visibility tests and creates exactly the same facets, only in a
+// relaxed order. Every created facet records its support set (the two
+// facets sharing its horizon ridge, Fact 5.2) and its dependence depth, so
+// the configuration dependence graph of Section 4 can be read off a
+// sequential run as well.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/types.h"
+#include "parhull/containers/concurrent_pool.h"
+#include "parhull/hull/hull_common.h"
+
+namespace parhull {
+
+template <int D>
+class SequentialHull {
+ public:
+  struct Result {
+    bool ok = false;                    // false: input degenerate
+    std::vector<FacetId> hull;          // alive facets = convex hull of input
+    std::uint64_t facets_created = 0;   // including the initial D+1
+    std::uint64_t visibility_tests = 0;
+    std::uint64_t total_conflicts = 0;  // sum |C(t)| over created facets
+    std::uint64_t points_inside = 0;    // inserted points with no conflicts
+    std::uint32_t dependence_depth = 0; // max facet depth (Theorem 1.1)
+  };
+
+  // pts must be prepared (prepare_input<D>): the first D+1 points affinely
+  // independent. Points are inserted in index order.
+  Result run(const PointSet<D>& pts) {
+    Result res;
+    const std::size_t n = pts.size();
+    PARHULL_CHECK(n >= static_cast<std::size_t>(D) + 1);
+    interior_ = centroid<D>(pts.data(), D + 1);
+
+    // --- Initial simplex: facet F_k omits point k (Algorithm 2, line 2).
+    point_facets_.assign(n, {});
+    std::array<FacetId, static_cast<std::size_t>(D) + 1> initial{};
+    for (int k = 0; k <= D; ++k) {
+      FacetId id = pool_.allocate();
+      initial[static_cast<std::size_t>(k)] = id;
+      Facet<D>& f = pool_[id];
+      int out = 0;
+      for (int v = 0; v <= D; ++v) {
+        if (v != k) f.vertices[static_cast<std::size_t>(out++)] =
+            static_cast<PointId>(v);
+      }
+      bool ok = orient_outward<D>(pts, f.vertices, interior_);
+      PARHULL_CHECK_MSG(ok, "initial simplex degenerate (prepare_input?)");
+      // Neighbor across the ridge omitting vertices[m] is the simplex facet
+      // that omits that vertex.
+      for (int m = 0; m < D; ++m) {
+        f.neighbors[static_cast<std::size_t>(m)] =
+            f.vertices[static_cast<std::size_t>(m)];  // == F_{vertices[m]} id
+      }
+    }
+    // Facet ids of the simplex equal k only if allocation started at 0; fix
+    // the neighbor ids through the `initial` indirection.
+    for (int k = 0; k <= D; ++k) {
+      Facet<D>& f = pool_[initial[static_cast<std::size_t>(k)]];
+      for (int m = 0; m < D; ++m) {
+        f.neighbors[static_cast<std::size_t>(m)] =
+            initial[f.neighbors[static_cast<std::size_t>(m)]];
+      }
+    }
+
+    // --- Initial conflict lists (line 3).
+    for (PointId q = static_cast<PointId>(D + 1); q < n; ++q) {
+      for (int k = 0; k <= D; ++k) {
+        FacetId id = initial[static_cast<std::size_t>(k)];
+        Facet<D>& f = pool_[id];
+        ++res.visibility_tests;
+        if (visible<D>(pts, f.vertices, q)) {
+          f.conflicts.push_back(q);
+          point_facets_[q].push_back(id);
+        }
+      }
+    }
+    res.facets_created = static_cast<std::uint64_t>(D) + 1;
+    for (int k = 0; k <= D; ++k) {
+      res.total_conflicts +=
+          pool_[initial[static_cast<std::size_t>(k)]].conflicts.size();
+    }
+
+    // --- Incremental insertion (lines 4–11).
+    std::vector<std::uint32_t> stamp;  // facet id -> last step it was visible
+    struct PendingRidge {
+      FacetId facet;
+      int slot;
+    };
+    std::map<RidgeKey<D>, PendingRidge> ridge_map;  // side ridges of one step
+    for (PointId p = static_cast<PointId>(D + 1); p < n; ++p) {
+      // R <- C^-1(p), alive only.
+      std::vector<FacetId> visible_set;
+      for (FacetId f : point_facets_[p]) {
+        if (pool_[f].alive()) visible_set.push_back(f);
+      }
+      if (visible_set.empty()) {
+        ++res.points_inside;
+        continue;
+      }
+      if (stamp.size() < pool_.size()) stamp.resize(pool_.size() * 2, 0);
+      for (FacetId f : visible_set) stamp[f] = p;
+
+      ridge_map.clear();
+      for (FacetId fid : visible_set) {
+        Facet<D>& f = pool_[fid];
+        for (int m = 0; m < D; ++m) {
+          FacetId gid = f.neighbors[static_cast<std::size_t>(m)];
+          if (stamp[gid] == p) continue;  // interior ridge: both visible
+          // Horizon ridge between f (visible, t1) and g (invisible, t2):
+          // new facet t = ridge ∪ {p} (lines 7–10).
+          Facet<D>& g = pool_[gid];
+          FacetId tid = pool_.allocate();
+          Facet<D>& t = pool_[tid];
+          int out = 0;
+          for (int v = 0; v < D; ++v) {
+            if (v != m) t.vertices[static_cast<std::size_t>(out++)] =
+                f.vertices[static_cast<std::size_t>(v)];
+          }
+          t.vertices[static_cast<std::size_t>(D - 1)] = p;
+          bool ok = orient_outward<D>(pts, t.vertices, interior_);
+          PARHULL_CHECK_MSG(ok, "degenerate facet: input not in general position");
+          t.apex = p;
+          t.support0 = fid;
+          t.support1 = gid;
+          t.depth = 1 + std::max(f.depth, g.depth);
+          if (t.depth > res.dependence_depth) res.dependence_depth = t.depth;
+
+          auto mf = merge_filter_conflicts<D>(f.conflicts, g.conflicts, pts,
+                                              t.vertices, p);
+          res.visibility_tests += mf.tests;
+          t.conflicts = std::move(mf.conflicts);
+          res.total_conflicts += t.conflicts.size();
+          for (PointId q : t.conflicts) point_facets_[q].push_back(tid);
+          ++res.facets_created;
+
+          // Neighbor wiring. Across the horizon ridge: t <-> g.
+          int p_slot = -1;
+          for (int v = 0; v < D; ++v) {
+            if (t.vertices[static_cast<std::size_t>(v)] == p) p_slot = v;
+          }
+          PARHULL_DCHECK(p_slot >= 0);
+          t.neighbors[static_cast<std::size_t>(p_slot)] = gid;
+          for (int v = 0; v < D; ++v) {
+            if (g.neighbors[static_cast<std::size_t>(v)] == fid) {
+              g.neighbors[static_cast<std::size_t>(v)] = tid;
+            }
+          }
+          // Side ridges (containing p): pair new facets with each other.
+          for (int v = 0; v < D; ++v) {
+            if (v == p_slot) continue;
+            RidgeKey<D> key = t.ridge_omitting(v);
+            auto it = ridge_map.find(key);
+            if (it == ridge_map.end()) {
+              ridge_map.emplace(key, PendingRidge{tid, v});
+            } else {
+              Facet<D>& other = pool_[it->second.facet];
+              t.neighbors[static_cast<std::size_t>(v)] = it->second.facet;
+              other.neighbors[static_cast<std::size_t>(it->second.slot)] = tid;
+              ridge_map.erase(it);
+            }
+          }
+        }
+      }
+      for (FacetId f : visible_set) pool_[f].kill();
+      PARHULL_DCHECK(ridge_map.empty());
+    }
+
+    // --- Collect the hull (alive facets).
+    for (FacetId id = 0; id < pool_.size(); ++id) {
+      if (pool_[id].alive()) res.hull.push_back(id);
+    }
+    res.ok = true;
+    return res;
+  }
+
+  const Facet<D>& facet(FacetId id) const { return pool_[id]; }
+  Facet<D>& facet(FacetId id) { return pool_[id]; }
+  std::uint32_t facet_count() const { return pool_.size(); }
+  const Point<D>& interior() const { return interior_; }
+
+ private:
+  ConcurrentPool<Facet<D>> pool_;
+  std::vector<std::vector<FacetId>> point_facets_;  // C^-1
+  Point<D> interior_{};
+};
+
+}  // namespace parhull

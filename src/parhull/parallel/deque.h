@@ -1,0 +1,129 @@
+// Chase–Lev work-stealing deque (owner pushes/pops at the bottom, thieves
+// steal from the top), following the weak-memory-model formulation of
+// Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13). Stores raw Task pointers; the
+// tasks themselves live on the forking thread's stack (child stealing), so
+// the deque never owns anything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "parhull/common/assert.h"
+
+namespace parhull {
+
+class Task;
+
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::int64_t initial_capacity = 1024) {
+    retired_.push_back(std::make_unique<Buffer>(initial_capacity));
+    buffer_.store(retired_.back().get(), std::memory_order_relaxed);
+  }
+
+  ~WorkStealingDeque() = default;  // all buffers owned by retired_
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  // Owner only.
+  void push(Task* task) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* a = buffer_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, task);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns nullptr if the deque is empty or the last element
+  // was just stolen.
+  Task* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* a = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    Task* result = nullptr;
+    if (t <= b) {
+      result = a->get(b);
+      if (t == b) {
+        // Single element left: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          result = nullptr;  // lost the race
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+  // Any thread. Returns nullptr on empty or lost race (caller may retry a
+  // different victim).
+  Task* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    Task* result = nullptr;
+    if (t < b) {
+      Buffer* a = buffer_.load(std::memory_order_acquire);
+      result = a->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return nullptr;
+      }
+    }
+    return result;
+  }
+
+  bool maybe_nonempty() const {
+    return bottom_.load(std::memory_order_relaxed) >
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<Task*>[cap]) {
+      PARHULL_CHECK_MSG((cap & (cap - 1)) == 0,
+                        "deque capacity must be a power of two");
+    }
+    Task* get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, Task* task) {
+      slots[i & mask].store(task, std::memory_order_relaxed);
+    }
+    std::int64_t capacity;
+    std::int64_t mask;
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto grown = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) grown->put(i, old->get(i));
+    Buffer* raw = grown.get();
+    // Old buffers are retired, not freed, since a concurrent thief may still
+    // be reading through a stale pointer. Memory is reclaimed when the deque
+    // is destroyed.
+    retired_.push_back(std::move(grown));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only mutation
+};
+
+}  // namespace parhull

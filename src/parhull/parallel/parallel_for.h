@@ -1,0 +1,50 @@
+// Data-parallel loop built on binary fork-join: the range is split
+// recursively until it is at most `grain` long, giving O(log(n/grain))
+// span overhead, matching the binary-forking model accounting used by
+// Theorem 5.5.
+#pragma once
+
+#include <cstddef>
+
+#include "parhull/parallel/scheduler.h"
+
+namespace parhull {
+
+namespace detail {
+
+template <typename F>
+void parallel_for_rec(std::size_t lo, std::size_t hi, std::size_t grain,
+                      const F& f) {
+  if (hi - lo <= grain) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  std::size_t mid = lo + (hi - lo) / 2;
+  Scheduler::get().fork_join(
+      [&] { parallel_for_rec(lo, mid, grain, f); },
+      [&] { parallel_for_rec(mid, hi, grain, f); });
+}
+
+}  // namespace detail
+
+// Invoke f(i) for i in [lo, hi). grain = 0 picks an automatic grain size.
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, const F& f,
+                  std::size_t grain = 0) {
+  if (hi <= lo) return;
+  if (grain == 0) {
+    std::size_t n = hi - lo;
+    std::size_t p = static_cast<std::size_t>(Scheduler::get().num_workers());
+    grain = n / (8 * p) + 1;
+    if (grain > 2048) grain = 2048;
+  }
+  detail::parallel_for_rec(lo, hi, grain, f);
+}
+
+// Run both thunks, potentially in parallel (paper-style `par_do`).
+template <typename FA, typename FB>
+void par_do(FA&& fa, FB&& fb) {
+  Scheduler::get().fork_join(static_cast<FA&&>(fa), static_cast<FB&&>(fb));
+}
+
+}  // namespace parhull

@@ -1,0 +1,233 @@
+// Work-efficient data-parallel primitives on top of fork-join:
+// reduce, exclusive scan, filter/pack, count, min-index reduce, and a
+// parallel comparison sort. These are the building blocks the paper's cost
+// analysis charges to "standard techniques" (prefix sums, approximate
+// compaction, parallel hash tables).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "parhull/parallel/parallel_for.h"
+#include "parhull/parallel/scheduler.h"
+
+namespace parhull {
+
+// ---------------------------------------------------------------------------
+// reduce
+// ---------------------------------------------------------------------------
+
+// Reduce map(i) for i in [lo, hi) with associative combine; identity is the
+// neutral element.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t lo, std::size_t hi, T identity, const Map& map,
+                  const Combine& combine, std::size_t grain = 1024) {
+  if (hi <= lo) return identity;
+  if (hi - lo <= grain) {
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  std::size_t mid = lo + (hi - lo) / 2;
+  T left = identity, right = identity;
+  par_do([&] { left = parallel_reduce(lo, mid, identity, map, combine, grain); },
+         [&] { right = parallel_reduce(mid, hi, identity, map, combine, grain); });
+  return combine(left, right);
+}
+
+// Sum of map(i) over [lo, hi).
+template <typename T, typename Map>
+T parallel_sum(std::size_t lo, std::size_t hi, const Map& map) {
+  return parallel_reduce(lo, hi, T{}, map, std::plus<T>{});
+}
+
+// Index of the minimum of map(i) over [lo, hi) under Less; ties break to the
+// smaller index (deterministic). Returns hi if the range is empty.
+template <typename Map, typename Less>
+std::size_t parallel_min_index(std::size_t lo, std::size_t hi, const Map& map,
+                               const Less& less, std::size_t grain = 1024) {
+  if (hi <= lo) return hi;
+  if (hi - lo <= grain) {
+    std::size_t best = lo;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      if (less(map(i), map(best))) best = i;
+    }
+    return best;
+  }
+  std::size_t mid = lo + (hi - lo) / 2;
+  std::size_t left = 0, right = 0;
+  par_do([&] { left = parallel_min_index(lo, mid, map, less, grain); },
+         [&] { right = parallel_min_index(mid, hi, map, less, grain); });
+  return less(map(right), map(left)) ? right : left;
+}
+
+// ---------------------------------------------------------------------------
+// scan
+// ---------------------------------------------------------------------------
+
+// Exclusive prefix sums of `in` into `out` (out may alias in); returns the
+// grand total. Two-pass blocked algorithm: O(n) work, O(log n) span.
+template <typename T>
+T parallel_scan_exclusive(const std::vector<T>& in, std::vector<T>& out) {
+  std::size_t n = in.size();
+  out.resize(n);
+  if (n == 0) return T{};
+  constexpr std::size_t kBlock = 2048;
+  std::size_t num_blocks = (n + kBlock - 1) / kBlock;
+  if (num_blocks == 1) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  std::vector<T> block_sums(num_blocks);
+  parallel_for(0, num_blocks, [&](std::size_t b) {
+    std::size_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += in[i];
+    block_sums[b] = acc;
+  });
+  T total{};
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T v = block_sums[b];
+    block_sums[b] = total;
+    total += v;
+  }
+  parallel_for(0, num_blocks, [&](std::size_t b) {
+    std::size_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+    T acc = block_sums[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+  });
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// filter / pack
+// ---------------------------------------------------------------------------
+
+// Keep i in [0, n) where pred(i), writing gen(i) into the result in index
+// order (stable). O(n) work, O(log n) span.
+template <typename T, typename Pred, typename Gen>
+std::vector<T> parallel_pack_index(std::size_t n, const Pred& pred,
+                                   const Gen& gen) {
+  std::vector<std::uint32_t> flags(n);
+  parallel_for(0, n, [&](std::size_t i) { flags[i] = pred(i) ? 1u : 0u; });
+  std::vector<std::uint32_t> offsets;
+  std::uint32_t total = parallel_scan_exclusive(flags, offsets);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = gen(i);
+  });
+  return out;
+}
+
+// Stable filter of a vector by predicate on elements.
+template <typename T, typename Pred>
+std::vector<T> parallel_filter(const std::vector<T>& in, const Pred& pred) {
+  return parallel_pack_index<T>(
+      in.size(), [&](std::size_t i) { return pred(in[i]); },
+      [&](std::size_t i) { return in[i]; });
+}
+
+// ---------------------------------------------------------------------------
+// merge
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename T, typename Less>
+void parallel_merge_rec(const T* a, std::size_t na, const T* b,
+                        std::size_t nb, T* out, const Less& less,
+                        std::size_t grain) {
+  if (na + nb <= grain) {
+    std::merge(a, a + na, b, b + nb, out, less);
+    return;
+  }
+  if (na < nb) {
+    // Keep the larger side first for the split.
+    parallel_merge_rec(b, nb, a, na, out, less, grain);
+    return;
+  }
+  std::size_t mid_a = na / 2;
+  // Lower bound of a[mid_a] in b: elements of b before it go left.
+  std::size_t mid_b = static_cast<std::size_t>(
+      std::lower_bound(b, b + nb, a[mid_a], less) - b);
+  par_do(
+      [&] { parallel_merge_rec(a, mid_a, b, mid_b, out, less, grain); },
+      [&] {
+        parallel_merge_rec(a + mid_a, na - mid_a, b + mid_b, nb - mid_b,
+                           out + mid_a + mid_b, less, grain);
+      });
+}
+
+}  // namespace detail
+
+// Merge two sorted sequences into one: O(n) work, O(log² n) span (binary
+// split on the larger side + binary search in the other).
+template <typename T, typename Less = std::less<T>>
+std::vector<T> parallel_merge(const std::vector<T>& a, const std::vector<T>& b,
+                              const Less& less = Less{},
+                              std::size_t grain = 4096) {
+  std::vector<T> out(a.size() + b.size());
+  detail::parallel_merge_rec(a.data(), a.size(), b.data(), b.size(),
+                             out.data(), less, grain);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// sort
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename It, typename Less>
+void parallel_quicksort(It lo, It hi, const Less& less, int budget) {
+  using std::iter_swap;
+  while (true) {
+    auto n = hi - lo;
+    if (n <= 2048 || budget <= 0) {
+      std::sort(lo, hi, less);
+      return;
+    }
+    // Median-of-three pivot.
+    It mid = lo + n / 2;
+    if (less(*mid, *lo)) iter_swap(mid, lo);
+    if (less(*(hi - 1), *lo)) iter_swap(hi - 1, lo);
+    if (less(*(hi - 1), *mid)) iter_swap(hi - 1, mid);
+    auto pivot = *mid;
+    It left = lo, right = hi - 1;
+    while (left <= right) {
+      while (less(*left, pivot)) ++left;
+      while (less(pivot, *right)) --right;
+      if (left <= right) {
+        iter_swap(left, right);
+        ++left;
+        if (right > lo) --right;
+        else break;
+      }
+    }
+    It split = left;
+    par_do([&] { parallel_quicksort(lo, split, less, budget - 1); },
+           [&] { parallel_quicksort(split, hi, less, budget - 1); });
+    return;
+  }
+}
+
+}  // namespace detail
+
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(std::vector<T>& v, const Less& less = Less{}) {
+  detail::parallel_quicksort(v.begin(), v.end(), less, 64);
+}
+
+}  // namespace parhull

@@ -1,0 +1,129 @@
+#include "parhull/parallel/scheduler.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "parhull/common/assert.h"
+
+namespace parhull {
+
+thread_local int Scheduler::tls_worker_id_ = 0;
+thread_local Scheduler* Scheduler::tls_scheduler_ = nullptr;
+
+namespace {
+int configured_workers() {
+  if (const char* env = std::getenv("PARHULL_NUM_WORKERS")) {
+    int p = std::atoi(env);
+    if (p >= 1) return p;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+}  // namespace
+
+Scheduler& Scheduler::get() {
+  static Scheduler instance;
+  return instance;
+}
+
+Scheduler::Scheduler()
+    : num_workers_(configured_workers()), active_limit_(num_workers_) {
+  deques_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    deques_.push_back(std::make_unique<WorkStealingDeque>());
+  }
+  // The constructing thread is worker 0.
+  tls_worker_id_ = 0;
+  tls_scheduler_ = this;
+  threads_.reserve(static_cast<std::size_t>(num_workers_ - 1));
+  for (int i = 1; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  stop_.store(true, std::memory_order_release);
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Scheduler::signal_work() {
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    sleep_cv_.notify_all();
+  }
+}
+
+Task* Scheduler::try_acquire(int self, Rng& rng) {
+  // Own deque first, then randomized stealing.
+  Task* task = deques_[static_cast<std::size_t>(self)]->pop();
+  if (task != nullptr) return task;
+  const int p = num_workers_;
+  for (int attempt = 0; attempt < 2 * p; ++attempt) {
+    int victim = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p)));
+    if (victim == self) continue;
+    task = deques_[static_cast<std::size_t>(victim)]->steal();
+    if (task != nullptr) return task;
+  }
+  return nullptr;
+}
+
+void Scheduler::worker_loop(int id) {
+  tls_worker_id_ = id;
+  tls_scheduler_ = this;
+  Rng rng(0x9d2c5680u ^ static_cast<std::uint64_t>(id));
+  int idle_spins = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (id >= active_limit_.load(std::memory_order_relaxed)) {
+      // Parked by a WorkerLimit: sleep until the limit is raised.
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      continue;
+    }
+    Task* task = try_acquire(id, rng);
+    if (task != nullptr) {
+      task->run();
+      idle_spins = 0;
+      continue;
+    }
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Back off to a timed sleep. The timeout bounds wakeup latency, so a
+    // missed notify cannot hang the pool.
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    idle_spins = 0;
+  }
+}
+
+void Scheduler::wait_for(const Task& task) {
+  // Help-first join: execute other ready tasks while the stolen sibling is
+  // in flight.
+  const int self = worker_id();
+  Rng rng(0x85ebca6bu ^ static_cast<std::uint64_t>(self));
+  while (!task.done()) {
+    Task* other = try_acquire(self, rng);
+    if (other != nullptr) {
+      other->run();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Scheduler::WorkerLimit::WorkerLimit(int p) {
+  Scheduler& s = Scheduler::get();
+  PARHULL_CHECK(p >= 1);
+  previous_ = s.active_limit_.exchange(p, std::memory_order_relaxed);
+}
+
+Scheduler::WorkerLimit::~WorkerLimit() {
+  Scheduler& s = Scheduler::get();
+  s.active_limit_.store(previous_, std::memory_order_relaxed);
+  s.sleep_cv_.notify_all();
+}
+
+}  // namespace parhull

@@ -1,0 +1,142 @@
+// Work-stealing fork-join scheduler: the library's realization of the
+// paper's binary-forking model (Section 1 preliminaries; Theorem 5.5).
+//
+// A computation starts on the calling thread; `fork_join(fa, fb)` makes fb
+// stealable, runs fa inline, then either pops fb back (common case, zero
+// allocation — the task lives on the caller's stack) or helps by stealing
+// other tasks until the thief finishes fb. This is child-stealing in the
+// Cilk tradition; the span bounds of the binary-forking model apply.
+//
+// The scheduler is a process-wide singleton sized from
+// PARHULL_NUM_WORKERS (default: hardware concurrency). `with_workers(p)`
+// temporarily caps the number of workers participating in new parallel
+// regions, used by the speedup benchmarks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/common/types.h"
+#include "parhull/parallel/deque.h"
+
+namespace parhull {
+
+// Type-erased task with a completion flag. Concrete tasks are
+// stack-allocated in fork_join, so no heap traffic on the fork path.
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  void run() {
+    execute();
+    done_.store(true, std::memory_order_release);
+  }
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ protected:
+  virtual void execute() = 0;
+
+ private:
+  std::atomic<bool> done_{false};
+};
+
+namespace detail {
+template <typename F>
+class ClosureTask final : public Task {
+ public:
+  explicit ClosureTask(F&& f) : f_(static_cast<F&&>(f)) {}
+
+ protected:
+  void execute() override { f_(); }
+
+ private:
+  F f_;
+};
+}  // namespace detail
+
+class Scheduler {
+ public:
+  // Global instance; lazily constructed on first use.
+  static Scheduler& get();
+
+  // Worker id of the calling thread: 0 for the main/external thread,
+  // 1..P-1 for pool threads. Non-pool threads other than the one that
+  // first touched the scheduler report 0 and execute sequentially.
+  static int worker_id() { return tls_worker_id_; }
+
+  int num_workers() const { return num_workers_; }
+
+  // Number of workers allowed to execute tasks right now (see
+  // with_workers).
+  int active_workers() const {
+    return active_limit_.load(std::memory_order_relaxed);
+  }
+
+  // Run fa and fb, potentially in parallel. Both complete before return.
+  template <typename FA, typename FB>
+  void fork_join(FA&& fa, FB&& fb) {
+    if (active_limit_.load(std::memory_order_relaxed) <= 1 ||
+        !is_pool_thread()) {
+      fa();
+      fb();
+      return;
+    }
+    detail::ClosureTask<FB> tb(static_cast<FB&&>(fb));
+    WorkStealingDeque& dq = *deques_[static_cast<std::size_t>(worker_id())];
+    dq.push(&tb);
+    signal_work();
+    fa();
+    Task* popped = dq.pop();
+    if (popped != nullptr) {
+      // Not stolen: run inline. LIFO discipline guarantees this is tb.
+      popped->run();
+    } else {
+      wait_for(tb);
+    }
+  }
+
+  // Temporarily restrict parallel regions to at most p workers; restores
+  // the previous limit on destruction. Used by speedup sweeps.
+  class WorkerLimit {
+   public:
+    explicit WorkerLimit(int p);
+    ~WorkerLimit();
+    WorkerLimit(const WorkerLimit&) = delete;
+    WorkerLimit& operator=(const WorkerLimit&) = delete;
+
+   private:
+    int previous_;
+  };
+
+  ~Scheduler();
+
+ private:
+  Scheduler();
+
+  bool is_pool_thread() const { return tls_scheduler_ == this; }
+  void worker_loop(int id);
+  Task* try_acquire(int self, Rng& rng);
+  void wait_for(const Task& task);
+  void signal_work();
+
+  static thread_local int tls_worker_id_;
+  static thread_local Scheduler* tls_scheduler_;
+
+  int num_workers_;
+  std::atomic<int> active_limit_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<WorkStealingDeque>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};
+};
+
+}  // namespace parhull

@@ -1,0 +1,64 @@
+#include "parhull/stats/fit.h"
+
+#include <cmath>
+
+namespace parhull {
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  LinearFit fit;
+  std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-30) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0, ymean = sy / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ymean) * (y[i] - ymean);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit log_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) lx[i] = std::log(x[i]);
+  return linear_fit(lx, y);
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0;
+  for (double v : xs) {
+    sum += v;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double v : xs) var += (v - s.mean) * (v - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0;
+  return s;
+}
+
+double harmonic(std::uint64_t n) {
+  double h = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace parhull

@@ -1,0 +1,36 @@
+// Least-squares fits used to verify asymptotic shapes: depth ≈ a·ln n + b
+// (Theorem 1.1), work ≈ a·n ln n (Theorem 3.1). Also basic summary stats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parhull {
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  // coefficient of determination
+};
+
+// Least squares y ≈ slope·x + intercept.
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+// Fit y ≈ a·ln(x) + b; returns {a, b, r2}.
+LinearFit log_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+// Harmonic number H_n = sum_{i=1..n} 1/i (appears in Theorem 4.2's bound).
+double harmonic(std::uint64_t n);
+
+}  // namespace parhull

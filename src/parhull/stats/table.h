@@ -1,0 +1,38 @@
+// Plain-text table writer for the benchmark harness: aligned ASCII to
+// stdout plus optional CSV. Every experiment binary prints its results
+// through this, so EXPERIMENTS.md rows can be regenerated mechanically.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace parhull {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  Table& row();  // start a new row
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::int64_t v);
+  Table& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  Table& cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+
+  void print(std::ostream& os) const;       // aligned ASCII
+  void print_csv(std::ostream& os) const;   // machine-readable
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section header helper for experiment binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace parhull

@@ -1,0 +1,89 @@
+#include "parhull/verify/brute_force.h"
+
+#include <algorithm>
+#include <set>
+
+#include "parhull/common/assert.h"
+#include "parhull/geometry/predicates.h"
+
+namespace parhull {
+
+namespace {
+
+// Visit all k-combinations of [0, n).
+template <typename F>
+void for_each_combination(std::size_t n, int k, const F& f) {
+  std::vector<std::size_t> idx(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = static_cast<std::size_t>(i);
+  if (static_cast<std::size_t>(k) > n) return;
+  while (true) {
+    f(idx);
+    int i = k - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - static_cast<std::size_t>(k - i)) --i;
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+  }
+}
+
+}  // namespace
+
+template <int D>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>>
+brute_force_hull_facets(const PointSet<D>& pts) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> result;
+  const std::size_t n = pts.size();
+  for_each_combination(n, D, [&](const std::vector<std::size_t>& idx) {
+    std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
+    for (int i = 0; i < D; ++i) ptr[static_cast<std::size_t>(i)] = &pts[idx[static_cast<std::size_t>(i)]];
+    // A subset is a hull facet iff all other points lie strictly on one
+    // side (general position: nothing on the hyperplane).
+    int side = 0;
+    bool is_facet = true;
+    for (std::size_t q = 0; q < n && is_facet; ++q) {
+      if (std::find(idx.begin(), idx.end(), q) != idx.end()) continue;
+      ptr[static_cast<std::size_t>(D)] = &pts[q];
+      int s = orient<D>(ptr);
+      if (s == 0) {
+        is_facet = false;  // degenerate: not representable as a simplex facet
+      } else if (side == 0) {
+        side = s;
+      } else if (s != side) {
+        is_facet = false;
+      }
+    }
+    if (is_facet && side != 0) {
+      std::array<PointId, static_cast<std::size_t>(D)> f{};
+      for (int i = 0; i < D; ++i) f[static_cast<std::size_t>(i)] = static_cast<PointId>(idx[static_cast<std::size_t>(i)]);
+      std::sort(f.begin(), f.end());
+      result.push_back(f);
+    }
+  });
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+template <int D>
+std::vector<PointId> brute_force_extreme_points(const PointSet<D>& pts) {
+  std::set<PointId> verts;
+  for (const auto& f : brute_force_hull_facets<D>(pts)) {
+    for (PointId v : f) verts.insert(v);
+  }
+  return std::vector<PointId>(verts.begin(), verts.end());
+}
+
+template std::vector<std::array<PointId, 2>> brute_force_hull_facets<2>(
+    const PointSet<2>&);
+template std::vector<std::array<PointId, 3>> brute_force_hull_facets<3>(
+    const PointSet<3>&);
+template std::vector<std::array<PointId, 4>> brute_force_hull_facets<4>(
+    const PointSet<4>&);
+template std::vector<std::array<PointId, 5>> brute_force_hull_facets<5>(
+    const PointSet<5>&);
+
+template std::vector<PointId> brute_force_extreme_points<2>(const PointSet<2>&);
+template std::vector<PointId> brute_force_extreme_points<3>(const PointSet<3>&);
+template std::vector<PointId> brute_force_extreme_points<4>(const PointSet<4>&);
+template std::vector<PointId> brute_force_extreme_points<5>(const PointSet<5>&);
+
+}  // namespace parhull

@@ -1,0 +1,28 @@
+// Brute-force convex hull oracle: enumerate every D-subset of points and
+// keep those with all other points on one (closed) side. O(n^{D+1}) — only
+// for small test inputs, but exact in any dimension and independent of all
+// hull code under test.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+// Returns the sorted vertex tuples of all hull facets (requires general
+// position: exactly D points per facet hyperplane). Facets are sorted
+// lexicographically for direct comparison.
+template <int D>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>>
+brute_force_hull_facets(const PointSet<D>& pts);
+
+// The set of extreme points (hull vertices), exact, any position (works
+// with degeneracies): p is extreme iff it is a vertex of the hull. Decided
+// by linear programming via brute-force facet enumeration on small inputs.
+template <int D>
+std::vector<PointId> brute_force_extreme_points(const PointSet<D>& pts);
+
+}  // namespace parhull

@@ -1,0 +1,146 @@
+#include "parhull/verify/checkers.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "parhull/geometry/predicates.h"
+
+namespace parhull {
+
+template <int D>
+CheckReport check_hull(
+    const PointSet<D>& pts,
+    const std::vector<std::array<PointId, static_cast<std::size_t>(D)>>&
+        facets) {
+  CheckReport rep;
+  if (facets.empty()) {
+    rep.fail("no facets");
+    return rep;
+  }
+  // Affine independence of each facet + containment of every point.
+  for (std::size_t fi = 0; fi < facets.size(); ++fi) {
+    const auto& f = facets[fi];
+    std::vector<const Point<D>*> probe;
+    for (PointId v : f) probe.push_back(&pts[v]);
+    if (!affinely_independent<D>(probe)) {
+      std::ostringstream os;
+      os << "facet " << fi << " degenerate";
+      rep.fail(os.str());
+      return rep;
+    }
+  }
+  for (std::size_t q = 0; q < pts.size(); ++q) {
+    for (std::size_t fi = 0; fi < facets.size(); ++fi) {
+      const auto& f = facets[fi];
+      std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
+      for (int i = 0; i < D; ++i)
+        ptr[static_cast<std::size_t>(i)] = &pts[f[static_cast<std::size_t>(i)]];
+      ptr[static_cast<std::size_t>(D)] = &pts[q];
+      if (orient<D>(ptr) > 0) {
+        std::ostringstream os;
+        os << "point " << q << " outside facet " << fi;
+        rep.fail(os.str());
+        return rep;
+      }
+    }
+  }
+  // Ridge closure: every (D-1)-subset of a facet appears in exactly two
+  // facets.
+  std::map<std::vector<PointId>, int> ridge_count;
+  for (const auto& f : facets) {
+    for (int omit = 0; omit < D; ++omit) {
+      std::vector<PointId> r;
+      for (int i = 0; i < D; ++i) {
+        if (i != omit) r.push_back(f[static_cast<std::size_t>(i)]);
+      }
+      std::sort(r.begin(), r.end());
+      ++ridge_count[r];
+    }
+  }
+  for (const auto& [r, c] : ridge_count) {
+    if (c != 2) {
+      std::ostringstream os;
+      os << "ridge incidence " << c << " != 2";
+      rep.fail(os.str());
+      return rep;
+    }
+  }
+  return rep;
+}
+
+CheckReport check_euler3d(const std::vector<std::array<PointId, 3>>& facets) {
+  CheckReport rep;
+  std::set<PointId> verts;
+  std::set<std::pair<PointId, PointId>> edges;
+  for (const auto& f : facets) {
+    for (int i = 0; i < 3; ++i) {
+      verts.insert(f[static_cast<std::size_t>(i)]);
+      PointId a = f[static_cast<std::size_t>(i)];
+      PointId b = f[(static_cast<std::size_t>(i) + 1) % 3];
+      edges.insert(std::minmax(a, b));
+    }
+  }
+  long long euler = static_cast<long long>(verts.size()) -
+                    static_cast<long long>(edges.size()) +
+                    static_cast<long long>(facets.size());
+  if (euler != 2) {
+    std::ostringstream os;
+    os << "Euler characteristic " << euler << " != 2 (V=" << verts.size()
+       << " E=" << edges.size() << " F=" << facets.size() << ")";
+    rep.fail(os.str());
+  }
+  return rep;
+}
+
+template <int D>
+std::vector<PointId> hull_vertices(
+    const std::vector<std::array<PointId, static_cast<std::size_t>(D)>>&
+        facets) {
+  std::set<PointId> verts;
+  for (const auto& f : facets) {
+    for (PointId v : f) verts.insert(v);
+  }
+  return std::vector<PointId>(verts.begin(), verts.end());
+}
+
+bool same_polygon(const std::vector<Point2>& a, const std::vector<Point2>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  // Find b's rotation offset matching a[0].
+  for (std::size_t off = 0; off < b.size(); ++off) {
+    if (b[off] == a[0]) {
+      bool match = true;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(b[(off + i) % b.size()] == a[i])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return true;
+    }
+  }
+  return false;
+}
+
+// Explicit instantiations.
+template CheckReport check_hull<2>(
+    const PointSet<2>&, const std::vector<std::array<PointId, 2>>&);
+template CheckReport check_hull<3>(
+    const PointSet<3>&, const std::vector<std::array<PointId, 3>>&);
+template CheckReport check_hull<4>(
+    const PointSet<4>&, const std::vector<std::array<PointId, 4>>&);
+template CheckReport check_hull<5>(
+    const PointSet<5>&, const std::vector<std::array<PointId, 5>>&);
+
+template std::vector<PointId> hull_vertices<2>(
+    const std::vector<std::array<PointId, 2>>&);
+template std::vector<PointId> hull_vertices<3>(
+    const std::vector<std::array<PointId, 3>>&);
+template std::vector<PointId> hull_vertices<4>(
+    const std::vector<std::array<PointId, 4>>&);
+template std::vector<PointId> hull_vertices<5>(
+    const std::vector<std::array<PointId, 5>>&);
+
+}  // namespace parhull

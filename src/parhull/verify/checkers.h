@@ -1,0 +1,50 @@
+// Hull validity checkers used by the test suite and the support auditor
+// (invariants I3/I4 of DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+struct CheckReport {
+  bool ok = true;
+  std::string error;  // first failure description
+
+  void fail(std::string msg) {
+    if (ok) {
+      ok = false;
+      error = std::move(msg);
+    }
+  }
+};
+
+// Full hull validity for a set of facets given as vertex-index tuples
+// (outward oriented):
+//  * containment: no input point strictly visible from any facet;
+//  * closure: every ridge (facet minus one vertex) shared by exactly two
+//    facets;
+//  * every facet's vertices affinely independent.
+template <int D>
+CheckReport check_hull(const PointSet<D>& pts,
+                       const std::vector<std::array<PointId, static_cast<std::size_t>(D)>>& facets);
+
+// 3D Euler characteristic check: V - E + F == 2 for a simplicial polytope.
+CheckReport check_euler3d(
+    const std::vector<std::array<PointId, 3>>& facets);
+
+// Extract the set of hull vertices (unique point ids on any facet).
+template <int D>
+std::vector<PointId> hull_vertices(
+    const std::vector<std::array<PointId, static_cast<std::size_t>(D)>>& facets);
+
+// 2D helper: does the CCW-ordered polygon equal the vertex set / order of
+// another (up to rotation)?
+bool same_polygon(const std::vector<Point2>& a, const std::vector<Point2>& b);
+
+}  // namespace parhull

@@ -1,0 +1,49 @@
+// The worked example of Figure 1 / Section 5.3, as a concrete point set.
+//
+// Hull u-v-w-x-y-z-t with a, b, c to be added in lexicographical (= here
+// insertion) order. Coordinates are chosen so the narrative's visibility
+// relations hold exactly:
+//   a sees edges x-y and y-z;          (x-a replaces x-y, a-z replaces y-z)
+//   b sees edges w-x and x-y;          (w-b replaces w-x)
+//   c sees edges v-w, w-x, x-y, y-z;   (v-c replaces v-w)
+//   then b sees x-a (b-a replaces x-a), c sees a-z (c-z replaces a-z),
+//   and c sees both w-b and b-a, which get buried.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "parhull/geometry/point.h"
+
+namespace parhull::figure1 {
+
+// Insertion order: the seven hull points first, then a, b, c.
+inline constexpr int kU = 0, kV = 1, kW = 2, kX = 3, kY = 4, kZ = 5, kT = 6,
+                     kA = 7, kB = 8, kC = 9;
+
+inline PointSet<2> points() {
+  return {
+      {{-5.0, 0.0}},   // u
+      {{-4.0, 3.0}},   // v
+      {{-2.0, 4.5}},   // w
+      {{0.0, 5.0}},    // x
+      {{2.0, 4.5}},    // y
+      {{4.0, 3.0}},    // z
+      {{5.0, 0.0}},    // t
+      {{2.5, 5.2}},    // a
+      {{-0.5, 5.5}},   // b
+      {{0.0, 10.0}},   // c
+  };
+}
+
+inline const char* name(std::uint32_t id) {
+  static const char* names[] = {"u", "v", "w", "x", "y", "z", "t",
+                                "a", "b", "c"};
+  return id < 10 ? names[id] : "?";
+}
+
+inline std::string edge_name(std::uint32_t p, std::uint32_t q) {
+  return std::string(name(p)) + "-" + name(q);
+}
+
+}  // namespace parhull::figure1

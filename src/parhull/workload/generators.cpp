@@ -1,0 +1,207 @@
+#include "parhull/workload/generators.h"
+
+#include <cmath>
+
+#include "parhull/common/assert.h"
+
+namespace parhull {
+
+const char* distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniformBall: return "ball";
+    case Distribution::kOnSphere: return "sphere";
+    case Distribution::kUniformCube: return "cube";
+    case Distribution::kGaussian: return "gaussian";
+    case Distribution::kKuzmin: return "kuzmin";
+  }
+  return "?";
+}
+
+namespace {
+
+template <int D>
+Point<D> gaussian_point(Rng& rng) {
+  Point<D> p;
+  for (int j = 0; j < D; ++j) p[j] = rng.next_gaussian();
+  return p;
+}
+
+template <int D>
+Point<D> sample(Distribution dist, Rng& rng) {
+  switch (dist) {
+    case Distribution::kUniformBall: {
+      // Rejection sampling from the cube; acceptance ≥ ~8% up to d=8.
+      while (true) {
+        Point<D> p;
+        for (int j = 0; j < D; ++j) p[j] = rng.next_double(-1.0, 1.0);
+        if (p.norm2() <= 1.0) return p;
+      }
+    }
+    case Distribution::kOnSphere: {
+      while (true) {
+        Point<D> p = gaussian_point<D>(rng);
+        double norm = p.norm();
+        if (norm > 1e-12) return p * (1.0 / norm);
+      }
+    }
+    case Distribution::kUniformCube: {
+      Point<D> p;
+      for (int j = 0; j < D; ++j) p[j] = rng.next_double(-1.0, 1.0);
+      return p;
+    }
+    case Distribution::kGaussian:
+      return gaussian_point<D>(rng);
+    case Distribution::kKuzmin: {
+      // Radial heavy tail: r = 1/sqrt(u) - 1 style transform, direction
+      // uniform on the sphere.
+      Point<D> dir;
+      while (true) {
+        dir = gaussian_point<D>(rng);
+        double norm = dir.norm();
+        if (norm > 1e-12) {
+          dir = dir * (1.0 / norm);
+          break;
+        }
+      }
+      double u = rng.next_double();
+      if (u < 1e-12) u = 1e-12;
+      double r = std::sqrt(1.0 / u - 1.0);
+      return dir * r;
+    }
+  }
+  PARHULL_CHECK_MSG(false, "unknown distribution");
+  return Point<D>{};
+}
+
+}  // namespace
+
+template <int D>
+PointSet<D> generate(Distribution dist, std::size_t n, std::uint64_t seed) {
+  PointSet<D> pts(n);
+  Rng base(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = base.fork(i);
+    pts[i] = sample<D>(dist, rng);
+  }
+  return pts;
+}
+
+template <int D>
+PointSet<D> integer_grid(std::size_t n, int range, std::uint64_t seed) {
+  PointSet<D> pts(n);
+  Rng base(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = base.fork(i);
+    for (int j = 0; j < D; ++j) {
+      pts[i][j] = static_cast<double>(
+          static_cast<long long>(rng.next_below(
+              static_cast<std::uint64_t>(2 * range + 1))) -
+          range);
+    }
+  }
+  return pts;
+}
+
+PointSet<3> cube_surface_grid(std::size_t n, int grid, std::uint64_t seed) {
+  PARHULL_CHECK(grid >= 2);
+  PointSet<3> pts(n);
+  Rng base(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = base.fork(i);
+    int face = static_cast<int>(rng.next_below(6));
+    int axis = face / 2;
+    double fixed = (face % 2 == 0) ? -1.0 : 1.0;
+    // Snap the two free coordinates to the grid: exact coplanar/collinear
+    // masses by construction (grid coordinates are exactly representable).
+    double u = -1.0 + 2.0 * static_cast<double>(rng.next_below(
+                                static_cast<std::uint64_t>(grid) + 1)) /
+                           grid;
+    double v = -1.0 + 2.0 * static_cast<double>(rng.next_below(
+                                static_cast<std::uint64_t>(grid) + 1)) /
+                           grid;
+    Point3 p;
+    p[axis] = fixed;
+    p[(axis + 1) % 3] = u;
+    p[(axis + 2) % 3] = v;
+    pts[i] = p;
+  }
+  return pts;
+}
+
+PointSet<3> lattice_cube(int side) {
+  PARHULL_CHECK(side >= 2);
+  PointSet<3> pts;
+  pts.reserve(static_cast<std::size_t>(side) * side * side);
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      for (int k = 0; k < side; ++k) {
+        Point3 p;
+        p[0] = static_cast<double>(i);
+        p[1] = static_cast<double>(j);
+        p[2] = static_cast<double>(k);
+        pts.push_back(p);
+      }
+    }
+  }
+  return pts;
+}
+
+PointSet<2> polygon_with_collinear(int vertices, int per_edge,
+                                   std::uint64_t seed) {
+  PARHULL_CHECK(vertices >= 3 && per_edge >= 0);
+  (void)seed;
+  PointSet<2> pts;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  // Vertices on a large integer-ish polygon; edge-interior points are exact
+  // convex combinations at dyadic parameters, hence exactly collinear.
+  std::vector<Point2> corners(static_cast<std::size_t>(vertices));
+  for (int i = 0; i < vertices; ++i) {
+    double ang = kTwoPi * i / vertices;
+    corners[static_cast<std::size_t>(i)] = {
+        {std::round(1024.0 * std::cos(ang)), std::round(1024.0 * std::sin(ang))}};
+  }
+  for (int i = 0; i < vertices; ++i) {
+    const Point2& a = corners[static_cast<std::size_t>(i)];
+    const Point2& b = corners[static_cast<std::size_t>((i + 1) % vertices)];
+    pts.push_back(a);
+    for (int k = 1; k <= per_edge; ++k) {
+      // Dyadic parameter keeps the combination exact when coordinates are
+      // small integers: t = k / 2^ceil(log2(per_edge+1)) is not required;
+      // t = k/(per_edge+1) with integer endpoints is exact only for dyadic
+      // denominators, so we use t = k * (1 / 2^10) spacing along the edge.
+      double t = static_cast<double>(k) / (per_edge + 1);
+      Point2 p;
+      p[0] = a[0] + (b[0] - a[0]) * t;
+      p[1] = a[1] + (b[1] - a[1]) * t;
+      pts.push_back(p);
+    }
+  }
+  return pts;
+}
+
+PointSet<2> on_circle(std::size_t n, double perturb, std::uint64_t seed) {
+  PointSet<2> pts(n);
+  Rng base(seed);
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = base.fork(i);
+    double ang = rng.next_double(0.0, kTwoPi);
+    double r = 1.0 + (perturb > 0 ? rng.next_double(0.0, perturb) : 0.0);
+    pts[i] = {{r * std::cos(ang), r * std::sin(ang)}};
+  }
+  return pts;
+}
+
+// Explicit instantiations for the dimensions the library ships.
+template PointSet<2> generate<2>(Distribution, std::size_t, std::uint64_t);
+template PointSet<3> generate<3>(Distribution, std::size_t, std::uint64_t);
+template PointSet<4> generate<4>(Distribution, std::size_t, std::uint64_t);
+template PointSet<5> generate<5>(Distribution, std::size_t, std::uint64_t);
+template PointSet<6> generate<6>(Distribution, std::size_t, std::uint64_t);
+
+template PointSet<2> integer_grid<2>(std::size_t, int, std::uint64_t);
+template PointSet<3> integer_grid<3>(std::size_t, int, std::uint64_t);
+template PointSet<4> integer_grid<4>(std::size_t, int, std::uint64_t);
+template PointSet<5> integer_grid<5>(std::size_t, int, std::uint64_t);
+
+}  // namespace parhull

@@ -1,0 +1,83 @@
+// Deterministic synthetic point-set generators for every experiment.
+//
+// All generators take an explicit seed; same (seed, n) → same points.
+// The paper's analysis requires a uniformly random insertion ORDER, not a
+// particular spatial distribution; distributions here vary the hull size
+// |T(Y)| regime (interior-heavy vs all-extreme) and degeneracy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+enum class Distribution {
+  kUniformBall,    // uniform in the unit d-ball (hull size ~ n^((d-1)/(d+1)))
+  kOnSphere,       // uniform on the unit (d-1)-sphere: every point extreme
+  kUniformCube,    // uniform in [-1,1]^d (hull size ~ log^{d-1} n)
+  kGaussian,       // standard normal cloud
+  kKuzmin,         // heavy-tailed radial distribution (clustered center)
+};
+
+const char* distribution_name(Distribution d);
+
+template <int D>
+PointSet<D> generate(Distribution dist, std::size_t n, std::uint64_t seed);
+
+// Convenience wrappers.
+template <int D>
+PointSet<D> uniform_ball(std::size_t n, std::uint64_t seed) {
+  return generate<D>(Distribution::kUniformBall, n, seed);
+}
+template <int D>
+PointSet<D> on_sphere(std::size_t n, std::uint64_t seed) {
+  return generate<D>(Distribution::kOnSphere, n, seed);
+}
+template <int D>
+PointSet<D> uniform_cube(std::size_t n, std::uint64_t seed) {
+  return generate<D>(Distribution::kUniformCube, n, seed);
+}
+template <int D>
+PointSet<D> gaussian(std::size_t n, std::uint64_t seed) {
+  return generate<D>(Distribution::kGaussian, n, seed);
+}
+
+// Integer-grid points (coordinates are integers in [-range, range]), for
+// exact-arithmetic oracle tests: determinants fit in __int128 for small D.
+template <int D>
+PointSet<D> integer_grid(std::size_t n, int range, std::uint64_t seed);
+
+// --- Degenerate-input generators (Section 6 experiments) ---
+
+// 3D: n points on the surface of the cube [-1,1]^3, snapped to a g×g grid
+// per face — masses of exactly-coplanar and collinear points.
+PointSet<3> cube_surface_grid(std::size_t n, int grid, std::uint64_t seed);
+
+// 3D: points on a regular lattice inside a cube (interior + coplanar faces).
+PointSet<3> lattice_cube(int side);
+
+// 2D: points on a convex polygon's boundary with many exactly-collinear
+// points per edge.
+PointSet<2> polygon_with_collinear(int vertices, int per_edge,
+                                   std::uint64_t seed);
+
+// 2D convex position: n points exactly on a circle of given radius,
+// perturbed optionally (perturb = 0 keeps them exactly on integer-rounded
+// circle positions — degenerate; perturb > 0 breaks ties).
+PointSet<2> on_circle(std::size_t n, double perturb, std::uint64_t seed);
+
+// Shuffle a point set into a uniformly random insertion order (the order S
+// of the paper). Returns the permuted copy.
+template <int D>
+PointSet<D> random_order(const PointSet<D>& pts, std::uint64_t seed) {
+  PointSet<D> out = pts;
+  Rng rng(hash64(seed ^ 0xcafef00dd15ea5e5ULL));
+  shuffle(out, rng);
+  return out;
+}
+
+}  // namespace parhull

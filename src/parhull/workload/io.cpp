@@ -1,0 +1,86 @@
+#include "parhull/workload/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace parhull {
+
+template <int D>
+bool read_points(std::istream& in, PointSet<D>& out) {
+  out.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip comments and blanks.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    Point<D> p;
+    for (int c = 0; c < D; ++c) {
+      if (!(ls >> p[c])) return false;
+    }
+    double extra;
+    if (ls >> extra) return false;  // wrong arity
+    out.push_back(p);
+  }
+  return true;
+}
+
+template <int D>
+bool read_points_file(const std::string& path, PointSet<D>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return read_points<D>(in, out);
+}
+
+template <int D>
+void write_points(std::ostream& os, const PointSet<D>& pts) {
+  os << std::setprecision(17);
+  for (const auto& p : pts) {
+    for (int c = 0; c < D; ++c) os << (c ? " " : "") << p[c];
+    os << '\n';
+  }
+}
+
+template <int D>
+bool write_points_file(const std::string& path, const PointSet<D>& pts) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_points<D>(os, pts);
+  return static_cast<bool>(os);
+}
+
+void write_off(std::ostream& os, const PointSet<3>& pts,
+               const std::vector<std::array<PointId, 3>>& facets) {
+  os << "OFF\n" << pts.size() << ' ' << facets.size() << " 0\n";
+  os << std::setprecision(17);
+  for (const auto& p : pts) {
+    os << p[0] << ' ' << p[1] << ' ' << p[2] << '\n';
+  }
+  for (const auto& f : facets) {
+    os << "3 " << f[0] << ' ' << f[1] << ' ' << f[2] << '\n';
+  }
+}
+
+bool write_off_file(const std::string& path, const PointSet<3>& pts,
+                    const std::vector<std::array<PointId, 3>>& facets) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_off(os, pts, facets);
+  return static_cast<bool>(os);
+}
+
+template bool read_points<2>(std::istream&, PointSet<2>&);
+template bool read_points<3>(std::istream&, PointSet<3>&);
+template bool read_points<4>(std::istream&, PointSet<4>&);
+template bool read_points_file<2>(const std::string&, PointSet<2>&);
+template bool read_points_file<3>(const std::string&, PointSet<3>&);
+template bool read_points_file<4>(const std::string&, PointSet<4>&);
+template void write_points<2>(std::ostream&, const PointSet<2>&);
+template void write_points<3>(std::ostream&, const PointSet<3>&);
+template void write_points<4>(std::ostream&, const PointSet<4>&);
+template bool write_points_file<2>(const std::string&, const PointSet<2>&);
+template bool write_points_file<3>(const std::string&, const PointSet<3>&);
+template bool write_points_file<4>(const std::string&, const PointSet<4>&);
+
+}  // namespace parhull

@@ -1,0 +1,34 @@
+// Point-cloud and mesh IO: whitespace-separated coordinate files (.xyz
+// style, one point per line) and OFF output for 3D hull meshes.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+// One point per line, D whitespace-separated coordinates. Lines starting
+// with '#' and blank lines are skipped. Returns false on parse error or
+// wrong arity.
+template <int D>
+bool read_points(std::istream& in, PointSet<D>& out);
+template <int D>
+bool read_points_file(const std::string& path, PointSet<D>& out);
+
+template <int D>
+void write_points(std::ostream& os, const PointSet<D>& pts);
+template <int D>
+bool write_points_file(const std::string& path, const PointSet<D>& pts);
+
+// OFF mesh: 3D points + triangular facets (vertex index triples).
+void write_off(std::ostream& os, const PointSet<3>& pts,
+               const std::vector<std::array<PointId, 3>>& facets);
+bool write_off_file(const std::string& path, const PointSet<3>& pts,
+                    const std::vector<std::array<PointId, 3>>& facets);
+
+}  // namespace parhull

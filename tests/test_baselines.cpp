@@ -1,0 +1,169 @@
+// Classic baselines against each other and against the brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "parhull/hull/baselines.h"
+#include "parhull/verify/brute_force.h"
+#include "parhull/verify/checkers.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+// All 2D baselines share the convention: CCW, starting at the
+// lexicographic minimum, vertices only.
+struct Baseline2D {
+  const char* name;
+  std::vector<Point2> (*run)(const std::vector<Point2>&);
+};
+
+std::vector<Point2> run_monotone(const std::vector<Point2>& p) {
+  return monotone_chain(p);
+}
+std::vector<Point2> run_graham(const std::vector<Point2>& p) {
+  return graham_scan(p);
+}
+std::vector<Point2> run_gift(const std::vector<Point2>& p) {
+  return gift_wrapping(p);
+}
+std::vector<Point2> run_dc(const std::vector<Point2>& p) {
+  return divide_conquer_hull2d(p);
+}
+std::vector<Point2> run_qh(const std::vector<Point2>& p) {
+  return quickhull2d(p);
+}
+
+class Baselines2D : public ::testing::TestWithParam<Baseline2D> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    All, Baselines2D,
+    ::testing::Values(Baseline2D{"monotone", run_monotone},
+                      Baseline2D{"graham", run_graham},
+                      Baseline2D{"gift", run_gift}, Baseline2D{"dc", run_dc},
+                      Baseline2D{"quickhull", run_qh}),
+    [](const ::testing::TestParamInfo<Baseline2D>& info) {
+      return info.param.name;
+    });
+
+TEST_P(Baselines2D, UnitSquare) {
+  std::vector<Point2> pts = {{{0, 0}}, {{1, 0}}, {{1, 1}}, {{0, 1}},
+                             {{0.5, 0.5}}, {{0.25, 0.75}}};
+  auto hull = GetParam().run(pts);
+  std::vector<Point2> expect = {{{0, 0}}, {{1, 0}}, {{1, 1}}, {{0, 1}}};
+  EXPECT_TRUE(same_polygon(hull, expect)) << GetParam().name;
+}
+
+TEST_P(Baselines2D, CollinearOnEdgeExcluded) {
+  std::vector<Point2> pts = {{{0, 0}}, {{2, 0}}, {{1, 0}}, {{1, 2}}};
+  auto hull = GetParam().run(pts);
+  std::vector<Point2> expect = {{{0, 0}}, {{2, 0}}, {{1, 2}}};
+  EXPECT_TRUE(same_polygon(hull, expect));
+}
+
+TEST_P(Baselines2D, DuplicatesIgnored) {
+  std::vector<Point2> pts = {{{0, 0}}, {{0, 0}}, {{1, 0}}, {{1, 0}},
+                             {{0.5, 1}}, {{0.5, 1}}};
+  auto hull = GetParam().run(pts);
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST_P(Baselines2D, AgreesWithMonotoneChainOnRandom) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto pts = uniform_ball<2>(500, seed);
+    auto expect = monotone_chain(pts);
+    auto got = GetParam().run(pts);
+    EXPECT_TRUE(same_polygon(got, expect))
+        << GetParam().name << " seed " << seed;
+  }
+}
+
+TEST_P(Baselines2D, AgreesOnAllExtremeInput) {
+  auto pts = on_circle(300, 0.0, 5);
+  auto expect = monotone_chain(pts);
+  auto got = GetParam().run(pts);
+  EXPECT_TRUE(same_polygon(got, expect));
+}
+
+TEST_P(Baselines2D, AgreesOnIntegerGridDegenerate) {
+  auto pts = integer_grid<2>(300, 6, 77);  // many collinear points
+  auto expect = monotone_chain(pts);
+  auto got = GetParam().run(pts);
+  EXPECT_TRUE(same_polygon(got, expect));
+}
+
+TEST(MonotoneChain, MatchesBruteForceVertices) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto pts = uniform_ball<2>(60, seed + 100);
+    auto hull = monotone_chain(pts);
+    auto facets = brute_force_hull_facets<2>(pts);
+    auto oracle_vertices = hull_vertices<2>(facets);
+    EXPECT_EQ(hull.size(), oracle_vertices.size()) << seed;
+  }
+}
+
+TEST(QuickHull3D, ValidOnRandomBall) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto pts = uniform_ball<3>(500, seed);
+    auto res = quickhull3d(pts);
+    ASSERT_TRUE(res.ok);
+    auto rep = check_hull<3>(pts, res.facets);
+    EXPECT_TRUE(rep.ok) << rep.error << " seed " << seed;
+    auto euler = check_euler3d(res.facets);
+    EXPECT_TRUE(euler.ok) << euler.error;
+  }
+}
+
+TEST(QuickHull3D, AllExtremeSphere) {
+  auto pts = on_sphere<3>(300, 3);
+  auto res = quickhull3d(pts);
+  ASSERT_TRUE(res.ok);
+  auto rep = check_hull<3>(pts, res.facets);
+  EXPECT_TRUE(rep.ok) << rep.error;
+  // All points extreme: every point appears on some facet.
+  EXPECT_EQ(hull_vertices<3>(res.facets).size(), pts.size());
+}
+
+TEST(QuickHull3D, MatchesBruteForceFacets) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto pts = uniform_ball<3>(40, seed + 50);
+    auto res = quickhull3d(pts);
+    ASSERT_TRUE(res.ok);
+    auto oracle = brute_force_hull_facets<3>(pts);
+    std::vector<std::array<PointId, 3>> got = res.facets;
+    for (auto& f : got) std::sort(f.begin(), f.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, oracle) << seed;
+  }
+}
+
+TEST(QuickHull3D, Tetrahedron) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}},
+                     {{0.1, 0.1, 0.1}}};
+  auto res = quickhull3d(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.facets.size(), 4u);
+}
+
+TEST(QuickHull3D, TooFewPoints) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}};
+  EXPECT_FALSE(quickhull3d(pts).ok);
+}
+
+TEST(BruteForce, SquareIn2D) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 0}}, {{1, 1}}, {{0, 1}}, {{0.5, 0.5}}};
+  auto facets = brute_force_hull_facets<2>(pts);
+  EXPECT_EQ(facets.size(), 4u);  // 4 edges
+  auto verts = brute_force_extreme_points<2>(pts);
+  EXPECT_EQ(verts.size(), 4u);
+}
+
+TEST(BruteForce, SimplexIn4D) {
+  PointSet<4> pts(5);
+  for (int i = 0; i < 4; ++i) pts[static_cast<std::size_t>(i) + 1][i] = 1.0;
+  auto facets = brute_force_hull_facets<4>(pts);
+  EXPECT_EQ(facets.size(), 5u);  // 4-simplex has 5 facets
+}
+
+}  // namespace
+}  // namespace parhull

@@ -1,0 +1,198 @@
+// Section 7 unit-circle intersection: geometric validity (every boundary
+// arc lies inside every disk), structural invariants, and depth behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parhull/circles/circle_intersection.h"
+#include "parhull/common/random.h"
+
+namespace parhull {
+namespace {
+
+// Centers in a disk of radius `spread` (all circles pairwise overlapping
+// when spread < 1): guaranteed nonempty intersection when spread is small.
+std::vector<Point2> random_centers(std::size_t n, double spread,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> centers(n);
+  for (auto& c : centers) {
+    double ang = rng.next_double(0, 6.283185307179586);
+    double r = spread * std::sqrt(rng.next_double());
+    c = {{r * std::cos(ang), r * std::sin(ang)}};
+  }
+  return centers;
+}
+
+void expect_valid_boundary(const UnitCircleIntersection& ix,
+                           const std::vector<Point2>& centers) {
+  auto boundary = ix.boundary();
+  ASSERT_FALSE(boundary.empty());
+  for (std::uint32_t id : boundary) {
+    // Sample points along the arc: all must be inside every disk.
+    for (double t : {0.25, 0.5, 0.75}) {
+      Point2 p = ix.arc_point(id, t);
+      for (const auto& c : centers) {
+        double d2 = (p - c).norm2();
+        EXPECT_LE(d2, 1.0 + 1e-9) << "arc " << id << " escapes a disk";
+      }
+    }
+    // Adjacent arcs share endpoints (within numeric tolerance).
+    const auto& a = ix.arc(id);
+    const auto& b = ix.arc(a.next);
+    Point2 a_end = ix.arc_point(id, 1.0);
+    Point2 b_start = ix.arc_point(a.next, 0.0);
+    (void)b;
+    EXPECT_LT((a_end - b_start).norm(), 1e-6) << "boundary gap after " << id;
+  }
+}
+
+TEST(Circles, SingleCircle) {
+  UnitCircleIntersection ix;
+  auto res = ix.run({Point2{{0, 0}}});
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.nonempty);
+  EXPECT_EQ(res.boundary_arcs, 1u);
+  EXPECT_EQ(res.max_depth, 0u);
+}
+
+TEST(Circles, TwoOverlappingLens) {
+  UnitCircleIntersection ix;
+  auto res = ix.run({Point2{{0, 0}}, Point2{{1, 0}}});
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.nonempty);
+  EXPECT_EQ(res.boundary_arcs, 2u);
+  expect_valid_boundary(ix, {Point2{{0, 0}}, Point2{{1, 0}}});
+}
+
+TEST(Circles, DisjointCirclesEmpty) {
+  UnitCircleIntersection ix;
+  auto res = ix.run({Point2{{0, 0}}, Point2{{5, 0}}});
+  ASSERT_TRUE(res.ok);
+  EXPECT_FALSE(res.nonempty);
+  EXPECT_EQ(res.emptied_at, 1u);
+  EXPECT_TRUE(ix.boundary().empty());
+}
+
+TEST(Circles, ChainEmptiesEventually) {
+  // Circles marching right: the running intersection empties when the
+  // leftmost and current circle stop overlapping.
+  std::vector<Point2> centers;
+  for (int i = 0; i < 10; ++i) {
+    centers.push_back(Point2{{0.3 * i, 0.0}});
+  }
+  UnitCircleIntersection ix;
+  auto res = ix.run(centers);
+  ASSERT_TRUE(res.ok);
+  EXPECT_FALSE(res.nonempty);
+  EXPECT_GT(res.emptied_at, 1u);
+}
+
+TEST(Circles, DuplicateCirclesRedundant) {
+  UnitCircleIntersection ix;
+  auto res = ix.run({Point2{{0, 0}}, Point2{{0, 0}}, Point2{{0, 0}}});
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.nonempty);
+  EXPECT_EQ(res.redundant, 2u);
+  EXPECT_EQ(res.boundary_arcs, 1u);
+}
+
+TEST(Circles, ThreeCircleRegion) {
+  std::vector<Point2> centers = {Point2{{0, 0}}, Point2{{0.8, 0}},
+                                 Point2{{0.4, 0.7}}};
+  UnitCircleIntersection ix;
+  auto res = ix.run(centers);
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.nonempty);
+  EXPECT_EQ(res.boundary_arcs, 3u);
+  expect_valid_boundary(ix, centers);
+}
+
+TEST(Circles, RandomClustersValid) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto centers = random_centers(60, 0.4, seed);
+    UnitCircleIntersection ix;
+    auto res = ix.run(centers);
+    ASSERT_TRUE(res.ok) << seed;
+    ASSERT_TRUE(res.nonempty) << seed;  // spread 0.4 keeps a core region
+    expect_valid_boundary(ix, centers);
+  }
+}
+
+TEST(Circles, BoundaryOwnersAreEssential) {
+  auto centers = random_centers(100, 0.45, 77);
+  UnitCircleIntersection ix;
+  auto res = ix.run(centers);
+  ASSERT_TRUE(res.ok && res.nonempty);
+  // Each boundary arc's owner circle actively constrains the region; the
+  // arc midpoint must lie exactly on the owner circle (distance 1).
+  for (std::uint32_t id : ix.boundary()) {
+    Point2 p = ix.arc_point(id, 0.5);
+    double d = (p - centers[ix.arc(id).owner]).norm();
+    EXPECT_NEAR(d, 1.0, 1e-9);
+  }
+}
+
+TEST(Circles, SupportDepthRecurrence) {
+  auto centers = random_centers(200, 0.4, 5);
+  UnitCircleIntersection ix;
+  auto res = ix.run(centers);
+  ASSERT_TRUE(res.ok);
+  std::uint32_t max_depth = 0;
+  for (std::uint32_t id = 0; id < ix.arc_count(); ++id) {
+    const auto& a = ix.arc(id);
+    max_depth = std::max(max_depth, a.depth);
+    if (a.created_by == UnitCircleIntersection::Arc::kInvalid) {
+      EXPECT_EQ(a.depth, 0u);
+      continue;
+    }
+    ASSERT_NE(a.support0, UnitCircleIntersection::Arc::kInvalid);
+    if (a.support1 == UnitCircleIntersection::Arc::kInvalid) {
+      // Trimmed arc: singleton support (paper, Section 7).
+      EXPECT_EQ(a.depth, ix.arc(a.support0).depth + 1);
+      EXPECT_EQ(a.owner, ix.arc(a.support0).owner);
+    } else {
+      // Bridge arc on the inserted circle: 2-support.
+      EXPECT_EQ(a.owner, a.created_by);
+      EXPECT_EQ(a.depth, 1 + std::max(ix.arc(a.support0).depth,
+                                      ix.arc(a.support1).depth));
+    }
+  }
+  EXPECT_EQ(max_depth, res.max_depth);
+}
+
+TEST(Circles, DepthIsLogarithmic) {
+  // Theorem 4.2 smoke check for the circle configuration space.
+  auto centers = random_centers(3000, 0.45, 13);
+  Rng rng(17);
+  shuffle(centers, rng);
+  UnitCircleIntersection ix;
+  auto res = ix.run(centers);
+  ASSERT_TRUE(res.ok);
+  EXPECT_LT(res.max_depth, 25 * std::log(3000.0));
+}
+
+TEST(Circles, ConflictListsAreSortedAndForward) {
+  auto centers = random_centers(150, 0.4, 21);
+  UnitCircleIntersection ix;
+  auto res = ix.run(centers);
+  ASSERT_TRUE(res.ok);
+  for (std::uint32_t id = 0; id < ix.arc_count(); ++id) {
+    const auto& a = ix.arc(id);
+    EXPECT_TRUE(std::is_sorted(a.conflicts.begin(), a.conflicts.end()));
+    for (std::uint32_t j : a.conflicts) {
+      if (a.created_by != UnitCircleIntersection::Arc::kInvalid) {
+        EXPECT_GT(j, a.created_by);  // conflicts only with later circles
+      }
+    }
+  }
+}
+
+TEST(Circles, EmptyInput) {
+  UnitCircleIntersection ix;
+  auto res = ix.run({});
+  EXPECT_FALSE(res.ok);
+}
+
+}  // namespace
+}  // namespace parhull

@@ -1,0 +1,76 @@
+// Small utilities: WorkerCounter aggregation under concurrency, Timer
+// monotonicity, and predicate statistics plumbing.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "parhull/common/counters.h"
+#include "parhull/common/timer.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/parallel/parallel_for.h"
+
+namespace parhull {
+namespace {
+
+TEST(WorkerCounter, SingleSlotTotals) {
+  WorkerCounter c(1);
+  c.add(0);
+  c.add(0, 41);
+  EXPECT_EQ(c.total(), 42u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(WorkerCounter, PerWorkerSlotsSum) {
+  WorkerCounter c(4);
+  c.add(0, 1);
+  c.add(1, 10);
+  c.add(2, 100);
+  c.add(3, 1000);
+  EXPECT_EQ(c.total(), 1111u);
+}
+
+TEST(WorkerCounter, ConcurrentAddsAreExact) {
+  int workers = Scheduler::get().num_workers();
+  WorkerCounter c(workers);
+  parallel_for(0, 100000, [&](std::size_t) {
+    c.add(Scheduler::worker_id());
+  });
+  EXPECT_EQ(c.total(), 100000u);
+}
+
+TEST(WorkerCounter, ResizePreservesNothingButWorks) {
+  WorkerCounter c(1);
+  c.add(0, 5);
+  c.resize(8);
+  EXPECT_EQ(c.total(), 0u);  // resize reinitializes
+  c.add(7, 3);
+  EXPECT_EQ(c.total(), 3u);
+}
+
+TEST(Timer, MonotoneAndResettable) {
+  Timer t;
+  double a = t.elapsed();
+  // Burn a little time.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  double b = t.elapsed();
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LT(t.elapsed(), b + 1.0);  // reset brought it back near zero
+}
+
+TEST(PredicateStats, CountsAdvanceAndReset) {
+  reset_predicate_stats();
+  Point2 a{{0, 0}}, b{{1, 0}}, c{{0, 1}};
+  std::uint64_t before = predicate_calls();
+  orient2d(a, b, c);
+  orient2d(a, b, c);
+  EXPECT_EQ(predicate_calls(), before + 2);
+  reset_predicate_stats();
+  EXPECT_EQ(predicate_calls(), 0u);
+  EXPECT_EQ(predicate_exact_fallbacks(), 0u);
+}
+
+}  // namespace
+}  // namespace parhull

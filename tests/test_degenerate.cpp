@@ -1,0 +1,181 @@
+// Section 6: degeneracy-tolerant 3D hull with polygonal faces, corner
+// configurations (Lemma 6.1) and the 4-support depth simulator (Lemma 6.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "parhull/degenerate/corner_analysis.h"
+#include "parhull/degenerate/degenerate_hull3d.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+void expect_valid_degenerate_hull(const DegenerateHull3D& hull,
+                                  const PointSet<3>& pts) {
+  ASSERT_TRUE(hull.ok);
+  // Every face's rep triple is outward: no point strictly above any face.
+  for (const auto& f : hull.faces) {
+    for (const auto& q : pts) {
+      EXPECT_LE(orient3d(pts[f.rep[0]], pts[f.rep[1]], pts[f.rep[2]], q), 0);
+    }
+    // Cycle vertices all on the face plane.
+    for (PointId v : f.cycle) {
+      EXPECT_EQ(orient3d(pts[f.rep[0]], pts[f.rep[1]], pts[f.rep[2]], pts[v]),
+                0);
+    }
+    EXPECT_GE(f.cycle.size(), 3u);
+    // Cycle vertices distinct.
+    std::set<PointId> unique(f.cycle.begin(), f.cycle.end());
+    EXPECT_EQ(unique.size(), f.cycle.size());
+  }
+  // Edge closure: every cycle edge appears exactly twice (once per side).
+  std::set<std::pair<PointId, PointId>> edges;
+  for (const auto& f : hull.faces) {
+    for (std::size_t i = 0; i < f.cycle.size(); ++i) {
+      PointId a = f.cycle[i];
+      PointId b = f.cycle[(i + 1) % f.cycle.size()];
+      // Directed edge a->b must not repeat; its reverse must appear once.
+      EXPECT_TRUE(edges.insert({a, b}).second) << "duplicate directed edge";
+    }
+  }
+  for (const auto& [a, b] : edges) {
+    EXPECT_TRUE(edges.count({b, a})) << "unmatched edge " << a << "->" << b;
+  }
+}
+
+TEST(DegenerateHull, CubeCorners) {
+  // The 8 cube corners + face centers + edge midpoints + interior points:
+  // hull must be exactly the cube with 6 quadrilateral faces.
+  PointSet<3> pts;
+  for (int x : {-1, 1}) {
+    for (int y : {-1, 1}) {
+      for (int z : {-1, 1}) {
+        pts.push_back({{static_cast<double>(x), static_cast<double>(y),
+                        static_cast<double>(z)}});
+      }
+    }
+  }
+  // Face centers (non-extreme, on faces).
+  pts.push_back({{1, 0, 0}});
+  pts.push_back({{0, 1, 0}});
+  pts.push_back({{0, 0, 1}});
+  // Edge midpoints (non-extreme, collinear).
+  pts.push_back({{1, 1, 0}});
+  pts.push_back({{1, 0, 1}});
+  // Interior.
+  pts.push_back({{0, 0, 0}});
+  pts.push_back({{0.5, 0.5, 0.5}});
+
+  auto hull = degenerate_hull3d(pts);
+  expect_valid_degenerate_hull(hull, pts);
+  EXPECT_EQ(hull.faces.size(), 6u);
+  EXPECT_EQ(hull.vertices.size(), 8u);
+  for (const auto& f : hull.faces) EXPECT_EQ(f.cycle.size(), 4u);
+  EXPECT_EQ(hull.corner_count(), 24u);  // 4 corners × 6 faces
+}
+
+TEST(DegenerateHull, LatticeCube) {
+  auto pts = lattice_cube(4);  // 64 points, faces are 4x4 grids
+  auto hull = degenerate_hull3d(pts);
+  expect_valid_degenerate_hull(hull, pts);
+  EXPECT_EQ(hull.faces.size(), 6u);
+  EXPECT_EQ(hull.vertices.size(), 8u);  // only the 8 lattice corners extreme
+}
+
+TEST(DegenerateHull, GeneralPositionMatchesSimplicial) {
+  // On a non-degenerate input every face is a triangle and Lemma 6.1's
+  // corner count equals 3 × (number of facets).
+  auto pts = uniform_ball<3>(120, 5);
+  auto hull = degenerate_hull3d(pts);
+  expect_valid_degenerate_hull(hull, pts);
+  for (const auto& f : hull.faces) EXPECT_EQ(f.cycle.size(), 3u);
+  EXPECT_EQ(hull.corner_count(), 3 * hull.faces.size());
+  // Simplicial polytope: F = 2V - 4.
+  EXPECT_EQ(hull.faces.size(), 2 * hull.vertices.size() - 4);
+}
+
+TEST(DegenerateHull, CornerCountBound) {
+  // Lemma 6.1 remark: corners ≤ 3 × the simplicial facet count (2V-4) and
+  // degeneracy strictly decreases it.
+  auto pts = cube_surface_grid(400, 6, 9);
+  auto hull = degenerate_hull3d(pts);
+  ASSERT_TRUE(hull.ok);
+  std::size_t bound = 3 * (2 * hull.vertices.size() - 4);
+  EXPECT_LE(hull.corner_count(), bound);
+}
+
+TEST(DegenerateHull, SquarePyramidWithApexOverCenter) {
+  PointSet<3> pts = {{{-1, -1, 0}}, {{1, -1, 0}}, {{1, 1, 0}}, {{-1, 1, 0}},
+                     {{0, 0, 1}}};
+  auto hull = degenerate_hull3d(pts);
+  expect_valid_degenerate_hull(hull, pts);
+  EXPECT_EQ(hull.faces.size(), 5u);  // square base + 4 triangles
+  std::size_t quads = 0, triangles = 0;
+  for (const auto& f : hull.faces) {
+    if (f.cycle.size() == 4) ++quads;
+    if (f.cycle.size() == 3) ++triangles;
+  }
+  EXPECT_EQ(quads, 1u);
+  EXPECT_EQ(triangles, 4u);
+}
+
+TEST(DegenerateHull, CoplanarInputRejected) {
+  PointSet<3> flat;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      flat.push_back({{static_cast<double>(i), static_cast<double>(j), 0}});
+    }
+  }
+  EXPECT_FALSE(degenerate_hull3d(flat).ok);
+}
+
+TEST(DegenerateHull, TooFewPoints) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}};
+  EXPECT_FALSE(degenerate_hull3d(pts).ok);
+}
+
+TEST(HullCorners, EnumeratesPerFaceCycle) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}}};
+  auto hull = degenerate_hull3d(pts);
+  ASSERT_TRUE(hull.ok);
+  auto corners = hull_corners(hull);
+  EXPECT_EQ(corners.size(), 12u);  // 4 triangles × 3 corners
+  for (const auto& c : corners) {
+    EXPECT_NE(c.left, c.mid);
+    EXPECT_NE(c.mid, c.right);
+    EXPECT_NE(c.left, c.right);
+  }
+}
+
+TEST(CornerDepth, RandomInputLogDepth) {
+  auto pts = uniform_ball<3>(150, 3);
+  pts = random_order(pts, 4);
+  auto res = corner_dependence_depth(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_GT(res.max_depth, 0u);
+  EXPECT_LT(res.max_depth, 40 * std::log(150.0));
+  EXPECT_GT(res.corners_created, 150u);
+}
+
+TEST(CornerDepth, DegenerateInputStillShallow) {
+  // Lemma 6.2: 4-support holds with degeneracies, so depth stays small.
+  auto pts = cube_surface_grid(200, 5, 7);
+  pts = random_order(pts, 8);
+  auto res = corner_dependence_depth(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_LT(res.max_depth, 50 * std::log(200.0));
+  EXPECT_LE(res.final_corners,
+            3 * res.hull_triangles_bound);  // Lemma 6.1 bound
+}
+
+TEST(CornerDepth, TooFewPoints) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}};
+  EXPECT_FALSE(corner_dependence_depth(pts).ok);
+}
+
+}  // namespace
+}  // namespace parhull

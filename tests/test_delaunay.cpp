@@ -1,0 +1,182 @@
+// 2D Delaunay triangulation (the paper's Section 3 example configuration
+// space): correctness against a brute-force oracle, structural invariants,
+// and support/depth instrumentation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "parhull/delaunay/delaunay2d.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/baselines.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+std::vector<std::array<PointId, 3>> canonical(
+    std::vector<std::array<PointId, 3>> tris) {
+  for (auto& t : tris) std::sort(t.begin(), t.end());
+  std::sort(tris.begin(), tris.end());
+  return tris;
+}
+
+TEST(Delaunay, SingleTriangle) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 0}}, {{0, 1}}};
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.triangles.size(), 1u);
+  EXPECT_EQ(canonical(res.triangles)[0], (std::array<PointId, 3>{0, 1, 2}));
+}
+
+TEST(Delaunay, FourPointsPickTheDelaunayDiagonal) {
+  // A convex quad where one diagonal is clearly Delaunay: three corners of
+  // a square plus a point slightly outside the circumcircle of the rest.
+  PointSet<2> pts = {{{0, 0}}, {{4, 0}}, {{4, 4}}, {{0.5, 3.0}}};
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(canonical(res.triangles), brute_force_delaunay(pts));
+}
+
+TEST(Delaunay, MatchesBruteForceRandom) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto pts = uniform_cube<2>(60, seed * 3 + 1);
+    Delaunay2D dt;
+    auto res = dt.run(pts);
+    ASSERT_TRUE(res.ok) << seed;
+    EXPECT_EQ(canonical(res.triangles), brute_force_delaunay(pts)) << seed;
+  }
+}
+
+TEST(Delaunay, MatchesBruteForceClusteredAndSparse) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto pts = gaussian<2>(50, seed + 100);
+    Delaunay2D dt;
+    auto res = dt.run(pts);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(canonical(res.triangles), brute_force_delaunay(pts)) << seed;
+  }
+}
+
+TEST(Delaunay, TriangleCountFormula) {
+  // For n points with h on the hull (general position): T = 2n - h - 2.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto pts = uniform_ball<2>(400, seed + 7);
+    Delaunay2D dt;
+    auto res = dt.run(pts);
+    ASSERT_TRUE(res.ok);
+    std::size_t h = monotone_chain(pts).size();
+    EXPECT_EQ(res.triangles.size(), 2 * pts.size() - h - 2) << seed;
+  }
+}
+
+TEST(Delaunay, EveryPointAppears) {
+  auto pts = uniform_ball<2>(300, 11);
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  std::set<PointId> used;
+  for (const auto& t : res.triangles) {
+    for (PointId v : t) used.insert(v);
+  }
+  EXPECT_EQ(used.size(), pts.size());
+}
+
+TEST(Delaunay, OutputTrianglesAreCcw) {
+  auto pts = uniform_ball<2>(200, 13);
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  for (const auto& t : res.triangles) {
+    EXPECT_GT(orient2d(pts[t[0]], pts[t[1]], pts[t[2]]), 0);
+  }
+}
+
+TEST(Delaunay, EmptyCircumcircleProperty) {
+  auto pts = uniform_ball<2>(150, 17);
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  for (const auto& t : res.triangles) {
+    for (PointId q = 0; q < pts.size(); ++q) {
+      if (q == t[0] || q == t[1] || q == t[2]) continue;
+      EXPECT_LE(incircle(pts[t[0]], pts[t[1]], pts[t[2]], pts[q]), 0);
+    }
+  }
+}
+
+TEST(Delaunay, DuplicatePointsSkipped) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 0}}, {{0, 1}}, {{0, 0}}, {{1, 0}}};
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.points_skipped, 2u);
+  EXPECT_EQ(res.triangles.size(), 1u);
+}
+
+TEST(Delaunay, SupportDepthRecurrence) {
+  auto pts = random_order(uniform_ball<2>(500, 19), 23);
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  std::uint32_t max_depth = 0;
+  for (std::uint32_t id = 0; id < dt.triangle_count(); ++id) {
+    const auto& t = dt.triangle(id);
+    max_depth = std::max(max_depth, t.depth);
+    if (t.apex == kInvalidPoint) {
+      EXPECT_EQ(t.depth, 0u);
+      continue;
+    }
+    ASSERT_NE(t.support0, kInvalidFacet);
+    std::uint32_t s1_depth =
+        t.support1 == 0xffffffffu ? 0 : dt.triangle(t.support1).depth;
+    EXPECT_EQ(t.depth, 1 + std::max(dt.triangle(t.support0).depth, s1_depth));
+    // Conflict containment: C(t) ⊆ C(s0) ∪ C(s1).
+    std::set<PointId> sc(dt.triangle(t.support0).conflicts.begin(),
+                         dt.triangle(t.support0).conflicts.end());
+    if (t.support1 != 0xffffffffu) {
+      sc.insert(dt.triangle(t.support1).conflicts.begin(),
+                dt.triangle(t.support1).conflicts.end());
+    }
+    for (PointId q : t.conflicts) EXPECT_TRUE(sc.count(q));
+  }
+  EXPECT_EQ(max_depth, res.dependence_depth);
+  EXPECT_GT(res.dependence_depth, 0u);
+}
+
+TEST(Delaunay, DepthIsLogarithmic) {
+  auto pts = random_order(uniform_ball<2>(20000, 29), 31);
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_LT(res.dependence_depth, 25 * std::log(20000.0));
+}
+
+TEST(Delaunay, WorkIsNearLinear) {
+  auto pts = random_order(uniform_ball<2>(20000, 37), 41);
+  Delaunay2D dt;
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok);
+  // Expected O(n log n) conflicts for Delaunay (Theorem 3.1 with
+  // |T(Y_i)| = O(i)).
+  double n = 20000;
+  EXPECT_LT(static_cast<double>(res.total_conflicts), 40.0 * n * std::log(n));
+}
+
+TEST(Delaunay, TooFewPoints) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 1}}};
+  EXPECT_FALSE(Delaunay2D().run(pts).ok);
+}
+
+TEST(BruteForceDelaunay, Square) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 0}}, {{1, 1.1}}, {{0, 1}}};
+  auto tris = brute_force_delaunay(pts);
+  EXPECT_EQ(tris.size(), 2u);
+}
+
+}  // namespace
+}  // namespace parhull

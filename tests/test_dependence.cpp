@@ -1,0 +1,156 @@
+// Dependence-graph analysis utilities and output adapters (polygon, mesh,
+// vertex extraction), plus the parallel_merge primitive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "parhull/core/dependence.h"
+#include "parhull/core/hull_output.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/hull/baselines.h"
+#include "parhull/parallel/primitives.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+TEST(DependenceStats, LevelsSumToFacets) {
+  auto pts = random_order(uniform_ball<2>(2000, 3), 5);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  ParallelHull<2> hull;
+  auto res = hull.run(pts);
+  auto stats = dependence_stats(hull);
+  EXPECT_EQ(stats.facets, res.facets_created);
+  EXPECT_EQ(stats.depth, res.dependence_depth);
+  std::uint64_t total = 0;
+  for (auto c : stats.level_sizes) total += c;
+  EXPECT_EQ(total, stats.facets);
+  EXPECT_EQ(stats.level_sizes.size(), stats.depth + 1);
+  EXPECT_GT(stats.level_sizes[0], 0u);  // the initial simplex facets
+  EXPECT_GT(stats.mean_depth, 0.0);
+  EXPECT_LE(stats.mean_depth, stats.depth);
+}
+
+TEST(CriticalPath, IsAMaximalSupportChain) {
+  auto pts = random_order(uniform_ball<3>(800, 7), 9);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> hull;
+  auto res = hull.run(pts);
+  auto path = critical_path(hull);
+  ASSERT_FALSE(path.empty());
+  // Starts at the deepest facet, ends at a base facet, depth decreasing by
+  // exactly 1 each step.
+  EXPECT_EQ(hull.facet(path.front()).depth, res.dependence_depth);
+  EXPECT_EQ(hull.facet(path.back()).depth, 0u);
+  EXPECT_EQ(path.size(), res.dependence_depth + 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto& f = hull.facet(path[i]);
+    EXPECT_EQ(f.depth, hull.facet(path[i + 1]).depth + 1);
+    EXPECT_TRUE(path[i + 1] == f.support0 || path[i + 1] == f.support1);
+  }
+}
+
+TEST(DependenceDot, WellFormedOutput) {
+  auto pts = random_order(uniform_ball<2>(50, 11), 13);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  ParallelHull<2> hull;
+  hull.run(pts);
+  std::ostringstream os;
+  write_dependence_dot(os, hull);
+  std::string dot = os.str();
+  EXPECT_EQ(dot.rfind("digraph dependence {", 0), 0u);
+  EXPECT_NE(dot.find("f0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(HullPolygon, MatchesMonotoneChain) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto pts = random_order(uniform_ball<2>(500, seed), seed + 50);
+    ASSERT_TRUE(prepare_input<2>(pts));
+    ParallelHull<2> hull;
+    auto res = hull.run(pts);
+    auto cycle = hull_polygon(hull, res.hull, pts);
+    ASSERT_EQ(cycle.size(), res.hull.size());
+    // Same vertex sequence as monotone chain, up to rotation.
+    auto chain = monotone_chain(pts);
+    ASSERT_EQ(chain.size(), cycle.size());
+    std::vector<Point2> got;
+    for (PointId v : cycle) got.push_back(pts[v]);
+    // Rotate both to lexicographic minimum and compare.
+    auto lexmin = [](std::vector<Point2>& v) {
+      return std::min_element(v.begin(), v.end(),
+                              [](const Point2& a, const Point2& b) {
+                                return a[0] < b[0] ||
+                                       (a[0] == b[0] && a[1] < b[1]);
+                              });
+    };
+    std::rotate(got.begin(), lexmin(got), got.end());
+    std::vector<Point2> expect = chain;
+    std::rotate(expect.begin(), lexmin(expect), expect.end());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expect.begin()))
+        << "seed " << seed;
+  }
+}
+
+TEST(HullVertexIds, MatchesFacetUnion) {
+  auto pts = random_order(uniform_ball<3>(300, 17), 19);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> hull;
+  auto res = hull.run(pts);
+  auto ids = hull_vertex_ids<3>(hull, res.hull);
+  std::set<PointId> expect;
+  for (FacetId id : res.hull) {
+    for (PointId v : hull.facet(id).vertices) expect.insert(v);
+  }
+  EXPECT_EQ(ids.size(), expect.size());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  auto mesh = hull_mesh(hull, res.hull);
+  EXPECT_EQ(mesh.size(), res.hull.size());
+}
+
+// ---------------------------------------------------------------------------
+// parallel_merge
+// ---------------------------------------------------------------------------
+
+class MergeSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MergeSizes,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(0, 100),
+                      std::make_pair(100, 0), std::make_pair(1, 1),
+                      std::make_pair(1000, 1), std::make_pair(1000, 1000),
+                      std::make_pair(50000, 70000),
+                      std::make_pair(3, 100000)));
+
+TEST_P(MergeSizes, MatchesStdMerge) {
+  auto [na, nb] = GetParam();
+  Rng rng(na * 131 + nb);
+  std::vector<std::uint32_t> a(na), b(nb);
+  for (auto& x : a) x = static_cast<std::uint32_t>(rng.next_below(1000000));
+  for (auto& x : b) x = static_cast<std::uint32_t>(rng.next_below(1000000));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<std::uint32_t> expect(na + nb);
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+  EXPECT_EQ(parallel_merge(a, b), expect);
+}
+
+TEST(ParallelMerge, CustomComparatorDescending) {
+  std::vector<int> a = {9, 7, 5, 3}, b = {8, 6, 4, 2, 0};
+  auto got = parallel_merge(a, b, std::greater<>{});
+  EXPECT_EQ(got, (std::vector<int>{9, 8, 7, 6, 5, 4, 3, 2, 0}));
+}
+
+TEST(ParallelMerge, AllEqualElements) {
+  std::vector<int> a(10000, 5), b(20000, 5);
+  auto got = parallel_merge(a, b, std::less<>{}, 128);
+  EXPECT_EQ(got.size(), 30000u);
+  for (int x : got) EXPECT_EQ(x, 5);
+}
+
+}  // namespace
+}  // namespace parhull

@@ -1,0 +1,136 @@
+// Chase–Lev work-stealing deque: LIFO owner semantics, FIFO stealing,
+// no-loss no-duplication under concurrent stealing, and growth.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "parhull/parallel/deque.h"
+#include "parhull/parallel/scheduler.h"
+
+namespace parhull {
+namespace {
+
+// Tasks are only stored as pointers; use a dummy derived type whose address
+// identifies it.
+class MarkerTask final : public Task {
+ protected:
+  void execute() override {}
+};
+
+TEST(Deque, OwnerLifo) {
+  WorkStealingDeque dq;
+  MarkerTask a, b, c;
+  dq.push(&a);
+  dq.push(&b);
+  dq.push(&c);
+  EXPECT_EQ(dq.pop(), &c);
+  EXPECT_EQ(dq.pop(), &b);
+  EXPECT_EQ(dq.pop(), &a);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(Deque, ThiefFifo) {
+  WorkStealingDeque dq;
+  MarkerTask a, b, c;
+  dq.push(&a);
+  dq.push(&b);
+  dq.push(&c);
+  EXPECT_EQ(dq.steal(), &a);
+  EXPECT_EQ(dq.steal(), &b);
+  EXPECT_EQ(dq.steal(), &c);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(Deque, MixedPopSteal) {
+  WorkStealingDeque dq;
+  MarkerTask t[4];
+  for (auto& x : t) dq.push(&x);
+  EXPECT_EQ(dq.steal(), &t[0]);
+  EXPECT_EQ(dq.pop(), &t[3]);
+  EXPECT_EQ(dq.steal(), &t[1]);
+  EXPECT_EQ(dq.pop(), &t[2]);
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(Deque, GrowsPastInitialCapacity) {
+  WorkStealingDeque dq(8);
+  std::vector<std::unique_ptr<MarkerTask>> tasks;
+  for (int i = 0; i < 1000; ++i) {
+    tasks.push_back(std::make_unique<MarkerTask>());
+    dq.push(tasks.back().get());
+  }
+  std::set<Task*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    Task* t = dq.pop();
+    ASSERT_NE(t, nullptr);
+    EXPECT_TRUE(seen.insert(t).second);
+  }
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(Deque, ConcurrentStealersNoLossNoDup) {
+  // One owner pushes/pops, several thieves steal; every task must be
+  // consumed exactly once.
+  constexpr int kTasks = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque dq;
+  std::vector<std::unique_ptr<MarkerTask>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(std::make_unique<MarkerTask>());
+  }
+  std::atomic<int> consumed{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  std::mutex seen_mutex;
+  std::set<Task*> seen;
+  auto consume = [&](Task* t) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    EXPECT_TRUE(seen.insert(t).second) << "duplicate consumption";
+    consumed.fetch_add(1);
+  };
+  for (int k = 0; k < kThieves; ++k) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        Task* t = dq.steal();
+        if (t != nullptr) consume(t);
+      }
+      // Drain remainder.
+      while (Task* t = dq.steal()) consume(t);
+    });
+  }
+  // Owner: push all, interleave pops.
+  for (int i = 0; i < kTasks; ++i) {
+    dq.push(tasks[static_cast<std::size_t>(i)].get());
+    if (i % 3 == 0) {
+      Task* t = dq.pop();
+      if (t != nullptr) consume(t);
+    }
+  }
+  while (Task* t = dq.pop()) consume(t);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  // A stolen-but-unconsumed window can't exist: all paths consume.
+  while (Task* t = dq.pop()) consume(t);
+  EXPECT_EQ(consumed.load(), kTasks);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kTasks));
+}
+
+TEST(Deque, MaybeNonempty) {
+  WorkStealingDeque dq;
+  EXPECT_FALSE(dq.maybe_nonempty());
+  MarkerTask a;
+  dq.push(&a);
+  EXPECT_TRUE(dq.maybe_nonempty());
+  dq.pop();
+  EXPECT_FALSE(dq.maybe_nonempty());
+}
+
+}  // namespace
+}  // namespace parhull

@@ -1,0 +1,147 @@
+// Cross-module edge cases that don't fit a single module's suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parhull/circles/circle_intersection.h"
+#include "parhull/common/random.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/hull/baselines.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+// Circle-intersection sweeps over spread: small spreads keep the region
+// alive, large spreads empty it; both paths must stay structurally sound.
+class CircleSpread : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Spreads, CircleSpread,
+                         ::testing::Values(0.1, 0.3, 0.6, 0.9, 1.2, 1.8));
+
+TEST_P(CircleSpread, RunCompletesAndIsConsistent) {
+  double spread = GetParam();
+  Rng rng(static_cast<std::uint64_t>(spread * 1000));
+  std::vector<Point2> centers(300);
+  for (auto& c : centers) {
+    double ang = rng.next_double(0, 6.283185307179586);
+    double r = spread * std::sqrt(rng.next_double());
+    c = {{r * std::cos(ang), r * std::sin(ang)}};
+  }
+  UnitCircleIntersection ix;
+  auto res = ix.run(centers);
+  ASSERT_TRUE(res.ok);
+  if (res.nonempty) {
+    auto boundary = ix.boundary();
+    EXPECT_EQ(boundary.size(), res.boundary_arcs);
+    EXPECT_GE(boundary.size(), 1u);
+    // Midpoints inside all circles.
+    for (std::uint32_t id : boundary) {
+      Point2 p = ix.arc_point(id, 0.5);
+      for (const auto& c : centers) {
+        EXPECT_LE((p - c).norm2(), 1.0 + 1e-9);
+      }
+    }
+  } else {
+    EXPECT_TRUE(ix.boundary().empty());
+    EXPECT_GT(res.emptied_at, 0u);
+  }
+}
+
+// The hull of points sampled on a tiny arc (nearly collinear cloud).
+TEST(EdgeCases, NearlyCollinearCloud2D) {
+  Rng rng(7);
+  PointSet<2> pts(500);
+  for (auto& p : pts) {
+    double x = rng.next_double(-1, 1);
+    p = {{x, x * x * 1e-9 + rng.next_double() * 1e-12}};
+  }
+  ASSERT_TRUE(prepare_input<2>(pts));
+  SequentialHull<2> seq;
+  auto sres = seq.run(pts);
+  ParallelHull<2> par;
+  auto pres = par.run(pts);
+  ASSERT_TRUE(sres.ok && pres.ok);
+  EXPECT_EQ(pres.visibility_tests, sres.visibility_tests);
+  EXPECT_EQ(pres.hull.size(), sres.hull.size());
+}
+
+// Huge coordinates: the filtered predicates must stay exact.
+TEST(EdgeCases, HugeCoordinates3D) {
+  auto pts = uniform_ball<3>(400, 11);
+  for (auto& p : pts) p = p * 1e18;
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  // Same hull size as the unscaled cloud (scaling preserves the hull).
+  auto small = uniform_ball<3>(400, 11);
+  ASSERT_TRUE(prepare_input<3>(small));
+  ParallelHull<3> hull2;
+  auto res2 = hull2.run(small);
+  EXPECT_EQ(res.hull.size(), res2.hull.size());
+}
+
+// Tiny coordinates near the denormal range.
+TEST(EdgeCases, TinyCoordinates2D) {
+  auto pts = uniform_ball<2>(300, 13);
+  for (auto& p : pts) p = p * 1e-150;
+  ASSERT_TRUE(prepare_input<2>(pts));
+  ParallelHull<2> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  auto chain = monotone_chain(pts);
+  EXPECT_EQ(res.hull.size(), chain.size());
+}
+
+// Exactly 4 points in 3D, all on the hull (minimum nontrivial instance).
+TEST(EdgeCases, MinimalInstances) {
+  PointSet<3> tetra = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}}};
+  ASSERT_TRUE(prepare_input<3>(tetra));
+  SequentialHull<3> seq;
+  EXPECT_EQ(seq.run(tetra).hull.size(), 4u);
+
+  PointSet<2> tri = {{{0, 0}}, {{1, 0}}, {{0, 1}}};
+  ASSERT_TRUE(prepare_input<2>(tri));
+  ParallelHull<2> par;
+  EXPECT_EQ(par.run(tri).hull.size(), 3u);
+}
+
+// One interior point in an otherwise minimal instance, every insertion
+// position (the point's priority is shuffled through all slots).
+TEST(EdgeCases, InteriorPointEveryPriority) {
+  for (int pos = 0; pos < 4; ++pos) {
+    PointSet<2> pts;
+    std::vector<Point2> shell = {{{0, 0}}, {{4, 0}}, {{0, 4}}};
+    Point2 interior{{1, 1}};
+    int added = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (i == pos) {
+        pts.push_back(interior);
+      } else {
+        pts.push_back(shell[static_cast<std::size_t>(added++)]);
+      }
+    }
+    if (!prepare_input<2>(pts)) continue;  // interior can't lead a simplex
+    ParallelHull<2> hull;
+    auto res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.hull.size(), 3u) << "pos " << pos;
+  }
+}
+
+// Kuzmin (heavy-tailed) stresses the conflict-list imbalance.
+TEST(EdgeCases, HeavyTailDistribution3D) {
+  auto pts = random_order(generate<3>(Distribution::kKuzmin, 2000, 17), 19);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  SequentialHull<3> seq;
+  auto sres = seq.run(pts);
+  ParallelHull<3> par;
+  auto pres = par.run(pts);
+  EXPECT_EQ(pres.visibility_tests, sres.visibility_tests);
+  EXPECT_EQ(pres.hull.size(), sres.hull.size());
+  EXPECT_LT(pres.dependence_depth, 30 * std::log(2000.0));
+}
+
+}  // namespace
+}  // namespace parhull

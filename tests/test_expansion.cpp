@@ -1,0 +1,161 @@
+// Exactness of the floating-point expansion arithmetic (geometry/expansion).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "parhull/common/random.h"
+#include "parhull/geometry/expansion.h"
+
+namespace parhull {
+namespace {
+
+TEST(TwoSum, ExactOnRepresentable) {
+  double x, y;
+  two_sum(1.0, 2.0, x, y);
+  EXPECT_EQ(x, 3.0);
+  EXPECT_EQ(y, 0.0);
+}
+
+TEST(TwoSum, CapturesRoundoff) {
+  // 1 + 2^-60 is not representable; the roundoff must land in y.
+  double a = 1.0, b = std::ldexp(1.0, -60);
+  double x, y;
+  two_sum(a, b, x, y);
+  EXPECT_EQ(x, 1.0);
+  EXPECT_EQ(y, b);
+  // a + b == x + y exactly (checked in extended precision).
+  EXPECT_EQ(static_cast<long double>(a) + static_cast<long double>(b),
+            static_cast<long double>(x) + static_cast<long double>(y));
+}
+
+TEST(TwoDiff, CapturesRoundoff) {
+  double a = 1.0, b = std::ldexp(1.0, -60);
+  double x, y;
+  two_diff(a, b, x, y);
+  EXPECT_EQ(static_cast<long double>(a) - static_cast<long double>(b),
+            static_cast<long double>(x) + static_cast<long double>(y));
+}
+
+TEST(TwoProduct, ExactSplit) {
+  double a = 1.0 + std::ldexp(1.0, -30);
+  double b = 1.0 - std::ldexp(1.0, -30);
+  double x, y;
+  two_product(a, b, x, y);
+  long double exact = static_cast<long double>(a) * static_cast<long double>(b);
+  EXPECT_EQ(exact, static_cast<long double>(x) + static_cast<long double>(y));
+  EXPECT_NE(y, 0.0);  // the product is not representable in one double
+}
+
+TEST(Expansion, ZeroHasSignZero) {
+  Expansion e;
+  EXPECT_EQ(e.sign(), 0);
+  EXPECT_EQ(Expansion(0.0).sign(), 0);
+  EXPECT_EQ((Expansion(1.0) - Expansion(1.0)).sign(), 0);
+}
+
+TEST(Expansion, SignOfSimpleValues) {
+  EXPECT_EQ(Expansion(2.5).sign(), 1);
+  EXPECT_EQ(Expansion(-0.1).sign(), -1);
+  EXPECT_EQ((-Expansion(3.0)).sign(), -1);
+}
+
+TEST(Expansion, CatastrophicCancellationIsExact) {
+  // (big + tiny) - big == tiny, which naive doubles lose.
+  double big = std::ldexp(1.0, 80);
+  double tiny = std::ldexp(1.0, -40);
+  Expansion e = (Expansion(big) + Expansion(tiny)) - Expansion(big);
+  EXPECT_EQ(e.sign(), 1);
+  EXPECT_DOUBLE_EQ(e.estimate(), tiny);
+}
+
+TEST(Expansion, DiffOfEqualsIsZero) {
+  Expansion e = Expansion::diff(3.75, 3.75);
+  EXPECT_EQ(e.sign(), 0);
+  EXPECT_EQ(e.size(), 0u);
+}
+
+TEST(Expansion, ProductSigns) {
+  EXPECT_EQ((Expansion(3.0) * Expansion(-2.0)).sign(), -1);
+  EXPECT_EQ((Expansion(-3.0) * Expansion(-2.0)).sign(), 1);
+  EXPECT_EQ((Expansion(3.0) * Expansion(0.0)).sign(), 0);
+}
+
+// Oracle check: random small-integer arithmetic where __int128 is exact.
+TEST(Expansion, MatchesIntegerOracle) {
+  Rng rng(42);
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto ri = [&] {
+      return static_cast<long long>(rng.next_below(2000001)) - 1000000;
+    };
+    long long a = ri(), b = ri(), c = ri(), d = ri();
+    // value = a*b - c*d + (a - d)
+    __int128 oracle = static_cast<__int128>(a) * b -
+                      static_cast<__int128>(c) * d + (a - d);
+    Expansion e = Expansion::product(static_cast<double>(a),
+                                     static_cast<double>(b)) -
+                  Expansion::product(static_cast<double>(c),
+                                     static_cast<double>(d)) +
+                  Expansion::diff(static_cast<double>(a),
+                                  static_cast<double>(d));
+    int oracle_sign = oracle > 0 ? 1 : (oracle < 0 ? -1 : 0);
+    EXPECT_EQ(e.sign(), oracle_sign) << "iter " << iter;
+    EXPECT_DOUBLE_EQ(e.estimate(), static_cast<double>(oracle));
+  }
+}
+
+// Scaled: exact multiplication by doubles.
+TEST(Expansion, ScaledMatchesOracle) {
+  Rng rng(7);
+  for (int iter = 0; iter < 1000; ++iter) {
+    long long a = static_cast<long long>(rng.next_below(1000001)) - 500000;
+    long long b = static_cast<long long>(rng.next_below(1000001)) - 500000;
+    long long s = static_cast<long long>(rng.next_below(2001)) - 1000;
+    __int128 oracle = (static_cast<__int128>(a) + b) * s;
+    Expansion e = (Expansion(static_cast<double>(a)) +
+                   Expansion(static_cast<double>(b)))
+                      .scaled(static_cast<double>(s));
+    int oracle_sign = oracle > 0 ? 1 : (oracle < 0 ? -1 : 0);
+    EXPECT_EQ(e.sign(), oracle_sign);
+    EXPECT_DOUBLE_EQ(e.estimate(), static_cast<double>(oracle));
+  }
+}
+
+// Nonoverlapping invariant: sign must be decided by the largest component,
+// even after long chains of mixed-magnitude sums.
+TEST(Expansion, LongAlternatingChain) {
+  Expansion acc;
+  for (int i = 0; i < 64; ++i) {
+    double mag = std::ldexp(1.0, i - 32);
+    acc = acc + Expansion(i % 2 == 0 ? mag : -mag);
+  }
+  // Sum = sum_{i even} 2^{i-32} - sum_{i odd} 2^{i-32}
+  long double exact = 0;
+  for (int i = 0; i < 64; ++i) {
+    long double mag = std::pow(2.0L, i - 32);
+    exact += (i % 2 == 0) ? mag : -mag;
+  }
+  EXPECT_EQ(acc.sign(), exact > 0 ? 1 : (exact < 0 ? -1 : 0));
+  EXPECT_NEAR(static_cast<long double>(acc.estimate()), exact,
+              std::fabs(static_cast<double>(exact)) * 1e-15);
+}
+
+// Tiny nonzero residue after near-total cancellation: sign must survive.
+TEST(Expansion, NearTotalCancellation) {
+  double a = 1e20;
+  Expansion e = (Expansion(a) + Expansion(1.0)) - Expansion(a) - Expansion(1.0)
+                + Expansion(std::ldexp(1.0, -100));
+  EXPECT_EQ(e.sign(), 1);
+}
+
+TEST(Expansion, MultiComponentProduct) {
+  // (2^50 + 1) * (2^50 - 1) = 2^100 - 1, needs several components.
+  Expansion a = Expansion(std::ldexp(1.0, 50)) + Expansion(1.0);
+  Expansion b = Expansion(std::ldexp(1.0, 50)) - Expansion(1.0);
+  Expansion prod = a * b;
+  Expansion expected = Expansion(std::ldexp(1.0, 100)) - Expansion(1.0);
+  EXPECT_EQ((prod - expected).sign(), 0);
+}
+
+}  // namespace
+}  // namespace parhull

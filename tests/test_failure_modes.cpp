@@ -1,0 +1,123 @@
+// Failure injection: the library's always-on checks must fire loudly on
+// misuse instead of corrupting results (death tests), and graceful failure
+// paths must report rather than crash.
+#include <gtest/gtest.h>
+
+#include "parhull/containers/ridge_map.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/degenerate/degenerate_hull3d.h"
+#include "parhull/halfspace/halfspace.h"
+#include "parhull/stats/table.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+// Bodies are free functions so the macro sees a single expression.
+void overfill_cas_map() {
+  RidgeMapCAS<3> map(1);  // capacity next_pow2(68) = 128 slots
+  for (PointId k = 0; k < 1000; ++k) {
+    map.insert_and_set(RidgeKey<3>::from_unsorted({k, k + 100000}),
+                       static_cast<FacetId>(k));
+  }
+}
+
+void overfill_tas_map() {
+  RidgeMapTAS<3> map(1);
+  for (PointId k = 0; k < 2000; ++k) {
+    map.insert_and_set(RidgeKey<3>::from_unsorted({k, k + 100000}),
+                       static_cast<FacetId>(k));
+  }
+}
+
+void get_absent_key() {
+  RidgeMapCAS<3> map(64);
+  map.get_value(RidgeKey<3>::from_unsorted({1, 2}), 0);
+}
+
+void run_hull_twice() {
+  auto pts = uniform_ball<3>(50, 3);
+  prepare_input<3>(pts);
+  ParallelHull<3> hull;
+  hull.run(pts);
+  hull.run(pts);  // second run must abort, not corrupt
+}
+
+void table_cell_without_row() {
+  Table t({"a"});
+  t.cell("oops");
+}
+
+void hull_on_collinear_simplex() {
+  // Bypass prepare_input with a collinear "simplex": the exact orientation
+  // check catches it at initialization.
+  PointSet<2> pts;
+  pts.push_back(Point2{{0, 0}});
+  pts.push_back(Point2{{1, 1}});
+  pts.push_back(Point2{{2, 2}});
+  pts.push_back(Point2{{5, 0}});
+  ParallelHull<2> hull;
+  hull.run(pts);
+}
+
+TEST(FailureDeathTest, RidgeMapCasAbortsWhenFull) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(overfill_cas_map(), "RidgeMapCAS full");
+}
+
+TEST(FailureDeathTest, RidgeMapTasAbortsWhenFull) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Depending on fill order either the reservation pass ("full") or the
+  // check pass ("probe overflow") detects exhaustion; both abort loudly.
+  EXPECT_DEATH(overfill_tas_map(), "RidgeMapTAS");
+}
+
+TEST(FailureDeathTest, GetValueOnAbsentKeyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(get_absent_key(), "key absent");
+}
+
+TEST(FailureDeathTest, ParallelHullRunIsSingleShot) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(run_hull_twice(), "single-shot");
+}
+
+TEST(FailureDeathTest, TableCellBeforeRowAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(table_cell_without_row(), "cell before");
+}
+
+TEST(FailureDeathTest, DegenerateInputAbortsParallelHull) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(hull_on_collinear_simplex(), "degenerate");
+}
+
+// Graceful (non-aborting) failure paths.
+TEST(GracefulFailure, HalfspaceReportsNotAborts) {
+  std::vector<HalfSpace<2>> too_few = {{{{1, 0}}, 1}};
+  EXPECT_FALSE(intersect_halfspaces<2>(too_few).ok);
+  std::vector<HalfSpace<2>> bad_offset = {
+      {{{1, 0}}, 1}, {{{-1, 0}}, 0.0}, {{{0, 1}}, 1}, {{{0, -1}}, 1}};
+  EXPECT_FALSE(intersect_halfspaces<2>(bad_offset).ok);
+}
+
+TEST(GracefulFailure, DegenerateHullReportsNotAborts) {
+  PointSet<3> two = {{{0, 0, 0}}, {{1, 1, 1}}};
+  EXPECT_FALSE(degenerate_hull3d(two).ok);
+  PointSet<3> same(10, Point3{{1, 2, 3}});
+  EXPECT_FALSE(degenerate_hull3d(same).ok);
+}
+
+TEST(GracefulFailure, PrepareInputOnDegenerate) {
+  PointSet<3> coplanar;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      coplanar.push_back(
+          Point3{{static_cast<double>(i), static_cast<double>(j), 7.0}});
+    }
+  }
+  EXPECT_FALSE(prepare_input<3>(coplanar));
+}
+
+}  // namespace
+}  // namespace parhull

@@ -1,0 +1,123 @@
+// The paper's Figure 1 / Section 5.3 worked example, as a unit test: the
+// parallel algorithm must reproduce the narrative exactly (facets, support
+// sets, waves, burials, final hull).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "parhull/core/parallel_hull.h"
+#include "parhull/workload/figure1.h"
+
+namespace parhull {
+namespace {
+
+using namespace parhull::figure1;
+
+struct Fig1 : ::testing::Test {
+  void SetUp() override {
+    pts = points();
+    res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    wave.assign(hull.facet_count(), 0);
+    for (FacetId id = 0; id < hull.facet_count(); ++id) {
+      const Facet<2>& f = hull.facet(id);
+      if (!is_new(f)) continue;
+      wave[id] = 1 + std::max(wave[f.support0], wave[f.support1]);
+      by_name[ename(id)] = id;
+    }
+  }
+  static bool is_new(const Facet<2>& f) {
+    return f.apex == kA || f.apex == kB || f.apex == kC;
+  }
+  std::string ename(FacetId id) const {
+    const auto& f = hull.facet(id);
+    return edge_name(std::min(f.vertices[0], f.vertices[1]),
+                     std::max(f.vertices[0], f.vertices[1]));
+  }
+  PointSet<2> pts;
+  ParallelHull<2> hull;
+  ParallelHull<2>::Result res;
+  std::vector<std::uint32_t> wave;
+  std::map<std::string, FacetId> by_name;
+};
+
+TEST_F(Fig1, VisibilityPremises) {
+  // The coordinates must realize the narrative's visibility relations.
+  auto edge = [&](int p, int q) {
+    return std::array<PointId, 2>{static_cast<PointId>(p),
+                                  static_cast<PointId>(q)};
+  };
+  auto sees = [&](int point, std::array<PointId, 2> e) {
+    // Orient the edge CCW w.r.t. polygon interior (origin-ish point).
+    Point2 interior{{0.0, 2.0}};
+    if (!orient_outward<2>(pts, e, interior)) return false;
+    return visible<2>(pts, e, static_cast<PointId>(point));
+  };
+  EXPECT_TRUE(sees(kA, edge(kX, kY)));
+  EXPECT_TRUE(sees(kA, edge(kY, kZ)));
+  EXPECT_FALSE(sees(kA, edge(kW, kX)));
+  EXPECT_TRUE(sees(kB, edge(kW, kX)));
+  EXPECT_TRUE(sees(kB, edge(kX, kY)));
+  EXPECT_FALSE(sees(kB, edge(kV, kW)));
+  EXPECT_TRUE(sees(kC, edge(kV, kW)));
+  EXPECT_TRUE(sees(kC, edge(kW, kX)));
+  EXPECT_TRUE(sees(kC, edge(kX, kY)));
+  EXPECT_TRUE(sees(kC, edge(kY, kZ)));
+  EXPECT_FALSE(sees(kC, edge(kU, kV)));
+  EXPECT_FALSE(sees(kC, edge(kZ, kT)));
+}
+
+TEST_F(Fig1, ExactlySixNewFacets) {
+  EXPECT_EQ(by_name.size(), 6u);
+  for (const char* e : {"v-c", "w-b", "x-a", "z-a", "a-b", "z-c"}) {
+    EXPECT_TRUE(by_name.count(e)) << e;
+  }
+}
+
+TEST_F(Fig1, WaveStructureMatchesPaper) {
+  for (const char* e : {"v-c", "w-b", "x-a", "z-a"}) {
+    EXPECT_EQ(wave[by_name[e]], 1u) << e;
+  }
+  for (const char* e : {"a-b", "z-c"}) {
+    EXPECT_EQ(wave[by_name[e]], 2u) << e;
+  }
+}
+
+TEST_F(Fig1, SupportSetsMatchNarrative) {
+  auto supports = [&](const char* e, const char* s0, const char* s1) {
+    const auto& f = hull.facet(by_name[e]);
+    std::string a = ename(f.support0), b = ename(f.support1);
+    EXPECT_TRUE((a == s0 && b == s1) || (a == s1 && b == s0))
+        << e << " supported by {" << a << "," << b << "}, expected {" << s0
+        << "," << s1 << "}";
+  };
+  supports("v-c", "u-v", "v-w");
+  supports("w-b", "v-w", "w-x");
+  supports("x-a", "w-x", "x-y");
+  supports("z-a", "y-z", "z-t");
+  supports("a-b", "x-a", "z-a");
+  supports("z-c", "z-a", "z-t");
+}
+
+TEST_F(Fig1, BurialAndFinalHull) {
+  EXPECT_FALSE(hull.facet(by_name["w-b"]).alive());
+  EXPECT_FALSE(hull.facet(by_name["a-b"]).alive());
+  EXPECT_TRUE(hull.facet(by_name["v-c"]).alive());
+  EXPECT_TRUE(hull.facet(by_name["z-c"]).alive());
+  EXPECT_GE(res.buried_pairs, 1u);
+  EXPECT_EQ(res.hull.size(), 5u);  // pentagon u, v, c, z, t
+}
+
+TEST_F(Fig1, ApexAttribution) {
+  EXPECT_EQ(hull.facet(by_name["v-c"]).apex, static_cast<PointId>(kC));
+  EXPECT_EQ(hull.facet(by_name["z-c"]).apex, static_cast<PointId>(kC));
+  EXPECT_EQ(hull.facet(by_name["w-b"]).apex, static_cast<PointId>(kB));
+  EXPECT_EQ(hull.facet(by_name["a-b"]).apex, static_cast<PointId>(kB));
+  EXPECT_EQ(hull.facet(by_name["x-a"]).apex, static_cast<PointId>(kA));
+  EXPECT_EQ(hull.facet(by_name["z-a"]).apex, static_cast<PointId>(kA));
+}
+
+}  // namespace
+}  // namespace parhull

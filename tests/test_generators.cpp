@@ -1,0 +1,142 @@
+// Workload generators: determinism, geometric ranges, degeneracy structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "parhull/geometry/predicates.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+TEST(Generators, Deterministic) {
+  auto a = uniform_ball<3>(1000, 42);
+  auto b = uniform_ball<3>(1000, 42);
+  auto c = uniform_ball<3>(1000, 43);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  bool all_same = std::equal(a.begin(), a.end(), c.begin());
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Generators, BallPointsInsideUnitBall) {
+  auto pts = uniform_ball<4>(5000, 7);
+  for (const auto& p : pts) EXPECT_LE(p.norm2(), 1.0 + 1e-12);
+}
+
+TEST(Generators, SpherePointsOnUnitSphere) {
+  auto pts = on_sphere<3>(5000, 9);
+  for (const auto& p : pts) EXPECT_NEAR(p.norm(), 1.0, 1e-9);
+}
+
+TEST(Generators, CubePointsInCube) {
+  auto pts = uniform_cube<5>(3000, 11);
+  for (const auto& p : pts) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_GE(p[j], -1.0);
+      EXPECT_LE(p[j], 1.0);
+    }
+  }
+}
+
+TEST(Generators, GaussianRoughMoments) {
+  auto pts = gaussian<2>(20000, 13);
+  double sx = 0, sxx = 0;
+  for (const auto& p : pts) {
+    sx += p[0];
+    sxx += p[0] * p[0];
+  }
+  EXPECT_NEAR(sx / 20000, 0.0, 0.05);
+  EXPECT_NEAR(sxx / 20000, 1.0, 0.05);
+}
+
+TEST(Generators, KuzminHeavyTail) {
+  auto pts = generate<2>(Distribution::kKuzmin, 20000, 15);
+  int far = 0;
+  for (const auto& p : pts) {
+    if (p.norm() > 10.0) ++far;
+  }
+  EXPECT_GT(far, 10);  // heavy tail produces distant points
+}
+
+TEST(Generators, IntegerGridIsIntegral) {
+  auto pts = integer_grid<3>(2000, 50, 17);
+  for (const auto& p : pts) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(p[j], std::floor(p[j]));
+      EXPECT_LE(std::fabs(p[j]), 50.0);
+    }
+  }
+}
+
+TEST(Generators, CubeSurfaceGridIsDegenerate) {
+  auto pts = cube_surface_grid(3000, 8, 19);
+  // Every point sits on a face of the cube: one coordinate is exactly ±1.
+  for (const auto& p : pts) {
+    bool on_face = false;
+    for (int j = 0; j < 3; ++j) {
+      if (p[j] == 1.0 || p[j] == -1.0) on_face = true;
+    }
+    EXPECT_TRUE(on_face);
+  }
+  // Coplanar masses exist: at least 4 points on the x == 1 face.
+  int on_x1 = 0;
+  for (const auto& p : pts) {
+    if (p[0] == 1.0) ++on_x1;
+  }
+  EXPECT_GE(on_x1, 4);
+}
+
+TEST(Generators, LatticeCubeSizeAndDuplicateFree) {
+  auto pts = lattice_cube(5);
+  EXPECT_EQ(pts.size(), 125u);
+  std::set<std::array<double, 3>> unique;
+  for (const auto& p : pts) unique.insert(p.x);
+  EXPECT_EQ(unique.size(), 125u);
+}
+
+TEST(Generators, PolygonWithCollinearHasExactCollinearity) {
+  auto pts = polygon_with_collinear(6, 4, 21);
+  EXPECT_EQ(pts.size(), 6u * 5u);
+  // The 4 interior points of each edge are collinear with the two corners.
+  int collinear_triples = 0;
+  for (std::size_t i = 0; i + 2 < pts.size(); ++i) {
+    if (orient2d(pts[i], pts[i + 1], pts[i + 2]) == 0) ++collinear_triples;
+  }
+  EXPECT_GT(collinear_triples, 10);
+}
+
+TEST(Generators, OnCircleRadii) {
+  auto exact = on_circle(1000, 0.0, 23);
+  for (const auto& p : exact) EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+  auto fuzzed = on_circle(1000, 0.1, 23);
+  for (const auto& p : fuzzed) {
+    EXPECT_GE(p.norm(), 1.0 - 1e-12);
+    EXPECT_LE(p.norm(), 1.1 + 1e-12);
+  }
+}
+
+TEST(Generators, RandomOrderIsPermutation) {
+  auto pts = uniform_cube<2>(500, 29);
+  auto shuffled = random_order(pts, 31);
+  EXPECT_EQ(shuffled.size(), pts.size());
+  auto key = [](const Point2& p) { return std::make_pair(p[0], p[1]); };
+  std::multiset<std::pair<double, double>> a, b;
+  for (const auto& p : pts) a.insert(key(p));
+  for (const auto& p : shuffled) b.insert(key(p));
+  EXPECT_EQ(a, b);
+  // And actually shuffled (overwhelmingly likely).
+  EXPECT_FALSE(std::equal(pts.begin(), pts.end(), shuffled.begin()));
+}
+
+TEST(Generators, DistributionNames) {
+  EXPECT_STREQ(distribution_name(Distribution::kUniformBall), "ball");
+  EXPECT_STREQ(distribution_name(Distribution::kOnSphere), "sphere");
+  EXPECT_STREQ(distribution_name(Distribution::kUniformCube), "cube");
+  EXPECT_STREQ(distribution_name(Distribution::kGaussian), "gaussian");
+  EXPECT_STREQ(distribution_name(Distribution::kKuzmin), "kuzmin");
+}
+
+}  // namespace
+}  // namespace parhull

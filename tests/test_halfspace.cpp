@@ -1,0 +1,158 @@
+// Section 7 half-space intersection via duality: correctness against the
+// brute-force vertex enumerator and structural properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "parhull/halfspace/halfspace.h"
+#include "parhull/common/random.h"
+
+namespace parhull {
+namespace {
+
+// Sort points lexicographically with tolerance-based dedup for comparison.
+template <int D>
+bool same_vertex_sets(std::vector<Point<D>> a, std::vector<Point<D>> b,
+                      double tol = 1e-6) {
+  if (a.size() != b.size()) return false;
+  auto lex = [](const Point<D>& x, const Point<D>& y) {
+    for (int i = 0; i < D; ++i) {
+      if (x[i] != y[i]) return x[i] < y[i];
+    }
+    return false;
+  };
+  std::sort(a.begin(), a.end(), lex);
+  std::sort(b.begin(), b.end(), lex);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] - b[i]).norm() > tol) return false;
+  }
+  return true;
+}
+
+TEST(Halfspace2D, UnitSquare) {
+  std::vector<HalfSpace<2>> hs = {
+      {{{1, 0}}, 1}, {{{-1, 0}}, 1}, {{{0, 1}}, 1}, {{{0, -1}}, 1}};
+  auto res = intersect_halfspaces<2>(hs);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.vertices.size(), 4u);
+  EXPECT_EQ(res.essential.size(), 4u);
+  for (const auto& v : res.vertices) {
+    EXPECT_NEAR(std::fabs(v[0]), 1.0, 1e-12);
+    EXPECT_NEAR(std::fabs(v[1]), 1.0, 1e-12);
+  }
+}
+
+TEST(Halfspace2D, RedundantHalfspaceExcluded) {
+  std::vector<HalfSpace<2>> hs = {
+      {{{1, 0}}, 1}, {{{-1, 0}}, 1}, {{{0, 1}}, 1}, {{{0, -1}}, 1},
+      {{{1, 1}}, 10}};  // far away: redundant
+  auto res = intersect_halfspaces<2>(hs);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.vertices.size(), 4u);
+  EXPECT_EQ(res.essential.size(), 4u);
+  EXPECT_TRUE(std::find(res.essential.begin(), res.essential.end(), 4u) ==
+              res.essential.end());
+}
+
+TEST(Halfspace2D, MatchesBruteForceRandom) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto hs = random_tangent_halfspaces<2>(40, seed, 0.5);
+    auto res = intersect_halfspaces<2>(hs);
+    ASSERT_TRUE(res.ok) << seed;
+    auto oracle = brute_force_halfspace_vertices<2>(hs);
+    EXPECT_TRUE(same_vertex_sets<2>(res.vertices, oracle)) << seed;
+  }
+}
+
+TEST(Halfspace3D, MatchesBruteForceRandom) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto hs = random_tangent_halfspaces<3>(25, seed + 10, 0.5);
+    auto res = intersect_halfspaces<3>(hs);
+    ASSERT_TRUE(res.ok) << seed;
+    auto oracle = brute_force_halfspace_vertices<3>(hs);
+    EXPECT_TRUE(same_vertex_sets<3>(res.vertices, oracle, 1e-5)) << seed;
+  }
+}
+
+TEST(Halfspace3D, VerticesSatisfyAllConstraints) {
+  auto hs = random_tangent_halfspaces<3>(200, 3);
+  auto res = intersect_halfspaces<3>(hs);
+  ASSERT_TRUE(res.ok);
+  for (const auto& v : res.vertices) {
+    EXPECT_TRUE(halfspaces_contain<3>(hs, v, 1e-7));
+  }
+  // Each vertex is tight on its D defining half-spaces.
+  for (std::size_t i = 0; i < res.vertices.size(); ++i) {
+    for (std::uint32_t h : res.vertex_defs[i]) {
+      double slack =
+          hs[h].offset - hs[h].normal.dot(res.vertices[i]);
+      EXPECT_NEAR(slack, 0.0, 1e-7);
+    }
+  }
+}
+
+TEST(Halfspace3D, TangentSpheresAllEssential) {
+  // Tangent half-spaces to the unit sphere: every one is essential.
+  auto hs = random_tangent_halfspaces<3>(100, 7);
+  auto res = intersect_halfspaces<3>(hs);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.essential.size(), 100u);
+}
+
+TEST(Halfspace, DepthInstrumentationPopulated) {
+  auto hs = random_tangent_halfspaces<2>(2000, 9);
+  // Shuffle for the whp depth guarantee.
+  Rng rng(11);
+  shuffle(hs, rng);
+  auto res = intersect_halfspaces<2>(hs);
+  ASSERT_TRUE(res.ok);
+  EXPECT_GT(res.dependence_depth, 0u);
+  EXPECT_LT(res.dependence_depth, 20 * std::log(2000.0));
+  EXPECT_GT(res.facets_created, 2000u);
+}
+
+TEST(Halfspace, RejectsNonPositiveOffset) {
+  std::vector<HalfSpace<2>> hs = {
+      {{{1, 0}}, 1}, {{{-1, 0}}, -0.5}, {{{0, 1}}, 1}};
+  EXPECT_FALSE(intersect_halfspaces<2>(hs).ok);
+}
+
+TEST(Halfspace, RejectsUnboundedIntersection) {
+  // Only "rightward" constraints: unbounded to the left.
+  std::vector<HalfSpace<2>> hs = {
+      {{{1, 0}}, 1}, {{{1, 0.1}}, 1}, {{{1, -0.1}}, 1}, {{{0.9, 0.2}}, 1}};
+  EXPECT_FALSE(intersect_halfspaces<2>(hs).ok);
+}
+
+TEST(Halfspace, RejectsTooFew) {
+  std::vector<HalfSpace<2>> hs = {{{{1, 0}}, 1}, {{{-1, 0}}, 1}};
+  EXPECT_FALSE(intersect_halfspaces<2>(hs).ok);
+}
+
+TEST(Halfspace4D, VerticesFeasibleAndTight) {
+  auto hs = random_tangent_halfspaces<4>(60, 13);
+  Rng rng(17);
+  shuffle(hs, rng);
+  auto res = intersect_halfspaces<4>(hs);
+  ASSERT_TRUE(res.ok);
+  EXPECT_GT(res.vertices.size(), 0u);
+  for (std::size_t i = 0; i < res.vertices.size(); ++i) {
+    EXPECT_TRUE(halfspaces_contain<4>(hs, res.vertices[i], 1e-6));
+    for (std::uint32_t h : res.vertex_defs[i]) {
+      EXPECT_NEAR(hs[h].normal.dot(res.vertices[i]), hs[h].offset, 1e-6);
+    }
+  }
+  EXPECT_EQ(res.essential.size(), 60u);  // tangent: all essential
+}
+
+TEST(HalfspaceContain, Basic) {
+  std::vector<HalfSpace<2>> hs = {
+      {{{1, 0}}, 1}, {{{-1, 0}}, 1}, {{{0, 1}}, 1}, {{{0, -1}}, 1}};
+  EXPECT_TRUE(halfspaces_contain<2>(hs, Point2{{0, 0}}));
+  EXPECT_TRUE(halfspaces_contain<2>(hs, Point2{{1, 1}}));
+  EXPECT_FALSE(halfspaces_contain<2>(hs, Point2{{1.1, 0}}));
+}
+
+}  // namespace
+}  // namespace parhull

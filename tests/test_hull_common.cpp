@@ -1,0 +1,127 @@
+// Shared hull machinery: merge_filter_conflicts, orient_outward,
+// ridge_omitting, prepare_input edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "parhull/hull/hull_common.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+TEST(MergeFilter, DedupesAndExcludesApex) {
+  // Square hull edge (0,0)-(2,0); candidate points above are visible.
+  PointSet<2> pts = {
+      {{0, 0}}, {{2, 0}},                // edge (facet) vertices
+      {{1, 1}},                          // 2: above -> visible
+      {{1, -1}},                         // 3: below -> not visible
+      {{0.5, 2}},                        // 4: above -> visible
+      {{3, 5}},                          // 5: above -> visible (apex)
+  };
+  std::array<PointId, 2> edge = {0, 1};  // oriented so "above" is visible
+  // Ensure orientation: (0,0)->(2,0) with (1,1) left => orient > 0.
+  ASSERT_TRUE(visible<2>(pts, edge, PointId{2}));
+  std::vector<PointId> a = {2, 3, 5};
+  std::vector<PointId> b = {2, 4, 5};
+  auto res = merge_filter_conflicts<2>(a, b, pts, edge, /*apex=*/5);
+  EXPECT_EQ(res.conflicts, (std::vector<PointId>{2, 4}));
+  // Tests: distinct non-apex candidates = {2, 3, 4}.
+  EXPECT_EQ(res.tests, 3u);
+}
+
+TEST(MergeFilter, EmptyInputs) {
+  PointSet<2> pts = {{{0, 0}}, {{2, 0}}, {{9, 9}}};
+  std::array<PointId, 2> edge = {0, 1};
+  auto res = merge_filter_conflicts<2>({}, {}, pts, edge, 2);
+  EXPECT_TRUE(res.conflicts.empty());
+  EXPECT_EQ(res.tests, 0u);
+}
+
+TEST(MergeFilter, ParallelPathMatchesSequential) {
+  // Large candidate lists exercise the parallel filter; both paths must
+  // produce identical results and test counts.
+  auto pts = uniform_ball<2>(20000, 3);
+  pts[0] = {{-10, -10}};
+  pts[1] = {{10, -10}};
+  std::array<PointId, 2> edge = {0, 1};
+  // Orient edge so that points with y > -10 are visible.
+  if (!visible<2>(pts, edge, PointId{2})) std::swap(edge[0], edge[1]);
+  std::vector<PointId> a, b;
+  for (PointId i = 2; i < 20000; ++i) {
+    if (i % 2 == 0) a.push_back(i);
+    if (i % 3 == 0) b.push_back(i);
+  }
+  auto seq = merge_filter_conflicts<2>(a, b, pts, edge, 7, false);
+  auto par = merge_filter_conflicts<2>(a, b, pts, edge, 7, true);
+  EXPECT_EQ(seq.conflicts, par.conflicts);
+  EXPECT_EQ(seq.tests, par.tests);
+  EXPECT_TRUE(std::is_sorted(seq.conflicts.begin(), seq.conflicts.end()));
+}
+
+TEST(OrientOutward, FlipsAgainstInterior) {
+  PointSet<2> pts = {{{0, 0}}, {{2, 0}}, {{1, 5}}};
+  Point2 interior{{1, 1}};
+  std::array<PointId, 2> edge = {0, 1};
+  ASSERT_TRUE(orient_outward<2>(pts, edge, interior));
+  // Interior must NOT be visible.
+  EXPECT_FALSE(visible<2>(pts, edge, interior));
+  // But a point below the edge is.
+  EXPECT_TRUE(visible<2>(pts, edge, Point2{{1, -3}}));
+}
+
+TEST(OrientOutward, DetectsDegenerate) {
+  PointSet<2> pts = {{{0, 0}}, {{2, 0}}};
+  Point2 on_line{{1, 0}};
+  std::array<PointId, 2> edge = {0, 1};
+  EXPECT_FALSE(orient_outward<2>(pts, edge, on_line));
+}
+
+TEST(RidgeOmitting, EnumeratesAllRidges) {
+  Facet<3> f;
+  f.vertices = {5, 2, 9};
+  auto r0 = f.ridge_omitting(0);  // {2, 9}
+  auto r1 = f.ridge_omitting(1);  // {5, 9}
+  auto r2 = f.ridge_omitting(2);  // {5, 2}
+  EXPECT_EQ(r0.v, (std::array<PointId, 2>{2, 9}));
+  EXPECT_EQ(r1.v, (std::array<PointId, 2>{5, 9}));
+  EXPECT_EQ(r2.v, (std::array<PointId, 2>{2, 5}));
+}
+
+TEST(FacetPivot, FrontOfSortedConflicts) {
+  Facet<2> f;
+  EXPECT_EQ(f.pivot(), kInvalidPoint);
+  f.conflicts = {7, 9, 42};
+  EXPECT_EQ(f.pivot(), 7u);
+}
+
+TEST(CanonicalVertices, SortsOrientationOrder) {
+  Facet<3> f;
+  f.vertices = {9, 2, 5};  // orientation may have swapped entries
+  EXPECT_EQ(canonical_vertices(f), (std::array<PointId, 3>{2, 5, 9}));
+}
+
+TEST(PrepareInput, PreservesMultisetOfPoints) {
+  auto pts = uniform_ball<3>(100, 9);
+  auto copy = pts;
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto key = [](const Point3& p) {
+    return std::make_tuple(p[0], p[1], p[2]);
+  };
+  std::vector<std::tuple<double, double, double>> a, b;
+  for (const auto& p : pts) a.push_back(key(p));
+  for (const auto& p : copy) b.push_back(key(p));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrepareInput, NoopWhenFrontAlreadyIndependent) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 0}}, {{0, 1}}, {{5, 5}}, {{2, 7}}};
+  auto copy = pts;
+  ASSERT_TRUE(prepare_input<2>(pts));
+  EXPECT_TRUE(std::equal(pts.begin(), pts.end(), copy.begin()));
+}
+
+}  // namespace
+}  // namespace parhull

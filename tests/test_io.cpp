@@ -1,0 +1,94 @@
+// Point-cloud IO: round trips, comments, arity errors, OFF output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "parhull/workload/generators.h"
+#include "parhull/workload/io.h"
+
+namespace parhull {
+namespace {
+
+TEST(Io, RoundTrip3D) {
+  auto pts = uniform_ball<3>(500, 3);
+  std::stringstream ss;
+  write_points<3>(ss, pts);
+  PointSet<3> back;
+  ASSERT_TRUE(read_points<3>(ss, back));
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(back[i], pts[i]) << i;  // setprecision(17): exact round trip
+  }
+}
+
+TEST(Io, RoundTrip2DAnd4D) {
+  {
+    auto pts = gaussian<2>(100, 5);
+    std::stringstream ss;
+    write_points<2>(ss, pts);
+    PointSet<2> back;
+    ASSERT_TRUE(read_points<2>(ss, back));
+    EXPECT_TRUE(std::equal(pts.begin(), pts.end(), back.begin()));
+  }
+  {
+    auto pts = uniform_cube<4>(100, 7);
+    std::stringstream ss;
+    write_points<4>(ss, pts);
+    PointSet<4> back;
+    ASSERT_TRUE(read_points<4>(ss, back));
+    EXPECT_TRUE(std::equal(pts.begin(), pts.end(), back.begin()));
+  }
+}
+
+TEST(Io, SkipsCommentsAndBlanks) {
+  std::stringstream ss("# header\n\n1 2 3\n   \n# more\n4 5 6\n");
+  PointSet<3> pts;
+  ASSERT_TRUE(read_points<3>(ss, pts));
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], (Point3{{1, 2, 3}}));
+  EXPECT_EQ(pts[1], (Point3{{4, 5, 6}}));
+}
+
+TEST(Io, RejectsWrongArity) {
+  {
+    std::stringstream ss("1 2\n");
+    PointSet<3> pts;
+    EXPECT_FALSE(read_points<3>(ss, pts));
+  }
+  {
+    std::stringstream ss("1 2 3 4\n");
+    PointSet<3> pts;
+    EXPECT_FALSE(read_points<3>(ss, pts));
+  }
+  {
+    std::stringstream ss("1 banana 3\n");
+    PointSet<3> pts;
+    EXPECT_FALSE(read_points<3>(ss, pts));
+  }
+}
+
+TEST(Io, MissingFileFails) {
+  PointSet<3> pts;
+  EXPECT_FALSE(read_points_file<3>("/nonexistent/path/points.xyz", pts));
+  EXPECT_FALSE(
+      write_points_file<3>("/nonexistent/dir/points.xyz", PointSet<3>{}));
+}
+
+TEST(Io, OffFormat) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}}};
+  std::vector<std::array<PointId, 3>> facets = {
+      {0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}};
+  std::stringstream ss;
+  write_off(ss, pts, facets);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "OFF");
+  std::size_t nv, nf, ne;
+  ss >> nv >> nf >> ne;
+  EXPECT_EQ(nv, 4u);
+  EXPECT_EQ(nf, 4u);
+  EXPECT_EQ(ne, 0u);
+}
+
+}  // namespace
+}  // namespace parhull

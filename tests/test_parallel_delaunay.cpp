@@ -1,0 +1,140 @@
+// Parallel Delaunay (Algorithm 1 instantiated for the Delaunay
+// configuration space): must produce exactly the sequential Bowyer–Watson
+// triangulation, match the brute-force oracle, and show the shallow
+// dependence structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "parhull/delaunay/delaunay2d.h"
+#include "parhull/delaunay/parallel_delaunay2d.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+std::vector<std::array<PointId, 3>> canonical(
+    std::vector<std::array<PointId, 3>> tris) {
+  for (auto& t : tris) std::sort(t.begin(), t.end());
+  std::sort(tris.begin(), tris.end());
+  return tris;
+}
+
+struct DtCase {
+  Distribution dist;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class ParallelDelaunayIdentity : public ::testing::TestWithParam<DtCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelDelaunayIdentity,
+    ::testing::Values(DtCase{Distribution::kUniformBall, 50, 1},
+                      DtCase{Distribution::kUniformBall, 500, 2},
+                      DtCase{Distribution::kUniformBall, 3000, 3},
+                      DtCase{Distribution::kUniformCube, 1000, 4},
+                      DtCase{Distribution::kGaussian, 1000, 5},
+                      DtCase{Distribution::kOnSphere, 500, 6},
+                      DtCase{Distribution::kKuzmin, 800, 7}));
+
+TEST_P(ParallelDelaunayIdentity, MatchesSequential) {
+  auto c = GetParam();
+  auto pts = random_order(generate<2>(c.dist, c.n, c.seed), c.seed + 10);
+  Delaunay2D seq;
+  auto sres = seq.run(pts);
+  ParallelDelaunay2D<> par;
+  auto pres = par.run(pts);
+  ASSERT_TRUE(sres.ok);
+  ASSERT_TRUE(pres.ok);
+  EXPECT_EQ(canonical(pres.triangles), canonical(sres.triangles));
+  // Work identity: same created triangles and incircle tests, like the
+  // hull's Theorem 5.4 argument.
+  EXPECT_EQ(pres.triangles_created, sres.triangles_created);
+  EXPECT_EQ(pres.incircle_tests, sres.incircle_tests);
+  EXPECT_EQ(pres.total_conflicts, sres.total_conflicts);
+}
+
+TEST(ParallelDelaunay, MatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto pts = uniform_cube<2>(50, seed + 40);
+    ParallelDelaunay2D<> par;
+    auto res = par.run(pts);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(canonical(res.triangles), brute_force_delaunay(pts)) << seed;
+  }
+}
+
+TEST(ParallelDelaunay, MapBackendsAgree) {
+  auto pts = random_order(uniform_ball<2>(800, 9), 11);
+  ParallelDelaunay2D<RidgeMapCAS> cas;
+  ParallelDelaunay2D<RidgeMapTAS> tas;
+  ParallelDelaunay2D<RidgeMapChained> chained;
+  auto r1 = cas.run(pts);
+  auto r2 = tas.run(pts);
+  auto r3 = chained.run(pts);
+  EXPECT_EQ(canonical(r1.triangles), canonical(r2.triangles));
+  EXPECT_EQ(canonical(r1.triangles), canonical(r3.triangles));
+}
+
+TEST(ParallelDelaunay, SupportDepthRecurrence) {
+  auto pts = random_order(uniform_ball<2>(600, 13), 15);
+  ParallelDelaunay2D<> par;
+  auto res = par.run(pts);
+  ASSERT_TRUE(res.ok);
+  std::uint32_t max_depth = 0;
+  for (FacetId id = 0; id < par.triangle_count(); ++id) {
+    const auto& t = par.triangle(id);
+    max_depth = std::max(max_depth, t.depth);
+    if (t.apex == kInvalidPoint) {
+      EXPECT_EQ(t.depth, 0u);
+      continue;
+    }
+    std::uint32_t d2 = t.support1 == kInvalidFacet
+                           ? 0
+                           : par.triangle(t.support1).depth;
+    EXPECT_EQ(t.depth, 1 + std::max(par.triangle(t.support0).depth, d2));
+    // Conflict containment (Definition 3.2).
+    std::set<PointId> sc(par.triangle(t.support0).conflicts.begin(),
+                         par.triangle(t.support0).conflicts.end());
+    if (t.support1 != kInvalidFacet) {
+      sc.insert(par.triangle(t.support1).conflicts.begin(),
+                par.triangle(t.support1).conflicts.end());
+    }
+    for (PointId q : t.conflicts) EXPECT_TRUE(sc.count(q));
+  }
+  EXPECT_EQ(max_depth, res.dependence_depth);
+  EXPECT_LE(res.max_round, res.dependence_depth);
+}
+
+TEST(ParallelDelaunay, DepthIsLogarithmic) {
+  auto pts = random_order(uniform_ball<2>(20000, 17), 19);
+  ParallelDelaunay2D<> par;
+  auto res = par.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_LT(res.dependence_depth, 30 * std::log(20000.0));
+}
+
+TEST(ParallelDelaunay, WorksUnderWorkerLimit) {
+  auto pts = random_order(uniform_ball<2>(800, 21), 23);
+  ParallelDelaunay2D<> unlimited;
+  auto ru = unlimited.run(pts);
+  Scheduler::WorkerLimit limit(1);
+  ParallelDelaunay2D<> limited;
+  auto rl = limited.run(pts);
+  EXPECT_EQ(canonical(ru.triangles), canonical(rl.triangles));
+  EXPECT_EQ(ru.dependence_depth, rl.dependence_depth);
+}
+
+TEST(ParallelDelaunay, DuplicatePointsHandled) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 0}}, {{0, 1}}, {{0, 0}}, {{1, 0}}};
+  ParallelDelaunay2D<> par;
+  auto res = par.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.triangles.size(), 1u);
+}
+
+}  // namespace
+}  // namespace parhull

@@ -1,0 +1,325 @@
+// Algorithm 3 (parallel incremental hull): the paper's headline invariants.
+//  I1: creates exactly the same facets as sequential Algorithm 2.
+//  I3: every created facet's support set is two facets sharing a ridge,
+//      with the conflict-containment property of Definition 3.2.
+//  I4: output is a valid hull.
+// Plus map-backend coverage and the depth/round instrumentation sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "parhull/core/parallel_hull.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/verify/brute_force.h"
+#include "parhull/verify/checkers.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+template <int D, template <int> class MapT>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>> all_created(
+    const ParallelHull<D, MapT>& hull) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    out.push_back(canonical_vertices(hull.facet(id)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <int D>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>> all_created_seq(
+    const SequentialHull<D>& hull) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    out.push_back(canonical_vertices(hull.facet(id)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <int D, template <int> class MapT>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>> alive_tuples(
+    const ParallelHull<D, MapT>& hull, const std::vector<FacetId>& ids) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  for (FacetId id : ids) out.push_back(canonical_vertices(hull.facet(id)));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// I1: facet-set identity with the sequential algorithm (2D and 3D, all
+// distributions, several seeds).
+// ---------------------------------------------------------------------------
+
+struct IdentityCase {
+  Distribution dist;
+  std::uint64_t seed;
+  std::size_t n;
+};
+
+class FacetIdentity2D : public ::testing::TestWithParam<IdentityCase> {};
+class FacetIdentity3D : public ::testing::TestWithParam<IdentityCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FacetIdentity2D,
+    ::testing::Values(IdentityCase{Distribution::kUniformBall, 1, 500},
+                      IdentityCase{Distribution::kUniformBall, 2, 2000},
+                      IdentityCase{Distribution::kOnSphere, 3, 500},
+                      IdentityCase{Distribution::kOnSphere, 4, 1500},
+                      IdentityCase{Distribution::kUniformCube, 5, 1000},
+                      IdentityCase{Distribution::kGaussian, 6, 1000},
+                      IdentityCase{Distribution::kKuzmin, 7, 800}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FacetIdentity3D,
+    ::testing::Values(IdentityCase{Distribution::kUniformBall, 1, 400},
+                      IdentityCase{Distribution::kUniformBall, 2, 1200},
+                      IdentityCase{Distribution::kOnSphere, 3, 400},
+                      IdentityCase{Distribution::kUniformCube, 4, 800},
+                      IdentityCase{Distribution::kGaussian, 5, 800}));
+
+TEST_P(FacetIdentity2D, SameFacetsAsSequential) {
+  auto c = GetParam();
+  auto pts = generate<2>(c.dist, c.n, c.seed);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  SequentialHull<2> seq;
+  auto sres = seq.run(pts);
+  ParallelHull<2> par;
+  auto pres = par.run(pts);
+  ASSERT_TRUE(sres.ok);
+  ASSERT_TRUE(pres.ok);
+  EXPECT_EQ(all_created(par), all_created_seq(seq));
+  EXPECT_EQ(pres.facets_created, sres.facets_created);
+  EXPECT_EQ(pres.visibility_tests, sres.visibility_tests);
+  EXPECT_EQ(pres.total_conflicts, sres.total_conflicts);
+  EXPECT_EQ(pres.hull.size(), sres.hull.size());
+  std::vector<std::array<PointId, 2>> seq_alive;
+  for (FacetId id : sres.hull)
+    seq_alive.push_back(canonical_vertices(seq.facet(id)));
+  std::sort(seq_alive.begin(), seq_alive.end());
+  EXPECT_EQ(alive_tuples(par, pres.hull), seq_alive);
+}
+
+TEST_P(FacetIdentity3D, SameFacetsAsSequential) {
+  auto c = GetParam();
+  auto pts = generate<3>(c.dist, c.n, c.seed);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  SequentialHull<3> seq;
+  auto sres = seq.run(pts);
+  ParallelHull<3> par;
+  auto pres = par.run(pts);
+  ASSERT_TRUE(sres.ok);
+  ASSERT_TRUE(pres.ok);
+  EXPECT_EQ(all_created(par), all_created_seq(seq));
+  EXPECT_EQ(pres.visibility_tests, sres.visibility_tests);
+  EXPECT_EQ(pres.hull.size(), sres.hull.size());
+}
+
+// ---------------------------------------------------------------------------
+// Map backends: all three produce identical results.
+// ---------------------------------------------------------------------------
+
+TEST(MapBackends, AllAgree3D) {
+  auto pts = uniform_ball<3>(600, 11);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3, RidgeMapCAS> cas;
+  ParallelHull<3, RidgeMapTAS> tas;
+  ParallelHull<3, RidgeMapChained> chained;
+  auto r1 = cas.run(pts);
+  auto r2 = tas.run(pts);
+  auto r3 = chained.run(pts);
+  EXPECT_EQ(all_created(cas), all_created(tas));
+  EXPECT_EQ(all_created(cas), all_created(chained));
+  EXPECT_EQ(r1.facets_created, r2.facets_created);
+  EXPECT_EQ(r1.facets_created, r3.facets_created);
+  EXPECT_EQ(r1.hull.size(), r2.hull.size());
+  EXPECT_EQ(r1.hull.size(), r3.hull.size());
+}
+
+// ---------------------------------------------------------------------------
+// I4: hull validity.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelHull3D, ValidHull) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    auto pts = uniform_ball<3>(800, seed + 40);
+    ASSERT_TRUE(prepare_input<3>(pts));
+    ParallelHull<3> hull;
+    auto res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    std::vector<std::array<PointId, 3>> facets;
+    for (FacetId id : res.hull) facets.push_back(hull.facet(id).vertices);
+    auto rep = check_hull<3>(pts, facets);
+    EXPECT_TRUE(rep.ok) << rep.error << " seed " << seed;
+    EXPECT_TRUE(check_euler3d(facets).ok);
+  }
+}
+
+TEST(ParallelHull2D, MatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto pts = uniform_ball<2>(50, seed + 60);
+    ASSERT_TRUE(prepare_input<2>(pts));
+    ParallelHull<2> hull;
+    auto res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(alive_tuples(hull, res.hull), brute_force_hull_facets<2>(pts));
+  }
+}
+
+TEST(ParallelHull4D, MatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto pts = uniform_ball<4>(28, seed + 70);
+    ASSERT_TRUE(prepare_input<4>(pts));
+    ParallelHull<4, RidgeMapChained> hull;
+    auto res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(alive_tuples(hull, res.hull), brute_force_hull_facets<4>(pts));
+  }
+}
+
+TEST(ParallelHull5D, ValidSmall) {
+  auto pts = uniform_ball<5>(24, 80);
+  ASSERT_TRUE(prepare_input<5>(pts));
+  ParallelHull<5, RidgeMapChained> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  std::vector<std::array<PointId, 5>> facets;
+  for (FacetId id : res.hull) facets.push_back(hull.facet(id).vertices);
+  auto rep = check_hull<5>(pts, facets);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+// ---------------------------------------------------------------------------
+// I3: support-set audit (Definition 3.2 / Fact 5.2).
+// ---------------------------------------------------------------------------
+
+TEST(SupportAudit, EveryFacetSupportedByRidgePair) {
+  auto pts = uniform_ball<3>(300, 90);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    const auto& t = hull.facet(id);
+    if (t.apex == kInvalidPoint) continue;  // initial facet
+    const auto& t1 = hull.facet(t.support0);
+    const auto& t2 = hull.facet(t.support1);
+    // (1) D(t) ⊆ D({t1,t2}) ∪ {apex}: t's vertices minus apex form a ridge
+    //     shared by t1 and t2.
+    std::set<PointId> ridge;
+    for (PointId v : t.vertices) {
+      if (v != t.apex) ridge.insert(v);
+    }
+    ASSERT_EQ(ridge.size(), 2u);
+    std::set<PointId> v1(t1.vertices.begin(), t1.vertices.end());
+    std::set<PointId> v2(t2.vertices.begin(), t2.vertices.end());
+    for (PointId r : ridge) {
+      EXPECT_TRUE(v1.count(r)) << "ridge not in t1";
+      EXPECT_TRUE(v2.count(r)) << "ridge not in t2";
+    }
+    // (2) C(t) ∪ {apex} ⊆ C(t1) ∪ C(t2) (Definition 3.2).
+    std::set<PointId> support_conflicts(t1.conflicts.begin(),
+                                        t1.conflicts.end());
+    support_conflicts.insert(t2.conflicts.begin(), t2.conflicts.end());
+    EXPECT_TRUE(support_conflicts.count(t.apex));
+    for (PointId q : t.conflicts) {
+      EXPECT_TRUE(support_conflicts.count(q));
+    }
+    // Fact 5.2: apex visible from exactly one of {t1, t2}.
+    bool vis1 = visible<3>(pts, t1.vertices, t.apex);
+    bool vis2 = visible<3>(pts, t2.vertices, t.apex);
+    EXPECT_NE(vis1, vis2);
+    // Depth recurrence.
+    EXPECT_EQ(t.depth, 1 + std::max(t1.depth, t2.depth));
+    EXPECT_GE(t.round, 1u);
+  }
+  EXPECT_GT(res.dependence_depth, 0u);
+  // The recursion chains through ONE support per step while depth takes the
+  // max over both supports, so recursion depth <= dependence depth
+  // (Theorem 4.3 direction that matters for the span bound).
+  EXPECT_LE(res.max_round, res.dependence_depth);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism & misc.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelHull, DeterministicAcrossRuns) {
+  auto pts = uniform_ball<3>(500, 101);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> a, b;
+  auto ra = a.run(pts);
+  auto rb = b.run(pts);
+  // Facet ids may differ between runs (allocation order), but the created
+  // facet multiset, hull, counters, and depth must be identical.
+  EXPECT_EQ(all_created(a), all_created(b));
+  EXPECT_EQ(ra.facets_created, rb.facets_created);
+  EXPECT_EQ(ra.visibility_tests, rb.visibility_tests);
+  EXPECT_EQ(ra.dependence_depth, rb.dependence_depth);
+  EXPECT_EQ(alive_tuples(a, ra.hull), alive_tuples(b, rb.hull));
+}
+
+TEST(ParallelHull, SimplexOnly) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}}};
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.hull.size(), 4u);
+  EXPECT_EQ(res.facets_created, 4u);
+  EXPECT_EQ(res.dependence_depth, 0u);
+  EXPECT_EQ(res.finalized_ridges, 6u);  // all C(4,2) initial ridges final
+}
+
+TEST(ParallelHull, WorksUnderWorkerLimit) {
+  auto pts = uniform_ball<2>(800, 103);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  ParallelHull<2> unlimited;
+  auto ru = unlimited.run(pts);
+  Scheduler::WorkerLimit limit(1);
+  ParallelHull<2> limited;
+  auto rl = limited.run(pts);
+  EXPECT_EQ(all_created(unlimited), all_created(limited));
+  EXPECT_EQ(ru.dependence_depth, rl.dependence_depth);
+}
+
+TEST(ParallelHull, BuriedPlusReplacedAccounting) {
+  auto pts = uniform_ball<2>(1000, 105);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  ParallelHull<2> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  // Every dead facet was killed by a replacement (case 4, one kill per
+  // created non-initial facet) or a bury (case 2, two kills per op); kills
+  // are idempotent (a facet can be replaced across several ridges), so the
+  // kill operations upper-bound the dead count.
+  std::uint64_t created_non_initial = res.facets_created - 3;
+  std::uint64_t dead = res.facets_created - res.hull.size();
+  EXPECT_LE(dead, created_non_initial + 2 * res.buried_pairs);
+  EXPECT_GE(res.hull.size(), 3u);
+  // In 2D each final hull edge's ridge-finalizations: every alive facet has
+  // empty conflicts.
+  for (FacetId id : res.hull) {
+    EXPECT_TRUE(hull.facet(id).conflicts.empty());
+  }
+}
+
+TEST(ParallelHull, DepthIsSmall) {
+  // Theorem 1.1 smoke check (the full scaling study is bench E1): depth
+  // should be a small multiple of ln n.
+  auto pts = uniform_ball<2>(20000, 107);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  ParallelHull<2> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  double ln_n = std::log(20000.0);
+  EXPECT_LT(res.dependence_depth, 20 * ln_n);
+  EXPECT_GE(res.dependence_depth, 1u);
+}
+
+}  // namespace
+}  // namespace parhull

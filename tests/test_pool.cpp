@@ -1,0 +1,80 @@
+// ConcurrentPool: dense ids, stable references, concurrent allocation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "parhull/containers/concurrent_pool.h"
+#include "parhull/parallel/parallel_for.h"
+
+namespace parhull {
+namespace {
+
+TEST(ConcurrentPool, SequentialAllocationIsDense) {
+  ConcurrentPool<int> pool;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(pool.allocate(), i);
+  }
+  EXPECT_EQ(pool.size(), 10000u);
+}
+
+TEST(ConcurrentPool, ValuesPersist) {
+  ConcurrentPool<std::uint64_t> pool;
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    std::uint32_t id = pool.allocate();
+    pool[id] = static_cast<std::uint64_t>(id) * 3 + 1;
+  }
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    EXPECT_EQ(pool[i], static_cast<std::uint64_t>(i) * 3 + 1);
+  }
+}
+
+TEST(ConcurrentPool, ReferencesStableAcrossGrowth) {
+  ConcurrentPool<int> pool;
+  std::uint32_t first = pool.allocate();
+  int* addr = &pool[first];
+  // Grow well past several blocks.
+  for (int i = 0; i < 50000; ++i) pool.allocate();
+  EXPECT_EQ(addr, &pool[first]);
+}
+
+TEST(ConcurrentPool, ConcurrentAllocationUniqueIds) {
+  ConcurrentPool<std::uint32_t> pool;
+  const std::size_t n = 100000;
+  std::vector<std::uint32_t> ids(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    std::uint32_t id = pool.allocate();
+    pool[id] = id;  // each slot written by its allocator only
+    ids[i] = id;
+  });
+  EXPECT_EQ(pool.size(), n);
+  std::set<std::uint32_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), n);
+  for (std::uint32_t id : ids) EXPECT_EQ(pool[id], id);
+}
+
+TEST(ConcurrentPool, DefaultConstructedElements) {
+  struct Probe {
+    int x = 17;
+  };
+  ConcurrentPool<Probe> pool;
+  std::uint32_t id = pool.allocate();
+  EXPECT_EQ(pool[id].x, 17);
+}
+
+TEST(ConcurrentPool, NonTrivialElementType) {
+  ConcurrentPool<std::vector<int>> pool;
+  const std::size_t n = 5000;
+  parallel_for(0, n, [&](std::size_t) {
+    std::uint32_t id = pool.allocate();
+    pool[id].assign(3, static_cast<int>(id));
+  });
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(pool[i].size(), 3u);
+    EXPECT_EQ(pool[i][0], static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace parhull

@@ -1,0 +1,303 @@
+// Exactness of the orientation predicates against an integer determinant
+// oracle (invariant I7): on integer-coordinate inputs the determinant fits
+// in __int128 for d <= 4, so its sign is computable independently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "parhull/common/random.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+int sign128(__int128 v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+__int128 det2_int(long long a00, long long a01, long long a10, long long a11) {
+  return static_cast<__int128>(a00) * a11 - static_cast<__int128>(a01) * a10;
+}
+
+int orient2d_oracle(const Point2& a, const Point2& b, const Point2& c) {
+  auto ll = [](double v) { return static_cast<long long>(v); };
+  return sign128(det2_int(ll(a[0]) - ll(c[0]), ll(a[1]) - ll(c[1]),
+                          ll(b[0]) - ll(c[0]), ll(b[1]) - ll(c[1])));
+}
+
+int orient3d_oracle(const Point3& a, const Point3& b, const Point3& c,
+                    const Point3& d) {
+  auto ll = [](double v) { return static_cast<long long>(v); };
+  long long m[3][3] = {
+      {ll(b[0]) - ll(a[0]), ll(b[1]) - ll(a[1]), ll(b[2]) - ll(a[2])},
+      {ll(c[0]) - ll(a[0]), ll(c[1]) - ll(a[1]), ll(c[2]) - ll(a[2])},
+      {ll(d[0]) - ll(a[0]), ll(d[1]) - ll(a[1]), ll(d[2]) - ll(a[2])}};
+  __int128 det = static_cast<__int128>(m[0][0]) * det2_int(m[1][1], m[1][2], m[2][1], m[2][2]) -
+                 static_cast<__int128>(m[0][1]) * det2_int(m[1][0], m[1][2], m[2][0], m[2][2]) +
+                 static_cast<__int128>(m[0][2]) * det2_int(m[1][0], m[1][1], m[2][0], m[2][1]);
+  // orient convention: sign of det[[p1-p0],[p2-p0],[p3-p0]] where row order
+  // matches orient3d(a,b,c,d) = det[[b-a],[c-a],[d-a]].
+  return sign128(det);
+}
+
+TEST(Orient2D, BasicTurns) {
+  Point2 a{{0, 0}}, b{{1, 0}}, c{{0, 1}};
+  EXPECT_EQ(orient2d(a, b, c), 1);   // left turn
+  EXPECT_EQ(orient2d(a, c, b), -1);  // right turn
+  Point2 d{{2, 0}};
+  EXPECT_EQ(orient2d(a, b, d), 0);  // collinear
+}
+
+TEST(Orient2D, ExactlyCollinearLargeCoords) {
+  Point2 a{{1e15, 1e15}}, b{{2e15, 2e15}}, c{{3e15, 3e15}};
+  EXPECT_EQ(orient2d(a, b, c), 0);
+}
+
+TEST(Orient2D, NearlyCollinearTinyPerturbation) {
+  // Perturb the midpoint off the diagonal by the smallest representable
+  // amount at this magnitude (2^19 + 2^-32 has a 51-bit span, so the input
+  // double carries the perturbation exactly). The determinant is 2^-12,
+  // nine orders of magnitude below the naive terms.
+  double big = std::ldexp(1.0, 20);
+  Point2 a{{0, 0}}, b{{big, big}};
+  Point2 above{{big / 2, big / 2 + std::ldexp(1.0, -32)}};
+  Point2 below{{big / 2, big / 2 - std::ldexp(1.0, -32)}};
+  EXPECT_EQ(orient2d(a, b, above), 1);
+  EXPECT_EQ(orient2d(a, b, below), -1);
+  // And exactly on the diagonal: zero.
+  Point2 on{{big / 2, big / 2}};
+  EXPECT_EQ(orient2d(a, b, on), 0);
+}
+
+TEST(Orient2D, MatchesIntegerOracleRandom) {
+  PointSet<2> pts = integer_grid<2>(3000, 100, 17);
+  Rng rng(3);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Point2& a = pts[rng.next_below(pts.size())];
+    const Point2& b = pts[rng.next_below(pts.size())];
+    const Point2& c = pts[rng.next_below(pts.size())];
+    EXPECT_EQ(orient2d(a, b, c), orient2d_oracle(a, b, c));
+  }
+}
+
+TEST(Orient2D, MatchesOracleOnTinyGrid) {
+  // Dense degenerate grid: lots of exactly-collinear triples.
+  PointSet<2> pts = integer_grid<2>(500, 4, 99);
+  Rng rng(5);
+  int zeros = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Point2& a = pts[rng.next_below(pts.size())];
+    const Point2& b = pts[rng.next_below(pts.size())];
+    const Point2& c = pts[rng.next_below(pts.size())];
+    int o = orient2d(a, b, c);
+    EXPECT_EQ(o, orient2d_oracle(a, b, c));
+    if (o == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 100);  // the grid really is degenerate
+}
+
+TEST(Orient3D, BasicOrientation) {
+  Point3 a{{0, 0, 0}}, b{{1, 0, 0}}, c{{0, 1, 0}}, d{{0, 0, 1}};
+  int up = orient3d(a, b, c, d);
+  EXPECT_NE(up, 0);
+  EXPECT_EQ(orient3d(a, c, b, d), -up);  // swapping two points flips sign
+  Point3 in_plane{{0.25, 0.25, 0}};
+  EXPECT_EQ(orient3d(a, b, c, in_plane), 0);
+}
+
+TEST(Orient3D, MatchesIntegerOracleRandom) {
+  PointSet<3> pts = integer_grid<3>(2000, 50, 23);
+  Rng rng(11);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Point3& a = pts[rng.next_below(pts.size())];
+    const Point3& b = pts[rng.next_below(pts.size())];
+    const Point3& c = pts[rng.next_below(pts.size())];
+    const Point3& d = pts[rng.next_below(pts.size())];
+    EXPECT_EQ(orient3d(a, b, c, d), orient3d_oracle(a, b, c, d));
+  }
+}
+
+TEST(Orient3D, MatchesOracleOnDegenerateGrid) {
+  PointSet<3> pts = integer_grid<3>(400, 3, 31);
+  Rng rng(13);
+  int zeros = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Point3& a = pts[rng.next_below(pts.size())];
+    const Point3& b = pts[rng.next_below(pts.size())];
+    const Point3& c = pts[rng.next_below(pts.size())];
+    const Point3& d = pts[rng.next_below(pts.size())];
+    int o = orient3d(a, b, c, d);
+    EXPECT_EQ(o, orient3d_oracle(a, b, c, d));
+    if (o == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 100);
+}
+
+// The generic-dimension path must agree with the specialized 2D/3D code.
+TEST(OrientGeneric, AgreesWithSpecializedViaTemplates) {
+  PointSet<4> pts = integer_grid<4>(500, 20, 41);
+  Rng rng(19);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::array<const Point<4>*, 5> ptr{};
+    for (auto& p : ptr) p = &pts[rng.next_below(pts.size())];
+    int o = orient<4>(ptr);
+    // 4x4 integer determinant oracle via cofactors over __int128.
+    long long m[4][4];
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        m[i][j] = static_cast<long long>((*ptr[i + 1])[j]) -
+                  static_cast<long long>((*ptr[0])[j]);
+      }
+    }
+    auto det3 = [&](int r0, int r1, int r2, int c0, int c1, int c2) -> __int128 {
+      return static_cast<__int128>(m[r0][c0]) * det2_int(m[r1][c1], m[r1][c2], m[r2][c1], m[r2][c2]) -
+             static_cast<__int128>(m[r0][c1]) * det2_int(m[r1][c0], m[r1][c2], m[r2][c0], m[r2][c2]) +
+             static_cast<__int128>(m[r0][c2]) * det2_int(m[r1][c0], m[r1][c1], m[r2][c0], m[r2][c1]);
+    };
+    __int128 det = static_cast<__int128>(m[0][0]) * det3(1, 2, 3, 1, 2, 3) -
+                   static_cast<__int128>(m[0][1]) * det3(1, 2, 3, 0, 2, 3) +
+                   static_cast<__int128>(m[0][2]) * det3(1, 2, 3, 0, 1, 3) -
+                   static_cast<__int128>(m[0][3]) * det3(1, 2, 3, 0, 1, 2);
+    EXPECT_EQ(o, sign128(det)) << "iter " << iter;
+  }
+}
+
+TEST(OrientGeneric, AntisymmetryAndDegeneracy5D) {
+  PointSet<5> pts = integer_grid<5>(100, 10, 53);
+  Rng rng(29);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::array<const Point<5>*, 6> ptr{};
+    for (auto& p : ptr) p = &pts[rng.next_below(pts.size())];
+    int o = orient<5>(ptr);
+    std::swap(ptr[1], ptr[2]);
+    EXPECT_EQ(orient<5>(ptr), -o);
+  }
+  // Duplicated point => degenerate => sign 0.
+  std::array<const Point<5>*, 6> dup{};
+  for (int i = 0; i < 6; ++i) dup[static_cast<std::size_t>(i)] = &pts[static_cast<std::size_t>(i)];
+  dup[5] = dup[0];
+  EXPECT_EQ(orient<5>(dup), 0);
+}
+
+TEST(PredicateStats, ExactFallbackTriggersOnDegenerate) {
+  reset_predicate_stats();
+  Point2 a{{0, 0}}, b{{1, 1}}, c{{2, 2}};
+  EXPECT_EQ(orient2d(a, b, c), 0);
+  EXPECT_GE(predicate_exact_fallbacks(), 1u);
+  EXPECT_GE(predicate_calls(), 1u);
+}
+
+TEST(AffineIndependence, Basics2D) {
+  Point2 a{{0, 0}}, b{{1, 0}}, c{{0, 1}}, d{{2, 0}};
+  {
+    std::vector<const Point2*> pts{&a, &b, &c};
+    EXPECT_TRUE(affinely_independent<2>(pts));
+  }
+  {
+    std::vector<const Point2*> pts{&a, &b, &d};  // collinear
+    EXPECT_FALSE(affinely_independent<2>(pts));
+  }
+  {
+    std::vector<const Point2*> pts{&a, &a};  // duplicate
+    EXPECT_FALSE(affinely_independent<2>(pts));
+  }
+  {
+    std::vector<const Point2*> pts{&a, &b};  // two distinct points
+    EXPECT_TRUE(affinely_independent<2>(pts));
+  }
+}
+
+TEST(AffineIndependence, PartialRank3D) {
+  Point3 a{{0, 0, 0}}, b{{1, 0, 0}}, c{{2, 0, 0}}, d{{0, 1, 0}}, e{{0, 0, 1}};
+  {
+    std::vector<const Point3*> pts{&a, &b, &c};  // 3 collinear points
+    EXPECT_FALSE(affinely_independent<3>(pts));
+  }
+  {
+    std::vector<const Point3*> pts{&a, &b, &d};
+    EXPECT_TRUE(affinely_independent<3>(pts));
+  }
+  {
+    std::vector<const Point3*> pts{&a, &b, &d, &e};  // full simplex
+    EXPECT_TRUE(affinely_independent<3>(pts));
+  }
+  {
+    // 4 coplanar points.
+    Point3 f{{1, 1, 0}};
+    std::vector<const Point3*> pts{&a, &b, &d, &f};
+    EXPECT_FALSE(affinely_independent<3>(pts));
+  }
+}
+
+// incircle oracle: the 4x4 lifted determinant over __int128 is exact for
+// small integer coordinates (entries ~2^14, products ~2^56 per term).
+int incircle_oracle(const Point2& a, const Point2& b, const Point2& c,
+                    const Point2& d) {
+  auto ll = [](double v) { return static_cast<long long>(v); };
+  long long adx = ll(a[0]) - ll(d[0]), ady = ll(a[1]) - ll(d[1]);
+  long long bdx = ll(b[0]) - ll(d[0]), bdy = ll(b[1]) - ll(d[1]);
+  long long cdx = ll(c[0]) - ll(d[0]), cdy = ll(c[1]) - ll(d[1]);
+  __int128 alift = static_cast<__int128>(adx) * adx +
+                   static_cast<__int128>(ady) * ady;
+  __int128 blift = static_cast<__int128>(bdx) * bdx +
+                   static_cast<__int128>(bdy) * bdy;
+  __int128 clift = static_cast<__int128>(cdx) * cdx +
+                   static_cast<__int128>(cdy) * cdy;
+  __int128 det =
+      alift * (static_cast<__int128>(bdx) * cdy -
+               static_cast<__int128>(cdx) * bdy) +
+      blift * (static_cast<__int128>(cdx) * ady -
+               static_cast<__int128>(adx) * cdy) +
+      clift * (static_cast<__int128>(adx) * bdy -
+               static_cast<__int128>(bdx) * ady);
+  return sign128(det);
+}
+
+TEST(Incircle, BasicInOut) {
+  Point2 a{{0, 0}}, b{{2, 0}}, c{{0, 2}};  // CCW, circumcircle through them
+  EXPECT_EQ(incircle(a, b, c, Point2{{1, 1}}), 1);    // inside
+  EXPECT_EQ(incircle(a, b, c, Point2{{5, 5}}), -1);   // outside
+  EXPECT_EQ(incircle(a, b, c, Point2{{2, 2}}), 0);    // exactly on circle
+  // Swapping to clockwise flips the sign.
+  EXPECT_EQ(incircle(a, c, b, Point2{{1, 1}}), -1);
+}
+
+TEST(Incircle, MatchesIntegerOracleRandom) {
+  PointSet<2> pts = integer_grid<2>(1500, 200, 71);
+  Rng rng(73);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Point2& a = pts[rng.next_below(pts.size())];
+    const Point2& b = pts[rng.next_below(pts.size())];
+    const Point2& c = pts[rng.next_below(pts.size())];
+    const Point2& d = pts[rng.next_below(pts.size())];
+    EXPECT_EQ(incircle(a, b, c, d), incircle_oracle(a, b, c, d));
+  }
+}
+
+TEST(Incircle, MatchesOracleOnCocircularGrid) {
+  // Tiny grid: many exactly-cocircular quadruples force the exact path.
+  PointSet<2> pts = integer_grid<2>(400, 5, 79);
+  Rng rng(83);
+  int zeros = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Point2& a = pts[rng.next_below(pts.size())];
+    const Point2& b = pts[rng.next_below(pts.size())];
+    const Point2& c = pts[rng.next_below(pts.size())];
+    const Point2& d = pts[rng.next_below(pts.size())];
+    int got = incircle(a, b, c, d);
+    EXPECT_EQ(got, incircle_oracle(a, b, c, d));
+    if (got == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 50);
+}
+
+TEST(SideOfCircle, ExactBoundary) {
+  Point2 center{{0, 0}};
+  EXPECT_EQ(side_of_circle(center, 1.0, Point2{{1, 0}}), 0);
+  EXPECT_EQ(side_of_circle(center, 1.0, Point2{{0.5, 0.5}}), -1);
+  EXPECT_EQ(side_of_circle(center, 1.0, Point2{{1, 1}}), 1);
+  // 3-4-5 triangle: exactly on a radius-5 circle.
+  EXPECT_EQ(side_of_circle(center, 5.0, Point2{{3, 4}}), 0);
+}
+
+}  // namespace
+}  // namespace parhull

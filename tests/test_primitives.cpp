@@ -1,0 +1,151 @@
+// Data-parallel primitives against std:: oracles, with parameterized sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/parallel/primitives.h"
+
+namespace parhull {
+namespace {
+
+class PrimitiveSizes : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimitiveSizes,
+                         ::testing::Values(0, 1, 2, 7, 64, 1000, 2048, 2049,
+                                           10000, 131072));
+
+std::vector<std::uint32_t> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(1000000));
+  return v;
+}
+
+TEST_P(PrimitiveSizes, ReduceSum) {
+  std::size_t n = GetParam();
+  auto v = random_vec(n, n + 1);
+  std::uint64_t expect = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  std::uint64_t got = parallel_sum<std::uint64_t>(
+      0, n, [&](std::size_t i) { return v[i]; });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, ReduceMax) {
+  std::size_t n = GetParam();
+  if (n == 0) return;
+  auto v = random_vec(n, n + 2);
+  std::uint32_t expect = *std::max_element(v.begin(), v.end());
+  std::uint32_t got = parallel_reduce(
+      0, n, std::uint32_t{0}, [&](std::size_t i) { return v[i]; },
+      [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, MinIndex) {
+  std::size_t n = GetParam();
+  auto v = random_vec(n, n + 3);
+  std::size_t got = parallel_min_index(
+      0, n, [&](std::size_t i) { return v[i]; },
+      [](std::uint32_t a, std::uint32_t b) { return a < b; });
+  if (n == 0) {
+    EXPECT_EQ(got, 0u);
+    return;
+  }
+  std::size_t expect = static_cast<std::size_t>(
+      std::min_element(v.begin(), v.end()) - v.begin());
+  EXPECT_EQ(v[got], v[expect]);
+  // Ties break to the smallest index.
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, ExclusiveScan) {
+  std::size_t n = GetParam();
+  auto v = random_vec(n, n + 4);
+  std::vector<std::uint32_t> expect(n);
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = acc;
+    acc += v[i];
+  }
+  std::vector<std::uint32_t> got;
+  std::uint32_t total = parallel_scan_exclusive(v, got);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, ScanInPlaceAliasing) {
+  std::size_t n = GetParam();
+  auto v = random_vec(n, n + 5);
+  auto copy = v;
+  std::vector<std::uint32_t> expect(n);
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = acc;
+    acc += copy[i];
+  }
+  parallel_scan_exclusive(v, v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(PrimitiveSizes, FilterKeepsOrderAndElements) {
+  std::size_t n = GetParam();
+  auto v = random_vec(n, n + 6);
+  auto pred = [](std::uint32_t x) { return x % 3 == 0; };
+  std::vector<std::uint32_t> expect;
+  for (auto x : v) {
+    if (pred(x)) expect.push_back(x);
+  }
+  auto got = parallel_filter(v, pred);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, PackIndexGenerates) {
+  std::size_t n = GetParam();
+  auto got = parallel_pack_index<std::size_t>(
+      n, [](std::size_t i) { return i % 2 == 0; },
+      [](std::size_t i) { return i * 10; });
+  std::vector<std::size_t> expect;
+  for (std::size_t i = 0; i < n; i += 2) expect.push_back(i * 10);
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, SortMatchesStdSort) {
+  std::size_t n = GetParam();
+  auto v = random_vec(n, n + 7);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  parallel_sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(Primitives, SortAllEqual) {
+  std::vector<std::uint32_t> v(100000, 7);
+  parallel_sort(v);
+  for (auto x : v) EXPECT_EQ(x, 7u);
+}
+
+TEST(Primitives, SortDescendingInput) {
+  std::vector<std::uint32_t> v(50000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::uint32_t>(v.size() - i);
+  parallel_sort(v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Primitives, SortCustomComparator) {
+  auto v = random_vec(30000, 99);
+  parallel_sort(v, [](std::uint32_t a, std::uint32_t b) { return a > b; });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>{}));
+}
+
+TEST(Primitives, FilterNoneAndAll) {
+  auto v = random_vec(5000, 1);
+  EXPECT_TRUE(parallel_filter(v, [](std::uint32_t) { return false; }).empty());
+  EXPECT_EQ(parallel_filter(v, [](std::uint32_t) { return true; }), v);
+}
+
+}  // namespace
+}  // namespace parhull

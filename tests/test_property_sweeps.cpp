@@ -1,0 +1,161 @@
+// Broad property sweeps: the paper's invariants across dimensions,
+// distributions, sizes and seeds (parameterized gtest). Each instance runs
+// sequential Algorithm 2 and parallel Algorithm 3 on the same input and
+// checks the full invariant bundle:
+//   - identical created-facet multiset and visibility-test count (I1/I2),
+//   - valid output hull (I4),
+//   - support-set properties on the parallel run (I3),
+//   - depth/round relations (I6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "parhull/core/parallel_hull.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/verify/checkers.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+struct SweepCase {
+  int dim;
+  Distribution dist;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  return "d" + std::to_string(info.param.dim) + "_" +
+         distribution_name(info.param.dist) + "_n" +
+         std::to_string(info.param.n) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+template <int D>
+void run_sweep(const SweepCase& c) {
+  auto pts = random_order(generate<D>(c.dist, c.n, c.seed), c.seed + 1000);
+  ASSERT_TRUE(prepare_input<D>(pts));
+  SequentialHull<D> seq;
+  auto sres = seq.run(pts);
+  ParallelHull<D> par;
+  auto pres = par.run(pts);
+  ASSERT_TRUE(sres.ok);
+  ASSERT_TRUE(pres.ok);
+
+  // I1/I2: identical facets and tests.
+  EXPECT_EQ(pres.facets_created, sres.facets_created);
+  EXPECT_EQ(pres.visibility_tests, sres.visibility_tests);
+  EXPECT_EQ(pres.total_conflicts, sres.total_conflicts);
+  EXPECT_EQ(pres.hull.size(), sres.hull.size());
+  {
+    std::multiset<std::array<PointId, static_cast<std::size_t>(D)>> a, b;
+    for (FacetId id = 0; id < par.facet_count(); ++id) {
+      a.insert(canonical_vertices(par.facet(id)));
+    }
+    for (FacetId id = 0; id < seq.facet_count(); ++id) {
+      b.insert(canonical_vertices(seq.facet(id)));
+    }
+    EXPECT_EQ(a, b);
+  }
+
+  // I4: validity.
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> facets;
+  for (FacetId id : pres.hull) facets.push_back(par.facet(id).vertices);
+  auto rep = check_hull<D>(pts, facets);
+  EXPECT_TRUE(rep.ok) << rep.error;
+
+  // I3 (spot audit on every facet): ridge + conflict containment.
+  for (FacetId id = 0; id < par.facet_count(); ++id) {
+    const auto& t = par.facet(id);
+    if (t.apex == kInvalidPoint) continue;
+    const auto& t1 = par.facet(t.support0);
+    const auto& t2 = par.facet(t.support1);
+    std::set<PointId> v1(t1.vertices.begin(), t1.vertices.end());
+    std::set<PointId> v2(t2.vertices.begin(), t2.vertices.end());
+    for (PointId v : t.vertices) {
+      if (v == t.apex) continue;
+      ASSERT_TRUE(v1.count(v) && v2.count(v));
+    }
+    ASSERT_EQ(t.depth, 1 + std::max(t1.depth, t2.depth));
+  }
+
+  // I6: rounds <= depth.
+  EXPECT_LE(pres.max_round, pres.dependence_depth);
+}
+
+class Sweep2D : public ::testing::TestWithParam<SweepCase> {};
+class Sweep3D : public ::testing::TestWithParam<SweepCase> {};
+class Sweep4D : public ::testing::TestWithParam<SweepCase> {};
+class Sweep5D : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(Sweep2D, InvariantBundle) { run_sweep<2>(GetParam()); }
+TEST_P(Sweep3D, InvariantBundle) { run_sweep<3>(GetParam()); }
+TEST_P(Sweep4D, InvariantBundle) { run_sweep<4>(GetParam()); }
+TEST_P(Sweep5D, InvariantBundle) { run_sweep<5>(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    All, Sweep2D,
+    ::testing::Values(
+        SweepCase{2, Distribution::kUniformBall, 100, 1},
+        SweepCase{2, Distribution::kUniformBall, 1000, 2},
+        SweepCase{2, Distribution::kUniformBall, 5000, 3},
+        SweepCase{2, Distribution::kOnSphere, 100, 4},
+        SweepCase{2, Distribution::kOnSphere, 1000, 5},
+        SweepCase{2, Distribution::kOnSphere, 5000, 6},
+        SweepCase{2, Distribution::kUniformCube, 1000, 7},
+        SweepCase{2, Distribution::kGaussian, 1000, 8},
+        SweepCase{2, Distribution::kGaussian, 5000, 9},
+        SweepCase{2, Distribution::kKuzmin, 1000, 10},
+        SweepCase{2, Distribution::kKuzmin, 5000, 11}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    All, Sweep3D,
+    ::testing::Values(
+        SweepCase{3, Distribution::kUniformBall, 100, 21},
+        SweepCase{3, Distribution::kUniformBall, 1000, 22},
+        SweepCase{3, Distribution::kUniformBall, 4000, 23},
+        SweepCase{3, Distribution::kOnSphere, 100, 24},
+        SweepCase{3, Distribution::kOnSphere, 1000, 25},
+        SweepCase{3, Distribution::kOnSphere, 3000, 26},
+        SweepCase{3, Distribution::kUniformCube, 1000, 27},
+        SweepCase{3, Distribution::kGaussian, 1000, 28},
+        SweepCase{3, Distribution::kKuzmin, 1000, 29}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    All, Sweep4D,
+    ::testing::Values(SweepCase{4, Distribution::kUniformBall, 300, 31},
+                      SweepCase{4, Distribution::kOnSphere, 200, 32},
+                      SweepCase{4, Distribution::kGaussian, 300, 33}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    All, Sweep5D,
+    ::testing::Values(SweepCase{5, Distribution::kUniformBall, 120, 41},
+                      SweepCase{5, Distribution::kGaussian, 120, 42}),
+    case_name);
+
+// Determinism across repeated runs for a spread of seeds.
+class Determinism : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, Determinism,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST_P(Determinism, RunTwiceSameAnswer) {
+  auto pts = random_order(uniform_ball<3>(800, GetParam()), GetParam() + 7);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> a, b;
+  auto ra = a.run(pts);
+  auto rb = b.run(pts);
+  EXPECT_EQ(ra.facets_created, rb.facets_created);
+  EXPECT_EQ(ra.visibility_tests, rb.visibility_tests);
+  EXPECT_EQ(ra.dependence_depth, rb.dependence_depth);
+  EXPECT_EQ(ra.buried_pairs, rb.buried_pairs);
+  EXPECT_EQ(ra.hull.size(), rb.hull.size());
+}
+
+}  // namespace
+}  // namespace parhull

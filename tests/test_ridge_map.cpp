@@ -1,0 +1,142 @@
+// The InsertAndSet/GetValue contract (Theorems A.1 and A.2), for all three
+// backends, sequentially and under concurrency. Typed tests run every case
+// against RidgeMapCAS (Algorithm 4), RidgeMapTAS (Algorithm 5), and the
+// chained map.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/containers/ridge_map.h"
+#include "parhull/parallel/parallel_for.h"
+
+namespace parhull {
+namespace {
+
+template <typename M>
+class RidgeMapTest : public ::testing::Test {};
+
+using MapTypes = ::testing::Types<RidgeMapCAS<3>, RidgeMapTAS<3>,
+                                  RidgeMapChained<3>>;
+TYPED_TEST_SUITE(RidgeMapTest, MapTypes);
+
+RidgeKey<3> key2(PointId a, PointId b) {
+  return RidgeKey<3>::from_unsorted({a, b});
+}
+
+TYPED_TEST(RidgeMapTest, FirstInsertTrueSecondFalse) {
+  TypeParam map(64);
+  EXPECT_TRUE(map.insert_and_set(key2(1, 2), 100));
+  EXPECT_FALSE(map.insert_and_set(key2(1, 2), 200));
+  EXPECT_EQ(map.get_value(key2(1, 2), 200), 100u);
+}
+
+TYPED_TEST(RidgeMapTest, KeyOrderIsCanonical) {
+  TypeParam map(64);
+  EXPECT_TRUE(map.insert_and_set(key2(5, 9), 1));
+  EXPECT_FALSE(map.insert_and_set(key2(9, 5), 2));  // same ridge
+}
+
+TYPED_TEST(RidgeMapTest, ManyDistinctKeysSequential) {
+  const std::size_t n = 5000;
+  TypeParam map(n);
+  for (PointId i = 0; i < n; ++i) {
+    EXPECT_TRUE(map.insert_and_set(key2(i, i + 100000), 2 * i));
+  }
+  for (PointId i = 0; i < n; ++i) {
+    EXPECT_FALSE(map.insert_and_set(key2(i, i + 100000), 2 * i + 1));
+    EXPECT_EQ(map.get_value(key2(i, i + 100000), 2 * i + 1), 2 * i);
+  }
+}
+
+TYPED_TEST(RidgeMapTest, TheoremA1ConcurrentPairs) {
+  // Both inserts of every key race concurrently; exactly one must win.
+  const std::size_t n = 20000;
+  TypeParam map(n);
+  std::vector<std::atomic<int>> losses(n);
+  parallel_for(0, 2 * n, [&](std::size_t j) {
+    std::size_t k = j / 2;
+    FacetId value = static_cast<FacetId>(j);
+    if (!map.insert_and_set(key2(static_cast<PointId>(k),
+                                 static_cast<PointId>(k + 1000000)),
+                            value)) {
+      losses[k].fetch_add(1);
+    }
+  }, 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(losses[k].load(), 1) << "key " << k;
+  }
+}
+
+TYPED_TEST(RidgeMapTest, TheoremA2GetValueAfterLoss) {
+  // The loser immediately calls get_value and must see the other facet.
+  const std::size_t n = 20000;
+  TypeParam map(n);
+  std::vector<std::atomic<std::uint64_t>> sums(n);
+  parallel_for(0, 2 * n, [&](std::size_t j) {
+    std::size_t k = j / 2;
+    auto key = key2(static_cast<PointId>(k), static_cast<PointId>(k + 1000000));
+    FacetId value = static_cast<FacetId>(j);
+    if (!map.insert_and_set(key, value)) {
+      FacetId other = map.get_value(key, value);
+      EXPECT_NE(other, value);
+      EXPECT_EQ(other / 2, static_cast<FacetId>(k));
+      sums[k].fetch_add(other + value);
+    }
+  }, 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    // The pair of values for key k is {2k, 2k+1}; the loser recorded
+    // other + self = 4k + 1.
+    EXPECT_EQ(sums[k].load(), 4 * k + 1) << "key " << k;
+  }
+}
+
+TYPED_TEST(RidgeMapTest, CollisionHeavyKeys) {
+  // Adversarial: many keys likely to collide in a small table.
+  TypeParam map(32);  // tiny table: forces probing/chains
+  const PointId n = 60;
+  std::vector<int> losses(n, 0);
+  for (PointId i = 0; i < n; ++i) {
+    if (!map.insert_and_set(key2(i, i + 7), 2 * i)) ++losses[i];
+    if (!map.insert_and_set(key2(i, i + 7), 2 * i + 1)) ++losses[i];
+  }
+  for (PointId i = 0; i < n; ++i) EXPECT_EQ(losses[i], 1);
+}
+
+TEST(RidgeKey, HashAndEquality) {
+  auto a = RidgeKey<4>::from_unsorted({3, 1, 2});
+  auto b = RidgeKey<4>::from_unsorted({2, 3, 1});
+  auto c = RidgeKey<4>::from_unsorted({1, 2, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.hash(), c.hash());  // overwhelmingly likely
+}
+
+TEST(RidgeMapCAS, ProbeCounterAdvances) {
+  RidgeMapCAS<3> map(128);
+  map.insert_and_set(key2(1, 2), 1);
+  map.insert_and_set(key2(3, 4), 2);
+  EXPECT_GE(map.total_probes(), 2u);
+}
+
+// 2D ridges are single points (D-1 == 1): the smallest key width.
+TEST(RidgeMap2D, SinglePointKeys) {
+  RidgeMapCAS<2> cas(64);
+  RidgeMapTAS<2> tas(64);
+  RidgeMapChained<2> chained(64);
+  auto key = RidgeKey<2>::from_unsorted({42});
+  EXPECT_TRUE(cas.insert_and_set(key, 7));
+  EXPECT_FALSE(cas.insert_and_set(key, 8));
+  EXPECT_TRUE(tas.insert_and_set(key, 7));
+  EXPECT_FALSE(tas.insert_and_set(key, 8));
+  EXPECT_TRUE(chained.insert_and_set(key, 7));
+  EXPECT_FALSE(chained.insert_and_set(key, 8));
+  EXPECT_EQ(cas.get_value(key, 8), 7u);
+  EXPECT_EQ(tas.get_value(key, 8), 7u);
+  EXPECT_EQ(chained.get_value(key, 8), 7u);
+}
+
+}  // namespace
+}  // namespace parhull

@@ -1,0 +1,129 @@
+// Determinism and distribution sanity of the seeded RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "parhull/common/random.h"
+
+namespace parhull {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkGivesIndependentStreams) {
+  Rng base(7);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1b = base.fork(1);
+  EXPECT_EQ(f1.next_u64(), f1b.next_u64());  // fork is deterministic
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  // Bound 1 always yields 0.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.next_gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Rng rng(21);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  shuffle(v, rng);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+TEST(Shuffle, DeterministicAndSeedSensitive) {
+  std::vector<int> a(50), b(50), c(50);
+  for (int i = 0; i < 50; ++i) a[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] = c[static_cast<std::size_t>(i)] = i;
+  Rng r1(5), r2(5), r3(6);
+  shuffle(a, r1);
+  shuffle(b, r2);
+  shuffle(c, r3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RandomPermutation, UniformishFirstElement) {
+  // Chi-square-lite: the first element of a random permutation of [0,8)
+  // should hit each value roughly uniformly over many seeds.
+  std::vector<int> counts(8, 0);
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    Rng rng(seed);
+    auto perm = random_permutation(8, rng);
+    ++counts[perm[0]];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 350);
+    EXPECT_LT(c, 650);
+  }
+}
+
+TEST(Hash64, AvalancheSmoke) {
+  // Flipping one input bit should flip a substantial number of output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    std::uint64_t a = hash64(0x1234567890abcdefULL);
+    std::uint64_t b = hash64(0x1234567890abcdefULL ^ (1ULL << bit));
+    total += __builtin_popcountll(a ^ b);
+  }
+  EXPECT_GT(total / 64, 20);  // average > 20 of 64 bits flipped
+}
+
+}  // namespace
+}  // namespace parhull

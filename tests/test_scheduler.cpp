@@ -1,0 +1,127 @@
+// Fork-join scheduler correctness: completion, nesting, result visibility,
+// worker limiting, and stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parhull/parallel/parallel_for.h"
+#include "parhull/parallel/scheduler.h"
+
+namespace parhull {
+namespace {
+
+TEST(Scheduler, SingletonIsStable) {
+  Scheduler& a = Scheduler::get();
+  Scheduler& b = Scheduler::get();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1);
+}
+
+TEST(Scheduler, ForkJoinRunsBoth) {
+  std::atomic<int> count{0};
+  Scheduler::get().fork_join([&] { count.fetch_add(1); },
+                             [&] { count.fetch_add(2); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Scheduler, ForkJoinResultsVisibleAfterJoin) {
+  // Non-atomic writes in both branches must be visible after fork_join
+  // returns (join provides the happens-before edge).
+  int a = 0, b = 0;
+  Scheduler::get().fork_join([&] { a = 41; }, [&] { b = 42; });
+  EXPECT_EQ(a, 41);
+  EXPECT_EQ(b, 42);
+}
+
+int fib(int n) {
+  if (n < 2) return n;
+  int x = 0, y = 0;
+  if (n < 12) return fib(n - 1) + fib(n - 2);
+  par_do([&] { x = fib(n - 1); }, [&] { y = fib(n - 2); });
+  return x + y;
+}
+
+TEST(Scheduler, NestedForkJoinFibonacci) {
+  EXPECT_EQ(fib(22), 17711);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndSingleton) {
+  std::atomic<int> count{0};
+  parallel_for(5, 5, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(5, 6, [&](std::size_t i) {
+    EXPECT_EQ(i, 5u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, GrainOneFineGrained) {
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(0, 1000, [&](std::size_t i) { sum.fetch_add(i); }, 1);
+  EXPECT_EQ(sum.load(), 999ull * 1000 / 2);
+}
+
+TEST(ParallelFor, NestedLoops) {
+  std::vector<std::atomic<int>> hits(64 * 64);
+  parallel_for(0, 64, [&](std::size_t i) {
+    parallel_for(0, 64, [&](std::size_t j) { hits[i * 64 + j].fetch_add(1); }, 4);
+  }, 1);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerLimit, SequentialLimitStillCorrect) {
+  Scheduler::WorkerLimit limit(1);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(0, 10000, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 9999ull * 10000 / 2);
+}
+
+TEST(WorkerLimit, RestoresOnDestruction) {
+  int before = Scheduler::get().active_workers();
+  {
+    Scheduler::WorkerLimit limit(1);
+    EXPECT_EQ(Scheduler::get().active_workers(), 1);
+  }
+  EXPECT_EQ(Scheduler::get().active_workers(), before);
+}
+
+TEST(Scheduler, StressManySmallForks) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    parallel_for(0, 2000, [&](std::size_t) { count.fetch_add(1); }, 1);
+    ASSERT_EQ(count.load(), 2000);
+  }
+}
+
+TEST(Scheduler, UnbalancedBranches) {
+  // One heavy branch, one trivial: join must not return early.
+  std::atomic<std::uint64_t> sum{0};
+  par_do(
+      [&] {
+        for (int i = 0; i < 100000; ++i) sum.fetch_add(1, std::memory_order_relaxed);
+      },
+      [&] { sum.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(), 100001u);
+}
+
+TEST(Scheduler, WorkerIdInRange) {
+  std::atomic<bool> ok{true};
+  parallel_for(0, 10000, [&](std::size_t) {
+    int id = Scheduler::worker_id();
+    if (id < 0 || id >= Scheduler::get().num_workers()) ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace parhull

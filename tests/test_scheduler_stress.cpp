@@ -1,0 +1,100 @@
+// Heavier scheduler scenarios: nested worker limits, deeply nested
+// fork-join, irregular task trees, and scheduler use from within pool
+// tasks (the shape ProcessRidge recursion produces).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/parallel/parallel_for.h"
+#include "parhull/parallel/primitives.h"
+#include "parhull/parallel/scheduler.h"
+
+namespace parhull {
+namespace {
+
+TEST(SchedulerStress, DeepNestedForkJoin) {
+  // A fork chain ~1000 deep: one side recurses, the other is a leaf.
+  std::atomic<int> leaves{0};
+  struct Rec {
+    std::atomic<int>& leaves;
+    void operator()(int depth) const {
+      if (depth == 0) {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      par_do([&] { (*this)(depth - 1); },
+             [&] { leaves.fetch_add(1, std::memory_order_relaxed); });
+    }
+  };
+  Rec{leaves}(1000);
+  EXPECT_EQ(leaves.load(), 1001);
+}
+
+TEST(SchedulerStress, IrregularTaskTree) {
+  // Random fan-out tree, ~10k nodes; every node must execute once.
+  std::atomic<std::uint64_t> nodes{0};
+  struct Grow {
+    std::atomic<std::uint64_t>& nodes;
+    void operator()(std::uint64_t seed, int depth) const {
+      nodes.fetch_add(1, std::memory_order_relaxed);
+      if (depth == 0) return;
+      Rng rng(seed);
+      int kids = static_cast<int>(rng.next_below(4));  // 0..3 children
+      std::vector<std::uint64_t> seeds;
+      for (int k = 0; k < kids; ++k) seeds.push_back(rng.next_u64());
+      parallel_for(0, seeds.size(),
+                   [&](std::size_t k) { (*this)(seeds[k], depth - 1); }, 1);
+    }
+  };
+  Grow{nodes}(42, 12);
+  EXPECT_GT(nodes.load(), 1u);
+}
+
+TEST(SchedulerStress, RepeatedWorkerLimitCycles) {
+  for (int round = 0; round < 10; ++round) {
+    Scheduler::WorkerLimit limit(1 + round % 3);
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(0, 5000, [&](std::size_t i) { sum.fetch_add(i); }, 16);
+    ASSERT_EQ(sum.load(), 4999ull * 5000 / 2) << "round " << round;
+  }
+}
+
+TEST(SchedulerStress, ReduceInsideForkJoin) {
+  // Data-parallel primitive nested inside an explicit fork: the shape the
+  // hull's conflict filtering produces.
+  std::uint64_t left = 0, right = 0;
+  par_do(
+      [&] {
+        left = parallel_sum<std::uint64_t>(0, 100000,
+                                           [](std::size_t i) { return i; });
+      },
+      [&] {
+        right = parallel_sum<std::uint64_t>(0, 50000,
+                                            [](std::size_t i) { return i; });
+      });
+  EXPECT_EQ(left, 99999ull * 100000 / 2);
+  EXPECT_EQ(right, 49999ull * 50000 / 2);
+}
+
+TEST(SchedulerStress, SortUnderLimit) {
+  Scheduler::WorkerLimit limit(2);
+  Rng rng(9);
+  std::vector<std::uint64_t> v(200000);
+  for (auto& x : v) x = rng.next_u64();
+  parallel_sort(v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(SchedulerStress, ManyScansBackToBack) {
+  std::vector<std::uint32_t> in(100000, 1), out;
+  for (int round = 0; round < 20; ++round) {
+    std::uint32_t total = parallel_scan_exclusive(in, out);
+    ASSERT_EQ(total, 100000u);
+    ASSERT_EQ(out.back(), 99999u);
+  }
+}
+
+}  // namespace
+}  // namespace parhull

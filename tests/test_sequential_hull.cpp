@@ -1,0 +1,200 @@
+// Algorithm 2 (sequential incremental hull with conflict lists): validity
+// against checkers and oracles in dimensions 2..5.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "parhull/hull/baselines.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/verify/brute_force.h"
+#include "parhull/verify/checkers.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+template <int D>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>> hull_tuples(
+    const SequentialHull<D>& hull, const std::vector<FacetId>& ids) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  for (FacetId id : ids) out.push_back(canonical_vertices(hull.facet(id)));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PrepareInput, MovesIndependentPointsToFront) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 1}}, {{2, 2}}, {{3, 3}}, {{1, 0}}};
+  ASSERT_TRUE(prepare_input<2>(pts));
+  std::vector<const Point2*> first3 = {&pts[0], &pts[1], &pts[2]};
+  EXPECT_TRUE(affinely_independent<2>(first3));
+}
+
+TEST(PrepareInput, RejectsFullyDegenerate) {
+  PointSet<2> pts = {{{0, 0}}, {{1, 1}}, {{2, 2}}, {{3, 3}}};
+  EXPECT_FALSE(prepare_input<2>(pts));
+  PointSet<3> flat;
+  for (int i = 0; i < 10; ++i) {
+    flat.push_back({{static_cast<double>(i), static_cast<double>(i * i), 0}});
+  }
+  EXPECT_FALSE(prepare_input<3>(flat));
+}
+
+TEST(PrepareInput, RejectsTooFewPoints) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}};
+  EXPECT_FALSE(prepare_input<3>(pts));
+}
+
+TEST(SequentialHull2D, MatchesMonotoneChain) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto pts = uniform_ball<2>(400, seed);
+    ASSERT_TRUE(prepare_input<2>(pts));
+    SequentialHull<2> hull;
+    auto res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    // Hull vertex set must match the monotone chain hull.
+    std::set<std::pair<double, double>> got;
+    for (FacetId id : res.hull) {
+      for (PointId v : hull.facet(id).vertices) {
+        got.insert({pts[v][0], pts[v][1]});
+      }
+    }
+    auto chain = monotone_chain(pts);
+    std::set<std::pair<double, double>> expect;
+    for (const auto& p : chain) expect.insert({p[0], p[1]});
+    EXPECT_EQ(got, expect) << "seed " << seed;
+    EXPECT_EQ(res.hull.size(), chain.size());  // edges == vertices in 2D
+  }
+}
+
+TEST(SequentialHull3D, ValidHullOnBall) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto pts = uniform_ball<3>(500, seed);
+    ASSERT_TRUE(prepare_input<3>(pts));
+    SequentialHull<3> hull;
+    auto res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    std::vector<std::array<PointId, 3>> facets;
+    for (FacetId id : res.hull) facets.push_back(hull.facet(id).vertices);
+    auto rep = check_hull<3>(pts, facets);
+    EXPECT_TRUE(rep.ok) << rep.error << " seed " << seed;
+    EXPECT_TRUE(check_euler3d(facets).ok);
+  }
+}
+
+TEST(SequentialHull3D, MatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto pts = uniform_ball<3>(35, seed + 9);
+    ASSERT_TRUE(prepare_input<3>(pts));
+    SequentialHull<3> hull;
+    auto res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(hull_tuples(hull, res.hull), brute_force_hull_facets<3>(pts));
+  }
+}
+
+TEST(SequentialHull4D, MatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto pts = uniform_ball<4>(25, seed + 20);
+    ASSERT_TRUE(prepare_input<4>(pts));
+    SequentialHull<4> hull;
+    auto res = hull.run(pts);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(hull_tuples(hull, res.hull), brute_force_hull_facets<4>(pts));
+  }
+}
+
+TEST(SequentialHull5D, ValidSmall) {
+  auto pts = uniform_ball<5>(20, 33);
+  ASSERT_TRUE(prepare_input<5>(pts));
+  SequentialHull<5> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  std::vector<std::array<PointId, 5>> facets;
+  for (FacetId id : res.hull) facets.push_back(hull.facet(id).vertices);
+  auto rep = check_hull<5>(pts, facets);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(SequentialHull, SimplexOnly) {
+  // Exactly D+1 points: the hull is the simplex itself.
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}, {{0, 0, 1}}};
+  ASSERT_TRUE(prepare_input<3>(pts));
+  SequentialHull<3> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.hull.size(), 4u);
+  EXPECT_EQ(res.facets_created, 4u);
+  EXPECT_EQ(res.visibility_tests, 0u);
+}
+
+TEST(SequentialHull, InteriorPointsNeverAppear) {
+  // Points well inside the hull contribute no facets.
+  auto pts = uniform_ball<2>(200, 3);
+  for (auto& p : pts) p = p * 0.01;  // shrink
+  pts.push_back({{10, 0}});
+  pts.push_back({{-10, 5}});
+  pts.push_back({{-10, -5}});
+  ASSERT_TRUE(prepare_input<2>(pts));
+  SequentialHull<2> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.hull.size(), 3u);
+  EXPECT_GT(res.points_inside, 140u);
+}
+
+TEST(SequentialHull, ConflictInvariants) {
+  auto pts = uniform_ball<2>(300, 5);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  SequentialHull<2> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  // Final hull facets have empty conflict sets (nothing visible).
+  for (FacetId id : res.hull) {
+    EXPECT_TRUE(hull.facet(id).conflicts.empty());
+  }
+  // Every created non-initial facet has a valid support pair and depth.
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    const auto& f = hull.facet(id);
+    if (f.apex == kInvalidPoint) {
+      EXPECT_EQ(f.depth, 0u);
+      continue;
+    }
+    ASSERT_NE(f.support0, kInvalidFacet);
+    ASSERT_NE(f.support1, kInvalidFacet);
+    const auto& s0 = hull.facet(f.support0);
+    const auto& s1 = hull.facet(f.support1);
+    EXPECT_EQ(f.depth, 1 + std::max(s0.depth, s1.depth));
+    // Conflicts sorted ascending, exclude vertices.
+    EXPECT_TRUE(std::is_sorted(f.conflicts.begin(), f.conflicts.end()));
+    for (PointId q : f.conflicts) {
+      for (PointId v : f.vertices) EXPECT_NE(q, v);
+    }
+  }
+  EXPECT_GT(res.dependence_depth, 0u);
+}
+
+TEST(SequentialHull, WorkGrowsGently) {
+  // Theorem 3.1 sanity: visibility tests for 2D should be O(n log n)-ish;
+  // loose factor check, not a precise fit (that's bench E3).
+  auto pts = uniform_ball<2>(4000, 8);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  SequentialHull<2> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  double n = 4000;
+  EXPECT_LT(static_cast<double>(res.visibility_tests), 60.0 * n * std::log(n));
+}
+
+TEST(SequentialHull, AllExtremeCircle) {
+  auto pts = on_circle(400, 0.01, 13);  // perturbed: general position
+  ASSERT_TRUE(prepare_input<2>(pts));
+  SequentialHull<2> hull;
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  auto chain = monotone_chain(pts);
+  EXPECT_EQ(res.hull.size(), chain.size());
+}
+
+}  // namespace
+}  // namespace parhull

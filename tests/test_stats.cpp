@@ -1,0 +1,88 @@
+// Table writer and least-squares fit utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "parhull/stats/fit.h"
+#include "parhull/stats/table.h"
+
+namespace parhull {
+namespace {
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::uint64_t{42});
+  t.row().cell("beta").cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(std::uint64_t{1}).cell(std::uint64_t{2});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NegativeAndIntCells) {
+  Table t({"v"});
+  t.row().cell(-7);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("-7"), std::string::npos);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {3, 5, 7, 9, 11};  // y = 2x + 1
+  auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_EQ(linear_fit({}, {}).slope, 0.0);
+  EXPECT_EQ(linear_fit({1}, {2}).slope, 0.0);
+  // Constant x: singular.
+  auto fit = linear_fit({2, 2, 2}, {1, 2, 3});
+  EXPECT_EQ(fit.slope, 0.0);
+}
+
+TEST(LogFit, RecoversLogLaw) {
+  std::vector<double> x, y;
+  for (double n = 100; n <= 1e6; n *= 4) {
+    x.push_back(n);
+    y.push_back(3.5 * std::log(n) - 2.0);
+  }
+  auto fit = log_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-9);
+  EXPECT_GT(fit.r2, 0.999999);
+}
+
+TEST(Summary, Moments) {
+  auto s = summarize({1, 2, 3, 4});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(100), std::log(100.0) + 0.5772156649, 0.006);
+}
+
+}  // namespace
+}  // namespace parhull
