@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_degenerate.dir/bench_e10_degenerate.cpp.o"
+  "CMakeFiles/bench_e10_degenerate.dir/bench_e10_degenerate.cpp.o.d"
+  "bench_e10_degenerate"
+  "bench_e10_degenerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_degenerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

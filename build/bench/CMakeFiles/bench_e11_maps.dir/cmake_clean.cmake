@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_maps.dir/bench_e11_maps.cpp.o"
+  "CMakeFiles/bench_e11_maps.dir/bench_e11_maps.cpp.o.d"
+  "bench_e11_maps"
+  "bench_e11_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_support_audit.dir/bench_e12_support_audit.cpp.o"
+  "CMakeFiles/bench_e12_support_audit.dir/bench_e12_support_audit.cpp.o.d"
+  "bench_e12_support_audit"
+  "bench_e12_support_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_support_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

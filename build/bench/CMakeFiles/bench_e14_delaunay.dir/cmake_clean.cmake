@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_delaunay.dir/bench_e14_delaunay.cpp.o"
+  "CMakeFiles/bench_e14_delaunay.dir/bench_e14_delaunay.cpp.o.d"
+  "bench_e14_delaunay"
+  "bench_e14_delaunay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

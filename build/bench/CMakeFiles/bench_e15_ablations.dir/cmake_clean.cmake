@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_ablations.dir/bench_e15_ablations.cpp.o"
+  "CMakeFiles/bench_e15_ablations.dir/bench_e15_ablations.cpp.o.d"
+  "bench_e15_ablations"
+  "bench_e15_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

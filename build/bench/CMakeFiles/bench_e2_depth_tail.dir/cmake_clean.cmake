@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_depth_tail.dir/bench_e2_depth_tail.cpp.o"
+  "CMakeFiles/bench_e2_depth_tail.dir/bench_e2_depth_tail.cpp.o.d"
+  "bench_e2_depth_tail"
+  "bench_e2_depth_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_depth_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

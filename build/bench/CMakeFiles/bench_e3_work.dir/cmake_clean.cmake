@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_work.dir/bench_e3_work.cpp.o"
+  "CMakeFiles/bench_e3_work.dir/bench_e3_work.cpp.o.d"
+  "bench_e3_work"
+  "bench_e3_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_dimensions.dir/bench_e6_dimensions.cpp.o"
+  "CMakeFiles/bench_e6_dimensions.dir/bench_e6_dimensions.cpp.o.d"
+  "bench_e6_dimensions"
+  "bench_e6_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_halfspace.dir/bench_e8_halfspace.cpp.o"
+  "CMakeFiles/bench_e8_halfspace.dir/bench_e8_halfspace.cpp.o.d"
+  "bench_e8_halfspace"
+  "bench_e8_halfspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_halfspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_circles.dir/bench_e9_circles.cpp.o"
+  "CMakeFiles/bench_e9_circles.dir/bench_e9_circles.cpp.o.d"
+  "bench_e9_circles"
+  "bench_e9_circles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_circles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_collision_proxy.dir/collision_proxy.cpp.o"
+  "CMakeFiles/example_collision_proxy.dir/collision_proxy.cpp.o.d"
+  "example_collision_proxy"
+  "example_collision_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_collision_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

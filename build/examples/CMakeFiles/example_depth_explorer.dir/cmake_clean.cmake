@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_depth_explorer.dir/depth_explorer.cpp.o"
+  "CMakeFiles/example_depth_explorer.dir/depth_explorer.cpp.o.d"
+  "example_depth_explorer"
+  "example_depth_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_depth_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

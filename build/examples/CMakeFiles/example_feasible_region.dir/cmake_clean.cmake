@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_feasible_region.dir/feasible_region.cpp.o"
+  "CMakeFiles/example_feasible_region.dir/feasible_region.cpp.o.d"
+  "example_feasible_region"
+  "example_feasible_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_feasible_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_figure1_trace.dir/figure1_trace.cpp.o"
+  "CMakeFiles/example_figure1_trace.dir/figure1_trace.cpp.o.d"
+  "example_figure1_trace"
+  "example_figure1_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_figure1_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

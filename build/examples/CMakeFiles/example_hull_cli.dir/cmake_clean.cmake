@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hull_cli.dir/hull_cli.cpp.o"
+  "CMakeFiles/example_hull_cli.dir/hull_cli.cpp.o.d"
+  "example_hull_cli"
+  "example_hull_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hull_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_terrain_mesh.dir/terrain_mesh.cpp.o"
+  "CMakeFiles/example_terrain_mesh.dir/terrain_mesh.cpp.o.d"
+  "example_terrain_mesh"
+  "example_terrain_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_terrain_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parhull/circles/circle_intersection.cpp" "src/CMakeFiles/parhull.dir/parhull/circles/circle_intersection.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/circles/circle_intersection.cpp.o.d"
+  "/root/repo/src/parhull/degenerate/corner_analysis.cpp" "src/CMakeFiles/parhull.dir/parhull/degenerate/corner_analysis.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/degenerate/corner_analysis.cpp.o.d"
+  "/root/repo/src/parhull/degenerate/degenerate_hull3d.cpp" "src/CMakeFiles/parhull.dir/parhull/degenerate/degenerate_hull3d.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/degenerate/degenerate_hull3d.cpp.o.d"
+  "/root/repo/src/parhull/delaunay/delaunay2d.cpp" "src/CMakeFiles/parhull.dir/parhull/delaunay/delaunay2d.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/delaunay/delaunay2d.cpp.o.d"
+  "/root/repo/src/parhull/geometry/expansion.cpp" "src/CMakeFiles/parhull.dir/parhull/geometry/expansion.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/geometry/expansion.cpp.o.d"
+  "/root/repo/src/parhull/geometry/predicates.cpp" "src/CMakeFiles/parhull.dir/parhull/geometry/predicates.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/geometry/predicates.cpp.o.d"
+  "/root/repo/src/parhull/halfspace/halfspace.cpp" "src/CMakeFiles/parhull.dir/parhull/halfspace/halfspace.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/halfspace/halfspace.cpp.o.d"
+  "/root/repo/src/parhull/hull/divide_conquer2d.cpp" "src/CMakeFiles/parhull.dir/parhull/hull/divide_conquer2d.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/hull/divide_conquer2d.cpp.o.d"
+  "/root/repo/src/parhull/hull/gift_wrapping.cpp" "src/CMakeFiles/parhull.dir/parhull/hull/gift_wrapping.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/hull/gift_wrapping.cpp.o.d"
+  "/root/repo/src/parhull/hull/graham.cpp" "src/CMakeFiles/parhull.dir/parhull/hull/graham.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/hull/graham.cpp.o.d"
+  "/root/repo/src/parhull/hull/monotone_chain.cpp" "src/CMakeFiles/parhull.dir/parhull/hull/monotone_chain.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/hull/monotone_chain.cpp.o.d"
+  "/root/repo/src/parhull/hull/quickhull2d.cpp" "src/CMakeFiles/parhull.dir/parhull/hull/quickhull2d.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/hull/quickhull2d.cpp.o.d"
+  "/root/repo/src/parhull/hull/quickhull3d.cpp" "src/CMakeFiles/parhull.dir/parhull/hull/quickhull3d.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/hull/quickhull3d.cpp.o.d"
+  "/root/repo/src/parhull/parallel/scheduler.cpp" "src/CMakeFiles/parhull.dir/parhull/parallel/scheduler.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/parallel/scheduler.cpp.o.d"
+  "/root/repo/src/parhull/stats/fit.cpp" "src/CMakeFiles/parhull.dir/parhull/stats/fit.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/stats/fit.cpp.o.d"
+  "/root/repo/src/parhull/stats/table.cpp" "src/CMakeFiles/parhull.dir/parhull/stats/table.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/stats/table.cpp.o.d"
+  "/root/repo/src/parhull/verify/brute_force.cpp" "src/CMakeFiles/parhull.dir/parhull/verify/brute_force.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/verify/brute_force.cpp.o.d"
+  "/root/repo/src/parhull/verify/checkers.cpp" "src/CMakeFiles/parhull.dir/parhull/verify/checkers.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/verify/checkers.cpp.o.d"
+  "/root/repo/src/parhull/workload/generators.cpp" "src/CMakeFiles/parhull.dir/parhull/workload/generators.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/workload/generators.cpp.o.d"
+  "/root/repo/src/parhull/workload/io.cpp" "src/CMakeFiles/parhull.dir/parhull/workload/io.cpp.o" "gcc" "src/CMakeFiles/parhull.dir/parhull/workload/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halfspace.dir/test_halfspace.cpp.o"
+  "CMakeFiles/test_halfspace.dir/test_halfspace.cpp.o.d"
+  "test_halfspace"
+  "test_halfspace.pdb"
+  "test_halfspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halfspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

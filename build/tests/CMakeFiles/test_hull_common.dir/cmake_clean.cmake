@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hull_common.dir/test_hull_common.cpp.o"
+  "CMakeFiles/test_hull_common.dir/test_hull_common.cpp.o.d"
+  "test_hull_common"
+  "test_hull_common.pdb"
+  "test_hull_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hull_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_delaunay.dir/test_parallel_delaunay.cpp.o"
+  "CMakeFiles/test_parallel_delaunay.dir/test_parallel_delaunay.cpp.o.d"
+  "test_parallel_delaunay"
+  "test_parallel_delaunay.pdb"
+  "test_parallel_delaunay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

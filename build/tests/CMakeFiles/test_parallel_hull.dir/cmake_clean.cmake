@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_hull.dir/test_parallel_hull.cpp.o"
+  "CMakeFiles/test_parallel_hull.dir/test_parallel_hull.cpp.o.d"
+  "test_parallel_hull"
+  "test_parallel_hull.pdb"
+  "test_parallel_hull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ridge_map.dir/test_ridge_map.cpp.o"
+  "CMakeFiles/test_ridge_map.dir/test_ridge_map.cpp.o.d"
+  "test_ridge_map"
+  "test_ridge_map.pdb"
+  "test_ridge_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ridge_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

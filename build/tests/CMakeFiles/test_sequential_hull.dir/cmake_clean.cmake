@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_hull.dir/test_sequential_hull.cpp.o"
+  "CMakeFiles/test_sequential_hull.dir/test_sequential_hull.cpp.o.d"
+  "test_sequential_hull"
+  "test_sequential_hull.pdb"
+  "test_sequential_hull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

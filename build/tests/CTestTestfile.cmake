@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_expansion[1]_include.cmake")
+include("/root/repo/build/tests/test_predicates[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_ridge_map[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_sequential_hull[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_hull[1]_include.cmake")
+include("/root/repo/build/tests/test_halfspace[1]_include.cmake")
+include("/root/repo/build/tests/test_circles[1]_include.cmake")
+include("/root/repo/build/tests/test_degenerate[1]_include.cmake")
+include("/root/repo/build/tests/test_figure1[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_deque[1]_include.cmake")
+include("/root/repo/build/tests/test_hull_common[1]_include.cmake")
+include("/root/repo/build/tests/test_delaunay[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_dependence[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_modes[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_delaunay[1]_include.cmake")
+include("/root/repo/build/tests/test_counters[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler_stress[1]_include.cmake")
