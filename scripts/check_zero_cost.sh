@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Proves PARHULL_SCHEDULE_POINT() costs nothing in normal builds.
+#
+# Every schedule-point-bearing translation unit is compiled twice with
+# identical flags: once with the stock header (the macro expands to
+# `((void)0)`) and once with the macro force-defined to expand to nothing
+# at all. The object files must be byte-identical — any divergence means
+# the harness instrumentation leaks into production code.
+#
+# Usage: scripts/check_zero_cost.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CXX=${CXX:-c++}
+FLAGS=(-std=c++20 -O2 -Wall -Wextra -Isrc -c)
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Headers with schedule points are covered via a probe TU that instantiates
+# the deque, the three ridge-map backends, and the concurrent pool.
+cat > "$tmp/probe.cpp" <<'EOF'
+#include "parhull/containers/concurrent_pool.h"
+#include "parhull/containers/ridge_map.h"
+#include "parhull/parallel/deque.h"
+#include "parhull/parallel/scheduler.h"
+
+namespace parhull {
+struct ProbeTask final : Task {
+  void execute() override {}
+};
+int probe() {
+  WorkStealingDeque dq(8);
+  ProbeTask t;
+  dq.push(&t);
+  int sum = dq.pop() != nullptr;
+  sum += dq.steal() != nullptr;
+  RidgeMapCAS<3> cas(16);
+  RidgeMapTAS<3> tas(16);
+  RidgeMapChained<3> chained(16);
+  auto key = RidgeKey<3>::from_unsorted({1, 2});
+  sum += cas.insert_and_set(key, 1) + tas.insert_and_set(key, 1) +
+         chained.insert_and_set(key, 1);
+  sum += static_cast<int>(cas.get_value(key, 2));
+  ConcurrentPool<int> pool;
+  sum += static_cast<int>(pool.allocate());
+  return sum;
+}
+}  // namespace parhull
+EOF
+
+fail=0
+for tu in "$tmp/probe.cpp" src/parhull/parallel/scheduler.cpp; do
+  base=$(basename "$tu" .cpp)
+  "$CXX" "${FLAGS[@]}" "$tu" -o "$tmp/$base.stock.o"
+  "$CXX" "${FLAGS[@]}" -D'PARHULL_SCHEDULE_POINT()=' "$tu" \
+         -o "$tmp/$base.forced_empty.o"
+  if cmp -s "$tmp/$base.stock.o" "$tmp/$base.forced_empty.o"; then
+    echo "OK   $base: object code identical with schedule points removed"
+  else
+    echo "FAIL $base: schedule points changed the object code" >&2
+    fail=1
+  fi
+done
+exit $fail

@@ -10,6 +10,7 @@
 
 #include "parhull/common/assert.h"
 #include "parhull/common/types.h"
+#include "parhull/testing/schedule_point.h"
 
 namespace parhull {
 
@@ -39,9 +40,14 @@ class ConcurrentPool {
 
   // Allocate one default-constructed element; returns its dense index.
   std::uint32_t allocate() {
+    PARHULL_SCHEDULE_POINT();  // before claiming an id
     std::uint32_t id = next_.fetch_add(1, std::memory_order_relaxed);
     std::size_t block_index = id >> kBlockBits;
     PARHULL_CHECK_MSG(block_index < kMaxBlocks, "ConcurrentPool exhausted");
+    // No schedule point past here: install_block holds grow_mutex_, and the
+    // schedule-point contract forbids suspension while a lock is held (a
+    // model-checker fiber parked inside a critical section would deadlock
+    // every other fiber on the same OS thread).
     Block* block = blocks_[block_index].load(std::memory_order_acquire);
     if (block == nullptr) {
       block = install_block(block_index);

@@ -26,6 +26,7 @@
 #include "parhull/common/types.h"
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/containers/ridge_key.h"
+#include "parhull/testing/schedule_point.h"
 
 namespace parhull {
 
@@ -64,6 +65,7 @@ class RidgeMapCAS {
     Entry* mine = nullptr;
     std::size_t probes = 0;
     while (true) {
+      PARHULL_SCHEDULE_POINT();  // before inspecting the probe slot
       Entry* cur = slots_[i].load(std::memory_order_acquire);
       if (cur == nullptr) {
         if (mine == nullptr) {
@@ -72,6 +74,7 @@ class RidgeMapCAS {
           mine->key = key;
           mine->value = value;
         }
+        PARHULL_SCHEDULE_POINT();  // entry built, before the claiming CAS
         if (slots_[i].compare_exchange_strong(cur, mine,
                                               std::memory_order_release,
                                               std::memory_order_acquire)) {
@@ -96,6 +99,7 @@ class RidgeMapCAS {
     std::size_t i = key.hash() & mask_;
     std::size_t probes = 0;
     while (true) {
+      PARHULL_SCHEDULE_POINT();  // before inspecting the probe slot
       Entry* cur = slots_[i].load(std::memory_order_acquire);
       PARHULL_CHECK_MSG(cur != nullptr, "RidgeMapCAS::get_value: key absent");
       if (cur->key == key) {
@@ -156,22 +160,27 @@ class RidgeMapTAS {
     // Pass 1: reserve a slot.
     std::size_t i = start;
     std::size_t probes = 0;
+    PARHULL_SCHEDULE_POINT();  // before the first reservation TAS
     while (slots_[i].taken.exchange(true, std::memory_order_acq_rel)) {
       i = (i + 1) & mask_;
       PARHULL_CHECK_MSG(++probes <= capacity_,
                         "RidgeMapTAS full: raise HullParams::table_factor");
+      PARHULL_SCHEDULE_POINT();  // between reservation probes
     }
     Slot& mine = slots_[i];
+    PARHULL_SCHEDULE_POINT();  // slot reserved, contents not yet written
     for (int k = 0; k < D - 1; ++k) {
       mine.key[static_cast<std::size_t>(k)].store(
           key.v[static_cast<std::size_t>(k)], std::memory_order_relaxed);
     }
     mine.value.store(value, std::memory_order_relaxed);
+    PARHULL_SCHEDULE_POINT();  // contents written, not yet published
     mine.ready.store(true, std::memory_order_seq_cst);
 
     // Pass 2: TAS the check flag of every published slot with this key.
     i = start;
     probes = 0;
+    PARHULL_SCHEDULE_POINT();  // published; before the scan pass
     while (slots_[i].taken.load(std::memory_order_seq_cst)) {
       Slot& s = slots_[i];
       if (s.ready.load(std::memory_order_seq_cst) && key_equals(s, key)) {
@@ -182,6 +191,7 @@ class RidgeMapTAS {
       }
       i = (i + 1) & mask_;
       PARHULL_CHECK_MSG(++probes <= capacity_, "RidgeMapTAS: probe overflow");
+      PARHULL_SCHEDULE_POINT();  // between scan probes
     }
     probes_.fetch_add(probes + 1, std::memory_order_relaxed);
     return true;
@@ -190,6 +200,7 @@ class RidgeMapTAS {
   FacetId get_value(const Key& key, FacetId self) const {
     std::size_t i = key.hash() & mask_;
     std::size_t probes = 0;
+    PARHULL_SCHEDULE_POINT();  // before the lookup scan
     while (slots_[i].taken.load(std::memory_order_seq_cst)) {
       const Slot& s = slots_[i];
       if (s.ready.load(std::memory_order_seq_cst) && key_equals(s, key)) {
@@ -198,6 +209,7 @@ class RidgeMapTAS {
       }
       i = (i + 1) & mask_;
       PARHULL_CHECK_MSG(++probes <= capacity_, "RidgeMapTAS: probe overflow");
+      PARHULL_SCHEDULE_POINT();  // between lookup probes
     }
     PARHULL_CHECK_MSG(false, "RidgeMapTAS::get_value: other facet absent");
     return kInvalidFacet;
@@ -255,6 +267,7 @@ class RidgeMapChained {
   bool insert_and_set(const Key& key, FacetId value) {
     std::atomic<Node*>& bucket = buckets_[key.hash() & mask_];
     // Fast path: key already present.
+    PARHULL_SCHEDULE_POINT();  // before the fast-path chain walk
     for (Node* n = bucket.load(std::memory_order_acquire); n != nullptr;
          n = n->next) {
       if (n->key == key) return false;
@@ -264,9 +277,11 @@ class RidgeMapChained {
     Node* mine = &pool_[id];
     mine->key = key;
     mine->value = value;
+    PARHULL_SCHEDULE_POINT();  // node built, before reading the head
     Node* head = bucket.load(std::memory_order_acquire);
     do {
       mine->next = head;
+      PARHULL_SCHEDULE_POINT();  // before the publishing CAS
     } while (!bucket.compare_exchange_weak(head, mine,
                                            std::memory_order_seq_cst,
                                            std::memory_order_acquire));
@@ -280,6 +295,7 @@ class RidgeMapChained {
 
   FacetId get_value(const Key& key, FacetId self) const {
     const std::atomic<Node*>& bucket = buckets_[key.hash() & mask_];
+    PARHULL_SCHEDULE_POINT();  // before the lookup chain walk
     for (Node* n = bucket.load(std::memory_order_acquire); n != nullptr;
          n = n->next) {
       if (n->key == key && n->value != self) return n->value;

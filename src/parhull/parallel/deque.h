@@ -11,8 +11,26 @@
 #include <vector>
 
 #include "parhull/common/assert.h"
+#include "parhull/testing/schedule_point.h"
 
 namespace parhull {
+
+namespace detail {
+// The deque publishes task contents to thieves through a release fence +
+// relaxed slot store (Lê et al. PPoPP'13), which is correct under the C++
+// model (atomics.fences: release fence → relaxed store ↔ acquire load).
+// ThreadSanitizer's runtime does not model standalone fences, so under TSan
+// the slot accesses are strengthened to release/acquire — a real
+// happens-before edge on the same atomic with identical semantics, which
+// keeps TSan precise instead of suppressing it.
+#if defined(__SANITIZE_THREAD__)
+inline constexpr std::memory_order kDequeSlotStore = std::memory_order_release;
+inline constexpr std::memory_order kDequeSlotLoad = std::memory_order_acquire;
+#else
+inline constexpr std::memory_order kDequeSlotStore = std::memory_order_relaxed;
+inline constexpr std::memory_order kDequeSlotLoad = std::memory_order_relaxed;
+#endif
+}  // namespace detail
 
 class Task;
 
@@ -30,6 +48,7 @@ class WorkStealingDeque {
 
   // Owner only.
   void push(Task* task) {
+    PARHULL_SCHEDULE_POINT();  // before reading indices
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
     std::int64_t t = top_.load(std::memory_order_acquire);
     Buffer* a = buffer_.load(std::memory_order_relaxed);
@@ -38,22 +57,26 @@ class WorkStealingDeque {
     }
     a->put(b, task);
     std::atomic_thread_fence(std::memory_order_release);
+    PARHULL_SCHEDULE_POINT();  // slot written, not yet published
     bottom_.store(b + 1, std::memory_order_relaxed);
   }
 
   // Owner only. Returns nullptr if the deque is empty or the last element
   // was just stolen.
   Task* pop() {
+    PARHULL_SCHEDULE_POINT();  // before taking the bottom slot
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* a = buffer_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    PARHULL_SCHEDULE_POINT();  // bottom lowered, top not yet read
     std::int64_t t = top_.load(std::memory_order_relaxed);
     Task* result = nullptr;
     if (t <= b) {
       result = a->get(b);
       if (t == b) {
         // Single element left: race against thieves for it.
+        PARHULL_SCHEDULE_POINT();  // before the deciding CAS
         if (!top_.compare_exchange_strong(t, t + 1,
                                           std::memory_order_seq_cst,
                                           std::memory_order_relaxed)) {
@@ -70,13 +93,16 @@ class WorkStealingDeque {
   // Any thread. Returns nullptr on empty or lost race (caller may retry a
   // different victim).
   Task* steal() {
+    PARHULL_SCHEDULE_POINT();  // before reading top
     std::int64_t t = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    PARHULL_SCHEDULE_POINT();  // top read, bottom not yet read
     std::int64_t b = bottom_.load(std::memory_order_acquire);
     Task* result = nullptr;
     if (t < b) {
       Buffer* a = buffer_.load(std::memory_order_acquire);
       result = a->get(t);
+      PARHULL_SCHEDULE_POINT();  // slot read, before the claiming CAS
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         return nullptr;
@@ -98,10 +124,10 @@ class WorkStealingDeque {
                         "deque capacity must be a power of two");
     }
     Task* get(std::int64_t i) const {
-      return slots[i & mask].load(std::memory_order_relaxed);
+      return slots[i & mask].load(detail::kDequeSlotLoad);
     }
     void put(std::int64_t i, Task* task) {
-      slots[i & mask].store(task, std::memory_order_relaxed);
+      slots[i & mask].store(task, detail::kDequeSlotStore);
     }
     std::int64_t capacity;
     std::int64_t mask;
@@ -116,6 +142,7 @@ class WorkStealingDeque {
     // be reading through a stale pointer. Memory is reclaimed when the deque
     // is destroyed.
     retired_.push_back(std::move(grown));
+    PARHULL_SCHEDULE_POINT();  // new buffer filled, not yet published
     buffer_.store(raw, std::memory_order_release);
     return raw;
   }

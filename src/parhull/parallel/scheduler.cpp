@@ -48,6 +48,7 @@ Scheduler::~Scheduler() {
 }
 
 void Scheduler::signal_work() {
+  PARHULL_SCHEDULE_POINT();  // the push→wakeup window (lost-notify shape)
   if (sleepers_.load(std::memory_order_relaxed) > 0) {
     sleep_cv_.notify_all();
   }
@@ -59,6 +60,7 @@ Task* Scheduler::try_acquire(int self, Rng& rng) {
   if (task != nullptr) return task;
   const int p = num_workers_;
   for (int attempt = 0; attempt < 2 * p; ++attempt) {
+    PARHULL_SCHEDULE_POINT();  // between steal attempts (victim choice)
     int victim = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p)));
     if (victim == self) continue;
     task = deques_[static_cast<std::size_t>(victim)]->steal();
@@ -79,6 +81,7 @@ void Scheduler::worker_loop(int id) {
       sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
       continue;
     }
+    PARHULL_SCHEDULE_POINT();  // top of the worker acquire loop
     Task* task = try_acquire(id, rng);
     if (task != nullptr) {
       task->run();
@@ -105,6 +108,7 @@ void Scheduler::wait_for(const Task& task) {
   const int self = worker_id();
   Rng rng(0x85ebca6bu ^ static_cast<std::uint64_t>(self));
   while (!task.done()) {
+    PARHULL_SCHEDULE_POINT();  // between join-help rounds
     Task* other = try_acquire(self, rng);
     if (other != nullptr) {
       other->run();

@@ -24,6 +24,7 @@
 #include "parhull/common/random.h"
 #include "parhull/common/types.h"
 #include "parhull/parallel/deque.h"
+#include "parhull/testing/schedule_point.h"
 
 namespace parhull {
 
@@ -35,6 +36,7 @@ class Task {
 
   void run() {
     execute();
+    PARHULL_SCHEDULE_POINT();  // body done, completion not yet visible
     done_.store(true, std::memory_order_release);
   }
   bool done() const { return done_.load(std::memory_order_acquire); }
@@ -91,6 +93,7 @@ class Scheduler {
     WorkStealingDeque& dq = *deques_[static_cast<std::size_t>(worker_id())];
     dq.push(&tb);
     signal_work();
+    PARHULL_SCHEDULE_POINT();  // child published and stealable
     fa();
     Task* popped = dq.pop();
     if (popped != nullptr) {

@@ -1,0 +1,250 @@
+#include "parhull/testing/interleave.h"
+
+#include <ucontext.h>
+
+#include <memory>
+
+#include "parhull/common/assert.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define PARHULL_MC_ASAN 1
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define PARHULL_MC_TSAN 1
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace parhull::testing {
+namespace {
+
+// One logical thread of the model-checked program: a ucontext fiber plus
+// the sanitizer bookkeeping its stack switches need.
+struct Fiber {
+  ucontext_t context;
+  std::unique_ptr<char[]> stack;
+  std::size_t stack_bytes = 0;
+  bool finished = true;
+#ifdef PARHULL_MC_ASAN
+  void* asan_fake_stack = nullptr;
+#endif
+#ifdef PARHULL_MC_TSAN
+  void* tsan_fiber = nullptr;
+#endif
+};
+
+// The explorer is strictly single-OS-threaded and non-reentrant; fibers
+// find their driver through this.
+struct Driver;
+Driver* g_driver = nullptr;
+
+struct Driver final : ScheduleObserver {
+  ucontext_t main_context;
+  std::vector<Fiber> fibers;
+  const std::vector<std::function<void()>>* bodies = nullptr;
+  int running = -1;  // fiber currently executing, -1 = driver
+#ifdef PARHULL_MC_ASAN
+  void* main_fake_stack = nullptr;
+  const void* main_stack_bottom = nullptr;
+  std::size_t main_stack_size = 0;
+#endif
+#ifdef PARHULL_MC_TSAN
+  void* main_tsan_fiber = nullptr;
+#endif
+
+  // A schedule point inside a fiber hands control back to the driver.
+  // Points crossed while no fiber runs (setup/check on the driver) are
+  // pass-through.
+  void on_schedule_point() override {
+    if (running < 0) return;
+    switch_to(-1);
+  }
+
+  // Switch from the current context (fiber `running`, or the driver if
+  // running < 0) to fiber `target` (-1 = driver).
+  void switch_to(int target) {
+    int from = running;
+    PARHULL_CHECK(from != target);
+    running = target;
+#ifdef PARHULL_MC_ASAN
+    void** save = from < 0 ? &main_fake_stack
+                           : &fibers[static_cast<std::size_t>(from)].asan_fake_stack;
+    if (target < 0) {
+      __sanitizer_start_switch_fiber(save, main_stack_bottom, main_stack_size);
+    } else {
+      Fiber& f = fibers[static_cast<std::size_t>(target)];
+      __sanitizer_start_switch_fiber(save, f.stack.get(), f.stack_bytes);
+    }
+#endif
+#ifdef PARHULL_MC_TSAN
+    __tsan_switch_to_fiber(
+        target < 0 ? main_tsan_fiber
+                   : fibers[static_cast<std::size_t>(target)].tsan_fiber,
+        0);
+#endif
+    ucontext_t* from_ctx =
+        from < 0 ? &main_context : &fibers[static_cast<std::size_t>(from)].context;
+    ucontext_t* to_ctx = target < 0
+                             ? &main_context
+                             : &fibers[static_cast<std::size_t>(target)].context;
+    swapcontext(from_ctx, to_ctx);
+    // Resumed (now executing as `from` again).
+    finish_switch(from);
+  }
+
+  void finish_switch(int resumed) {
+#ifdef PARHULL_MC_ASAN
+    void* fake = resumed < 0
+                     ? main_fake_stack
+                     : fibers[static_cast<std::size_t>(resumed)].asan_fake_stack;
+    const void* from_bottom = nullptr;
+    std::size_t from_size = 0;
+    __sanitizer_finish_switch_fiber(fake, &from_bottom, &from_size);
+    if (resumed >= 0 && main_stack_bottom == nullptr) {
+      // First entry into a fiber: the stack we came from is the driver's.
+      main_stack_bottom = from_bottom;
+      main_stack_size = from_size;
+    }
+#else
+    (void)resumed;
+#endif
+  }
+
+  static void trampoline() {
+    Driver* d = g_driver;
+    d->finish_switch(d->running);
+    int self = d->running;
+    (*d->bodies)[static_cast<std::size_t>(self)]();
+    d->fibers[static_cast<std::size_t>(self)].finished = true;
+    d->switch_to(-1);
+    PARHULL_CHECK_MSG(false, "resumed a finished model-checker fiber");
+  }
+};
+
+}  // namespace
+
+InterleaveExplorer::Result InterleaveExplorer::explore(
+    const std::function<void()>& setup,
+    const std::vector<std::function<void()>>& threads,
+    const std::function<bool()>& check, Options options) {
+  const std::size_t n = threads.size();
+  PARHULL_CHECK_MSG(n >= 1, "explore() needs at least one thread");
+  PARHULL_CHECK_MSG(g_driver == nullptr && tl_observer == nullptr,
+                    "InterleaveExplorer is not reentrant");
+
+  Driver driver;
+  driver.bodies = &threads;
+  driver.fibers.resize(n);
+  for (Fiber& f : driver.fibers) {
+    f.stack_bytes = options.fiber_stack_bytes;
+    f.stack = std::make_unique<char[]>(f.stack_bytes);
+  }
+  g_driver = &driver;
+  tl_observer = &driver;
+#ifdef PARHULL_MC_TSAN
+  driver.main_tsan_fiber = __tsan_get_current_fiber();
+#endif
+
+  // DFS over schedules with stateless replay. `schedule` holds, for every
+  // decision already taken on the current path, which of the then-runnable
+  // fibers ran (as an index into the ascending runnable list) and how many
+  // were runnable.
+  struct Decision {
+    int chosen;
+    int runnable;
+  };
+  std::vector<Decision> schedule;
+  Result result;
+  bool exhausted = false;
+  bool valve_hit = false;
+
+  while (!exhausted) {
+    // ----- one execution: replay `schedule` as a prefix, extend with
+    // first-runnable choices, record the extensions -----
+    setup();
+    for (std::size_t i = 0; i < n; ++i) {
+      Fiber& f = driver.fibers[i];
+      f.finished = false;
+      getcontext(&f.context);
+      f.context.uc_stack.ss_sp = f.stack.get();
+      f.context.uc_stack.ss_size = f.stack_bytes;
+      f.context.uc_link = nullptr;  // fibers exit via switch_to(-1)
+      makecontext(&f.context, &Driver::trampoline, 0);
+#ifdef PARHULL_MC_TSAN
+      // makecontext() rewinds the real stack, but TSan only unwinds a
+      // fiber's shadow stack on destruction; reusing one fiber object
+      // across the whole DFS (10^4..10^5 executions) overflows the stack
+      // depot. Give each execution fresh TSan fibers.
+      if (f.tsan_fiber) __tsan_destroy_fiber(f.tsan_fiber);
+      f.tsan_fiber = __tsan_create_fiber(0);
+#endif
+    }
+
+    std::uint64_t steps = 0;
+    std::size_t depth = 0;
+    std::vector<int> runnable;
+    runnable.reserve(n);
+    while (true) {
+      runnable.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!driver.fibers[i].finished) runnable.push_back(static_cast<int>(i));
+      }
+      if (runnable.empty()) break;
+      int pick;
+      if (depth < schedule.size()) {
+        PARHULL_CHECK_MSG(
+            schedule[depth].runnable == static_cast<int>(runnable.size()),
+            "nondeterministic thread body: runnable set changed on replay");
+        pick = schedule[depth].chosen;
+      } else {
+        pick = 0;
+        schedule.push_back({0, static_cast<int>(runnable.size())});
+      }
+      ++depth;
+      ++steps;
+      if (steps > options.max_steps_per_execution) {
+        valve_hit = true;
+        break;
+      }
+      driver.switch_to(runnable[static_cast<std::size_t>(pick)]);
+    }
+
+    if (valve_hit) break;
+    result.executions += 1;
+    result.total_steps += steps;
+    if (steps > result.max_steps) result.max_steps = steps;
+    if (!check()) {
+      result.violations += 1;
+      if (options.stop_on_violation) break;
+    }
+    if (result.executions >= options.max_executions) {
+      valve_hit = true;
+      break;
+    }
+
+    // ----- backtrack: advance the deepest decision that still has an
+    // untried alternative -----
+    while (!schedule.empty() &&
+           schedule.back().chosen + 1 >= schedule.back().runnable) {
+      schedule.pop_back();
+    }
+    if (schedule.empty()) {
+      exhausted = true;
+    } else {
+      schedule.back().chosen += 1;
+    }
+  }
+
+  result.complete = exhausted && !valve_hit;
+
+#ifdef PARHULL_MC_TSAN
+  for (Fiber& f : driver.fibers) {
+    if (f.tsan_fiber) __tsan_destroy_fiber(f.tsan_fiber);
+  }
+#endif
+  tl_observer = nullptr;
+  g_driver = nullptr;
+  return result;
+}
+
+}  // namespace parhull::testing

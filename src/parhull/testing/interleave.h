@@ -1,0 +1,71 @@
+// Exhaustive interleaving model checker for short lock-free operation
+// sequences (a miniature stateless CHESS-style explorer).
+//
+// `explore(setup, threads, check)` runs `threads` as cooperatively
+// scheduled fibers on the calling OS thread. Every PARHULL_SCHEDULE_POINT()
+// a fiber crosses is a preemption point: control returns to the explorer,
+// which decides who runs next. The explorer enumerates, by depth-first
+// search with stateless replay, ALL interleavings of the threads' schedule
+// points; for each complete interleaving it runs `setup` beforehand (fresh
+// shared state) and `check` afterwards (invariant assertion).
+//
+// Scope and fidelity:
+//   * Interleavings are sequentially consistent: steps are serialized on
+//     one OS thread, so compiler/hardware reordering between schedule
+//     points is not modelled. This matches the paper's Appendix A proofs
+//     (Theorems A.1/A.2 argue over SC interleavings); weak-memory effects
+//     are covered separately by the ScheduleFuzzer under TSan.
+//   * The step granularity is the schedule-point placement in the code
+//     under test (see docs/CONCURRENCY.md for the placement contract).
+//   * State space is (sum of steps choose per-thread steps): keep the
+//     operations short — two or three concurrent map/deque calls.
+//
+// Only available in PARHULL_SCHEDULE_FUZZING builds (link parhull_fuzzed).
+#pragma once
+
+#ifndef PARHULL_SCHEDULE_FUZZING
+#error "interleave.h requires -DPARHULL_SCHEDULE_FUZZING (parhull_fuzzed)"
+#endif
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parhull/testing/schedule_point.h"
+
+namespace parhull::testing {
+
+class InterleaveExplorer {
+ public:
+  struct Options {
+    // Safety valves; an exceeded valve marks the result incomplete rather
+    // than aborting the process.
+    std::uint64_t max_executions = 20'000'000;
+    std::uint64_t max_steps_per_execution = 1'000'000;
+    std::size_t fiber_stack_bytes = 256 * 1024;
+    bool stop_on_violation = false;
+  };
+
+  struct Result {
+    std::uint64_t executions = 0;       // complete interleavings explored
+    std::uint64_t violations = 0;       // executions whose check() was false
+    std::uint64_t total_steps = 0;      // schedule decisions across all runs
+    std::uint64_t max_steps = 0;        // longest single interleaving
+    bool complete = false;              // true iff the DFS ran to exhaustion
+  };
+
+  // `setup`   — re-creates the shared state; runs uninstrumented.
+  // `threads` — logical thread bodies; schedule points inside them preempt.
+  // `check`   — invariant over the final state; returns false on violation.
+  //             May also record richer diagnostics itself.
+  Result explore(const std::function<void()>& setup,
+                 const std::vector<std::function<void()>>& threads,
+                 const std::function<bool()>& check) {
+    return explore(setup, threads, check, Options());
+  }
+  Result explore(const std::function<void()>& setup,
+                 const std::vector<std::function<void()>>& threads,
+                 const std::function<bool()>& check, Options options);
+};
+
+}  // namespace parhull::testing

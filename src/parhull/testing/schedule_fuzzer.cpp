@@ -1,0 +1,87 @@
+#include "parhull/testing/schedule_fuzzer.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace parhull::testing {
+
+std::atomic<ScheduleObserver*> g_global_observer{nullptr};
+std::atomic<int> g_global_observer_users{0};
+thread_local ScheduleObserver* tl_observer = nullptr;
+
+namespace {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Per-thread decision stream. A thread joins a fuzzer's stream set on its
+// first schedule point under that fuzzer; the stream id is its arrival
+// index, so decision sequences replay for a fixed seed and arrival order.
+struct ThreadStream {
+  const ScheduleFuzzer* owner = nullptr;
+  std::uint64_t state = 0;
+};
+thread_local ThreadStream tl_stream;
+
+}  // namespace
+
+void ScheduleFuzzer::on_schedule_point() {
+  points_crossed_.fetch_add(1, std::memory_order_relaxed);
+  ThreadStream& stream = tl_stream;
+  if (stream.owner != this) {
+    stream.owner = this;
+    std::uint64_t id = next_stream_.fetch_add(1, std::memory_order_relaxed);
+    stream.state = seed_ ^ (0xd1342543de82ef95ULL * (id + 1));
+  }
+  std::uint64_t draw = splitmix64(stream.state);
+  int roll = static_cast<int>(draw & 0xff);
+  if (roll < profile_.yield_weight) {
+    std::this_thread::yield();
+  } else if (roll < profile_.yield_weight + profile_.spin_weight) {
+    int spins = static_cast<int>((draw >> 8) %
+                                 static_cast<std::uint64_t>(profile_.max_spin)) +
+                1;
+    for (volatile int i = 0; i < spins; i = i + 1) {
+    }
+  } else if (roll <
+             profile_.yield_weight + profile_.spin_weight +
+                 profile_.sleep_weight) {
+    int micros =
+        static_cast<int>((draw >> 8) %
+                         static_cast<std::uint64_t>(profile_.max_sleep_micros)) +
+        1;
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+  // else: pass through.
+}
+
+ScheduleFuzzerScope::ScheduleFuzzerScope(std::uint64_t seed,
+                                         ScheduleFuzzer::Profile profile)
+    : fuzzer_(seed, profile) {
+  g_global_observer.store(&fuzzer_, std::memory_order_release);
+}
+
+ScheduleFuzzerScope::~ScheduleFuzzerScope() {
+  g_global_observer.store(nullptr, std::memory_order_seq_cst);
+  // Quiesce: long-lived threads (scheduler workers) may still be inside
+  // fuzzer_.on_schedule_point(); the fuzzer lives on this stack frame, so
+  // do not return until every in-flight call has drained.
+  while (g_global_observer_users.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+int fuzz_seed_count(int dflt) {
+  if (const char* env = std::getenv("PARHULL_FUZZ_SEEDS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return dflt;
+}
+
+}  // namespace parhull::testing

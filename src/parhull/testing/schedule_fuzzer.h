@@ -1,0 +1,73 @@
+// Seeded schedule fuzzer: a global ScheduleObserver that randomly perturbs
+// the timing of every thread crossing a PARHULL_SCHEDULE_POINT(), so one
+// test run explores thousands of distinct steal/CAS orderings instead of
+// the few its host's natural timing produces. Decisions are drawn from a
+// per-thread SplitMix-style stream derived from (seed, thread-arrival
+// index), so a given seed replays the same per-thread decision sequences.
+//
+// Only available in PARHULL_SCHEDULE_FUZZING builds (link parhull_fuzzed).
+#pragma once
+
+#ifndef PARHULL_SCHEDULE_FUZZING
+#error "schedule_fuzzer.h requires -DPARHULL_SCHEDULE_FUZZING (parhull_fuzzed)"
+#endif
+
+#include <atomic>
+#include <cstdint>
+
+#include "parhull/testing/schedule_point.h"
+
+namespace parhull::testing {
+
+class ScheduleFuzzer final : public ScheduleObserver {
+ public:
+  struct Profile {
+    // Out of 256 draws at a point: how many yield, spin, or sleep (the
+    // remainder pass through untouched). Defaults favour yields, which are
+    // the strongest lever on oversubscribed or single-core hosts.
+    int yield_weight = 64;
+    int spin_weight = 32;
+    int sleep_weight = 8;
+    int max_spin = 64;           // busy-loop iterations
+    int max_sleep_micros = 100;  // sleep_for upper bound
+  };
+
+  explicit ScheduleFuzzer(std::uint64_t seed) : ScheduleFuzzer(seed, Profile()) {}
+  ScheduleFuzzer(std::uint64_t seed, Profile profile)
+      : seed_(seed), profile_(profile) {}
+
+  void on_schedule_point() override;
+
+  std::uint64_t points_crossed() const {
+    return points_crossed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t seed_;
+  Profile profile_;
+  std::atomic<std::uint64_t> points_crossed_{0};
+  std::atomic<std::uint64_t> next_stream_{0};
+};
+
+// RAII: installs the fuzzer in the global observer slot for the scope.
+class ScheduleFuzzerScope {
+ public:
+  explicit ScheduleFuzzerScope(std::uint64_t seed)
+      : ScheduleFuzzerScope(seed, ScheduleFuzzer::Profile()) {}
+  ScheduleFuzzerScope(std::uint64_t seed, ScheduleFuzzer::Profile profile);
+  ~ScheduleFuzzerScope();
+  ScheduleFuzzerScope(const ScheduleFuzzerScope&) = delete;
+  ScheduleFuzzerScope& operator=(const ScheduleFuzzerScope&) = delete;
+
+  ScheduleFuzzer& fuzzer() { return fuzzer_; }
+
+ private:
+  ScheduleFuzzer fuzzer_;
+};
+
+// Number of fuzzer seeds stress tests should sweep: PARHULL_FUZZ_SEEDS from
+// the environment, else `dflt`. CI sets a reduced count under sanitizers to
+// bound wall-clock.
+int fuzz_seed_count(int dflt = 64);
+
+}  // namespace parhull::testing

@@ -1,0 +1,81 @@
+// Schedule-point injection for concurrency testing.
+//
+// PARHULL_SCHEDULE_POINT() marks a point in a lock-free protocol where a
+// context switch is interesting: immediately before/after an atomic
+// transition of shared state. The concurrent modules (parallel/deque.h,
+// parallel/scheduler.cpp, containers/ridge_map.h, containers/
+// concurrent_pool.h) place one at every such transition.
+//
+// Contract:
+//   * Normal builds (PARHULL_SCHEDULE_FUZZING undefined): the macro expands
+//     to `((void)0)` — zero tokens of code, zero object-code change. The
+//     library never pays for the harness.
+//   * Harness builds (-DPARHULL_SCHEDULE_FUZZING=1, the `parhull_fuzzed`
+//     CMake target): each point consults two observer slots:
+//       - a thread-local observer (used by the InterleaveExplorer, whose
+//         logical threads are fibers multiplexed on one OS thread), then
+//       - a process-global observer (used by the ScheduleFuzzer, which
+//         perturbs every thread that crosses a point).
+//     With no observer installed a point is two relaxed loads — cheap
+//     enough that fuzzed binaries can run the full regular test suite.
+//
+// Observers must be installed/uninstalled only while their scope owns the
+// relevant threads; installation is an atomic pointer store so concurrently
+// running workers observe either the old or the new observer, never a torn
+// value.
+#pragma once
+
+#ifdef PARHULL_SCHEDULE_FUZZING
+
+#include <atomic>
+
+namespace parhull::testing {
+
+class ScheduleObserver {
+ public:
+  virtual ~ScheduleObserver() = default;
+  // Called at every schedule point crossed by a participating thread.
+  virtual void on_schedule_point() = 0;
+};
+
+// Global slot: seen by every thread (ScheduleFuzzer).
+extern std::atomic<ScheduleObserver*> g_global_observer;
+// In-flight reader count for the global slot. Threads that outlive an
+// observer's scope (scheduler workers) may be inside on_schedule_point()
+// when the scope ends; the uninstalling thread must wait for them before
+// the observer's storage is reused (hazard-pointer-style quiescence).
+extern std::atomic<int> g_global_observer_users;
+// Thread-local slot: seen only by the installing thread (InterleaveExplorer,
+// whose fibers all run on the driver's OS thread).
+extern thread_local ScheduleObserver* tl_observer;
+
+inline void schedule_point() {
+  if (ScheduleObserver* local = tl_observer) {
+    local->on_schedule_point();
+    return;
+  }
+  // seq_cst on both the user increment and the pointer load: either the
+  // uninstaller's nullptr store is visible here, or this increment is
+  // visible to its quiescence loop — never neither (store-load ordering).
+  g_global_observer_users.fetch_add(1, std::memory_order_seq_cst);
+  if (ScheduleObserver* global =
+          g_global_observer.load(std::memory_order_seq_cst)) {
+    global->on_schedule_point();
+  }
+  g_global_observer_users.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+}  // namespace parhull::testing
+
+#define PARHULL_SCHEDULE_POINT() ::parhull::testing::schedule_point()
+
+#else  // !PARHULL_SCHEDULE_FUZZING
+
+// Overridable (scripts/check_zero_cost.sh force-defines the macro empty on
+// the command line and diffs object code to prove the default really is
+// free).
+#ifndef PARHULL_SCHEDULE_POINT
+#define PARHULL_SCHEDULE_POINT() ((void)0)
+#endif
+
+#endif  // PARHULL_SCHEDULE_FUZZING

@@ -9,10 +9,25 @@
 #include "parhull/degenerate/corner_analysis.h"
 #include "parhull/degenerate/degenerate_hull3d.h"
 #include "parhull/geometry/predicates.h"
+#include "parhull/parallel/scheduler.h"
 #include "parhull/workload/generators.h"
 
 namespace parhull {
 namespace {
+
+// Canonical (face-set) fingerprint: sorted cycles of sorted faces, so two
+// hulls compare equal iff they found the same faces with the same vertices.
+std::vector<std::vector<PointId>> face_fingerprint(
+    const DegenerateHull3D& hull) {
+  std::vector<std::vector<PointId>> faces;
+  for (const auto& f : hull.faces) {
+    std::vector<PointId> cyc(f.cycle.begin(), f.cycle.end());
+    std::sort(cyc.begin(), cyc.end());
+    faces.push_back(std::move(cyc));
+  }
+  std::sort(faces.begin(), faces.end());
+  return faces;
+}
 
 void expect_valid_degenerate_hull(const DegenerateHull3D& hull,
                                   const PointSet<3>& pts) {
@@ -175,6 +190,30 @@ TEST(CornerDepth, DegenerateInputStillShallow) {
 TEST(CornerDepth, TooFewPoints) {
   PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}};
   EXPECT_FALSE(corner_dependence_depth(pts).ok);
+}
+
+TEST(DegenerateHull, DeterministicAcrossWorkerCounts) {
+  // The degeneracy-tolerant hull must produce one canonical face set no
+  // matter how wide the scheduler pool is (I1 for the Section 6 path): a
+  // cube grid full of coplanar faces and collinear edge points is where a
+  // scheduling-dependent tie-break would first diverge.
+  PointSet<3> pts;
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y)
+      for (int z = 0; z < 4; ++z)
+        pts.push_back({{static_cast<double>(x), static_cast<double>(y),
+                        static_cast<double>(z)}});
+  auto reference = degenerate_hull3d(pts);
+  ASSERT_TRUE(reference.ok);
+  EXPECT_EQ(reference.faces.size(), 6u);
+  const auto expected = face_fingerprint(reference);
+  for (int p : {1, 2, 4, 8}) {
+    Scheduler::WorkerLimit limit(p);
+    auto hull = degenerate_hull3d(pts);
+    ASSERT_TRUE(hull.ok) << "p=" << p;
+    EXPECT_EQ(face_fingerprint(hull), expected) << "p=" << p;
+    EXPECT_EQ(hull.corner_count(), reference.corner_count()) << "p=" << p;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 // Chase–Lev work-stealing deque: LIFO owner semantics, FIFO stealing,
-// no-loss no-duplication under concurrent stealing, and growth.
+// no-loss no-duplication under concurrent stealing, and growth — plus a
+// seeded schedule-fuzzed sweep that perturbs every atomic transition.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -11,6 +12,7 @@
 
 #include "parhull/parallel/deque.h"
 #include "parhull/parallel/scheduler.h"
+#include "parhull/testing/schedule_fuzzer.h"
 
 namespace parhull {
 namespace {
@@ -120,6 +122,57 @@ TEST(Deque, ConcurrentStealersNoLossNoDup) {
   while (Task* t = dq.pop()) consume(t);
   EXPECT_EQ(consumed.load(), kTasks);
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(kTasks));
+}
+
+TEST(DequeFuzzed, SeedSweepNoLossNoDup) {
+  // The ConcurrentStealersNoLossNoDup scenario again, but under the seeded
+  // schedule fuzzer: every push/pop/steal/grow transition yields, spins, or
+  // sleeps per a deterministic per-seed stream, forcing orderings a
+  // single-core host's natural timing never produces (mid-pop steals,
+  // steals across grow(), the bottom==top CAS races).
+  const int seeds = testing::fuzz_seed_count(64);
+  constexpr int kTasks = 1500;
+  constexpr int kThieves = 2;
+  std::vector<std::unique_ptr<MarkerTask>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i)
+    tasks.push_back(std::make_unique<MarkerTask>());
+  for (int seed = 0; seed < seeds; ++seed) {
+    testing::ScheduleFuzzerScope scope(0xdec00000u + static_cast<std::uint64_t>(seed));
+    WorkStealingDeque dq(8);  // small start: growth happens under contention
+    std::atomic<int> consumed{0};
+    std::atomic<bool> done{false};
+    std::mutex seen_mutex;
+    std::set<Task*> seen;
+    auto consume = [&](Task* t) {
+      std::lock_guard<std::mutex> lock(seen_mutex);
+      EXPECT_TRUE(seen.insert(t).second)
+          << "duplicate consumption, seed " << seed;
+      consumed.fetch_add(1);
+    };
+    std::vector<std::thread> thieves;
+    for (int k = 0; k < kThieves; ++k) {
+      thieves.emplace_back([&] {
+        while (!done.load(std::memory_order_acquire)) {
+          if (Task* t = dq.steal()) consume(t);
+        }
+        while (Task* t = dq.steal()) consume(t);
+      });
+    }
+    for (int i = 0; i < kTasks; ++i) {
+      dq.push(tasks[static_cast<std::size_t>(i)].get());
+      if (i % 3 == 0) {
+        if (Task* t = dq.pop()) consume(t);
+      }
+    }
+    while (Task* t = dq.pop()) consume(t);
+    done.store(true, std::memory_order_release);
+    for (auto& th : thieves) th.join();
+    while (Task* t = dq.pop()) consume(t);
+    ASSERT_EQ(consumed.load(), kTasks) << "lost tasks, seed " << seed;
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(kTasks));
+    EXPECT_GT(scope.fuzzer().points_crossed(), 0u);
+  }
 }
 
 TEST(Deque, MaybeNonempty) {

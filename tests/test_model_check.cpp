@@ -1,0 +1,228 @@
+// Exhaustive interleaving model checking of the paper's lock-free
+// protocols (Appendix A) and of the Chase–Lev deque.
+//
+// Each test enumerates ALL sequentially-consistent interleavings of two or
+// three logical threads' schedule points (see docs/CONCURRENCY.md for the
+// point-placement contract) and asserts the paper's theorem on every one:
+//   * Theorem A.1 — two InsertAndSet calls on the same ridge: exactly one
+//     returns true — for the CAS (Algorithm 4), TAS (Algorithm 5), and
+//     chained backends;
+//   * Theorem A.2 — the caller whose InsertAndSet returned false can always
+//     GetValue the partner facet, immediately, under every interleaving;
+//   * deque linearizability — concurrent push/pop/steal never lose or
+//     duplicate a task, stealing is FIFO, and a single remaining element is
+//     won by exactly one contender.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "parhull/containers/ridge_map.h"
+#include "parhull/parallel/deque.h"
+#include "parhull/parallel/scheduler.h"
+#include "parhull/testing/interleave.h"
+
+namespace parhull {
+namespace {
+
+using testing::InterleaveExplorer;
+
+RidgeKey<2> key1(PointId a) { return RidgeKey<2>::from_unsorted({a}); }
+
+template <typename M>
+class ModelCheckMap : public ::testing::Test {};
+
+// D = 2 (single-point ridge keys) keeps the per-thread step counts — and
+// with them the interleaving count — small without losing any protocol
+// structure.
+using MapTypes =
+    ::testing::Types<RidgeMapCAS<2>, RidgeMapTAS<2>, RidgeMapChained<2>>;
+TYPED_TEST_SUITE(ModelCheckMap, MapTypes);
+
+TYPED_TEST(ModelCheckMap, TheoremA1EveryInterleaving) {
+  std::optional<TypeParam> map;
+  const auto key = key1(7);
+  std::array<bool, 2> won{};
+  InterleaveExplorer explorer;
+  auto result = explorer.explore(
+      [&] {
+        map.emplace(1);
+        won = {false, false};
+      },
+      {[&] { won[0] = map->insert_and_set(key, 100); },
+       [&] { won[1] = map->insert_and_set(key, 200); }},
+      [&] {
+        EXPECT_NE(won[0], won[1])
+            << "Theorem A.1 violated: winners = " << won[0] << "," << won[1];
+        return won[0] != won[1];
+      });
+  EXPECT_TRUE(result.complete) << "state space not exhausted";
+  EXPECT_EQ(result.violations, 0u);
+  // Both serial orders plus genuine interleavings must have been covered.
+  EXPECT_GT(result.executions, 2u);
+  this->RecordProperty("executions", static_cast<int>(result.executions));
+}
+
+TYPED_TEST(ModelCheckMap, TheoremA2EveryInterleaving) {
+  std::optional<TypeParam> map;
+  const auto key = key1(3);
+  constexpr FacetId kValue0 = 41, kValue1 = 97;
+  std::array<bool, 2> won{};
+  std::array<FacetId, 2> partner{};
+  InterleaveExplorer explorer;
+  auto result = explorer.explore(
+      [&] {
+        map.emplace(1);
+        won = {false, false};
+        partner = {kInvalidFacet, kInvalidFacet};
+      },
+      {[&] {
+         won[0] = map->insert_and_set(key, kValue0);
+         // Theorem A.2: a failed insert can immediately fetch the partner.
+         if (!won[0]) partner[0] = map->get_value(key, kValue0);
+       },
+       [&] {
+         won[1] = map->insert_and_set(key, kValue1);
+         if (!won[1]) partner[1] = map->get_value(key, kValue1);
+       }},
+      [&] {
+        bool ok = won[0] != won[1];
+        if (won[0]) {
+          ok = ok && partner[1] == kValue0;
+          EXPECT_EQ(partner[1], kValue0);
+        } else {
+          ok = ok && partner[0] == kValue1;
+          EXPECT_EQ(partner[0], kValue1);
+        }
+        return ok;
+      });
+  EXPECT_TRUE(result.complete) << "state space not exhausted";
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.executions, 2u);
+  this->RecordProperty("executions", static_cast<int>(result.executions));
+}
+
+// ---------------------------------------------------------------------------
+// Chase–Lev deque linearizability.
+// ---------------------------------------------------------------------------
+
+class MarkerTask final : public Task {
+ protected:
+  void execute() override {}
+};
+
+TEST(ModelCheckDeque, OwnerVsThiefNoLossNoDup) {
+  std::optional<WorkStealingDeque> dq;
+  MarkerTask a, b;
+  std::array<Task*, 3> popped{};
+  Task* stolen = nullptr;
+  InterleaveExplorer explorer;
+  auto result = explorer.explore(
+      [&] {
+        dq.emplace(8);
+        popped = {nullptr, nullptr, nullptr};
+        stolen = nullptr;
+      },
+      {[&] {
+         dq->push(&a);
+         dq->push(&b);
+         popped[0] = dq->pop();
+         popped[1] = dq->pop();
+         popped[2] = dq->pop();
+       },
+       [&] { stolen = dq->steal(); }},
+      [&] {
+        // Every pushed task is consumed exactly once, by pop or steal.
+        std::multiset<Task*> consumed;
+        for (Task* t : popped)
+          if (t != nullptr) consumed.insert(t);
+        if (stolen != nullptr) consumed.insert(stolen);
+        bool ok = consumed.count(&a) == 1 && consumed.count(&b) == 1 &&
+                  consumed.size() == 2;
+        EXPECT_EQ(consumed.count(&a), 1u);
+        EXPECT_EQ(consumed.count(&b), 1u);
+        EXPECT_EQ(consumed.size(), 2u);
+        // A thief can only ever take the oldest element (FIFO end).
+        bool fifo = stolen == nullptr || stolen == &a;
+        EXPECT_TRUE(fifo) << "thief stole the owner end";
+        return ok && fifo;
+      });
+  EXPECT_TRUE(result.complete) << "state space not exhausted";
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.executions, 10u);
+  this->RecordProperty("executions", static_cast<int>(result.executions));
+}
+
+TEST(ModelCheckDeque, LastElementWonExactlyOnce) {
+  // The classic Chase–Lev razor edge: one element left, the owner pops
+  // while two thieves steal. Exactly one of the three may win it.
+  std::optional<WorkStealingDeque> dq;
+  MarkerTask a;
+  Task* popped = nullptr;
+  std::array<Task*, 2> stolen{};
+  InterleaveExplorer explorer;
+  auto result = explorer.explore(
+      [&] {
+        dq.emplace(8);
+        dq->push(&a);
+        popped = nullptr;
+        stolen = {nullptr, nullptr};
+      },
+      {[&] { popped = dq->pop(); },
+       [&] { stolen[0] = dq->steal(); },
+       [&] { stolen[1] = dq->steal(); }},
+      [&] {
+        int winners = (popped != nullptr) + (stolen[0] != nullptr) +
+                      (stolen[1] != nullptr);
+        EXPECT_EQ(winners, 1) << "single element consumed " << winners
+                              << " times";
+        return winners == 1;
+      });
+  EXPECT_TRUE(result.complete) << "state space not exhausted";
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.executions, 10u);
+  this->RecordProperty("executions", static_cast<int>(result.executions));
+}
+
+TEST(ModelCheckDeque, GrowthUnderConcurrentSteal) {
+  // Buffer growth (capacity 2 → 4) while a thief reads through the old
+  // buffer pointer: no element may be lost or duplicated.
+  std::optional<WorkStealingDeque> dq;
+  MarkerTask t0, t1, t2;
+  std::array<Task*, 3> popped{};
+  Task* stolen = nullptr;
+  InterleaveExplorer explorer;
+  auto result = explorer.explore(
+      [&] {
+        dq.emplace(2);
+        popped = {nullptr, nullptr, nullptr};
+        stolen = nullptr;
+      },
+      {[&] {
+         dq->push(&t0);
+         dq->push(&t1);
+         dq->push(&t2);  // forces grow()
+         popped[0] = dq->pop();
+         popped[1] = dq->pop();
+         popped[2] = dq->pop();
+       },
+       [&] { stolen = dq->steal(); }},
+      [&] {
+        std::multiset<Task*> consumed;
+        for (Task* t : popped)
+          if (t != nullptr) consumed.insert(t);
+        if (stolen != nullptr) consumed.insert(stolen);
+        bool ok = consumed.size() == 3 && consumed.count(&t0) == 1 &&
+                  consumed.count(&t1) == 1 && consumed.count(&t2) == 1;
+        EXPECT_TRUE(ok) << "growth lost or duplicated a task";
+        return ok;
+      });
+  EXPECT_TRUE(result.complete) << "state space not exhausted";
+  EXPECT_EQ(result.violations, 0u);
+  this->RecordProperty("executions", static_cast<int>(result.executions));
+}
+
+}  // namespace
+}  // namespace parhull

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "parhull/core/parallel_hull.h"
@@ -18,6 +19,15 @@
 
 namespace parhull {
 namespace {
+
+// The worker-count determinism tests below exercise WorkerLimit(1..8); on a
+// host whose hardware_concurrency() is small the pool would otherwise cap
+// below 8 and the limits collapse together. Force an 8-worker pool before
+// the first Scheduler::get(); an explicit environment setting still wins.
+const bool kForcedWorkers = [] {
+  setenv("PARHULL_NUM_WORKERS", "8", /*overwrite=*/0);
+  return true;
+}();
 
 template <int D, template <int> class MapT>
 std::vector<std::array<PointId, static_cast<std::size_t>(D)>> all_created(
@@ -285,6 +295,59 @@ TEST(ParallelHull, WorksUnderWorkerLimit) {
   auto rl = limited.run(pts);
   EXPECT_EQ(all_created(unlimited), all_created(limited));
   EXPECT_EQ(ru.dependence_depth, rl.dependence_depth);
+}
+
+// ---------------------------------------------------------------------------
+// I1 across worker counts: the created facet set, alive set, and counters
+// are a function of the input permutation alone — never of how many workers
+// raced over it.
+// ---------------------------------------------------------------------------
+
+template <int D>
+void expect_identical_across_worker_counts(PointSet<D> pts) {
+  ASSERT_TRUE(prepare_input<D>(pts));
+  SequentialHull<D> seq;
+  auto sres = seq.run(pts);
+  ASSERT_TRUE(sres.ok);
+  const auto reference = all_created_seq(seq);
+  for (int p : {1, 2, 4, 8}) {
+    Scheduler::WorkerLimit limit(p);
+    ParallelHull<D> par;
+    auto pres = par.run(pts);
+    ASSERT_TRUE(pres.ok) << "p=" << p;
+    EXPECT_EQ(all_created(par), reference) << "created set differs at p=" << p;
+    EXPECT_EQ(pres.facets_created, sres.facets_created) << "p=" << p;
+    EXPECT_EQ(pres.visibility_tests, sres.visibility_tests) << "p=" << p;
+    EXPECT_EQ(pres.total_conflicts, sres.total_conflicts) << "p=" << p;
+    std::vector<std::array<PointId, static_cast<std::size_t>(D)>> seq_alive;
+    for (FacetId id : sres.hull)
+      seq_alive.push_back(canonical_vertices(seq.facet(id)));
+    std::sort(seq_alive.begin(), seq_alive.end());
+    EXPECT_EQ(alive_tuples(par, pres.hull), seq_alive)
+        << "alive set differs at p=" << p;
+  }
+}
+
+TEST(WorkerCountDeterminism, Identical2D) {
+  expect_identical_across_worker_counts<2>(uniform_ball<2>(3000, 201));
+}
+
+TEST(WorkerCountDeterminism, Identical3D) {
+  expect_identical_across_worker_counts<3>(uniform_ball<3>(1200, 202));
+}
+
+TEST(WorkerCountDeterminism, DegenerateGrid3D) {
+  // A 5x5x5 integer grid: every orientation test on a grid plane ties
+  // (orient == 0), collinear triples abound, and 98 of 125 points are
+  // non-extreme — the degeneracy-heavy shape where a scheduling-dependent
+  // tie-break would first show up.
+  PointSet<3> pts;
+  for (int x = 0; x < 5; ++x)
+    for (int y = 0; y < 5; ++y)
+      for (int z = 0; z < 5; ++z)
+        pts.push_back({{static_cast<double>(x), static_cast<double>(y),
+                        static_cast<double>(z)}});
+  expect_identical_across_worker_counts<3>(std::move(pts));
 }
 
 TEST(ParallelHull, BuriedPlusReplacedAccounting) {

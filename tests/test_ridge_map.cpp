@@ -4,12 +4,15 @@
 // chained map.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <optional>
 #include <vector>
 
 #include "parhull/common/random.h"
 #include "parhull/containers/ridge_map.h"
 #include "parhull/parallel/parallel_for.h"
+#include "parhull/testing/interleave.h"
 
 namespace parhull {
 namespace {
@@ -102,6 +105,67 @@ TYPED_TEST(RidgeMapTest, CollisionHeavyKeys) {
     if (!map.insert_and_set(key2(i, i + 7), 2 * i + 1)) ++losses[i];
   }
   for (PointId i = 0; i < n; ++i) EXPECT_EQ(losses[i], 1);
+}
+
+TYPED_TEST(RidgeMapTest, ModelCheckedI5UnderCollisions) {
+  // Invariant I5, machine-checked over EVERY interleaving: for a contested
+  // ridge, two concurrent InsertAndSet calls produce exactly one `true`,
+  // and the loser's GetValue returns the winner's facet — swept across
+  // table sizes and with colliding keys pre-seeded into the probe chain /
+  // bucket so the race runs through occupied slots, not a pristine table.
+  for (std::size_t expected : {std::size_t{0}, std::size_t{8}}) {
+    for (int prefill : {0, 1}) {
+      const auto contested = key2(1, 2);
+      // Find `prefill` distinct keys that land on the contested key's
+      // home slot for this table size.
+      TypeParam probe_map(expected);
+      const std::size_t mask = probe_map.capacity() - 1;
+      const std::size_t target = contested.hash() & mask;
+      std::vector<RidgeKey<3>> colliders;
+      for (PointId b = 1000000; static_cast<int>(colliders.size()) < prefill;
+           ++b) {
+        auto k = key2(999, b);
+        if ((k.hash() & mask) == target) colliders.push_back(k);
+      }
+
+      std::optional<TypeParam> map;
+      constexpr FacetId kValue0 = 500, kValue1 = 600;
+      std::array<bool, 2> won{};
+      std::array<FacetId, 2> partner{};
+      testing::InterleaveExplorer explorer;
+      auto result = explorer.explore(
+          [&] {
+            map.emplace(expected);
+            for (std::size_t j = 0; j < colliders.size(); ++j) {
+              ASSERT_TRUE(map->insert_and_set(colliders[j],
+                                              static_cast<FacetId>(900 + j)));
+            }
+            won = {false, false};
+            partner = {kInvalidFacet, kInvalidFacet};
+          },
+          {[&] {
+             won[0] = map->insert_and_set(contested, kValue0);
+             if (!won[0]) partner[0] = map->get_value(contested, kValue0);
+           },
+           [&] {
+             won[1] = map->insert_and_set(contested, kValue1);
+             if (!won[1]) partner[1] = map->get_value(contested, kValue1);
+           }},
+          [&] {
+            bool ok = won[0] != won[1];
+            if (won[0]) ok = ok && partner[1] == kValue0;
+            if (won[1]) ok = ok && partner[0] == kValue1;
+            return ok;
+          });
+      EXPECT_TRUE(result.complete)
+          << TypeParam::name() << " expected=" << expected
+          << " prefill=" << prefill << ": state space not exhausted";
+      EXPECT_EQ(result.violations, 0u)
+          << TypeParam::name() << " expected=" << expected
+          << " prefill=" << prefill;
+      EXPECT_GT(result.executions, 2u);
+    }
+  }
 }
 
 TEST(RidgeKey, HashAndEquality) {

@@ -4,15 +4,26 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <vector>
 
 #include "parhull/common/random.h"
 #include "parhull/parallel/parallel_for.h"
 #include "parhull/parallel/primitives.h"
 #include "parhull/parallel/scheduler.h"
+#include "parhull/testing/schedule_fuzzer.h"
 
 namespace parhull {
 namespace {
+
+// CI hosts (and this one) can have hardware_concurrency() == 1, which would
+// give the scheduler singleton a single worker and make every "stress" test
+// sequential. Force a real pool before the first Scheduler::get(); an
+// explicit PARHULL_NUM_WORKERS in the environment still wins.
+const bool kForcedWorkers = [] {
+  setenv("PARHULL_NUM_WORKERS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 TEST(SchedulerStress, DeepNestedForkJoin) {
   // A fork chain ~1000 deep: one side recurses, the other is a leaf.
@@ -50,6 +61,62 @@ TEST(SchedulerStress, IrregularTaskTree) {
   };
   Grow{nodes}(42, 12);
   EXPECT_GT(nodes.load(), 1u);
+}
+
+TEST(SchedulerStressFuzzed, DeepForkJoinSeedSweep) {
+  // The DeepNestedForkJoin chain under the schedule fuzzer: injected
+  // yields/sleeps at every deque and join transition push the stolen-child
+  // / helped-join paths that natural timing rarely takes. Any lost or
+  // double-run task shows up as a wrong leaf count.
+  const int seeds = testing::fuzz_seed_count(64);
+  constexpr int kDepth = 200;
+  struct Rec {
+    std::atomic<int>& leaves;
+    void operator()(int depth) const {
+      if (depth == 0) {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      par_do([&] { (*this)(depth - 1); },
+             [&] { leaves.fetch_add(1, std::memory_order_relaxed); });
+    }
+  };
+  for (int seed = 0; seed < seeds; ++seed) {
+    testing::ScheduleFuzzerScope scope(0xf0a50000u + static_cast<std::uint64_t>(seed));
+    std::atomic<int> leaves{0};
+    Rec{leaves}(kDepth);
+    ASSERT_EQ(leaves.load(), kDepth + 1) << "seed " << seed;
+    EXPECT_GT(scope.fuzzer().points_crossed(), 0u);
+  }
+}
+
+TEST(SchedulerStressFuzzed, IrregularTreeSeedSweep) {
+  // Irregular fan-out tree with a deterministic shape: the node count must
+  // match the unfuzzed run for every fuzzer seed (no lost or repeated
+  // subtree), exercising steal-heavy schedules.
+  struct Grow {
+    std::atomic<std::uint64_t>& nodes;
+    void operator()(std::uint64_t seed, int depth) const {
+      nodes.fetch_add(1, std::memory_order_relaxed);
+      if (depth == 0) return;
+      Rng rng(seed);
+      int kids = static_cast<int>(rng.next_below(4));  // 0..3 children
+      std::vector<std::uint64_t> seeds;
+      for (int k = 0; k < kids; ++k) seeds.push_back(rng.next_u64());
+      parallel_for(0, seeds.size(),
+                   [&](std::size_t k) { (*this)(seeds[k], depth - 1); }, 1);
+    }
+  };
+  std::atomic<std::uint64_t> expected{0};
+  Grow{expected}(19, 10);  // seed 19 -> 379 nodes
+  ASSERT_GT(expected.load(), 100u);
+  const int seeds = testing::fuzz_seed_count(64);
+  for (int seed = 0; seed < seeds; ++seed) {
+    testing::ScheduleFuzzerScope scope(0x17ee0000u + static_cast<std::uint64_t>(seed));
+    std::atomic<std::uint64_t> nodes{0};
+    Grow{nodes}(19, 10);
+    ASSERT_EQ(nodes.load(), expected.load()) << "seed " << seed;
+  }
 }
 
 TEST(SchedulerStress, RepeatedWorkerLimitCycles) {

@@ -1,0 +1,81 @@
+// Sanitizer-wiring self-test (no gtest: the planted mode must fail via the
+// sanitizer's own exit path, not an assertion).
+//
+//   tsan_selftest               clean workload (atomics) — always exits 0.
+//   tsan_selftest --plant-race  genuine data race on a plain int from two
+//                               threads. Under -fsanitize=thread this exits
+//                               non-zero (TSan's default exitcode 66); ctest
+//                               registers it WILL_FAIL, so a green run
+//                               proves the TSan build actually has teeth.
+//                               Without TSan the race is benign-by-luck and
+//                               the binary exits 0 (the test is only
+//                               registered in TSan builds).
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "parhull/testing/schedule_fuzzer.h"
+
+namespace {
+
+constexpr int kRounds = 64;
+constexpr int kIncrementsPerThread = 1000;
+
+int run_clean() {
+  std::atomic<int> counter{0};
+  std::thread a([&] {
+    for (int i = 0; i < kIncrementsPerThread; ++i) {
+      PARHULL_SCHEDULE_POINT();
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kIncrementsPerThread; ++i) {
+      PARHULL_SCHEDULE_POINT();
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  a.join();
+  b.join();
+  if (counter.load() != 2 * kIncrementsPerThread) {
+    std::fprintf(stderr, "clean workload lost updates: %d\n", counter.load());
+    return 1;
+  }
+  return 0;
+}
+
+int run_planted() {
+  // Unsynchronized read-modify-write from two threads: a real data race.
+  // The fuzzer widens the racy window so TSan observes the conflicting
+  // accesses even on a single-core host.
+  volatile int racy = 0;
+  std::thread a([&] {
+    for (int i = 0; i < kIncrementsPerThread; ++i) {
+      PARHULL_SCHEDULE_POINT();
+      racy = racy + 1;
+    }
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kIncrementsPerThread; ++i) {
+      PARHULL_SCHEDULE_POINT();
+      racy = racy + 1;
+    }
+  });
+  a.join();
+  b.join();
+  return 0;  // if TSan did not abort us, exit clean (WILL_FAIL handles it)
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool plant = argc > 1 && std::strcmp(argv[1], "--plant-race") == 0;
+  for (int round = 0; round < kRounds; ++round) {
+    parhull::testing::ScheduleFuzzerScope scope(
+        static_cast<std::uint64_t>(round) + 1);
+    int rc = plant ? run_planted() : run_clean();
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
