@@ -88,6 +88,40 @@ int main(int argc, char** argv) {
     }
     bench::emit(opt, probes);
   }
+
+  // Sizing contract (docs/ERRORS.md): slots/key per backend and the load
+  // factor that results at the expected-key estimate. The probing maps
+  // must size at <= 1/4 load (CAS stores 1 entry/key at 4 slots/key, TAS
+  // stores 2 at 8); the chained map's "capacity" is a bucket-count hint.
+  {
+    Table sizing({"backend", "slots/key", "capacity(keys)",
+                  "entries/key", "load at estimate"});
+    sizing.row()
+        .cell("Algorithm 4 (CAS)")
+        .cell(static_cast<std::uint64_t>(RidgeMapCAS<3>::kSlotsPerKey))
+        .cell(RidgeMapCAS<3>(keys).capacity())
+        .cell(static_cast<std::uint64_t>(1))
+        .cell(static_cast<double>(keys) /
+                  static_cast<double>(RidgeMapCAS<3>(keys).capacity()),
+              3);
+    sizing.row()
+        .cell("Algorithm 5 (TAS)")
+        .cell(static_cast<std::uint64_t>(RidgeMapTAS<3>::kSlotsPerKey))
+        .cell(RidgeMapTAS<3>(keys).capacity())
+        .cell(static_cast<std::uint64_t>(2))
+        .cell(static_cast<double>(2 * keys) /
+                  static_cast<double>(RidgeMapTAS<3>(keys).capacity()),
+              3);
+    sizing.row()
+        .cell("chained (buckets)")
+        .cell(static_cast<std::uint64_t>(RidgeMapChained<3>::kSlotsPerKey))
+        .cell(RidgeMapChained<3>(keys).capacity())
+        .cell(static_cast<std::uint64_t>(1))
+        .cell(static_cast<double>(keys) /
+                  static_cast<double>(RidgeMapChained<3>(keys).capacity()),
+              3);
+    bench::emit(opt, sizing);
+  }
   std::cout << "\nPASS criterion: every backend returns exactly one "
                "second-arrival per key (Theorem A.1) and finds the partner "
                "(Theorem A.2); probe counts stay O(1) at the design load."

@@ -34,6 +34,15 @@ int main(int argc, char** argv) {
 
   ParallelHull<3> hull;
   auto res = hull.run(pts);
+  if (!res.ok) {
+    std::cerr << "hull run failed: " << to_string(res.status) << "\n";
+    return 1;
+  }
+  if (res.regrows > 0 || res.used_chained_fallback) {
+    std::cout << "ridge table regrown " << res.regrows << "x"
+              << (res.used_chained_fallback ? ", chained fallback used" : "")
+              << "\n";
+  }
   std::cout << "hull facets:       " << res.hull.size() << "\n"
             << "facets created:    " << res.facets_created << "\n"
             << "visibility tests:  " << res.visibility_tests << "\n"

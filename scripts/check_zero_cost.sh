@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Proves PARHULL_SCHEDULE_POINT() costs nothing in normal builds.
+# Proves PARHULL_SCHEDULE_POINT() and PARHULL_FAULT_POINT() cost nothing in
+# normal builds.
 #
-# Every schedule-point-bearing translation unit is compiled twice with
-# identical flags: once with the stock header (the macro expands to
-# `((void)0)`) and once with the macro force-defined to expand to nothing
-# at all. The object files must be byte-identical — any divergence means
-# the harness instrumentation leaks into production code.
+# Every instrumentation-bearing translation unit is compiled twice with
+# identical flags: once with the stock headers (the schedule macro expands
+# to `((void)0)`, the fault macro to `(false)`) and once with both macros
+# force-defined on the command line to those same inert expansions. The
+# object files must be byte-identical — any divergence means the harness
+# instrumentation leaks into production code.
 #
 # Usage: scripts/check_zero_cost.sh   (from anywhere inside the repo)
 set -euo pipefail
@@ -17,8 +19,9 @@ FLAGS=(-std=c++20 -O2 -Wall -Wextra -Isrc -c)
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-# Headers with schedule points are covered via a probe TU that instantiates
-# the deque, the three ridge-map backends, and the concurrent pool.
+# Headers with schedule/fault points are covered via a probe TU that
+# instantiates the deque, the three ridge-map backends, and the concurrent
+# pool (including the fault-pointed try_allocate path).
 cat > "$tmp/probe.cpp" <<'EOF'
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/containers/ridge_map.h"
@@ -42,8 +45,11 @@ int probe() {
   sum += cas.insert_and_set(key, 1) + tas.insert_and_set(key, 1) +
          chained.insert_and_set(key, 1);
   sum += static_cast<int>(cas.get_value(key, 2));
+  sum += static_cast<int>(cas.failed()) + static_cast<int>(chained.failed());
   ConcurrentPool<int> pool;
   sum += static_cast<int>(pool.allocate());
+  std::uint32_t id = 0;
+  sum += pool.try_allocate(id) ? static_cast<int>(id) : -1;
   return sum;
 }
 }  // namespace parhull
@@ -53,12 +59,13 @@ fail=0
 for tu in "$tmp/probe.cpp" src/parhull/parallel/scheduler.cpp; do
   base=$(basename "$tu" .cpp)
   "$CXX" "${FLAGS[@]}" "$tu" -o "$tmp/$base.stock.o"
-  "$CXX" "${FLAGS[@]}" -D'PARHULL_SCHEDULE_POINT()=' "$tu" \
+  "$CXX" "${FLAGS[@]}" -D'PARHULL_SCHEDULE_POINT()=' \
+         -D'PARHULL_FAULT_POINT(site)=false' "$tu" \
          -o "$tmp/$base.forced_empty.o"
   if cmp -s "$tmp/$base.stock.o" "$tmp/$base.forced_empty.o"; then
-    echo "OK   $base: object code identical with schedule points removed"
+    echo "OK   $base: object code identical with schedule+fault points removed"
   else
-    echo "FAIL $base: schedule points changed the object code" >&2
+    echo "FAIL $base: instrumentation points changed the object code" >&2
     fail=1
   fi
 done

@@ -1,0 +1,48 @@
+// Typed failure channel for the hull pipeline (see docs/ERRORS.md).
+//
+// Every public entry point that can fail on *input* — as opposed to an
+// internal invariant violation, which stays a fatal PARHULL_CHECK — reports
+// one of these instead of aborting the process:
+//
+//   kOk                run completed; results are valid.
+//   kCapacityExceeded  a fixed-capacity ridge table overflowed (or its
+//                      requested size overflowed std::size_t). Retrying with
+//                      a larger `expected_keys`, or the chained backend,
+//                      succeeds; ParallelHull's regrow driver does both
+//                      automatically.
+//   kPoolExhausted     a ConcurrentPool ran out of id space. Not recoverable
+//                      by resizing a table; the input is too large for the
+//                      pool's 2^28-element limit (or a fault was injected).
+//   kDegenerateInput   the input's geometry violates the algorithm's
+//                      general-position requirement (affine dimension < D,
+//                      degenerate facet discovered mid-run, ...). Re-running
+//                      cannot help; perturb or use the Section 6 pipeline.
+//   kBadInput          a precondition on the arguments is violated (too few
+//                      points/half-spaces, non-positive offset, unbounded
+//                      intersection, ...).
+#pragma once
+
+#include <cstdint>
+
+namespace parhull {
+
+enum class HullStatus : std::uint8_t {
+  kOk = 0,
+  kCapacityExceeded,
+  kPoolExhausted,
+  kDegenerateInput,
+  kBadInput,
+};
+
+inline const char* to_string(HullStatus s) {
+  switch (s) {
+    case HullStatus::kOk: return "ok";
+    case HullStatus::kCapacityExceeded: return "capacity_exceeded";
+    case HullStatus::kPoolExhausted: return "pool_exhausted";
+    case HullStatus::kDegenerateInput: return "degenerate_input";
+    case HullStatus::kBadInput: return "bad_input";
+  }
+  return "unknown";
+}
+
+}  // namespace parhull

@@ -10,6 +10,7 @@
 
 #include "parhull/common/assert.h"
 #include "parhull/common/types.h"
+#include "parhull/testing/fault_point.h"
 #include "parhull/testing/schedule_point.h"
 
 namespace parhull {
@@ -38,12 +39,18 @@ class ConcurrentPool {
   ConcurrentPool(const ConcurrentPool&) = delete;
   ConcurrentPool& operator=(const ConcurrentPool&) = delete;
 
-  // Allocate one default-constructed element; returns its dense index.
-  std::uint32_t allocate() {
+  // Allocate one default-constructed element into `id` (its dense index).
+  // Returns false when the id space is exhausted (kMaxBlocks * kBlockSize
+  // ids handed out, or a harness-injected exhaustion fault) — the pool
+  // reports instead of aborting, so callers can surface
+  // HullStatus::kPoolExhausted. Ids claimed by failed calls are burned; the
+  // pool stays safe to read but permanently full.
+  bool try_allocate(std::uint32_t& id) {
     PARHULL_SCHEDULE_POINT();  // before claiming an id
-    std::uint32_t id = next_.fetch_add(1, std::memory_order_relaxed);
+    if (PARHULL_FAULT_POINT(kPoolAllocate)) return false;
+    id = next_.fetch_add(1, std::memory_order_relaxed);
     std::size_t block_index = id >> kBlockBits;
-    PARHULL_CHECK_MSG(block_index < kMaxBlocks, "ConcurrentPool exhausted");
+    if (block_index >= kMaxBlocks) return false;
     // No schedule point past here: install_block holds grow_mutex_, and the
     // schedule-point contract forbids suspension while a lock is held (a
     // model-checker fiber parked inside a critical section would deadlock
@@ -52,6 +59,14 @@ class ConcurrentPool {
     if (block == nullptr) {
       block = install_block(block_index);
     }
+    return true;
+  }
+
+  // Allocate-or-die convenience for callers that have pre-validated their
+  // size bounds; exhaustion here is an internal invariant violation.
+  std::uint32_t allocate() {
+    std::uint32_t id = 0;
+    PARHULL_CHECK_MSG(try_allocate(id), "ConcurrentPool exhausted");
     return id;
   }
 

@@ -7,35 +7,89 @@
 // responsible for processing the ridge — can then use get_value to fetch
 // the facet inserted by the other call.
 //
-// Three backends:
+// Three backends, with per-backend sizing contracts (see capacity()):
 //   RidgeMapCAS     — Algorithm 4: linear probing, CompareAndSwap on slot
-//                     pointers. The losing inserter does not store.
+//                     pointers. The losing inserter does not store, so one
+//                     entry per key; tables are sized at kSlotsPerKey = 4
+//                     slots per expected key (load factor <= 1/4 when the
+//                     estimate holds).
 //   RidgeMapTAS     — Algorithm 5: linear probing using only TestAndSet
 //                     (weaker primitive, binary-forking model default).
-//                     Both inserters store; a two-pass protocol decides.
+//                     BOTH inserters store, so two entries per key; tables
+//                     are sized at kSlotsPerKey = 8 slots per expected key
+//                     (the same <= 1/4 load factor at twice the entries).
 //   RidgeMapChained — lock-free chaining with unbounded capacity (not in
 //                     the paper; used for high dimensions where the ridge
-//                     count is hard to bound a priori).
+//                     count is hard to bound a priori). kSlotsPerKey = 2
+//                     BUCKETS per expected key, a hint only — the chains
+//                     absorb any excess, so this backend cannot overflow.
+//
+// Failure model: the fixed-capacity backends cannot grow in place (readers
+// hold raw slot references), so on probe overflow, size_t overflow in the
+// requested capacity, or pool exhaustion they latch a HullStatus in
+// failure() and make insert_and_set return true (claim-first-inserter).
+// Claiming first means no caller ever calls get_value for the failed key,
+// so the failure is contained; the driver (ParallelHull) observes
+// failure(), discards the run, and regrows. get_value on a key whose
+// insert returned false remains an internal invariant and stays fatal.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "parhull/common/assert.h"
+#include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/containers/ridge_key.h"
+#include "parhull/testing/fault_point.h"
 #include "parhull/testing/schedule_point.h"
 
 namespace parhull {
 
 namespace detail {
+// Smallest power of two >= x, or 0 if that power exceeds SIZE_MAX (the
+// naive `while (p < x) p <<= 1` loops forever once x > SIZE_MAX/2).
 inline std::size_t next_pow2(std::size_t x) {
+  constexpr std::size_t kMaxPow2 = ~(std::numeric_limits<std::size_t>::max() >> 1);
+  if (x > kMaxPow2) return 0;
   std::size_t p = 1;
   while (p < x) p <<= 1;
   return p;
 }
+
+// Overflow-checked table sizing: next_pow2(keys * slots_per_key + 64), or 0
+// when the product or the rounding overflows std::size_t. Callers surface
+// 0 as HullStatus::kCapacityExceeded instead of allocating a wrapped size.
+inline std::size_t checked_table_slots(std::size_t keys,
+                                       std::size_t slots_per_key) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (slots_per_key != 0 && keys > (kMax - 64) / slots_per_key) return 0;
+  return next_pow2(keys * slots_per_key + 64);
+}
+}  // namespace detail
+
+// Shared failure latch: keeps the first failure status; later failures of a
+// different kind do not overwrite it.
+namespace detail {
+class FailureLatch {
+ public:
+  void mark(HullStatus s) {
+    HullStatus expected = HullStatus::kOk;
+    status_.compare_exchange_strong(expected, s, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+  }
+  HullStatus status() const { return status_.load(std::memory_order_acquire); }
+  bool failed() const { return status() != HullStatus::kOk; }
+  // Re-arm for a fresh attempt. Only safe when no concurrent markers exist
+  // (the owning driver calls this between attempts, after quiescence).
+  void reset() { status_.store(HullStatus::kOk, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<HullStatus> status_{HullStatus::kOk};
+};
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -46,10 +100,19 @@ class RidgeMapCAS {
  public:
   using Key = RidgeKey<D>;
 
-  // expected_keys: expected number of distinct ridges; the table is sized
-  // at 4x for a low load factor.
+  // One stored entry per key (the losing inserter does not store); 4 slots
+  // per expected key keeps the load factor at or below 1/4.
+  static constexpr std::size_t kSlotsPerKey = 4;
+
+  // expected_keys: expected number of distinct ridges. A request whose slot
+  // count overflows std::size_t constructs an empty map already latched to
+  // kCapacityExceeded (check failed() before use).
   explicit RidgeMapCAS(std::size_t expected_keys) {
-    capacity_ = detail::next_pow2(expected_keys * 4 + 64);
+    capacity_ = detail::checked_table_slots(expected_keys, kSlotsPerKey);
+    if (capacity_ == 0) {
+      failure_.mark(HullStatus::kCapacityExceeded);
+      return;
+    }
     mask_ = capacity_ - 1;
     slots_ = std::make_unique<std::atomic<Entry*>[]>(capacity_);
     for (std::size_t i = 0; i < capacity_; ++i) {
@@ -59,8 +122,15 @@ class RidgeMapCAS {
 
   // Returns true if this call inserted the first value for the key; false
   // if the key was already present (the caller is the ridge's second facet
-  // and owns processing it).
+  // and owns processing it). On table overflow or pool exhaustion the map
+  // latches failure() and returns true — the key is NOT stored, but since
+  // the caller believes it arrived first it will never GetValue it, so the
+  // failed run stays crash-free until the driver observes failure().
   bool insert_and_set(const Key& key, FacetId value) {
+    if (capacity_ == 0 || PARHULL_FAULT_POINT(kRidgeMapInsert)) {
+      failure_.mark(HullStatus::kCapacityExceeded);
+      return true;
+    }
     std::size_t i = key.hash() & mask_;
     Entry* mine = nullptr;
     std::size_t probes = 0;
@@ -69,7 +139,11 @@ class RidgeMapCAS {
       Entry* cur = slots_[i].load(std::memory_order_acquire);
       if (cur == nullptr) {
         if (mine == nullptr) {
-          std::uint32_t id = pool_.allocate();
+          std::uint32_t id = 0;
+          if (!pool_.try_allocate(id)) {
+            failure_.mark(HullStatus::kPoolExhausted);
+            return true;
+          }
           mine = &pool_[id];
           mine->key = key;
           mine->value = value;
@@ -88,13 +162,16 @@ class RidgeMapCAS {
         return false;
       }
       i = (i + 1) & mask_;
-      PARHULL_CHECK_MSG(++probes <= capacity_,
-                        "RidgeMapCAS full: raise HullParams::table_factor");
+      if (++probes > capacity_) {
+        failure_.mark(HullStatus::kCapacityExceeded);
+        return true;
+      }
     }
   }
 
   // Value stored for key by the other facet (never `self`). Only valid
-  // after this thread's insert_and_set(key, self) returned false.
+  // after this thread's insert_and_set(key, self) returned false — absence
+  // here is an internal invariant violation and stays fatal.
   FacetId get_value(const Key& key, FacetId self) const {
     std::size_t i = key.hash() & mask_;
     std::size_t probes = 0;
@@ -112,10 +189,18 @@ class RidgeMapCAS {
     }
   }
 
+  // Slot count. capacity() / kSlotsPerKey is the key estimate the table was
+  // built for (rounded up to a power of two); a regrow driver that doubles
+  // expected_keys doubles capacity() until the probes fit.
   std::size_t capacity() const { return capacity_; }
   std::uint64_t total_probes() const {
     return probes_.load(std::memory_order_relaxed);
   }
+
+  // First failure observed by any thread, or kOk. Once failed, results of
+  // this run are unusable; the run must be discarded and retried.
+  HullStatus failure() const { return failure_.status(); }
+  bool failed() const { return failure_.failed(); }
 
   static constexpr const char* name() { return "cas"; }
 
@@ -130,6 +215,7 @@ class RidgeMapCAS {
   std::unique_ptr<std::atomic<Entry*>[]> slots_;
   ConcurrentPool<Entry> pool_;
   std::atomic<std::uint64_t> probes_{0};
+  detail::FailureLatch failure_;
 };
 
 // ---------------------------------------------------------------------------
@@ -148,14 +234,26 @@ class RidgeMapTAS {
  public:
   using Key = RidgeKey<D>;
 
+  // Both facets of a ridge store an entry (two entries per key), hence 8
+  // slots per expected key — the same <= 1/4 load factor as the CAS
+  // backend at twice the stored entries.
+  static constexpr std::size_t kSlotsPerKey = 8;
+
   explicit RidgeMapTAS(std::size_t expected_keys) {
-    // Both facets of a ridge store an entry, hence 2 entries per key.
-    capacity_ = detail::next_pow2(expected_keys * 8 + 64);
+    capacity_ = detail::checked_table_slots(expected_keys, kSlotsPerKey);
+    if (capacity_ == 0) {
+      failure_.mark(HullStatus::kCapacityExceeded);
+      return;
+    }
     mask_ = capacity_ - 1;
     slots_ = std::make_unique<Slot[]>(capacity_);
   }
 
   bool insert_and_set(const Key& key, FacetId value) {
+    if (capacity_ == 0 || PARHULL_FAULT_POINT(kRidgeMapInsert)) {
+      failure_.mark(HullStatus::kCapacityExceeded);
+      return true;
+    }
     const std::size_t start = key.hash() & mask_;
     // Pass 1: reserve a slot.
     std::size_t i = start;
@@ -163,8 +261,10 @@ class RidgeMapTAS {
     PARHULL_SCHEDULE_POINT();  // before the first reservation TAS
     while (slots_[i].taken.exchange(true, std::memory_order_acq_rel)) {
       i = (i + 1) & mask_;
-      PARHULL_CHECK_MSG(++probes <= capacity_,
-                        "RidgeMapTAS full: raise HullParams::table_factor");
+      if (++probes > capacity_) {
+        failure_.mark(HullStatus::kCapacityExceeded);
+        return true;  // nothing reserved; key not stored
+      }
       PARHULL_SCHEDULE_POINT();  // between reservation probes
     }
     Slot& mine = slots_[i];
@@ -190,7 +290,12 @@ class RidgeMapTAS {
         }
       }
       i = (i + 1) & mask_;
-      PARHULL_CHECK_MSG(++probes <= capacity_, "RidgeMapTAS: probe overflow");
+      if (++probes > capacity_) {
+        // Our entry IS published, so a genuine partner can still pair with
+        // it; only this caller's scan ran out of table.
+        failure_.mark(HullStatus::kCapacityExceeded);
+        return true;
+      }
       PARHULL_SCHEDULE_POINT();  // between scan probes
     }
     probes_.fetch_add(probes + 1, std::memory_order_relaxed);
@@ -215,10 +320,15 @@ class RidgeMapTAS {
     return kInvalidFacet;
   }
 
+  // Slot count; capacity() / kSlotsPerKey is the key estimate (see
+  // RidgeMapCAS::capacity for how the regrow driver uses this).
   std::size_t capacity() const { return capacity_; }
   std::uint64_t total_probes() const {
     return probes_.load(std::memory_order_relaxed);
   }
+
+  HullStatus failure() const { return failure_.status(); }
+  bool failed() const { return failure_.failed(); }
 
   static constexpr const char* name() { return "tas"; }
 
@@ -245,6 +355,7 @@ class RidgeMapTAS {
   std::size_t mask_ = 0;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<std::uint64_t> probes_{0};
+  detail::FailureLatch failure_;
 };
 
 // ---------------------------------------------------------------------------
@@ -255,8 +366,14 @@ class RidgeMapChained {
  public:
   using Key = RidgeKey<D>;
 
+  // Buckets per expected key — a hint only: chains absorb any excess, so
+  // this backend never reports kCapacityExceeded (an absurd hint is clamped
+  // instead of failing). It can still exhaust its node pool.
+  static constexpr std::size_t kSlotsPerKey = 2;
+
   explicit RidgeMapChained(std::size_t expected_keys) {
-    buckets_count_ = detail::next_pow2(expected_keys * 2 + 64);
+    buckets_count_ = detail::checked_table_slots(expected_keys, kSlotsPerKey);
+    if (buckets_count_ == 0) buckets_count_ = std::size_t{1} << 20;
     mask_ = buckets_count_ - 1;
     buckets_ = std::make_unique<std::atomic<Node*>[]>(buckets_count_);
     for (std::size_t i = 0; i < buckets_count_; ++i) {
@@ -273,7 +390,11 @@ class RidgeMapChained {
       if (n->key == key) return false;
     }
     // Insert; publication order along the chain decides races.
-    std::uint32_t id = pool_.allocate();
+    std::uint32_t id = 0;
+    if (!pool_.try_allocate(id)) {
+      failure_.mark(HullStatus::kPoolExhausted);
+      return true;  // key not stored; see the failure-model header comment
+    }
     Node* mine = &pool_[id];
     mine->key = key;
     mine->value = value;
@@ -304,8 +425,12 @@ class RidgeMapChained {
     return kInvalidFacet;
   }
 
+  // Bucket count (a sizing hint, not a capacity bound — see kSlotsPerKey).
   std::size_t capacity() const { return buckets_count_; }
   std::uint64_t total_probes() const { return 0; }
+
+  HullStatus failure() const { return failure_.status(); }
+  bool failed() const { return failure_.failed(); }
 
   static constexpr const char* name() { return "chained"; }
 
@@ -320,6 +445,7 @@ class RidgeMapChained {
   std::size_t mask_ = 0;
   std::unique_ptr<std::atomic<Node*>[]> buckets_;
   ConcurrentPool<Node> pool_;
+  detail::FailureLatch failure_;
 };
 
 }  // namespace parhull

@@ -21,19 +21,36 @@
 // Instrumentation records, per created facet, the support set, the
 // dependence depth (1 + max over supports; Theorem 1.1 predicts max depth
 // O(log n) whp) and the ProcessRidge recursion round (Theorem 5.3).
+//
+// Failure semantics (docs/ERRORS.md): run() never aborts on well-formed or
+// degenerate *input*. Validation happens before any member state is
+// touched; mid-run failures (table overflow, pool exhaustion, a degenerate
+// facet) latch a HullStatus, cancel cooperatively — every in-flight
+// ProcessRidge returns at its next entry — and the attempt's state is
+// discarded. On kCapacityExceeded the driver regrows: it retries with a
+// doubled expected_keys up to Params::max_regrows times, then (optionally)
+// falls back to the unbounded RidgeMapChained backend. A failed run resets
+// the object, so it can be rerun (e.g. after set_params with a larger
+// table); a successful run is single-shot, as before.
 #pragma once
 
 #include <atomic>
+#include <limits>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <vector>
 
 #include "parhull/common/assert.h"
 #include "parhull/common/counters.h"
+#include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/containers/ridge_map.h"
 #include "parhull/hull/hull_common.h"
 #include "parhull/parallel/parallel_for.h"
 #include "parhull/parallel/primitives.h"
+#include "parhull/testing/fault_point.h"
 
 namespace parhull {
 
@@ -52,14 +69,21 @@ class ParallelHull {
  public:
   struct Params {
     // Expected distinct ridge keys; 0 = auto (4·D·n). The CAS/TAS maps are
-    // fixed-capacity (they abort with a clear message when exceeded — raise
-    // this); the chained map treats it as a bucket-count hint only.
+    // fixed-capacity; when one overflows the run reports
+    // HullStatus::kCapacityExceeded and the driver below regrows.
     std::size_t expected_keys = 0;
     bool parallel_filter = true;  // parallel conflict filtering for big lists
+    // On kCapacityExceeded: retry with expected_keys doubled, up to this
+    // many times (so the table grows by at most 2^max_regrows).
+    int max_regrows = 4;
+    // After the regrow budget is spent, run once more on the unbounded
+    // chained backend instead of failing.
+    bool chained_fallback = true;
   };
 
   struct Result {
-    bool ok = false;
+    HullStatus status = HullStatus::kBadInput;
+    bool ok = false;  // status == kOk
     std::vector<FacetId> hull;
     std::uint64_t facets_created = 0;
     std::uint64_t visibility_tests = 0;
@@ -68,48 +92,165 @@ class ParallelHull {
     std::uint64_t finalized_ridges = 0;  // case-1 executions
     std::uint32_t dependence_depth = 0;  // max facet depth (Theorem 1.1)
     std::uint32_t max_round = 0;         // ProcessRidge recursion depth
+    std::uint32_t regrows = 0;           // capacity-doubling retries used
+    bool used_chained_fallback = false;
   };
 
   explicit ParallelHull(Params params = {}) : params_(params) {}
 
+  // Replace the parameters for the next run (useful after a failed run —
+  // e.g. raise expected_keys and try again on the same object).
+  void set_params(const Params& params) { params_ = params; }
+
   // pts must be prepared (prepare_input<D>): first D+1 points affinely
-  // independent. Insertion priority = index.
+  // independent. Insertion priority = index. Never aborts on input: returns
+  // Result::status instead (calling run again after a SUCCESSFUL run is
+  // API misuse and stays fatal).
   Result run(const PointSet<D>& pts) {
+    PARHULL_CHECK_MSG(!completed_, "ParallelHull::run is single-shot");
+    Result res;
     const std::size_t n = pts.size();
-    PARHULL_CHECK(n >= static_cast<std::size_t>(D) + 1);
-    PARHULL_CHECK_MSG(pts_ == nullptr, "ParallelHull::run is single-shot");
+    // Validate before touching member state, so a rejected input leaves
+    // the object pristine and reusable.
+    if (n < static_cast<std::size_t>(D) + 1) {
+      res.status = HullStatus::kBadInput;
+      return res;
+    }
+    {
+      std::vector<const Point<D>*> probe;
+      probe.reserve(static_cast<std::size_t>(D) + 1);
+      for (int i = 0; i <= D; ++i) probe.push_back(&pts[i]);
+      if (!affinely_independent<D>(probe)) {
+        res.status = HullStatus::kDegenerateInput;
+        return res;
+      }
+    }
+    std::size_t expected = params_.expected_keys != 0
+                               ? params_.expected_keys
+                               : 4 * static_cast<std::size_t>(D) * n;
+    for (int attempt = 0;; ++attempt) {
+      reset_state();
+      map_ = make_map<MapT<D>>(expected);
+      if (map_ == nullptr || map_->failed()) {
+        res = Result{};
+        res.status = HullStatus::kCapacityExceeded;
+      } else {
+        res = run_attempt(pts, *map_);
+      }
+      res.regrows = static_cast<std::uint32_t>(attempt);
+      if (res.status != HullStatus::kCapacityExceeded ||
+          attempt >= params_.max_regrows) {
+        break;
+      }
+      if (expected > std::numeric_limits<std::size_t>::max() / 2) break;
+      expected *= 2;
+    }
+    if (res.status == HullStatus::kCapacityExceeded &&
+        params_.chained_fallback &&
+        !std::is_same_v<MapT<D>, RidgeMapChained<D>>) {
+      std::uint32_t regrows = res.regrows;
+      reset_state();
+      fallback_map_ = make_map<RidgeMapChained<D>>(expected);
+      if (fallback_map_ != nullptr) {
+        res = run_attempt(pts, *fallback_map_);
+        res.regrows = regrows;
+        res.used_chained_fallback = true;
+      }
+    }
+    if (res.status == HullStatus::kOk) {
+      completed_ = true;
+    } else {
+      reset_state();  // failed: leave the object reusable
+    }
+    return res;
+  }
+
+  const Facet<D>& facet(FacetId id) const { return (*pool_)[id]; }
+  std::uint32_t facet_count() const { return pool_ ? pool_->size() : 0; }
+  // The primary ridge map of a completed run. Invalid if the run fell back
+  // to the chained backend (Result::used_chained_fallback).
+  const MapT<D>& ridge_map() const {
+    PARHULL_CHECK_MSG(map_ != nullptr, "ridge_map(): no completed primary run");
+    return *map_;
+  }
+  const Point<D>& interior() const { return interior_; }
+
+ private:
+  struct Call {
+    FacetId t1;
+    RidgeKey<D> r;
+    FacetId t2;
+  };
+
+  // Map construction can itself fail once regrowing pushes the table into
+  // gigabytes: surface allocation failure (real or injected) as a null map
+  // -> kCapacityExceeded, instead of an uncaught bad_alloc.
+  template <class Map>
+  static std::unique_ptr<Map> make_map(std::size_t expected_keys) {
+    if (PARHULL_FAULT_POINT(kAllocation)) return nullptr;
+    try {
+      return std::make_unique<Map>(expected_keys);
+    } catch (const std::bad_alloc&) {
+      return nullptr;
+    }
+  }
+
+  void reset_state() {
+    pts_ = nullptr;
+    pool_.reset();
+    map_.reset();
+    fallback_map_.reset();
+    fail_.reset();
+    tests_.reset();
+    conflicts_sum_.reset();
+    buried_.reset();
+    finalized_.reset();
+    max_depth_.store(0, std::memory_order_relaxed);
+    max_round_.store(0, std::memory_order_relaxed);
+  }
+
+  void fail(HullStatus s) { fail_.mark(s); }
+  bool failed() const { return fail_.failed(); }
+
+  template <class Map>
+  Result run_attempt(const PointSet<D>& pts, Map& map) {
+    Result res;
+    const std::size_t n = pts.size();
     pts_ = &pts;
+    pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
     int workers = Scheduler::get().num_workers();
     tests_.resize(workers);
     conflicts_sum_.resize(workers);
     buried_.resize(workers);
     finalized_.resize(workers);
-    std::size_t expected = params_.expected_keys != 0
-                               ? params_.expected_keys
-                               : 4 * static_cast<std::size_t>(D) * n;
-    map_ = std::make_unique<MapT<D>>(expected);
     interior_ = centroid<D>(pts.data(), D + 1);
 
     // --- Initial hull on d+1 points (Algorithm 3, lines 2–4).
     std::array<FacetId, static_cast<std::size_t>(D) + 1> initial{};
     for (int k = 0; k <= D; ++k) {
-      FacetId id = pool_.allocate();
+      FacetId id = 0;
+      if (!pool_->try_allocate(id)) {
+        res.status = HullStatus::kPoolExhausted;
+        return res;
+      }
       initial[static_cast<std::size_t>(k)] = id;
-      Facet<D>& f = pool_[id];
+      Facet<D>& f = (*pool_)[id];
       int out = 0;
       for (int v = 0; v <= D; ++v) {
         if (v != k) f.vertices[static_cast<std::size_t>(out++)] =
             static_cast<PointId>(v);
       }
-      bool ok = orient_outward<D>(pts, f.vertices, interior_);
-      PARHULL_CHECK_MSG(ok, "initial simplex degenerate (prepare_input?)");
+      if (!orient_outward<D>(pts, f.vertices, interior_)) {
+        res.status = HullStatus::kDegenerateInput;
+        return res;
+      }
       f.depth = 0;
       f.round = 0;
     }
     // Conflict lists of the initial facets, each via a parallel filter over
     // all later points.
     parallel_for(0, static_cast<std::size_t>(D) + 1, [&](std::size_t k) {
-      Facet<D>& f = pool_[initial[k]];
+      Facet<D>& f = (*pool_)[initial[k]];
       f.conflicts = parallel_pack_index<PointId>(
           n - (static_cast<std::size_t>(D) + 1),
           [&](std::size_t i) {
@@ -139,55 +280,55 @@ class ParallelHull {
       }
     }
     parallel_for(0, seeds.size(), [&](std::size_t s) {
-      process_ridge(seeds[s].t1, seeds[s].r, seeds[s].t2, 1);
+      process_ridge(map, seeds[s].t1, seeds[s].r, seeds[s].t2, 1);
     }, 1);
 
+    // --- Fold failures observed by any worker (or latched by the map)
+    // into the attempt's status; a failed attempt's facets are garbage.
+    if (map.failed()) fail(map.failure());
+    if (failed()) {
+      res.status = fail_.status();
+      return res;
+    }
+
     // --- Collect results.
-    Result res;
+    res.status = HullStatus::kOk;
     res.ok = true;
-    res.facets_created = pool_.size();
+    res.facets_created = pool_->size();
     res.visibility_tests = tests_.total();
     res.total_conflicts = conflicts_sum_.total();
     res.buried_pairs = buried_.total();
     res.finalized_ridges = finalized_.total();
     res.dependence_depth = max_depth_.load(std::memory_order_relaxed);
     res.max_round = max_round_.load(std::memory_order_relaxed);
-    for (FacetId id = 0; id < pool_.size(); ++id) {
-      if (pool_[id].alive()) res.hull.push_back(id);
+    for (FacetId id = 0; id < pool_->size(); ++id) {
+      if ((*pool_)[id].alive()) res.hull.push_back(id);
     }
     return res;
   }
 
-  const Facet<D>& facet(FacetId id) const { return pool_[id]; }
-  std::uint32_t facet_count() const { return pool_.size(); }
-  const MapT<D>& ridge_map() const { return *map_; }
-  const Point<D>& interior() const { return interior_; }
-
- private:
-  struct Call {
-    FacetId t1;
-    RidgeKey<D> r;
-    FacetId t2;
-  };
-
-  void process_ridge(FacetId t1, RidgeKey<D> r, FacetId t2,
+  template <class Map>
+  void process_ridge(Map& map, FacetId t1, RidgeKey<D> r, FacetId t2,
                      std::uint32_t round) {
+    // Cooperative cancellation: once any worker latches a failure the rest
+    // of the recursion drains without touching shared state further.
+    if (failed()) return;
     const PointSet<D>& pts = *pts_;
     // Cases 1–3 (lines 9–12). kInvalidPoint is the +inf sentinel for an
     // empty conflict set, so the pivot comparisons below implement the
     // paper's conditions directly.
     PointId p1, p2;
     while (true) {
-      p1 = pool_[t1].pivot();
-      p2 = pool_[t2].pivot();
+      p1 = (*pool_)[t1].pivot();
+      p2 = (*pool_)[t2].pivot();
       if (p1 == kInvalidPoint && p2 == kInvalidPoint) {
         finalized_.add(Scheduler::worker_id());
         return;  // case 1: ridge is on the final hull
       }
       if (p1 == p2) {
         // Case 2: the pivot buries ridge r; both facets leave the hull.
-        pool_[t1].kill();
-        pool_[t2].kill();
+        (*pool_)[t1].kill();
+        (*pool_)[t2].kill();
         buried_.add(Scheduler::worker_id());
         return;
       }
@@ -202,16 +343,25 @@ class ParallelHull {
     // t2, so {t1, t2} supports t = r ∪ {p} (Fact 5.2). Create t, replacing
     // t1 in the hull.
     const PointId p = p1;
-    Facet<D>& f1 = pool_[t1];
-    Facet<D>& f2 = pool_[t2];
-    FacetId tid = pool_.allocate();
-    Facet<D>& t = pool_[tid];
+    Facet<D>& f1 = (*pool_)[t1];
+    Facet<D>& f2 = (*pool_)[t2];
+    FacetId tid = 0;
+    if (!pool_->try_allocate(tid)) {
+      fail(HullStatus::kPoolExhausted);
+      return;
+    }
+    Facet<D>& t = (*pool_)[tid];
     for (int v = 0; v < D - 1; ++v) {
       t.vertices[static_cast<std::size_t>(v)] = r.v[static_cast<std::size_t>(v)];
     }
     t.vertices[static_cast<std::size_t>(D - 1)] = p;
-    bool ok = orient_outward<D>(pts, t.vertices, interior_);
-    PARHULL_CHECK_MSG(ok, "degenerate facet: input not in general position");
+    if (!orient_outward<D>(pts, t.vertices, interior_)) {
+      // Input not in general position: a created facet is degenerate. The
+      // run is unsalvageable — cancel, don't abort.
+      t.kill();
+      fail(HullStatus::kDegenerateInput);
+      return;
+    }
     t.apex = p;
     t.support0 = t1;
     t.support1 = t2;
@@ -237,31 +387,41 @@ class ParallelHull {
         calls[pending++] = Call{tid, r, t2};
       } else {
         RidgeKey<D> side = t.ridge_omitting(v);
-        if (!map_->insert_and_set(side, tid)) {
-          FacetId other = map_->get_value(side, tid);
+        if (!map.insert_and_set(side, tid)) {
+          FacetId other = map.get_value(side, tid);
           calls[pending++] = Call{tid, side, other};
         }
       }
     }
-    spawn(calls, pending, round + 1);
+    // A failed insert_and_set (overflow/exhaustion) claims first-inserter,
+    // so the loop above never pairs a failed ridge; just stop recursing.
+    if (map.failed()) {
+      fail(map.failure());
+      return;
+    }
+    spawn(map, calls, pending, round + 1);
   }
 
-  void spawn(Call* calls, int count, std::uint32_t round) {
+  template <class Map>
+  void spawn(Map& map, Call* calls, int count, std::uint32_t round) {
     if (count == 0) return;
     if (count == 1) {
-      process_ridge(calls[0].t1, calls[0].r, calls[0].t2, round);
+      process_ridge(map, calls[0].t1, calls[0].r, calls[0].t2, round);
       return;
     }
     int half = count / 2;
-    par_do([&] { spawn(calls, half, round); },
-           [&] { spawn(calls + half, count - half, round); });
+    par_do([&] { spawn(map, calls, half, round); },
+           [&] { spawn(map, calls + half, count - half, round); });
   }
 
   Params params_;
   const PointSet<D>* pts_ = nullptr;
-  ConcurrentPool<Facet<D>> pool_;
+  bool completed_ = false;
+  std::unique_ptr<ConcurrentPool<Facet<D>>> pool_;
   std::unique_ptr<MapT<D>> map_;
+  std::unique_ptr<RidgeMapChained<D>> fallback_map_;
   Point<D> interior_{};
+  detail::FailureLatch fail_;
 
   WorkerCounter tests_;
   WorkerCounter conflicts_sum_;

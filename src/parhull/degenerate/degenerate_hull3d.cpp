@@ -49,7 +49,10 @@ DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
       probe.push_back(&pts[i]);
       if (affinely_independent<3>(probe)) chosen.push_back(i);
     }
-    if (chosen.size() < 4) return out;  // affine dimension < 3
+    if (chosen.size() < 4) {
+      out.status = HullStatus::kDegenerateInput;  // affine dimension < 3
+      return out;
+    }
   }
 
   // Bounding-box scale for the perturbation.
@@ -64,7 +67,10 @@ DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
   double diag = 0;
   for (int c = 0; c < 3; ++c) diag += (hi[c] - lo[c]) * (hi[c] - lo[c]);
   diag = std::sqrt(diag);
-  if (diag == 0) return out;  // all points identical
+  if (diag == 0) {
+    out.status = HullStatus::kDegenerateInput;  // all points identical
+    return out;
+  }
   const double scale = diag * 1e-9;
 
   PointSet<3> jiggled(n);
@@ -77,7 +83,10 @@ DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
   }
 
   auto qh = quickhull3d(jiggled);
-  if (!qh.ok) return out;
+  if (!qh.ok) {
+    out.status = HullStatus::kDegenerateInput;
+    return out;
+  }
 
   // Group simplicial facets by exact coplanarity in ORIGINAL coordinates.
   // Triangles whose original points are collinear ("slivers") have no plane
@@ -257,6 +266,7 @@ DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
   verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
   out.vertices = std::move(verts);
   out.ok = !out.faces.empty();
+  out.status = out.ok ? HullStatus::kOk : HullStatus::kDegenerateInput;
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/geometry/point.h"
 
@@ -35,7 +36,10 @@ struct PolyFace {
 };
 
 struct DegenerateHull3D {
-  bool ok = false;
+  // kBadInput: fewer than 4 points. kDegenerateInput: affine dimension < 3
+  // (including all points identical), or the perturbed quickhull failed.
+  HullStatus status = HullStatus::kBadInput;
+  bool ok = false;  // status == kOk
   std::vector<PolyFace> faces;
   std::vector<PointId> vertices;  // extreme points of the input, sorted
   std::size_t corner_count() const {

@@ -20,20 +20,32 @@
 // Bowyer–Watson run on the same insertion order (verified by the tests),
 // in a relaxed order with O(log n) dependence depth whp — the result of
 // Blelloch–Gu–Shun–Sun (SPAA'16) that this paper's framework generalizes.
+//
+// Failure semantics mirror ParallelHull (docs/ERRORS.md): degenerate input
+// (cocircular/duplicate points producing a zero-area triangle) and resource
+// exhaustion latch a HullStatus and cancel cooperatively; on
+// kCapacityExceeded the driver regrows the edge map and finally falls back
+// to the chained backend. A failed run leaves the object reusable.
 #pragma once
 
 #include <atomic>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <vector>
 
 #include "parhull/common/assert.h"
 #include "parhull/common/counters.h"
+#include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/containers/ridge_map.h"
 #include "parhull/geometry/predicates.h"
 #include "parhull/parallel/parallel_for.h"
 #include "parhull/parallel/primitives.h"
+#include "parhull/testing/fault_point.h"
 
 namespace parhull {
 
@@ -57,7 +69,8 @@ class ParallelDelaunay2D {
   };
 
   struct Result {
-    bool ok = false;
+    HullStatus status = HullStatus::kBadInput;
+    bool ok = false;  // status == kOk
     std::vector<std::array<PointId, 3>> triangles;  // all-real, CCW
     std::uint64_t triangles_created = 0;
     std::uint64_t incircle_tests = 0;
@@ -66,29 +79,116 @@ class ParallelDelaunay2D {
     std::uint32_t max_round = 0;
     std::uint64_t buried_edges = 0;
     std::uint64_t finalized_edges = 0;
+    std::uint32_t regrows = 0;  // capacity-doubling retries used
+    bool used_chained_fallback = false;
   };
 
   struct Params {
-    std::size_t expected_keys = 0;  // 0 = auto (8n)
+    std::size_t expected_keys = 0;  // 0 = auto (8n + 64)
+    int max_regrows = 4;            // doubling retries on kCapacityExceeded
+    bool chained_fallback = true;   // then fall back to RidgeMapChained
   };
 
   explicit ParallelDelaunay2D(Params params = {}) : params_(params) {}
 
+  void set_params(const Params& params) { params_ = params; }
+
   Result run(const PointSet<2>& pts) {
+    PARHULL_CHECK_MSG(!completed_, "ParallelDelaunay2D::run is single-shot");
     Result res;
     const std::size_t n = pts.size();
-    if (n < 1) return res;
-    PARHULL_CHECK_MSG(coords_.empty(), "ParallelDelaunay2D::run is single-shot");
+    if (n < 1) {
+      res.status = HullStatus::kBadInput;
+      return res;
+    }
+    std::size_t expected =
+        params_.expected_keys != 0 ? params_.expected_keys : 8 * n + 64;
+    for (int attempt = 0;; ++attempt) {
+      reset_state();
+      map_ = make_map<MapT<3>>(expected);
+      if (map_ == nullptr || map_->failed()) {
+        res = Result{};
+        res.status = HullStatus::kCapacityExceeded;
+      } else {
+        res = run_attempt(pts, *map_);
+      }
+      res.regrows = static_cast<std::uint32_t>(attempt);
+      if (res.status != HullStatus::kCapacityExceeded ||
+          attempt >= params_.max_regrows) {
+        break;
+      }
+      if (expected > std::numeric_limits<std::size_t>::max() / 2) break;
+      expected *= 2;
+    }
+    if (res.status == HullStatus::kCapacityExceeded &&
+        params_.chained_fallback && !std::is_same_v<MapT<3>, RidgeMapChained<3>>) {
+      std::uint32_t regrows = res.regrows;
+      reset_state();
+      fallback_map_ = make_map<RidgeMapChained<3>>(expected);
+      if (fallback_map_ != nullptr) {
+        res = run_attempt(pts, *fallback_map_);
+        res.regrows = regrows;
+        res.used_chained_fallback = true;
+      }
+    }
+    if (res.status == HullStatus::kOk) {
+      completed_ = true;
+    } else {
+      reset_state();
+    }
+    return res;
+  }
+
+  const Tri& triangle(FacetId id) const { return (*pool_)[id]; }
+  std::uint32_t triangle_count() const { return pool_ ? pool_->size() : 0; }
+
+ private:
+  struct Call {
+    FacetId t1;
+    RidgeKey<3> e;
+    FacetId t2;
+  };
+
+  template <class Map>
+  static std::unique_ptr<Map> make_map(std::size_t expected_keys) {
+    if (PARHULL_FAULT_POINT(kAllocation)) return nullptr;
+    try {
+      return std::make_unique<Map>(expected_keys);
+    } catch (const std::bad_alloc&) {
+      return nullptr;
+    }
+  }
+
+  void reset_state() {
+    coords_.clear();
+    n_real_ = 0;
+    pool_.reset();
+    map_.reset();
+    fallback_map_.reset();
+    fail_.reset();
+    tests_.reset();
+    conflicts_sum_.reset();
+    buried_.reset();
+    finalized_.reset();
+    max_depth_.store(0, std::memory_order_relaxed);
+    max_round_.store(0, std::memory_order_relaxed);
+  }
+
+  void fail(HullStatus s) { fail_.mark(s); }
+  bool failed() const { return fail_.failed(); }
+
+  template <class Map>
+  Result run_attempt(const PointSet<2>& pts, Map& map) {
+    Result res;
+    const std::size_t n = pts.size();
     coords_ = pts;
     n_real_ = static_cast<PointId>(n);
+    pool_ = std::make_unique<ConcurrentPool<Tri>>();
     int workers = Scheduler::get().num_workers();
     tests_.resize(workers);
     conflicts_sum_.resize(workers);
     buried_.resize(workers);
     finalized_.resize(workers);
-    std::size_t expected =
-        params_.expected_keys != 0 ? params_.expected_keys : 8 * n + 64;
-    map_ = std::make_unique<MapT<3>>(expected);
 
     // Super-triangle (same construction as the sequential Delaunay2D).
     double lo_x = pts[0][0], hi_x = pts[0][0];
@@ -106,11 +206,18 @@ class ParallelDelaunay2D {
     coords_.push_back({{cx + R, cy - R}});
     coords_.push_back({{cx, cy + R}});
 
-    FacetId root = pool_.allocate();
-    Tri& rt = pool_[root];
+    FacetId root = 0;
+    if (!pool_->try_allocate(root)) {
+      res.status = HullStatus::kPoolExhausted;
+      return res;
+    }
+    Tri& rt = (*pool_)[root];
     rt.vertices = {n_real_, static_cast<PointId>(n_real_ + 1),
                    static_cast<PointId>(n_real_ + 2)};
-    canonicalize(rt.vertices);
+    if (!canonicalize(rt.vertices)) {
+      res.status = HullStatus::kDegenerateInput;
+      return res;
+    }
     rt.conflicts = parallel_pack_index<PointId>(
         n, [](std::size_t) { return true; },
         [&](std::size_t i) { return static_cast<PointId>(i); });
@@ -118,20 +225,28 @@ class ParallelDelaunay2D {
 
     // Seed: the three outer edges, each with the "none" partner.
     parallel_for(0, 3, [&](std::size_t k) {
-      RidgeKey<3> e = edge_omitting(pool_[root].vertices, static_cast<int>(k));
-      process_edge(root, e, kInvalidFacet, 1);
+      RidgeKey<3> e =
+          edge_omitting((*pool_)[root].vertices, static_cast<int>(k));
+      process_edge(map, root, e, kInvalidFacet, 1);
     }, 1);
 
+    if (map.failed()) fail(map.failure());
+    if (failed()) {
+      res.status = fail_.status();
+      return res;
+    }
+
+    res.status = HullStatus::kOk;
     res.ok = true;
-    res.triangles_created = pool_.size();
+    res.triangles_created = pool_->size();
     res.incircle_tests = tests_.total();
     res.total_conflicts = conflicts_sum_.total();
     res.buried_edges = buried_.total();
     res.finalized_edges = finalized_.total();
     res.dependence_depth = max_depth_.load(std::memory_order_relaxed);
     res.max_round = max_round_.load(std::memory_order_relaxed);
-    for (FacetId id = 0; id < pool_.size(); ++id) {
-      const Tri& t = pool_[id];
+    for (FacetId id = 0; id < pool_->size(); ++id) {
+      const Tri& t = (*pool_)[id];
       if (t.alive() && t.vertices[0] < n_real_ && t.vertices[1] < n_real_ &&
           t.vertices[2] < n_real_) {
         res.triangles.push_back(t.vertices);
@@ -140,22 +255,14 @@ class ParallelDelaunay2D {
     return res;
   }
 
-  const Tri& triangle(FacetId id) const { return pool_[id]; }
-  std::uint32_t triangle_count() const { return pool_.size(); }
-
- private:
-  struct Call {
-    FacetId t1;
-    RidgeKey<3> e;
-    FacetId t2;
-  };
-
   // Canonical CCW order: sort ascending, flip the first two if clockwise.
-  void canonicalize(std::array<PointId, 3>& v) const {
+  // False: the triangle is degenerate (collinear/duplicate points).
+  bool canonicalize(std::array<PointId, 3>& v) const {
     std::sort(v.begin(), v.end());
     int o = orient2d(coords_[v[0]], coords_[v[1]], coords_[v[2]]);
-    PARHULL_CHECK_MSG(o != 0, "degenerate triangle: input not in general position");
+    if (o == 0) return false;
     if (o < 0) std::swap(v[0], v[1]);
+    return true;
   }
 
   static RidgeKey<3> edge_omitting(const std::array<PointId, 3>& v, int k) {
@@ -172,19 +279,21 @@ class ParallelDelaunay2D {
                     coords_[q]) > 0;
   }
 
-  void process_edge(FacetId t1, RidgeKey<3> e, FacetId t2,
+  template <class Map>
+  void process_edge(Map& map, FacetId t1, RidgeKey<3> e, FacetId t2,
                     std::uint32_t round) {
+    if (failed()) return;  // cooperative cancellation
     PointId p1, p2;
     while (true) {
-      p1 = pool_[t1].pivot();
-      p2 = t2 == kInvalidFacet ? kInvalidPoint : pool_[t2].pivot();
+      p1 = (*pool_)[t1].pivot();
+      p2 = t2 == kInvalidFacet ? kInvalidPoint : (*pool_)[t2].pivot();
       if (p1 == kInvalidPoint && p2 == kInvalidPoint) {
         finalized_.add(Scheduler::worker_id());
         return;  // case 1: edge is Delaunay in the final triangulation
       }
       if (p1 == p2) {  // case 2: the pivot's cavity swallows the edge
-        pool_[t1].kill();
-        pool_[t2].kill();
+        (*pool_)[t1].kill();
+        (*pool_)[t2].kill();
         buried_.add(Scheduler::worker_id());
         return;
       }
@@ -195,15 +304,23 @@ class ParallelDelaunay2D {
       break;  // case 4: p1 earliest, strictly on t1's side
     }
     const PointId p = p1;
-    Tri& f1 = pool_[t1];
-    FacetId tid = pool_.allocate();
-    Tri& t = pool_[tid];
+    Tri& f1 = (*pool_)[t1];
+    FacetId tid = 0;
+    if (!pool_->try_allocate(tid)) {
+      fail(HullStatus::kPoolExhausted);
+      return;
+    }
+    Tri& t = (*pool_)[tid];
     t.vertices = {e.v[0], e.v[1], p};
-    canonicalize(t.vertices);
+    if (!canonicalize(t.vertices)) {
+      t.kill();
+      fail(HullStatus::kDegenerateInput);
+      return;
+    }
     t.apex = p;
     t.support0 = t1;
     t.support1 = t2;  // kInvalidFacet on outer edges (singleton support)
-    std::uint32_t d2 = t2 == kInvalidFacet ? 0 : pool_[t2].depth;
+    std::uint32_t d2 = t2 == kInvalidFacet ? 0 : (*pool_)[t2].depth;
     t.depth = 1 + std::max(f1.depth, d2);
     t.round = round;
     atomic_max(max_depth_, t.depth);
@@ -214,7 +331,7 @@ class ParallelDelaunay2D {
     {
       static const std::vector<PointId> kEmpty;
       const auto& ca = f1.conflicts;
-      const auto& cb = t2 == kInvalidFacet ? kEmpty : pool_[t2].conflicts;
+      const auto& cb = t2 == kInvalidFacet ? kEmpty : (*pool_)[t2].conflicts;
       std::uint64_t tests = 0;
       std::size_t i = 0, j = 0;
       while (i < ca.size() || j < cb.size()) {
@@ -245,24 +362,31 @@ class ParallelDelaunay2D {
         calls[pending++] = Call{tid, e, t2};
       } else {
         RidgeKey<3> side = edge_omitting(t.vertices, k);
-        if (!map_->insert_and_set(side, tid)) {
-          FacetId other = map_->get_value(side, tid);
+        if (!map.insert_and_set(side, tid)) {
+          FacetId other = map.get_value(side, tid);
           calls[pending++] = Call{tid, side, other};
         }
       }
     }
-    spawn(calls, pending, round + 1);
+    // A failed insert claims first-inserter (never paired), so no stale
+    // partner reaches the calls array; stop recursing on map failure.
+    if (map.failed()) {
+      fail(map.failure());
+      return;
+    }
+    spawn(map, calls, pending, round + 1);
   }
 
-  void spawn(Call* calls, int count, std::uint32_t round) {
+  template <class Map>
+  void spawn(Map& map, Call* calls, int count, std::uint32_t round) {
     if (count == 0) return;
     if (count == 1) {
-      process_edge(calls[0].t1, calls[0].e, calls[0].t2, round);
+      process_edge(map, calls[0].t1, calls[0].e, calls[0].t2, round);
       return;
     }
     int half = count / 2;
-    par_do([&] { spawn(calls, half, round); },
-           [&] { spawn(calls + half, count - half, round); });
+    par_do([&] { spawn(map, calls, half, round); },
+           [&] { spawn(map, calls + half, count - half, round); });
   }
 
   static void atomic_max(std::atomic<std::uint32_t>& a, std::uint32_t v) {
@@ -275,8 +399,11 @@ class ParallelDelaunay2D {
   Params params_;
   PointSet<2> coords_;
   PointId n_real_ = 0;
-  ConcurrentPool<Tri> pool_;
+  bool completed_ = false;
+  std::unique_ptr<ConcurrentPool<Tri>> pool_;
   std::unique_ptr<MapT<3>> map_;
+  std::unique_ptr<RidgeMapChained<3>> fallback_map_;
+  detail::FailureLatch fail_;
   WorkerCounter tests_;
   WorkerCounter conflicts_sum_;
   WorkerCounter buried_;

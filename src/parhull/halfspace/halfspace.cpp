@@ -48,7 +48,7 @@ template <int D>
 HalfspaceIntersection<D> intersect_halfspaces(
     const std::vector<HalfSpace<D>>& hs) {
   HalfspaceIntersection<D> res;
-  if (hs.size() < static_cast<std::size_t>(D) + 1) return res;
+  if (hs.size() < static_cast<std::size_t>(D) + 1) return res;  // kBadInput
   for (const auto& h : hs) {
     if (!(h.offset > 0)) return res;  // origin must be strictly inside
   }
@@ -73,7 +73,10 @@ HalfspaceIntersection<D> intersect_halfspaces(
       probe.push_back(&duals[i]);
       if (affinely_independent<D>(probe)) chosen.push_back(i);
     }
-    if (chosen.size() < static_cast<std::size_t>(D) + 1) return res;
+    if (chosen.size() < static_cast<std::size_t>(D) + 1) {
+      res.status = HullStatus::kDegenerateInput;  // duals not full-dim
+      return res;
+    }
     std::vector<char> is_chosen(duals.size(), 0);
     std::size_t out = 0;
     for (std::size_t c : chosen) {
@@ -89,7 +92,10 @@ HalfspaceIntersection<D> intersect_halfspaces(
 
   ParallelHull<D, RidgeMapChained> hull;
   auto hres = hull.run(reordered);
-  if (!hres.ok) return res;
+  if (!hres.ok) {
+    res.status = hres.status;  // propagate the hull's typed failure
+    return res;
+  }
   res.facets_created = hres.facets_created;
   res.visibility_tests = hres.visibility_tests;
   res.dependence_depth = hres.dependence_depth;
@@ -114,7 +120,10 @@ HalfspaceIntersection<D> intersect_halfspaces(
       b[r] = 1.0;
     }
     Point<D> v{};
-    if (!solve<D>(a, b, v)) return res;
+    if (!solve<D>(a, b, v)) {
+      res.status = HullStatus::kDegenerateInput;  // singular vertex solve
+      return res;
+    }
     res.vertices.push_back(v);
     std::vector<std::uint32_t> defs;
     for (int r = 0; r < D; ++r) {
@@ -126,6 +135,7 @@ HalfspaceIntersection<D> intersect_halfspaces(
     res.vertex_defs.push_back(std::move(defs));
   }
   res.essential.assign(essential.begin(), essential.end());
+  res.status = HullStatus::kOk;
   res.ok = true;
   return res;
 }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/geometry/point.h"
 
@@ -29,7 +30,12 @@ struct HalfSpace {
 
 template <int D>
 struct HalfspaceIntersection {
-  bool ok = false;
+  // kBadInput: fewer than D+1 half-spaces, a non-positive offset (origin
+  // not strictly inside), or an unbounded intersection. kDegenerateInput:
+  // duals not full-dimensional, or a singular vertex solve. Other statuses
+  // propagate from the underlying hull run.
+  HullStatus status = HullStatus::kBadInput;
+  bool ok = false;  // status == kOk
   // Vertices of the intersection polytope (approximate coordinates from a
   // D x D linear solve; the combinatorial structure is exact).
   std::vector<Point<D>> vertices;

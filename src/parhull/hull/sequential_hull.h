@@ -8,12 +8,18 @@
 // facets sharing its horizon ridge, Fact 5.2) and its dependence depth, so
 // the configuration dependence graph of Section 4 can be read off a
 // sequential run as well.
+//
+// Failure semantics (docs/ERRORS.md): run() reports a typed HullStatus
+// instead of aborting on bad or degenerate input; each run resets the
+// object's state first, so a failed run can be retried.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "parhull/common/assert.h"
+#include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/hull/hull_common.h"
@@ -24,7 +30,8 @@ template <int D>
 class SequentialHull {
  public:
   struct Result {
-    bool ok = false;                    // false: input degenerate
+    HullStatus status = HullStatus::kBadInput;
+    bool ok = false;                    // status == kOk
     std::vector<FacetId> hull;          // alive facets = convex hull of input
     std::uint64_t facets_created = 0;   // including the initial D+1
     std::uint64_t visibility_tests = 0;
@@ -38,23 +45,35 @@ class SequentialHull {
   Result run(const PointSet<D>& pts) {
     Result res;
     const std::size_t n = pts.size();
-    PARHULL_CHECK(n >= static_cast<std::size_t>(D) + 1);
+    if (n < static_cast<std::size_t>(D) + 1) {
+      res.status = HullStatus::kBadInput;
+      return res;
+    }
+    pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
+    point_facets_.clear();
+    ConcurrentPool<Facet<D>>& pool = *pool_;
     interior_ = centroid<D>(pts.data(), D + 1);
 
     // --- Initial simplex: facet F_k omits point k (Algorithm 2, line 2).
     point_facets_.assign(n, {});
     std::array<FacetId, static_cast<std::size_t>(D) + 1> initial{};
     for (int k = 0; k <= D; ++k) {
-      FacetId id = pool_.allocate();
+      FacetId id = 0;
+      if (!pool.try_allocate(id)) {
+        res.status = HullStatus::kPoolExhausted;
+        return res;
+      }
       initial[static_cast<std::size_t>(k)] = id;
-      Facet<D>& f = pool_[id];
+      Facet<D>& f = pool[id];
       int out = 0;
       for (int v = 0; v <= D; ++v) {
         if (v != k) f.vertices[static_cast<std::size_t>(out++)] =
             static_cast<PointId>(v);
       }
-      bool ok = orient_outward<D>(pts, f.vertices, interior_);
-      PARHULL_CHECK_MSG(ok, "initial simplex degenerate (prepare_input?)");
+      if (!orient_outward<D>(pts, f.vertices, interior_)) {
+        res.status = HullStatus::kDegenerateInput;
+        return res;
+      }
       // Neighbor across the ridge omitting vertices[m] is the simplex facet
       // that omits that vertex.
       for (int m = 0; m < D; ++m) {
@@ -65,7 +84,7 @@ class SequentialHull {
     // Facet ids of the simplex equal k only if allocation started at 0; fix
     // the neighbor ids through the `initial` indirection.
     for (int k = 0; k <= D; ++k) {
-      Facet<D>& f = pool_[initial[static_cast<std::size_t>(k)]];
+      Facet<D>& f = pool[initial[static_cast<std::size_t>(k)]];
       for (int m = 0; m < D; ++m) {
         f.neighbors[static_cast<std::size_t>(m)] =
             initial[f.neighbors[static_cast<std::size_t>(m)]];
@@ -76,7 +95,7 @@ class SequentialHull {
     for (PointId q = static_cast<PointId>(D + 1); q < n; ++q) {
       for (int k = 0; k <= D; ++k) {
         FacetId id = initial[static_cast<std::size_t>(k)];
-        Facet<D>& f = pool_[id];
+        Facet<D>& f = pool[id];
         ++res.visibility_tests;
         if (visible<D>(pts, f.vertices, q)) {
           f.conflicts.push_back(q);
@@ -87,7 +106,7 @@ class SequentialHull {
     res.facets_created = static_cast<std::uint64_t>(D) + 1;
     for (int k = 0; k <= D; ++k) {
       res.total_conflicts +=
-          pool_[initial[static_cast<std::size_t>(k)]].conflicts.size();
+          pool[initial[static_cast<std::size_t>(k)]].conflicts.size();
     }
 
     // --- Incremental insertion (lines 4–11).
@@ -101,34 +120,40 @@ class SequentialHull {
       // R <- C^-1(p), alive only.
       std::vector<FacetId> visible_set;
       for (FacetId f : point_facets_[p]) {
-        if (pool_[f].alive()) visible_set.push_back(f);
+        if (pool[f].alive()) visible_set.push_back(f);
       }
       if (visible_set.empty()) {
         ++res.points_inside;
         continue;
       }
-      if (stamp.size() < pool_.size()) stamp.resize(pool_.size() * 2, 0);
+      if (stamp.size() < pool.size()) stamp.resize(pool.size() * 2, 0);
       for (FacetId f : visible_set) stamp[f] = p;
 
       ridge_map.clear();
       for (FacetId fid : visible_set) {
-        Facet<D>& f = pool_[fid];
+        Facet<D>& f = pool[fid];
         for (int m = 0; m < D; ++m) {
           FacetId gid = f.neighbors[static_cast<std::size_t>(m)];
           if (stamp[gid] == p) continue;  // interior ridge: both visible
           // Horizon ridge between f (visible, t1) and g (invisible, t2):
           // new facet t = ridge ∪ {p} (lines 7–10).
-          Facet<D>& g = pool_[gid];
-          FacetId tid = pool_.allocate();
-          Facet<D>& t = pool_[tid];
+          Facet<D>& g = pool[gid];
+          FacetId tid = 0;
+          if (!pool.try_allocate(tid)) {
+            res.status = HullStatus::kPoolExhausted;
+            return res;
+          }
+          Facet<D>& t = pool[tid];
           int out = 0;
           for (int v = 0; v < D; ++v) {
             if (v != m) t.vertices[static_cast<std::size_t>(out++)] =
                 f.vertices[static_cast<std::size_t>(v)];
           }
           t.vertices[static_cast<std::size_t>(D - 1)] = p;
-          bool ok = orient_outward<D>(pts, t.vertices, interior_);
-          PARHULL_CHECK_MSG(ok, "degenerate facet: input not in general position");
+          if (!orient_outward<D>(pts, t.vertices, interior_)) {
+            res.status = HullStatus::kDegenerateInput;
+            return res;
+          }
           t.apex = p;
           t.support0 = fid;
           t.support1 = gid;
@@ -163,7 +188,7 @@ class SequentialHull {
             if (it == ridge_map.end()) {
               ridge_map.emplace(key, PendingRidge{tid, v});
             } else {
-              Facet<D>& other = pool_[it->second.facet];
+              Facet<D>& other = pool[it->second.facet];
               t.neighbors[static_cast<std::size_t>(v)] = it->second.facet;
               other.neighbors[static_cast<std::size_t>(it->second.slot)] = tid;
               ridge_map.erase(it);
@@ -171,25 +196,26 @@ class SequentialHull {
           }
         }
       }
-      for (FacetId f : visible_set) pool_[f].kill();
+      for (FacetId f : visible_set) pool[f].kill();
       PARHULL_DCHECK(ridge_map.empty());
     }
 
     // --- Collect the hull (alive facets).
-    for (FacetId id = 0; id < pool_.size(); ++id) {
-      if (pool_[id].alive()) res.hull.push_back(id);
+    for (FacetId id = 0; id < pool.size(); ++id) {
+      if (pool[id].alive()) res.hull.push_back(id);
     }
+    res.status = HullStatus::kOk;
     res.ok = true;
     return res;
   }
 
-  const Facet<D>& facet(FacetId id) const { return pool_[id]; }
-  Facet<D>& facet(FacetId id) { return pool_[id]; }
-  std::uint32_t facet_count() const { return pool_.size(); }
+  const Facet<D>& facet(FacetId id) const { return (*pool_)[id]; }
+  Facet<D>& facet(FacetId id) { return (*pool_)[id]; }
+  std::uint32_t facet_count() const { return pool_ ? pool_->size() : 0; }
   const Point<D>& interior() const { return interior_; }
 
  private:
-  ConcurrentPool<Facet<D>> pool_;
+  std::unique_ptr<ConcurrentPool<Facet<D>>> pool_;
   std::vector<std::vector<FacetId>> point_facets_;  // C^-1
   Point<D> interior_{};
 };

@@ -1,0 +1,91 @@
+#include "parhull/testing/fault_point.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace parhull::testing {
+
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+std::atomic<int> g_fault_injector_users{0};
+
+namespace {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Per-thread decision stream keyed on (injector, arrival index), mirroring
+// the ScheduleFuzzer's replay scheme.
+struct ThreadFaultStream {
+  const RandomFaultInjector* owner = nullptr;
+  std::uint64_t state = 0;
+};
+thread_local ThreadFaultStream tl_fault_stream;
+
+}  // namespace
+
+bool CountdownFaultInjector::should_fail(FaultSite site) {
+  if (site != site_) return false;
+  if (fired_.load(std::memory_order_acquire)) return false;
+  std::uint64_t before = remaining_.load(std::memory_order_relaxed);
+  while (true) {
+    if (before == 0) {
+      // Claim the single firing; racing threads past zero see fired_.
+      bool expected = false;
+      return fired_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel);
+    }
+    if (remaining_.compare_exchange_weak(before, before - 1,
+                                         std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+}
+
+struct FaultStreamAccess {
+  static std::uint64_t draw(RandomFaultInjector& inj) {
+    ThreadFaultStream& stream = tl_fault_stream;
+    if (stream.owner != &inj) {
+      stream.owner = &inj;
+      std::uint64_t id = inj.next_stream_.fetch_add(1, std::memory_order_relaxed);
+      stream.state = inj.seed_ ^ (0xd1342543de82ef95ULL * (id + 1));
+    }
+    return splitmix64(stream.state);
+  }
+};
+
+bool RandomFaultInjector::should_fail(FaultSite site) {
+  if ((site_mask_ & (std::uint64_t{1} << static_cast<int>(site))) == 0) {
+    return false;
+  }
+  std::uint64_t draw = FaultStreamAccess::draw(*this);
+  if (static_cast<int>(draw % 1000) >= per_mille_) return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+FaultScope::FaultScope(FaultInjector& injector) {
+  g_fault_injector.store(&injector, std::memory_order_release);
+}
+
+FaultScope::~FaultScope() {
+  g_fault_injector.store(nullptr, std::memory_order_seq_cst);
+  // Quiesce: scheduler workers may still be inside should_fail() of an
+  // injector living on the caller's stack frame.
+  while (g_fault_injector_users.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+int fault_seed_count(int dflt) {
+  if (const char* env = std::getenv("PARHULL_FAULT_SEEDS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return dflt;
+}
+
+}  // namespace parhull::testing

@@ -1,0 +1,142 @@
+// Fault-point injection for failure-path testing, modeled on
+// PARHULL_SCHEDULE_POINT() (schedule_point.h).
+//
+// PARHULL_FAULT_POINT(site) marks a point where a resource-style failure
+// can occur — a ridge-table slot running out, a pool block being
+// unavailable, an allocation failing — and evaluates to true when the
+// harness decides that failure should happen NOW. The production code
+// treats an injected fault exactly like the real condition, so every typed
+// error path (HullStatus) can be driven deterministically by tests.
+//
+// Contract:
+//   * Normal builds (PARHULL_FAULT_INJECTION undefined): the macro expands
+//     to the constant `false`, so `if (PARHULL_FAULT_POINT(...))` branches
+//     are dead code the compiler deletes. scripts/check_zero_cost.sh pins
+//     this by force-defining the macro to `false` on the command line and
+//     diffing object code against the stock header.
+//   * Harness builds (-DPARHULL_FAULT_INJECTION=1, part of the
+//     `parhull_fuzzed` target): each point consults a process-global
+//     injector slot. With no injector installed a point is two relaxed
+//     atomic operations and a load — cheap enough for the full test suite.
+//
+// Injectors are installed via the RAII scopes in this header; the
+// uninstalling thread quiesces on an in-flight reader count before the
+// injector's storage is reused (same hazard-pointer-style protocol as the
+// schedule-point global observer).
+#pragma once
+
+#ifdef PARHULL_FAULT_INJECTION
+
+#include <atomic>
+#include <cstdint>
+
+namespace parhull::testing {
+
+// Where a fault can be injected. One enumerator per distinct failure the
+// production code can suffer, not per call site.
+enum class FaultSite : int {
+  kRidgeMapInsert = 0,  // fixed-capacity table probe overflow
+  kPoolAllocate,        // ConcurrentPool id-space exhaustion
+  kAllocation,          // heap allocation failure (table construction)
+  kCount,
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  // True -> the caller must take its failure path. Called concurrently from
+  // every thread that crosses a fault point.
+  virtual bool should_fail(FaultSite site) = 0;
+};
+
+extern std::atomic<FaultInjector*> g_fault_injector;
+extern std::atomic<int> g_fault_injector_users;
+
+inline bool fault_point(FaultSite site) {
+  // seq_cst pairing with the uninstaller's quiescence loop, as in
+  // schedule_point(): either its nullptr store is visible here, or this
+  // increment is visible to its drain loop — never neither.
+  g_fault_injector_users.fetch_add(1, std::memory_order_seq_cst);
+  bool fail = false;
+  if (FaultInjector* injector =
+          g_fault_injector.load(std::memory_order_seq_cst)) {
+    fail = injector->should_fail(site);
+  }
+  g_fault_injector_users.fetch_sub(1, std::memory_order_seq_cst);
+  return fail;
+}
+
+// Fires exactly once: at the Nth crossing of `site` (0 = the first), then
+// disarms. Deterministic given a deterministic crossing order; with
+// concurrent crossings it still fires exactly once, at some crossing >= N.
+class CountdownFaultInjector final : public FaultInjector {
+ public:
+  CountdownFaultInjector(FaultSite site, std::uint64_t after)
+      : site_(site), remaining_(after) {}
+
+  bool should_fail(FaultSite site) override;
+
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+ private:
+  FaultSite site_;
+  std::atomic<std::uint64_t> remaining_;
+  std::atomic<bool> fired_{false};
+};
+
+// Seeded random injector: every crossing of an enabled site fails with
+// probability per_mille/1000, drawn from a deterministic per-thread stream
+// (same seeding scheme as ScheduleFuzzer). Used by the PARHULL_FAULT_SEEDS
+// sweep to explore many distinct failure schedules.
+class RandomFaultInjector final : public FaultInjector {
+ public:
+  // site_mask: bit (1 << site) enables injection at that site; ~0 = all.
+  RandomFaultInjector(std::uint64_t seed, int per_mille,
+                      std::uint64_t site_mask = ~std::uint64_t{0})
+      : seed_(seed), per_mille_(per_mille), site_mask_(site_mask) {}
+
+  bool should_fail(FaultSite site) override;
+
+  std::uint64_t faults_injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t seed_;
+  int per_mille_;
+  std::uint64_t site_mask_;
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> next_stream_{0};
+
+  friend struct FaultStreamAccess;
+};
+
+// RAII: installs `injector` in the global slot for the scope, quiescing
+// in-flight readers on exit.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector& injector);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+// Number of fault seeds sweep tests should explore: PARHULL_FAULT_SEEDS
+// from the environment, else `dflt` (mirrors fuzz_seed_count).
+int fault_seed_count(int dflt = 16);
+
+}  // namespace parhull::testing
+
+#define PARHULL_FAULT_POINT(site) \
+  (::parhull::testing::fault_point(::parhull::testing::FaultSite::site))
+
+#else  // !PARHULL_FAULT_INJECTION
+
+// Overridable (scripts/check_zero_cost.sh force-defines the macro to
+// `false` on the command line and diffs object code to prove the default
+// really is free).
+#ifndef PARHULL_FAULT_POINT
+#define PARHULL_FAULT_POINT(site) (false)
+#endif
+
+#endif  // PARHULL_FAULT_INJECTION

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/geometry/point.h"
 
@@ -33,6 +34,20 @@ struct CheckReport {
 template <int D>
 CheckReport check_hull(const PointSet<D>& pts,
                        const std::vector<std::array<PointId, static_cast<std::size_t>(D)>>& facets);
+
+// Status-aware variant: a run that did not complete (status != kOk) fails
+// the report up front with the typed status, so callers can pipe a
+// Result{status, facets} pair straight into verification.
+template <int D>
+CheckReport check_hull(HullStatus status, const PointSet<D>& pts,
+                       const std::vector<std::array<PointId, static_cast<std::size_t>(D)>>& facets) {
+  if (status != HullStatus::kOk) {
+    CheckReport rep;
+    rep.fail(std::string("hull run failed: ") + to_string(status));
+    return rep;
+  }
+  return check_hull<D>(pts, facets);
+}
 
 // 3D Euler characteristic check: V - E + F == 2 for a simplicial polytope.
 CheckReport check_euler3d(

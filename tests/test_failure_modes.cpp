@@ -1,34 +1,68 @@
-// Failure injection: the library's always-on checks must fire loudly on
-// misuse instead of corrupting results (death tests), and graceful failure
-// paths must report rather than crash.
+// Failure semantics (docs/ERRORS.md): no std::abort reachable from the
+// public API on well-formed or degenerate INPUT — those paths report a
+// typed HullStatus, recover by regrowing/falling back where possible, and
+// leave the object reusable. API misuse and internal-invariant violations
+// (get_value on an absent key, reuse after a successful run) stay fatal
+// (death tests). This binary links parhull_fuzzed, so PARHULL_FAULT_POINT()
+// is live and the deterministic fault injectors can drive every resource
+// failure path on demand.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "parhull/containers/concurrent_pool.h"
 #include "parhull/containers/ridge_map.h"
 #include "parhull/core/parallel_hull.h"
 #include "parhull/degenerate/degenerate_hull3d.h"
+#include "parhull/delaunay/parallel_delaunay2d.h"
 #include "parhull/halfspace/halfspace.h"
+#include "parhull/hull/sequential_hull.h"
 #include "parhull/stats/table.h"
+#include "parhull/testing/fault_point.h"
+#include "parhull/verify/checkers.h"
 #include "parhull/workload/generators.h"
 
 namespace parhull {
 namespace {
 
-// Bodies are free functions so the macro sees a single expression.
-void overfill_cas_map() {
-  RidgeMapCAS<3> map(1);  // capacity next_pow2(68) = 128 slots
-  for (PointId k = 0; k < 1000; ++k) {
-    map.insert_and_set(RidgeKey<3>::from_unsorted({k, k + 100000}),
-                       static_cast<FacetId>(k));
-  }
+using testing::CountdownFaultInjector;
+using testing::FaultScope;
+using testing::FaultSite;
+using testing::RandomFaultInjector;
+
+// The worker-sweep tests exercise WorkerLimit(1..8); force an 8-worker pool
+// so the limits don't collapse on small hosts (same as test_parallel_hull).
+const bool kForcedWorkers = [] {
+  setenv("PARHULL_NUM_WORKERS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+template <int D, template <int> class MapT>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>> alive_tuples(
+    const ParallelHull<D, MapT>& hull, const std::vector<FacetId>& ids) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  for (FacetId id : ids) out.push_back(canonical_vertices(hull.facet(id)));
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
-void overfill_tas_map() {
-  RidgeMapTAS<3> map(1);
-  for (PointId k = 0; k < 2000; ++k) {
-    map.insert_and_set(RidgeKey<3>::from_unsorted({k, k + 100000}),
-                       static_cast<FacetId>(k));
-  }
+template <int D>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>> seq_tuples(
+    const PointSet<D>& pts) {
+  SequentialHull<D> seq;
+  auto res = seq.run(pts);
+  EXPECT_TRUE(res.ok);
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  for (FacetId id : res.hull) out.push_back(canonical_vertices(seq.facet(id)));
+  std::sort(out.begin(), out.end());
+  return out;
 }
+
+// ---------------------------------------------------------------------------
+// Still-fatal paths: API misuse and internal invariants (death tests).
+// ---------------------------------------------------------------------------
 
 void get_absent_key() {
   RidgeMapCAS<3> map(64);
@@ -40,7 +74,7 @@ void run_hull_twice() {
   prepare_input<3>(pts);
   ParallelHull<3> hull;
   hull.run(pts);
-  hull.run(pts);  // second run must abort, not corrupt
+  hull.run(pts);  // second run after SUCCESS must abort, not corrupt
 }
 
 void table_cell_without_row() {
@@ -48,36 +82,12 @@ void table_cell_without_row() {
   t.cell("oops");
 }
 
-void hull_on_collinear_simplex() {
-  // Bypass prepare_input with a collinear "simplex": the exact orientation
-  // check catches it at initialization.
-  PointSet<2> pts;
-  pts.push_back(Point2{{0, 0}});
-  pts.push_back(Point2{{1, 1}});
-  pts.push_back(Point2{{2, 2}});
-  pts.push_back(Point2{{5, 0}});
-  ParallelHull<2> hull;
-  hull.run(pts);
-}
-
-TEST(FailureDeathTest, RidgeMapCasAbortsWhenFull) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  EXPECT_DEATH(overfill_cas_map(), "RidgeMapCAS full");
-}
-
-TEST(FailureDeathTest, RidgeMapTasAbortsWhenFull) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  // Depending on fill order either the reservation pass ("full") or the
-  // check pass ("probe overflow") detects exhaustion; both abort loudly.
-  EXPECT_DEATH(overfill_tas_map(), "RidgeMapTAS");
-}
-
 TEST(FailureDeathTest, GetValueOnAbsentKeyAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(get_absent_key(), "key absent");
 }
 
-TEST(FailureDeathTest, ParallelHullRunIsSingleShot) {
+TEST(FailureDeathTest, ParallelHullRunIsSingleShotAfterSuccess) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(run_hull_twice(), "single-shot");
 }
@@ -87,25 +97,408 @@ TEST(FailureDeathTest, TableCellBeforeRowAborts) {
   EXPECT_DEATH(table_cell_without_row(), "cell before");
 }
 
-TEST(FailureDeathTest, DegenerateInputAbortsParallelHull) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  EXPECT_DEATH(hull_on_collinear_simplex(), "degenerate");
+// ---------------------------------------------------------------------------
+// Ridge maps: overflow latches a typed failure instead of aborting.
+// ---------------------------------------------------------------------------
+
+TEST(MapFailure, CasLatchesCapacityExceededWhenFull) {
+  RidgeMapCAS<3> map(1);  // 128 slots
+  for (PointId k = 0; k < 1000; ++k) {
+    // A failed insert claims first-inserter (returns true), so this loop
+    // never calls get_value on an unpaired key and never aborts.
+    map.insert_and_set(RidgeKey<3>::from_unsorted({k, k + 100000}),
+                       static_cast<FacetId>(k));
+  }
+  EXPECT_TRUE(map.failed());
+  EXPECT_EQ(map.failure(), HullStatus::kCapacityExceeded);
+  // A fresh key that cannot fit reports first-inserter (true), so the
+  // caller never tries to pair it with get_value.
+  EXPECT_TRUE(
+      map.insert_and_set(RidgeKey<3>::from_unsorted({5000, 105000}), 7));
 }
 
-// Graceful (non-aborting) failure paths.
-TEST(GracefulFailure, HalfspaceReportsNotAborts) {
+TEST(MapFailure, TasLatchesCapacityExceededWhenFull) {
+  RidgeMapTAS<3> map(1);
+  for (PointId k = 0; k < 2000; ++k) {
+    map.insert_and_set(RidgeKey<3>::from_unsorted({k, k + 100000}),
+                       static_cast<FacetId>(k));
+  }
+  EXPECT_TRUE(map.failed());
+  EXPECT_EQ(map.failure(), HullStatus::kCapacityExceeded);
+}
+
+TEST(MapFailure, ChainedNeverCapacityExceeded) {
+  RidgeMapChained<3> map(1);  // bucket-count hint only
+  for (PointId k = 0; k < 2000; ++k) {
+    map.insert_and_set(RidgeKey<3>::from_unsorted({k, k + 100000}),
+                       static_cast<FacetId>(k));
+  }
+  EXPECT_FALSE(map.failed());
+  EXPECT_EQ(map.failure(), HullStatus::kOk);
+}
+
+TEST(MapFailure, UndersizedMapRecoversViaSecondAttempt) {
+  // The regrow driver's unit: a run against a too-small map fails typed;
+  // the same keys against a doubled map succeed.
+  std::vector<RidgeKey<3>> keys;
+  for (PointId k = 0; k < 200; ++k) {
+    keys.push_back(RidgeKey<3>::from_unsorted({k, k + 100000}));
+  }
+  std::size_t expected = 8;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    RidgeMapCAS<3> map(expected);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      map.insert_and_set(keys[i], static_cast<FacetId>(i));
+      map.insert_and_set(keys[i], static_cast<FacetId>(i + 1000));
+    }
+    if (!map.failed()) {
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        // The second inserter asks for its partner: the stored first value.
+        FacetId got = map.get_value(keys[i], static_cast<FacetId>(i + 1000));
+        EXPECT_EQ(got, static_cast<FacetId>(i));
+      }
+      return;  // recovered
+    }
+    EXPECT_EQ(map.failure(), HullStatus::kCapacityExceeded);
+    expected *= 2;
+  }
+  FAIL() << "map never recovered via regrow";
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: overflow-safe sizing arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(Sizing, NextPow2OverflowReturnsZero) {
+  EXPECT_EQ(detail::next_pow2(0), std::size_t{1});
+  EXPECT_EQ(detail::next_pow2(1), std::size_t{1});
+  EXPECT_EQ(detail::next_pow2(3), std::size_t{4});
+  EXPECT_EQ(detail::next_pow2(1024), std::size_t{1024});
+  std::size_t max_pow2 = ~(std::numeric_limits<std::size_t>::max() >> 1);
+  EXPECT_EQ(detail::next_pow2(max_pow2), max_pow2);
+  // Previously an infinite loop; now a typed overflow signal.
+  EXPECT_EQ(detail::next_pow2(max_pow2 + 1), std::size_t{0});
+  EXPECT_EQ(detail::next_pow2(std::numeric_limits<std::size_t>::max()),
+            std::size_t{0});
+}
+
+TEST(Sizing, CheckedTableSlotsOverflowReturnsZero) {
+  EXPECT_GT(detail::checked_table_slots(100, 4), std::size_t{0});
+  EXPECT_EQ(
+      detail::checked_table_slots(std::numeric_limits<std::size_t>::max() / 2, 4),
+      std::size_t{0});
+  EXPECT_EQ(
+      detail::checked_table_slots(std::numeric_limits<std::size_t>::max(), 8),
+      std::size_t{0});
+}
+
+TEST(Sizing, AbsurdExpectedKeysFailsConstructionGracefully) {
+  // The multiplication expected_keys * kSlotsPerKey would wrap; the map must
+  // latch kCapacityExceeded without allocating, not abort or loop.
+  RidgeMapCAS<3> cas(std::numeric_limits<std::size_t>::max() / 2);
+  EXPECT_TRUE(cas.failed());
+  EXPECT_EQ(cas.failure(), HullStatus::kCapacityExceeded);
+  EXPECT_EQ(cas.capacity(), std::size_t{0});
+  RidgeMapTAS<3> tas(std::numeric_limits<std::size_t>::max() / 4);
+  EXPECT_TRUE(tas.failed());
+  EXPECT_EQ(tas.capacity(), std::size_t{0});
+  // The chained backend clamps the hint instead of failing.
+  RidgeMapChained<3> chained(std::numeric_limits<std::size_t>::max() / 2);
+  EXPECT_FALSE(chained.failed());
+  EXPECT_GT(chained.capacity(), std::size_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// ParallelHull: typed input rejection, reusability, regrow, fallback.
+// ---------------------------------------------------------------------------
+
+TEST(HullFailure, TooFewPointsReportsBadInput) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}};
+  ParallelHull<3> hull;
+  auto res = hull.run(pts);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kBadInput);
+}
+
+TEST(HullFailure, CollinearSimplexReportsDegenerateAndStaysReusable) {
+  // Bypass prepare_input with a collinear "simplex": the exact orientation
+  // check rejects it with a typed status (satellite 2: validation happens
+  // before any member state is touched).
+  PointSet<2> bad;
+  bad.push_back(Point2{{0, 0}});
+  bad.push_back(Point2{{1, 1}});
+  bad.push_back(Point2{{2, 2}});
+  bad.push_back(Point2{{5, 0}});
+  ParallelHull<2> hull;
+  auto res = hull.run(bad);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDegenerateInput);
+  // The failed run left the object pristine: a valid input now succeeds.
+  auto pts = uniform_ball<2>(100, 17);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  auto res2 = hull.run(pts);
+  EXPECT_TRUE(res2.ok);
+  EXPECT_EQ(res2.status, HullStatus::kOk);
+}
+
+TEST(HullFailure, SequentialHullReportsTypedStatusAndStaysReusable) {
+  SequentialHull<2> seq;
+  PointSet<2> two = {{{0, 0}}, {{1, 0}}};
+  EXPECT_EQ(seq.run(two).status, HullStatus::kBadInput);
+  PointSet<2> collinear = {{{0, 0}}, {{1, 1}}, {{2, 2}}, {{3, 3}}};
+  EXPECT_EQ(seq.run(collinear).status, HullStatus::kDegenerateInput);
+  auto pts = uniform_ball<2>(60, 3);
+  ASSERT_TRUE(prepare_input<2>(pts));
+  EXPECT_TRUE(seq.run(pts).ok);
+}
+
+// Acceptance criterion: a run whose table is sized at ~1/4 of the true
+// ridge-key count completes via regrow with the identical facet set, across
+// 1/2/4/8 workers.
+TEST(HullRegrow, UndersizedTableRegrowsToIdenticalFacetSet) {
+  auto pts = uniform_ball<3>(400, 11);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto reference = seq_tuples<3>(pts);
+
+  // True distinct-ridge-key count of this run, from a full-size reference
+  // run's map: facets * D inserts, two per key.
+  ParallelHull<3> probe;
+  auto probe_res = probe.run(pts);
+  ASSERT_TRUE(probe_res.ok);
+  std::size_t true_keys = probe_res.facets_created * 3 / 2;
+
+  // keys/4 is the acceptance-criterion sizing (borderline: the CAS table is
+  // then about as many slots as there are keys); keys/16 deterministically
+  // overflows and must recover by regrowing.
+  for (std::size_t divisor : {std::size_t{4}, std::size_t{16}}) {
+    for (int workers : {1, 2, 4, 8}) {
+      Scheduler::WorkerLimit limit(workers);
+      ParallelHull<3>::Params params;
+      params.expected_keys = std::max<std::size_t>(1, true_keys / divisor);
+      params.max_regrows = 16;       // plenty: regrow must succeed,
+      params.chained_fallback = false;  // without the fallback's help
+      ParallelHull<3> hull(params);
+      auto res = hull.run(pts);
+      ASSERT_TRUE(res.ok) << "workers=" << workers << " divisor=" << divisor
+                          << " status=" << to_string(res.status);
+      if (divisor >= 16) {
+        EXPECT_GT(res.regrows, 0u) << "workers=" << workers;
+      }
+      EXPECT_FALSE(res.used_chained_fallback);
+      EXPECT_EQ(alive_tuples(hull, res.hull), reference)
+          << "workers=" << workers << " divisor=" << divisor;
+    }
+  }
+}
+
+TEST(HullRegrow, ChainedFallbackWhenRegrowBudgetExhausted) {
+  auto pts = uniform_ball<3>(300, 5);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto reference = seq_tuples<3>(pts);
+  ParallelHull<3>::Params params;
+  params.expected_keys = 1;
+  params.max_regrows = 0;  // no doubling allowed: straight to the fallback
+  params.chained_fallback = true;
+  ParallelHull<3> hull(params);
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  EXPECT_TRUE(res.used_chained_fallback);
+  EXPECT_EQ(alive_tuples(hull, res.hull), reference);
+}
+
+TEST(HullRegrow, DisabledFallbackReportsCapacityExceededThenReusable) {
+  auto pts = uniform_ball<3>(300, 7);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3>::Params params;
+  params.expected_keys = 1;
+  params.max_regrows = 0;
+  params.chained_fallback = false;
+  ParallelHull<3> hull(params);
+  auto res = hull.run(pts);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kCapacityExceeded);
+  // Satellite 2: the failed object accepts new params and runs clean.
+  hull.set_params(ParallelHull<3>::Params{});
+  auto res2 = hull.run(pts);
+  ASSERT_TRUE(res2.ok);
+  EXPECT_EQ(alive_tuples(hull, res2.hull), seq_tuples<3>(pts));
+}
+
+TEST(HullRegrow, AbsurdExpectedKeysFallsBackInsteadOfAborting) {
+  // Sizing overflow (satellite 1) surfaces as kCapacityExceeded, which the
+  // driver converts into a successful chained-fallback run.
+  auto pts = uniform_ball<3>(120, 23);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3>::Params params;
+  params.expected_keys = std::numeric_limits<std::size_t>::max() / 2;
+  params.max_regrows = 4;
+  ParallelHull<3> hull(params);
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  EXPECT_TRUE(res.used_chained_fallback);
+  EXPECT_EQ(alive_tuples(hull, res.hull), seq_tuples<3>(pts));
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection (PARHULL_FAULT_POINT is live here).
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, PoolExhaustionReportsTypedStatusThenCleanRerun) {
+  auto pts = uniform_ball<3>(200, 3);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> hull;
+  {
+    CountdownFaultInjector inj(FaultSite::kPoolAllocate, 50);
+    FaultScope scope(inj);
+    auto res = hull.run(pts);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.status, HullStatus::kPoolExhausted);
+    EXPECT_TRUE(inj.fired());
+  }
+  // Same object, injector gone: the rerun matches the sequential reference.
+  auto res = hull.run(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(alive_tuples(hull, res.hull), seq_tuples<3>(pts));
+}
+
+TEST(FaultInjection, MapAllocationFailureRetriesAndSucceeds) {
+  auto pts = uniform_ball<3>(150, 9);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  CountdownFaultInjector inj(FaultSite::kAllocation, 0);
+  FaultScope scope(inj);
+  ParallelHull<3> hull;
+  auto res = hull.run(pts);  // first map construction fails, retry succeeds
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  EXPECT_TRUE(inj.fired());
+  EXPECT_GE(res.regrows, 1u);
+  EXPECT_EQ(alive_tuples(hull, res.hull), seq_tuples<3>(pts));
+}
+
+// PARHULL_FAULT_SEEDS sweep: under randomized faults at every site, no
+// schedule may abort or corrupt — each run either reports a typed failure
+// or completes with exactly the reference facet set.
+TEST(FaultInjection, RandomFaultSweepNeverAbortsOrCorrupts) {
+  auto pts = uniform_ball<3>(150, 31);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto reference = seq_tuples<3>(pts);
+  const int seeds = testing::fault_seed_count(12);
+  int completed = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    // Alternate heavy faulting at every site with light faulting at the
+    // rare (allocation) site, so the sweep covers both "fails typed" and
+    // "recovers and completes" schedules.
+    std::uint64_t mask = seed % 2 == 0
+                             ? ~std::uint64_t{0}
+                             : std::uint64_t{1}
+                                   << static_cast<int>(FaultSite::kAllocation);
+    RandomFaultInjector inj(static_cast<std::uint64_t>(seed) * 0x9e37 + 1,
+                            /*per_mille=*/seed % 2 == 0 ? 20 : 200, mask);
+    FaultScope scope(inj);
+    ParallelHull<3> hull;
+    auto res = hull.run(pts);
+    if (res.ok) {
+      ++completed;
+      EXPECT_EQ(alive_tuples(hull, res.hull), reference) << "seed=" << seed;
+    } else {
+      EXPECT_TRUE(res.status == HullStatus::kPoolExhausted ||
+                  res.status == HullStatus::kCapacityExceeded)
+          << "seed=" << seed << " status=" << to_string(res.status);
+    }
+  }
+  // Non-vacuousness: the allocation-only seeds retry past the injected
+  // failures (bounded regrows + fallback), so some runs must complete.
+  ::testing::Test::RecordProperty("completed_runs", completed);
+  EXPECT_GT(completed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Delaunay: same driver, same semantics.
+// ---------------------------------------------------------------------------
+
+TEST(DelaunayFailure, UndersizedMapRegrowsToIdenticalTriangulation) {
+  auto pts = uniform_ball<2>(300, 13);
+  ParallelDelaunay2D<> reference;
+  auto ref = reference.run(pts);
+  ASSERT_TRUE(ref.ok);
+  auto ref_tris = ref.triangles;
+  std::sort(ref_tris.begin(), ref_tris.end());
+
+  ParallelDelaunay2D<>::Params params;
+  params.expected_keys = 8;
+  params.max_regrows = 16;
+  params.chained_fallback = false;
+  ParallelDelaunay2D<> dt(params);
+  auto res = dt.run(pts);
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  EXPECT_GT(res.regrows, 0u);
+  auto tris = res.triangles;
+  std::sort(tris.begin(), tris.end());
+  EXPECT_EQ(tris, ref_tris);
+}
+
+TEST(DelaunayFailure, EmptyInputReportsBadInput) {
+  ParallelDelaunay2D<> dt;
+  EXPECT_EQ(dt.run(PointSet<2>{}).status, HullStatus::kBadInput);
+}
+
+TEST(DelaunayFailure, CollinearInputDoesNotAbort) {
+  // All-collinear input: no real triangle exists. The run must either
+  // complete with zero real triangles or report kDegenerateInput — never
+  // abort.
+  PointSet<2> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(Point2{{static_cast<double>(i), 0.0}});
+  }
+  ParallelDelaunay2D<> dt;
+  auto res = dt.run(pts);
+  if (res.ok) {
+    EXPECT_TRUE(res.triangles.empty());
+  } else {
+    EXPECT_EQ(res.status, HullStatus::kDegenerateInput);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Section 6/7 subsystems report typed statuses.
+// ---------------------------------------------------------------------------
+
+TEST(GracefulFailure, HalfspaceReportsTypedStatus) {
   std::vector<HalfSpace<2>> too_few = {{{{1, 0}}, 1}};
-  EXPECT_FALSE(intersect_halfspaces<2>(too_few).ok);
+  auto r1 = intersect_halfspaces<2>(too_few);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_EQ(r1.status, HullStatus::kBadInput);
   std::vector<HalfSpace<2>> bad_offset = {
       {{{1, 0}}, 1}, {{{-1, 0}}, 0.0}, {{{0, 1}}, 1}, {{{0, -1}}, 1}};
-  EXPECT_FALSE(intersect_halfspaces<2>(bad_offset).ok);
+  auto r2 = intersect_halfspaces<2>(bad_offset);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_EQ(r2.status, HullStatus::kBadInput);
+  // Duals all on one line: not full-dimensional.
+  std::vector<HalfSpace<2>> flat = {
+      {{{1, 0}}, 1}, {{{2, 0}}, 1}, {{{3, 0}}, 1}, {{{-1, 0}}, 1}};
+  auto r3 = intersect_halfspaces<2>(flat);
+  EXPECT_FALSE(r3.ok);
+  EXPECT_EQ(r3.status, HullStatus::kDegenerateInput);
 }
 
-TEST(GracefulFailure, DegenerateHullReportsNotAborts) {
+TEST(GracefulFailure, DegenerateHullReportsTypedStatus) {
   PointSet<3> two = {{{0, 0, 0}}, {{1, 1, 1}}};
-  EXPECT_FALSE(degenerate_hull3d(two).ok);
+  auto r1 = degenerate_hull3d(two);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_EQ(r1.status, HullStatus::kBadInput);
   PointSet<3> same(10, Point3{{1, 2, 3}});
-  EXPECT_FALSE(degenerate_hull3d(same).ok);
+  auto r2 = degenerate_hull3d(same);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_EQ(r2.status, HullStatus::kDegenerateInput);
+  PointSet<3> coplanar;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      coplanar.push_back(
+          Point3{{static_cast<double>(i), static_cast<double>(j), 7.0}});
+    }
+  }
+  auto r3 = degenerate_hull3d(coplanar);
+  EXPECT_FALSE(r3.ok);
+  EXPECT_EQ(r3.status, HullStatus::kDegenerateInput);
 }
 
 TEST(GracefulFailure, PrepareInputOnDegenerate) {
@@ -117,6 +510,22 @@ TEST(GracefulFailure, PrepareInputOnDegenerate) {
     }
   }
   EXPECT_FALSE(prepare_input<3>(coplanar));
+}
+
+TEST(GracefulFailure, CheckHullStatusOverloadFailsFast) {
+  PointSet<3> pts = uniform_ball<3>(20, 1);
+  std::vector<std::array<PointId, 3>> facets;
+  auto rep = check_hull<3>(HullStatus::kCapacityExceeded, pts, facets);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("capacity_exceeded"), std::string::npos);
+}
+
+TEST(GracefulFailure, StatusToStringCoversAllValues) {
+  EXPECT_STREQ(to_string(HullStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(HullStatus::kCapacityExceeded), "capacity_exceeded");
+  EXPECT_STREQ(to_string(HullStatus::kPoolExhausted), "pool_exhausted");
+  EXPECT_STREQ(to_string(HullStatus::kDegenerateInput), "degenerate_input");
+  EXPECT_STREQ(to_string(HullStatus::kBadInput), "bad_input");
 }
 
 }  // namespace

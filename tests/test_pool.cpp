@@ -76,5 +76,35 @@ TEST(ConcurrentPool, NonTrivialElementType) {
   }
 }
 
+TEST(ConcurrentPool, TryAllocateReportsIdAndSucceeds) {
+  ConcurrentPool<int> pool;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    std::uint32_t id = 0;
+    ASSERT_TRUE(pool.try_allocate(id));
+    EXPECT_EQ(id, i);
+    pool[id] = static_cast<int>(i);
+  }
+  EXPECT_EQ(pool.size(), 1000u);
+}
+
+TEST(ConcurrentPool, TryAllocateConcurrentUniqueIds) {
+  ConcurrentPool<std::uint32_t> pool;
+  const std::size_t n = 50000;
+  std::vector<std::uint32_t> ids(n);
+  std::atomic<int> failures{0};
+  parallel_for(0, n, [&](std::size_t i) {
+    std::uint32_t id = 0;
+    if (!pool.try_allocate(id)) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    pool[id] = id;
+    ids[i] = id;
+  });
+  EXPECT_EQ(failures.load(), 0);  // far from the id-space bound
+  std::set<std::uint32_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), n);
+}
+
 }  // namespace
 }  // namespace parhull

@@ -6,12 +6,15 @@
 
 #include <array>
 #include <atomic>
+#include <limits>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "parhull/common/random.h"
 #include "parhull/containers/ridge_map.h"
 #include "parhull/parallel/parallel_for.h"
+#include "parhull/testing/fault_point.h"
 #include "parhull/testing/interleave.h"
 
 namespace parhull {
@@ -201,6 +204,75 @@ TEST(RidgeMap2D, SinglePointKeys) {
   EXPECT_EQ(tas.get_value(key, 8), 7u);
   EXPECT_EQ(chained.get_value(key, 8), 7u);
 }
+
+// ---------------------------------------------------------------------------
+// Graceful failure: overflow latches a typed status (docs/ERRORS.md).
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(RidgeMapTest, FreshMapReportsNoFailure) {
+  TypeParam map(64);
+  EXPECT_FALSE(map.failed());
+  EXPECT_EQ(map.failure(), HullStatus::kOk);
+  map.insert_and_set(key2(1, 2), 1);
+  EXPECT_FALSE(map.failed());
+}
+
+TYPED_TEST(RidgeMapTest, ConcurrentOverfillLatchesWithoutCrashing) {
+  // Fixed-capacity backends must latch kCapacityExceeded under concurrent
+  // overflow; the chained backend must absorb everything. Either way every
+  // insert returns (true = first inserter), never aborts.
+  TypeParam map(4);
+  const std::size_t n = 4096;
+  parallel_for(0, n, [&](std::size_t i) {
+    PointId k = static_cast<PointId>(i);
+    map.insert_and_set(key2(k, k + 100000), static_cast<FacetId>(i));
+  });
+  if (std::is_same_v<TypeParam, RidgeMapChained<3>>) {
+    EXPECT_FALSE(map.failed());
+  } else {
+    EXPECT_TRUE(map.failed());
+    EXPECT_EQ(map.failure(), HullStatus::kCapacityExceeded);
+  }
+}
+
+TYPED_TEST(RidgeMapTest, SizingOverflowLatchesAtConstruction) {
+  TypeParam map(std::numeric_limits<std::size_t>::max() / 2);
+  if (std::is_same_v<TypeParam, RidgeMapChained<3>>) {
+    // The chained backend clamps the hint instead of failing.
+    EXPECT_FALSE(map.failed());
+    EXPECT_GT(map.capacity(), 0u);
+  } else {
+    EXPECT_TRUE(map.failed());
+    EXPECT_EQ(map.failure(), HullStatus::kCapacityExceeded);
+    EXPECT_EQ(map.capacity(), 0u);
+  }
+}
+
+#ifdef PARHULL_FAULT_INJECTION
+TEST(RidgeMapFaults, ChainedNodePoolFailureLatchesPoolExhausted) {
+  RidgeMapChained<3> map(64);
+  testing::CountdownFaultInjector inj(testing::FaultSite::kPoolAllocate, 3);
+  testing::FaultScope scope(inj);
+  for (PointId k = 0; k < 10; ++k) {
+    map.insert_and_set(key2(k, k + 100000), static_cast<FacetId>(k));
+  }
+  EXPECT_TRUE(inj.fired());
+  EXPECT_TRUE(map.failed());
+  EXPECT_EQ(map.failure(), HullStatus::kPoolExhausted);
+}
+
+TEST(RidgeMapFaults, InjectedInsertFaultLatchesCapacityExceeded) {
+  RidgeMapCAS<3> map(1024);  // plenty of real capacity
+  testing::CountdownFaultInjector inj(testing::FaultSite::kRidgeMapInsert, 5);
+  testing::FaultScope scope(inj);
+  for (PointId k = 0; k < 10; ++k) {
+    map.insert_and_set(key2(k, k + 100000), static_cast<FacetId>(k));
+  }
+  EXPECT_TRUE(inj.fired());
+  EXPECT_TRUE(map.failed());
+  EXPECT_EQ(map.failure(), HullStatus::kCapacityExceeded);
+}
+#endif  // PARHULL_FAULT_INJECTION
 
 }  // namespace
 }  // namespace parhull
