@@ -1,11 +1,17 @@
 // Shared helpers for the experiment binaries: flag parsing and run scaling.
 // Every binary runs a quick configuration by default (a few seconds) and a
-// larger sweep with --full; --csv switches the tables to CSV.
+// larger sweep with --full; --csv switches the tables to CSV, and
+// --json <path> additionally writes every emitted table to one JSON file
+// (the benchmark-trajectory format consumed by scripts/run_benches.sh —
+// see docs/PERF.md).
 #pragma once
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "parhull/stats/table.h"
 
@@ -14,23 +20,76 @@ namespace parhull::bench {
 struct Options {
   bool full = false;
   bool csv = false;
+  std::string json;  // --json <path>: write emitted tables as one JSON file
 };
 
 inline Options parse(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) opt.full = true;
-    if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
+    if (std::strcmp(argv[i], "--full") == 0) {
+      opt.full = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      opt.csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json = argv[++i];
+    }
   }
   return opt;
 }
 
-inline void emit(const Options& opt, const Table& table) {
+namespace detail {
+
+struct NamedTable {
+  std::string name;
+  Table table;
+};
+
+inline std::vector<NamedTable>& collected_tables() {
+  static std::vector<NamedTable> tables;
+  return tables;
+}
+
+}  // namespace detail
+
+// Print the table (ASCII or CSV) and, under --json, retain a copy for
+// write_json. `name` keys the table in the JSON output; unnamed tables get
+// positional keys.
+inline void emit(const Options& opt, const Table& table,
+                 const std::string& name = "") {
   if (opt.csv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
   }
+  if (!opt.json.empty()) {
+    std::string key = name.empty()
+        ? "table_" + std::to_string(detail::collected_tables().size())
+        : name;
+    detail::collected_tables().push_back({std::move(key), table});
+  }
+}
+
+// Write every table emitted so far to opt.json. Call once at the end of
+// main; a no-op without --json.
+inline void write_json(const Options& opt, const std::string& experiment) {
+  if (opt.json.empty()) return;
+  std::ofstream os(opt.json);
+  if (!os) {
+    std::cerr << "cannot open --json path: " << opt.json << '\n';
+    return;
+  }
+  os << "{\n  \"experiment\": \"" << experiment << "\",\n"
+     << "  \"full\": " << (opt.full ? "true" : "false") << ",\n"
+     << "  \"tables\": [";
+  const auto& tables = detail::collected_tables();
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    os << (i ? ",\n" : "\n") << "    {\n      \"name\": \""
+       << tables[i].name << "\",\n      \"data\":\n";
+    tables[i].table.print_json(os, 6);
+    os << "\n    }";
+  }
+  os << "\n  ]\n}\n";
+  std::cout << "wrote " << opt.json << '\n';
 }
 
 }  // namespace parhull::bench

@@ -50,7 +50,8 @@ void sweep(const bench::Options& opt, Distribution dist) {
         .cell(static_cast<double>(sres.visibility_tests) / nlogn, 3)
         .cell(sres.facets_created);
   }
-  bench::emit(opt, table);
+  bench::emit(opt, table,
+              "d" + std::to_string(D) + "_" + distribution_name(dist));
   std::cout << (all_identical
                     ? "work-efficiency: parallel == sequential on every row\n"
                     : "work-efficiency VIOLATED\n");
@@ -70,5 +71,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPASS criterion: 'identical' is yes everywhere and "
                "tests/(n ln n) stays bounded."
             << std::endl;
+  bench::write_json(opt, "e3_work");
   return 0;
 }

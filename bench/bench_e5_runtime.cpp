@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "parhull/common/timer.h"
 #include "parhull/core/parallel_hull.h"
+#include "parhull/geometry/plane_kernel.h"
 #include "parhull/hull/baselines.h"
 #include "parhull/hull/sequential_hull.h"
 #include "parhull/workload/generators.h"
@@ -31,7 +32,9 @@ double time_once(const std::function<void()>& f) {
 int main(int argc, char** argv) {
   auto opt = bench::parse(argc, argv);
   print_banner(std::cout, "E5: runtime vs baselines (1-thread host)");
-  std::cout << "scheduler workers: " << Scheduler::get().num_workers() << "\n";
+  std::cout << "scheduler workers: " << Scheduler::get().num_workers() << "\n"
+            << "plane kernel: "
+            << plane_kernel_mode_name(plane_kernel_mode()) << "\n";
 
   // ---- 2D ----
   {
@@ -73,7 +76,7 @@ int main(int argc, char** argv) {
         table.row().cell("divide & conquer 2D").cell(static_cast<std::uint64_t>(n)).cell(t, 3).cell(hull.size());
       }
     }
-    bench::emit(opt, table);
+    bench::emit(opt, table, "runtime_2d");
   }
 
   // ---- 3D ----
@@ -106,7 +109,7 @@ int main(int argc, char** argv) {
         table.row().cell("quickhull 3D").cell(static_cast<std::uint64_t>(n)).cell(t, 3).cell(r.facets.size());
       }
     }
-    bench::emit(opt, table);
+    bench::emit(opt, table, "runtime_3d");
   }
 
   std::cout << "\nPASS criterion (shape): Alg 3 at T=1 is within a small "
@@ -115,5 +118,6 @@ int main(int argc, char** argv) {
                "as the paper expects; parallel scaling requires a "
                "multi-core host."
             << std::endl;
+  bench::write_json(opt, "e5_runtime");
   return 0;
 }

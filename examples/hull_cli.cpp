@@ -3,7 +3,12 @@
 // and print run statistics. With no input file, generates a demo cloud.
 //
 //   ./example_hull_cli [input.xyz] [output.off]
+//
+// Passing --demo in place of input.xyz uses the generated demo cloud while
+// still honoring the output argument (used by scripts/run_benches.sh for
+// the plane-kernel on/off facet-set equivalence check).
 #include <cmath>
+#include <cstring>
 #include <iostream>
 
 #include "parhull/core/parallel_hull.h"
@@ -14,7 +19,7 @@ using namespace parhull;
 
 int main(int argc, char** argv) {
   PointSet<3> pts;
-  if (argc > 1) {
+  if (argc > 1 && std::strcmp(argv[1], "--demo") != 0) {
     if (!read_points_file<3>(argv[1], pts)) {
       std::cerr << "cannot read " << argv[1]
                 << " (expected 3 coordinates per line)\n";

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Benchmark-trajectory harness (docs/PERF.md): run the quick E3/E5/E13
+# configurations with machine-readable JSON output, then verify that the
+# plane-side kernel is an optimization, not a behavior change, by diffing
+# the hull facet set computed with the kernel off against scalar and simd
+# modes.
+#
+# Usage: scripts/run_benches.sh [--quick|--full] [--build-dir DIR] [--out-dir DIR]
+#
+# Outputs (in --out-dir, default bench_out/):
+#   BENCH_e3_work.json     work counters + Alg2/Alg3 test-set identity
+#   BENCH_e5_runtime.json  wall-clock table (the headline perf numbers)
+#   BENCH_e13_micro.json   google-benchmark microbenchmarks
+#
+# Exits nonzero if any benchmark fails or if any kernel mode produces a
+# facet set different from the kernel-off reference.
+set -euo pipefail
+
+mode=quick
+build_dir=build
+out_dir=bench_out
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) mode=quick ;;
+    --full) mode=full ;;
+    --build-dir) build_dir="$2"; shift ;;
+    --out-dir) out_dir="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+full_flag=()
+if [[ "$mode" == full ]]; then full_flag=(--full); fi
+mkdir -p "$out_dir"
+
+echo "==== E3: work counters and test-set identity ===="
+"$build_dir/bench/bench_e3_work" "${full_flag[@]}" \
+  --json "$out_dir/BENCH_e3_work.json"
+
+echo "==== E5: runtime vs baselines ===="
+"$build_dir/bench/bench_e5_runtime" "${full_flag[@]}" \
+  --json "$out_dir/BENCH_e5_runtime.json"
+
+echo "==== E13: substrate microbenchmarks ===="
+e13_args=(--benchmark_out="$out_dir/BENCH_e13_micro.json"
+          --benchmark_out_format=json)
+if [[ "$mode" == quick ]]; then
+  e13_args+=(--benchmark_min_time=0.05)
+fi
+"$build_dir/bench/bench_e13_micro" "${e13_args[@]}"
+
+echo "==== kernel on/off facet-set equivalence ===="
+# Same demo cloud under each kernel mode; the OFF meshes must contain the
+# same facet set (sorted-line diff: same points section, facet lines are a
+# set). A mismatch means the filter changed a visibility verdict — fail.
+cli="$build_dir/examples/example_hull_cli"
+ref="$out_dir/hull_kernel_off.off"
+PARHULL_PLANE_KERNEL=off "$cli" --demo "$ref" > /dev/null
+for kmode in scalar simd; do
+  out="$out_dir/hull_kernel_$kmode.off"
+  PARHULL_PLANE_KERNEL=$kmode "$cli" --demo "$out" > /dev/null
+  if ! diff <(sort "$ref") <(sort "$out") > /dev/null; then
+    echo "FACET-SET MISMATCH: kernel=$kmode differs from kernel=off" >&2
+    exit 1
+  fi
+  echo "kernel=$kmode facet set matches kernel=off"
+done
+
+echo "OK: wrote $out_dir/BENCH_e3_work.json, BENCH_e5_runtime.json, BENCH_e13_micro.json"

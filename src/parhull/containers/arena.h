@@ -1,0 +1,200 @@
+// Per-worker bump arena for conflict lists.
+//
+// Conflict lists are written once at facet creation and read until the
+// facet dies; they never grow. A std::vector per facet therefore pays
+// malloc/free and capacity churn for no benefit, and scatters the lists
+// across the heap. The arena instead hands out contiguous PointId blocks
+// from per-worker chunks:
+//
+//  * Each worker (indexed by Scheduler::worker_id()) owns a bump cursor
+//    into its current chunk, so allocation is a pointer increment with no
+//    synchronization on the hot path.
+//  * Exhausted chunks are replaced from a process-wide freelist (mutex
+//    guarded, ConcurrentPool-style), so repeated hull runs recycle memory
+//    instead of hitting the system allocator.
+//  * Filters allocate a block for the worst case (all candidates survive)
+//    and give the unused tail back with shrink(). Reclaim succeeds only if
+//    the block is still the newest allocation on the worker's chunk; a
+//    stolen task may have allocated in between (fork_join helps by
+//    stealing), in which case the tail is simply wasted — bounded by one
+//    candidate list per steal, never corrupted.
+//  * Requests larger than a chunk get a dedicated exactly-sized block.
+//
+// Blocks live until the arena is destroyed or reset; the hull keeps its
+// arena alive as long as facets referencing the lists are reachable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/types.h"
+#include "parhull/parallel/scheduler.h"
+
+namespace parhull {
+
+// Non-owning view of an immutable conflict list (ascending PointIds in
+// arena or vector storage). Trivially copyable; the producing hull owns the
+// backing memory.
+class ConflictList {
+ public:
+  using value_type = PointId;
+  using const_iterator = const PointId*;
+
+  constexpr ConflictList() = default;
+  constexpr ConflictList(const PointId* data, std::size_t size)
+      : data_(data), size_(static_cast<std::uint32_t>(size)) {}
+  // View of a vector the caller keeps alive (tests, adapters).
+  ConflictList(const std::vector<PointId>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(static_cast<std::uint32_t>(v.size())) {}
+
+  const PointId* data() const { return data_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  PointId front() const { return data_[0]; }
+  PointId operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  const PointId* data_ = nullptr;
+  std::uint32_t size_ = 0;
+};
+
+class ConflictArena {
+ public:
+  // 64Ki ids = 256 KiB per chunk: large enough that chunk turnover is cold,
+  // small enough that one chunk per worker is cheap.
+  static constexpr std::size_t kChunkIds = std::size_t{1} << 16;
+
+  // `workers` must cover every Scheduler::worker_id() that will allocate:
+  // Scheduler::get().num_workers() for parallel use, 1 for a
+  // single-threaded owner.
+  explicit ConflictArena(int workers) : workers_(static_cast<std::size_t>(
+        workers > 0 ? workers : 1)) {}
+
+  ~ConflictArena() { release_all(); }
+
+  ConflictArena(const ConflictArena&) = delete;
+  ConflictArena& operator=(const ConflictArena&) = delete;
+
+  // Uninitialized block of n ids on the calling worker's chunk. Never fails
+  // except by throwing bad_alloc (callers that need graceful failure wrap
+  // the hull run, see docs/ERRORS.md).
+  PointId* allocate(std::size_t n) {
+    Worker& w = worker();
+    if (n > kChunkIds) {
+      // Dedicated exactly-sized block; bypasses the bump cursor so the
+      // current chunk keeps filling.
+      Block b{std::make_unique<PointId[]>(n), n};
+      PointId* p = b.ids.get();
+      register_block(std::move(b));
+      return p;
+    }
+    if (w.used + n > w.cap) {
+      Block b = acquire_chunk();
+      w.base = b.ids.get();
+      w.used = 0;
+      w.cap = b.cap;
+      register_block(std::move(b));
+    }
+    PointId* p = w.base + w.used;
+    w.used += n;
+    return p;
+  }
+
+  // Return the tail [used, cap) of a block from allocate(cap). Reclaims
+  // only if the block is still the newest allocation on this worker's
+  // chunk (see file comment); otherwise a bounded no-op.
+  void shrink(const PointId* p, std::size_t cap, std::size_t used) {
+    PARHULL_DCHECK(used <= cap);
+    Worker& w = worker();
+    if (w.base != nullptr && cap <= w.used && p + cap == w.base + w.used) {
+      w.used -= cap - used;
+    }
+  }
+
+  // Recycle every chunk (standard-size ones to the process freelist) and
+  // reset the cursors. Single-threaded: no allocation may be in flight.
+  void reset() {
+    release_all();
+    for (Worker& w : workers_) w = Worker{};
+  }
+
+  std::size_t bytes_reserved() const {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    std::size_t b = 0;
+    for (const Block& blk : blocks_) b += blk.cap * sizeof(PointId);
+    return b;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<PointId[]> ids;
+    std::size_t cap = 0;
+  };
+
+  struct alignas(kCacheLine) Worker {
+    PointId* base = nullptr;
+    std::size_t used = 0;
+    std::size_t cap = 0;
+  };
+
+  struct FreeChunks {
+    std::mutex mu;
+    std::vector<std::unique_ptr<PointId[]>> chunks;
+  };
+
+  // Intentionally leaked: pool threads may outlive static destruction.
+  static FreeChunks& free_chunks() {
+    static FreeChunks* f = new FreeChunks;
+    return *f;
+  }
+
+  Worker& worker() {
+    std::size_t id = static_cast<std::size_t>(Scheduler::worker_id());
+    PARHULL_DCHECK(workers_.size() == 1 || id < workers_.size());
+    return workers_[id < workers_.size() ? id : 0];
+  }
+
+  Block acquire_chunk() {
+    FreeChunks& f = free_chunks();
+    {
+      std::lock_guard<std::mutex> lock(f.mu);
+      if (!f.chunks.empty()) {
+        Block b{std::move(f.chunks.back()), kChunkIds};
+        f.chunks.pop_back();
+        return b;
+      }
+    }
+    return Block{std::make_unique<PointId[]>(kChunkIds), kChunkIds};
+  }
+
+  void register_block(Block b) {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    blocks_.push_back(std::move(b));
+  }
+
+  void release_all() {
+    // Bound the process-wide retained memory to 64 chunks (16 MiB).
+    static constexpr std::size_t kMaxFreeChunks = 64;
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    FreeChunks& f = free_chunks();
+    std::lock_guard<std::mutex> flock(f.mu);
+    for (Block& b : blocks_) {
+      if (b.cap == kChunkIds && f.chunks.size() < kMaxFreeChunks) {
+        f.chunks.push_back(std::move(b.ids));
+      }
+    }
+    blocks_.clear();
+  }
+
+  std::vector<Worker> workers_;
+  mutable std::mutex blocks_mu_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace parhull

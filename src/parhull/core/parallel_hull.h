@@ -45,8 +45,10 @@
 #include "parhull/common/counters.h"
 #include "parhull/common/status.h"
 #include "parhull/common/types.h"
+#include "parhull/containers/arena.h"
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/containers/ridge_map.h"
+#include "parhull/geometry/plane.h"
 #include "parhull/hull/hull_common.h"
 #include "parhull/parallel/parallel_for.h"
 #include "parhull/parallel/primitives.h"
@@ -73,6 +75,10 @@ class ParallelHull {
     // HullStatus::kCapacityExceeded and the driver below regrows.
     std::size_t expected_keys = 0;
     bool parallel_filter = true;  // parallel conflict filtering for big lists
+    // Candidate-count threshold at which a conflict filter forks parallel
+    // chunk tasks (only when parallel_filter is set). 0 also disables
+    // parallelism. Default: measured crossover, see docs/PERF.md.
+    std::size_t filter_grain = kDefaultFilterGrain;
     // On kCapacityExceeded: retry with expected_keys doubled, up to this
     // many times (so the table grows by at most 2^max_regrows).
     int max_regrows = 4;
@@ -198,6 +204,7 @@ class ParallelHull {
   void reset_state() {
     pts_ = nullptr;
     pool_.reset();
+    arena_.reset();
     map_.reset();
     fallback_map_.reset();
     fail_.reset();
@@ -219,6 +226,8 @@ class ParallelHull {
     pts_ = &pts;
     pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
     int workers = Scheduler::get().num_workers();
+    arena_ = std::make_unique<ConflictArena>(workers);
+    bounds_ = coord_bounds<D>(pts);
     tests_.resize(workers);
     conflicts_sum_.resize(workers);
     buried_.resize(workers);
@@ -244,20 +253,17 @@ class ParallelHull {
         res.status = HullStatus::kDegenerateInput;
         return res;
       }
+      f.plane = make_plane<D>(pts, f.vertices, bounds_);
       f.depth = 0;
       f.round = 0;
     }
-    // Conflict lists of the initial facets, each via a parallel filter over
-    // all later points.
+    // Conflict lists of the initial facets, each via a batched range
+    // filter over all later points (parallel chunks above the grain).
     parallel_for(0, static_cast<std::size_t>(D) + 1, [&](std::size_t k) {
       Facet<D>& f = (*pool_)[initial[k]];
-      f.conflicts = parallel_pack_index<PointId>(
-          n - (static_cast<std::size_t>(D) + 1),
-          [&](std::size_t i) {
-            PointId q = static_cast<PointId>(i + D + 1);
-            return visible<D>(pts, f.vertices, q);
-          },
-          [&](std::size_t i) { return static_cast<PointId>(i + D + 1); });
+      f.conflicts = filter_visible_range<D>(
+          pts, f.plane, f.vertices, static_cast<PointId>(D + 1),
+          n - (static_cast<std::size_t>(D) + 1), *arena_, filter_grain());
       tests_.add(Scheduler::worker_id(),
                  n - (static_cast<std::size_t>(D) + 1));
       conflicts_sum_.add(Scheduler::worker_id(), f.conflicts.size());
@@ -362,6 +368,7 @@ class ParallelHull {
       fail(HullStatus::kDegenerateInput);
       return;
     }
+    t.plane = make_plane<D>(pts, t.vertices, bounds_);
     t.apex = p;
     t.support0 = t1;
     t.support1 = t2;
@@ -371,8 +378,9 @@ class ParallelHull {
     detail::atomic_max(max_round_, round);
 
     auto mf = merge_filter_conflicts<D>(f1.conflicts, f2.conflicts, pts,
-                                        t.vertices, p, params_.parallel_filter);
-    t.conflicts = std::move(mf.conflicts);
+                                        t.plane, t.vertices, p, *arena_,
+                                        filter_grain());
+    t.conflicts = mf.conflicts;
     tests_.add(Scheduler::worker_id(), mf.tests);
     conflicts_sum_.add(Scheduler::worker_id(), t.conflicts.size());
     f1.kill();  // line 17: H <- (H \ {t1}) ∪ {t}
@@ -414,10 +422,18 @@ class ParallelHull {
            [&] { spawn(map, calls + half, count - half, round); });
   }
 
+  // Effective parallel-filter grain: 0 (never parallel) unless enabled.
+  std::size_t filter_grain() const {
+    return params_.parallel_filter ? params_.filter_grain : 0;
+  }
+
   Params params_;
   const PointSet<D>* pts_ = nullptr;
   bool completed_ = false;
   std::unique_ptr<ConcurrentPool<Facet<D>>> pool_;
+  // Backs every facet's ConflictList; reset together with pool_.
+  std::unique_ptr<ConflictArena> arena_;
+  CoordBounds<D> bounds_{};
   std::unique_ptr<MapT<D>> map_;
   std::unique_ptr<RidgeMapChained<D>> fallback_map_;
   Point<D> interior_{};

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <new>
@@ -40,6 +41,7 @@
 #include "parhull/common/counters.h"
 #include "parhull/common/status.h"
 #include "parhull/common/types.h"
+#include "parhull/containers/arena.h"
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/containers/ridge_map.h"
 #include "parhull/geometry/predicates.h"
@@ -54,7 +56,7 @@ class ParallelDelaunay2D {
  public:
   struct Tri {
     std::array<PointId, 3> vertices{};  // CCW; ids >= n are ghosts
-    std::vector<PointId> conflicts;     // ascending priority
+    ConflictList conflicts;             // ascending priority (arena-backed)
     std::atomic<bool> dead{false};
     PointId apex = kInvalidPoint;
     FacetId support0 = kInvalidFacet, support1 = kInvalidFacet;
@@ -163,6 +165,7 @@ class ParallelDelaunay2D {
     coords_.clear();
     n_real_ = 0;
     pool_.reset();
+    arena_.reset();
     map_.reset();
     fallback_map_.reset();
     fail_.reset();
@@ -185,6 +188,7 @@ class ParallelDelaunay2D {
     n_real_ = static_cast<PointId>(n);
     pool_ = std::make_unique<ConcurrentPool<Tri>>();
     int workers = Scheduler::get().num_workers();
+    arena_ = std::make_unique<ConflictArena>(workers);
     tests_.resize(workers);
     conflicts_sum_.resize(workers);
     buried_.resize(workers);
@@ -218,9 +222,15 @@ class ParallelDelaunay2D {
       res.status = HullStatus::kDegenerateInput;
       return res;
     }
-    rt.conflicts = parallel_pack_index<PointId>(
-        n, [](std::size_t) { return true; },
-        [&](std::size_t i) { return static_cast<PointId>(i); });
+    {
+      // Every real point conflicts with the super-triangle: an exact-size
+      // arena block filled with the identity.
+      PointId* ids = arena_->allocate(n);
+      parallel_for(0, n, [&](std::size_t i) {
+        ids[i] = static_cast<PointId>(i);
+      });
+      rt.conflicts = ConflictList(ids, n);
+    }
     conflicts_sum_.add(Scheduler::worker_id(), rt.conflicts.size());
 
     // Seed: the three outer edges, each with the "none" partner.
@@ -327,12 +337,25 @@ class ParallelDelaunay2D {
     atomic_max(max_round_, round);
 
     // Conflicts: filter of C(t1) ∪ C(t2), one incircle test per distinct
-    // non-apex candidate.
+    // non-apex candidate. The survivors stream into one arena block sized
+    // for the worst case, with the unused tail shrunk back (no per-triangle
+    // vector churn); the incircle predicate has no affine form, so there is
+    // no batched-kernel stage here.
     {
-      static const std::vector<PointId> kEmpty;
-      const auto& ca = f1.conflicts;
-      const auto& cb = t2 == kInvalidFacet ? kEmpty : (*pool_)[t2].conflicts;
+      const ConflictList ca = f1.conflicts;
+      const ConflictList cb =
+          t2 == kInvalidFacet ? ConflictList() : (*pool_)[t2].conflicts;
+      const std::size_t cap = ca.size() + cb.size();
+      std::vector<PointId> staging;
+      PointId* out;
+      if (cap <= ConflictArena::kChunkIds) {
+        out = arena_->allocate(cap);
+      } else {
+        staging.resize(cap);
+        out = staging.data();
+      }
       std::uint64_t tests = 0;
+      std::size_t m = 0;
       std::size_t i = 0, j = 0;
       while (i < ca.size() || j < cb.size()) {
         PointId next;
@@ -346,7 +369,15 @@ class ParallelDelaunay2D {
         }
         if (next == p) continue;
         ++tests;
-        if (conflicts_with(t.vertices, next)) t.conflicts.push_back(next);
+        if (conflicts_with(t.vertices, next)) out[m++] = next;
+      }
+      if (staging.empty()) {
+        arena_->shrink(out, cap, m);
+        t.conflicts = ConflictList(out, m);
+      } else {
+        PointId* dst = arena_->allocate(m);
+        std::memcpy(dst, staging.data(), m * sizeof(PointId));
+        t.conflicts = ConflictList(dst, m);
       }
       tests_.add(Scheduler::worker_id(), tests);
       conflicts_sum_.add(Scheduler::worker_id(), t.conflicts.size());
@@ -401,6 +432,8 @@ class ParallelDelaunay2D {
   PointId n_real_ = 0;
   bool completed_ = false;
   std::unique_ptr<ConcurrentPool<Tri>> pool_;
+  // Backs every triangle's ConflictList; reset together with pool_.
+  std::unique_ptr<ConflictArena> arena_;
   std::unique_ptr<MapT<3>> map_;
   std::unique_ptr<RidgeMapChained<3>> fallback_map_;
   detail::FailureLatch fail_;

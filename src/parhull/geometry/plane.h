@@ -1,0 +1,73 @@
+// Cached oriented facet hyperplanes.
+//
+// Every visibility test against a facet asks for the sign of the same
+// determinant det[q1-q0; ...; q_{D-1}-q0; p-q0] with only the last row
+// varying. Expanding along that row factors the test into an affine form
+//
+//     S(p) = dot(normal, p) - offset,
+//
+// where normal[j] is the cofactor of p[j] and offset = dot(normal, q0).
+// The facet computes (normal, offset) once at creation, together with a
+// static error bound `err` valid for EVERY input point: whenever the
+// floating-point evaluation s of S(p) satisfies |s| > err, sign(s) is the
+// exact sign of the determinant — the same value orient<D> returns. Points
+// with |s| <= err are "uncertain" and must be resolved through the exact
+// orient<D> path, so the contract matches orient<D> exactly: no sign is
+// ever wrong, borderline cases just cost more.
+//
+// The bound is deliberately generous (same philosophy as the
+// permanent-based filter in predicates.cpp): it must dominate the rounding
+// of the cofactor construction, of the dot-product evaluation in any
+// association order, and of FMA-contracted SIMD evaluation. It uses
+// componentwise coordinate magnitudes of the whole input (CoordBounds),
+// computed once per hull run.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+// Componentwise upper bounds max_i |pts[i][j]| over the input; any point
+// the kernel will ever classify must be covered.
+template <int D>
+struct CoordBounds {
+  std::array<double, D> max_abs{};
+};
+
+template <int D>
+CoordBounds<D> coord_bounds(const PointSet<D>& pts) {
+  CoordBounds<D> b{};
+  for (const Point<D>& p : pts) {
+    for (int j = 0; j < D; ++j) {
+      double a = std::fabs(p[j]);
+      if (a > b.max_abs[static_cast<std::size_t>(j)]) {
+        b.max_abs[static_cast<std::size_t>(j)] = a;
+      }
+    }
+  }
+  return b;
+}
+
+template <int D>
+struct Plane {
+  std::array<double, D> normal{};
+  double offset = 0;
+  // Static filter: |fl(dot(normal, p) - offset)| > err certifies the sign
+  // for every p within the CoordBounds the plane was built with.
+  double err = 0;
+};
+
+// Build the oriented hyperplane of facet vertices fv (orientation as laid
+// out by orient_outward: S(p) > 0 iff p is visible). Compiled in
+// plane_kernel.cpp under strict FP flags; instantiated for
+// D = 2..detail::kMaxGenericDim.
+template <int D>
+Plane<D> make_plane(const PointSet<D>& pts,
+                    const std::array<PointId, static_cast<std::size_t>(D)>& fv,
+                    const CoordBounds<D>& bounds);
+
+}  // namespace parhull

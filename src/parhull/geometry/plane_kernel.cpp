@@ -1,0 +1,373 @@
+// Plane construction (strict FP: this TU is compiled with
+// PARHULL_STRICT_FP_FLAGS, see src/CMakeLists.txt) and the compiled SIMD
+// classification batches. The AVX2 bodies use target attributes so the TU
+// itself needs no -mavx2; dispatch checks the CPU at runtime.
+
+#include "parhull/geometry/plane_kernel.h"
+
+#include <atomic>
+#include <cfloat>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "parhull/common/assert.h"
+#include "parhull/geometry/predicates.h"
+
+#if defined(PARHULL_SIMD) && PARHULL_SIMD
+#if defined(__x86_64__) || defined(_M_X64)
+#define PARHULL_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define PARHULL_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace parhull {
+
+// --------------------------------------------------------------------------
+// Plane construction
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Conservative coefficient for Plane<D>::err, same philosophy as
+// generic_err_coeff in predicates.cpp: it must dominate (a) the cofactor
+// rounding of the normal components — bounded by the permanent-based
+// det_with_permanent error, (d-1)!·4^(d-1)·eps per unit of permanent mass —
+// (b) the offset accumulation and (c) the dot-product evaluation of
+// s = dot(n, p) - off in any association order, scalar or FMA-contracted.
+// The 64x padding keeps it safely generous; a too-large bound only sends
+// borderline candidates to the exact path, never misclassifies.
+double plane_err_coeff(int d) {
+  double fact = 1;
+  for (int i = 2; i <= d - 1; ++i) fact *= i;
+  return 64.0 * (fact * std::ldexp(1.0, 2 * (d - 1)) + 2.0 * (d + 1)) *
+         DBL_EPSILON;
+}
+
+}  // namespace
+
+template <int D>
+Plane<D> make_plane(const PointSet<D>& pts,
+                    const std::array<PointId, static_cast<std::size_t>(D)>& fv,
+                    const CoordBounds<D>& bounds) {
+  // Difference matrix rows q_i - q_0, i = 1..D-1 (D-1 rows x D columns).
+  double m[(detail::kMaxGenericDim - 1) * detail::kMaxGenericDim];
+  const Point<D>& q0 = pts[fv[0]];
+  for (int i = 1; i < D; ++i) {
+    const Point<D>& qi = pts[fv[static_cast<std::size_t>(i)]];
+    for (int j = 0; j < D; ++j) m[(i - 1) * D + j] = qi[j] - q0[j];
+  }
+  Plane<D> pl;
+  // Expanding det[m; p - q0] along the last row: the coefficient of p[j] is
+  // (-1)^((D-1)+j) times the minor omitting column j. `mass` accumulates
+  // the error-bound terms: permanent mass for the cofactor rounding and
+  // |n_j| mass for the dot-product evaluation, both scaled by the
+  // coordinate magnitude bound of component j.
+  double mass = 0;
+  double minor[(detail::kMaxGenericDim - 1) * (detail::kMaxGenericDim - 1)];
+  for (int j = 0; j < D; ++j) {
+    for (int r = 0; r < D - 1; ++r) {
+      int out = 0;
+      for (int c = 0; c < D; ++c) {
+        if (c == j) continue;
+        minor[r * (D - 1) + out] = m[r * D + c];
+        ++out;
+      }
+    }
+    double det, perm;
+    detail::det_with_permanent(minor, D - 1, D - 1, det, perm);
+    double sgn = ((D - 1 + j) % 2 == 0) ? 1.0 : -1.0;
+    pl.normal[static_cast<std::size_t>(j)] = sgn * det;
+    mass += (perm + std::fabs(det)) * bounds.max_abs[static_cast<std::size_t>(j)];
+  }
+  double off = 0;
+  for (int j = 0; j < D; ++j) {
+    off += pl.normal[static_cast<std::size_t>(j)] * q0[j];
+  }
+  pl.offset = off;
+  pl.err = plane_err_coeff(D) * (mass + std::fabs(off));
+  return pl;
+}
+
+template Plane<2> make_plane<2>(const PointSet<2>&,
+                                const std::array<PointId, 2>&,
+                                const CoordBounds<2>&);
+template Plane<3> make_plane<3>(const PointSet<3>&,
+                                const std::array<PointId, 3>&,
+                                const CoordBounds<3>&);
+template Plane<4> make_plane<4>(const PointSet<4>&,
+                                const std::array<PointId, 4>&,
+                                const CoordBounds<4>&);
+template Plane<5> make_plane<5>(const PointSet<5>&,
+                                const std::array<PointId, 5>&,
+                                const CoordBounds<5>&);
+template Plane<6> make_plane<6>(const PointSet<6>&,
+                                const std::array<PointId, 6>&,
+                                const CoordBounds<6>&);
+template Plane<7> make_plane<7>(const PointSet<7>&,
+                                const std::array<PointId, 7>&,
+                                const CoordBounds<7>&);
+template Plane<8> make_plane<8>(const PointSet<8>&,
+                                const std::array<PointId, 8>&,
+                                const CoordBounds<8>&);
+
+// --------------------------------------------------------------------------
+// Mode selection
+// --------------------------------------------------------------------------
+
+bool plane_kernel_simd_available() {
+#if defined(PARHULL_SIMD_AVX2)
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#elif defined(PARHULL_SIMD_NEON)
+  return true;  // NEON is baseline on aarch64
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+std::atomic<int> g_mode{-1};  // -1 = unresolved
+
+PlaneKernelMode resolve_default_mode() {
+  const char* env = std::getenv("PARHULL_PLANE_KERNEL");
+  if (env != nullptr) {
+    if (std::strcmp(env, "off") == 0) return PlaneKernelMode::kOff;
+    if (std::strcmp(env, "scalar") == 0) return PlaneKernelMode::kScalar;
+    if (std::strcmp(env, "simd") == 0) {
+      return plane_kernel_simd_available() ? PlaneKernelMode::kSimd
+                                           : PlaneKernelMode::kScalar;
+    }
+    // Unknown value: fall through to the default rather than abort.
+  }
+  return plane_kernel_simd_available() ? PlaneKernelMode::kSimd
+                                       : PlaneKernelMode::kScalar;
+}
+
+}  // namespace
+
+PlaneKernelMode plane_kernel_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    m = static_cast<int>(resolve_default_mode());
+    g_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<PlaneKernelMode>(m);
+}
+
+void set_plane_kernel_mode(PlaneKernelMode mode) {
+  if (mode == PlaneKernelMode::kSimd && !plane_kernel_simd_available()) {
+    mode = PlaneKernelMode::kScalar;
+  }
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+const char* plane_kernel_mode_name(PlaneKernelMode mode) {
+  switch (mode) {
+    case PlaneKernelMode::kOff: return "off";
+    case PlaneKernelMode::kScalar: return "scalar";
+    case PlaneKernelMode::kSimd: return "simd";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------------
+// SIMD batches
+// --------------------------------------------------------------------------
+
+namespace detail {
+
+#if defined(PARHULL_SIMD_AVX2)
+
+namespace {
+
+__attribute__((target("avx2,fma")))
+inline void emit_masks(__m256d s, __m256d errv, __m256d nerrv,
+                       std::int8_t* out) {
+  int pm = _mm256_movemask_pd(_mm256_cmp_pd(s, errv, _CMP_GT_OQ));
+  int nm = _mm256_movemask_pd(_mm256_cmp_pd(s, nerrv, _CMP_LT_OQ));
+  for (int k = 0; k < 4; ++k) {
+    out[k] = static_cast<std::int8_t>(((pm >> k) & 1) - ((nm >> k) & 1));
+  }
+}
+
+__attribute__((target("avx2,fma")))
+void avx2_d2(const double* coords, const PointId* ids, PointId first,
+             std::size_t count, const Plane<2>& pl, std::int8_t* out) {
+  const __m256d n0 = _mm256_set1_pd(pl.normal[0]);
+  const __m256d n1 = _mm256_set1_pd(pl.normal[1]);
+  const __m256d offv = _mm256_set1_pd(pl.offset);
+  const __m256d errv = _mm256_set1_pd(pl.err);
+  const __m256d nerrv = _mm256_set1_pd(-pl.err);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256d x, y;
+    if (ids == nullptr) {
+      const double* p = coords + (static_cast<std::size_t>(first) + i) * 2;
+      __m256d a = _mm256_loadu_pd(p);      // x0 y0 x1 y1
+      __m256d b = _mm256_loadu_pd(p + 4);  // x2 y2 x3 y3
+      // unpack interleaves per 128-bit lane -> order {0,2,1,3}; fix below.
+      x = _mm256_unpacklo_pd(a, b);  // x0 x2 x1 x3
+      y = _mm256_unpackhi_pd(a, b);  // y0 y2 y1 y3
+    } else {
+      const double* q0 = coords + static_cast<std::size_t>(ids[i]) * 2;
+      const double* q1 = coords + static_cast<std::size_t>(ids[i + 1]) * 2;
+      const double* q2 = coords + static_cast<std::size_t>(ids[i + 2]) * 2;
+      const double* q3 = coords + static_cast<std::size_t>(ids[i + 3]) * 2;
+      x = _mm256_set_pd(q3[0], q1[0], q2[0], q0[0]);  // matches {0,2,1,3}
+      y = _mm256_set_pd(q3[1], q1[1], q2[1], q0[1]);
+    }
+    __m256d s = _mm256_fmsub_pd(x, n0, offv);
+    s = _mm256_fmadd_pd(y, n1, s);
+    s = _mm256_permute4x64_pd(s, _MM_SHUFFLE(3, 1, 2, 0));  // -> {0,1,2,3}
+    emit_masks(s, errv, nerrv, out + i);
+  }
+  for (; i < count; ++i) {
+    PointId q = ids != nullptr ? ids[i] : static_cast<PointId>(first + i);
+    out[i] = classify_one<2>(coords + static_cast<std::size_t>(q) * 2, pl);
+  }
+}
+
+__attribute__((target("avx2,fma")))
+void avx2_d3(const double* coords, const PointId* ids, PointId first,
+             std::size_t count, const Plane<3>& pl, std::int8_t* out) {
+  const __m256d n0 = _mm256_set1_pd(pl.normal[0]);
+  const __m256d n1 = _mm256_set1_pd(pl.normal[1]);
+  const __m256d n2 = _mm256_set1_pd(pl.normal[2]);
+  const __m256d offv = _mm256_set1_pd(pl.offset);
+  const __m256d errv = _mm256_set1_pd(pl.err);
+  const __m256d nerrv = _mm256_set1_pd(-pl.err);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const double *q0, *q1, *q2, *q3;
+    if (ids == nullptr) {
+      q0 = coords + (static_cast<std::size_t>(first) + i) * 3;
+      q1 = q0 + 3;
+      q2 = q0 + 6;
+      q3 = q0 + 9;
+    } else {
+      q0 = coords + static_cast<std::size_t>(ids[i]) * 3;
+      q1 = coords + static_cast<std::size_t>(ids[i + 1]) * 3;
+      q2 = coords + static_cast<std::size_t>(ids[i + 2]) * 3;
+      q3 = coords + static_cast<std::size_t>(ids[i + 3]) * 3;
+    }
+    __m256d x = _mm256_set_pd(q3[0], q2[0], q1[0], q0[0]);
+    __m256d y = _mm256_set_pd(q3[1], q2[1], q1[1], q0[1]);
+    __m256d z = _mm256_set_pd(q3[2], q2[2], q1[2], q0[2]);
+    __m256d s = _mm256_fmsub_pd(x, n0, offv);
+    s = _mm256_fmadd_pd(y, n1, s);
+    s = _mm256_fmadd_pd(z, n2, s);
+    emit_masks(s, errv, nerrv, out + i);
+  }
+  for (; i < count; ++i) {
+    PointId q = ids != nullptr ? ids[i] : static_cast<PointId>(first + i);
+    out[i] = classify_one<3>(coords + static_cast<std::size_t>(q) * 3, pl);
+  }
+}
+
+}  // namespace
+
+void classify_simd_d2(const double* coords, const PointId* ids, PointId first,
+                      std::size_t count, const Plane<2>& pl,
+                      std::int8_t* out) {
+  if (plane_kernel_simd_available()) {
+    avx2_d2(coords, ids, first, count, pl, out);
+  } else if (ids != nullptr) {
+    classify_scalar_ids<2>(coords, ids, count, pl, out);
+  } else {
+    classify_scalar_range<2>(coords, first, count, pl, out);
+  }
+}
+
+void classify_simd_d3(const double* coords, const PointId* ids, PointId first,
+                      std::size_t count, const Plane<3>& pl,
+                      std::int8_t* out) {
+  if (plane_kernel_simd_available()) {
+    avx2_d3(coords, ids, first, count, pl, out);
+  } else if (ids != nullptr) {
+    classify_scalar_ids<3>(coords, ids, count, pl, out);
+  } else {
+    classify_scalar_range<3>(coords, first, count, pl, out);
+  }
+}
+
+#elif defined(PARHULL_SIMD_NEON)
+
+namespace {
+
+inline void emit_pair(float64x2_t s, double err, std::int8_t* out) {
+  double lane0 = vgetq_lane_f64(s, 0);
+  double lane1 = vgetq_lane_f64(s, 1);
+  out[0] = lane0 > err ? 1 : (lane0 < -err ? -1 : 0);
+  out[1] = lane1 > err ? 1 : (lane1 < -err ? -1 : 0);
+}
+
+template <int D>
+void neon_classify(const double* coords, const PointId* ids, PointId first,
+                   std::size_t count, const Plane<D>& pl, std::int8_t* out) {
+  const float64x2_t offv = vdupq_n_f64(pl.offset);
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const double* a = coords + static_cast<std::size_t>(
+        ids != nullptr ? ids[i] : first + i) * D;
+    const double* b = coords + static_cast<std::size_t>(
+        ids != nullptr ? ids[i + 1] : first + i + 1) * D;
+    float64x2_t s = vnegq_f64(offv);
+    for (int j = 0; j < D; ++j) {
+      float64x2_t pj = {a[j], b[j]};
+      s = vfmaq_n_f64(s, pj, pl.normal[static_cast<std::size_t>(j)]);
+    }
+    emit_pair(s, pl.err, out + i);
+  }
+  for (; i < count; ++i) {
+    PointId q = ids != nullptr ? ids[i] : static_cast<PointId>(first + i);
+    out[i] = classify_one<D>(coords + static_cast<std::size_t>(q) * D, pl);
+  }
+}
+
+}  // namespace
+
+void classify_simd_d2(const double* coords, const PointId* ids, PointId first,
+                      std::size_t count, const Plane<2>& pl,
+                      std::int8_t* out) {
+  neon_classify<2>(coords, ids, first, count, pl, out);
+}
+
+void classify_simd_d3(const double* coords, const PointId* ids, PointId first,
+                      std::size_t count, const Plane<3>& pl,
+                      std::int8_t* out) {
+  neon_classify<3>(coords, ids, first, count, pl, out);
+}
+
+#else  // SIMD compiled out: the "simd" mode degrades to the scalar core.
+
+void classify_simd_d2(const double* coords, const PointId* ids, PointId first,
+                      std::size_t count, const Plane<2>& pl,
+                      std::int8_t* out) {
+  if (ids != nullptr) {
+    classify_scalar_ids<2>(coords, ids, count, pl, out);
+  } else {
+    classify_scalar_range<2>(coords, first, count, pl, out);
+  }
+}
+
+void classify_simd_d3(const double* coords, const PointId* ids, PointId first,
+                      std::size_t count, const Plane<3>& pl,
+                      std::int8_t* out) {
+  if (ids != nullptr) {
+    classify_scalar_ids<3>(coords, ids, count, pl, out);
+  } else {
+    classify_scalar_range<3>(coords, first, count, pl, out);
+  }
+}
+
+#endif
+
+}  // namespace detail
+
+}  // namespace parhull

@@ -1,0 +1,119 @@
+// Batched plane-side classification: the staged visibility filter's fast
+// stage, evaluated over whole conflict lists instead of one predicate call
+// per (facet, point) pair.
+//
+// classify_plane_side writes, for each candidate point,
+//   +1  certainly visible    (s >  plane.err)
+//   -1  certainly invisible  (s < -plane.err)
+//    0  uncertain            (|s| <= plane.err; resolve via exact orient<D>)
+// where s = fl(dot(plane.normal, p) - plane.offset). The certain verdicts
+// carry the exact-sign guarantee of Plane<D>::err, so callers only pay the
+// expansion path for the uncertain residue.
+//
+// Three kernel modes, selected at runtime (PARHULL_PLANE_KERNEL=off|scalar|
+// simd, or set_plane_kernel_mode for tests):
+//   off    — callers bypass classification and run the classic per-point
+//            orient<D> loop (reference behavior);
+//   scalar — the templated cores below: contiguous flat-array loops the
+//            compiler auto-vectorizes;
+//   simd   — hand-written AVX2/FMA (x86-64) or NEON (aarch64) batches for
+//            D = 2, 3, compiled behind the PARHULL_SIMD build option and
+//            dispatched only if the CPU supports them; other D fall back
+//            to the scalar core.
+// All modes classify with the same plane and the same conservative bound,
+// so the certain/uncertain *split* may differ between modes (FMA rounds
+// differently) but certified signs never disagree — the facet sets and the
+// logical test multisets are mode-invariant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/plane.h"
+
+namespace parhull {
+
+enum class PlaneKernelMode { kOff, kScalar, kSimd };
+
+// Current mode: the first call resolves PARHULL_PLANE_KERNEL from the
+// environment (default: simd when compiled in and supported, else scalar).
+PlaneKernelMode plane_kernel_mode();
+void set_plane_kernel_mode(PlaneKernelMode mode);
+const char* plane_kernel_mode_name(PlaneKernelMode mode);
+// True iff the SIMD batch path is compiled in and this CPU executes it.
+bool plane_kernel_simd_available();
+
+namespace detail {
+
+template <int D>
+inline std::int8_t classify_one(const double* p, const Plane<D>& pl) {
+  double s = -pl.offset;
+  for (int j = 0; j < D; ++j) {
+    s += pl.normal[static_cast<std::size_t>(j)] * p[j];
+  }
+  return s > pl.err ? std::int8_t{1} : (s < -pl.err ? std::int8_t{-1}
+                                                    : std::int8_t{0});
+}
+
+// Scalar cores. `coords` is the flat coordinate array (point q at
+// coords + q * D). The gather variant indexes through ids; the range
+// variant classifies points first..first+count-1 (contiguous loads, which
+// the compiler vectorizes).
+template <int D>
+inline void classify_scalar_ids(const double* coords, const PointId* ids,
+                                std::size_t count, const Plane<D>& pl,
+                                std::int8_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = classify_one<D>(coords + static_cast<std::size_t>(ids[i]) * D, pl);
+  }
+}
+
+template <int D>
+inline void classify_scalar_range(const double* coords, PointId first,
+                                  std::size_t count, const Plane<D>& pl,
+                                  std::int8_t* out) {
+  const double* p = coords + static_cast<std::size_t>(first) * D;
+  for (std::size_t i = 0; i < count; ++i, p += D) {
+    out[i] = classify_one<D>(p, pl);
+  }
+}
+
+// Compiled SIMD batches (plane_kernel.cpp). ids == nullptr means the range
+// variant starting at `first`. Fall back to the scalar cores when SIMD is
+// compiled out or unsupported.
+void classify_simd_d2(const double* coords, const PointId* ids, PointId first,
+                      std::size_t count, const Plane<2>& pl, std::int8_t* out);
+void classify_simd_d3(const double* coords, const PointId* ids, PointId first,
+                      std::size_t count, const Plane<3>& pl, std::int8_t* out);
+
+}  // namespace detail
+
+// Classify `count` candidates against pl: points ids[0..count) when
+// ids != nullptr, else points first..first+count. Callers are expected to
+// have checked plane_kernel_mode() != kOff (kOff means "don't classify,
+// run the exact predicate per point").
+template <int D>
+inline void classify_plane_side(const PointSet<D>& pts, const Plane<D>& pl,
+                                const PointId* ids, PointId first,
+                                std::size_t count, std::int8_t* out) {
+  static_assert(sizeof(Point<D>) == static_cast<std::size_t>(D) *
+                sizeof(double), "PointSet must be a flat coordinate array");
+  const double* coords = reinterpret_cast<const double*>(pts.data());
+  if (plane_kernel_mode() == PlaneKernelMode::kSimd) {
+    if constexpr (D == 2) {
+      detail::classify_simd_d2(coords, ids, first, count, pl, out);
+      return;
+    } else if constexpr (D == 3) {
+      detail::classify_simd_d3(coords, ids, first, count, pl, out);
+      return;
+    }
+  }
+  if (ids != nullptr) {
+    detail::classify_scalar_ids<D>(coords, ids, count, pl, out);
+  } else {
+    detail::classify_scalar_range<D>(coords, first, count, pl, out);
+  }
+}
+
+}  // namespace parhull

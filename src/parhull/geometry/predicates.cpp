@@ -3,16 +3,54 @@
 #include <atomic>
 #include <cfloat>
 #include <cmath>
+#include <mutex>
 
 #include "parhull/common/assert.h"
+#include "parhull/common/types.h"
 #include "parhull/geometry/expansion.h"
 
 namespace parhull {
 
 namespace {
 
-std::atomic<std::uint64_t> g_exact_fallbacks{0};
-std::atomic<std::uint64_t> g_calls{0};
+// Per-worker predicate statistics. Each thread increments a private
+// cache-line-padded slot with relaxed atomics (cross-thread reads need
+// atomicity but no ordering); slots are registered once per thread in a
+// mutex-guarded registry and aggregated on the cold read path. Registry
+// and slots are intentionally leaked: pool threads may still run during
+// static destruction, and dead threads' counts must stay in the totals.
+struct alignas(kCacheLine) PredSlot {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> exact{0};
+};
+
+struct PredRegistry {
+  std::mutex mu;
+  std::vector<PredSlot*> slots;
+};
+
+PredRegistry& pred_registry() {
+  static PredRegistry* r = new PredRegistry;
+  return *r;
+}
+
+PredSlot& pred_slot() {
+  thread_local PredSlot* slot = [] {
+    auto* s = new PredSlot;
+    PredRegistry& r = pred_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.slots.push_back(s);
+    return s;
+  }();
+  return *slot;
+}
+
+inline void count_call() {
+  pred_slot().calls.fetch_add(1, std::memory_order_relaxed);
+}
+inline void count_exact() {
+  pred_slot().exact.fetch_add(1, std::memory_order_relaxed);
+}
 
 inline int sign_of(double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
 
@@ -24,41 +62,6 @@ const double kO3dErrBoundA = (7.0 + 56.0 * kEps) * kEps;
 // --------------------------------------------------------------------------
 // Generic-dimension machinery
 // --------------------------------------------------------------------------
-
-// Recursive cofactor determinant of an n x n matrix of doubles, also
-// accumulating the permanent of absolute values (for the error bound).
-void det_and_perm(const double* m, int n, int stride, double& det,
-                  double& perm) {
-  if (n == 1) {
-    det = m[0];
-    perm = std::fabs(m[0]);
-    return;
-  }
-  if (n == 2) {
-    det = m[0] * m[stride + 1] - m[1] * m[stride];
-    perm = std::fabs(m[0] * m[stride + 1]) + std::fabs(m[1] * m[stride]);
-    return;
-  }
-  det = 0;
-  perm = 0;
-  // Expand along the first row; build the minor by column exclusion.
-  double minor[detail::kMaxGenericDim * detail::kMaxGenericDim];
-  for (int col = 0; col < n; ++col) {
-    for (int r = 1; r < n; ++r) {
-      int out_c = 0;
-      for (int c = 0; c < n; ++c) {
-        if (c == col) continue;
-        minor[(r - 1) * (n - 1) + out_c] = m[r * stride + c];
-        ++out_c;
-      }
-    }
-    double sub_det, sub_perm;
-    det_and_perm(minor, n - 1, n - 1, sub_det, sub_perm);
-    double sgn = (col % 2 == 0) ? 1.0 : -1.0;
-    det += sgn * m[col] * sub_det;
-    perm += std::fabs(m[col]) * sub_perm;
-  }
-}
 
 // Exact cofactor determinant over expansions.
 Expansion det_exact(const Expansion* m, int n, int stride) {
@@ -99,12 +102,51 @@ double generic_err_coeff(int n) {
 
 }  // namespace
 
+namespace detail {
+
+// Recursive cofactor determinant of an n x n matrix of doubles, also
+// accumulating the permanent of absolute values (for the error bounds).
+void det_with_permanent(const double* m, int n, int stride, double& det,
+                        double& perm) {
+  if (n == 1) {
+    det = m[0];
+    perm = std::fabs(m[0]);
+    return;
+  }
+  if (n == 2) {
+    det = m[0] * m[stride + 1] - m[1] * m[stride];
+    perm = std::fabs(m[0] * m[stride + 1]) + std::fabs(m[1] * m[stride]);
+    return;
+  }
+  det = 0;
+  perm = 0;
+  // Expand along the first row; build the minor by column exclusion.
+  double minor[kMaxGenericDim * kMaxGenericDim];
+  for (int col = 0; col < n; ++col) {
+    for (int r = 1; r < n; ++r) {
+      int out_c = 0;
+      for (int c = 0; c < n; ++c) {
+        if (c == col) continue;
+        minor[(r - 1) * (n - 1) + out_c] = m[r * stride + c];
+        ++out_c;
+      }
+    }
+    double sub_det, sub_perm;
+    det_with_permanent(minor, n - 1, n - 1, sub_det, sub_perm);
+    double sgn = (col % 2 == 0) ? 1.0 : -1.0;
+    det += sgn * m[col] * sub_det;
+    perm += std::fabs(m[col]) * sub_perm;
+  }
+}
+
+}  // namespace detail
+
 // --------------------------------------------------------------------------
 // 2D
 // --------------------------------------------------------------------------
 
 int orient2d(const Point2& a, const Point2& b, const Point2& c) {
-  g_calls.fetch_add(1, std::memory_order_relaxed);
+  count_call();
   double detleft = (a[0] - c[0]) * (b[1] - c[1]);
   double detright = (a[1] - c[1]) * (b[0] - c[0]);
   double det = detleft - detright;
@@ -123,7 +165,7 @@ int orient2d(const Point2& a, const Point2& b, const Point2& c) {
   if (det >= errbound || -det >= errbound) return sign_of(det);
 
   // Exact path: det = (ax-cx)(by-cy) - (ay-cy)(bx-cx) over expansions.
-  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  count_exact();
   Expansion axcx = Expansion::diff(a[0], c[0]);
   Expansion bycy = Expansion::diff(b[1], c[1]);
   Expansion aycy = Expansion::diff(a[1], c[1]);
@@ -161,7 +203,7 @@ int orient3d_shewchuk(const Point3& a, const Point3& b, const Point3& c,
   if (det > errbound || -det > errbound) return sign_of(det);
 
   // Exact path over expansions.
-  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  count_exact();
   Expansion eadx = Expansion::diff(a[0], d[0]);
   Expansion eady = Expansion::diff(a[1], d[1]);
   Expansion eadz = Expansion::diff(a[2], d[2]);
@@ -181,7 +223,7 @@ int orient3d_shewchuk(const Point3& a, const Point3& b, const Point3& c,
 
 int orient3d(const Point3& a, const Point3& b, const Point3& c,
              const Point3& d) {
-  g_calls.fetch_add(1, std::memory_order_relaxed);
+  count_call();
   return -orient3d_shewchuk(a, b, c, d);
 }
 
@@ -192,7 +234,7 @@ int orient3d(const Point3& a, const Point3& b, const Point3& c,
 namespace detail {
 
 int orient_generic(const double* const* rows, int dim) {
-  g_calls.fetch_add(1, std::memory_order_relaxed);
+  count_call();
   PARHULL_CHECK(dim >= 1 && dim <= kMaxGenericDim);
   // Build the difference matrix m[i][j] = rows[i+1][j] - rows[0][j].
   double m[kMaxGenericDim * kMaxGenericDim];
@@ -202,11 +244,11 @@ int orient_generic(const double* const* rows, int dim) {
     }
   }
   double det, perm;
-  det_and_perm(m, dim, dim, det, perm);
+  det_with_permanent(m, dim, dim, det, perm);
   double errbound = generic_err_coeff(dim) * perm;
   if (det > errbound || -det > errbound) return sign_of(det);
 
-  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  count_exact();
   std::vector<Expansion> em(static_cast<std::size_t>(dim * dim));
   for (int i = 0; i < dim; ++i) {
     for (int j = 0; j < dim; ++j) {
@@ -229,7 +271,7 @@ const double kIccErrBoundA = (10.0 + 96.0 * kEps) * kEps;
 
 int incircle(const Point2& a, const Point2& b, const Point2& c,
              const Point2& d) {
-  g_calls.fetch_add(1, std::memory_order_relaxed);
+  count_call();
   double adx = a[0] - d[0], ady = a[1] - d[1];
   double bdx = b[0] - d[0], bdy = b[1] - d[1];
   double cdx = c[0] - d[0], cdy = c[1] - d[1];
@@ -250,7 +292,7 @@ int incircle(const Point2& a, const Point2& b, const Point2& c,
   if (det > errbound || -det > errbound) return sign_of(det);
 
   // Exact path over expansions.
-  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  count_exact();
   Expansion eadx = Expansion::diff(a[0], d[0]);
   Expansion eady = Expansion::diff(a[1], d[1]);
   Expansion ebdx = Expansion::diff(b[0], d[0]);
@@ -293,7 +335,7 @@ bool affinely_independent(const double* const* rows, int k, int dim) {
       for (int c = 0; c < k; ++c) sub[r * k + c] = diff[r * dim + cols[c]];
     }
     double det, perm;
-    det_and_perm(sub, k, k, det, perm);
+    detail::det_with_permanent(sub, k, k, det, perm);
     if (std::fabs(det) > generic_err_coeff(k) * perm) return true;
     // Inconclusive: evaluate this minor exactly.
     std::vector<Expansion> em(static_cast<std::size_t>(k * k));
@@ -319,7 +361,7 @@ bool affinely_independent(const double* const* rows, int k, int dim) {
 // --------------------------------------------------------------------------
 
 int side_of_circle(const Point2& center, double radius, const Point2& p) {
-  g_calls.fetch_add(1, std::memory_order_relaxed);
+  count_call();
   double dx = p[0] - center[0], dy = p[1] - center[1];
   double d2 = dx * dx + dy * dy;
   double r2 = radius * radius;
@@ -328,7 +370,7 @@ int side_of_circle(const Point2& center, double radius, const Point2& p) {
   double bound = 8 * DBL_EPSILON * (std::fabs(d2) + r2);
   if (diff > bound || -diff > bound) return sign_of(diff);
 
-  g_exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  count_exact();
   Expansion edx = Expansion::diff(p[0], center[0]);
   Expansion edy = Expansion::diff(p[1], center[1]);
   Expansion exact = edx * edx + edy * edy - Expansion::product(radius, radius);
@@ -340,14 +382,33 @@ int side_of_circle(const Point2& center, double radius, const Point2& p) {
 // --------------------------------------------------------------------------
 
 std::uint64_t predicate_exact_fallbacks() {
-  return g_exact_fallbacks.load(std::memory_order_relaxed);
+  PredRegistry& r = pred_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (PredSlot* s : r.slots) {
+    total += s->exact.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 std::uint64_t predicate_calls() {
-  return g_calls.load(std::memory_order_relaxed);
+  PredRegistry& r = pred_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (PredSlot* s : r.slots) {
+    total += s->calls.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 void reset_predicate_stats() {
-  g_exact_fallbacks.store(0, std::memory_order_relaxed);
-  g_calls.store(0, std::memory_order_relaxed);
+  PredRegistry& r = pred_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (PredSlot* s : r.slots) {
+    s->exact.store(0, std::memory_order_relaxed);
+    s->calls.store(0, std::memory_order_relaxed);
+  }
+}
+void add_filtered_predicate_calls(std::uint64_t n) {
+  pred_slot().calls.fetch_add(n, std::memory_order_relaxed);
 }
 
 }  // namespace parhull

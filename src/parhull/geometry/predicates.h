@@ -31,13 +31,34 @@ namespace detail {
 // Implemented for D up to kMaxGenericDim.
 inline constexpr int kMaxGenericDim = 8;
 int orient_generic(const double* const* rows, int dim);
+
+// Cofactor determinant of an n x n double matrix (row stride `stride`),
+// together with the permanent of absolute values, which drives the
+// conservative error bounds. Shared with plane construction
+// (geometry/plane_kernel.cpp).
+void det_with_permanent(const double* m, int n, int stride, double& det,
+                        double& perm);
 }  // namespace detail
 
-// Number of predicate invocations that needed the exact (expansion) path
-// since process start; used by the filter-effectiveness microbenchmark.
+// Predicate statistics. Counts are kept in per-worker cache-line-padded
+// slots with relaxed increments (the hot loops this library optimizes call
+// predicates from every worker; a single global atomic is false-sharing
+// contention) and aggregated on read.
+//
+// predicate_calls() counts LOGICAL visibility/orientation tests: one per
+// orient/incircle invocation, plus the tests the batched plane-side kernel
+// certifies without calling orient — see add_filtered_predicate_calls.
+// predicate_exact_fallbacks() counts tests that needed expansion
+// arithmetic.
 std::uint64_t predicate_exact_fallbacks();
 std::uint64_t predicate_calls();
 void reset_predicate_stats();
+
+// Bulk-count n logical tests resolved by the batched static filter (the
+// certainly-visible/-invisible verdicts). The uncertain residue goes
+// through orient<D>, which counts itself, so calls == logical tests in
+// every kernel mode.
+void add_filtered_predicate_calls(std::uint64_t n);
 
 // Orientation of pts[0..D] (D+1 points) in R^D.
 template <int D>

@@ -1,6 +1,7 @@
 // Machinery shared by the sequential (Algorithm 2) and parallel
 // (Algorithm 3) incremental hulls: the facet record, visibility tests,
-// outward orientation, and initial-simplex construction.
+// outward orientation, initial-simplex construction, and the batched
+// conflict filter both algorithms share (docs/PERF.md).
 //
 // Conventions:
 //  * The input PointSet is in insertion order; the index of a point IS its
@@ -10,27 +11,46 @@
 //    reference point — centroid of the initial simplex — is on the
 //    non-visible side).
 //  * Conflict lists are sorted ascending, so the conflict pivot
-//    b_t = min_S(C(t)) (Section 5.2) is the front element.
+//    b_t = min_S(C(t)) (Section 5.2) is the front element. They live in
+//    arena storage (containers/arena.h) owned by the hull object.
+//  * Visibility is decided by a staged filter: the facet's cached
+//    hyperplane (Facet::plane) classifies whole candidate blocks with one
+//    batched signed-distance sweep; only the uncertain residue pays the
+//    exact orient<D> path. Every returned sign is exact, and the logical
+//    test multiset is identical in all kernel modes — which is what makes
+//    invariant I2 (test-set identity between Algorithms 2 and 3) checkable.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstring>
 #include <vector>
 
 #include "parhull/common/assert.h"
 #include "parhull/common/types.h"
+#include "parhull/containers/arena.h"
 #include "parhull/containers/ridge_key.h"
+#include "parhull/geometry/plane.h"
+#include "parhull/geometry/plane_kernel.h"
 #include "parhull/geometry/point.h"
 #include "parhull/geometry/predicates.h"
 #include "parhull/parallel/primitives.h"
 
 namespace parhull {
 
+// Default Params::filter_grain: conflict filters with at least this many
+// candidates fork parallel chunk tasks; smaller lists run inline. Set from
+// a grain sweep on the E5 3D workload (docs/PERF.md): runtime is flat in
+// the grain on a 1-core host, so the default errs toward not forking —
+// lists under 4 chunk tasks' worth of candidates stay inline.
+inline constexpr std::size_t kDefaultFilterGrain = 8192;
+
 template <int D>
 struct Facet {
   std::array<PointId, D> vertices{};  // sorted ascending, then orientation swap
-  std::vector<PointId> conflicts;     // ascending priority, excludes vertices
+  Plane<D> plane{};                   // cached hyperplane of `vertices`
+  ConflictList conflicts;             // ascending priority, excludes vertices
   std::array<FacetId, D> neighbors{}; // sequential algorithm only:
                                       // neighbors[k] is across the ridge
                                       // omitting vertices[k]
@@ -63,7 +83,8 @@ struct Facet {
 };
 
 // True iff point p is strictly visible from facet vertices f (positive side
-// of the oriented hyperplane).
+// of the oriented hyperplane). The exact reference path — also the resolver
+// for kernel-uncertain candidates.
 template <int D>
 inline bool visible(const PointSet<D>& pts,
                     const std::array<PointId, static_cast<std::size_t>(D)>& f,
@@ -137,23 +158,222 @@ bool prepare_input(PointSet<D>& pts) {
   return true;
 }
 
+namespace detail {
+
+// Candidates per classification block: big enough to amortize the kernel
+// dispatch and keep SIMD lanes full, small enough for the int8 verdicts to
+// sit in a stack buffer inside L1.
+inline constexpr std::size_t kFilterBlock = 1024;
+// Chunk length of the parallel filter path (the per-task unit forked by
+// parallel_for over chunks).
+inline constexpr std::size_t kFilterParChunk = 2048;
+
+// Filter one candidate block against facet (fv, pl): append the visible
+// candidates (order preserved) to out, return how many. Candidates are
+// ids[0..count) when ids != nullptr, else first..first+count.
+//
+// Counter contract (predicates.h): with the kernel off, every candidate
+// goes through orient<D>, which self-counts. With the kernel on, the
+// (count - uncertain) certified verdicts are bulk-counted here and the
+// uncertain residue self-counts in orient<D> — predicate_calls() advances
+// once per logical test in every mode.
+template <int D>
+std::uint32_t filter_visible_block(
+    const PointSet<D>& pts, const Plane<D>& pl,
+    const std::array<PointId, static_cast<std::size_t>(D)>& fv,
+    const PointId* ids, PointId first, std::size_t count, PointId* out) {
+  if (plane_kernel_mode() == PlaneKernelMode::kOff) {
+    std::uint32_t m = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      PointId q = ids != nullptr ? ids[i] : static_cast<PointId>(first + i);
+      if (visible<D>(pts, fv, q)) out[m++] = q;
+    }
+    return m;
+  }
+  std::uint32_t m = 0;
+  std::int8_t cls[kFilterBlock];
+  for (std::size_t beg = 0; beg < count; beg += kFilterBlock) {
+    const std::size_t len = std::min(kFilterBlock, count - beg);
+    classify_plane_side<D>(pts, pl, ids != nullptr ? ids + beg : nullptr,
+                           static_cast<PointId>(first + beg), len, cls);
+    std::size_t uncertain = 0;
+    for (std::size_t k = 0; k < len; ++k) {
+      PointId q = ids != nullptr ? ids[beg + k]
+                                 : static_cast<PointId>(first + beg + k);
+      if (cls[k] > 0) {
+        out[m++] = q;
+      } else if (cls[k] == 0) {
+        ++uncertain;
+        if (visible<D>(pts, fv, q)) out[m++] = q;
+      }
+    }
+    add_filtered_predicate_calls(static_cast<std::uint64_t>(len - uncertain));
+  }
+  return m;
+}
+
+// Allocate-filter-shrink driver. Runs `filter(buf)` — which must write at
+// most `count` survivors into buf and return how many — against an arena
+// block, staging through a transient vector when the worst case exceeds a
+// chunk (rare: only the very largest lists), so arena blocks are never
+// oversized by more than a shrink-miss.
+template <class FilterFn>
+ConflictList run_filter_into_arena(std::size_t count, ConflictArena& arena,
+                                   FilterFn&& filter) {
+  if (count <= ConflictArena::kChunkIds) {
+    PointId* out = arena.allocate(count);
+    std::uint32_t m = filter(out);
+    arena.shrink(out, count, m);
+    return ConflictList(out, m);
+  }
+  std::vector<PointId> staging(count);
+  std::uint32_t m = filter(staging.data());
+  PointId* out = arena.allocate(m);
+  std::memcpy(out, staging.data(), static_cast<std::size_t>(m) *
+              sizeof(PointId));
+  return ConflictList(out, m);
+}
+
+// Full filter driver: sequential when grain == 0 or the list is below the
+// grain; otherwise fixed-size chunks filtered by parallel_for and
+// compacted (stable) afterwards. Parallel chunk tasks only write disjoint
+// slices of the output block — they never allocate from the arena, so the
+// coordinating worker's shrink stays valid unless a stolen task
+// interleaved an allocation (bounded waste, see containers/arena.h).
+template <int D>
+ConflictList filter_visible(
+    const PointSet<D>& pts, const Plane<D>& pl,
+    const std::array<PointId, static_cast<std::size_t>(D)>& fv,
+    const PointId* ids, PointId first, std::size_t count,
+    ConflictArena& arena, std::size_t grain) {
+  if (grain == 0 || count < grain) {
+    return run_filter_into_arena(count, arena, [&](PointId* out) {
+      return filter_visible_block<D>(pts, pl, fv, ids, first, count, out);
+    });
+  }
+  const std::size_t nchunks = (count + kFilterParChunk - 1) / kFilterParChunk;
+  std::vector<std::uint32_t> cnt(nchunks);
+  return run_filter_into_arena(count, arena, [&](PointId* out) {
+    parallel_for(0, nchunks, [&](std::size_t c) {
+      const std::size_t beg = c * kFilterParChunk;
+      const std::size_t len = std::min(kFilterParChunk, count - beg);
+      cnt[c] = filter_visible_block<D>(
+          pts, pl, fv, ids != nullptr ? ids + beg : nullptr,
+          static_cast<PointId>(first + beg), len, out + beg);
+    }, 1);
+    std::uint32_t m = cnt[0];
+    for (std::size_t c = 1; c < nchunks; ++c) {
+      if (cnt[c] != 0 && m != c * kFilterParChunk) {
+        std::memmove(out + m, out + c * kFilterParChunk,
+                     static_cast<std::size_t>(cnt[c]) * sizeof(PointId));
+      }
+      m += cnt[c];
+    }
+    return m;
+  });
+}
+
+}  // namespace detail
+
+// Conflict list of a fresh facet from a contiguous candidate range
+// (initial facets: every point after the simplex).
+template <int D>
+ConflictList filter_visible_range(
+    const PointSet<D>& pts, const Plane<D>& pl,
+    const std::array<PointId, static_cast<std::size_t>(D)>& fv,
+    PointId first, std::size_t count, ConflictArena& arena,
+    std::size_t grain = 0) {
+  return detail::filter_visible<D>(pts, pl, fv, nullptr, first, count, arena,
+                                   grain);
+}
+
 // Merge two ascending conflict lists (line 9 of Algorithm 2 / line 16 of
 // Algorithm 3): drop duplicates and the apex p, keep points visible from
-// the new facet fv. One visibility test per distinct non-apex candidate —
-// identical counting in the sequential and parallel algorithms, which is
-// what makes invariant I2 (test-set identity) checkable.
+// the new facet (fv, plane). One logical visibility test per distinct
+// non-apex candidate — identical counting in the sequential and parallel
+// algorithms, which is what makes invariant I2 (test-set identity)
+// checkable. The survivors land in a single arena block.
+//
+// parallel_grain: candidate totals at or above it filter in parallel
+// chunks; 0 disables parallelism (the sequential hull, and
+// Params::parallel_filter == false).
 template <int D>
 struct MergeFilterResult {
-  std::vector<PointId> conflicts;
+  ConflictList conflicts;
   std::uint64_t tests = 0;
 };
 
 template <int D>
 MergeFilterResult<D> merge_filter_conflicts(
-    const std::vector<PointId>& a, const std::vector<PointId>& b,
-    const PointSet<D>& pts,
+    ConflictList a, ConflictList b, const PointSet<D>& pts,
+    const Plane<D>& plane,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv, PointId apex,
-    bool parallel_ok = false);
+    ConflictArena& arena, std::size_t parallel_grain = 0) {
+  MergeFilterResult<D> result;
+  const std::size_t cap = a.size() + b.size();
+  if (cap == 0) return result;
+
+  if (parallel_grain != 0 && cap >= parallel_grain) {
+    // Parallel path: materialize the merged candidates once, then filter
+    // them in parallel chunks.
+    std::vector<PointId> candidates;
+    candidates.reserve(cap);
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      PointId next;
+      if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+        next = a[i];
+        if (j < b.size() && b[j] == next) ++j;  // duplicate
+        ++i;
+      } else {
+        next = b[j];
+        ++j;
+      }
+      if (next != apex) candidates.push_back(next);
+    }
+    result.tests = candidates.size();
+    result.conflicts = detail::filter_visible<D>(
+        pts, plane, fv, candidates.data(), 0, candidates.size(), arena,
+        parallel_grain);
+    return result;
+  }
+
+  // Sequential path: stream the merge through a stack block, filtering as
+  // it fills — no candidate materialization at all.
+  result.conflicts = detail::run_filter_into_arena(
+      cap, arena, [&](PointId* out) {
+        PointId cand[detail::kFilterBlock];
+        std::size_t len = 0;
+        std::uint32_t m = 0;
+        std::size_t i = 0, j = 0;
+        while (i < a.size() || j < b.size()) {
+          PointId next;
+          if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+            next = a[i];
+            if (j < b.size() && b[j] == next) ++j;  // duplicate
+            ++i;
+          } else {
+            next = b[j];
+            ++j;
+          }
+          if (next == apex) continue;
+          cand[len++] = next;
+          if (len == detail::kFilterBlock) {
+            result.tests += len;
+            m += detail::filter_visible_block<D>(pts, plane, fv, cand, 0, len,
+                                                 out + m);
+            len = 0;
+          }
+        }
+        if (len != 0) {
+          result.tests += len;
+          m += detail::filter_visible_block<D>(pts, plane, fv, cand, 0, len,
+                                               out + m);
+        }
+        return m;
+      });
+  return result;
+}
 
 // Sorted vertex tuple (canonical identity of a facet as a configuration).
 template <int D>
@@ -162,46 +382,6 @@ std::array<PointId, static_cast<std::size_t>(D)> canonical_vertices(
   auto v = f.vertices;
   std::sort(v.begin(), v.end());
   return v;
-}
-
-template <int D>
-MergeFilterResult<D> merge_filter_conflicts(
-    const std::vector<PointId>& a, const std::vector<PointId>& b,
-    const PointSet<D>& pts,
-    const std::array<PointId, static_cast<std::size_t>(D)>& fv, PointId apex,
-    bool parallel_ok) {
-  MergeFilterResult<D> result;
-  // Merge the two ascending unique lists into a unique candidate sequence,
-  // skipping the apex.
-  std::vector<PointId> candidates;
-  candidates.reserve(a.size() + b.size());
-  std::size_t i = 0, j = 0;
-  while (i < a.size() || j < b.size()) {
-    PointId next;
-    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
-      next = a[i];
-      if (j < b.size() && b[j] == next) ++j;  // duplicate
-      ++i;
-    } else {
-      next = b[j];
-      ++j;
-    }
-    if (next != apex) candidates.push_back(next);
-  }
-  result.tests = candidates.size();
-  constexpr std::size_t kParallelCutoff = 4096;
-  if (!parallel_ok || candidates.size() < kParallelCutoff) {
-    result.conflicts.reserve(candidates.size());
-    for (PointId q : candidates) {
-      if (visible<D>(pts, fv, q)) result.conflicts.push_back(q);
-    }
-  } else {
-    result.conflicts = parallel_pack_index<PointId>(
-        candidates.size(),
-        [&](std::size_t k) { return visible<D>(pts, fv, candidates[k]); },
-        [&](std::size_t k) { return candidates[k]; });
-  }
-  return result;
 }
 
 }  // namespace parhull

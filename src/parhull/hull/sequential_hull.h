@@ -21,7 +21,9 @@
 #include "parhull/common/assert.h"
 #include "parhull/common/status.h"
 #include "parhull/common/types.h"
+#include "parhull/containers/arena.h"
 #include "parhull/containers/concurrent_pool.h"
+#include "parhull/geometry/plane.h"
 #include "parhull/hull/hull_common.h"
 
 namespace parhull {
@@ -50,9 +52,13 @@ class SequentialHull {
       return res;
     }
     pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
+    // Conflict lists of the previous run (if any) die with the old arena;
+    // this run is single-threaded, so one worker slot suffices.
+    arena_ = std::make_unique<ConflictArena>(1);
     point_facets_.clear();
     ConcurrentPool<Facet<D>>& pool = *pool_;
     interior_ = centroid<D>(pts.data(), D + 1);
+    bounds_ = coord_bounds<D>(pts);
 
     // --- Initial simplex: facet F_k omits point k (Algorithm 2, line 2).
     point_facets_.assign(n, {});
@@ -74,6 +80,7 @@ class SequentialHull {
         res.status = HullStatus::kDegenerateInput;
         return res;
       }
+      f.plane = make_plane<D>(pts, f.vertices, bounds_);
       // Neighbor across the ridge omitting vertices[m] is the simplex facet
       // that omits that vertex.
       for (int m = 0; m < D; ++m) {
@@ -91,17 +98,17 @@ class SequentialHull {
       }
     }
 
-    // --- Initial conflict lists (line 3).
-    for (PointId q = static_cast<PointId>(D + 1); q < n; ++q) {
-      for (int k = 0; k <= D; ++k) {
-        FacetId id = initial[static_cast<std::size_t>(k)];
-        Facet<D>& f = pool[id];
-        ++res.visibility_tests;
-        if (visible<D>(pts, f.vertices, q)) {
-          f.conflicts.push_back(q);
-          point_facets_[q].push_back(id);
-        }
-      }
+    // --- Initial conflict lists (line 3): one batched range filter per
+    // simplex facet. Facet-outer iteration in ascending k preserves the
+    // point_facets_ per-point facet order of the former point-outer loop.
+    for (int k = 0; k <= D; ++k) {
+      FacetId id = initial[static_cast<std::size_t>(k)];
+      Facet<D>& f = pool[id];
+      f.conflicts = filter_visible_range<D>(
+          pts, f.plane, f.vertices, static_cast<PointId>(D + 1),
+          n - (static_cast<std::size_t>(D) + 1), *arena_);
+      res.visibility_tests += n - (static_cast<std::size_t>(D) + 1);
+      for (PointId q : f.conflicts) point_facets_[q].push_back(id);
     }
     res.facets_created = static_cast<std::uint64_t>(D) + 1;
     for (int k = 0; k <= D; ++k) {
@@ -154,6 +161,7 @@ class SequentialHull {
             res.status = HullStatus::kDegenerateInput;
             return res;
           }
+          t.plane = make_plane<D>(pts, t.vertices, bounds_);
           t.apex = p;
           t.support0 = fid;
           t.support1 = gid;
@@ -161,9 +169,9 @@ class SequentialHull {
           if (t.depth > res.dependence_depth) res.dependence_depth = t.depth;
 
           auto mf = merge_filter_conflicts<D>(f.conflicts, g.conflicts, pts,
-                                              t.vertices, p);
+                                              t.plane, t.vertices, p, *arena_);
           res.visibility_tests += mf.tests;
-          t.conflicts = std::move(mf.conflicts);
+          t.conflicts = mf.conflicts;
           res.total_conflicts += t.conflicts.size();
           for (PointId q : t.conflicts) point_facets_[q].push_back(tid);
           ++res.facets_created;
@@ -216,8 +224,12 @@ class SequentialHull {
 
  private:
   std::unique_ptr<ConcurrentPool<Facet<D>>> pool_;
+  // Backs every facet's ConflictList; must outlive pool_'s facets, i.e.
+  // live until the next run replaces both.
+  std::unique_ptr<ConflictArena> arena_;
   std::vector<std::vector<FacetId>> point_facets_;  // C^-1
   Point<D> interior_{};
+  CoordBounds<D> bounds_{};
 };
 
 }  // namespace parhull

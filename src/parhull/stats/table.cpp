@@ -1,5 +1,6 @@
 #include "parhull/stats/table.h"
 
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -68,6 +69,82 @@ void Table::print_csv(std::ostream& os) const {
     }
     os << '\n';
   }
+}
+
+namespace {
+
+// A cell is written unquoted iff it is a valid finite JSON number.
+bool is_json_number(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  if (s[i] == '-') ++i;
+  std::size_t digits = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i, ++digits;
+  if (digits == 0) return false;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    std::size_t frac = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i, ++frac;
+    if (frac == 0) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    std::size_t exp = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i, ++exp;
+    if (exp == 0) return false;
+  }
+  return i == s.size();
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_cell(std::ostream& os, const std::string& s) {
+  if (is_json_number(s)) {
+    os << s;
+  } else {
+    write_json_string(os, s);
+  }
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "{\n" << pad << "  \"columns\": [";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ", ";
+    write_json_string(os, columns_[c]);
+  }
+  os << "],\n" << pad << "  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r ? ",\n" : "\n") << pad << "    [";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c) os << ", ";
+      write_json_cell(os, rows_[r][c]);
+    }
+    os << "]";
+  }
+  os << '\n' << pad << "  ]\n" << pad << "}";
 }
 
 void print_banner(std::ostream& os, const std::string& title) {

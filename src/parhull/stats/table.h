@@ -26,6 +26,10 @@ class Table {
 
   void print(std::ostream& os) const;       // aligned ASCII
   void print_csv(std::ostream& os) const;   // machine-readable
+  // One JSON object {"columns": [...], "rows": [[...], ...]}. Cells that
+  // parse as plain JSON numbers are emitted unquoted so trajectory tooling
+  // can diff them numerically; everything else is an escaped string.
+  void print_json(std::ostream& os, int indent = 0) const;
 
  private:
   std::vector<std::string> columns_;

@@ -10,6 +10,10 @@
 namespace parhull {
 namespace {
 
+std::vector<PointId> to_vec(ConflictList c) {
+  return std::vector<PointId>(c.begin(), c.end());
+}
+
 TEST(MergeFilter, DedupesAndExcludesApex) {
   // Square hull edge (0,0)-(2,0); candidate points above are visible.
   PointSet<2> pts = {
@@ -24,8 +28,11 @@ TEST(MergeFilter, DedupesAndExcludesApex) {
   ASSERT_TRUE(visible<2>(pts, edge, PointId{2}));
   std::vector<PointId> a = {2, 3, 5};
   std::vector<PointId> b = {2, 4, 5};
-  auto res = merge_filter_conflicts<2>(a, b, pts, edge, /*apex=*/5);
-  EXPECT_EQ(res.conflicts, (std::vector<PointId>{2, 4}));
+  ConflictArena arena(1);
+  Plane<2> pl = make_plane<2>(pts, edge, coord_bounds<2>(pts));
+  auto res =
+      merge_filter_conflicts<2>(a, b, pts, pl, edge, /*apex=*/5, arena);
+  EXPECT_EQ(to_vec(res.conflicts), (std::vector<PointId>{2, 4}));
   // Tests: distinct non-apex candidates = {2, 3, 4}.
   EXPECT_EQ(res.tests, 3u);
 }
@@ -33,7 +40,10 @@ TEST(MergeFilter, DedupesAndExcludesApex) {
 TEST(MergeFilter, EmptyInputs) {
   PointSet<2> pts = {{{0, 0}}, {{2, 0}}, {{9, 9}}};
   std::array<PointId, 2> edge = {0, 1};
-  auto res = merge_filter_conflicts<2>({}, {}, pts, edge, 2);
+  ConflictArena arena(1);
+  Plane<2> pl = make_plane<2>(pts, edge, coord_bounds<2>(pts));
+  auto res = merge_filter_conflicts<2>(ConflictList(), ConflictList(), pts,
+                                       pl, edge, 2, arena);
   EXPECT_TRUE(res.conflicts.empty());
   EXPECT_EQ(res.tests, 0u);
 }
@@ -52,9 +62,13 @@ TEST(MergeFilter, ParallelPathMatchesSequential) {
     if (i % 2 == 0) a.push_back(i);
     if (i % 3 == 0) b.push_back(i);
   }
-  auto seq = merge_filter_conflicts<2>(a, b, pts, edge, 7, false);
-  auto par = merge_filter_conflicts<2>(a, b, pts, edge, 7, true);
-  EXPECT_EQ(seq.conflicts, par.conflicts);
+  ConflictArena arena(1);
+  Plane<2> pl = make_plane<2>(pts, edge, coord_bounds<2>(pts));
+  auto seq = merge_filter_conflicts<2>(a, b, pts, pl, edge, 7, arena,
+                                       /*parallel_grain=*/0);
+  auto par = merge_filter_conflicts<2>(a, b, pts, pl, edge, 7, arena,
+                                       /*parallel_grain=*/64);
+  EXPECT_EQ(to_vec(seq.conflicts), to_vec(par.conflicts));
   EXPECT_EQ(seq.tests, par.tests);
   EXPECT_TRUE(std::is_sorted(seq.conflicts.begin(), seq.conflicts.end()));
 }
@@ -91,7 +105,8 @@ TEST(RidgeOmitting, EnumeratesAllRidges) {
 TEST(FacetPivot, FrontOfSortedConflicts) {
   Facet<2> f;
   EXPECT_EQ(f.pivot(), kInvalidPoint);
-  f.conflicts = {7, 9, 42};
+  const std::vector<PointId> ids = {7, 9, 42};
+  f.conflicts = ConflictList(ids);
   EXPECT_EQ(f.pivot(), 7u);
 }
 

@@ -332,6 +332,51 @@ TEST(WorkerCountDeterminism, Identical2D) {
   expect_identical_across_worker_counts<2>(uniform_ball<2>(3000, 201));
 }
 
+// ---------------------------------------------------------------------------
+// Params::filter_grain (docs/PERF.md): the grain tunes WHERE the conflict
+// filter forks, never WHAT it computes. Every grain — always-parallel,
+// never-parallel, the default, and parallel_filter off — must yield the
+// same created facets, counters, and hull.
+// ---------------------------------------------------------------------------
+
+TEST(FilterGrain, SweepIsBehaviorInvariant) {
+  auto pts = uniform_ball<3>(4000, 303);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  ParallelHull<3> ref;  // default params
+  auto rres = ref.run(pts);
+  ASSERT_TRUE(rres.ok);
+  const auto created = all_created(ref);
+  const auto alive = alive_tuples(ref, rres.hull);
+
+  std::vector<ParallelHull<3>::Params> configs;
+  for (std::size_t grain : {std::size_t{1}, std::size_t{64},
+                            kDefaultFilterGrain, std::size_t(-1)}) {
+    ParallelHull<3>::Params p;
+    p.filter_grain = grain;
+    configs.push_back(p);
+  }
+  {
+    ParallelHull<3>::Params p;
+    p.parallel_filter = false;  // grain irrelevant when the switch is off
+    configs.push_back(p);
+  }
+  {
+    ParallelHull<3>::Params p;
+    p.filter_grain = 0;  // 0 disables parallel filtering too
+    configs.push_back(p);
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ParallelHull<3> h(configs[i]);
+    auto res = h.run(pts);
+    ASSERT_TRUE(res.ok) << "config " << i;
+    EXPECT_EQ(res.facets_created, rres.facets_created) << "config " << i;
+    EXPECT_EQ(res.visibility_tests, rres.visibility_tests) << "config " << i;
+    EXPECT_EQ(res.total_conflicts, rres.total_conflicts) << "config " << i;
+    EXPECT_EQ(all_created(h), created) << "config " << i;
+    EXPECT_EQ(alive_tuples(h, res.hull), alive) << "config " << i;
+  }
+}
+
 TEST(WorkerCountDeterminism, Identical3D) {
   expect_identical_across_worker_counts<3>(uniform_ball<3>(1200, 202));
 }

@@ -1,0 +1,284 @@
+// The batched plane-side kernel (geometry/plane_kernel.h) is an
+// optimization, not a behavior change: certified verdicts must agree with
+// the exact orient<D> sign on every input — random clouds, points exactly
+// on the hyperplane, and points a few ulps off it — and running the hulls
+// under any kernel mode must produce the same facet sets, the same work
+// counters, and the same logical predicate-call counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "parhull/core/parallel_hull.h"
+#include "parhull/geometry/plane.h"
+#include "parhull/geometry/plane_kernel.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/hull_common.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+// Restore the process-wide kernel mode on scope exit so tests compose.
+class ModeGuard {
+ public:
+  ModeGuard() : saved_(plane_kernel_mode()) {}
+  ~ModeGuard() { set_plane_kernel_mode(saved_); }
+
+ private:
+  PlaneKernelMode saved_;
+};
+
+std::vector<PlaneKernelMode> classify_modes() {
+  std::vector<PlaneKernelMode> modes = {PlaneKernelMode::kScalar};
+  if (plane_kernel_simd_available()) modes.push_back(PlaneKernelMode::kSimd);
+  return modes;
+}
+
+// Classify `ids` (or the whole range when ids is empty) against the facet's
+// plane in every available kernel mode and check each certified verdict
+// against the exact predicate. Returns how many candidates were uncertain
+// in the scalar mode (callers use it to sanity-check filter efficacy).
+template <int D>
+std::size_t check_against_exact(
+    const PointSet<D>& pts,
+    const std::array<PointId, static_cast<std::size_t>(D)>& fv,
+    const std::vector<PointId>& ids) {
+  ModeGuard guard;
+  Plane<D> pl = make_plane<D>(pts, fv, coord_bounds<D>(pts));
+  std::vector<std::int8_t> cls(ids.size());
+  std::size_t scalar_uncertain = 0;
+  for (PlaneKernelMode mode : classify_modes()) {
+    set_plane_kernel_mode(mode);
+    classify_plane_side<D>(pts, pl, ids.data(), 0, ids.size(), cls.data());
+    std::size_t uncertain = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
+      for (int v = 0; v < D; ++v)
+        ptr[static_cast<std::size_t>(v)] = &pts[fv[static_cast<std::size_t>(v)]];
+      ptr[static_cast<std::size_t>(D)] = &pts[ids[i]];
+      int exact = orient<D>(ptr);
+      if (cls[i] == 0) {
+        ++uncertain;  // allowed: resolved by the exact path
+      } else {
+        EXPECT_EQ(cls[i] > 0, exact > 0)
+            << "certified verdict disagrees with orient<" << D << "> at "
+            << i << " (mode " << plane_kernel_mode_name(mode) << ")";
+        EXPECT_NE(exact, 0)
+            << "kernel certified a point exactly on the hyperplane";
+        if (::testing::Test::HasFailure()) return uncertain;
+      }
+    }
+    if (mode == PlaneKernelMode::kScalar) scalar_uncertain = uncertain;
+  }
+  return scalar_uncertain;
+}
+
+TEST(PlaneKernelFuzz, RandomClouds2D) {
+  // ~1M total classifications against random facets.
+  const std::size_t n = 100000;
+  auto pts = uniform_ball<2>(n, 17);
+  std::vector<PointId> ids(n - 2);
+  for (std::size_t i = 2; i < n; ++i) ids[i - 2] = static_cast<PointId>(i);
+  std::size_t uncertain = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    std::array<PointId, 2> fv = {static_cast<PointId>(s * 7 % n),
+                                 static_cast<PointId>((s * 13 + 1) % n)};
+    if (fv[0] == fv[1]) fv[1] = static_cast<PointId>((fv[1] + 1) % n);
+    uncertain += check_against_exact<2>(pts, fv, ids);
+  }
+  // The filter must actually filter: random points are almost never within
+  // the error band of a random facet.
+  EXPECT_LT(uncertain, ids.size() / 100);
+}
+
+TEST(PlaneKernelFuzz, RandomClouds3D) {
+  const std::size_t n = 100000;
+  auto pts = uniform_ball<3>(n, 23);
+  std::vector<PointId> ids(n - 3);
+  for (std::size_t i = 3; i < n; ++i) ids[i - 3] = static_cast<PointId>(i);
+  std::size_t uncertain = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    std::array<PointId, 3> fv = {static_cast<PointId>(s * 7 % n),
+                                 static_cast<PointId>((s * 13 + 1) % n),
+                                 static_cast<PointId>((s * 29 + 2) % n)};
+    if (fv[0] == fv[1] || fv[1] == fv[2] || fv[0] == fv[2]) continue;
+    uncertain += check_against_exact<3>(pts, fv, ids);
+  }
+  EXPECT_LT(uncertain, ids.size() / 100);
+}
+
+TEST(PlaneKernelFuzz, NearDegenerate2D) {
+  // Facet through integer points a=(1,2), b=(5,9). Points a + t*(b-a) have
+  // exact integer coordinates, so they lie exactly on the line; the kernel
+  // must classify every one of them uncertain (never certify a sign for an
+  // on-plane point). The same points nudged by one..four ulps in either
+  // coordinate must never be certified with the wrong sign.
+  PointSet<2> pts = {{{1, 2}}, {{5, 9}}};
+  std::array<PointId, 2> fv = {0, 1};
+  for (int t = -100; t <= 100; ++t) {
+    double x = 1.0 + 4.0 * t;
+    double y = 2.0 + 7.0 * t;
+    pts.push_back({{x, y}});                                    // exact
+    for (int k = 1; k <= 4; ++k) {
+      double dx = x, dy = y;
+      for (int j = 0; j < k; ++j) {
+        dx = std::nextafter(dx, t % 2 ? 1e30 : -1e30);
+        dy = std::nextafter(dy, t % 3 ? -1e30 : 1e30);
+      }
+      pts.push_back({{dx, y}});
+      pts.push_back({{x, dy}});
+      pts.push_back({{dx, dy}});
+    }
+  }
+  std::vector<PointId> ids;
+  std::vector<PointId> exact_ids;  // indices of the exactly-on-line points
+  for (std::size_t i = 2; i < pts.size(); ++i) {
+    ids.push_back(static_cast<PointId>(i));
+    if ((i - 2) % 13 == 0) exact_ids.push_back(static_cast<PointId>(i));
+  }
+  check_against_exact<2>(pts, fv, ids);
+
+  // The exact on-line points must be uncertain in every mode.
+  ModeGuard guard;
+  Plane<2> pl = make_plane<2>(pts, fv, coord_bounds<2>(pts));
+  for (PlaneKernelMode mode : classify_modes()) {
+    set_plane_kernel_mode(mode);
+    std::vector<std::int8_t> cls(exact_ids.size());
+    classify_plane_side<2>(pts, pl, exact_ids.data(), 0, exact_ids.size(),
+                           cls.data());
+    for (std::size_t i = 0; i < exact_ids.size(); ++i) {
+      ASSERT_EQ(cls[i], 0) << "on-line point certified in mode "
+                           << plane_kernel_mode_name(mode);
+    }
+  }
+}
+
+TEST(PlaneKernelFuzz, NearDegenerate3D) {
+  // Facet through integer points; candidates a + s*u + t*v are exact
+  // integer combinations on the plane, then nudged in z by a few ulps.
+  PointSet<3> pts = {{{0, 0, 0}}, {{4, 1, 0}}, {{1, 3, 2}}};
+  std::array<PointId, 3> fv = {0, 1, 2};
+  for (int s = -10; s <= 10; ++s) {
+    for (int t = -10; t <= 10; ++t) {
+      double x = 4.0 * s + 1.0 * t;
+      double y = 1.0 * s + 3.0 * t;
+      double z = 2.0 * t;
+      pts.push_back({{x, y, z}});
+      double zn = z;
+      for (int k = 0; k < 3; ++k) {
+        zn = std::nextafter(zn, (s + t) % 2 ? 1e30 : -1e30);
+      }
+      pts.push_back({{x, y, zn}});
+    }
+  }
+  std::vector<PointId> ids;
+  for (std::size_t i = 3; i < pts.size(); ++i)
+    ids.push_back(static_cast<PointId>(i));
+  check_against_exact<3>(pts, fv, ids);
+}
+
+// E3-style assertion with the kernel enabled: Algorithms 2 and 3 perform
+// identical work in every kernel mode (invariant I2 holds through the
+// staged filter).
+TEST(PlaneKernelIdentity, SeqParWorkIdenticalAllModes) {
+  ModeGuard guard;
+  auto pts = random_order(uniform_ball<3>(4000, 5), 31);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  for (PlaneKernelMode mode : {PlaneKernelMode::kOff, PlaneKernelMode::kScalar,
+                               PlaneKernelMode::kSimd}) {
+    set_plane_kernel_mode(mode);
+    SequentialHull<3> seq;
+    auto sres = seq.run(pts);
+    ParallelHull<3> par;
+    auto pres = par.run(pts);
+    ASSERT_TRUE(sres.ok && pres.ok);
+    EXPECT_EQ(sres.visibility_tests, pres.visibility_tests)
+        << plane_kernel_mode_name(mode);
+    EXPECT_EQ(sres.facets_created, pres.facets_created)
+        << plane_kernel_mode_name(mode);
+    EXPECT_EQ(sres.total_conflicts, pres.total_conflicts)
+        << plane_kernel_mode_name(mode);
+  }
+}
+
+// Facet sets, work counters, and logical predicate-call counts are
+// kernel-mode-invariant: the kernel may change HOW a verdict is reached
+// (certified vs exact fallback) but never WHICH verdicts are reached or
+// how many logical tests are counted.
+TEST(PlaneKernelIdentity, FacetSetAndCountersModeInvariant) {
+  ModeGuard guard;
+  auto pts = random_order(on_sphere<3>(3000, 9), 41);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  std::set<std::array<PointId, 3>> ref_facets;
+  std::uint64_t ref_calls = 0, ref_tests = 0;
+  bool first = true;
+  for (PlaneKernelMode mode : {PlaneKernelMode::kOff, PlaneKernelMode::kScalar,
+                               PlaneKernelMode::kSimd}) {
+    set_plane_kernel_mode(mode);
+    reset_predicate_stats();
+    ParallelHull<3> h;
+    auto res = h.run(pts);
+    ASSERT_TRUE(res.ok);
+    std::uint64_t calls = predicate_calls();
+    std::set<std::array<PointId, 3>> facets;
+    for (FacetId id : res.hull) facets.insert(canonical_vertices(h.facet(id)));
+    if (first) {
+      ref_facets = facets;
+      ref_calls = calls;
+      ref_tests = res.visibility_tests;
+      first = false;
+    } else {
+      EXPECT_EQ(facets, ref_facets) << plane_kernel_mode_name(mode);
+      EXPECT_EQ(calls, ref_calls) << plane_kernel_mode_name(mode);
+      EXPECT_EQ(res.visibility_tests, ref_tests)
+          << plane_kernel_mode_name(mode);
+    }
+  }
+}
+
+// Counter contract (predicates.h): predicate_calls() advances once per
+// logical visibility test whether the verdict came from the batched
+// kernel (bulk-added) or the exact path (self-counted).
+TEST(PlaneKernelCounters, OneCallPerLogicalTest) {
+  ModeGuard guard;
+  auto pts = uniform_ball<2>(5000, 3);
+  std::array<PointId, 2> fv = {0, 1};
+  Plane<2> pl = make_plane<2>(pts, fv, coord_bounds<2>(pts));
+  ConflictArena arena(1);
+  for (PlaneKernelMode mode : {PlaneKernelMode::kOff, PlaneKernelMode::kScalar,
+                               PlaneKernelMode::kSimd}) {
+    set_plane_kernel_mode(mode);
+    reset_predicate_stats();
+    ConflictList got = filter_visible_range<2>(pts, pl, fv, 2,
+                                               pts.size() - 2, arena);
+    EXPECT_EQ(predicate_calls(), pts.size() - 2)
+        << plane_kernel_mode_name(mode);
+    // And merge_filter's `tests` agrees with the counter delta.
+    std::vector<PointId> a, b;
+    for (PointId i = 2; i < 3000; ++i) (i % 2 ? a : b).push_back(i);
+    reset_predicate_stats();
+    auto mf = merge_filter_conflicts<2>(a, b, pts, pl, fv, /*apex=*/2, arena);
+    EXPECT_EQ(predicate_calls(), mf.tests) << plane_kernel_mode_name(mode);
+    (void)got;
+  }
+}
+
+// set_plane_kernel_mode(kSimd) downgrades to scalar when the batch paths
+// are compiled out or the CPU lacks them — requesting simd is always safe.
+TEST(PlaneKernelModes, SimdRequestAlwaysSafe) {
+  ModeGuard guard;
+  set_plane_kernel_mode(PlaneKernelMode::kSimd);
+  PlaneKernelMode got = plane_kernel_mode();
+  if (plane_kernel_simd_available()) {
+    EXPECT_EQ(got, PlaneKernelMode::kSimd);
+  } else {
+    EXPECT_EQ(got, PlaneKernelMode::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace parhull
