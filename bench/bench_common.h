@@ -3,13 +3,20 @@
 // larger sweep with --full; --csv switches the tables to CSV, and
 // --json <path> additionally writes every emitted table to one JSON file
 // (the benchmark-trajectory format consumed by scripts/run_benches.sh —
-// see docs/PERF.md).
+// see docs/PERF.md). --deadline-ms N (or PARHULL_BENCH_DEADLINE_MS in the
+// environment) arms a whole-process deadline so a wedged benchmark can
+// never hang CI: past the deadline the process exits with code 124.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -21,10 +28,31 @@ struct Options {
   bool full = false;
   bool csv = false;
   std::string json;  // --json <path>: write emitted tables as one JSON file
+  double deadline_ms = 0;  // whole-process deadline; <= 0 disables
 };
+
+// Arm the whole-process benchmark deadline: a detached timer thread that
+// hard-exits (124, the `timeout` convention) if the process is still alive
+// past the deadline. A hard exit is the point — a wedged scheduler cannot
+// run destructors, so this must not rely on any cooperation.
+inline void install_deadline(double ms) {
+  if (ms <= 0) return;
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) return;  // first caller wins
+  std::thread([ms] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+    std::fprintf(stderr, "bench deadline of %.0f ms exceeded; aborting\n",
+                 ms);
+    std::_Exit(124);
+  }).detach();
+}
 
 inline Options parse(int argc, char** argv) {
   Options opt;
+  if (const char* env = std::getenv("PARHULL_BENCH_DEADLINE_MS")) {
+    opt.deadline_ms = std::atof(env);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       opt.full = true;
@@ -32,8 +60,11 @@ inline Options parse(int argc, char** argv) {
       opt.csv = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opt.json = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      opt.deadline_ms = std::atof(argv[++i]);
     }
   }
+  install_deadline(opt.deadline_ms);
   return opt;
 }
 

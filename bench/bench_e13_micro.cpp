@@ -4,8 +4,10 @@
 // O(·) terms in Theorems 5.4/5.5.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <numeric>
 
+#include "bench_common.h"
 #include "parhull/common/random.h"
 #include "parhull/containers/concurrent_pool.h"
 #include "parhull/geometry/predicates.h"
@@ -160,4 +162,16 @@ BENCHMARK(BM_PoolAllocate);
 }  // namespace
 }  // namespace parhull
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() plus the CI hang guard: google-benchmark
+// rejects unknown flags, so the whole-process deadline arrives via
+// PARHULL_BENCH_DEADLINE_MS (set by scripts/run_benches.sh).
+int main(int argc, char** argv) {
+  if (const char* env = std::getenv("PARHULL_BENCH_DEADLINE_MS")) {
+    parhull::bench::install_deadline(std::atof(env));
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -2,34 +2,94 @@
 // convex hull with the parallel incremental algorithm, write an OFF mesh,
 // and print run statistics. With no input file, generates a demo cloud.
 //
-//   ./example_hull_cli [input.xyz] [output.off]
+//   ./example_hull_cli [flags] [input.xyz] [output.off]
 //
 // Passing --demo in place of input.xyz uses the generated demo cloud while
 // still honoring the output argument (used by scripts/run_benches.sh for
 // the plane-kernel on/off facet-set equivalence check).
+//
+// Supervision flags (docs/ERRORS.md):
+//   --deadline-ms N   fail the run with deadline_exceeded after N ms
+//   --retries N       retry transient failures up to N times (backoff)
+//   --watchdog-ms N   declare the run stalled after N ms without progress
+// Any of these routes the run through the Supervisor driver; a non-ok exit
+// prints the per-attempt log.
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "parhull/core/parallel_hull.h"
+#include "parhull/parallel/supervisor.h"
 #include "parhull/workload/generators.h"
 #include "parhull/workload/io.h"
 
 using namespace parhull;
 
+namespace {
+
+bool parse_double_flag(int argc, char** argv, int& i, const char* name,
+                       double& out) {
+  if (std::strcmp(argv[i], name) != 0) return false;
+  if (i + 1 >= argc) {
+    std::cerr << name << " requires a value\n";
+    std::exit(1);
+  }
+  out = std::atof(argv[++i]);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  double deadline_ms = 0;
+  double watchdog_ms = 0;
+  double retries = 0;
+  std::vector<const char*> positional;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (parse_double_flag(argc, argv, i, "--deadline-ms", deadline_ms) ||
+               parse_double_flag(argc, argv, i, "--watchdog-ms", watchdog_ms) ||
+               parse_double_flag(argc, argv, i, "--retries", retries)) {
+      // parsed
+    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+      std::cerr << "unknown flag " << argv[i] << "\n";
+      return 1;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   PointSet<3> pts;
-  if (argc > 1 && std::strcmp(argv[1], "--demo") != 0) {
-    if (!read_points_file<3>(argv[1], pts)) {
-      std::cerr << "cannot read " << argv[1]
-                << " (expected 3 coordinates per line)\n";
+  if (!demo && !positional.empty()) {
+    if (!read_points_file<3>(positional[0], pts)) {
+      std::cerr << "cannot read " << positional[0]
+                << " (expected 3 finite coordinates per line)\n";
       return 1;
     }
-    std::cout << "read " << pts.size() << " points from " << argv[1] << "\n";
+    std::cout << "read " << pts.size() << " points from " << positional[0]
+              << "\n";
   } else {
     pts = on_sphere<3>(20000, 7);
     std::cout << "no input given; generated " << pts.size()
               << " points on the unit sphere\n";
+  }
+  const char* out_path = nullptr;
+  if (demo) {
+    if (!positional.empty()) out_path = positional[0];
+  } else if (positional.size() > 1) {
+    out_path = positional[1];
+  }
+  if (!all_finite<3>(pts)) {
+    // read_points already rejects these; this guards the generator path and
+    // keeps the error typed for anything that slips through.
+    std::cerr << "input contains non-finite coordinates ("
+              << to_string(HullStatus::kBadInput) << ")\n";
+    return 1;
   }
   pts = random_order(pts, 99);
   if (!prepare_input<3>(pts)) {
@@ -38,7 +98,27 @@ int main(int argc, char** argv) {
   }
 
   ParallelHull<3> hull;
-  auto res = hull.run(pts);
+  ParallelHull<3>::Result res;
+  const bool supervised = deadline_ms > 0 || watchdog_ms > 0 || retries > 0;
+  if (supervised) {
+    SupervisorOptions opts;
+    opts.deadline_ms = deadline_ms;
+    opts.watchdog_ms = watchdog_ms;
+    opts.retry.max_attempts = 1 + std::max(0, static_cast<int>(retries));
+    auto sup = supervised_run<ParallelHull<3>, 3>(
+        hull, pts, /*auto_expected_keys=*/4 * 3 * pts.size() + 64, opts);
+    if (sup.attempts.size() > 1 || !sup.ok) {
+      for (const auto& a : sup.attempts) {
+        std::cerr << "attempt " << a.attempt << ": " << to_string(a.status)
+                  << " after " << a.elapsed_ms << " ms";
+        if (a.backoff_ms > 0) std::cerr << ", backoff " << a.backoff_ms << " ms";
+        std::cerr << "\n";
+      }
+    }
+    res = std::move(sup.result);
+  } else {
+    res = hull.run(pts);
+  }
   if (!res.ok) {
     std::cerr << "hull run failed: " << to_string(res.status) << "\n";
     return 1;
@@ -54,14 +134,14 @@ int main(int argc, char** argv) {
             << "dependence depth:  " << res.dependence_depth << " (ln n = "
             << std::log(static_cast<double>(pts.size())) << ")\n";
 
-  if (argc > 2) {
+  if (out_path != nullptr) {
     std::vector<std::array<PointId, 3>> facets;
     for (FacetId id : res.hull) facets.push_back(hull.facet(id).vertices);
-    if (!write_off_file(argv[2], pts, facets)) {
-      std::cerr << "cannot write " << argv[2] << "\n";
+    if (!write_off_file(out_path, pts, facets)) {
+      std::cerr << "cannot write " << out_path << "\n";
       return 1;
     }
-    std::cout << "wrote OFF mesh to  " << argv[2] << "\n";
+    std::cout << "wrote OFF mesh to  " << out_path << "\n";
   }
   return 0;
 }

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Proves PARHULL_SCHEDULE_POINT() and PARHULL_FAULT_POINT() cost nothing in
-# normal builds.
+# Proves PARHULL_SCHEDULE_POINT(), PARHULL_FAULT_POINT(), and
+# PARHULL_RUN_POLL() cost nothing in normal builds.
 #
 # Every instrumentation-bearing translation unit is compiled twice with
 # identical flags: once with the stock headers (the schedule macro expands
-# to `((void)0)`, the fault macro to `(false)`) and once with both macros
-# force-defined on the command line to those same inert expansions. The
-# object files must be byte-identical — any divergence means the harness
-# instrumentation leaks into production code.
+# to `((void)0)`, the fault macro to `(false)`, and the run-poll macro
+# null-checks a controller the probe holds statically null) and once with
+# all three macros force-defined on the command line to inert expansions.
+# The object files must be byte-identical — any divergence means the
+# harness/supervision instrumentation leaks into production code.
 #
 # Usage: scripts/check_zero_cost.sh   (from anywhere inside the repo)
 set -euo pipefail
@@ -55,15 +56,38 @@ int probe() {
 }  // namespace parhull
 EOF
 
+# Unsupervised runs must not pay for the cancellation machinery: with a
+# statically-null controller, PARHULL_RUN_POLL's null test constant-folds
+# and the whole poll disappears — identical object code to force-defining
+# the macro to `false`.
+cat > "$tmp/probe_run_control.cpp" <<'EOF'
+#include "parhull/common/run_control.h"
+
+namespace parhull {
+int probe_run_control(const double* xs, int n) {
+  RunController* ctrl = nullptr;
+  (void)ctrl;  // "unused" in the forced-empty compile
+  int stops = 0;
+  for (int i = 0; i < n; ++i) {
+    if (PARHULL_RUN_POLL(ctrl, 0)) ++stops;
+    if (xs[i] > 0) ++stops;
+  }
+  return stops;
+}
+}  // namespace parhull
+EOF
+
 fail=0
-for tu in "$tmp/probe.cpp" src/parhull/parallel/scheduler.cpp; do
+for tu in "$tmp/probe.cpp" "$tmp/probe_run_control.cpp" \
+          src/parhull/parallel/scheduler.cpp; do
   base=$(basename "$tu" .cpp)
   "$CXX" "${FLAGS[@]}" "$tu" -o "$tmp/$base.stock.o"
   "$CXX" "${FLAGS[@]}" -D'PARHULL_SCHEDULE_POINT()=' \
-         -D'PARHULL_FAULT_POINT(site)=false' "$tu" \
+         -D'PARHULL_FAULT_POINT(site)=false' \
+         -D'PARHULL_RUN_POLL(ctrl, worker)=false' "$tu" \
          -o "$tmp/$base.forced_empty.o"
   if cmp -s "$tmp/$base.stock.o" "$tmp/$base.forced_empty.o"; then
-    echo "OK   $base: object code identical with schedule+fault points removed"
+    echo "OK   $base: object code identical with schedule/fault/poll points removed"
   else
     echo "FAIL $base: instrumentation points changed the object code" >&2
     fail=1

@@ -6,6 +6,12 @@
 # modes.
 #
 # Usage: scripts/run_benches.sh [--quick|--full] [--build-dir DIR] [--out-dir DIR]
+#                                [--deadline-ms N]
+#
+# --deadline-ms (default 600000 = 10 min) arms a whole-process deadline in
+# every benchmark binary (exported as PARHULL_BENCH_DEADLINE_MS, so even the
+# google-benchmark E13 binary honors it): a wedged run exits 124 instead of
+# hanging CI.
 #
 # Outputs (in --out-dir, default bench_out/):
 #   BENCH_e3_work.json     work counters + Alg2/Alg3 test-set identity
@@ -19,16 +25,20 @@ set -euo pipefail
 mode=quick
 build_dir=build
 out_dir=bench_out
+deadline_ms=600000
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) mode=quick ;;
     --full) mode=full ;;
     --build-dir) build_dir="$2"; shift ;;
     --out-dir) out_dir="$2"; shift ;;
+    --deadline-ms) deadline_ms="$2"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+export PARHULL_BENCH_DEADLINE_MS="$deadline_ms"
 
 full_flag=()
 if [[ "$mode" == full ]]; then full_flag=(--full); fi
@@ -56,10 +66,12 @@ echo "==== kernel on/off facet-set equivalence ===="
 # set). A mismatch means the filter changed a visibility verdict — fail.
 cli="$build_dir/examples/example_hull_cli"
 ref="$out_dir/hull_kernel_off.off"
-PARHULL_PLANE_KERNEL=off "$cli" --demo "$ref" > /dev/null
+PARHULL_PLANE_KERNEL=off "$cli" --deadline-ms "$deadline_ms" --demo "$ref" \
+  > /dev/null
 for kmode in scalar simd; do
   out="$out_dir/hull_kernel_$kmode.off"
-  PARHULL_PLANE_KERNEL=$kmode "$cli" --demo "$out" > /dev/null
+  PARHULL_PLANE_KERNEL=$kmode "$cli" --deadline-ms "$deadline_ms" --demo "$out" \
+    > /dev/null
   if ! diff <(sort "$ref") <(sort "$out") > /dev/null; then
     echo "FACET-SET MISMATCH: kernel=$kmode differs from kernel=off" >&2
     exit 1

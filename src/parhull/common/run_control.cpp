@@ -1,0 +1,30 @@
+#include "parhull/common/run_control.h"
+
+#include <thread>
+
+namespace parhull {
+
+namespace detail {
+std::atomic<RunController*> g_active_controller{nullptr};
+std::atomic<int> g_active_controller_users{0};
+}  // namespace detail
+
+ActiveControllerScope::ActiveControllerScope(RunController& ctrl) {
+  RunController* expected = nullptr;
+  installed_ = detail::g_active_controller.compare_exchange_strong(
+      expected, &ctrl, std::memory_order_seq_cst);
+}
+
+ActiveControllerScope::~ActiveControllerScope() {
+  if (!installed_) return;
+  detail::g_active_controller.store(nullptr, std::memory_order_seq_cst);
+  // Quiesce: a scheduler_pulse that loaded the controller before the store
+  // holds a nonzero user count until it finishes; once the count drains, no
+  // thread can dereference the controller again.
+  while (detail::g_active_controller_users.load(std::memory_order_seq_cst) !=
+         0) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace parhull

@@ -1,0 +1,239 @@
+// Run supervision: deadlines, cooperative cancellation, and progress
+// heartbeats for every hull driver (see docs/CONCURRENCY.md, "Cancellation
+// & watchdog").
+//
+// A RunController is installed on a driver (Params::controller, or the
+// optional run() argument of the sequential paths) for ONE attempt at a
+// time. The drivers poll it at their natural re-entry points — ProcessRidge
+// entry, conflict-filter chunk boundaries, the regrow loop, the sequential
+// insertion loop — via PARHULL_RUN_POLL(ctrl, worker). A poll that returns
+// true means "stop now": the caller latches ctrl->stop_status() into its
+// detail::FailureLatch and returns, so cancellation drains through exactly
+// the same quiescence protocol as a mid-run failure (table overflow, pool
+// exhaustion): every in-flight recursion returns at its next entry, the
+// fork/join structure joins normally, and the attempt's state is discarded,
+// leaving the object reusable.
+//
+// Stop causes are first-wins, like the FailureLatch itself:
+//   * an expired deadline latches kDeadlineExceeded (detected inside poll);
+//   * CancelToken::cancel() latches kCancelled;
+//   * the Supervisor's watchdog latches kStalled.
+//
+// Heartbeats vs pulses: poll() ticks a per-worker HEARTBEAT — algorithm
+// progress, what the stall watchdog watches. The scheduler's steal/join
+// slow paths tick a separate PULSE board through the process-global active
+// controller (scheduler_pulse below) — scheduler liveness only. The two are
+// deliberately distinct: an idle-spinning scheduler must not look like a
+// progressing algorithm, which is what lets the watchdog report a wedged
+// run as `stalled`, never as deadlocked.
+//
+// Zero-cost contract: PARHULL_RUN_POLL is an overridable macro whose
+// expansion short-circuits on a null controller. When no controller is
+// statically installed the whole check constant-folds away —
+// scripts/check_zero_cost.sh pins this by force-defining the macro to
+// `false` and diffing object code, exactly as for PARHULL_SCHEDULE_POINT()
+// and PARHULL_FAULT_POINT().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "parhull/common/status.h"
+#include "parhull/common/types.h"
+
+namespace parhull {
+
+class RunController {
+ public:
+  RunController() = default;
+  RunController(const RunController&) = delete;
+  RunController& operator=(const RunController&) = delete;
+
+  // Latch a stop cause; the first cause wins (same CAS shape and ordering
+  // contract as detail::FailureLatch — the release half publishes whatever
+  // the stopper wrote before stopping to every poller that observes it).
+  void request_stop(HullStatus cause) {
+    HullStatus expected = HullStatus::kOk;
+    stop_.compare_exchange_strong(expected, cause, std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  }
+  void cancel() { request_stop(HullStatus::kCancelled); }
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire) != HullStatus::kOk;
+  }
+  // The latched cause. Only non-kOk after a true poll()/stop_requested():
+  // the latch never transitions back to kOk while pollers are live.
+  HullStatus stop_status() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  // Deadline, measured on the monotonic clock. ms <= 0 clears it.
+  void set_deadline_ms(double ms) {
+    if (ms <= 0) {
+      deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+      return;
+    }
+    deadline_ns_.store(
+        now_ns() + static_cast<std::int64_t>(ms * 1e6),
+        std::memory_order_relaxed);
+  }
+  void clear_deadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  // The hot-path check, normally reached through PARHULL_RUN_POLL. Ticks
+  // the caller's heartbeat, observes a latched stop immediately, and reads
+  // the clock only every kPollStride-th heartbeat per slot (the first poll
+  // of a slot checks, so an already-expired deadline stops the run before
+  // any work happens). Returns true iff the run must stop.
+  bool poll(int worker) {
+    Slot& s = slots_[slot_index(worker)];
+    const std::uint64_t beat = s.beats.fetch_add(1, std::memory_order_relaxed);
+    if (stop_.load(std::memory_order_relaxed) != HullStatus::kOk) return true;
+    if ((beat & (kPollStride - 1)) != 0) return false;
+    return check_deadline();
+  }
+
+  // Scheduler-liveness tick (steal/join slow paths via scheduler_pulse);
+  // intentionally NOT part of progress().
+  void pulse(int worker) {
+    slots_[slot_index(worker)].pulses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Total heartbeats so far: the watchdog's notion of algorithm progress.
+  std::uint64_t progress() const {
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.beats.load(std::memory_order_relaxed);
+    return sum;
+  }
+  std::uint64_t scheduler_pulses() const {
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) {
+      sum += s.pulses.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  // Re-arm for a fresh attempt: clears the stop latch, the deadline, and
+  // both counter boards. Only safe after quiescence (no concurrent pollers
+  // — the Supervisor calls this between attempts, after the previous run
+  // drained and its ActiveControllerScope was torn down).
+  void reset() {
+    stop_.store(HullStatus::kOk, std::memory_order_relaxed);
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+    for (Slot& s : slots_) {
+      s.beats.store(0, std::memory_order_relaxed);
+      s.pulses.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+  // Clock reads amortized over this many heartbeats per slot.
+  static constexpr std::uint64_t kPollStride = 64;
+  // Worker slots, cache-line padded; worker ids beyond the board share
+  // slots by mask, which only coarsens the (aggregate) progress counter.
+  static constexpr std::size_t kSlots = 64;
+
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<std::uint64_t> pulses{0};
+  };
+
+  static std::size_t slot_index(int worker) {
+    return static_cast<std::size_t>(worker) & (kSlots - 1);
+  }
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  bool check_deadline() {
+    const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl == kNoDeadline || now_ns() < dl) return false;
+    request_stop(HullStatus::kDeadlineExceeded);
+    return true;
+  }
+
+  std::atomic<HullStatus> stop_{HullStatus::kOk};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  Slot slots_[kSlots];
+};
+
+// Lightweight cancellation handle: hand this to whatever decides to abort
+// the run (a signal handler shim, a watchdog, a UI thread) without exposing
+// the controller's driver-facing surface. Copyable; null-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(RunController* ctrl) : ctrl_(ctrl) {}
+
+  void cancel() const {
+    if (ctrl_ != nullptr) ctrl_->cancel();
+  }
+  bool cancel_requested() const {
+    return ctrl_ != nullptr && ctrl_->stop_requested();
+  }
+
+ private:
+  RunController* ctrl_ = nullptr;
+};
+
+namespace detail {
+// Process-global active controller, so the scheduler's steal/join slow
+// paths can tick liveness pulses without the Scheduler knowing about any
+// particular run. Same install/drain protocol as the fault-injector slot
+// (testing/fault_point.h): the uninstaller stores nullptr, then spins until
+// the in-flight reader count drains, so a pulse never dereferences a
+// controller that already left scope.
+extern std::atomic<RunController*> g_active_controller;
+extern std::atomic<int> g_active_controller_users;
+}  // namespace detail
+
+// Called from the scheduler's steal and join-help loops (slow paths only).
+// Unsupervised runs pay one relaxed load. The seq_cst pairing mirrors
+// fault_point(): either the uninstaller's nullptr store is visible here, or
+// this increment is visible to its drain loop — never neither.
+inline void scheduler_pulse(int worker) {
+  if (detail::g_active_controller.load(std::memory_order_relaxed) == nullptr) {
+    return;
+  }
+  detail::g_active_controller_users.fetch_add(1, std::memory_order_seq_cst);
+  if (RunController* ctrl =
+          detail::g_active_controller.load(std::memory_order_seq_cst)) {
+    ctrl->pulse(worker);
+  }
+  detail::g_active_controller_users.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// RAII: publishes a controller in the global slot for the scope of one
+// supervised attempt. If another controller is already installed (nested
+// supervision), this scope is a no-op — the inner run still polls its own
+// controller; it just gets no scheduler pulses.
+class ActiveControllerScope {
+ public:
+  explicit ActiveControllerScope(RunController& ctrl);
+  ~ActiveControllerScope();
+  ActiveControllerScope(const ActiveControllerScope&) = delete;
+  ActiveControllerScope& operator=(const ActiveControllerScope&) = delete;
+
+ private:
+  bool installed_ = false;
+};
+
+}  // namespace parhull
+
+// The driver-side check. Overridable so scripts/check_zero_cost.sh can
+// force it to `false` and prove by object-code diff that a statically-null
+// controller costs nothing: the null test constant-folds and the poll call
+// disappears.
+#ifndef PARHULL_RUN_POLL
+#define PARHULL_RUN_POLL(ctrl, worker) \
+  ((ctrl) != nullptr && (ctrl)->poll(worker))
+#endif

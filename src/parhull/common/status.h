@@ -18,8 +18,16 @@
 //                      degenerate facet discovered mid-run, ...). Re-running
 //                      cannot help; perturb or use the Section 6 pipeline.
 //   kBadInput          a precondition on the arguments is violated (too few
-//                      points/half-spaces, non-positive offset, unbounded
-//                      intersection, ...).
+//                      points/half-spaces, non-finite coordinates,
+//                      non-positive offset, unbounded intersection, ...).
+//   kDeadlineExceeded  a RunController deadline expired mid-run; the run
+//                      drained cooperatively. Terminal: retrying under the
+//                      same deadline would fail the same way.
+//   kCancelled         CancelToken::cancel() was called mid-run; the run
+//                      drained cooperatively. Terminal.
+//   kStalled           the Supervisor's watchdog saw no heartbeat progress
+//                      for its window and cancelled the run. Transient: the
+//                      Supervisor retries it (often with fewer workers).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,9 @@ enum class HullStatus : std::uint8_t {
   kPoolExhausted,
   kDegenerateInput,
   kBadInput,
+  kDeadlineExceeded,
+  kCancelled,
+  kStalled,
 };
 
 inline const char* to_string(HullStatus s) {
@@ -41,6 +52,9 @@ inline const char* to_string(HullStatus s) {
     case HullStatus::kPoolExhausted: return "pool_exhausted";
     case HullStatus::kDegenerateInput: return "degenerate_input";
     case HullStatus::kBadInput: return "bad_input";
+    case HullStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case HullStatus::kCancelled: return "cancelled";
+    case HullStatus::kStalled: return "stalled";
   }
   return "unknown";
 }

@@ -72,11 +72,36 @@ inline std::size_t checked_table_slots(std::size_t keys,
 }  // namespace detail
 
 // Shared failure latch: keeps the first failure status; later failures of a
-// different kind do not overwrite it.
+// different kind do not overwrite it. Doubles as the cancellation channel —
+// RunController stops (deadline, cancel, watchdog stall) are latched here
+// by the driver that observes them, so cancellation drains through the
+// same protocol as a mid-run failure.
+//
+// Memory-ordering contract (asserted in test_model_check.cpp):
+//   * mark() success is a release: everything sequenced before the winning
+//     mark (the overflowed probe, the exhausted pool state, the stop cause
+//     written into a RunController) happens-before any load that
+//     acquire-observes failed() == true. Checkers may therefore read the
+//     marker's plain writes after seeing failed().
+//   * mark() failure (the latch already held a status) is an acquire: the
+//     losing marker synchronizes with the winner, so its subsequent
+//     status() read returns the winning cause, never a torn/stale mix.
+//   * status()/failed() are acquires: a true failed() observation
+//     happens-after the winning mark, which is what makes "return at next
+//     entry" draining safe — a drained frame never misses state the
+//     winner published before marking.
+//   * reset() is relaxed and is only legal after quiescence (the owning
+//     driver joins all workers between attempts); there are no concurrent
+//     markers or observers to order against.
+// The latch only transitions kOk -> non-kOk while workers are live; it
+// never reverts mid-run, so a relaxed peek that sees non-kOk may be
+// confirmed with an acquire status() load (RunController::poll relies on
+// this).
 namespace detail {
 class FailureLatch {
  public:
   void mark(HullStatus s) {
+    PARHULL_SCHEDULE_POINT();  // racing markers: first-wins is checkable
     HullStatus expected = HullStatus::kOk;
     status_.compare_exchange_strong(expected, s, std::memory_order_acq_rel,
                                     std::memory_order_acquire);

@@ -43,6 +43,7 @@
 
 #include "parhull/common/assert.h"
 #include "parhull/common/counters.h"
+#include "parhull/common/run_control.h"
 #include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/containers/arena.h"
@@ -85,6 +86,13 @@ class ParallelHull {
     // After the regrow budget is spent, run once more on the unbounded
     // chained backend instead of failing.
     bool chained_fallback = true;
+    // Optional run supervision (common/run_control.h): deadline and
+    // cancellation polls at ProcessRidge entry, in the conflict filters,
+    // and in the regrow loop. Not owned; must outlive the run. A stop
+    // latches like any mid-run failure: the attempt drains, run() returns
+    // the stop status with partial-progress stats, and the object stays
+    // reusable.
+    RunController* controller = nullptr;
   };
 
   struct Result {
@@ -107,6 +115,7 @@ class ParallelHull {
   // Replace the parameters for the next run (useful after a failed run —
   // e.g. raise expected_keys and try again on the same object).
   void set_params(const Params& params) { params_ = params; }
+  const Params& params() const { return params_; }
 
   // pts must be prepared (prepare_input<D>): first D+1 points affinely
   // independent. Insertion priority = index. Never aborts on input: returns
@@ -122,6 +131,10 @@ class ParallelHull {
       res.status = HullStatus::kBadInput;
       return res;
     }
+    if (!all_finite<D>(pts)) {
+      res.status = HullStatus::kBadInput;  // NaN/Inf never reach predicates
+      return res;
+    }
     {
       std::vector<const Point<D>*> probe;
       probe.reserve(static_cast<std::size_t>(D) + 1);
@@ -135,6 +148,14 @@ class ParallelHull {
                                ? params_.expected_keys
                                : 4 * static_cast<std::size_t>(D) * n;
     for (int attempt = 0;; ++attempt) {
+      // Between regrow attempts: don't start another expensive attempt if
+      // the run was cancelled or its deadline expired during the last one.
+      if (PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+        res = Result{};
+        res.status = params_.controller->stop_status();
+        res.regrows = static_cast<std::uint32_t>(attempt);
+        break;
+      }
       reset_state();
       map_ = make_map<MapT<D>>(expected);
       if (map_ == nullptr || map_->failed()) {
@@ -263,7 +284,8 @@ class ParallelHull {
       Facet<D>& f = (*pool_)[initial[k]];
       f.conflicts = filter_visible_range<D>(
           pts, f.plane, f.vertices, static_cast<PointId>(D + 1),
-          n - (static_cast<std::size_t>(D) + 1), *arena_, filter_grain());
+          n - (static_cast<std::size_t>(D) + 1), *arena_, filter_grain(),
+          params_.controller);
       tests_.add(Scheduler::worker_id(),
                  n - (static_cast<std::size_t>(D) + 1));
       conflicts_sum_.add(Scheduler::worker_id(), f.conflicts.size());
@@ -291,9 +313,25 @@ class ParallelHull {
 
     // --- Fold failures observed by any worker (or latched by the map)
     // into the attempt's status; a failed attempt's facets are garbage.
+    // The final controller poll closes the window where a stop landed in
+    // the last filter with no ProcessRidge left to observe it — any
+    // truncated conflict list therefore implies a failed attempt.
     if (map.failed()) fail(map.failure());
+    if (!failed() &&
+        PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+      fail(params_.controller->stop_status());
+    }
     if (failed()) {
       res.status = fail_.status();
+      // Partial-progress stats: how far the cancelled/failed attempt got
+      // before draining (facet contents themselves are garbage).
+      res.facets_created = pool_->size();
+      res.visibility_tests = tests_.total();
+      res.total_conflicts = conflicts_sum_.total();
+      res.buried_pairs = buried_.total();
+      res.finalized_ridges = finalized_.total();
+      res.dependence_depth = max_depth_.load(std::memory_order_relaxed);
+      res.max_round = max_round_.load(std::memory_order_relaxed);
       return res;
     }
 
@@ -317,8 +355,14 @@ class ParallelHull {
   void process_ridge(Map& map, FacetId t1, RidgeKey<D> r, FacetId t2,
                      std::uint32_t round) {
     // Cooperative cancellation: once any worker latches a failure the rest
-    // of the recursion drains without touching shared state further.
+    // of the recursion drains without touching shared state further. A
+    // controller stop (deadline/cancel/watchdog) latches through the same
+    // channel, so it drains identically.
     if (failed()) return;
+    if (PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+      fail(params_.controller->stop_status());
+      return;
+    }
     const PointSet<D>& pts = *pts_;
     // Cases 1–3 (lines 9–12). kInvalidPoint is the +inf sentinel for an
     // empty conflict set, so the pivot comparisons below implement the
@@ -379,7 +423,7 @@ class ParallelHull {
 
     auto mf = merge_filter_conflicts<D>(f1.conflicts, f2.conflicts, pts,
                                         t.plane, t.vertices, p, *arena_,
-                                        filter_grain());
+                                        filter_grain(), params_.controller);
     t.conflicts = mf.conflicts;
     tests_.add(Scheduler::worker_id(), mf.tests);
     conflicts_sum_.add(Scheduler::worker_id(), t.conflicts.size());

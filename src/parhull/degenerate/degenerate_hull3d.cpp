@@ -33,10 +33,15 @@ struct UnionFind {
 }  // namespace
 
 DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
-                                   std::uint64_t jiggle_seed) {
+                                   std::uint64_t jiggle_seed,
+                                   RunController* controller) {
   DegenerateHull3D out;
   const std::size_t n = pts.size();
   if (n < 4) return out;
+  if (!all_finite<3>(pts)) {
+    out.status = HullStatus::kBadInput;  // NaN/Inf never reach predicates
+    return out;
+  }
 
   // Exact full-dimensionality check: the jiggled copy is always full
   // dimensional, so this must be decided on the original coordinates.
@@ -53,6 +58,13 @@ DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
       out.status = HullStatus::kDegenerateInput;  // affine dimension < 3
       return out;
     }
+  }
+  // Phase-boundary polls: this driver is sequential (worker 0); checks
+  // after each expensive phase keep cancellation latency bounded by one
+  // phase without touching the inner predicate loops.
+  if (PARHULL_RUN_POLL(controller, 0)) {
+    out.status = controller->stop_status();
+    return out;
   }
 
   // Bounding-box scale for the perturbation.
@@ -82,9 +94,18 @@ DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
     }
   }
 
+  if (PARHULL_RUN_POLL(controller, 0)) {
+    out.status = controller->stop_status();
+    return out;
+  }
+
   auto qh = quickhull3d(jiggled);
   if (!qh.ok) {
     out.status = HullStatus::kDegenerateInput;
+    return out;
+  }
+  if (PARHULL_RUN_POLL(controller, 0)) {
+    out.status = controller->stop_status();
     return out;
   }
 
@@ -164,6 +185,11 @@ DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
   }
 
   for (auto& [root, list] : members) {
+    if (PARHULL_RUN_POLL(controller, 0)) {
+      out.status = controller->stop_status();
+      out.faces.clear();
+      return out;
+    }
     // Representative non-collinear triple (in original coordinates).
     std::array<PointId, 3> rep{};
     bool have_rep = false;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parhull/common/run_control.h"
 #include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/geometry/point.h"
@@ -50,8 +51,12 @@ struct DegenerateHull3D {
 };
 
 // Hull of pts; requires affine dimension 3 (returns ok=false otherwise).
+// An optional controller adds deadline / cancellation checks at the phase
+// boundaries of the two-phase construction (this driver is sequential); a
+// stopped run returns the controller's stop status.
 DegenerateHull3D degenerate_hull3d(const PointSet<3>& pts,
-                                   std::uint64_t jiggle_seed = 0x5eed);
+                                   std::uint64_t jiggle_seed = 0x5eed,
+                                   RunController* controller = nullptr);
 
 // A corner of the hull: face-cycle triple (prev, corner, next).
 struct Corner {

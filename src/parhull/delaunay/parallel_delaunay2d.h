@@ -39,6 +39,7 @@
 
 #include "parhull/common/assert.h"
 #include "parhull/common/counters.h"
+#include "parhull/common/run_control.h"
 #include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/containers/arena.h"
@@ -89,11 +90,16 @@ class ParallelDelaunay2D {
     std::size_t expected_keys = 0;  // 0 = auto (8n + 64)
     int max_regrows = 4;            // doubling retries on kCapacityExceeded
     bool chained_fallback = true;   // then fall back to RidgeMapChained
+    // Optional run supervision (common/run_control.h): deadline and
+    // cooperative cancellation, polled in ProcessEdge and the conflict
+    // merge. Not owned; must outlive run(). nullptr = unsupervised.
+    RunController* controller = nullptr;
   };
 
   explicit ParallelDelaunay2D(Params params = {}) : params_(params) {}
 
   void set_params(const Params& params) { params_ = params; }
+  const Params& params() const { return params_; }
 
   Result run(const PointSet<2>& pts) {
     PARHULL_CHECK_MSG(!completed_, "ParallelDelaunay2D::run is single-shot");
@@ -103,9 +109,21 @@ class ParallelDelaunay2D {
       res.status = HullStatus::kBadInput;
       return res;
     }
+    if (!all_finite<2>(pts)) {
+      res.status = HullStatus::kBadInput;  // NaN/Inf never reach predicates
+      return res;
+    }
     std::size_t expected =
         params_.expected_keys != 0 ? params_.expected_keys : 8 * n + 64;
     for (int attempt = 0;; ++attempt) {
+      // Between regrow attempts: don't start another expensive attempt if
+      // the run was cancelled or its deadline expired during the last one.
+      if (PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+        res = Result{};
+        res.status = params_.controller->stop_status();
+        res.regrows = static_cast<std::uint32_t>(attempt);
+        break;
+      }
       reset_state();
       map_ = make_map<MapT<3>>(expected);
       if (map_ == nullptr || map_->failed()) {
@@ -240,9 +258,24 @@ class ParallelDelaunay2D {
       process_edge(map, root, e, kInvalidFacet, 1);
     }, 1);
 
+    // The final controller poll closes the window where a stop landed in
+    // the last conflict merge with no ProcessEdge left to observe it — a
+    // truncated conflict list therefore always implies a failed attempt.
     if (map.failed()) fail(map.failure());
+    if (!failed() &&
+        PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+      fail(params_.controller->stop_status());
+    }
     if (failed()) {
       res.status = fail_.status();
+      // Partial-progress stats for the cancelled/failed attempt.
+      res.triangles_created = pool_->size();
+      res.incircle_tests = tests_.total();
+      res.total_conflicts = conflicts_sum_.total();
+      res.buried_edges = buried_.total();
+      res.finalized_edges = finalized_.total();
+      res.dependence_depth = max_depth_.load(std::memory_order_relaxed);
+      res.max_round = max_round_.load(std::memory_order_relaxed);
       return res;
     }
 
@@ -293,6 +326,12 @@ class ParallelDelaunay2D {
   void process_edge(Map& map, FacetId t1, RidgeKey<3> e, FacetId t2,
                     std::uint32_t round) {
     if (failed()) return;  // cooperative cancellation
+    // A controller stop (deadline/cancel/watchdog) latches through the same
+    // failure channel, so the recursion drains identically.
+    if (PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+      fail(params_.controller->stop_status());
+      return;
+    }
     PointId p1, p2;
     while (true) {
       p1 = (*pool_)[t1].pivot();
@@ -369,6 +408,13 @@ class ParallelDelaunay2D {
         }
         if (next == p) continue;
         ++tests;
+        // Strided poll inside the merge: huge cavity lists observe a stop
+        // within ~1k incircle tests. Truncation is safe — a true poll means
+        // the stop latch is set, so this attempt can only fail.
+        if ((tests & 0x3FF) == 0 &&
+            PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+          break;
+        }
         if (conflicts_with(t.vertices, next)) out[m++] = next;
       }
       if (staging.empty()) {

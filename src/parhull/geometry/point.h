@@ -60,6 +60,26 @@ using Point3 = Point<3>;
 template <int D>
 using PointSet = std::vector<Point<D>>;
 
+// True iff the point has no NaN or infinite coordinate. The exact
+// predicates assume finite doubles (expansion arithmetic on non-finite
+// values is meaningless), so every driver rejects non-finite input with
+// HullStatus::kBadInput before any predicate runs.
+template <int D>
+bool finite(const Point<D>& p) {
+  for (int i = 0; i < D; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+template <int D>
+bool all_finite(const PointSet<D>& pts) {
+  for (const auto& p : pts) {
+    if (!finite<D>(p)) return false;
+  }
+  return true;
+}
+
 // Centroid of a small set of points (used to orient initial facets against
 // a strictly interior reference point).
 template <int D>

@@ -46,11 +46,14 @@ bool solve(double a[D][D], double b[D], Point<D>& out) {
 
 template <int D>
 HalfspaceIntersection<D> intersect_halfspaces(
-    const std::vector<HalfSpace<D>>& hs) {
+    const std::vector<HalfSpace<D>>& hs, RunController* controller) {
   HalfspaceIntersection<D> res;
   if (hs.size() < static_cast<std::size_t>(D) + 1) return res;  // kBadInput
   for (const auto& h : hs) {
     if (!(h.offset > 0)) return res;  // origin must be strictly inside
+    if (!finite<D>(h.normal) || !std::isfinite(h.offset)) {
+      return res;  // kBadInput: non-finite coefficients never reach duals
+    }
   }
   // Dual points q = n / c; remember the original index through the order
   // permutation that prepare_input may apply.
@@ -91,6 +94,11 @@ HalfspaceIntersection<D> intersect_halfspaces(
   for (std::size_t i = 0; i < duals.size(); ++i) reordered[i] = duals[order[i]];
 
   ParallelHull<D, RidgeMapChained> hull;
+  if (controller != nullptr) {
+    typename ParallelHull<D, RidgeMapChained>::Params hp;
+    hp.controller = controller;
+    hull.set_params(hp);
+  }
   auto hres = hull.run(reordered);
   if (!hres.ok) {
     res.status = hres.status;  // propagate the hull's typed failure
@@ -107,6 +115,10 @@ HalfspaceIntersection<D> intersect_halfspaces(
   Point<D> origin{};
   std::set<std::uint32_t> essential;
   for (FacetId id : hres.hull) {
+    if (PARHULL_RUN_POLL(controller, 0)) {
+      res.status = controller->stop_status();
+      return res;
+    }
     const auto& f = hull.facet(id);
     if (visible<D>(reordered, f.vertices, origin)) {
       return res;  // origin outside the dual hull: unbounded intersection
@@ -202,11 +214,11 @@ template struct HalfSpace<2>;
 template struct HalfSpace<3>;
 template struct HalfSpace<4>;
 template HalfspaceIntersection<2> intersect_halfspaces<2>(
-    const std::vector<HalfSpace<2>>&);
+    const std::vector<HalfSpace<2>>&, RunController*);
 template HalfspaceIntersection<3> intersect_halfspaces<3>(
-    const std::vector<HalfSpace<3>>&);
+    const std::vector<HalfSpace<3>>&, RunController*);
 template HalfspaceIntersection<4> intersect_halfspaces<4>(
-    const std::vector<HalfSpace<4>>&);
+    const std::vector<HalfSpace<4>>&, RunController*);
 template bool halfspaces_contain<2>(const std::vector<HalfSpace<2>>&,
                                     const Point<2>&, double);
 template bool halfspaces_contain<3>(const std::vector<HalfSpace<3>>&,

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parhull/common/run_control.h"
 #include "parhull/common/status.h"
 #include "parhull/common/types.h"
 #include "parhull/geometry/point.h"
@@ -54,10 +55,12 @@ struct HalfspaceIntersection {
 // order is the insertion order (shuffle for the whp guarantees). Requires
 // at least D+1 half-spaces whose duals are full-dimensional and a BOUNDED
 // intersection (the dual hull must contain the origin; returns ok=false
-// otherwise).
+// otherwise). An optional controller supervises the underlying hull run
+// (deadline / cancellation) and is polled in the vertex-solve loop; a
+// stopped run returns the controller's stop status.
 template <int D>
 HalfspaceIntersection<D> intersect_halfspaces(
-    const std::vector<HalfSpace<D>>& hs);
+    const std::vector<HalfSpace<D>>& hs, RunController* controller = nullptr);
 
 // Membership test: is x in every half-space?
 template <int D>

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "parhull/common/assert.h"
+#include "parhull/common/run_control.h"
 #include "parhull/common/types.h"
 #include "parhull/containers/arena.h"
 #include "parhull/containers/ridge_key.h"
@@ -36,6 +37,7 @@
 #include "parhull/geometry/point.h"
 #include "parhull/geometry/predicates.h"
 #include "parhull/parallel/primitives.h"
+#include "parhull/parallel/scheduler.h"
 
 namespace parhull {
 
@@ -240,21 +242,42 @@ ConflictList run_filter_into_arena(std::size_t count, ConflictArena& arena,
 // slices of the output block — they never allocate from the arena, so the
 // coordinating worker's shrink stays valid unless a stolen task
 // interleaved an allocation (bounded waste, see containers/arena.h).
+//
+// Cancellation (ctrl != nullptr): the filter polls per chunk and bails out
+// early when the run must stop, returning a TRUNCATED list. That is safe
+// because a true poll implies the stop latch is set, so the surrounding
+// attempt can only fail — the driver re-polls before any truncated list
+// could influence a returned result (docs/CONCURRENCY.md).
 template <int D>
 ConflictList filter_visible(
     const PointSet<D>& pts, const Plane<D>& pl,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv,
     const PointId* ids, PointId first, std::size_t count,
-    ConflictArena& arena, std::size_t grain) {
+    ConflictArena& arena, std::size_t grain, RunController* ctrl = nullptr) {
   if (grain == 0 || count < grain) {
     return run_filter_into_arena(count, arena, [&](PointId* out) {
-      return filter_visible_block<D>(pts, pl, fv, ids, first, count, out);
+      if (ctrl == nullptr) {
+        return filter_visible_block<D>(pts, pl, fv, ids, first, count, out);
+      }
+      // Supervised: chunk the scan so a deadline/cancel lands within one
+      // chunk of latency even on the huge initial-facet filters.
+      std::uint32_t m = 0;
+      for (std::size_t beg = 0; beg < count; beg += kFilterParChunk) {
+        if (PARHULL_RUN_POLL(ctrl, Scheduler::worker_id())) break;
+        const std::size_t len = std::min(kFilterParChunk, count - beg);
+        m += filter_visible_block<D>(pts, pl, fv,
+                                     ids != nullptr ? ids + beg : nullptr,
+                                     static_cast<PointId>(first + beg), len,
+                                     out + m);
+      }
+      return m;
     });
   }
   const std::size_t nchunks = (count + kFilterParChunk - 1) / kFilterParChunk;
   std::vector<std::uint32_t> cnt(nchunks);
   return run_filter_into_arena(count, arena, [&](PointId* out) {
     parallel_for(0, nchunks, [&](std::size_t c) {
+      if (PARHULL_RUN_POLL(ctrl, Scheduler::worker_id())) return;  // cnt[c]=0
       const std::size_t beg = c * kFilterParChunk;
       const std::size_t len = std::min(kFilterParChunk, count - beg);
       cnt[c] = filter_visible_block<D>(
@@ -282,9 +305,9 @@ ConflictList filter_visible_range(
     const PointSet<D>& pts, const Plane<D>& pl,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv,
     PointId first, std::size_t count, ConflictArena& arena,
-    std::size_t grain = 0) {
+    std::size_t grain = 0, RunController* ctrl = nullptr) {
   return detail::filter_visible<D>(pts, pl, fv, nullptr, first, count, arena,
-                                   grain);
+                                   grain, ctrl);
 }
 
 // Merge two ascending conflict lists (line 9 of Algorithm 2 / line 16 of
@@ -308,18 +331,24 @@ MergeFilterResult<D> merge_filter_conflicts(
     ConflictList a, ConflictList b, const PointSet<D>& pts,
     const Plane<D>& plane,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv, PointId apex,
-    ConflictArena& arena, std::size_t parallel_grain = 0) {
+    ConflictArena& arena, std::size_t parallel_grain = 0,
+    RunController* ctrl = nullptr) {
   MergeFilterResult<D> result;
   const std::size_t cap = a.size() + b.size();
   if (cap == 0) return result;
 
   if (parallel_grain != 0 && cap >= parallel_grain) {
     // Parallel path: materialize the merged candidates once, then filter
-    // them in parallel chunks.
+    // them in parallel chunks. The merge itself polls on a stride so huge
+    // lists observe a stop within tens of microseconds.
     std::vector<PointId> candidates;
     candidates.reserve(cap);
-    std::size_t i = 0, j = 0;
+    std::size_t i = 0, j = 0, scanned = 0;
     while (i < a.size() || j < b.size()) {
+      if ((++scanned & 0x3FFF) == 0 &&
+          PARHULL_RUN_POLL(ctrl, Scheduler::worker_id())) {
+        break;  // truncated: safe, the attempt can only fail (see above)
+      }
       PointId next;
       if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
         next = a[i];
@@ -334,7 +363,7 @@ MergeFilterResult<D> merge_filter_conflicts(
     result.tests = candidates.size();
     result.conflicts = detail::filter_visible<D>(
         pts, plane, fv, candidates.data(), 0, candidates.size(), arena,
-        parallel_grain);
+        parallel_grain, ctrl);
     return result;
   }
 
@@ -363,6 +392,7 @@ MergeFilterResult<D> merge_filter_conflicts(
             m += detail::filter_visible_block<D>(pts, plane, fv, cand, 0, len,
                                                  out + m);
             len = 0;
+            if (PARHULL_RUN_POLL(ctrl, Scheduler::worker_id())) break;
           }
         }
         if (len != 0) {

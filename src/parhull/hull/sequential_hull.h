@@ -43,12 +43,19 @@ class SequentialHull {
   };
 
   // pts must be prepared (prepare_input<D>): the first D+1 points affinely
-  // independent. Points are inserted in index order.
-  Result run(const PointSet<D>& pts) {
+  // independent. Points are inserted in index order. An optional controller
+  // adds a deadline / cancellation check between point insertions; a stopped
+  // run returns the controller's stop status with live partial stats and
+  // leaves the object reusable.
+  Result run(const PointSet<D>& pts, RunController* controller = nullptr) {
     Result res;
     const std::size_t n = pts.size();
     if (n < static_cast<std::size_t>(D) + 1) {
       res.status = HullStatus::kBadInput;
+      return res;
+    }
+    if (!all_finite<D>(pts)) {
+      res.status = HullStatus::kBadInput;  // NaN/Inf never reach predicates
       return res;
     }
     pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
@@ -106,7 +113,7 @@ class SequentialHull {
       Facet<D>& f = pool[id];
       f.conflicts = filter_visible_range<D>(
           pts, f.plane, f.vertices, static_cast<PointId>(D + 1),
-          n - (static_cast<std::size_t>(D) + 1), *arena_);
+          n - (static_cast<std::size_t>(D) + 1), *arena_, 0, controller);
       res.visibility_tests += n - (static_cast<std::size_t>(D) + 1);
       for (PointId q : f.conflicts) point_facets_[q].push_back(id);
     }
@@ -124,6 +131,12 @@ class SequentialHull {
     };
     std::map<RidgeKey<D>, PendingRidge> ridge_map;  // side ridges of one step
     for (PointId p = static_cast<PointId>(D + 1); p < n; ++p) {
+      // Deadline / cancellation check once per insertion step. Result stats
+      // accumulate live, so a stopped run reports its partial progress.
+      if (PARHULL_RUN_POLL(controller, 0)) {
+        res.status = controller->stop_status();
+        return res;
+      }
       // R <- C^-1(p), alive only.
       std::vector<FacetId> visible_set;
       for (FacetId f : point_facets_[p]) {
@@ -169,7 +182,8 @@ class SequentialHull {
           if (t.depth > res.dependence_depth) res.dependence_depth = t.depth;
 
           auto mf = merge_filter_conflicts<D>(f.conflicts, g.conflicts, pts,
-                                              t.plane, t.vertices, p, *arena_);
+                                              t.plane, t.vertices, p, *arena_,
+                                              0, controller);
           res.visibility_tests += mf.tests;
           t.conflicts = mf.conflicts;
           res.total_conflicts += t.conflicts.size();
@@ -208,7 +222,12 @@ class SequentialHull {
       PARHULL_DCHECK(ridge_map.empty());
     }
 
-    // --- Collect the hull (alive facets).
+    // --- Collect the hull (alive facets). The final poll guarantees a run
+    // whose last filter was truncated by a stop never returns kOk.
+    if (PARHULL_RUN_POLL(controller, 0)) {
+      res.status = controller->stop_status();
+      return res;
+    }
     for (FacetId id = 0; id < pool.size(); ++id) {
       if (pool[id].alive()) res.hull.push_back(id);
     }

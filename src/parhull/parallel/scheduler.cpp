@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "parhull/common/assert.h"
+#include "parhull/common/run_control.h"
 
 namespace parhull {
 
@@ -58,6 +59,12 @@ Task* Scheduler::try_acquire(int self, Rng& rng) {
   // Own deque first, then randomized stealing.
   Task* task = deques_[static_cast<std::size_t>(self)]->pop();
   if (task != nullptr) return task;
+  // Liveness pulse for the active RunController (if any): the steal path is
+  // where a worker lands when it has no work of its own, so a supervised
+  // run whose heartbeats froze but whose pulses keep flowing is stalled,
+  // not deadlocked (docs/CONCURRENCY.md). One relaxed load when no run is
+  // supervised.
+  scheduler_pulse(self);
   const int p = num_workers_;
   for (int attempt = 0; attempt < 2 * p; ++attempt) {
     PARHULL_SCHEDULE_POINT();  // between steal attempts (victim choice)
@@ -109,6 +116,7 @@ void Scheduler::wait_for(const Task& task) {
   Rng rng(0x85ebca6bu ^ static_cast<std::uint64_t>(self));
   while (!task.done()) {
     PARHULL_SCHEDULE_POINT();  // between join-help rounds
+    scheduler_pulse(self);
     Task* other = try_acquire(self, rng);
     if (other != nullptr) {
       other->run();

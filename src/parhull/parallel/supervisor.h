@@ -1,0 +1,243 @@
+// Supervised execution of hull runs: per-attempt deadlines, a stall
+// watchdog, and retry-with-backoff for transient outcomes (docs/ERRORS.md,
+// "Retry-policy taxonomy").
+//
+// The Supervisor owns one RunController and re-arms it per attempt:
+//   1. reset + arm the deadline, publish the controller for scheduler
+//      pulses (ActiveControllerScope);
+//   2. start the watchdog thread: it samples ctrl.progress() — the
+//      heartbeat board ticked by driver polls, NOT the scheduler pulse
+//      board — and latches kStalled when no heartbeat lands for a full
+//      window. A wedged run is therefore always reported as `stalled`,
+//      never experienced as a deadlock: the latch drains it like any other
+//      cancellation;
+//   3. run the caller's attempt function on the calling thread;
+//   4. classify: kOk and terminal statuses end the loop; transient
+//      statuses (kCapacityExceeded, kPoolExhausted, kStalled — resource
+//      pressure and scheduling accidents, including injected faults that
+//      surface as those statuses) sleep a seeded exponential backoff with
+//      jitter and try again.
+// Every attempt is recorded in Supervised::attempts.
+//
+// All of this relies on the drivers' failure contract: a failed run leaves
+// the object reusable (reset_state), so the Supervisor can simply call run
+// again — with escalated parameters, see supervised_hull_run below.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/common/run_control.h"
+#include "parhull/common/status.h"
+#include "parhull/parallel/scheduler.h"
+
+namespace parhull {
+
+// Transient = worth retrying: the cause can go away on a rerun (bigger
+// table, fewer workers, a fault that does not re-inject). Deadline and
+// cancellation are terminal by definition — the caller asked us to stop —
+// and degenerate/bad input cannot be fixed by rerunning.
+inline bool transient_status(HullStatus s) {
+  return s == HullStatus::kCapacityExceeded ||
+         s == HullStatus::kPoolExhausted || s == HullStatus::kStalled;
+}
+
+struct RetryPolicy {
+  int max_attempts = 3;           // total attempts (1 = no retry)
+  double backoff_base_ms = 10.0;  // nominal sleep before the first retry
+  double backoff_multiplier = 2.0;
+  double jitter = 0.5;            // extra sleep: up to this fraction, seeded
+  std::uint64_t seed = 0x5eed;
+};
+
+// Deterministic backoff schedule: base * multiplier^attempt, inflated by a
+// seeded jitter draw in [0, jitter). Pure function of (policy, attempt) —
+// the same policy always produces the same schedule.
+inline double retry_backoff_ms(const RetryPolicy& policy, int attempt) {
+  double nominal = policy.backoff_base_ms;
+  for (int i = 0; i < attempt; ++i) nominal *= policy.backoff_multiplier;
+  Rng rng = Rng(policy.seed).fork(static_cast<std::uint64_t>(attempt));
+  return nominal * (1.0 + policy.jitter * rng.next_double());
+}
+
+struct SupervisorOptions {
+  double deadline_ms = 0;  // per attempt; <= 0 disables
+  double watchdog_ms = 0;  // stall window; <= 0 disables the watchdog
+  RetryPolicy retry;
+};
+
+struct AttemptRecord {
+  int attempt = 0;  // 0-based
+  HullStatus status = HullStatus::kOk;
+  double elapsed_ms = 0;
+  double backoff_ms = 0;  // slept before the NEXT attempt; 0 on the last
+};
+
+template <class Result>
+struct Supervised {
+  Result result{};  // the final attempt's result
+  HullStatus status = HullStatus::kBadInput;
+  bool ok = false;
+  std::vector<AttemptRecord> attempts;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions opts = {}) : opts_(opts) {}
+
+  RunController& controller() { return ctrl_; }
+  CancelToken token() { return CancelToken(&ctrl_); }
+
+  // fn(RunController&, int attempt) -> a driver Result (anything with a
+  // HullStatus `status` member). The attempt function runs on the calling
+  // thread; the controller it receives is armed for that attempt only.
+  template <class RunFn>
+  auto run(RunFn&& fn)
+      -> Supervised<std::decay_t<decltype(fn(std::declval<RunController&>(),
+                                             0))>> {
+    using R = std::decay_t<decltype(fn(std::declval<RunController&>(), 0))>;
+    Supervised<R> sup;
+    const int max_attempts = std::max(1, opts_.retry.max_attempts);
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      ctrl_.reset();
+      if (opts_.deadline_ms > 0) ctrl_.set_deadline_ms(opts_.deadline_ms);
+      const auto start = std::chrono::steady_clock::now();
+      R res;
+      {
+        ActiveControllerScope active(ctrl_);
+        Watchdog dog(ctrl_, opts_.watchdog_ms);
+        res = fn(ctrl_, attempt);
+      }  // watchdog joined, controller unpublished and quiesced
+      const double elapsed =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const bool last =
+          attempt + 1 >= max_attempts || !transient_status(res.status);
+      double backoff = 0;
+      if (!last) {
+        backoff = retry_backoff_ms(opts_.retry, attempt);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      }
+      sup.attempts.push_back({attempt, res.status, elapsed, backoff});
+      sup.result = std::move(res);
+      sup.status = sup.result.status;
+      sup.ok = sup.status == HullStatus::kOk;
+      if (last) break;
+    }
+    return sup;
+  }
+
+ private:
+  // Latches kStalled when ctrl.progress() freezes for a full window. The
+  // sampling period is a fraction of the window so a stall is detected
+  // within ~1.1 windows; the run thread joins the watchdog before reading
+  // the attempt's result.
+  class Watchdog {
+   public:
+    Watchdog(RunController& ctrl, double window_ms) {
+      if (window_ms <= 0) return;
+      thread_ = std::thread([this, &ctrl, window_ms] {
+        const auto window =
+            std::chrono::duration<double, std::milli>(window_ms);
+        const auto step = std::chrono::duration<double, std::milli>(
+            std::max(window_ms / 8.0, 0.5));
+        std::uint64_t last = ctrl.progress();
+        auto last_change = std::chrono::steady_clock::now();
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!done_) {
+          cv_.wait_for(lock, step);
+          if (done_) break;
+          const std::uint64_t cur = ctrl.progress();
+          const auto now = std::chrono::steady_clock::now();
+          if (cur != last) {
+            last = cur;
+            last_change = now;
+            continue;
+          }
+          if (now - last_change >= window) {
+            ctrl.request_stop(HullStatus::kStalled);
+            last_change = now;  // keep monitoring until the run drains
+          }
+        }
+      });
+    }
+    ~Watchdog() {
+      if (!thread_.joinable()) return;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+    }
+
+   private:
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+  };
+
+  SupervisorOptions opts_;
+  RunController ctrl_;
+};
+
+namespace detail {
+// expected_keys doubled per retry, saturating well below overflow.
+inline std::size_t escalate_keys(std::size_t base, int attempt) {
+  std::size_t keys = base;
+  for (int i = 0; i < attempt; ++i) {
+    if (keys > std::numeric_limits<std::size_t>::max() / 2) break;
+    keys *= 2;
+  }
+  return keys;
+}
+}  // namespace detail
+
+// Supervised driver for a hull-shaped object: ParallelHull<D, MapT> or
+// ParallelDelaunay2D<MapT>. Per retry it escalates the ridge-table estimate
+// (kCapacityExceeded / kPoolExhausted pressure) and, after a stall, halves
+// the worker count for the next attempt (a stalled schedule is usually a
+// contention accident; fewer workers is the conservative rerun). Relies on
+// the drivers' reusable-after-failure contract.
+template <class Hull, int D>
+Supervised<typename Hull::Result> supervised_run(
+    Hull& hull, const PointSet<D>& pts, std::size_t auto_expected_keys,
+    SupervisorOptions opts = {}) {
+  Supervisor sup(opts);
+  const auto base = hull.params();
+  auto last = std::make_shared<HullStatus>(HullStatus::kOk);
+  return sup.run([&hull, &pts, base, last, auto_expected_keys](
+                     RunController& ctrl, int attempt) {
+    auto p = base;
+    p.controller = &ctrl;
+    if (attempt > 0) {
+      const std::size_t keys =
+          base.expected_keys != 0 ? base.expected_keys : auto_expected_keys;
+      p.expected_keys = detail::escalate_keys(keys, attempt);
+    }
+    hull.set_params(p);
+    std::optional<Scheduler::WorkerLimit> limit;
+    if (attempt > 0 && *last == HullStatus::kStalled) {
+      limit.emplace(std::max(1, Scheduler::get().num_workers() / 2));
+    }
+    auto res = hull.run(pts);
+    *last = res.status;
+    return res;
+  });
+}
+
+}  // namespace parhull

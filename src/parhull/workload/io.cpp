@@ -1,5 +1,6 @@
 #include "parhull/workload/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -17,7 +18,11 @@ bool read_points(std::istream& in, PointSet<D>& out) {
     std::istringstream ls(line);
     Point<D> p;
     for (int c = 0; c < D; ++c) {
-      if (!(ls >> p[c])) return false;
+      // Reject non-finite coordinates here, at the boundary: whether
+      // operator>> accepts "nan"/"inf" tokens varies by C++ library, and a
+      // huge literal like 1e999 parses to +inf on some of them. The exact
+      // predicates require finite doubles (geometry/point.h).
+      if (!(ls >> p[c]) || !std::isfinite(p[c])) return false;
     }
     double extra;
     if (ls >> extra) return false;  // wrong arity

@@ -14,7 +14,8 @@ namespace parhull {
 
 // One point per line, D whitespace-separated coordinates. Lines starting
 // with '#' and blank lines are skipped. Returns false on parse error or
-// wrong arity.
+// wrong arity. Non-finite coordinates (nan/inf, or literals that overflow
+// to inf) are rejected — the exact predicates require finite doubles.
 template <int D>
 bool read_points(std::istream& in, PointSet<D>& out);
 template <int D>

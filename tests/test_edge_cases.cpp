@@ -2,10 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "parhull/circles/circle_intersection.h"
 #include "parhull/common/random.h"
 #include "parhull/core/parallel_hull.h"
+#include "parhull/degenerate/degenerate_hull3d.h"
+#include "parhull/delaunay/parallel_delaunay2d.h"
+#include "parhull/halfspace/halfspace.h"
 #include "parhull/hull/baselines.h"
 #include "parhull/hull/sequential_hull.h"
 #include "parhull/workload/generators.h"
@@ -128,6 +132,51 @@ TEST(EdgeCases, InteriorPointEveryPriority) {
     ASSERT_TRUE(res.ok);
     EXPECT_EQ(res.hull.size(), 3u) << "pos " << pos;
   }
+}
+
+// Non-finite coordinates must be rejected as kBadInput by every driver
+// before any predicate runs: a single NaN would poison the orientation
+// tests with unordered comparisons. The object stays pristine and a clean
+// rerun succeeds.
+TEST(EdgeCases, NonFiniteCoordinatesAreBadInput) {
+  const double bads[] = {std::nan(""), std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity()};
+  for (double bad : bads) {
+    auto pts = uniform_ball<3>(50, 23);
+    ASSERT_TRUE(prepare_input<3>(pts));
+    auto poisoned = pts;
+    poisoned[poisoned.size() / 2][1] = bad;
+
+    ParallelHull<3> par;
+    auto pres = par.run(poisoned);
+    EXPECT_FALSE(pres.ok);
+    EXPECT_EQ(pres.status, HullStatus::kBadInput);
+    auto pres2 = par.run(pts);  // rejected input left the object reusable
+    EXPECT_TRUE(pres2.ok);
+
+    SequentialHull<3> seq;
+    auto sres = seq.run(poisoned);
+    EXPECT_FALSE(sres.ok);
+    EXPECT_EQ(sres.status, HullStatus::kBadInput);
+    EXPECT_TRUE(seq.run(pts).ok);
+
+    auto dres = degenerate_hull3d(poisoned);
+    EXPECT_FALSE(dres.ok);
+    EXPECT_EQ(dres.status, HullStatus::kBadInput);
+  }
+
+  PointSet<2> pts2 = {{{0, 0}}, {{4, 0}}, {{0, 4}},
+                      {{std::nan(""), 1}}, {{2, 1}}};
+  ParallelDelaunay2D<> dt;
+  auto tres = dt.run(pts2);
+  EXPECT_FALSE(tres.ok);
+  EXPECT_EQ(tres.status, HullStatus::kBadInput);
+
+  std::vector<HalfSpace<2>> hs = {{{{1, 0}}, 1},
+                                  {{{-1, 0}}, 1},
+                                  {{{0, 1}}, std::nan("")},
+                                  {{{0, -1}}, 1}};
+  EXPECT_FALSE(intersect_halfspaces<2>(hs).ok);
 }
 
 // Kuzmin (heavy-tailed) stresses the conflict-list imbalance.

@@ -67,6 +67,37 @@ TEST(Io, RejectsWrongArity) {
   }
 }
 
+// Non-finite coordinates are rejected at the IO boundary (kBadInput at the
+// driver level): the exact predicates require finite doubles, so nan/inf
+// must never survive parsing. "1e999" overflows to inf under operator>>
+// on common implementations — it must be rejected too, not silently
+// saturated into the point set.
+TEST(Io, RejectsNonFiniteCoordinates) {
+  const char* bad_rows[] = {
+      "nan 2 3\n",  "1 nan 3\n",  "1 2 nan\n",  "-nan 2 3\n",
+      "inf 2 3\n",  "1 inf 3\n",  "-inf 2 3\n", "1 2 -inf\n",
+      "infinity 0 0\n", "1e999 2 3\n", "1 2 -1e999\n",
+  };
+  for (const char* row : bad_rows) {
+    std::stringstream ss(row);
+    PointSet<3> pts;
+    EXPECT_FALSE(read_points<3>(ss, pts)) << "row: " << row;
+  }
+  // A finite row after a bad one does not rescue the parse: rejection is
+  // whole-stream, so callers never see a silently truncated cloud.
+  std::stringstream ss("1 2 3\nnan 5 6\n7 8 9\n");
+  PointSet<3> pts;
+  EXPECT_FALSE(read_points<3>(ss, pts));
+}
+
+TEST(Io, AcceptsExtremeFiniteCoordinates) {
+  std::stringstream ss(
+      "1.7976931348623157e308 -1.7976931348623157e308 4.9e-324\n");
+  PointSet<3> pts;
+  ASSERT_TRUE(read_points<3>(ss, pts));
+  ASSERT_EQ(pts.size(), 1u);
+}
+
 TEST(Io, MissingFileFails) {
   PointSet<3> pts;
   EXPECT_FALSE(read_points_file<3>("/nonexistent/path/points.xyz", pts));

@@ -105,6 +105,81 @@ TYPED_TEST(ModelCheckMap, TheoremA2EveryInterleaving) {
 }
 
 // ---------------------------------------------------------------------------
+// detail::FailureLatch ordering contract (used verbatim by RunController's
+// stop latch): mark() is an acq_rel CAS, status() an acquire load, so
+//   (1) racing markers resolve first-wins — every interleaving latches
+//       exactly one cause and it never changes afterwards;
+//   (2) release/acquire publication — anything a marker wrote BEFORE its
+//       winning mark() is visible to any thread that observes failed().
+// ---------------------------------------------------------------------------
+
+TEST(ModelCheckFailureLatch, RacingMarkersFirstWins) {
+  detail::FailureLatch latch;
+  std::array<HullStatus, 2> seen{};
+  InterleaveExplorer explorer;
+  auto result = explorer.explore(
+      [&] {
+        latch.reset();
+        seen = {HullStatus::kOk, HullStatus::kOk};
+      },
+      {[&] {
+         latch.mark(HullStatus::kCapacityExceeded);
+         seen[0] = latch.status();
+       },
+       [&] {
+         latch.mark(HullStatus::kPoolExhausted);
+         seen[1] = latch.status();
+       }},
+      [&] {
+        // Exactly one cause latched; both markers agree on it afterwards.
+        const HullStatus final_status = latch.status();
+        bool ok = latch.failed() &&
+                  (final_status == HullStatus::kCapacityExceeded ||
+                   final_status == HullStatus::kPoolExhausted) &&
+                  seen[0] == final_status && seen[1] == final_status;
+        EXPECT_TRUE(latch.failed());
+        EXPECT_EQ(seen[0], final_status);
+        EXPECT_EQ(seen[1], final_status);
+        return ok;
+      });
+  EXPECT_TRUE(result.complete) << "state space not exhausted";
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.executions, 2u);
+  RecordProperty("executions", static_cast<int>(result.executions));
+}
+
+TEST(ModelCheckFailureLatch, WinningMarkPublishesPriorWrites) {
+  detail::FailureLatch latch;
+  int payload = 0;          // plain non-atomic data, published by the mark
+  int observed = -1;        // -1 = reader saw no failure
+  InterleaveExplorer explorer;
+  auto result = explorer.explore(
+      [&] {
+        latch.reset();
+        payload = 0;
+        observed = -1;
+      },
+      {[&] {
+         payload = 42;  // happens-before the release half of mark()
+         latch.mark(HullStatus::kPoolExhausted);
+       },
+       [&] {
+         if (latch.failed()) observed = payload;  // acquire pairs with mark
+       }},
+      [&] {
+        // The reader either missed the failure entirely or saw the fully
+        // published payload — never a torn/zero value.
+        bool ok = observed == -1 || observed == 42;
+        EXPECT_TRUE(ok) << "observed=" << observed;
+        return ok;
+      });
+  EXPECT_TRUE(result.complete) << "state space not exhausted";
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.executions, 2u);
+  RecordProperty("executions", static_cast<int>(result.executions));
+}
+
+// ---------------------------------------------------------------------------
 // Chase–Lev deque linearizability.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,551 @@
+// Run supervision (common/run_control.h, parallel/supervisor.h): deadlines,
+// cooperative cancellation, the stall watchdog, and retry-with-backoff.
+//
+// Acceptance criteria covered here (ISSUE 4):
+//   * cancellation / deadline fired at every PARHULL_FAULT_POINT site and
+//     swept over PARHULL_FAULT_SEEDS seeds: no abort, no leak (ASan job),
+//     object reusable, and the facet set on a successful rerun identical to
+//     an unsupervised run;
+//   * 10ms/1ms deadline sweeps complete with a typed status, never a hang;
+//   * the Supervisor reports a wedged run as `stalled` (never deadlock) and
+//     its retry loop converges with a correct attempt log.
+// This binary links parhull_fuzzed, so PARHULL_FAULT_POINT() is live and a
+// fault-site crossing is a deterministic place to fire a cancellation from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/common/run_control.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/degenerate/degenerate_hull3d.h"
+#include "parhull/delaunay/parallel_delaunay2d.h"
+#include "parhull/halfspace/halfspace.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/parallel/supervisor.h"
+#include "parhull/testing/fault_point.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+using testing::CountdownFaultInjector;
+using testing::FaultInjector;
+using testing::FaultScope;
+using testing::FaultSite;
+
+const bool kForcedWorkers = [] {
+  setenv("PARHULL_NUM_WORKERS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+template <int D, template <int> class MapT>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>> alive_tuples(
+    const ParallelHull<D, MapT>& hull, const std::vector<FacetId>& ids) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  for (FacetId id : ids) out.push_back(canonical_vertices(hull.facet(id)));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+template <int D>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>> seq_tuples(
+    const PointSet<D>& pts) {
+  SequentialHull<D> seq;
+  auto res = seq.run(pts);
+  EXPECT_TRUE(res.ok);
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  for (FacetId id : res.hull) out.push_back(canonical_vertices(seq.facet(id)));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Fires a CancelToken at the Nth crossing of a fault site — a deterministic
+// "random mid-run cancellation": the fault points are dense in every driver
+// (each ridge-map insert and pool allocation crosses one), so sweeping the
+// countdown sweeps the cancellation over the whole execution.
+class CancelAtSiteInjector final : public FaultInjector {
+ public:
+  CancelAtSiteInjector(CancelToken token, FaultSite site, std::uint64_t after)
+      : token_(token), site_(site), remaining_(after) {}
+
+  bool should_fail(FaultSite site) override {
+    if (site == site_ &&
+        remaining_.fetch_sub(1, std::memory_order_acq_rel) == 0) {
+      token_.cancel();
+    }
+    return false;  // never injects the fault itself — only cancels
+  }
+
+ private:
+  CancelToken token_;
+  FaultSite site_;
+  std::atomic<std::uint64_t> remaining_;
+};
+
+// ---------------------------------------------------------------------------
+// RunController / CancelToken units.
+// ---------------------------------------------------------------------------
+
+TEST(RunControl, StopLatchIsFirstWins) {
+  RunController ctrl;
+  EXPECT_FALSE(ctrl.stop_requested());
+  EXPECT_EQ(ctrl.stop_status(), HullStatus::kOk);
+  EXPECT_FALSE(ctrl.poll(0));
+  ctrl.request_stop(HullStatus::kStalled);
+  ctrl.request_stop(HullStatus::kCancelled);  // loses: first cause wins
+  EXPECT_TRUE(ctrl.stop_requested());
+  EXPECT_EQ(ctrl.stop_status(), HullStatus::kStalled);
+  EXPECT_TRUE(ctrl.poll(0));
+  EXPECT_TRUE(ctrl.poll(17));  // every worker observes the latched stop
+  ctrl.reset();
+  EXPECT_FALSE(ctrl.stop_requested());
+  EXPECT_FALSE(ctrl.poll(0));
+}
+
+TEST(RunControl, PollTicksHeartbeatsPulseTicksPulses) {
+  RunController ctrl;
+  for (int i = 0; i < 10; ++i) ctrl.poll(0);
+  ctrl.pulse(1);
+  ctrl.pulse(1);
+  EXPECT_EQ(ctrl.progress(), 10u);          // heartbeats only
+  EXPECT_EQ(ctrl.scheduler_pulses(), 2u);   // pulses are a separate board
+  ctrl.reset();
+  EXPECT_EQ(ctrl.progress(), 0u);
+  EXPECT_EQ(ctrl.scheduler_pulses(), 0u);
+}
+
+TEST(RunControl, PreExpiredDeadlineStopsOnFirstPoll) {
+  RunController ctrl;
+  ctrl.set_deadline_ms(1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctrl.poll(0));  // beat 0 checks the clock: no work happens
+  EXPECT_EQ(ctrl.stop_status(), HullStatus::kDeadlineExceeded);
+}
+
+TEST(RunControl, ClearedDeadlineNeverFires) {
+  RunController ctrl;
+  ctrl.set_deadline_ms(1e-6);
+  ctrl.clear_deadline();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(ctrl.poll(0));
+}
+
+TEST(RunControl, CancelTokenIsNullSafe) {
+  CancelToken null_token;
+  null_token.cancel();  // must not crash
+  EXPECT_FALSE(null_token.cancel_requested());
+  RunController ctrl;
+  CancelToken token(&ctrl);
+  EXPECT_FALSE(token.cancel_requested());
+  token.cancel();
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_EQ(ctrl.stop_status(), HullStatus::kCancelled);
+}
+
+TEST(RunControl, SchedulerPulseReachesActiveController) {
+  RunController ctrl;
+  scheduler_pulse(0);  // no controller installed: a relaxed load, no effect
+  EXPECT_EQ(ctrl.scheduler_pulses(), 0u);
+  {
+    ActiveControllerScope active(ctrl);
+    scheduler_pulse(0);
+    scheduler_pulse(3);
+    EXPECT_EQ(ctrl.scheduler_pulses(), 2u);
+    // Nested scope is a no-op: pulses keep landing on the outer controller.
+    RunController inner;
+    ActiveControllerScope nested(inner);
+    scheduler_pulse(1);
+    EXPECT_EQ(inner.scheduler_pulses(), 0u);
+    EXPECT_EQ(ctrl.scheduler_pulses(), 3u);
+  }
+  scheduler_pulse(0);  // uninstalled: no further pulses
+  EXPECT_EQ(ctrl.scheduler_pulses(), 3u);
+}
+
+TEST(RunControl, RetryBackoffIsDeterministicAndGrowing) {
+  RetryPolicy policy;
+  policy.backoff_base_ms = 10;
+  policy.backoff_multiplier = 2;
+  policy.jitter = 0.5;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const double a = retry_backoff_ms(policy, attempt);
+    const double b = retry_backoff_ms(policy, attempt);
+    EXPECT_EQ(a, b) << "attempt " << attempt;  // pure function of (policy, i)
+    const double nominal = 10.0 * std::pow(2.0, attempt);
+    EXPECT_GE(a, nominal);
+    EXPECT_LT(a, nominal * 1.5);
+  }
+  RetryPolicy other = policy;
+  other.seed = 0xfeed;
+  EXPECT_NE(retry_backoff_ms(policy, 1), retry_backoff_ms(other, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Pre-expired deadline: every driver returns the typed status and stays
+// reusable — and the rerun matches an unsupervised reference exactly.
+// ---------------------------------------------------------------------------
+
+TEST(Deadline, ParallelHullDeadlineExceededThenReusable) {
+  auto pts = uniform_ball<3>(300, 3);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  RunController ctrl;
+  ctrl.set_deadline_ms(1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ParallelHull<3>::Params params;
+  params.controller = &ctrl;
+  ParallelHull<3> hull(params);
+  auto res = hull.run(pts);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDeadlineExceeded);
+  // Same object, controller disarmed: identical to the sequential reference.
+  ctrl.reset();
+  auto res2 = hull.run(pts);
+  ASSERT_TRUE(res2.ok);
+  EXPECT_EQ(alive_tuples(hull, res2.hull), seq_tuples<3>(pts));
+}
+
+TEST(Deadline, SequentialHullDeadlineExceededThenReusable) {
+  auto pts = uniform_ball<3>(300, 5);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  RunController ctrl;
+  ctrl.set_deadline_ms(1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  SequentialHull<3> seq;
+  auto res = seq.run(pts, &ctrl);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDeadlineExceeded);
+  auto res2 = seq.run(pts);  // unsupervised rerun on the same object
+  EXPECT_TRUE(res2.ok);
+}
+
+TEST(Deadline, DelaunayDeadlineExceededThenReusable) {
+  auto pts = uniform_ball<2>(300, 7);
+  ParallelDelaunay2D<> reference;
+  auto ref = reference.run(pts);
+  ASSERT_TRUE(ref.ok);
+  auto ref_tris = ref.triangles;
+  std::sort(ref_tris.begin(), ref_tris.end());
+
+  RunController ctrl;
+  ctrl.set_deadline_ms(1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ParallelDelaunay2D<>::Params params;
+  params.controller = &ctrl;
+  ParallelDelaunay2D<> dt(params);
+  auto res = dt.run(pts);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDeadlineExceeded);
+  ctrl.reset();
+  auto res2 = dt.run(pts);
+  ASSERT_TRUE(res2.ok);
+  auto tris = res2.triangles;
+  std::sort(tris.begin(), tris.end());
+  EXPECT_EQ(tris, ref_tris);
+}
+
+TEST(Deadline, DegenerateHullDeadlineExceeded) {
+  PointSet<3> pts;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      for (int k = 0; k < 2; ++k) {
+        pts.push_back(Point3{{static_cast<double>(i), static_cast<double>(j),
+                              static_cast<double>(k)}});
+      }
+    }
+  }
+  RunController ctrl;
+  ctrl.set_deadline_ms(1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto res = degenerate_hull3d(pts, 0x5eed, &ctrl);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDeadlineExceeded);
+  auto res2 = degenerate_hull3d(pts);  // free function: plain rerun
+  EXPECT_TRUE(res2.ok);
+}
+
+TEST(Deadline, HalfspaceDeadlineExceeded) {
+  auto hs = random_tangent_halfspaces<3>(100, 17);
+  RunController ctrl;
+  ctrl.set_deadline_ms(1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto res = intersect_halfspaces<3>(hs, &ctrl);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDeadlineExceeded);
+  auto res2 = intersect_halfspaces<3>(hs);
+  EXPECT_TRUE(res2.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run cancellation at every fault site, swept over seeds.
+// ---------------------------------------------------------------------------
+
+TEST(Cancellation, AtEveryFaultSiteNoAbortObjectReusable) {
+  auto pts = uniform_ball<3>(250, 11);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto reference = seq_tuples<3>(pts);
+  struct Probe {
+    FaultSite site;
+    std::uint64_t after;
+  };
+  const Probe probes[] = {
+      {FaultSite::kRidgeMapInsert, 0},   {FaultSite::kRidgeMapInsert, 10},
+      {FaultSite::kRidgeMapInsert, 500}, {FaultSite::kPoolAllocate, 0},
+      {FaultSite::kPoolAllocate, 10},    {FaultSite::kPoolAllocate, 500},
+      {FaultSite::kAllocation, 0},
+  };
+  for (const Probe& probe : probes) {
+    RunController ctrl;
+    ParallelHull<3>::Params params;
+    params.controller = &ctrl;
+    ParallelHull<3> hull(params);
+    {
+      CancelAtSiteInjector inj(CancelToken(&ctrl), probe.site, probe.after);
+      FaultScope scope(inj);
+      auto res = hull.run(pts);
+      // The cancel may land after the run finished its work; either way the
+      // status is typed and nothing aborts.
+      if (res.ok) continue;  // completed before the cancel could bite
+      EXPECT_EQ(res.status, HullStatus::kCancelled)
+          << "site=" << static_cast<int>(probe.site)
+          << " after=" << probe.after;
+    }
+    // Cancelled run leaves the object reusable; the clean rerun converges
+    // to the identical facet set.
+    ctrl.reset();
+    auto res2 = hull.run(pts);
+    ASSERT_TRUE(res2.ok) << to_string(res2.status);
+    EXPECT_EQ(alive_tuples(hull, res2.hull), reference)
+        << "site=" << static_cast<int>(probe.site) << " after=" << probe.after;
+  }
+}
+
+// The acceptance sweep: >= 32 seeded random mid-run cancellations. Every
+// run returns a typed status (ok or cancelled), never aborts or hangs, and
+// a retried run converges to the unsupervised facet set.
+TEST(Cancellation, SeededSweepAlwaysTypedAlwaysConvergent) {
+  auto pts = uniform_ball<3>(250, 13);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto reference = seq_tuples<3>(pts);
+  const int seeds = std::max(32, testing::fault_seed_count(32));
+  int cancelled = 0;
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 1);
+    const FaultSite site = rng.next_below(2) == 0 ? FaultSite::kRidgeMapInsert
+                                                  : FaultSite::kPoolAllocate;
+    const std::uint64_t after = rng.next_below(4000);
+    RunController ctrl;
+    ParallelHull<3>::Params params;
+    params.controller = &ctrl;
+    ParallelHull<3> hull(params);
+    {
+      CancelAtSiteInjector inj(CancelToken(&ctrl), site, after);
+      FaultScope scope(inj);
+      auto res = hull.run(pts);
+      if (res.ok) {
+        EXPECT_EQ(alive_tuples(hull, res.hull), reference) << "seed=" << seed;
+        continue;
+      }
+      ++cancelled;
+      EXPECT_EQ(res.status, HullStatus::kCancelled) << "seed=" << seed;
+    }
+    ctrl.reset();
+    auto res2 = hull.run(pts);
+    ASSERT_TRUE(res2.ok) << "seed=" << seed;
+    EXPECT_EQ(alive_tuples(hull, res2.hull), reference) << "seed=" << seed;
+  }
+  // Non-vacuousness: early countdowns must actually cancel some runs.
+  ::testing::Test::RecordProperty("cancelled_runs", cancelled);
+  EXPECT_GT(cancelled, 0);
+}
+
+TEST(Cancellation, PartialProgressStatsSurviveLateCancel) {
+  auto pts = uniform_ball<3>(400, 17);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  RunController ctrl;
+  ParallelHull<3>::Params params;
+  params.controller = &ctrl;
+  ParallelHull<3> hull(params);
+  CancelAtSiteInjector inj(CancelToken(&ctrl), FaultSite::kPoolAllocate, 100);
+  FaultScope scope(inj);
+  auto res = hull.run(pts);
+  if (!res.ok) {
+    EXPECT_EQ(res.status, HullStatus::kCancelled);
+    // 100 pool allocations happened before the cancel fired, so the failed
+    // attempt must report how far it got.
+    EXPECT_GT(res.facets_created, 0u);
+    EXPECT_GT(res.visibility_tests, 0u);
+  }
+}
+
+TEST(Cancellation, DelaunayCancelMidRunThenConvergent) {
+  auto pts = uniform_ball<2>(400, 19);
+  ParallelDelaunay2D<> reference;
+  auto ref = reference.run(pts);
+  ASSERT_TRUE(ref.ok);
+  auto ref_tris = ref.triangles;
+  std::sort(ref_tris.begin(), ref_tris.end());
+
+  const int seeds = testing::fault_seed_count(8);
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 0x2545f491ULL + 7);
+    RunController ctrl;
+    ParallelDelaunay2D<>::Params params;
+    params.controller = &ctrl;
+    ParallelDelaunay2D<> dt(params);
+    {
+      CancelAtSiteInjector inj(CancelToken(&ctrl), FaultSite::kPoolAllocate,
+                               rng.next_below(1500));
+      FaultScope scope(inj);
+      auto res = dt.run(pts);
+      if (res.ok) continue;
+      EXPECT_EQ(res.status, HullStatus::kCancelled) << "seed=" << seed;
+    }
+    ctrl.reset();
+    auto res2 = dt.run(pts);
+    ASSERT_TRUE(res2.ok) << "seed=" << seed;
+    auto tris = res2.triangles;
+    std::sort(tris.begin(), tris.end());
+    EXPECT_EQ(tris, ref_tris) << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Short real deadlines: typed result, no hang, at any deadline.
+// ---------------------------------------------------------------------------
+
+TEST(Deadline, ShortDeadlineSweepAlwaysTyped) {
+  auto pts = uniform_ball<3>(2000, 23);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  const double deadlines_ms[] = {0.01, 0.1, 1, 10};
+  for (double deadline : deadlines_ms) {
+    RunController ctrl;
+    ctrl.set_deadline_ms(deadline);
+    ParallelHull<3>::Params params;
+    params.controller = &ctrl;
+    ParallelHull<3> hull(params);
+    auto res = hull.run(pts);
+    if (res.ok) continue;  // fast machine beat the deadline: fine
+    EXPECT_EQ(res.status, HullStatus::kDeadlineExceeded)
+        << "deadline=" << deadline;
+    ctrl.reset();
+    auto res2 = hull.run(pts);  // reusable after the timeout
+    EXPECT_TRUE(res2.ok);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: watchdog and retry-with-backoff.
+// ---------------------------------------------------------------------------
+
+struct ToyResult {
+  HullStatus status = HullStatus::kOk;
+};
+
+TEST(Supervisor, WatchdogReportsStallNotDeadlock) {
+  SupervisorOptions opts;
+  opts.watchdog_ms = 40;
+  opts.retry.max_attempts = 2;
+  opts.retry.backoff_base_ms = 1;
+  Supervisor sup(opts);
+  auto result = sup.run([](RunController& ctrl, int attempt) {
+    if (attempt > 0) return ToyResult{HullStatus::kOk};
+    // A wedged first attempt: no heartbeats ever land, so the watchdog must
+    // latch kStalled and this loop must observe it — a hang here IS the bug.
+    while (!ctrl.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return ToyResult{ctrl.stop_status()};
+  });
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.attempts.size(), 2u);
+  EXPECT_EQ(result.attempts[0].status, HullStatus::kStalled);
+  EXPECT_GT(result.attempts[0].backoff_ms, 0.0);
+  EXPECT_EQ(result.attempts[1].status, HullStatus::kOk);
+  EXPECT_EQ(result.attempts[1].backoff_ms, 0.0);
+}
+
+TEST(Supervisor, WatchdogSparesProgressingRuns) {
+  SupervisorOptions opts;
+  opts.watchdog_ms = 30;
+  Supervisor sup(opts);
+  auto result = sup.run([](RunController& ctrl, int) {
+    // Slow but alive: heartbeats land well inside every watchdog window.
+    for (int i = 0; i < 20; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      if (ctrl.poll(0)) return ToyResult{ctrl.stop_status()};
+    }
+    return ToyResult{HullStatus::kOk};
+  });
+  EXPECT_TRUE(result.ok) << to_string(result.status);
+  EXPECT_EQ(result.attempts.size(), 1u);
+}
+
+TEST(Supervisor, RetriesInjectedPoolExhaustionToIdenticalFacetSet) {
+  auto pts = uniform_ball<3>(250, 29);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto reference = seq_tuples<3>(pts);
+  // Fires once: the first attempt fails kPoolExhausted (transient), the
+  // supervised retry runs clean.
+  CountdownFaultInjector inj(FaultSite::kPoolAllocate, 50);
+  FaultScope scope(inj);
+  SupervisorOptions opts;
+  opts.retry.max_attempts = 3;
+  opts.retry.backoff_base_ms = 1;
+  ParallelHull<3> hull;
+  auto sup = supervised_run<ParallelHull<3>, 3>(hull, pts, 8 * pts.size(),
+                                                opts);
+  ASSERT_TRUE(sup.ok) << to_string(sup.status);
+  EXPECT_TRUE(inj.fired());
+  ASSERT_EQ(sup.attempts.size(), 2u);
+  EXPECT_EQ(sup.attempts[0].status, HullStatus::kPoolExhausted);
+  EXPECT_GT(sup.attempts[0].backoff_ms, 0.0);
+  EXPECT_EQ(alive_tuples(hull, sup.result.hull), reference);
+}
+
+TEST(Supervisor, TerminalStatusIsNotRetried) {
+  PointSet<3> too_few = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}}};
+  SupervisorOptions opts;
+  opts.retry.max_attempts = 4;
+  opts.retry.backoff_base_ms = 1;
+  ParallelHull<3> hull;
+  auto sup = supervised_run<ParallelHull<3>, 3>(hull, too_few, 64, opts);
+  EXPECT_FALSE(sup.ok);
+  EXPECT_EQ(sup.status, HullStatus::kBadInput);
+  EXPECT_EQ(sup.attempts.size(), 1u);  // kBadInput is terminal
+}
+
+TEST(Supervisor, DeadlinePerAttemptIsTerminal) {
+  auto pts = uniform_ball<3>(2000, 31);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  SupervisorOptions opts;
+  opts.deadline_ms = 0.01;
+  opts.retry.max_attempts = 3;
+  opts.retry.backoff_base_ms = 1;
+  ParallelHull<3> hull;
+  auto sup = supervised_run<ParallelHull<3>, 3>(hull, pts, 8 * pts.size(),
+                                                opts);
+  if (!sup.ok) {
+    EXPECT_EQ(sup.status, HullStatus::kDeadlineExceeded);
+    EXPECT_EQ(sup.attempts.size(), 1u);  // the caller asked us to stop
+  }
+}
+
+TEST(Supervisor, EscalatesExpectedKeysAcrossRetries) {
+  EXPECT_EQ(detail::escalate_keys(100, 0), 100u);
+  EXPECT_EQ(detail::escalate_keys(100, 1), 200u);
+  EXPECT_EQ(detail::escalate_keys(100, 3), 800u);
+  // Saturates instead of wrapping.
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() - 2;
+  EXPECT_EQ(detail::escalate_keys(huge, 5), huge);
+}
+
+}  // namespace
+}  // namespace parhull
