@@ -6,7 +6,9 @@
 //
 // Passing --demo in place of input.xyz uses the generated demo cloud while
 // still honoring the output argument (used by scripts/run_benches.sh for
-// the plane-kernel on/off facet-set equivalence check).
+// the plane-kernel on/off facet-set equivalence check). OFF facets are
+// emitted in canonical order (core/hull_output.h), so two runs of the same
+// input diff clean regardless of schedule.
 //
 // Supervision flags (docs/ERRORS.md):
 //   --deadline-ms N   fail the run with deadline_exceeded after N ms
@@ -14,14 +16,27 @@
 //   --watchdog-ms N   declare the run stalled after N ms without progress
 // Any of these routes the run through the Supervisor driver; a non-ok exit
 // prints the per-attempt log.
+//
+// Batch-dynamic engine (docs/ENGINE.md):
+//   --batches N       insert the input through HullEngine in N equal
+//                     batches instead of one ParallelHull run, printing
+//                     per-epoch progress
+//   --stats-json P    dump predicate counters, the supervisor attempt log,
+//                     and (with --batches) the engine epoch stats to P as
+//                     JSON (the attempt log was stderr-only text before)
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "parhull/core/hull_output.h"
 #include "parhull/core/parallel_hull.h"
+#include "parhull/engine/engine.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/geometry/predicates.h"
 #include "parhull/parallel/supervisor.h"
 #include "parhull/workload/generators.h"
 #include "parhull/workload/io.h"
@@ -41,20 +56,81 @@ bool parse_double_flag(int argc, char** argv, int& i, const char* name,
   return true;
 }
 
+void print_attempts_json(std::ostream& os,
+                         const std::vector<AttemptRecord>& attempts,
+                         int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "[";
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const AttemptRecord& a = attempts[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << pad << "  {\"attempt\": " << a.attempt << ", \"status\": \""
+       << to_string(a.status) << "\", \"elapsed_ms\": " << a.elapsed_ms
+       << ", \"backoff_ms\": " << a.backoff_ms << "}";
+  }
+  if (!attempts.empty()) os << "\n" << pad;
+  os << "]";
+}
+
+struct RunSummary {
+  HullStatus status = HullStatus::kBadInput;
+  std::size_t hull_facets = 0;
+  std::uint64_t facets_created = 0;
+  std::uint64_t visibility_tests = 0;
+  std::uint32_t dependence_depth = 0;
+  std::uint32_t regrows = 0;
+  bool used_chained_fallback = false;
+};
+
+bool write_stats_json(const char* path, const RunSummary& run,
+                      const std::vector<AttemptRecord>& attempts,
+                      const EngineStats* engine) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n"
+     << "  \"status\": \"" << to_string(run.status) << "\",\n"
+     << "  \"hull_facets\": " << run.hull_facets << ",\n"
+     << "  \"facets_created\": " << run.facets_created << ",\n"
+     << "  \"visibility_tests\": " << run.visibility_tests << ",\n"
+     << "  \"dependence_depth\": " << run.dependence_depth << ",\n"
+     << "  \"regrows\": " << run.regrows << ",\n"
+     << "  \"used_chained_fallback\": "
+     << (run.used_chained_fallback ? "true" : "false") << ",\n"
+     << "  \"predicates\": {\"calls\": " << predicate_calls()
+     << ", \"exact_fallbacks\": " << predicate_exact_fallbacks() << "},\n"
+     << "  \"attempts\": ";
+  print_attempts_json(os, attempts, 2);
+  if (engine != nullptr) {
+    os << ",\n  \"engine\": ";
+    print_engine_stats_json(os, *engine, 2);
+  }
+  os << "\n}\n";
+  return static_cast<bool>(os);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double deadline_ms = 0;
   double watchdog_ms = 0;
   double retries = 0;
+  double batches = 0;
   std::vector<const char*> positional;
+  const char* stats_json_path = nullptr;
   bool demo = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--stats-json requires a path\n";
+        return 1;
+      }
+      stats_json_path = argv[++i];
     } else if (parse_double_flag(argc, argv, i, "--deadline-ms", deadline_ms) ||
                parse_double_flag(argc, argv, i, "--watchdog-ms", watchdog_ms) ||
-               parse_double_flag(argc, argv, i, "--retries", retries)) {
+               parse_double_flag(argc, argv, i, "--retries", retries) ||
+               parse_double_flag(argc, argv, i, "--batches", batches)) {
       // parsed
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       std::cerr << "unknown flag " << argv[i] << "\n";
@@ -96,48 +172,124 @@ int main(int argc, char** argv) {
     std::cerr << "input degenerate (needs 4 affinely independent points)\n";
     return 1;
   }
+  reset_predicate_stats();
 
-  ParallelHull<3> hull;
-  ParallelHull<3>::Result res;
-  const bool supervised = deadline_ms > 0 || watchdog_ms > 0 || retries > 0;
-  if (supervised) {
-    SupervisorOptions opts;
-    opts.deadline_ms = deadline_ms;
-    opts.watchdog_ms = watchdog_ms;
-    opts.retry.max_attempts = 1 + std::max(0, static_cast<int>(retries));
-    auto sup = supervised_run<ParallelHull<3>, 3>(
-        hull, pts, /*auto_expected_keys=*/4 * 3 * pts.size() + 64, opts);
-    if (sup.attempts.size() > 1 || !sup.ok) {
-      for (const auto& a : sup.attempts) {
-        std::cerr << "attempt " << a.attempt << ": " << to_string(a.status)
-                  << " after " << a.elapsed_ms << " ms";
-        if (a.backoff_ms > 0) std::cerr << ", backoff " << a.backoff_ms << " ms";
-        std::cerr << "\n";
+  std::vector<AttemptRecord> attempts;
+  RunSummary run;
+  std::vector<std::array<PointId, 3>> out_facets;  // canonical OFF order
+
+  const int n_batches =
+      std::max(0, static_cast<int>(batches));  // 0 = one-shot ParallelHull
+  if (n_batches > 0) {
+    // --- Batch-dynamic path: insert the prepared sequence through the
+    // engine in N contiguous batches; each commit publishes an epoch.
+    HullEngine<3> engine;
+    HullEngine<3>::Params params;
+    RunController ctrl;
+    if (deadline_ms > 0) params.controller = &ctrl;
+    engine.set_params(params);
+    const std::size_t n = pts.size();
+    const std::size_t per =
+        (n + static_cast<std::size_t>(n_batches) - 1) /
+        static_cast<std::size_t>(n_batches);
+    for (std::size_t first = 0; first < n; first += per) {
+      const std::size_t last = std::min(n, first + per);
+      PointSet<3> batch(pts.begin() + static_cast<std::ptrdiff_t>(first),
+                        pts.begin() + static_cast<std::ptrdiff_t>(last));
+      if (deadline_ms > 0) {
+        ctrl.reset();
+        ctrl.set_deadline_ms(deadline_ms);
+      }
+      auto res = engine.insert_batch(batch);
+      run.status = res.status;
+      run.regrows += res.regrows;
+      run.used_chained_fallback |= res.used_chained_fallback;
+      if (!res.ok) {
+        std::cerr << "batch at point " << first
+                  << " failed: " << to_string(res.status) << "\n";
+        break;
+      }
+      std::cout << "epoch " << res.epoch << ": +" << res.batch_points
+                << " points, " << res.hull_facets << " hull facets\n";
+    }
+    const EngineStats stats = engine.stats();
+    auto snap = engine.snapshot();
+    if (run.status == HullStatus::kOk && snap != nullptr) {
+      run.hull_facets = snap->facet_count();
+      run.facets_created = stats.facets_created_total;
+      run.visibility_tests = stats.visibility_tests_total;
+      for (const SnapshotFacet<3>& f : snap->facets) {
+        out_facets.push_back(f.vertices);  // snapshots are already canonical
       }
     }
-    res = std::move(sup.result);
+    if (stats_json_path != nullptr &&
+        !write_stats_json(stats_json_path, run, attempts, &stats)) {
+      std::cerr << "cannot write " << stats_json_path << "\n";
+      return 1;
+    }
+    if (run.status != HullStatus::kOk) return 1;
+    std::cout << "hull facets:       " << run.hull_facets << "\n"
+              << "epochs published:  " << stats.epoch << "\n"
+              << "facets created:    " << stats.facets_created_total << "\n"
+              << "visibility tests:  " << stats.visibility_tests_total << "\n";
   } else {
-    res = hull.run(pts);
+    ParallelHull<3> hull;
+    ParallelHull<3>::Result res;
+    const bool supervised = deadline_ms > 0 || watchdog_ms > 0 || retries > 0;
+    if (supervised) {
+      SupervisorOptions opts;
+      opts.deadline_ms = deadline_ms;
+      opts.watchdog_ms = watchdog_ms;
+      opts.retry.max_attempts = 1 + std::max(0, static_cast<int>(retries));
+      auto sup = supervised_run<ParallelHull<3>, 3>(
+          hull, pts, /*auto_expected_keys=*/4 * 3 * pts.size() + 64, opts);
+      attempts = sup.attempts;
+      if (sup.attempts.size() > 1 || !sup.ok) {
+        for (const auto& a : sup.attempts) {
+          std::cerr << "attempt " << a.attempt << ": " << to_string(a.status)
+                    << " after " << a.elapsed_ms << " ms";
+          if (a.backoff_ms > 0)
+            std::cerr << ", backoff " << a.backoff_ms << " ms";
+          std::cerr << "\n";
+        }
+      }
+      res = std::move(sup.result);
+    } else {
+      res = hull.run(pts);
+    }
+    run.status = res.status;
+    run.hull_facets = res.hull.size();
+    run.facets_created = res.facets_created;
+    run.visibility_tests = res.visibility_tests;
+    run.dependence_depth = res.dependence_depth;
+    run.regrows = res.regrows;
+    run.used_chained_fallback = res.used_chained_fallback;
+    if (stats_json_path != nullptr &&
+        !write_stats_json(stats_json_path, run, attempts, nullptr)) {
+      std::cerr << "cannot write " << stats_json_path << "\n";
+      return 1;
+    }
+    if (!res.ok) {
+      std::cerr << "hull run failed: " << to_string(res.status) << "\n";
+      return 1;
+    }
+    if (res.regrows > 0 || res.used_chained_fallback) {
+      std::cout << "ridge table regrown " << res.regrows << "x"
+                << (res.used_chained_fallback ? ", chained fallback used" : "")
+                << "\n";
+    }
+    std::cout << "hull facets:       " << res.hull.size() << "\n"
+              << "facets created:    " << res.facets_created << "\n"
+              << "visibility tests:  " << res.visibility_tests << "\n"
+              << "dependence depth:  " << res.dependence_depth << " (ln n = "
+              << std::log(static_cast<double>(pts.size())) << ")\n";
+    for (FacetId id : canonical_facet_order<3>(hull, res.hull)) {
+      out_facets.push_back(hull.facet(id).vertices);
+    }
   }
-  if (!res.ok) {
-    std::cerr << "hull run failed: " << to_string(res.status) << "\n";
-    return 1;
-  }
-  if (res.regrows > 0 || res.used_chained_fallback) {
-    std::cout << "ridge table regrown " << res.regrows << "x"
-              << (res.used_chained_fallback ? ", chained fallback used" : "")
-              << "\n";
-  }
-  std::cout << "hull facets:       " << res.hull.size() << "\n"
-            << "facets created:    " << res.facets_created << "\n"
-            << "visibility tests:  " << res.visibility_tests << "\n"
-            << "dependence depth:  " << res.dependence_depth << " (ln n = "
-            << std::log(static_cast<double>(pts.size())) << ")\n";
 
   if (out_path != nullptr) {
-    std::vector<std::array<PointId, 3>> facets;
-    for (FacetId id : res.hull) facets.push_back(hull.facet(id).vertices);
-    if (!write_off_file(out_path, pts, facets)) {
+    if (!write_off_file(out_path, pts, out_facets)) {
       std::cerr << "cannot write " << out_path << "\n";
       return 1;
     }

@@ -1,0 +1,190 @@
+// Interactive hull server: a stdin command loop over the batch-dynamic
+// engine (docs/ENGINE.md). Inserts go through a RequestBatcher — the same
+// MPMC submit / coalesce / publish path a real service would use — and
+// queries run the engine/query.h kernels against the freshest snapshot,
+// which never blocks on a batch in flight.
+//
+//   ./example_hull_server < commands.txt
+//
+// Commands (one per line; '#' starts a comment):
+//   gen N SEED        submit N pseudo-random points on the unit sphere
+//   insert X Y Z      submit one point
+//   query X Y Z       locate the point: inside / boundary / outside
+//   extreme X Y Z     hull vertex maximizing the dot product with (X,Y,Z)
+//   visible X Y Z     count facets visible from the point
+//   stats             engine epoch statistics
+//   help              this list
+//   quit              drain pending inserts and exit
+//
+// The first submission must contain 4 affinely independent points
+// (HullEngine's first-batch contract), so manual `insert`s are buffered
+// locally until the buffer passes prepare_input<3>; everything after the
+// bootstrap is submitted immediately.
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parhull/engine/batcher.h"
+#include "parhull/engine/query.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+
+namespace {
+
+using Batcher = RequestBatcher<3>;
+
+void print_help() {
+  std::cout << "commands:\n"
+               "  gen N SEED      submit N points on the unit sphere\n"
+               "  insert X Y Z    submit one point\n"
+               "  query X Y Z     inside / boundary / outside\n"
+               "  extreme X Y Z   hull vertex maximizing dot(v, dir)\n"
+               "  visible X Y Z   count facets visible from the point\n"
+               "  stats           engine epoch statistics\n"
+               "  help            this list\n"
+               "  quit            drain pending inserts and exit\n";
+}
+
+// Submit and report synchronously; the REPL is single-producer, so waiting
+// on the future here keeps the output ordered with the commands.
+void submit_and_report(Batcher& batcher, PointSet<3> pts) {
+  const std::size_t n = pts.size();
+  auto fut = batcher.submit(std::move(pts));
+  const Batcher::InsertOutcome out = fut.get();
+  if (out.ok) {
+    std::cout << "ok: +" << n << " points committed at epoch " << out.epoch
+              << " (batch of " << out.batch_points << ")\n";
+  } else {
+    std::cout << "insert failed: " << to_string(out.status) << "\n";
+  }
+}
+
+bool read_point(std::istringstream& in, Point<3>& p) {
+  if (!(in >> p[0] >> p[1] >> p[2])) {
+    std::cout << "expected three coordinates\n";
+    return false;
+  }
+  if (!finite<3>(p)) {
+    std::cout << "coordinates must be finite\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Batcher batcher;
+  PointSet<3> bootstrap;  // buffered until it can seed the first simplex
+  bool bootstrapped = false;
+  print_help();
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      print_help();
+      continue;
+    }
+
+    if (cmd == "gen" || cmd == "insert") {
+      PointSet<3> pts;
+      if (cmd == "gen") {
+        long n = 0;
+        unsigned long seed = 0;
+        if (!(in >> n >> seed) || n <= 0) {
+          std::cout << "usage: gen N SEED\n";
+          continue;
+        }
+        pts = on_sphere<3>(static_cast<std::size_t>(n),
+                           static_cast<std::uint64_t>(seed));
+      } else {
+        Point<3> p;
+        if (!read_point(in, p)) continue;
+        pts.push_back(p);
+      }
+      if (!bootstrapped) {
+        bootstrap.insert(bootstrap.end(), pts.begin(), pts.end());
+        PointSet<3> seeded = bootstrap;
+        if (!prepare_input<3>(seeded)) {
+          std::cout << "buffered " << pts.size() << " point(s); "
+                    << bootstrap.size()
+                    << " total (need 4 affinely independent to start)\n";
+          continue;
+        }
+        bootstrapped = true;
+        bootstrap.clear();
+        submit_and_report(batcher, std::move(seeded));
+      } else {
+        submit_and_report(batcher, std::move(pts));
+      }
+      continue;
+    }
+
+    if (cmd == "query" || cmd == "extreme" || cmd == "visible") {
+      Point<3> p;
+      if (!read_point(in, p)) continue;
+      auto snap = batcher.snapshot();
+      if (snap == nullptr) {
+        std::cout << "no hull yet (insert points first)\n";
+        continue;
+      }
+      if (cmd == "query") {
+        switch (locate_point<3>(*snap, p)) {
+          case PointLocation::kInside:
+            std::cout << "inside (epoch " << snap->epoch << ")\n";
+            break;
+          case PointLocation::kOnBoundary:
+            std::cout << "on boundary (epoch " << snap->epoch << ")\n";
+            break;
+          case PointLocation::kOutside:
+            std::cout << "outside (epoch " << snap->epoch << ")\n";
+            break;
+        }
+      } else if (cmd == "extreme") {
+        const auto res = extreme_point<3>(*snap, p);
+        const Point<3>& v = (*snap->points)[res.vertex];
+        std::cout << "vertex " << res.vertex << " = (" << v[0] << ", " << v[1]
+                  << ", " << v[2] << "), dot " << res.value << " ("
+                  << res.facets_visited << " facets visited)\n";
+      } else {
+        const auto vis = visible_facets<3>(*snap, p);
+        std::cout << vis.size() << " of " << snap->facet_count()
+                  << " facets visible\n";
+      }
+      continue;
+    }
+
+    if (cmd == "stats") {
+      const EngineStats s = batcher.stats();
+      std::cout << "epoch " << s.epoch << ": " << s.points << " points, "
+                << s.hull_facets << " hull facets\n"
+                << "batches " << s.batches << " (" << s.failed_batches
+                << " failed, " << batcher.pending_requests() << " pending), "
+                << s.facets_created_total << " facets created, "
+                << s.visibility_tests_total << " visibility tests, "
+                << s.regrows_total << " regrows\n"
+                << "last batch: " << s.last_batch_points << " points in "
+                << s.last_batch_ms << " ms\n";
+      continue;
+    }
+
+    std::cout << "unknown command '" << cmd << "' (try help)\n";
+  }
+
+  batcher.close();
+  const EngineStats s = batcher.stats();
+  std::cout << "final: epoch " << s.epoch << ", " << s.points << " points, "
+            << s.hull_facets << " hull facets\n";
+  return 0;
+}

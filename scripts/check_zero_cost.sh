@@ -77,8 +77,38 @@ int probe_run_control(const double* xs, int n) {
 }  // namespace parhull
 EOF
 
+# Engine headers (engine/): the query kernels and the batcher's request
+# queue open with schedule points, and snapshot building carries a fault
+# point. insert_batch itself can't be probed this way — its poll checks a
+# RUNTIME controller member, which is the supervised path and allowed to
+# cost — so the probe instantiates the read-side kernels, the queue, and
+# the canonical-ordering helper.
+cat > "$tmp/probe_engine.cpp" <<'EOF'
+#include "parhull/engine/batcher.h"
+#include "parhull/engine/query.h"
+#include "parhull/engine/snapshot.h"
+
+namespace parhull {
+int probe_engine(const HullSnapshot<3>& snap, const Point<3>& q) {
+  int sum = static_cast<int>(locate_point<3>(snap, q));
+  sum += point_in_hull<3>(snap, q) ? 1 : 0;
+  sum += static_cast<int>(visible_facets<3>(snap, q).size());
+  sum += static_cast<int>(extreme_point<3>(snap, q).vertex);
+  sum += static_cast<int>(canonical_snapshot_tuples<3>(snap).size());
+  engine_detail::RequestQueue<int> queue;
+  sum += queue.push(1) ? 1 : 0;
+  std::vector<int> drained;
+  queue.close();
+  sum += queue.wait_drain(drained) ? static_cast<int>(drained.size())
+                                   : static_cast<int>(queue.pending());
+  return sum;
+}
+}  // namespace parhull
+EOF
+
 fail=0
 for tu in "$tmp/probe.cpp" "$tmp/probe_run_control.cpp" \
+          "$tmp/probe_engine.cpp" \
           src/parhull/parallel/scheduler.cpp; do
   base=$(basename "$tu" .cpp)
   "$CXX" "${FLAGS[@]}" "$tu" -o "$tmp/$base.stock.o"

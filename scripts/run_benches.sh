@@ -17,6 +17,8 @@
 #   BENCH_e3_work.json     work counters + Alg2/Alg3 test-set identity
 #   BENCH_e5_runtime.json  wall-clock table (the headline perf numbers)
 #   BENCH_e13_micro.json   google-benchmark microbenchmarks
+#   BENCH_e16.json         batch-dynamic engine: insert latency vs batch
+#                          size, query throughput vs reader count
 #
 # Exits nonzero if any benchmark fails or if any kernel mode produces a
 # facet set different from the kernel-off reference.
@@ -60,10 +62,15 @@ if [[ "$mode" == quick ]]; then
 fi
 "$build_dir/bench/bench_e13_micro" "${e13_args[@]}"
 
+echo "==== E16: batch-dynamic engine ===="
+"$build_dir/bench/bench_e16_dynamic" "${full_flag[@]}" \
+  --json "$out_dir/BENCH_e16.json"
+
 echo "==== kernel on/off facet-set equivalence ===="
-# Same demo cloud under each kernel mode; the OFF meshes must contain the
-# same facet set (sorted-line diff: same points section, facet lines are a
-# set). A mismatch means the filter changed a visibility verdict — fail.
+# Same demo cloud under each kernel mode. hull_cli emits facets in
+# canonical order (core/hull_output.h), so equal facet sets mean
+# byte-identical OFF files — a plain diff, no sorting. A mismatch means
+# the filter changed a visibility verdict — fail.
 cli="$build_dir/examples/example_hull_cli"
 ref="$out_dir/hull_kernel_off.off"
 PARHULL_PLANE_KERNEL=off "$cli" --deadline-ms "$deadline_ms" --demo "$ref" \
@@ -72,11 +79,22 @@ for kmode in scalar simd; do
   out="$out_dir/hull_kernel_$kmode.off"
   PARHULL_PLANE_KERNEL=$kmode "$cli" --deadline-ms "$deadline_ms" --demo "$out" \
     > /dev/null
-  if ! diff <(sort "$ref") <(sort "$out") > /dev/null; then
+  if ! diff "$ref" "$out" > /dev/null; then
     echo "FACET-SET MISMATCH: kernel=$kmode differs from kernel=off" >&2
     exit 1
   fi
   echo "kernel=$kmode facet set matches kernel=off"
 done
 
-echo "OK: wrote $out_dir/BENCH_e3_work.json, BENCH_e5_runtime.json, BENCH_e13_micro.json"
+echo "==== batch-dynamic engine facet-set equivalence ===="
+# The same demo cloud pushed through HullEngine in 8 batches must produce
+# the one-shot facet set (the engine's core invariant, end to end).
+eng="$out_dir/hull_engine_batched.off"
+"$cli" --deadline-ms "$deadline_ms" --demo --batches 8 "$eng" > /dev/null
+if ! diff "$ref" "$eng" > /dev/null; then
+  echo "FACET-SET MISMATCH: --batches 8 differs from the one-shot run" >&2
+  exit 1
+fi
+echo "batched engine facet set matches the one-shot run"
+
+echo "OK: wrote $out_dir/BENCH_e3_work.json, BENCH_e5_runtime.json, BENCH_e13_micro.json, BENCH_e16.json"

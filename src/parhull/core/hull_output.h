@@ -13,6 +13,50 @@
 
 namespace parhull {
 
+// Canonical facet tuples: each facet reduced to its ascending-sorted
+// vertex tuple, the whole list sorted ascending. This is the
+// schedule-independent identity of a facet set — two runs (or a snapshot
+// and a recompute) produced the same facets iff their canonical tuple
+// lists compare equal — and the one the equivalence tests and hull_cli's
+// canonical OFF output share instead of re-sorting ad hoc.
+template <int D, typename HullT>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>>
+canonical_facet_tuples(const HullT& hull, const std::vector<FacetId>& facets) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  out.reserve(facets.size());
+  for (FacetId id : facets) out.push_back(canonical_vertices<D>(hull.facet(id)));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Canonical tuples of EVERY facet the run ever created (alive and dead) —
+// the created-set identity checked by invariant I2.
+template <int D, typename HullT>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>>
+canonical_created_tuples(const HullT& hull) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  out.reserve(hull.facet_count());
+  for (FacetId id = 0; id < hull.facet_count(); ++id) {
+    out.push_back(canonical_vertices<D>(hull.facet(id)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Permutation of `facets` that lists them in canonical-tuple order: the
+// deterministic emission order for meshes/OFF files regardless of which
+// schedule built the facet pool.
+template <int D, typename HullT>
+std::vector<FacetId> canonical_facet_order(const HullT& hull,
+                                           const std::vector<FacetId>& facets) {
+  std::vector<FacetId> order = facets;
+  std::sort(order.begin(), order.end(), [&](FacetId a, FacetId b) {
+    return canonical_vertices<D>(hull.facet(a)) <
+           canonical_vertices<D>(hull.facet(b));
+  });
+  return order;
+}
+
 // Vertex ids appearing on any of the given facets, ascending.
 template <int D, typename HullT>
 std::vector<PointId> hull_vertex_ids(const HullT& hull,

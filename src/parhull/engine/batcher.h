@@ -1,0 +1,241 @@
+// Request batcher: the concurrency front-end of the batch-dynamic engine
+// (docs/ENGINE.md).
+//
+// Any number of producer threads submit() point batches; a single writer
+// thread drains the queue and coalesces EVERYTHING pending into one
+// HullEngine::insert_batch call per epoch — under load the batch size
+// grows automatically and the per-point publication cost shrinks, the
+// classic group-commit shape. Readers never enter the queue at all: they
+// take snapshot() (a lock-free acquire load) and run the engine/query.h
+// kernels against it, so queries proceed at full speed while a batch is
+// being inserted.
+//
+// Each coalesced batch runs under a Supervisor (parallel/supervisor.h):
+// per-attempt deadline, stall watchdog, and seeded-backoff retries of
+// transient statuses with the same expected-keys escalation and
+// post-stall worker-halving as supervised_run. All requests folded into a
+// batch resolve with that batch's outcome (a failed batch rolls the
+// engine back, so their points are NOT in the hull — resubmit if the
+// status warrants it). cancel() aborts the in-flight batch through the
+// supervisor's controller; close() stops intake, drains what was already
+// accepted, and joins the writer (the destructor does the same).
+//
+// Threading note: the writer is a plain std::thread, not a scheduler pool
+// thread, so parallel regions inside a batch run sequentially on it
+// (parallel/scheduler.h treats foreign threads as single-worker). The
+// batcher therefore trades intra-batch parallelism for insert/query
+// overlap and group commit; call HullEngine::insert_batch directly from
+// the scheduler's primary thread when raw parallel insert throughput
+// matters (bench/bench_e16_dynamic.cpp measures that path).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "parhull/common/run_control.h"
+#include "parhull/common/status.h"
+#include "parhull/engine/engine.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/parallel/supervisor.h"
+#include "parhull/testing/schedule_point.h"
+
+namespace parhull {
+
+namespace engine_detail {
+
+// Minimal MPMC queue (mutex + condvar): many producers push, the writer
+// drains everything pending in one swap. Factored out of RequestBatcher so
+// the zero-cost probe can instantiate it — its schedule points mark the
+// two publication edges the fuzzer perturbs (enqueue visible to the
+// drainer; drain observing a racing close).
+template <class T>
+class RequestQueue {
+ public:
+  // False iff the queue is closed; the item is NOT consumed in that case
+  // (the rvalue reference is only moved from on success).
+  bool push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    PARHULL_SCHEDULE_POINT();  // enqueued, consumer not yet notified
+    cv_.notify_one();
+    return true;
+  }
+
+  // Block until items are pending or the queue is closed; move the whole
+  // backlog into `out`. False only when closed AND drained — a close with
+  // a backlog still hands the backlog out, so accepted work completes.
+  bool wait_drain(std::vector<T>& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    PARHULL_SCHEDULE_POINT();  // woke: racing producers/close are decided
+    if (items_.empty()) return false;
+    out.swap(items_);
+    items_.clear();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace engine_detail
+
+template <int D, template <int> class MapT = RidgeMapCAS>
+class RequestBatcher {
+ public:
+  using Engine = HullEngine<D, MapT>;
+
+  struct Options {
+    typename Engine::Params engine{};   // .controller is overridden per attempt
+    SupervisorOptions supervisor{};     // deadline / watchdog / retry policy
+  };
+
+  // Resolved into every submit()'s future once its batch commits or fails.
+  struct InsertOutcome {
+    HullStatus status = HullStatus::kCancelled;
+    bool ok = false;             // status == kOk: the points are in `epoch`
+    std::uint64_t epoch = 0;     // epoch the coalesced batch published
+    std::size_t batch_points = 0;  // size of the coalesced batch
+  };
+
+  explicit RequestBatcher(Options opts = {})
+      : opts_(opts), engine_(opts.engine), supervisor_(opts.supervisor) {
+    writer_ = std::thread([this] { writer_loop(); });
+  }
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  ~RequestBatcher() { close(); }
+
+  // Enqueue points for the next batch. The same preparation contract as
+  // HullEngine::insert_batch applies to whatever coalesced batch ends up
+  // FIRST (prepare_input<D> on the union the caller submits before any
+  // epoch exists). After close(), resolves immediately with kCancelled.
+  std::future<InsertOutcome> submit(PointSet<D> points) {
+    Request req;
+    req.points = std::move(points);
+    std::future<InsertOutcome> fut = req.promise.get_future();
+    if (!queue_.push(std::move(req))) {
+      req.promise.set_value(InsertOutcome{});  // closed: kCancelled default
+    }
+    return fut;
+  }
+
+  // Freshest published snapshot (see HullEngine::snapshot) — safe from any
+  // thread, never blocks, never observes a partial epoch.
+  std::shared_ptr<const HullSnapshot<D>> snapshot() const {
+    return engine_.snapshot();
+  }
+  EngineStats stats() const { return engine_.stats(); }
+  std::size_t pending_requests() const { return queue_.pending(); }
+
+  // Cancel the batch currently running (first-wins with any deadline or
+  // watchdog stop); its requests resolve kCancelled. Later batches run
+  // normally — use close() to stop intake for good.
+  void cancel() { supervisor_.controller().request_stop(HullStatus::kCancelled); }
+  CancelToken token() { return supervisor_.token(); }
+
+  // Per-attempt supervision log across all batches so far (AttemptRecord
+  // per attempt, in order) — surfaced by hull_cli --stats-json.
+  std::vector<AttemptRecord> attempt_log() const {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    return attempt_log_;
+  }
+
+  // Stop intake, finish every batch already accepted, join the writer.
+  // Idempotent; also run by the destructor.
+  void close() {
+    queue_.close();
+    if (writer_.joinable()) writer_.join();
+  }
+
+ private:
+  struct Request {
+    PointSet<D> points;
+    std::promise<InsertOutcome> promise;
+  };
+
+  void writer_loop() {
+    std::vector<Request> reqs;
+    while (queue_.wait_drain(reqs)) {
+      PointSet<D> batch;
+      for (const Request& r : reqs) {
+        batch.insert(batch.end(), r.points.begin(), r.points.end());
+      }
+      auto snap = engine_.snapshot();
+      const std::size_t seed_facets = snap ? snap->facet_count() : 0;
+      const std::size_t auto_keys =
+          opts_.engine.expected_keys != 0
+              ? opts_.engine.expected_keys
+              : 4 * static_cast<std::size_t>(D) * (seed_facets + batch.size()) +
+                    64;
+      // Same escalation shape as supervised_run: bigger table after
+      // capacity pressure, fewer workers after a stall.
+      HullStatus last = HullStatus::kOk;
+      auto sup = supervisor_.run([&](RunController& ctrl, int attempt) {
+        auto p = opts_.engine;
+        p.controller = &ctrl;
+        if (attempt > 0) {
+          p.expected_keys = detail::escalate_keys(auto_keys, attempt);
+        }
+        engine_.set_params(p);
+        std::optional<Scheduler::WorkerLimit> limit;
+        if (attempt > 0 && last == HullStatus::kStalled) {
+          limit.emplace(std::max(1, Scheduler::get().num_workers() / 2));
+        }
+        auto res = engine_.insert_batch(batch);
+        last = res.status;
+        return res;
+      });
+      {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        attempt_log_.insert(attempt_log_.end(), sup.attempts.begin(),
+                            sup.attempts.end());
+      }
+      InsertOutcome out;
+      out.status = sup.status;
+      out.ok = sup.ok;
+      out.epoch = sup.result.epoch;
+      out.batch_points = batch.size();
+      PARHULL_SCHEDULE_POINT();  // epoch published, futures not yet resolved
+      for (Request& r : reqs) r.promise.set_value(out);
+      reqs.clear();
+    }
+  }
+
+  Options opts_;
+  Engine engine_;
+  Supervisor supervisor_;
+  engine_detail::RequestQueue<Request> queue_;
+  mutable std::mutex log_mu_;
+  std::vector<AttemptRecord> attempt_log_;
+  std::thread writer_;  // last member: joined before the rest tears down
+};
+
+}  // namespace parhull

@@ -1,0 +1,30 @@
+#include "parhull/engine/snapshot.h"
+
+#include <ostream>
+#include <string>
+
+namespace parhull {
+
+void print_engine_stats_json(std::ostream& os, const EngineStats& stats,
+                             int indent) {
+  // The caller positions the opening brace (e.g. after a `"engine": ` key);
+  // only continuation lines get the indent.
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "{\n"
+     << pad << "  \"epoch\": " << stats.epoch << ",\n"
+     << pad << "  \"batches\": " << stats.batches << ",\n"
+     << pad << "  \"failed_batches\": " << stats.failed_batches << ",\n"
+     << pad << "  \"points\": " << stats.points << ",\n"
+     << pad << "  \"hull_facets\": " << stats.hull_facets << ",\n"
+     << pad << "  \"facets_created_total\": " << stats.facets_created_total
+     << ",\n"
+     << pad << "  \"visibility_tests_total\": " << stats.visibility_tests_total
+     << ",\n"
+     << pad << "  \"regrows_total\": " << stats.regrows_total << ",\n"
+     << pad << "  \"last_batch_points\": " << stats.last_batch_points << ",\n"
+     << pad << "  \"last_pool_size\": " << stats.last_pool_size << ",\n"
+     << pad << "  \"last_batch_ms\": " << stats.last_batch_ms << "\n"
+     << pad << "}";
+}
+
+}  // namespace parhull

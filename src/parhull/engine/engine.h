@@ -1,0 +1,697 @@
+// Batch-dynamic hull engine: a long-lived structure that absorbs batched
+// point insertions while serving lock-free reads (docs/ENGINE.md).
+//
+// The randomized incremental structure of Algorithm 3 is naturally online:
+// after a completed run every alive facet's conflict list is empty, and by
+// the Clarkson–Shor conflict invariant the state "hull of P plus, for each
+// alive facet t, C(t) = {q in Q : q visible from t}" is EXACTLY the state a
+// one-shot run on P ++ Q reaches after inserting all of P. insert_batch
+// therefore:
+//
+//   1. appends the batch to the point sequence (priority = index, so batch
+//      order concatenates into the one-shot insertion order S);
+//   2. seeds a fresh working pool with the surviving facets of the current
+//      snapshot and filters the NEW range against each facet's cached
+//      hyperplane (the same staged plane_kernel filter + exact-orient
+//      fallback as a fresh run, see docs/PERF.md);
+//   3. reruns the ProcessRidge machinery (the four cases of Section 5.2,
+//      verbatim from core/parallel_hull.h) seeded on the ridges of the
+//      current hull instead of the initial simplex;
+//   4. publishes the result as an immutable epoch-versioned HullSnapshot
+//      via an RCU-style release store (readers never block the writer; an
+//      old epoch retires when its last reader's shared_ptr drops).
+//
+// Running this over any contiguous partition of a prepared input yields a
+// facet set identical to a one-shot ParallelHull run on the full set
+// (tests/test_engine.cpp verifies against a SequentialHull recompute too).
+//
+// Failure semantics follow the driver contract of docs/ERRORS.md: a batch
+// either commits (new epoch) or rolls back completely — the previous epoch
+// stays published, the point sequence is untouched, and the engine remains
+// usable. Capacity failures regrow the ridge table exactly like
+// ParallelHull; a RunController in Params adds per-batch deadlines and
+// cancellation; the Supervisor wrapping lives in engine/batcher.h.
+//
+// Concurrency contract: insert_batch is SINGLE-WRITER (the RequestBatcher
+// serializes it); snapshot(), epoch() and stats() are safe from any thread
+// at any time.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/counters.h"
+#include "parhull/common/run_control.h"
+#include "parhull/common/status.h"
+#include "parhull/common/types.h"
+#include "parhull/containers/arena.h"
+#include "parhull/containers/concurrent_pool.h"
+#include "parhull/containers/ridge_map.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/geometry/plane.h"
+#include "parhull/hull/hull_common.h"
+#include "parhull/parallel/parallel_for.h"
+#include "parhull/parallel/primitives.h"
+#include "parhull/testing/fault_point.h"
+#include "parhull/testing/schedule_point.h"
+
+namespace parhull {
+
+namespace engine_detail {
+// Relaxed fetch-max (same shape as detail::atomic_max in parallel_hull.h,
+// redeclared here so the engine does not depend on the one-shot driver).
+inline void atomic_max_u32(std::atomic<std::uint32_t>& a, std::uint32_t v) {
+  std::uint32_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Publication cell for the current snapshot. libstdc++ 12's
+// std::atomic<std::shared_ptr> releases its reader-side spinlock with
+// memory_order_relaxed (shared_ptr_atomic.h load()), which leaves no
+// happens-before edge from a reader's critical-section pointer read to
+// the next writer's swap — a formal data race that TSan reports under
+// reader/writer stress. This is the same tiny-spinlock design with a
+// release unlock on both paths, so the pairing is explicit and
+// sanitizer-clean. The critical section is one shared_ptr copy or swap
+// (a refcount bump), so readers and the writer block each other for a
+// few instructions at most; the retired epoch's reference is dropped
+// outside the lock.
+template <int D>
+class SnapshotCell {
+ public:
+  std::shared_ptr<const HullSnapshot<D>> load() const {
+    lock();
+    std::shared_ptr<const HullSnapshot<D>> ret = ptr_;
+    unlock();
+    return ret;
+  }
+
+  void store(std::shared_ptr<const HullSnapshot<D>> next) {
+    lock();
+    ptr_.swap(next);
+    unlock();
+    // `next` now holds the previous epoch; its reference drops here, so a
+    // destructor-triggering retirement never runs under the lock.
+  }
+
+ private:
+  void lock() const {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void unlock() const { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<const HullSnapshot<D>> ptr_;
+};
+
+template <int D>
+inline CoordBounds<D> merge_bounds(const CoordBounds<D>& a,
+                                   const CoordBounds<D>& b) {
+  CoordBounds<D> out = a;
+  for (int j = 0; j < D; ++j) {
+    if (b.max_abs[static_cast<std::size_t>(j)] >
+        out.max_abs[static_cast<std::size_t>(j)]) {
+      out.max_abs[static_cast<std::size_t>(j)] =
+          b.max_abs[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+template <int D>
+inline bool bounds_equal(const CoordBounds<D>& a, const CoordBounds<D>& b) {
+  return a.max_abs == b.max_abs;
+}
+}  // namespace engine_detail
+
+template <int D, template <int> class MapT = RidgeMapCAS>
+class HullEngine {
+ public:
+  struct Params {
+    // Expected distinct ridge keys per batch; 0 = auto
+    // (4·D·(surviving facets + batch size) + 64). On overflow the batch
+    // regrows like ParallelHull: doubled expected_keys up to max_regrows,
+    // then optionally the unbounded chained backend.
+    std::size_t expected_keys = 0;
+    bool parallel_filter = true;
+    std::size_t filter_grain = kDefaultFilterGrain;
+    int max_regrows = 4;
+    bool chained_fallback = true;
+    // Optional per-batch supervision (deadline/cancel polls at ProcessRidge
+    // entry and filter chunk boundaries). Not owned; must outlive the call.
+    RunController* controller = nullptr;
+  };
+
+  struct BatchResult {
+    HullStatus status = HullStatus::kBadInput;
+    bool ok = false;  // status == kOk
+    std::uint64_t epoch = 0;          // epoch published by this batch
+    std::size_t batch_points = 0;
+    std::size_t hull_facets = 0;      // alive facets after the batch
+    std::uint64_t facets_created = 0;  // created this epoch (excl. seeds)
+    std::uint64_t visibility_tests = 0;
+    std::uint32_t dependence_depth = 0;  // per-epoch instrumentation
+    std::uint32_t max_round = 0;
+    std::uint32_t regrows = 0;
+    bool used_chained_fallback = false;
+  };
+
+  explicit HullEngine(Params params = {}) : params_(params) {}
+
+  void set_params(const Params& params) { params_ = params; }
+  const Params& params() const { return params_; }
+
+  // The freshest published snapshot (null before the first committed
+  // batch). The cell's release unlock pairs with this load's acquire
+  // lock: every facet and point of the snapshot is fully written before
+  // it is visible (see engine_detail::SnapshotCell for why this is not
+  // std::atomic<std::shared_ptr>).
+  std::shared_ptr<const HullSnapshot<D>> snapshot() const {
+    return snapshot_.load();
+  }
+  std::uint64_t epoch() const {
+    auto snap = snapshot();
+    return snap ? snap->epoch : 0;
+  }
+  EngineStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+  // Insert a batch of points, publishing a new epoch on success. The FIRST
+  // batch must be prepared like any hull input (prepare_input<D>: at least
+  // D+1 points, the first D+1 affinely independent); later batches may be
+  // anything finite, including empty, all-interior, or duplicate points.
+  // On any non-kOk status the engine rolls back to the previous epoch and
+  // stays usable (docs/ERRORS.md reusable-after-failure contract).
+  BatchResult insert_batch(const PointSet<D>& batch) {
+    const auto start = std::chrono::steady_clock::now();
+    BatchResult res;
+    res.batch_points = batch.size();
+    std::shared_ptr<const HullSnapshot<D>> base = snapshot();
+    if (!all_finite<D>(batch)) {
+      res.status = HullStatus::kBadInput;  // NaN/Inf never reach predicates
+      return fail_batch(res);
+    }
+    if (base == nullptr) {
+      if (batch.size() < static_cast<std::size_t>(D) + 1) {
+        res.status = HullStatus::kBadInput;
+        return fail_batch(res);
+      }
+      std::vector<const Point<D>*> probe;
+      probe.reserve(static_cast<std::size_t>(D) + 1);
+      for (int i = 0; i <= D; ++i) probe.push_back(&batch[static_cast<std::size_t>(i)]);
+      if (!affinely_independent<D>(probe)) {
+        res.status = HullStatus::kDegenerateInput;
+        return fail_batch(res);
+      }
+    }
+
+    // Candidate point sequence for this batch: copy-on-write append, so a
+    // failed batch simply drops the copy and the published epoch's shared
+    // point set is never touched.
+    auto pts = base != nullptr
+                   ? std::make_shared<PointSet<D>>(*base->points)
+                   : std::make_shared<PointSet<D>>();
+    const PointId first_new = static_cast<PointId>(pts->size());
+    pts->insert(pts->end(), batch.begin(), batch.end());
+
+    CoordBounds<D> bounds = coord_bounds<D>(*pts);
+    const bool bounds_grew =
+        base != nullptr && !engine_detail::bounds_equal<D>(bounds, base->bounds);
+    const Point<D> interior =
+        base != nullptr ? base->interior : centroid<D>(pts->data(), D + 1);
+
+    const std::size_t seed_facets = base != nullptr ? base->facets.size() : 0;
+    std::size_t expected =
+        params_.expected_keys != 0
+            ? params_.expected_keys
+            : 4 * static_cast<std::size_t>(D) * (seed_facets + batch.size()) +
+                  64;
+
+    std::shared_ptr<HullSnapshot<D>> built;
+    for (int attempt = 0;; ++attempt) {
+      // Between regrow attempts: don't start another expensive attempt if
+      // the batch was cancelled or its deadline expired during the last one.
+      if (PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+        res.status = params_.controller->stop_status();
+        res.regrows = static_cast<std::uint32_t>(attempt);
+        reset_working_state();
+        return fail_batch(res);
+      }
+      reset_working_state();
+      map_ = make_map<MapT<D>>(expected);
+      if (map_ == nullptr || map_->failed()) {
+        res.status = HullStatus::kCapacityExceeded;
+      } else {
+        built = run_attempt(*pts, first_new, bounds, bounds_grew, interior,
+                            base.get(), *map_, res);
+      }
+      res.regrows = static_cast<std::uint32_t>(attempt);
+      if (res.status != HullStatus::kCapacityExceeded ||
+          attempt >= params_.max_regrows) {
+        break;
+      }
+      if (expected > std::numeric_limits<std::size_t>::max() / 2) break;
+      expected *= 2;
+    }
+    if (res.status == HullStatus::kCapacityExceeded &&
+        params_.chained_fallback &&
+        !std::is_same_v<MapT<D>, RidgeMapChained<D>>) {
+      const std::uint32_t regrows = res.regrows;
+      reset_working_state();
+      fallback_map_ = make_map<RidgeMapChained<D>>(expected);
+      if (fallback_map_ != nullptr) {
+        built = run_attempt(*pts, first_new, bounds, bounds_grew, interior,
+                            base.get(), *fallback_map_, res);
+        res.regrows = regrows;
+        res.used_chained_fallback = true;
+      }
+    }
+    if (res.status != HullStatus::kOk) {
+      reset_working_state();
+      return fail_batch(res);
+    }
+
+    // --- Commit: stamp the epoch and publish. Everything the snapshot
+    // references is written before the cell's release unlock; readers pair
+    // with its acquire lock, so a reader can never observe a half-built
+    // epoch.
+    built->epoch = (base != nullptr ? base->epoch : 0) + 1;
+    built->points = pts;
+    res.epoch = built->epoch;
+    res.hull_facets = built->facets.size();
+    res.ok = true;
+    const std::uint64_t pool_size = pool_ != nullptr ? pool_->size() : 0;
+    // The whole per-epoch working state (pool of seed copies + created
+    // facets, conflict arena, ridge map) dies here: old epochs keep only
+    // their snapshot, so dead facets never accumulate across batches.
+    reset_working_state();
+    PARHULL_SCHEDULE_POINT();  // snapshot built, not yet visible to readers
+    snapshot_.store(std::shared_ptr<const HullSnapshot<D>>(std::move(built)));
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.epoch = res.epoch;
+      stats_.batches += 1;
+      stats_.points = pts->size();
+      stats_.hull_facets = res.hull_facets;
+      stats_.facets_created_total += res.facets_created;
+      stats_.visibility_tests_total += res.visibility_tests;
+      stats_.regrows_total += res.regrows;
+      stats_.last_batch_points = res.batch_points;
+      stats_.last_pool_size = pool_size;
+      stats_.last_batch_ms = elapsed;
+    }
+    return res;
+  }
+
+ private:
+  struct Call {
+    FacetId t1;
+    RidgeKey<D> r;
+    FacetId t2;
+  };
+
+  template <class Map>
+  static std::unique_ptr<Map> make_map(std::size_t expected_keys) {
+    if (PARHULL_FAULT_POINT(kAllocation)) return nullptr;
+    try {
+      return std::make_unique<Map>(expected_keys);
+    } catch (const std::bad_alloc&) {
+      return nullptr;
+    }
+  }
+
+  BatchResult& fail_batch(BatchResult& res) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.failed_batches += 1;
+    return res;
+  }
+
+  void reset_working_state() {
+    pts_ = nullptr;
+    pool_.reset();
+    arena_.reset();
+    map_.reset();
+    fallback_map_.reset();
+    fail_.reset();
+    tests_.reset();
+    max_depth_.store(0, std::memory_order_relaxed);
+    max_round_.store(0, std::memory_order_relaxed);
+  }
+
+  void fail(HullStatus s) { fail_.mark(s); }
+  bool failed() const { return fail_.failed(); }
+
+  // One attempt at the batch: seed, run ProcessRidge to quiescence, build
+  // the (unpublished) snapshot. Returns null unless res.status == kOk.
+  template <class Map>
+  std::shared_ptr<HullSnapshot<D>> run_attempt(
+      const PointSet<D>& pts, PointId first_new, const CoordBounds<D>& bounds,
+      bool bounds_grew, const Point<D>& interior,
+      const HullSnapshot<D>* base, Map& map, BatchResult& res) {
+    res.facets_created = 0;
+    res.visibility_tests = 0;
+    const std::size_t n = pts.size();
+    pts_ = &pts;
+    pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
+    const int workers = Scheduler::get().num_workers();
+    arena_ = std::make_unique<ConflictArena>(workers);
+    bounds_ = bounds;
+    interior_ = interior;
+    tests_.resize(workers);
+
+    std::vector<Call> seeds;
+    std::size_t seed_count = 0;
+    if (base == nullptr) {
+      // --- First batch: initial simplex + its ridges, exactly as a fresh
+      // Algorithm 3 run (core/parallel_hull.h lines 2–6).
+      std::array<FacetId, static_cast<std::size_t>(D) + 1> initial{};
+      for (int k = 0; k <= D; ++k) {
+        FacetId id = 0;
+        if (!pool_->try_allocate(id)) {
+          res.status = HullStatus::kPoolExhausted;
+          return nullptr;
+        }
+        initial[static_cast<std::size_t>(k)] = id;
+        Facet<D>& f = (*pool_)[id];
+        int out = 0;
+        for (int v = 0; v <= D; ++v) {
+          if (v != k) f.vertices[static_cast<std::size_t>(out++)] =
+              static_cast<PointId>(v);
+        }
+        if (!orient_outward<D>(pts, f.vertices, interior_)) {
+          res.status = HullStatus::kDegenerateInput;
+          return nullptr;
+        }
+        f.plane = make_plane<D>(pts, f.vertices, bounds_);
+        f.depth = 0;
+        f.round = 0;
+      }
+      parallel_for(0, static_cast<std::size_t>(D) + 1, [&](std::size_t k) {
+        Facet<D>& f = (*pool_)[initial[k]];
+        f.conflicts = filter_visible_range<D>(
+            pts, f.plane, f.vertices, static_cast<PointId>(D + 1),
+            n - (static_cast<std::size_t>(D) + 1), *arena_, filter_grain(),
+            params_.controller);
+        tests_.add(Scheduler::worker_id(),
+                   n - (static_cast<std::size_t>(D) + 1));
+      }, 1);
+      for (int i = 0; i <= D; ++i) {
+        for (int j = i + 1; j <= D; ++j) {
+          std::array<PointId, static_cast<std::size_t>(D - 1)> ids{};
+          int out = 0;
+          for (int v = 0; v <= D; ++v) {
+            if (v != i && v != j) ids[static_cast<std::size_t>(out++)] =
+                static_cast<PointId>(v);
+          }
+          seeds.push_back(Call{initial[static_cast<std::size_t>(i)],
+                               RidgeKey<D>::from_unsorted(ids),
+                               initial[static_cast<std::size_t>(j)]});
+        }
+      }
+      seed_count = static_cast<std::size_t>(D) + 1;
+    } else {
+      // --- Incremental batch: seed the pool with the surviving facets of
+      // the published epoch. Sequential allocation keeps pool id ==
+      // snapshot index, so the snapshot's adjacency doubles as the seed
+      // ridge pairing (each ridge seeded once, by its lower-index facet).
+      seed_count = base->facets.size();
+      for (std::size_t i = 0; i < seed_count; ++i) {
+        FacetId id = 0;
+        if (!pool_->try_allocate(id)) {
+          res.status = HullStatus::kPoolExhausted;
+          return nullptr;
+        }
+        PARHULL_DCHECK(id == static_cast<FacetId>(i));
+        Facet<D>& f = (*pool_)[id];
+        f.vertices = base->facets[i].vertices;
+        // The cached hyperplane's error bound covers every point within
+        // the bounds it was built with; a batch that widens the coordinate
+        // bounds invalidates it, so rebuild. Certified signs never change
+        // (only the certain/uncertain split does), keeping the facet set
+        // identical to a one-shot run built with full-set bounds.
+        f.plane = bounds_grew
+                      ? make_plane<D>(pts, f.vertices, bounds_)
+                      : base->facets[i].plane;
+        f.depth = 0;
+        f.round = 0;
+      }
+      parallel_for(0, seed_count, [&](std::size_t i) {
+        Facet<D>& f = (*pool_)[static_cast<FacetId>(i)];
+        f.conflicts = filter_visible_range<D>(
+            pts, f.plane, f.vertices, first_new, n - first_new, *arena_,
+            filter_grain(), params_.controller);
+        tests_.add(Scheduler::worker_id(), n - first_new);
+      }, 1);
+      for (std::size_t i = 0; i < seed_count; ++i) {
+        const SnapshotFacet<D>& f = base->facets[i];
+        for (int k = 0; k < D; ++k) {
+          const std::uint32_t other = f.neighbors[static_cast<std::size_t>(k)];
+          if (static_cast<std::uint32_t>(i) < other) {
+            std::array<PointId, static_cast<std::size_t>(D - 1)> ids{};
+            int out = 0;
+            for (int v = 0; v < D; ++v) {
+              if (v != k) ids[static_cast<std::size_t>(out++)] =
+                  f.vertices[static_cast<std::size_t>(v)];
+            }
+            seeds.push_back(Call{static_cast<FacetId>(i),
+                                 RidgeKey<D>::from_unsorted(ids),
+                                 static_cast<FacetId>(other)});
+          }
+        }
+      }
+    }
+
+    parallel_for(0, seeds.size(), [&](std::size_t s) {
+      process_ridge(map, seeds[s].t1, seeds[s].r, seeds[s].t2, 1);
+    }, 1);
+
+    // --- Fold failures (same final-poll protocol as ParallelHull: a stop
+    // that landed in the last filter with no ProcessRidge left to observe
+    // it still fails the attempt, so truncated conflict lists can never
+    // influence a committed epoch).
+    if (map.failed()) fail(map.failure());
+    if (!failed() &&
+        PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+      fail(params_.controller->stop_status());
+    }
+    res.visibility_tests = tests_.total();
+    // Facets created this epoch: everything allocated except the seed
+    // copies of the previous epoch's survivors (the first batch's initial
+    // simplex counts as created, matching ParallelHull's accounting).
+    res.facets_created =
+        pool_->size() -
+        (base == nullptr ? 0 : static_cast<std::uint64_t>(seed_count));
+    res.dependence_depth = max_depth_.load(std::memory_order_relaxed);
+    res.max_round = max_round_.load(std::memory_order_relaxed);
+    if (failed()) {
+      res.status = fail_.status();
+      return nullptr;
+    }
+    auto built = build_snapshot(bounds);
+    if (built == nullptr) {
+      // Allocation failure (real or injected) while materializing the
+      // snapshot: transient, handled by the regrow/retry loop.
+      res.status = HullStatus::kCapacityExceeded;
+      return nullptr;
+    }
+    res.status = HullStatus::kOk;
+    return built;
+  }
+
+  // ProcessRidge, cases 1–4 of Section 5.2 — the same machinery as
+  // core/parallel_hull.h, operating on the epoch's working pool. Conflict
+  // lists only ever hold this batch's points, so pivots and priorities are
+  // those of the equivalent one-shot run.
+  template <class Map>
+  void process_ridge(Map& map, FacetId t1, RidgeKey<D> r, FacetId t2,
+                     std::uint32_t round) {
+    if (failed()) return;
+    if (PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+      fail(params_.controller->stop_status());
+      return;
+    }
+    const PointSet<D>& pts = *pts_;
+    PointId p1, p2;
+    while (true) {
+      p1 = (*pool_)[t1].pivot();
+      p2 = (*pool_)[t2].pivot();
+      if (p1 == kInvalidPoint && p2 == kInvalidPoint) {
+        return;  // case 1: ridge survives the batch
+      }
+      if (p1 == p2) {
+        (*pool_)[t1].kill();  // case 2: the pivot buries ridge r
+        (*pool_)[t2].kill();
+        return;
+      }
+      if (p2 < p1) {
+        std::swap(t1, t2);  // case 3: flip roles
+        continue;
+      }
+      break;  // case 4
+    }
+
+    const PointId p = p1;
+    Facet<D>& f1 = (*pool_)[t1];
+    Facet<D>& f2 = (*pool_)[t2];
+    FacetId tid = 0;
+    if (!pool_->try_allocate(tid)) {
+      fail(HullStatus::kPoolExhausted);
+      return;
+    }
+    Facet<D>& t = (*pool_)[tid];
+    for (int v = 0; v < D - 1; ++v) {
+      t.vertices[static_cast<std::size_t>(v)] =
+          r.v[static_cast<std::size_t>(v)];
+    }
+    t.vertices[static_cast<std::size_t>(D - 1)] = p;
+    if (!orient_outward<D>(pts, t.vertices, interior_)) {
+      t.kill();
+      fail(HullStatus::kDegenerateInput);
+      return;
+    }
+    t.plane = make_plane<D>(pts, t.vertices, bounds_);
+    t.apex = p;
+    t.support0 = t1;
+    t.support1 = t2;
+    t.depth = 1 + std::max(f1.depth, f2.depth);
+    t.round = round;
+    engine_detail::atomic_max_u32(max_depth_, t.depth);
+    engine_detail::atomic_max_u32(max_round_, round);
+
+    auto mf = merge_filter_conflicts<D>(f1.conflicts, f2.conflicts, pts,
+                                        t.plane, t.vertices, p, *arena_,
+                                        filter_grain(), params_.controller);
+    t.conflicts = mf.conflicts;
+    tests_.add(Scheduler::worker_id(), mf.tests);
+    f1.kill();
+
+    Call calls[D];
+    int pending = 0;
+    for (int v = 0; v < D; ++v) {
+      if (t.vertices[static_cast<std::size_t>(v)] == p) {
+        calls[pending++] = Call{tid, r, t2};
+      } else {
+        RidgeKey<D> side = t.ridge_omitting(v);
+        if (!map.insert_and_set(side, tid)) {
+          FacetId other = map.get_value(side, tid);
+          calls[pending++] = Call{tid, side, other};
+        }
+      }
+    }
+    if (map.failed()) {
+      fail(map.failure());
+      return;
+    }
+    spawn(map, calls, pending, round + 1);
+  }
+
+  template <class Map>
+  void spawn(Map& map, Call* calls, int count, std::uint32_t round) {
+    if (count == 0) return;
+    if (count == 1) {
+      process_ridge(map, calls[0].t1, calls[0].r, calls[0].t2, round);
+      return;
+    }
+    int half = count / 2;
+    par_do([&] { spawn(map, calls, half, round); },
+           [&] { spawn(map, calls + half, count - half, round); });
+  }
+
+  // Materialize the committed epoch: alive facets in canonical order
+  // (ascending sorted-vertex tuples) with ridge adjacency wired. Null on
+  // allocation failure (including an injected one — the snapshot is the
+  // one allocation left after the attempt itself succeeded).
+  std::shared_ptr<HullSnapshot<D>> build_snapshot(
+      const CoordBounds<D>& bounds) {
+    if (PARHULL_FAULT_POINT(kAllocation)) return nullptr;
+    try {
+      auto snap = std::make_shared<HullSnapshot<D>>();
+      snap->bounds = bounds;
+      snap->interior = interior_;
+      struct Keyed {
+        std::array<PointId, static_cast<std::size_t>(D)> key;
+        FacetId id;
+        bool operator<(const Keyed& o) const { return key < o.key; }
+      };
+      std::vector<Keyed> order;
+      for (FacetId id = 0; id < pool_->size(); ++id) {
+        const Facet<D>& f = (*pool_)[id];
+        if (f.alive()) order.push_back({canonical_vertices<D>(f), id});
+      }
+      std::sort(order.begin(), order.end());
+      snap->facets.resize(order.size());
+      std::map<RidgeKey<D>, std::pair<std::uint32_t, int>> ridge_pairs;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        SnapshotFacet<D>& sf = snap->facets[i];
+        const Facet<D>& f = (*pool_)[order[i].id];
+        sf.vertices = f.vertices;
+        sf.plane = f.plane;
+        for (int k = 0; k < D; ++k) {
+          RidgeKey<D> key = f.ridge_omitting(k);
+          auto it = ridge_pairs.find(key);
+          if (it == ridge_pairs.end()) {
+            ridge_pairs.emplace(key,
+                                std::pair<std::uint32_t, int>(
+                                    static_cast<std::uint32_t>(i), k));
+          } else {
+            sf.neighbors[static_cast<std::size_t>(k)] = it->second.first;
+            snap->facets[it->second.first]
+                .neighbors[static_cast<std::size_t>(it->second.second)] =
+                static_cast<std::uint32_t>(i);
+            ridge_pairs.erase(it);
+          }
+        }
+      }
+      // A committed hull is closed: every ridge pairs exactly two facets.
+      PARHULL_CHECK_MSG(ridge_pairs.empty(),
+                        "engine snapshot: unpaired hull ridge");
+      return snap;
+    } catch (const std::bad_alloc&) {
+      return nullptr;
+    }
+  }
+
+  std::size_t filter_grain() const {
+    return params_.parallel_filter ? params_.filter_grain : 0;
+  }
+
+  Params params_;
+  engine_detail::SnapshotCell<D> snapshot_;
+
+  // Per-batch working state, dropped on commit or rollback.
+  const PointSet<D>* pts_ = nullptr;
+  std::unique_ptr<ConcurrentPool<Facet<D>>> pool_;
+  std::unique_ptr<ConflictArena> arena_;
+  std::unique_ptr<MapT<D>> map_;
+  std::unique_ptr<RidgeMapChained<D>> fallback_map_;
+  CoordBounds<D> bounds_{};
+  Point<D> interior_{};
+  detail::FailureLatch fail_;
+  WorkerCounter tests_;
+  std::atomic<std::uint32_t> max_depth_{0};
+  std::atomic<std::uint32_t> max_round_{0};
+
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+};
+
+}  // namespace parhull

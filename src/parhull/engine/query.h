@@ -1,0 +1,184 @@
+// Read-only query kernels over a published HullSnapshot (docs/ENGINE.md).
+//
+// Every kernel takes a snapshot the caller obtained from
+// HullEngine::snapshot() (or RequestBatcher::snapshot()) and touches
+// nothing else, so queries are wait-free with respect to the writer: a
+// batch committing mid-query cannot move anything under the reader, and
+// any number of readers may share one snapshot.
+//
+// Sign discipline matches the hull construction itself (docs/PERF.md): the
+// facet's cached hyperplane classifies the query point in one fused
+// dot-product; only verdicts inside the plane's certified error band pay
+// the exact orient<D> expansion path. The cached bound is valid for every
+// point within the snapshot's CoordBounds — a query point OUTSIDE those
+// bounds either short-circuits (membership: the hull lives inside its
+// coordinate bounding box) or falls back to the exact predicate per facet
+// (visible-facet enumeration).
+//
+// The extreme-point walk is the one kernel that compares double-precision
+// dot products directly (not signs of exact determinants): it returns a
+// vertex maximizing fl(dot(dir, v)) over the hull vertices, with ties and
+// sub-ulp near-ties resolved arbitrarily. That is the right contract for a
+// support query; callers needing exact extremes in adversarial inputs
+// should enumerate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "parhull/common/assert.h"
+#include "parhull/common/types.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/geometry/plane_kernel.h"
+#include "parhull/hull/hull_common.h"
+#include "parhull/testing/schedule_point.h"
+
+namespace parhull {
+
+enum class PointLocation { kInside, kOnBoundary, kOutside };
+
+namespace engine_detail {
+
+template <int D>
+inline bool within_bounds(const CoordBounds<D>& b, const Point<D>& q) {
+  for (int j = 0; j < D; ++j) {
+    double a = q[j] < 0 ? -q[j] : q[j];
+    if (!(a <= b.max_abs[static_cast<std::size_t>(j)])) return false;
+  }
+  return true;
+}
+
+// Exact side of q relative to facet f: +1 visible, -1 invisible, 0 on the
+// facet's hyperplane. Staged: the cached-plane verdict when certifiable
+// (only legal within the snapshot's bounds), else orient<D>.
+template <int D>
+inline int facet_side(const HullSnapshot<D>& snap, const SnapshotFacet<D>& f,
+                      const Point<D>& q, bool use_plane) {
+  if (use_plane) {
+    std::int8_t c = detail::classify_one<D>(q.x.data(), f.plane);
+    if (c != 0) return c;
+  }
+  std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
+  const PointSet<D>& pts = *snap.points;
+  for (int i = 0; i < D; ++i) {
+    ptr[static_cast<std::size_t>(i)] =
+        &pts[f.vertices[static_cast<std::size_t>(i)]];
+  }
+  ptr[static_cast<std::size_t>(D)] = &q;
+  return orient<D>(ptr);
+}
+
+}  // namespace engine_detail
+
+// Locate q relative to the hull: kOutside iff some facet strictly sees q,
+// kOnBoundary iff no facet sees q but q lies on a facet hyperplane,
+// kInside otherwise. Exact (the staged filter never certifies a wrong
+// sign). A point beyond the snapshot's coordinate bounds is outside
+// without any predicate: the hull is contained in its bounding box.
+template <int D>
+PointLocation locate_point(const HullSnapshot<D>& snap, const Point<D>& q) {
+  PARHULL_SCHEDULE_POINT();  // reader: interleaves against the publisher
+  PARHULL_CHECK_MSG(!snap.facets.empty(), "locate_point: empty snapshot");
+  if (!engine_detail::within_bounds<D>(snap.bounds, q)) {
+    return PointLocation::kOutside;  // also covers non-finite coordinates
+  }
+  bool boundary = false;
+  for (const SnapshotFacet<D>& f : snap.facets) {
+    int s = engine_detail::facet_side<D>(snap, f, q, /*use_plane=*/true);
+    if (s > 0) return PointLocation::kOutside;
+    if (s == 0) boundary = true;
+  }
+  return boundary ? PointLocation::kOnBoundary : PointLocation::kInside;
+}
+
+// Non-strict membership: boundary points are in.
+template <int D>
+bool point_in_hull(const HullSnapshot<D>& snap, const Point<D>& q) {
+  return locate_point<D>(snap, q) != PointLocation::kOutside;
+}
+
+// Snapshot indices of every facet that strictly sees q (q's conflict set
+// over the CURRENT hull — empty iff q is inside or on the boundary). For a
+// query point beyond the snapshot's bounds the cached-plane error bound
+// does not apply, so every facet takes the exact path.
+template <int D>
+std::vector<std::uint32_t> visible_facets(const HullSnapshot<D>& snap,
+                                          const Point<D>& q) {
+  PARHULL_SCHEDULE_POINT();
+  // The exact predicate's sign is meaningless on non-finite input, so a
+  // NaN/Inf probe sees nothing (matching locate_point's kOutside verdict).
+  if (!finite<D>(q)) return {};
+  const bool use_plane = engine_detail::within_bounds<D>(snap.bounds, q);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < snap.facets.size(); ++i) {
+    if (engine_detail::facet_side<D>(snap, snap.facets[i], q, use_plane) > 0) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+template <int D>
+struct ExtremeResult {
+  PointId vertex = kInvalidPoint;  // a hull vertex maximizing fl(dot(dir, v))
+  double value = 0;                // fl(dot(dir, vertex))
+  std::uint32_t facets_visited = 0;  // walk length (bench instrumentation)
+};
+
+// Extreme point along `dir` by facet-adjacency walk: a plateau BFS that
+// expands any neighbor whose best vertex ties or beats the current best.
+// Superlevel sets of a linear functional on the hull surface are connected,
+// so the facets whose max meets the final threshold form a connected
+// subgraph containing the true maximizer — a strict hill-climb could stall
+// on a plateau of equal-valued facets, the BFS cannot. Visits O(answer
+// neighborhood) facets on typical inputs, everything only in adversarial
+// plateaus.
+template <int D>
+ExtremeResult<D> extreme_point(const HullSnapshot<D>& snap,
+                               const Point<D>& dir) {
+  PARHULL_SCHEDULE_POINT();
+  PARHULL_CHECK_MSG(!snap.facets.empty(), "extreme_point: empty snapshot");
+  const PointSet<D>& pts = *snap.points;
+  auto facet_best = [&](const SnapshotFacet<D>& f, PointId& arg) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (int v = 0; v < D; ++v) {
+      PointId id = f.vertices[static_cast<std::size_t>(v)];
+      double s = dir.dot(pts[id]);
+      if (s > best) {
+        best = s;
+        arg = id;
+      }
+    }
+    return best;
+  };
+
+  ExtremeResult<D> res;
+  std::vector<char> visited(snap.facets.size(), 0);
+  std::vector<std::uint32_t> queue;
+  queue.push_back(0);
+  visited[0] = 1;
+  res.value = facet_best(snap.facets[0], res.vertex);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const SnapshotFacet<D>& f = snap.facets[queue[head]];
+    ++res.facets_visited;
+    for (int k = 0; k < D; ++k) {
+      const std::uint32_t g = f.neighbors[static_cast<std::size_t>(k)];
+      if (visited[g]) continue;
+      PointId arg = kInvalidPoint;
+      const double val = facet_best(snap.facets[g], arg);
+      if (val >= res.value) {  // ties must expand: plateau traversal
+        if (val > res.value) {
+          res.value = val;
+          res.vertex = arg;
+        }
+        visited[g] = 1;
+        queue.push_back(g);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace parhull

@@ -1,0 +1,101 @@
+// Epoch-versioned immutable hull snapshots: the read side of the
+// batch-dynamic engine (docs/ENGINE.md).
+//
+// A HullSnapshot is built once by the engine's writer after a batch commits
+// and is never mutated afterwards; readers obtain it through an
+// acquire/release shared_ptr handoff (HullEngine::snapshot) and may use it
+// for as long as they hold the pointer — retirement is reference-counted,
+// so an old epoch's storage lives exactly until its last reader drops.
+//
+// Facets are stored in CANONICAL order (ascending sorted-vertex tuples, the
+// same order canonical_facet_tuples produces), so two snapshots of the same
+// hull are structurally identical regardless of the schedule that built
+// them, and snapshot-vs-recompute equivalence checks are plain comparisons.
+// Each facet keeps its outward-oriented vertex tuple, its cached hyperplane
+// (geometry/plane.h — valid for every point within `bounds`), and the
+// snapshot index of the neighbor across each ridge, which is what the
+// query kernels' facet-adjacency walks consume (engine/query.h).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/plane.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+template <int D>
+struct SnapshotFacet {
+  // Outward-oriented vertex tuple (orient_outward layout: ascending, then
+  // the first two swapped if the orientation needed flipping).
+  std::array<PointId, static_cast<std::size_t>(D)> vertices{};
+  Plane<D> plane{};  // cached hyperplane of `vertices`
+  // neighbors[k] = snapshot index of the facet across the ridge omitting
+  // vertices[k]. Every ridge of a closed hull has exactly two facets.
+  std::array<std::uint32_t, static_cast<std::size_t>(D)> neighbors{};
+};
+
+template <int D>
+struct HullSnapshot {
+  std::uint64_t epoch = 0;  // 1 for the first published batch
+  // Every point inserted up to and including this epoch, in insertion
+  // (= priority) order. Shared so successive snapshots of a read-mostly
+  // engine do not duplicate the cloud.
+  std::shared_ptr<const PointSet<D>> points;
+  std::vector<SnapshotFacet<D>> facets;  // canonical order, adjacency wired
+  CoordBounds<D> bounds{};  // the bounds `plane.err` fields were built with
+  Point<D> interior{};      // interior reference point (batch-1 centroid)
+
+  std::size_t point_count() const { return points ? points->size() : 0; }
+  std::size_t facet_count() const { return facets.size(); }
+};
+
+// Canonical tuples of a snapshot's facet set — directly comparable with
+// canonical_facet_tuples (core/hull_output.h) of a one-shot recompute.
+// Snapshot facets are already stored in canonical order, so this is just
+// the per-facet vertex sort.
+template <int D>
+std::vector<std::array<PointId, static_cast<std::size_t>(D)>>
+canonical_snapshot_tuples(const HullSnapshot<D>& snap) {
+  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
+  out.reserve(snap.facets.size());
+  for (const SnapshotFacet<D>& f : snap.facets) {
+    auto v = f.vertices;
+    std::sort(v.begin(), v.end());
+    out.push_back(v);
+  }
+  return out;
+}
+
+// Aggregate counters the engine maintains across batches; readable at any
+// time through HullEngine::stats() / RequestBatcher::stats(). The last_*
+// fields describe the most recent successful batch — in particular
+// last_pool_size is that epoch's whole working pool (seed copies + facets
+// created), the number the epoch-retirement tests bound to prove dead
+// facets of old epochs are not retained.
+struct EngineStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t batches = 0;         // committed batches
+  std::uint64_t failed_batches = 0;  // rolled-back insert_batch calls
+  std::uint64_t points = 0;
+  std::uint64_t hull_facets = 0;
+  std::uint64_t facets_created_total = 0;
+  std::uint64_t visibility_tests_total = 0;
+  std::uint64_t regrows_total = 0;
+  std::uint64_t last_batch_points = 0;
+  std::uint64_t last_pool_size = 0;  // seed + created facets, last epoch
+  double last_batch_ms = 0;
+};
+
+// JSON object dump (engine.cpp), used by hull_cli --stats-json and the
+// hull_server `stats` command. `indent` spaces prefix every line.
+void print_engine_stats_json(std::ostream& os, const EngineStats& stats,
+                             int indent = 0);
+
+}  // namespace parhull

@@ -1,0 +1,753 @@
+// Batch-dynamic engine (engine/engine.h, query.h, batcher.h).
+//
+// Acceptance criteria covered here (ISSUE 5):
+//   * insert_batch over ANY contiguous partition of a prepared input yields
+//     a facet set identical (canonical ordering) to a one-shot ParallelHull
+//     AND a SequentialHull recompute, across >= 32 seeds in 2D and 3D and
+//     batch splits {1, 2, sqrt(n), n};
+//   * concurrent readers (>= 4) querying published snapshots while the
+//     writer commits batches: epoch monotonicity, immutability of old
+//     epochs, no torn reads (the TSan CI job runs this binary);
+//   * epoch retirement: an old snapshot stays alive exactly as long as some
+//     reader holds it, then frees;
+//   * cancellation / deadline / injected faults: the batch rolls back, the
+//     published epoch is untouched, the engine stays usable, and a rerun
+//     commits the correct facet set;
+//   * degenerate batches (empty, all-interior, duplicates, collinear) and
+//     first-batch validation errors.
+// This binary links parhull_fuzzed, so PARHULL_FAULT_POINT() is live and
+// schedule points (including the engine's publication edges) are fuzzed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "parhull/common/run_control.h"
+#include "parhull/core/hull_output.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/engine/batcher.h"
+#include "parhull/engine/engine.h"
+#include "parhull/engine/query.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/testing/fault_point.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+using testing::CountdownFaultInjector;
+using testing::FaultInjector;
+using testing::FaultScope;
+using testing::FaultSite;
+
+const bool kForcedWorkers = [] {
+  setenv("PARHULL_NUM_WORKERS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+template <int D>
+using Tuples = std::vector<std::array<PointId, static_cast<std::size_t>(D)>>;
+
+template <int D>
+Tuples<D> seq_tuples(const PointSet<D>& pts) {
+  SequentialHull<D> seq;
+  auto res = seq.run(pts);
+  EXPECT_TRUE(res.ok);
+  return canonical_facet_tuples<D>(seq, res.hull);
+}
+
+// Insert `pts` into a fresh engine as: one bootstrap batch of
+// max(per, D+1) points, then contiguous batches of `per`. Returns the
+// engine's final snapshot (null on any failed batch).
+template <int D>
+std::shared_ptr<const HullSnapshot<D>> run_split(HullEngine<D>& engine,
+                                                 const PointSet<D>& pts,
+                                                 std::size_t per) {
+  std::size_t first_len =
+      std::max(per, static_cast<std::size_t>(D) + 1);
+  first_len = std::min(first_len, pts.size());
+  std::size_t first = 0;
+  while (first < pts.size()) {
+    const std::size_t len = first == 0 ? first_len : per;
+    const std::size_t last = std::min(pts.size(), first + len);
+    PointSet<D> batch(pts.begin() + static_cast<std::ptrdiff_t>(first),
+                      pts.begin() + static_cast<std::ptrdiff_t>(last));
+    auto res = engine.insert_batch(batch);
+    if (!res.ok) {
+      ADD_FAILURE() << "batch at " << first << ": " << to_string(res.status);
+      return nullptr;
+    }
+    first = last;
+  }
+  return engine.snapshot();
+}
+
+// The tentpole equivalence criterion: every split of every seed produces
+// the one-shot facet set.
+template <int D>
+void equivalence_sweep(std::size_t n, int seeds) {
+  for (int seed = 0; seed < seeds; ++seed) {
+    auto pts = random_order(uniform_ball<D>(n, static_cast<std::uint64_t>(seed)),
+                            static_cast<std::uint64_t>(seed) + 1000);
+    ASSERT_TRUE(prepare_input<D>(pts));
+    ParallelHull<D> hull;
+    auto pres = hull.run(pts);
+    ASSERT_TRUE(pres.ok);
+    const Tuples<D> expect = canonical_facet_tuples<D>(hull, pres.hull);
+    ASSERT_EQ(expect, seq_tuples<D>(pts)) << "seed " << seed;
+
+    const std::size_t root =
+        static_cast<std::size_t>(std::sqrt(static_cast<double>(pts.size())));
+    const std::size_t splits[] = {pts.size(), (pts.size() + 1) / 2,
+                                  std::max<std::size_t>(1, root), 1};
+    for (std::size_t per : splits) {
+      HullEngine<D> engine;
+      auto snap = run_split<D>(engine, pts, per);
+      ASSERT_NE(snap, nullptr) << "seed " << seed << " per " << per;
+      EXPECT_EQ(canonical_snapshot_tuples<D>(*snap), expect)
+          << "seed " << seed << " per " << per;
+      EXPECT_EQ(snap->points->size(), pts.size());
+    }
+  }
+}
+
+TEST(EngineEquivalence2D, MatchesOneShotAcrossSplits) {
+  equivalence_sweep<2>(96, 32);
+}
+
+TEST(EngineEquivalence3D, MatchesOneShotAcrossSplits) {
+  equivalence_sweep<3>(80, 32);
+}
+
+TEST(EngineEquivalence3D, EpochAndStatsAccounting) {
+  auto pts = random_order(uniform_ball<3>(400, 5), 6);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  EXPECT_EQ(engine.snapshot(), nullptr);
+  EXPECT_EQ(engine.epoch(), 0u);
+  auto snap = run_split<3>(engine, pts, 100);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch, 4u);  // 100-point bootstrap + 3 batches
+  EXPECT_EQ(engine.epoch(), 4u);
+  const EngineStats s = engine.stats();
+  EXPECT_EQ(s.epoch, 4u);
+  EXPECT_EQ(s.batches, 4u);
+  EXPECT_EQ(s.failed_batches, 0u);
+  EXPECT_EQ(s.points, 400u);
+  EXPECT_EQ(s.hull_facets, snap->facet_count());
+  EXPECT_GE(s.facets_created_total, s.hull_facets);
+  EXPECT_GT(s.visibility_tests_total, 0u);
+  EXPECT_EQ(s.last_batch_points, 100u);
+  EXPECT_GT(s.last_pool_size, 0u);
+  // Adjacency of the published snapshot is a closed 2-manifold: neighbor
+  // links are symmetric and cross the ridge they claim to.
+  for (std::uint32_t i = 0; i < snap->facet_count(); ++i) {
+    const SnapshotFacet<3>& f = snap->facets[i];
+    for (int k = 0; k < 3; ++k) {
+      const std::uint32_t g = f.neighbors[static_cast<std::size_t>(k)];
+      ASSERT_LT(g, snap->facet_count());
+      ASSERT_NE(g, i);
+      const SnapshotFacet<3>& nf = snap->facets[g];
+      int back = 0;
+      for (int j = 0; j < 3; ++j) {
+        if (nf.neighbors[static_cast<std::size_t>(j)] == i) ++back;
+      }
+      EXPECT_GE(back, 1) << "facet " << i << " edge " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate batches and first-batch validation.
+// ---------------------------------------------------------------------------
+
+TEST(EngineDegenerate, FirstBatchValidation) {
+  HullEngine<3> engine;
+  {
+    PointSet<3> tiny = {{{0, 0, 0}}, {{1, 0, 0}}};
+    auto res = engine.insert_batch(tiny);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.status, HullStatus::kBadInput);
+  }
+  {
+    PointSet<3> flat;
+    for (int i = 0; i < 8; ++i) {
+      flat.push_back({{static_cast<double>(i), static_cast<double>(i * i), 0}});
+    }
+    auto res = engine.insert_batch(flat);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.status, HullStatus::kDegenerateInput);
+  }
+  {
+    PointSet<3> nan_batch = {{{0, 0, 0}},
+                             {{1, 0, 0}},
+                             {{0, 1, 0}},
+                             {{0, 0, std::nan("")}}};
+    auto res = engine.insert_batch(nan_batch);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.status, HullStatus::kBadInput);
+  }
+  EXPECT_EQ(engine.snapshot(), nullptr);
+  EXPECT_EQ(engine.stats().failed_batches, 3u);
+  // The engine is still usable after every rejection.
+  auto pts = uniform_ball<3>(50, 11);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto res = engine.insert_batch(pts);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.epoch, 1u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            seq_tuples<3>(pts));
+}
+
+TEST(EngineDegenerate, EmptyInteriorDuplicateCollinearBatches) {
+  auto pts = uniform_ball<3>(120, 17);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  const Tuples<3> before = canonical_snapshot_tuples<3>(*engine.snapshot());
+
+  // Empty batch: commits a (trivial) epoch, hull unchanged.
+  auto res = engine.insert_batch({});
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.batch_points, 0u);
+  EXPECT_EQ(res.facets_created, 0u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), before);
+
+  // All-interior batch (shrunk copies): hull unchanged.
+  PointSet<3> interior;
+  for (std::size_t i = 0; i < 40; ++i) interior.push_back(pts[i] * 0.01);
+  ASSERT_TRUE(engine.insert_batch(interior).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), before);
+
+  // Duplicates of existing points: never strictly visible, hull unchanged.
+  PointSet<3> dupes(pts.begin(), pts.begin() + 25);
+  ASSERT_TRUE(engine.insert_batch(dupes).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), before);
+
+  // Collinear batch strictly inside: degenerate among themselves, but the
+  // batch contract only constrains the FIRST batch.
+  PointSet<3> line;
+  for (int i = 1; i <= 20; ++i) {
+    const double t = 0.001 * i;
+    line.push_back({{t, t, t}});
+  }
+  ASSERT_TRUE(engine.insert_batch(line).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), before);
+
+  // The final sequence still matches a sequential recompute.
+  PointSet<3> all(*engine.snapshot()->points);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            seq_tuples<3>(all));
+}
+
+TEST(EngineDegenerate, GrowingBoundsRebuildsPlanes) {
+  // The second batch widens the coordinate bounds by 100x: every cached
+  // seed plane must be rebuilt or the filter error bands are invalid. The
+  // equivalence against a one-shot run over the concatenation is the check.
+  auto core = uniform_ball<3>(80, 23);
+  ASSERT_TRUE(prepare_input<3>(core));
+  PointSet<3> far = uniform_ball<3>(40, 29);
+  for (auto& p : far) p = p * 100.0;
+
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(core).ok);
+  ASSERT_TRUE(engine.insert_batch(far).ok);
+
+  PointSet<3> all(core);
+  all.insert(all.end(), far.begin(), far.end());
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            seq_tuples<3>(all));
+}
+
+// ---------------------------------------------------------------------------
+// Query kernels.
+// ---------------------------------------------------------------------------
+
+// Exact membership oracle: q is outside iff some facet's orient sign is
+// strictly positive (no cached planes involved).
+template <int D>
+PointLocation brute_locate(const HullSnapshot<D>& snap, const Point<D>& q) {
+  bool boundary = false;
+  for (const SnapshotFacet<D>& f : snap.facets) {
+    std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
+    for (int i = 0; i < D; ++i) {
+      ptr[static_cast<std::size_t>(i)] =
+          &(*snap.points)[f.vertices[static_cast<std::size_t>(i)]];
+    }
+    ptr[static_cast<std::size_t>(D)] = &q;
+    const int s = orient<D>(ptr);
+    if (s > 0) return PointLocation::kOutside;
+    if (s == 0) boundary = true;
+  }
+  return boundary ? PointLocation::kOnBoundary : PointLocation::kInside;
+}
+
+TEST(EngineQuery, LocateMatchesExactOracle) {
+  auto pts = uniform_ball<3>(300, 31);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto snap = engine.snapshot();
+  // Probes straddling the boundary, plus hull points themselves (exactly
+  // ON the boundary) and interior copies.
+  auto probes = uniform_ball<3>(400, 37);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    probes[i] = probes[i] * (i % 2 == 0 ? 0.6 : 1.4);
+  }
+  for (std::size_t i = 0; i < 50; ++i) probes.push_back(pts[i]);
+  int outside = 0, inside = 0;
+  for (const auto& q : probes) {
+    const PointLocation want = brute_locate<3>(*snap, q);
+    EXPECT_EQ(locate_point<3>(*snap, q), want);
+    EXPECT_EQ(point_in_hull<3>(*snap, q), want != PointLocation::kOutside);
+    (want == PointLocation::kOutside ? outside : inside)++;
+  }
+  EXPECT_GT(outside, 0);  // the sweep must exercise both verdicts
+  EXPECT_GT(inside, 0);
+}
+
+TEST(EngineQuery, CubeBoundaryAndBeyondBounds) {
+  PointSet<3> cube;
+  for (int x = -1; x <= 1; x += 2) {
+    for (int y = -1; y <= 1; y += 2) {
+      for (int z = -1; z <= 1; z += 2) {
+        cube.push_back({{static_cast<double>(x), static_cast<double>(y),
+                         static_cast<double>(z)}});
+      }
+    }
+  }
+  ASSERT_TRUE(prepare_input<3>(cube));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(cube).ok);
+  auto snap = engine.snapshot();
+  EXPECT_EQ(locate_point<3>(*snap, {{0, 0, 0}}), PointLocation::kInside);
+  EXPECT_EQ(locate_point<3>(*snap, {{1, 0, 0}}), PointLocation::kOnBoundary);
+  EXPECT_EQ(locate_point<3>(*snap, {{1, 1, 1}}), PointLocation::kOnBoundary);
+  EXPECT_EQ(locate_point<3>(*snap, {{1.0000001, 0, 0}}),
+            PointLocation::kOutside);
+  // Beyond the coordinate bounds: outside via the short-circuit, and the
+  // visible-facet enumeration takes the exact path for every facet.
+  const Point<3> far{{1e6, -2e6, 3e6}};
+  EXPECT_EQ(locate_point<3>(*snap, far), PointLocation::kOutside);
+  auto vis = visible_facets<3>(*snap, far);
+  EXPECT_FALSE(vis.empty());
+  for (std::uint32_t i : vis) EXPECT_LT(i, snap->facet_count());
+  // Non-finite probes are outside and see nothing.
+  const Point<3> bad{{std::nan(""), 0, 0}};
+  EXPECT_EQ(locate_point<3>(*snap, bad), PointLocation::kOutside);
+  EXPECT_TRUE(visible_facets<3>(*snap, bad).empty());
+}
+
+TEST(EngineQuery, VisibleFacetsMatchExactSides) {
+  auto pts = uniform_ball<3>(200, 41);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto snap = engine.snapshot();
+  auto probes = uniform_ball<3>(60, 43);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    probes[i] = probes[i] * 1.5;
+  }
+  for (const auto& q : probes) {
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < snap->facet_count(); ++i) {
+      const SnapshotFacet<3>& f = snap->facets[i];
+      std::array<const Point<3>*, 4> ptr{};
+      for (int v = 0; v < 3; ++v) {
+        ptr[static_cast<std::size_t>(v)] =
+            &(*snap->points)[f.vertices[static_cast<std::size_t>(v)]];
+      }
+      ptr[3] = &q;
+      if (orient<3>(ptr) > 0) want.push_back(i);
+    }
+    EXPECT_EQ(visible_facets<3>(*snap, q), want);
+  }
+}
+
+template <int D>
+void extreme_sweep(std::size_t n, int dirs) {
+  auto pts = uniform_ball<D>(n, 47);
+  ASSERT_TRUE(prepare_input<D>(pts));
+  HullEngine<D> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto snap = engine.snapshot();
+  const auto verts = [&] {
+    std::vector<PointId> ids;
+    for (const auto& f : snap->facets) {
+      for (PointId v : f.vertices) ids.push_back(v);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  }();
+  auto probe_dirs = uniform_ball<D>(static_cast<std::size_t>(dirs), 53);
+  probe_dirs.push_back(Point<D>{});  // degenerate all-zero direction
+  for (const auto& dir : probe_dirs) {
+    const auto res = extreme_point<D>(*snap, dir);
+    // Contract: the walk's result EQUALS the max over hull vertices of the
+    // double-precision dot product — not merely approximates it.
+    double best = -std::numeric_limits<double>::infinity();
+    for (PointId v : verts) {
+      best = std::max(best, dir.dot((*snap->points)[v]));
+    }
+    EXPECT_EQ(res.value, best);
+    EXPECT_EQ(dir.dot((*snap->points)[res.vertex]), best);
+    EXPECT_GE(res.facets_visited, 1u);
+  }
+}
+
+TEST(EngineQuery, ExtremePointMatchesVertexScan2D) { extreme_sweep<2>(250, 60); }
+
+TEST(EngineQuery, ExtremePointMatchesVertexScan3D) { extreme_sweep<3>(250, 60); }
+
+// ---------------------------------------------------------------------------
+// Epoch retirement and concurrent readers.
+// ---------------------------------------------------------------------------
+
+TEST(EngineRetirement, EpochsRetireWithTheirLastReader) {
+  auto pts = uniform_ball<3>(200, 59);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  PointSet<3> first(pts.begin(), pts.begin() + 100);
+  PointSet<3> second(pts.begin() + 100, pts.begin() + 150);
+  PointSet<3> third(pts.begin() + 150, pts.end());
+
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(first).ok);
+  auto held = engine.snapshot();  // reader keeps epoch 1 alive
+  std::weak_ptr<const HullSnapshot<3>> w1 = held;
+  const std::size_t held_facets = held->facet_count();
+  const Tuples<3> held_tuples = canonical_snapshot_tuples<3>(*held);
+
+  ASSERT_TRUE(engine.insert_batch(second).ok);
+  std::weak_ptr<const HullSnapshot<3>> w2 = engine.snapshot();
+  ASSERT_TRUE(engine.insert_batch(third).ok);
+
+  // Epoch 2 had no outside reader: replaced by epoch 3, it must be gone.
+  EXPECT_TRUE(w2.expired());
+  // Epoch 1 is still held — alive and bit-for-bit unchanged.
+  ASSERT_FALSE(w1.expired());
+  EXPECT_EQ(held->epoch, 1u);
+  EXPECT_EQ(held->facet_count(), held_facets);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*held), held_tuples);
+  held.reset();
+  EXPECT_TRUE(w1.expired());
+
+  // The current epoch survives, of course.
+  auto cur = engine.snapshot();
+  ASSERT_NE(cur, nullptr);
+  EXPECT_EQ(cur->epoch, 3u);
+  EXPECT_EQ(cur->points->size(), 200u);
+}
+
+TEST(EngineConcurrency, ReadersDuringInserts) {
+  auto pts = random_order(uniform_ball<3>(1400, 61), 67);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  PointSet<3> boot(pts.begin(), pts.begin() + 600);
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(boot).ok);
+  const Point<3> inside = engine.snapshot()->interior;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> queries{0};
+  auto reader = [&] {
+    std::uint64_t last_epoch = 0;
+    std::uint64_t local = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      auto snap = engine.snapshot();
+      ASSERT_NE(snap, nullptr);
+      // Epochs only move forward under a reader's feet.
+      EXPECT_GE(snap->epoch, last_epoch);
+      last_epoch = snap->epoch;
+      EXPECT_GT(snap->facet_count(), 0u);
+      // The bootstrap centroid is interior to every epoch's hull; a torn
+      // or half-published snapshot would misclassify it (or crash).
+      EXPECT_TRUE(point_in_hull<3>(*snap, inside));
+      const auto ex = extreme_point<3>(*snap, inside);
+      EXPECT_NE(ex.vertex, kInvalidPoint);
+      ++local;
+    }
+    queries.fetch_add(local, std::memory_order_relaxed);
+  };
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) readers.emplace_back(reader);
+
+  // Writer: 8 batches of 100 points from the main (scheduler) thread.
+  for (std::size_t first = 600; first < pts.size(); first += 100) {
+    PointSet<3> batch(pts.begin() + static_cast<std::ptrdiff_t>(first),
+                      pts.begin() + static_cast<std::ptrdiff_t>(first + 100));
+    ASSERT_TRUE(engine.insert_batch(batch).ok);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(engine.epoch(), 9u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            seq_tuples<3>(pts));
+}
+
+// ---------------------------------------------------------------------------
+// RequestBatcher.
+// ---------------------------------------------------------------------------
+
+TEST(EngineBatcher, MultiProducerCoalescesAndResolvesAll) {
+  auto boot = uniform_ball<3>(200, 71);
+  ASSERT_TRUE(prepare_input<3>(boot));
+  RequestBatcher<3> batcher;
+  auto first = batcher.submit(boot).get();
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.epoch, 1u);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 6;
+  constexpr std::size_t kChunk = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto extra = uniform_ball<3>(
+            kChunk, 100 + static_cast<std::uint64_t>(p * kPerProducer + i));
+        auto out = batcher.submit(std::move(extra)).get();
+        if (!out.ok) failures.fetch_add(1, std::memory_order_relaxed);
+        // Group commit: this producer's points are in the epoch its future
+        // names, so the published snapshot must already cover them.
+        auto snap = batcher.snapshot();
+        if (snap == nullptr || snap->epoch < out.epoch) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  batcher.close();
+
+  auto snap = batcher.snapshot();
+  ASSERT_NE(snap, nullptr);
+  const std::size_t want_points =
+      boot.size() + kProducers * kPerProducer * kChunk;
+  EXPECT_EQ(snap->points->size(), want_points);
+  EXPECT_EQ(batcher.stats().points, want_points);
+  EXPECT_EQ(batcher.stats().failed_batches, 0u);
+  // Coalescing happened iff epochs advanced by less than the request count
+  // — not guaranteed under every schedule, so only the sum is asserted —
+  // and the final hull matches a sequential recompute of the engine's own
+  // arrival order.
+  PointSet<3> all(*snap->points);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*snap), seq_tuples<3>(all));
+}
+
+TEST(EngineBatcher, ClosedBatcherResolvesCancelled) {
+  RequestBatcher<3> batcher;
+  batcher.close();
+  auto out = batcher.submit(uniform_ball<3>(30, 73)).get();
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.status, HullStatus::kCancelled);
+  EXPECT_EQ(batcher.snapshot(), nullptr);
+}
+
+TEST(EngineBatcher, SupervisedRetryEscalatesAfterInjectedCapacity) {
+  auto boot = uniform_ball<3>(150, 79);
+  ASSERT_TRUE(prepare_input<3>(boot));
+  RequestBatcher<3>::Options opts;
+  // Disable the engine's own regrow loop so capacity pressure surfaces to
+  // the Supervisor, whose retry must escalate expected_keys and commit.
+  opts.engine.max_regrows = 0;
+  opts.engine.chained_fallback = false;
+  opts.supervisor.retry.max_attempts = 3;
+  opts.supervisor.retry.backoff_base_ms = 0.1;
+  RequestBatcher<3> batcher(opts);
+  ASSERT_TRUE(batcher.submit(boot).get().ok);
+
+  CountdownFaultInjector inj(FaultSite::kRidgeMapInsert, 3);
+  std::future<RequestBatcher<3>::InsertOutcome> fut;
+  {
+    FaultScope scope(inj);
+    fut = batcher.submit(uniform_ball<3>(60, 83));
+    auto out = fut.get();  // resolved inside the scope: injector must outlive
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.epoch, 2u);
+  }
+  if (inj.fired()) {
+    // The failed attempt is on the log, followed by the successful retry.
+    const auto log = batcher.attempt_log();
+    bool saw_capacity = false;
+    for (const auto& a : log) {
+      saw_capacity |= a.status == HullStatus::kCapacityExceeded;
+    }
+    EXPECT_TRUE(saw_capacity);
+    EXPECT_EQ(batcher.stats().failed_batches, 1u);
+  }
+  batcher.close();
+  PointSet<3> all(*batcher.snapshot()->points);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*batcher.snapshot()),
+            seq_tuples<3>(all));
+}
+
+// ---------------------------------------------------------------------------
+// Faults and cancellation.
+// ---------------------------------------------------------------------------
+
+// Fires a CancelToken at the Nth crossing of a fault site (same idiom as
+// tests/test_run_control.cpp): fault points are dense in the engine's batch
+// machinery, so sweeping the countdown sweeps the cancellation across the
+// whole insert.
+class CancelAtSiteInjector final : public FaultInjector {
+ public:
+  CancelAtSiteInjector(CancelToken token, FaultSite site, std::uint64_t after)
+      : token_(token), site_(site), remaining_(after) {}
+
+  bool should_fail(FaultSite site) override {
+    if (site == site_ &&
+        remaining_.fetch_sub(1, std::memory_order_acq_rel) == 0) {
+      token_.cancel();
+    }
+    return false;  // never injects the fault itself — only cancels
+  }
+
+ private:
+  CancelToken token_;
+  FaultSite site_;
+  std::atomic<std::uint64_t> remaining_;
+};
+
+TEST(EngineFaults, InjectedFaultsRollBackAndTheEngineRecovers) {
+  auto pts = uniform_ball<3>(220, 89);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  PointSet<3> boot(pts.begin(), pts.begin() + 120);
+  PointSet<3> extra(pts.begin() + 120, pts.end());
+  const Tuples<3> want = seq_tuples<3>(pts);
+
+  const FaultSite sites[] = {FaultSite::kAllocation, FaultSite::kRidgeMapInsert,
+                             FaultSite::kPoolAllocate};
+  const std::uint64_t afters[] = {0, 1, 2, 5, 13, 37, 111};
+  for (FaultSite site : sites) {
+    for (std::uint64_t after : afters) {
+      HullEngine<3> engine;
+      ASSERT_TRUE(engine.insert_batch(boot).ok);
+      auto before = engine.snapshot();
+      const std::uint64_t failed_before = engine.stats().failed_batches;
+
+      CountdownFaultInjector inj(site, after);
+      HullEngine<3>::BatchResult res;
+      {
+        FaultScope scope(inj);
+        res = engine.insert_batch(extra);
+      }
+      if (!res.ok) {
+        // Rollback: previous epoch still published, same object, stats
+        // counted the failure, and the point sequence is untouched.
+        EXPECT_TRUE(res.status == HullStatus::kCapacityExceeded ||
+                    res.status == HullStatus::kPoolExhausted)
+            << to_string(res.status);
+        EXPECT_EQ(engine.snapshot(), before);
+        EXPECT_EQ(engine.stats().failed_batches, failed_before + 1);
+        EXPECT_EQ(engine.stats().points, boot.size());
+        res = engine.insert_batch(extra);  // injector gone: must commit
+      }
+      ASSERT_TRUE(res.ok) << to_string(res.status);
+      EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), want)
+          << "site " << static_cast<int>(site) << " after " << after;
+    }
+  }
+}
+
+TEST(EngineFaults, HardCapacityFailureWithRetriesDisabled) {
+  auto pts = uniform_ball<3>(150, 97);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  PointSet<3> boot(pts.begin(), pts.begin() + 100);
+  PointSet<3> extra(pts.begin() + 100, pts.end());
+
+  HullEngine<3>::Params params;
+  params.max_regrows = 0;
+  params.chained_fallback = false;
+  HullEngine<3> engine(params);
+  ASSERT_TRUE(engine.insert_batch(boot).ok);
+  auto before = engine.snapshot();
+
+  CountdownFaultInjector inj(FaultSite::kRidgeMapInsert, 2);
+  HullEngine<3>::BatchResult res;
+  {
+    FaultScope scope(inj);
+    res = engine.insert_batch(extra);
+  }
+  if (inj.fired()) {
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.status, HullStatus::kCapacityExceeded);
+    EXPECT_EQ(engine.snapshot(), before);
+  }
+  ASSERT_TRUE(engine.insert_batch(extra).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            seq_tuples<3>(pts));
+}
+
+TEST(EngineCancellation, CancelSweepAcrossTheBatch) {
+  auto pts = uniform_ball<3>(200, 101);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  PointSet<3> boot(pts.begin(), pts.begin() + 110);
+  PointSet<3> extra(pts.begin() + 110, pts.end());
+  const Tuples<3> want = seq_tuples<3>(pts);
+
+  for (std::uint64_t after : {0ull, 1ull, 4ull, 16ull, 64ull, 256ull}) {
+    RunController ctrl;
+    HullEngine<3>::Params params;
+    params.controller = &ctrl;
+    HullEngine<3> engine(params);
+    ASSERT_TRUE(engine.insert_batch(boot).ok);
+    auto before = engine.snapshot();
+
+    CancelAtSiteInjector inj(CancelToken(&ctrl), FaultSite::kPoolAllocate,
+                             after);
+    HullEngine<3>::BatchResult res;
+    {
+      FaultScope scope(inj);
+      res = engine.insert_batch(extra);
+    }
+    if (!res.ok) {
+      EXPECT_EQ(res.status, HullStatus::kCancelled);
+      EXPECT_EQ(engine.snapshot(), before);
+      EXPECT_EQ(engine.epoch(), 1u);
+      ctrl.reset();
+      res = engine.insert_batch(extra);
+    }
+    ASSERT_TRUE(res.ok) << "after " << after;
+    EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), want);
+  }
+}
+
+TEST(EngineCancellation, DeadlineFailsTheBatchTyped) {
+  auto pts = uniform_ball<3>(160, 103);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  PointSet<3> boot(pts.begin(), pts.begin() + 100);
+  PointSet<3> extra(pts.begin() + 100, pts.end());
+
+  RunController ctrl;
+  HullEngine<3>::Params params;
+  params.controller = &ctrl;
+  HullEngine<3> engine(params);
+  ASSERT_TRUE(engine.insert_batch(boot).ok);
+
+  ctrl.reset();
+  ctrl.set_deadline_ms(1e-6);  // already expired at the first poll
+  auto res = engine.insert_batch(extra);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDeadlineExceeded);
+  EXPECT_EQ(engine.epoch(), 1u);
+
+  ctrl.reset();
+  ASSERT_TRUE(engine.insert_batch(extra).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            seq_tuples<3>(pts));
+}
+
+}  // namespace
+}  // namespace parhull

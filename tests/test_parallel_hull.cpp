@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "parhull/core/hull_output.h"
 #include "parhull/core/parallel_hull.h"
 #include "parhull/hull/sequential_hull.h"
 #include "parhull/verify/brute_force.h"
@@ -29,35 +30,24 @@ const bool kForcedWorkers = [] {
   return true;
 }();
 
+// Thin local aliases over the shared canonical-ordering helpers
+// (core/hull_output.h) so call sites keep reading naturally.
 template <int D, template <int> class MapT>
 std::vector<std::array<PointId, static_cast<std::size_t>(D)>> all_created(
     const ParallelHull<D, MapT>& hull) {
-  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
-  for (FacetId id = 0; id < hull.facet_count(); ++id) {
-    out.push_back(canonical_vertices(hull.facet(id)));
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return canonical_created_tuples<D>(hull);
 }
 
 template <int D>
 std::vector<std::array<PointId, static_cast<std::size_t>(D)>> all_created_seq(
     const SequentialHull<D>& hull) {
-  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
-  for (FacetId id = 0; id < hull.facet_count(); ++id) {
-    out.push_back(canonical_vertices(hull.facet(id)));
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return canonical_created_tuples<D>(hull);
 }
 
 template <int D, template <int> class MapT>
 std::vector<std::array<PointId, static_cast<std::size_t>(D)>> alive_tuples(
     const ParallelHull<D, MapT>& hull, const std::vector<FacetId>& ids) {
-  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
-  for (FacetId id : ids) out.push_back(canonical_vertices(hull.facet(id)));
-  std::sort(out.begin(), out.end());
-  return out;
+  return canonical_facet_tuples<D>(hull, ids);
 }
 
 // ---------------------------------------------------------------------------
@@ -107,11 +97,8 @@ TEST_P(FacetIdentity2D, SameFacetsAsSequential) {
   EXPECT_EQ(pres.visibility_tests, sres.visibility_tests);
   EXPECT_EQ(pres.total_conflicts, sres.total_conflicts);
   EXPECT_EQ(pres.hull.size(), sres.hull.size());
-  std::vector<std::array<PointId, 2>> seq_alive;
-  for (FacetId id : sres.hull)
-    seq_alive.push_back(canonical_vertices(seq.facet(id)));
-  std::sort(seq_alive.begin(), seq_alive.end());
-  EXPECT_EQ(alive_tuples(par, pres.hull), seq_alive);
+  EXPECT_EQ(alive_tuples(par, pres.hull),
+            canonical_facet_tuples<2>(seq, sres.hull));
 }
 
 TEST_P(FacetIdentity3D, SameFacetsAsSequential) {
@@ -319,11 +306,8 @@ void expect_identical_across_worker_counts(PointSet<D> pts) {
     EXPECT_EQ(pres.facets_created, sres.facets_created) << "p=" << p;
     EXPECT_EQ(pres.visibility_tests, sres.visibility_tests) << "p=" << p;
     EXPECT_EQ(pres.total_conflicts, sres.total_conflicts) << "p=" << p;
-    std::vector<std::array<PointId, static_cast<std::size_t>(D)>> seq_alive;
-    for (FacetId id : sres.hull)
-      seq_alive.push_back(canonical_vertices(seq.facet(id)));
-    std::sort(seq_alive.begin(), seq_alive.end());
-    EXPECT_EQ(alive_tuples(par, pres.hull), seq_alive)
+    EXPECT_EQ(alive_tuples(par, pres.hull),
+              canonical_facet_tuples<D>(seq, sres.hull))
         << "alive set differs at p=" << p;
   }
 }

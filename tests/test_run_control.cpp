@@ -24,6 +24,7 @@
 
 #include "parhull/common/random.h"
 #include "parhull/common/run_control.h"
+#include "parhull/core/hull_output.h"
 #include "parhull/core/parallel_hull.h"
 #include "parhull/degenerate/degenerate_hull3d.h"
 #include "parhull/delaunay/parallel_delaunay2d.h"
@@ -46,13 +47,12 @@ const bool kForcedWorkers = [] {
   return true;
 }();
 
+// Thin aliases over the shared canonical-ordering helpers
+// (core/hull_output.h).
 template <int D, template <int> class MapT>
 std::vector<std::array<PointId, static_cast<std::size_t>(D)>> alive_tuples(
     const ParallelHull<D, MapT>& hull, const std::vector<FacetId>& ids) {
-  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
-  for (FacetId id : ids) out.push_back(canonical_vertices(hull.facet(id)));
-  std::sort(out.begin(), out.end());
-  return out;
+  return canonical_facet_tuples<D>(hull, ids);
 }
 
 template <int D>
@@ -61,10 +61,7 @@ std::vector<std::array<PointId, static_cast<std::size_t>(D)>> seq_tuples(
   SequentialHull<D> seq;
   auto res = seq.run(pts);
   EXPECT_TRUE(res.ok);
-  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
-  for (FacetId id : res.hull) out.push_back(canonical_vertices(seq.facet(id)));
-  std::sort(out.begin(), out.end());
-  return out;
+  return canonical_facet_tuples<D>(seq, res.hull);
 }
 
 // Fires a CancelToken at the Nth crossing of a fault site — a deterministic

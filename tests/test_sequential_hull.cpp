@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "parhull/core/hull_output.h"
 #include "parhull/hull/baselines.h"
 #include "parhull/hull/sequential_hull.h"
 #include "parhull/verify/brute_force.h"
@@ -14,13 +15,12 @@
 namespace parhull {
 namespace {
 
+// Thin alias over the shared canonical-ordering helper
+// (core/hull_output.h).
 template <int D>
 std::vector<std::array<PointId, static_cast<std::size_t>(D)>> hull_tuples(
     const SequentialHull<D>& hull, const std::vector<FacetId>& ids) {
-  std::vector<std::array<PointId, static_cast<std::size_t>(D)>> out;
-  for (FacetId id : ids) out.push_back(canonical_vertices(hull.facet(id)));
-  std::sort(out.begin(), out.end());
-  return out;
+  return canonical_facet_tuples<D>(hull, ids);
 }
 
 TEST(PrepareInput, MovesIndependentPointsToFront) {
