@@ -21,6 +21,11 @@
 //   --batches N       insert the input through HullEngine in N equal
 //                     batches instead of one ParallelHull run, printing
 //                     per-epoch progress
+//   --delete-fraction F  after the last insert epoch, delete a deterministic
+//                     fraction F of the point ids (ids 0..3 always survive)
+//                     in one delete_batch epoch and emit the survivor hull.
+//                     The facet set is independent of --batches (invariant
+//                     I10) — scripts/run_benches.sh diffs two splits.
 //   --stats-json P    dump predicate counters, the supervisor attempt log,
 //                     and (with --batches) the engine epoch stats to P as
 //                     JSON (the attempt log was stderr-only text before)
@@ -115,6 +120,7 @@ int main(int argc, char** argv) {
   double watchdog_ms = 0;
   double retries = 0;
   double batches = 0;
+  double delete_fraction = 0;
   std::vector<const char*> positional;
   const char* stats_json_path = nullptr;
   bool demo = false;
@@ -130,7 +136,9 @@ int main(int argc, char** argv) {
     } else if (parse_double_flag(argc, argv, i, "--deadline-ms", deadline_ms) ||
                parse_double_flag(argc, argv, i, "--watchdog-ms", watchdog_ms) ||
                parse_double_flag(argc, argv, i, "--retries", retries) ||
-               parse_double_flag(argc, argv, i, "--batches", batches)) {
+               parse_double_flag(argc, argv, i, "--batches", batches) ||
+               parse_double_flag(argc, argv, i, "--delete-fraction",
+                                 delete_fraction)) {
       // parsed
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       std::cerr << "unknown flag " << argv[i] << "\n";
@@ -211,6 +219,38 @@ int main(int argc, char** argv) {
       }
       std::cout << "epoch " << res.epoch << ": +" << res.batch_points
                 << " points, " << res.hull_facets << " hull facets\n";
+    }
+    if (run.status == HullStatus::kOk && delete_fraction > 0) {
+      // Deterministic fraction of the id space (the same Knuth-hash subset
+      // bench_e17_deletion uses); ids 0..3 always survive so the survivor
+      // hull stays full-dimensional.
+      const std::uint64_t cut =
+          static_cast<std::uint64_t>(delete_fraction * 1e6);
+      std::vector<PointId> dels;
+      for (PointId id = 4; id < static_cast<PointId>(n); ++id) {
+        if ((static_cast<std::uint64_t>(id) * 2654435761ull) % 1000000ull <
+            cut) {
+          dels.push_back(id);
+        }
+      }
+      if (!dels.empty()) {
+        if (deadline_ms > 0) {
+          ctrl.reset();
+          ctrl.set_deadline_ms(deadline_ms);
+        }
+        auto res = engine.delete_batch(dels);
+        run.status = res.status;
+        if (!res.ok) {
+          std::cerr << "delete batch failed: " << to_string(res.status)
+                    << "\n";
+        } else {
+          std::cout << "epoch " << res.epoch << ": -" << dels.size()
+                    << " points (" << res.tombstoned_facets
+                    << " frontier facets, " << res.closure_facets
+                    << " closure), " << res.hull_facets << " hull facets, "
+                    << res.live_points << " live\n";
+        }
+      }
     }
     const EngineStats stats = engine.stats();
     auto snap = engine.snapshot();

@@ -9,6 +9,9 @@
 // Commands (one per line; '#' starts a comment):
 //   gen N SEED        submit N pseudo-random points on the unit sphere
 //   insert X Y Z      submit one point
+//   delete ID...      tombstone points by id (change propagation re-closes
+//                     the hull when deleted ids are hull vertices)
+//   update ID X Y Z   atomically delete ID and insert (X,Y,Z) in one epoch
 //   query X Y Z       locate the point: inside / boundary / outside
 //   extreme X Y Z     hull vertex maximizing the dot product with (X,Y,Z)
 //   visible X Y Z     count facets visible from the point
@@ -41,6 +44,8 @@ void print_help() {
   std::cout << "commands:\n"
                "  gen N SEED      submit N points on the unit sphere\n"
                "  insert X Y Z    submit one point\n"
+               "  delete ID...    tombstone points by id\n"
+               "  update ID X Y Z atomic delete + insert in one epoch\n"
                "  query X Y Z     inside / boundary / outside\n"
                "  extreme X Y Z   hull vertex maximizing dot(v, dir)\n"
                "  visible X Y Z   count facets visible from the point\n"
@@ -131,6 +136,53 @@ int main() {
       continue;
     }
 
+    if (cmd == "delete") {
+      std::vector<PointId> ids;
+      unsigned long id = 0;
+      while (in >> id) ids.push_back(static_cast<PointId>(id));
+      if (ids.empty()) {
+        std::cout << "usage: delete ID [ID...]\n";
+        continue;
+      }
+      auto fut = batcher.submit_delete(std::move(ids));
+      const Batcher::InsertOutcome out = fut.get();
+      if (out.ok) {
+        std::cout << "ok: " << out.deleted_points
+                  << " point(s) tombstoned at epoch " << out.epoch << "\n";
+      } else if (out.status == HullStatus::kBadInput) {
+        std::cout << "delete rejected: ids must be in range, alive, and "
+                     "distinct (docs/ERRORS.md)\n";
+      } else {
+        std::cout << "delete failed: " << to_string(out.status) << "\n";
+      }
+      continue;
+    }
+
+    if (cmd == "update") {
+      unsigned long id = 0;
+      if (!(in >> id)) {
+        std::cout << "usage: update ID X Y Z\n";
+        continue;
+      }
+      Point<3> p;
+      if (!read_point(in, p)) continue;
+      PointSet<3> moved;
+      moved.push_back(p);
+      auto fut = batcher.submit_update({static_cast<PointId>(id)},
+                                       std::move(moved));
+      const Batcher::InsertOutcome out = fut.get();
+      if (out.ok) {
+        std::cout << "ok: point " << id << " moved at epoch " << out.epoch
+                  << " (the replacement has a fresh id)\n";
+      } else if (out.status == HullStatus::kBadInput) {
+        std::cout << "update rejected: id must be in range and alive "
+                     "(docs/ERRORS.md)\n";
+      } else {
+        std::cout << "update failed: " << to_string(out.status) << "\n";
+      }
+      continue;
+    }
+
     if (cmd == "query" || cmd == "extreme" || cmd == "visible") {
       Point<3> p;
       if (!read_point(in, p)) continue;
@@ -167,10 +219,13 @@ int main() {
 
     if (cmd == "stats") {
       const EngineStats s = batcher.stats();
-      std::cout << "epoch " << s.epoch << ": " << s.points << " points, "
-                << s.hull_facets << " hull facets\n"
-                << "batches " << s.batches << " (" << s.failed_batches
-                << " failed, " << batcher.pending_requests() << " pending), "
+      std::cout << "epoch " << s.epoch << ": " << s.live_points << " live of "
+                << s.points << " points, " << s.hull_facets
+                << " hull facets\n"
+                << "batches " << s.batches << " (" << s.delete_batches
+                << " with deletions, " << s.failed_batches << " failed, "
+                << batcher.pending_requests() << " pending), "
+                << s.points_deleted_total << " points deleted, "
                 << s.facets_created_total << " facets created, "
                 << s.visibility_tests_total << " visibility tests, "
                 << s.regrows_total << " regrows\n"
@@ -184,7 +239,8 @@ int main() {
 
   batcher.close();
   const EngineStats s = batcher.stats();
-  std::cout << "final: epoch " << s.epoch << ", " << s.points << " points, "
-            << s.hull_facets << " hull facets\n";
+  std::cout << "final: epoch " << s.epoch << ", " << s.live_points
+            << " live of " << s.points << " points, " << s.hull_facets
+            << " hull facets\n";
   return 0;
 }

@@ -19,6 +19,9 @@
 #   BENCH_e13_micro.json   google-benchmark microbenchmarks
 #   BENCH_e16.json         batch-dynamic engine: insert latency vs batch
 #                          size, query throughput vs reader count
+#   BENCH_e17.json         deletion by change propagation: delete_batch vs
+#                          survivor recompute across deleted fractions,
+#                          update_batch roundtrip latency
 #
 # Exits nonzero if any benchmark fails or if any kernel mode produces a
 # facet set different from the kernel-off reference.
@@ -66,6 +69,10 @@ echo "==== E16: batch-dynamic engine ===="
 "$build_dir/bench/bench_e16_dynamic" "${full_flag[@]}" \
   --json "$out_dir/BENCH_e16.json"
 
+echo "==== E17: deletion by change propagation ===="
+"$build_dir/bench/bench_e17_deletion" "${full_flag[@]}" \
+  --json "$out_dir/BENCH_e17.json"
+
 echo "==== kernel on/off facet-set equivalence ===="
 # Same demo cloud under each kernel mode. hull_cli emits facets in
 # canonical order (core/hull_output.h), so equal facet sets mean
@@ -97,4 +104,21 @@ if ! diff "$ref" "$eng" > /dev/null; then
 fi
 echo "batched engine facet set matches the one-shot run"
 
-echo "OK: wrote $out_dir/BENCH_e3_work.json, BENCH_e5_runtime.json, BENCH_e13_micro.json, BENCH_e16.json"
+echo "==== deletion split-invariance (invariant I10) ===="
+# The survivor hull after a delete epoch must not depend on how the points
+# were inserted (invariant I10, docs/DESIGN.md): the same demo cloud with
+# the same deterministic 30% deletion, inserted in 4 vs 8 batches, must
+# produce byte-identical OFF files.
+del4="$out_dir/hull_delete_b4.off"
+del8="$out_dir/hull_delete_b8.off"
+"$cli" --deadline-ms "$deadline_ms" --demo --batches 4 --delete-fraction 0.3 \
+  "$del4" > /dev/null
+"$cli" --deadline-ms "$deadline_ms" --demo --batches 8 --delete-fraction 0.3 \
+  "$del8" > /dev/null
+if ! diff "$del4" "$del8" > /dev/null; then
+  echo "FACET-SET MISMATCH: survivor hull depends on the insert split" >&2
+  exit 1
+fi
+echo "survivor hull facet set is split-invariant"
+
+echo "OK: wrote $out_dir/BENCH_e3_work.json, BENCH_e5_runtime.json, BENCH_e13_micro.json, BENCH_e16.json, BENCH_e17.json"

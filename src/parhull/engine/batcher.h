@@ -1,14 +1,18 @@
 // Request batcher: the concurrency front-end of the batch-dynamic engine
 // (docs/ENGINE.md).
 //
-// Any number of producer threads submit() point batches; a single writer
-// thread drains the queue and coalesces EVERYTHING pending into one
-// HullEngine::insert_batch call per epoch — under load the batch size
-// grows automatically and the per-point publication cost shrinks, the
-// classic group-commit shape. Readers never enter the queue at all: they
-// take snapshot() (a lock-free acquire load) and run the engine/query.h
-// kernels against it, so queries proceed at full speed while a batch is
-// being inserted.
+// Any number of producer threads submit() point batches, submit_delete()
+// id batches, or submit_update() atomic delete+insert pairs; a single
+// writer thread drains the queue and coalesces EVERYTHING pending into one
+// HullEngine::insert_batch / update_batch call per epoch — under load the
+// batch size grows automatically and the per-point publication cost
+// shrinks, the classic group-commit shape. Delete ids are validated per
+// request against the current snapshot (and against ids other requests of
+// the same round already claimed): an invalid request resolves kBadInput
+// immediately and is excluded, so one bad id never poisons the coalesced
+// batch. Readers never enter the queue at all: they take snapshot() (a
+// lock-free acquire load) and run the engine/query.h kernels against it,
+// so queries proceed at full speed while a batch is being inserted.
 //
 // Each coalesced batch runs under a Supervisor (parallel/supervisor.h):
 // per-attempt deadline, stall watchdog, and seeded-backoff retries of
@@ -120,7 +124,8 @@ class RequestBatcher {
     HullStatus status = HullStatus::kCancelled;
     bool ok = false;             // status == kOk: the points are in `epoch`
     std::uint64_t epoch = 0;     // epoch the coalesced batch published
-    std::size_t batch_points = 0;  // size of the coalesced batch
+    std::size_t batch_points = 0;    // points in the coalesced batch
+    std::size_t deleted_points = 0;  // tombstones in the coalesced batch
   };
 
   explicit RequestBatcher(Options opts = {})
@@ -140,11 +145,28 @@ class RequestBatcher {
   std::future<InsertOutcome> submit(PointSet<D> points) {
     Request req;
     req.points = std::move(points);
-    std::future<InsertOutcome> fut = req.promise.get_future();
-    if (!queue_.push(std::move(req))) {
-      req.promise.set_value(InsertOutcome{});  // closed: kCancelled default
-    }
-    return fut;
+    return enqueue(std::move(req));
+  }
+
+  // Enqueue point deletions for the next batch (HullEngine::delete_batch
+  // semantics). Ids are validated by the writer against the snapshot the
+  // coalesced batch starts from: out-of-range, already-deleted, or
+  // duplicate ids (including ids another request of the same round claims)
+  // resolve THIS request with kBadInput without touching the hull.
+  std::future<InsertOutcome> submit_delete(std::vector<PointId> deletions) {
+    Request req;
+    req.deletions = std::move(deletions);
+    return enqueue(std::move(req));
+  }
+
+  // Atomic delete + insert (HullEngine::update_batch semantics): one epoch
+  // in which `deletions` disappear and `points` join the hull.
+  std::future<InsertOutcome> submit_update(std::vector<PointId> deletions,
+                                           PointSet<D> points) {
+    Request req;
+    req.deletions = std::move(deletions);
+    req.points = std::move(points);
+    return enqueue(std::move(req));
   }
 
   // Freshest published snapshot (see HullEngine::snapshot) — safe from any
@@ -178,17 +200,55 @@ class RequestBatcher {
  private:
   struct Request {
     PointSet<D> points;
+    std::vector<PointId> deletions;
     std::promise<InsertOutcome> promise;
   };
+
+  std::future<InsertOutcome> enqueue(Request req) {
+    std::future<InsertOutcome> fut = req.promise.get_future();
+    if (!queue_.push(std::move(req))) {
+      req.promise.set_value(InsertOutcome{});  // closed: kCancelled default
+    }
+    return fut;
+  }
 
   void writer_loop() {
     std::vector<Request> reqs;
     while (queue_.wait_drain(reqs)) {
-      PointSet<D> batch;
-      for (const Request& r : reqs) {
-        batch.insert(batch.end(), r.points.begin(), r.points.end());
-      }
       auto snap = engine_.snapshot();
+      // Validate delete requests against the snapshot this round starts
+      // from; `claimed` catches two requests deleting the same id. A
+      // request is accepted or rejected WHOLE (update = atomic).
+      std::vector<std::uint8_t> claimed(
+          snap != nullptr ? snap->point_count() : 0, 0);
+      PointSet<D> batch;
+      std::vector<PointId> deletions;
+      std::vector<Request*> accepted;
+      for (Request& r : reqs) {
+        bool valid = true;
+        for (PointId id : r.deletions) {
+          if (snap == nullptr || id >= claimed.size() ||
+              snap->is_deleted(id) || claimed[id] != 0) {
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) {
+          InsertOutcome bad;
+          bad.status = HullStatus::kBadInput;
+          r.promise.set_value(bad);
+          continue;
+        }
+        for (PointId id : r.deletions) claimed[id] = 1;
+        deletions.insert(deletions.end(), r.deletions.begin(),
+                         r.deletions.end());
+        batch.insert(batch.end(), r.points.begin(), r.points.end());
+        accepted.push_back(&r);
+      }
+      if (accepted.empty()) {
+        reqs.clear();
+        continue;
+      }
       const std::size_t seed_facets = snap ? snap->facet_count() : 0;
       const std::size_t auto_keys =
           opts_.engine.expected_keys != 0
@@ -209,7 +269,9 @@ class RequestBatcher {
         if (attempt > 0 && last == HullStatus::kStalled) {
           limit.emplace(std::max(1, Scheduler::get().num_workers() / 2));
         }
-        auto res = engine_.insert_batch(batch);
+        auto res = deletions.empty()
+                       ? engine_.insert_batch(batch)
+                       : engine_.update_batch(deletions, batch);
         last = res.status;
         return res;
       });
@@ -223,8 +285,9 @@ class RequestBatcher {
       out.ok = sup.ok;
       out.epoch = sup.result.epoch;
       out.batch_points = batch.size();
+      out.deleted_points = deletions.size();
       PARHULL_SCHEDULE_POINT();  // epoch published, futures not yet resolved
-      for (Request& r : reqs) r.promise.set_value(out);
+      for (Request* r : accepted) r->promise.set_value(out);
       reqs.clear();
     }
   }

@@ -14,7 +14,12 @@ void print_engine_stats_json(std::ostream& os, const EngineStats& stats,
      << pad << "  \"epoch\": " << stats.epoch << ",\n"
      << pad << "  \"batches\": " << stats.batches << ",\n"
      << pad << "  \"failed_batches\": " << stats.failed_batches << ",\n"
+     << pad << "  \"delete_batches\": " << stats.delete_batches << ",\n"
      << pad << "  \"points\": " << stats.points << ",\n"
+     << pad << "  \"live_points\": " << stats.live_points << ",\n"
+     << pad << "  \"points_deleted_total\": " << stats.points_deleted_total
+     << ",\n"
+     << pad << "  \"full_rebuilds\": " << stats.full_rebuilds << ",\n"
      << pad << "  \"hull_facets\": " << stats.hull_facets << ",\n"
      << pad << "  \"facets_created_total\": " << stats.facets_created_total
      << ",\n"
@@ -22,6 +27,8 @@ void print_engine_stats_json(std::ostream& os, const EngineStats& stats,
      << ",\n"
      << pad << "  \"regrows_total\": " << stats.regrows_total << ",\n"
      << pad << "  \"last_batch_points\": " << stats.last_batch_points << ",\n"
+     << pad << "  \"last_deleted_points\": " << stats.last_deleted_points
+     << ",\n"
      << pad << "  \"last_pool_size\": " << stats.last_pool_size << ",\n"
      << pad << "  \"last_batch_ms\": " << stats.last_batch_ms << "\n"
      << pad << "}";

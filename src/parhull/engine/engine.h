@@ -25,6 +25,28 @@
 // facet set identical to a one-shot ParallelHull run on the full set
 // (tests/test_engine.cpp verifies against a SequentialHull recompute too).
 //
+// delete_batch / update_batch extend the same trick to removals by CHANGE
+// PROPAGATION instead of recomputation. Deleting points that are not hull
+// vertices only flips tombstone bits — every facet certificate survives.
+// When hull vertices die, the facets incident to them (the deleted points'
+// conflict frontier — every facet whose certificate names a dead vertex)
+// are tombstoned, and the hole is re-closed from K = the surviving hull
+// vertices: conv(K) is rebuilt (a hull computation on |K| << n points),
+// its facets split into SURVIVORS (tuple present in the old snapshot —
+// cached hyperplane reused, provably conflict-free over old points) and
+// CLOSURE facets (new — filtered against the surviving non-vertex points,
+// the only candidates that can resurface, since anything strictly inside
+// conv(K) is inside the new hull too). By the Clarkson–Shor invariant that
+// state is exactly the one-shot state "K inserted, everything else
+// pending", so re-seeding ProcessRidge on the ridges of conv(K) and
+// running to quiescence yields the hull of the survivors — byte-identical
+// in canonical order to a fresh run (invariant I10, DESIGN.md;
+// tests/test_engine_dynamic.cpp checks it differentially). If the
+// survivors cannot support conv(K) (fewer than D+1 alive vertices, or a
+// degenerate K), the engine falls back to a full re-seed from a fresh
+// simplex of the surviving points — same machinery, seeded like a first
+// batch (BatchResult::full_rebuild reports this).
+//
 // Failure semantics follow the driver contract of docs/ERRORS.md: a batch
 // either commits (new epoch) or rolls back completely — the previous epoch
 // stays published, the point sequence is untouched, and the engine remains
@@ -32,9 +54,9 @@
 // ParallelHull; a RunController in Params adds per-batch deadlines and
 // cancellation; the Supervisor wrapping lives in engine/batcher.h.
 //
-// Concurrency contract: insert_batch is SINGLE-WRITER (the RequestBatcher
-// serializes it); snapshot(), epoch() and stats() are safe from any thread
-// at any time.
+// Concurrency contract: insert_batch/delete_batch/update_batch are
+// SINGLE-WRITER (the RequestBatcher serializes them); snapshot(), epoch()
+// and stats() are safe from any thread at any time.
 #pragma once
 
 #include <algorithm>
@@ -58,6 +80,7 @@
 #include "parhull/engine/snapshot.h"
 #include "parhull/geometry/plane.h"
 #include "parhull/hull/hull_common.h"
+#include "parhull/hull/sequential_hull.h"
 #include "parhull/parallel/parallel_for.h"
 #include "parhull/parallel/primitives.h"
 #include "parhull/testing/fault_point.h"
@@ -167,6 +190,12 @@ class HullEngine {
     std::uint32_t max_round = 0;
     std::uint32_t regrows = 0;
     bool used_chained_fallback = false;
+    // Deletion instrumentation (delete_batch / update_batch only).
+    std::size_t deleted_points = 0;     // tombstones added by this batch
+    std::size_t live_points = 0;        // live points after the batch
+    std::size_t tombstoned_facets = 0;  // hole: base facets losing a vertex
+    std::size_t closure_facets = 0;     // conv(K) facets not in the base
+    bool full_rebuild = false;          // fell back to a fresh-simplex seed
   };
 
   explicit HullEngine(Params params = {}) : params_(params) {}
@@ -242,46 +271,12 @@ class HullEngine {
             : 4 * static_cast<std::size_t>(D) * (seed_facets + batch.size()) +
                   64;
 
-    std::shared_ptr<HullSnapshot<D>> built;
-    for (int attempt = 0;; ++attempt) {
-      // Between regrow attempts: don't start another expensive attempt if
-      // the batch was cancelled or its deadline expired during the last one.
-      if (PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
-        res.status = params_.controller->stop_status();
-        res.regrows = static_cast<std::uint32_t>(attempt);
-        reset_working_state();
-        return fail_batch(res);
-      }
-      reset_working_state();
-      map_ = make_map<MapT<D>>(expected);
-      if (map_ == nullptr || map_->failed()) {
-        res.status = HullStatus::kCapacityExceeded;
-      } else {
-        built = run_attempt(*pts, first_new, bounds, bounds_grew, interior,
-                            base.get(), *map_, res);
-      }
-      res.regrows = static_cast<std::uint32_t>(attempt);
-      if (res.status != HullStatus::kCapacityExceeded ||
-          attempt >= params_.max_regrows) {
-        break;
-      }
-      if (expected > std::numeric_limits<std::size_t>::max() / 2) break;
-      expected *= 2;
-    }
-    if (res.status == HullStatus::kCapacityExceeded &&
-        params_.chained_fallback &&
-        !std::is_same_v<MapT<D>, RidgeMapChained<D>>) {
-      const std::uint32_t regrows = res.regrows;
-      reset_working_state();
-      fallback_map_ = make_map<RidgeMapChained<D>>(expected);
-      if (fallback_map_ != nullptr) {
-        built = run_attempt(*pts, first_new, bounds, bounds_grew, interior,
-                            base.get(), *fallback_map_, res);
-        res.regrows = regrows;
-        res.used_chained_fallback = true;
-      }
-    }
-    if (res.status != HullStatus::kOk) {
+    std::shared_ptr<HullSnapshot<D>> built =
+        attempt_loop(expected, res, [&](auto& map) {
+          return run_attempt(*pts, first_new, bounds, bounds_grew, interior,
+                             base.get(), map, res);
+        });
+    if (built == nullptr) {
       reset_working_state();
       return fail_batch(res);
     }
@@ -289,36 +284,122 @@ class HullEngine {
     // --- Commit: stamp the epoch and publish. Everything the snapshot
     // references is written before the cell's release unlock; readers pair
     // with its acquire lock, so a reader can never observe a half-built
-    // epoch.
+    // epoch. A batch that only appends shares its base's tombstone mask.
     built->epoch = (base != nullptr ? base->epoch : 0) + 1;
     built->points = pts;
+    built->deleted = base != nullptr ? base->deleted : nullptr;
+    built->live_points =
+        (base != nullptr ? base->live_points : 0) + batch.size();
     res.epoch = built->epoch;
     res.hull_facets = built->facets.size();
+    res.live_points = built->live_points;
     res.ok = true;
-    const std::uint64_t pool_size = pool_ != nullptr ? pool_->size() : 0;
-    // The whole per-epoch working state (pool of seed copies + created
-    // facets, conflict arena, ridge map) dies here: old epochs keep only
-    // their snapshot, so dead facets never accumulate across batches.
-    reset_working_state();
-    PARHULL_SCHEDULE_POINT();  // snapshot built, not yet visible to readers
-    snapshot_.store(std::shared_ptr<const HullSnapshot<D>>(std::move(built)));
-    const double elapsed =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.epoch = res.epoch;
-      stats_.batches += 1;
-      stats_.points = pts->size();
-      stats_.hull_facets = res.hull_facets;
-      stats_.facets_created_total += res.facets_created;
-      stats_.visibility_tests_total += res.visibility_tests;
-      stats_.regrows_total += res.regrows;
-      stats_.last_batch_points = res.batch_points;
-      stats_.last_pool_size = pool_size;
-      stats_.last_batch_ms = elapsed;
+    commit_snapshot(std::move(built), res, start);
+    return res;
+  }
+
+  // Delete a batch of points by id, publishing a new epoch on success. Ids
+  // must be in range, alive, and mutually distinct (kBadInput otherwise —
+  // nothing is deleted). Deleting points that are vertices of the current
+  // hull re-closes the hole by change propagation (file comment); deleting
+  // interior points is a tombstone-only commit. Requires a published
+  // snapshot. Rollback-on-failure exactly as insert_batch.
+  BatchResult delete_batch(const std::vector<PointId>& deletions) {
+    return update_batch(deletions, PointSet<D>());
+  }
+
+  // Atomic delete + append: one epoch in which `deletions` disappear and
+  // `moved` joins the point sequence (a point move is delete_batch of the
+  // old id + insert of the new position, without readers ever seeing the
+  // intermediate hull). With no deletions this is insert_batch.
+  BatchResult update_batch(const std::vector<PointId>& deletions,
+                           const PointSet<D>& moved) {
+    if (deletions.empty()) return insert_batch(moved);
+    const auto start = std::chrono::steady_clock::now();
+    BatchResult res;
+    res.batch_points = moved.size();
+    std::shared_ptr<const HullSnapshot<D>> base = snapshot();
+    if (base == nullptr) {
+      res.status = HullStatus::kBadInput;  // no ids exist before epoch 1
+      return fail_batch(res);
     }
+    if (!all_finite<D>(moved)) {
+      res.status = HullStatus::kBadInput;
+      return fail_batch(res);
+    }
+    const std::size_t old_n = base->points->size();
+    // New tombstone mask: copy-extend the base's, then validate + mark the
+    // batch (duplicates within the batch hit the already-marked check).
+    auto mask = std::make_shared<std::vector<std::uint8_t>>(old_n, 0);
+    if (base->deleted != nullptr) {
+      std::copy(base->deleted->begin(), base->deleted->end(), mask->begin());
+    }
+    for (PointId id : deletions) {
+      if (id >= old_n || (*mask)[id] != 0) {
+        res.status = HullStatus::kBadInput;
+        return fail_batch(res);
+      }
+      (*mask)[id] = 1;
+    }
+    res.deleted_points = deletions.size();
+
+    // Candidate point sequence: unchanged (and shared) for pure deletes,
+    // copy-on-write append otherwise — a failed batch drops the copy.
+    std::shared_ptr<const PointSet<D>> pts = base->points;
+    if (!moved.empty()) {
+      auto copy = std::make_shared<PointSet<D>>(*base->points);
+      copy->insert(copy->end(), moved.begin(), moved.end());
+      pts = std::move(copy);
+    }
+    const PointId first_new = static_cast<PointId>(old_n);
+    const std::size_t n = pts->size();
+
+    // Bounds only ever widen (deleted coordinates keep their contribution:
+    // plane error bounds stay conservative, and surviving cached planes
+    // stay valid whenever the bounds are unchanged).
+    const CoordBounds<D> bounds = moved.empty()
+        ? base->bounds
+        : engine_detail::merge_bounds<D>(base->bounds,
+                                         coord_bounds<D>(moved));
+    const bool bounds_grew =
+        !engine_detail::bounds_equal<D>(bounds, base->bounds);
+
+    MutationPlan plan;
+    res.status = build_mutation_plan(*pts, first_new, n, *base, *mask, plan);
+    if (res.status != HullStatus::kOk) return fail_batch(res);
+    res.tombstoned_facets = plan.tombstoned_facets;
+    res.closure_facets = plan.closure_facets;
+    res.full_rebuild = plan.full_rebuild;
+
+    std::size_t expected =
+        params_.expected_keys != 0
+            ? params_.expected_keys
+            : 4 * static_cast<std::size_t>(D) *
+                      (plan.seeds.size() + moved.size() +
+                       (plan.full_rebuild ? plan.candidates.size()
+                                          : 4 * plan.tombstoned_facets)) +
+                  64;
+
+    std::shared_ptr<HullSnapshot<D>> built =
+        attempt_loop(expected, res, [&](auto& map) {
+          return run_mutation_attempt(*pts, first_new, n, bounds, bounds_grew,
+                                      *base, plan, map, res);
+        });
+    if (built == nullptr) {
+      reset_working_state();
+      return fail_batch(res);
+    }
+
+    built->epoch = base->epoch + 1;
+    built->points = pts;
+    built->deleted = mask;
+    built->live_points =
+        base->live_points - deletions.size() + moved.size();
+    res.epoch = built->epoch;
+    res.hull_facets = built->facets.size();
+    res.live_points = built->live_points;
+    res.ok = true;
+    commit_snapshot(std::move(built), res, start);
     return res;
   }
 
@@ -483,23 +564,33 @@ class HullEngine {
     parallel_for(0, seeds.size(), [&](std::size_t s) {
       process_ridge(map, seeds[s].t1, seeds[s].r, seeds[s].t2, 1);
     }, 1);
+    return finish_attempt(map, res,
+                          base == nullptr
+                              ? 0
+                              : static_cast<std::uint64_t>(seed_count),
+                          bounds);
+  }
 
-    // --- Fold failures (same final-poll protocol as ParallelHull: a stop
-    // that landed in the last filter with no ProcessRidge left to observe
-    // it still fails the attempt, so truncated conflict lists can never
-    // influence a committed epoch).
+  // Shared attempt tail: fold failures (same final-poll protocol as
+  // ParallelHull — a stop that landed in the last filter with no
+  // ProcessRidge left to observe it still fails the attempt, so truncated
+  // conflict lists can never influence a committed epoch), account, and
+  // materialize the unpublished snapshot. `seed_copies` is how many pool
+  // entries are verbatim copies of the previous epoch's facets — everything
+  // else counts as created this epoch (the first batch's initial simplex
+  // and a mutation's closure/rebuild facets count as created, matching
+  // ParallelHull's accounting).
+  template <class Map>
+  std::shared_ptr<HullSnapshot<D>> finish_attempt(Map& map, BatchResult& res,
+                                                  std::uint64_t seed_copies,
+                                                  const CoordBounds<D>& bounds) {
     if (map.failed()) fail(map.failure());
     if (!failed() &&
         PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
       fail(params_.controller->stop_status());
     }
     res.visibility_tests = tests_.total();
-    // Facets created this epoch: everything allocated except the seed
-    // copies of the previous epoch's survivors (the first batch's initial
-    // simplex counts as created, matching ParallelHull's accounting).
-    res.facets_created =
-        pool_->size() -
-        (base == nullptr ? 0 : static_cast<std::uint64_t>(seed_count));
+    res.facets_created = pool_->size() - seed_copies;
     res.dependence_depth = max_depth_.load(std::memory_order_relaxed);
     res.max_round = max_round_.load(std::memory_order_relaxed);
     if (failed()) {
@@ -515,6 +606,411 @@ class HullEngine {
     }
     res.status = HullStatus::kOk;
     return built;
+  }
+
+  // Regrow/fallback driver shared by insert and mutation batches: run one
+  // attempt per ridge-table size, doubling expected_keys while the attempt
+  // reports kCapacityExceeded, then once more on the unbounded chained
+  // backend. Returns the built (unpublished) snapshot, or null with
+  // res.status set to the terminal failure.
+  template <class RunFn>
+  std::shared_ptr<HullSnapshot<D>> attempt_loop(std::size_t expected,
+                                                BatchResult& res,
+                                                RunFn&& run) {
+    std::shared_ptr<HullSnapshot<D>> built;
+    for (int attempt = 0;; ++attempt) {
+      // Between regrow attempts: don't start another expensive attempt if
+      // the batch was cancelled or its deadline expired during the last one.
+      if (PARHULL_RUN_POLL(params_.controller, Scheduler::worker_id())) {
+        res.status = params_.controller->stop_status();
+        res.regrows = static_cast<std::uint32_t>(attempt);
+        reset_working_state();
+        return nullptr;
+      }
+      reset_working_state();
+      map_ = make_map<MapT<D>>(expected);
+      if (map_ == nullptr || map_->failed()) {
+        res.status = HullStatus::kCapacityExceeded;
+      } else {
+        built = run(*map_);
+      }
+      res.regrows = static_cast<std::uint32_t>(attempt);
+      if (res.status != HullStatus::kCapacityExceeded ||
+          attempt >= params_.max_regrows) {
+        break;
+      }
+      if (expected > std::numeric_limits<std::size_t>::max() / 2) break;
+      expected *= 2;
+    }
+    if (res.status == HullStatus::kCapacityExceeded &&
+        params_.chained_fallback &&
+        !std::is_same_v<MapT<D>, RidgeMapChained<D>>) {
+      const std::uint32_t regrows = res.regrows;
+      reset_working_state();
+      fallback_map_ = make_map<RidgeMapChained<D>>(expected);
+      if (fallback_map_ != nullptr) {
+        built = run(*fallback_map_);
+        res.regrows = regrows;
+        res.used_chained_fallback = true;
+      }
+    }
+    return res.status == HullStatus::kOk ? built : nullptr;
+  }
+
+  // Publish a built epoch and fold its result into the aggregate stats.
+  // The whole per-epoch working state (pool of seed copies + created
+  // facets, conflict arena, ridge map) dies here: old epochs keep only
+  // their snapshot, so dead facets never accumulate across batches.
+  void commit_snapshot(std::shared_ptr<HullSnapshot<D>> built,
+                       const BatchResult& res,
+                       std::chrono::steady_clock::time_point start) {
+    const std::uint64_t pool_size = pool_ != nullptr ? pool_->size() : 0;
+    const std::uint64_t total_points = built->points->size();
+    const std::uint64_t live_points = built->live_points;
+    reset_working_state();
+    PARHULL_SCHEDULE_POINT();  // snapshot built, not yet visible to readers
+    snapshot_.store(std::shared_ptr<const HullSnapshot<D>>(std::move(built)));
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.epoch = res.epoch;
+    stats_.batches += 1;
+    stats_.points = total_points;
+    stats_.live_points = live_points;
+    stats_.hull_facets = res.hull_facets;
+    stats_.facets_created_total += res.facets_created;
+    stats_.visibility_tests_total += res.visibility_tests;
+    stats_.regrows_total += res.regrows;
+    stats_.last_batch_points = res.batch_points;
+    stats_.last_deleted_points = res.deleted_points;
+    stats_.last_pool_size = pool_size;
+    stats_.last_batch_ms = elapsed;
+    if (res.deleted_points != 0) {
+      stats_.delete_batches += 1;
+      stats_.points_deleted_total += res.deleted_points;
+      if (res.full_rebuild) stats_.full_rebuilds += 1;
+    }
+  }
+
+  // Seed plan of a delete/update batch, built once per batch (independent
+  // of ridge-table capacity, so regrow attempts reuse it). The seed facets
+  // form a closed hull — conv(K) on the surviving hull vertices, or a
+  // fresh simplex of live points — and by the Clarkson–Shor invariant the
+  // state "seeds + their filtered conflict lists" is a valid intermediate
+  // state of a one-shot run over the live points, so ProcessRidge driven
+  // to quiescence from the seed ridges yields the hull of the survivors.
+  struct MutationPlan {
+    static constexpr std::uint32_t kNewFacet = 0xFFFFFFFFu;
+    struct Seed {
+      std::array<PointId, static_cast<std::size_t>(D)> vertices{};  // oriented
+      // Index of the identical base facet (cached hyperplane reused, only
+      // the appended range filtered), or kNewFacet for a closure/rebuild
+      // facet (fresh plane, full candidate filter).
+      std::uint32_t base_index = kNewFacet;
+    };
+    std::vector<Seed> seeds;
+    // Ascending ids every kNewFacet seed filters: live points that were not
+    // hull vertices, then the whole appended range. Live former hull
+    // vertices are already inserted (they are the seed vertices), and
+    // points strictly inside conv(K) stay interior forever — the filter
+    // proves that per candidate.
+    std::vector<PointId> candidates;
+    Point<D> interior{};
+    std::size_t tombstoned_facets = 0;  // base facets naming a dead vertex
+    std::size_t closure_facets = 0;     // conv(K) facets absent from base
+    std::size_t surviving_seeds = 0;    // seeds with base_index != kNewFacet
+    bool full_rebuild = false;
+  };
+
+  // Build the seed plan: collect the deleted points' conflict frontier,
+  // derive K, rebuild conv(K) (SequentialHull on the compacted survivors),
+  // and classify its facets against the base snapshot. Any non-kOk return
+  // fails the batch before an attempt starts.
+  HullStatus build_mutation_plan(const PointSet<D>& pts, PointId first_new,
+                                 std::size_t n, const HullSnapshot<D>& base,
+                                 const std::vector<std::uint8_t>& mask,
+                                 MutationPlan& plan) {
+    const std::size_t old_n = first_new;
+    // Frontier = base facets whose certificate names a dead vertex. Live
+    // vertices of ALL base facets (frontier included — a vertex can lose
+    // every incident facet and still bound the new hull) form K.
+    std::vector<std::uint8_t> is_vertex(old_n, 0);
+    std::size_t holes = 0;
+    for (const SnapshotFacet<D>& f : base.facets) {
+      bool hit = false;
+      for (PointId v : f.vertices) {
+        if (mask[v] != 0) {
+          hit = true;
+        } else {
+          is_vertex[v] = 1;
+        }
+      }
+      if (hit) ++holes;
+    }
+    plan.tombstoned_facets = holes;
+
+    if (holes == 0) {
+      // No hull vertex died: every facet certificate survives and the hull
+      // is unchanged. Seed the whole base; only appended points conflict.
+      plan.interior = base.interior;
+      plan.seeds.resize(base.facets.size());
+      for (std::size_t i = 0; i < base.facets.size(); ++i) {
+        plan.seeds[i].vertices = base.facets[i].vertices;
+        plan.seeds[i].base_index = static_cast<std::uint32_t>(i);
+      }
+      plan.surviving_seeds = plan.seeds.size();
+      return HullStatus::kOk;
+    }
+
+    // --- Change propagation: conv(K) on the compacted surviving vertices.
+    std::vector<PointId> korig;
+    for (PointId v = 0; v < static_cast<PointId>(old_n); ++v) {
+      if (is_vertex[v] != 0) korig.push_back(v);
+    }
+    PointSet<D> kpts;
+    kpts.reserve(korig.size());
+    for (PointId v : korig) kpts.push_back(pts[v]);
+    bool k_ok = kpts.size() >= static_cast<std::size_t>(D) + 1 &&
+                prepare_input_tracked<D>(kpts, korig);
+    SequentialHull<D> khull;
+    typename SequentialHull<D>::Result kres;
+    if (k_ok) {
+      kres = khull.run(kpts, params_.controller);
+      if (!kres.ok) {
+        if (kres.status != HullStatus::kDegenerateInput) return kres.status;
+        k_ok = false;  // degenerate K: fall through to the full re-seed
+      }
+    }
+    if (k_ok) {
+      // Interior reference: centroid of ALL K points — a convex combination
+      // with every weight positive over a set containing D+1 affinely
+      // independent points (prepare proved that), so strictly inside
+      // conv(K), hence strictly inside every later hull of this epoch.
+      // Using all of K rather than the first D+1 also centers the
+      // inscribed-ball candidate prune (run_mutation_attempt): a centroid
+      // from one corner of K would leave the ball — and the prune —
+      // degenerately small.
+      plan.interior = centroid<D>(kpts.data(), kpts.size());
+      const auto base_tuples = canonical_snapshot_tuples<D>(base);
+      for (FacetId fid : kres.hull) {
+        const Facet<D>& kf = khull.facet(fid);
+        typename MutationPlan::Seed s;
+        for (int v = 0; v < D; ++v) {
+          s.vertices[static_cast<std::size_t>(v)] =
+              korig[kf.vertices[static_cast<std::size_t>(v)]];
+        }
+        std::sort(s.vertices.begin(), s.vertices.end());
+        auto it = std::lower_bound(base_tuples.begin(), base_tuples.end(),
+                                   s.vertices);
+        if (it != base_tuples.end() && *it == s.vertices) {
+          // Facet of the old hull: keep its orientation + cached plane.
+          // Old live points are all beneath it, so only the appended
+          // range needs filtering.
+          s.base_index =
+              static_cast<std::uint32_t>(it - base_tuples.begin());
+          s.vertices = base.facets[s.base_index].vertices;
+          ++plan.surviving_seeds;
+        } else {
+          // Closure facet sealing the hole left by the frontier.
+          if (!orient_outward<D>(pts, s.vertices, plan.interior)) {
+            return HullStatus::kDegenerateInput;
+          }
+          ++plan.closure_facets;
+        }
+        plan.seeds.push_back(s);
+      }
+      plan.candidates.reserve(old_n - korig.size() + (n - old_n));
+      for (PointId v = 0; v < static_cast<PointId>(old_n); ++v) {
+        if (mask[v] == 0 && is_vertex[v] == 0) plan.candidates.push_back(v);
+      }
+      for (PointId v = first_new; v < static_cast<PointId>(n); ++v) {
+        plan.candidates.push_back(v);
+      }
+      return HullStatus::kOk;
+    }
+
+    // --- Full re-seed: the survivors no longer support conv(K) (every
+    // hull vertex died, or K went degenerate). Seed a fresh simplex of
+    // live points — first-batch machinery with arbitrary ids.
+    plan.full_rebuild = true;
+    std::vector<PointId> alive;
+    for (PointId v = 0; v < static_cast<PointId>(old_n); ++v) {
+      if (mask[v] == 0) alive.push_back(v);
+    }
+    for (PointId v = first_new; v < static_cast<PointId>(n); ++v) {
+      alive.push_back(v);
+    }
+    std::vector<PointId> simplex;
+    std::vector<const Point<D>*> probe;
+    for (PointId v : alive) {
+      if (simplex.size() == static_cast<std::size_t>(D) + 1) break;
+      probe.clear();
+      for (PointId c : simplex) probe.push_back(&pts[c]);
+      probe.push_back(&pts[v]);
+      if (affinely_independent<D>(probe)) simplex.push_back(v);
+    }
+    if (simplex.size() < static_cast<std::size_t>(D) + 1) {
+      return HullStatus::kDegenerateInput;  // covers the all-deleted case
+    }
+    std::array<Point<D>, static_cast<std::size_t>(D) + 1> simplex_pts{};
+    for (int k = 0; k <= D; ++k) {
+      simplex_pts[static_cast<std::size_t>(k)] =
+          pts[simplex[static_cast<std::size_t>(k)]];
+    }
+    plan.interior = centroid<D>(simplex_pts.data(), D + 1);
+    for (int k = 0; k <= D; ++k) {
+      typename MutationPlan::Seed s;
+      int out = 0;
+      for (int v = 0; v <= D; ++v) {
+        if (v != k) {
+          s.vertices[static_cast<std::size_t>(out++)] =
+              simplex[static_cast<std::size_t>(v)];
+        }
+      }
+      if (!orient_outward<D>(pts, s.vertices, plan.interior)) {
+        return HullStatus::kDegenerateInput;
+      }
+      plan.seeds.push_back(s);
+    }
+    for (PointId v : alive) {
+      bool used = false;
+      for (PointId c : simplex) used = used || c == v;
+      if (!used) plan.candidates.push_back(v);
+    }
+    return HullStatus::kOk;
+  }
+
+  // One attempt at a delete/update batch: seed the pool from the plan,
+  // filter, pair the seed ridges by key (the plan's facets have no wired
+  // adjacency yet), run ProcessRidge to quiescence, build the snapshot.
+  template <class Map>
+  std::shared_ptr<HullSnapshot<D>> run_mutation_attempt(
+      const PointSet<D>& pts, PointId first_new, std::size_t n,
+      const CoordBounds<D>& bounds, bool bounds_grew,
+      const HullSnapshot<D>& base, const MutationPlan& plan, Map& map,
+      BatchResult& res) {
+    res.facets_created = 0;
+    res.visibility_tests = 0;
+    pts_ = &pts;
+    pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
+    const int workers = Scheduler::get().num_workers();
+    arena_ = std::make_unique<ConflictArena>(workers);
+    bounds_ = bounds;
+    interior_ = plan.interior;
+    tests_.resize(workers);
+
+    const std::size_t seed_count = plan.seeds.size();
+    for (std::size_t i = 0; i < seed_count; ++i) {
+      FacetId id = 0;
+      if (!pool_->try_allocate(id)) {
+        res.status = HullStatus::kPoolExhausted;
+        return nullptr;
+      }
+      PARHULL_DCHECK(id == static_cast<FacetId>(i));
+      Facet<D>& f = (*pool_)[id];
+      const typename MutationPlan::Seed& s = plan.seeds[i];
+      f.vertices = s.vertices;
+      f.plane = (s.base_index != MutationPlan::kNewFacet && !bounds_grew)
+                    ? base.facets[s.base_index].plane
+                    : make_plane<D>(pts, f.vertices, bounds_);
+      f.depth = 0;
+      f.round = 0;
+    }
+    // Inscribed-ball prune for the closure-facet candidate sweep. Every
+    // kNewFacet seed filters the whole candidate list, so a delete's cost
+    // is closure_facets x candidates — dominated by deep-interior points
+    // that no facet can possibly see. A candidate q is certifiably
+    // invisible from closure facet f when S_f(q) < -err_f; since S_f is
+    // affine, |q - interior| < (-S_f(interior) - 2 err_f) / |n_f| implies
+    // exactly that (one err absorbs the evaluation at the interior point,
+    // the other keeps the verdict outside f's uncertainty band). Candidates
+    // inside the ball of the minimum such radius are dropped ONCE, with
+    // relative margins dominating every rounding step, so the surviving
+    // conflict lists — and therefore the committed facet set — are
+    // identical to the unpruned run's.
+    const PointId* cand = plan.candidates.data();
+    std::size_t cand_n = plan.candidates.size();
+    std::vector<PointId> pruned;
+    if (cand_n != 0) {
+      double r = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < seed_count; ++i) {
+        if (plan.seeds[i].base_index != MutationPlan::kNewFacet) continue;
+        const Plane<D>& pl = (*pool_)[static_cast<FacetId>(i)].plane;
+        double s = -pl.offset;
+        double n2 = 0;
+        for (int j = 0; j < D; ++j) {
+          s += pl.normal[static_cast<std::size_t>(j)] * plan.interior[j];
+          n2 += pl.normal[static_cast<std::size_t>(j)] *
+                pl.normal[static_cast<std::size_t>(j)];
+        }
+        const double nn = std::sqrt(n2) * (1 + 1e-12);
+        r = std::min(r, (-s - 2 * pl.err) / nn);
+      }
+      if (std::isfinite(r) && r > 0) {
+        const double rs = r * (1 - 1e-9);
+        const double r2_safe = rs * rs;
+        pruned.reserve(cand_n);
+        for (std::size_t c = 0; c < cand_n; ++c) {
+          const Point<D>& q = pts[plan.candidates[c]];
+          double d2 = 0;
+          for (int j = 0; j < D; ++j) {
+            const double dj = q[j] - plan.interior[j];
+            d2 += dj * dj;
+          }
+          if (!(d2 * (1 + 1e-9) < r2_safe)) {
+            pruned.push_back(plan.candidates[c]);
+          }
+        }
+        cand = pruned.data();
+        cand_n = pruned.size();
+      }
+    }
+
+    parallel_for(0, seed_count, [&](std::size_t i) {
+      Facet<D>& f = (*pool_)[static_cast<FacetId>(i)];
+      if (plan.seeds[i].base_index != MutationPlan::kNewFacet) {
+        f.conflicts = filter_visible_range<D>(
+            pts, f.plane, f.vertices, first_new, n - first_new, *arena_,
+            filter_grain(), params_.controller);
+        tests_.add(Scheduler::worker_id(), n - first_new);
+      } else {
+        f.conflicts = filter_visible_ids<D>(pts, f.plane, f.vertices, cand,
+                                            cand_n, *arena_, filter_grain(),
+                                            params_.controller);
+        tests_.add(Scheduler::worker_id(), cand_n);
+      }
+    }, 1);
+
+    std::vector<Call> seeds;
+    {
+      std::map<RidgeKey<D>, FacetId> pending;
+      for (std::size_t i = 0; i < seed_count; ++i) {
+        const Facet<D>& f = (*pool_)[static_cast<FacetId>(i)];
+        for (int k = 0; k < D; ++k) {
+          RidgeKey<D> key = f.ridge_omitting(k);
+          auto it = pending.find(key);
+          if (it == pending.end()) {
+            pending.emplace(key, static_cast<FacetId>(i));
+          } else {
+            seeds.push_back(Call{it->second, key, static_cast<FacetId>(i)});
+            pending.erase(it);
+          }
+        }
+      }
+      if (!pending.empty()) {
+        // Open seed surface: conv(K) was not a closed hull (degenerate
+        // survivors that slipped past the exact checks). Roll back.
+        res.status = HullStatus::kDegenerateInput;
+        return nullptr;
+      }
+    }
+
+    parallel_for(0, seeds.size(), [&](std::size_t s) {
+      process_ridge(map, seeds[s].t1, seeds[s].r, seeds[s].t2, 1);
+    }, 1);
+    return finish_attempt(map, res, plan.surviving_seeds, bounds);
   }
 
   // ProcessRidge, cases 1–4 of Section 5.2 — the same machinery as

@@ -76,11 +76,13 @@ inline int facet_side(const HullSnapshot<D>& snap, const SnapshotFacet<D>& f,
 // kOnBoundary iff no facet sees q but q lies on a facet hyperplane,
 // kInside otherwise. Exact (the staged filter never certifies a wrong
 // sign). A point beyond the snapshot's coordinate bounds is outside
-// without any predicate: the hull is contained in its bounding box.
+// without any predicate: the hull is contained in its bounding box. An
+// EMPTY snapshot (default-constructed, never published by the engine) is
+// the hull of nothing: every probe is kOutside.
 template <int D>
 PointLocation locate_point(const HullSnapshot<D>& snap, const Point<D>& q) {
   PARHULL_SCHEDULE_POINT();  // reader: interleaves against the publisher
-  PARHULL_CHECK_MSG(!snap.facets.empty(), "locate_point: empty snapshot");
+  if (snap.facets.empty()) return PointLocation::kOutside;
   if (!engine_detail::within_bounds<D>(snap.bounds, q)) {
     return PointLocation::kOutside;  // also covers non-finite coordinates
   }
@@ -135,11 +137,17 @@ struct ExtremeResult {
 // on a plateau of equal-valued facets, the BFS cannot. Visits O(answer
 // neighborhood) facets on typical inputs, everything only in adversarial
 // plateaus.
+// An empty snapshot has no vertices: the result keeps vertex ==
+// kInvalidPoint with value == -inf (the supremum over the empty set).
 template <int D>
 ExtremeResult<D> extreme_point(const HullSnapshot<D>& snap,
                                const Point<D>& dir) {
   PARHULL_SCHEDULE_POINT();
-  PARHULL_CHECK_MSG(!snap.facets.empty(), "extreme_point: empty snapshot");
+  if (snap.facets.empty()) {
+    ExtremeResult<D> none;
+    none.value = -std::numeric_limits<double>::infinity();
+    return none;
+  }
   const PointSet<D>& pts = *snap.points;
   auto facet_best = [&](const SnapshotFacet<D>& f, PointId& arg) {
     double best = -std::numeric_limits<double>::infinity();

@@ -46,14 +46,27 @@ struct HullSnapshot {
   std::uint64_t epoch = 0;  // 1 for the first published batch
   // Every point inserted up to and including this epoch, in insertion
   // (= priority) order. Shared so successive snapshots of a read-mostly
-  // engine do not duplicate the cloud.
+  // engine do not duplicate the cloud. Deleted points stay in the sequence
+  // as tombstones (the mask below), so PointIds are stable forever.
   std::shared_ptr<const PointSet<D>> points;
+  // Tombstone mask: deleted[i] != 0 iff point i was removed by some
+  // delete_batch/update_batch up to this epoch. Null when nothing was ever
+  // deleted; may be SHORTER than `points` (insert-only epochs share their
+  // base's mask — ids past the end are alive). Use is_deleted().
+  std::shared_ptr<const std::vector<std::uint8_t>> deleted;
+  std::size_t live_points = 0;  // point_count() minus tombstones
   std::vector<SnapshotFacet<D>> facets;  // canonical order, adjacency wired
   CoordBounds<D> bounds{};  // the bounds `plane.err` fields were built with
-  Point<D> interior{};      // interior reference point (batch-1 centroid)
+                            // (conservative: never shrunk by deletions)
+  Point<D> interior{};      // interior reference point, strictly inside the
+                            // hull of the LIVE points of this epoch
 
   std::size_t point_count() const { return points ? points->size() : 0; }
   std::size_t facet_count() const { return facets.size(); }
+  bool is_deleted(PointId id) const {
+    return deleted != nullptr && id < deleted->size() &&
+           (*deleted)[id] != 0;
+  }
 };
 
 // Canonical tuples of a snapshot's facet set — directly comparable with
@@ -81,14 +94,19 @@ canonical_snapshot_tuples(const HullSnapshot<D>& snap) {
 // facets of old epochs are not retained.
 struct EngineStats {
   std::uint64_t epoch = 0;
-  std::uint64_t batches = 0;         // committed batches
-  std::uint64_t failed_batches = 0;  // rolled-back insert_batch calls
-  std::uint64_t points = 0;
+  std::uint64_t batches = 0;         // committed batches (any kind)
+  std::uint64_t failed_batches = 0;  // rolled-back batch calls (any kind)
+  std::uint64_t delete_batches = 0;  // committed delete/update batches
+  std::uint64_t points = 0;          // point sequence length (incl. tombstones)
+  std::uint64_t live_points = 0;     // points minus tombstones
+  std::uint64_t points_deleted_total = 0;
+  std::uint64_t full_rebuilds = 0;   // deletes that fell back to a re-seed
   std::uint64_t hull_facets = 0;
   std::uint64_t facets_created_total = 0;
   std::uint64_t visibility_tests_total = 0;
   std::uint64_t regrows_total = 0;
   std::uint64_t last_batch_points = 0;
+  std::uint64_t last_deleted_points = 0;
   std::uint64_t last_pool_size = 0;  // seed + created facets, last epoch
   double last_batch_ms = 0;
 };

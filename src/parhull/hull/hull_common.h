@@ -160,6 +160,48 @@ bool prepare_input(PointSet<D>& pts) {
   return true;
 }
 
+// prepare_input with provenance: reorders `ids` (arbitrary caller-side
+// labels, one per point) alongside `pts`, so a caller that compacted a
+// subset can map hull vertices back to original ids afterwards. The
+// deletion path (engine/engine.h) and the differential oracle
+// (tests/test_engine_dynamic.cpp) both rebuild sub-hulls this way.
+template <int D>
+bool prepare_input_tracked(PointSet<D>& pts, std::vector<PointId>& ids) {
+  const std::size_t n = pts.size();
+  PARHULL_CHECK_MSG(ids.size() == n, "prepare_input_tracked: id count");
+  if (n < static_cast<std::size_t>(D) + 1) return false;
+  std::vector<std::size_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(D) + 1);
+  std::vector<const Point<D>*> probe;
+  for (std::size_t i = 0;
+       i < n && chosen.size() < static_cast<std::size_t>(D) + 1; ++i) {
+    probe.clear();
+    for (std::size_t c : chosen) probe.push_back(&pts[c]);
+    probe.push_back(&pts[i]);
+    if (affinely_independent<D>(probe)) chosen.push_back(i);
+  }
+  if (chosen.size() < static_cast<std::size_t>(D) + 1) return false;
+  PointSet<D> reordered;
+  reordered.reserve(n);
+  std::vector<PointId> reordered_ids;
+  reordered_ids.reserve(n);
+  std::vector<char> is_chosen(n, 0);
+  for (std::size_t c : chosen) {
+    reordered.push_back(pts[c]);
+    reordered_ids.push_back(ids[c]);
+    is_chosen[c] = 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_chosen[i]) {
+      reordered.push_back(pts[i]);
+      reordered_ids.push_back(ids[i]);
+    }
+  }
+  pts = std::move(reordered);
+  ids = std::move(reordered_ids);
+  return true;
+}
+
 namespace detail {
 
 // Candidates per classification block: big enough to amortize the kernel
@@ -308,6 +350,21 @@ ConflictList filter_visible_range(
     std::size_t grain = 0, RunController* ctrl = nullptr) {
   return detail::filter_visible<D>(pts, pl, fv, nullptr, first, count, arena,
                                    grain, ctrl);
+}
+
+// Conflict list of a facet from an explicit ascending candidate id array
+// (the deletion re-seed driver: closure facets of the hole left by a
+// deleted vertex filter the surviving candidate ids, engine/engine.h).
+// Returns the visible subset in a single arena block, order preserved —
+// so an ascending input yields an ascending conflict list.
+template <int D>
+ConflictList filter_visible_ids(
+    const PointSet<D>& pts, const Plane<D>& pl,
+    const std::array<PointId, static_cast<std::size_t>(D)>& fv,
+    const PointId* ids, std::size_t count, ConflictArena& arena,
+    std::size_t grain = 0, RunController* ctrl = nullptr) {
+  return detail::filter_visible<D>(pts, pl, fv, ids, 0, count, arena, grain,
+                                   ctrl);
 }
 
 // Merge two ascending conflict lists (line 9 of Algorithm 2 / line 16 of

@@ -1,0 +1,1191 @@
+// Differential dynamic-hull harness: delete_batch / update_batch change
+// propagation (engine/engine.h) checked against a naive recompute oracle.
+//
+// Acceptance criteria covered here (ISSUE 6):
+//   * invariant I10: the facet set after ANY interleaving of insert and
+//     delete batches is identical (canonical ordering) to a one-shot
+//     SequentialHull of the surviving points, across >= 32 seeds x delete
+//     fractions {0.1, 0.5, 0.9} x batch splits {n, n/2, sqrt(n), 1} in 2D
+//     and 3D — and a ParallelHull recompute agrees;
+//   * update_batch == delete_batch + insert_batch, atomically;
+//   * degenerate deletions (interior-only, all-deleted, too-few or
+//     coplanar survivors, every-hull-vertex-dead full rebuild) and typed
+//     kBadInput rejections roll back without touching the epoch;
+//   * injected faults / cancellation / deadlines during a delete roll the
+//     batch back, the engine stays usable, and a rerun commits the exact
+//     survivor hull;
+//   * concurrent readers + held old epochs stay coherent across delete
+//     commits (the TSan CI job runs this binary);
+//   * RequestBatcher delete/update requests: group commit, per-request
+//     validation, conflicting deletes, and a close()-vs-producers race in
+//     which every future must resolve;
+//   * golden canonical-facet-tuple corpus with hand-computed expectations;
+//   * negative-path query fuzz over empty, single-simplex, and
+//     tombstone-heavy snapshots.
+// This binary links parhull_fuzzed, so PARHULL_FAULT_POINT() is live and
+// schedule points (including the engine's publication edges) are fuzzed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <limits>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "parhull/common/run_control.h"
+#include "parhull/core/hull_output.h"
+#include "parhull/core/parallel_hull.h"
+#include "parhull/engine/batcher.h"
+#include "parhull/engine/engine.h"
+#include "parhull/engine/query.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/geometry/predicates.h"
+#include "parhull/hull/hull_common.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/testing/fault_point.h"
+#include "parhull/workload/generators.h"
+
+namespace parhull {
+namespace {
+
+using testing::CountdownFaultInjector;
+using testing::FaultInjector;
+using testing::FaultScope;
+using testing::FaultSite;
+
+const bool kForcedWorkers = [] {
+  setenv("PARHULL_NUM_WORKERS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+template <int D>
+using Tuples = std::vector<std::array<PointId, static_cast<std::size_t>(D)>>;
+
+// The naive recompute oracle of invariant I10: hull of the SURVIVING points
+// only, tuples mapped back to the engine's stable ids. A mask shorter than
+// the point sequence treats the tail as alive (the snapshot contract).
+template <int D>
+Tuples<D> oracle_tuples(const PointSet<D>& all,
+                        const std::vector<std::uint8_t>& deleted) {
+  PointSet<D> live;
+  std::vector<PointId> ids;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i >= deleted.size() || deleted[i] == 0) {
+      live.push_back(all[i]);
+      ids.push_back(static_cast<PointId>(i));
+    }
+  }
+  EXPECT_TRUE(prepare_input_tracked<D>(live, ids));
+  SequentialHull<D> seq;
+  auto res = seq.run(live);
+  EXPECT_TRUE(res.ok) << to_string(res.status);
+  Tuples<D> out;
+  out.reserve(res.hull.size());
+  for (FacetId fid : res.hull) {
+    const Facet<D>& f = seq.facet(fid);
+    std::array<PointId, static_cast<std::size_t>(D)> t{};
+    for (int v = 0; v < D; ++v) {
+      t[static_cast<std::size_t>(v)] =
+          ids[f.vertices[static_cast<std::size_t>(v)]];
+    }
+    std::sort(t.begin(), t.end());
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Oracle driven purely by a published snapshot's own tombstone mask.
+template <int D>
+Tuples<D> snapshot_oracle(const HullSnapshot<D>& snap) {
+  std::vector<std::uint8_t> del(snap.point_count(), 0);
+  for (std::size_t i = 0; i < del.size(); ++i) {
+    del[i] = snap.is_deleted(static_cast<PointId>(i)) ? 1 : 0;
+  }
+  return oracle_tuples<D>(*snap.points, del);
+}
+
+template <int D>
+std::vector<PointId> hull_vertex_ids(const HullSnapshot<D>& snap) {
+  std::vector<PointId> ids;
+  for (const SnapshotFacet<D>& f : snap.facets) {
+    for (PointId v : f.vertices) ids.push_back(v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+template <int D>
+std::vector<PointId> interior_ids(const HullSnapshot<D>& snap) {
+  const auto verts = hull_vertex_ids<D>(snap);
+  std::vector<PointId> out;
+  for (std::size_t i = 0; i < snap.point_count(); ++i) {
+    const PointId id = static_cast<PointId>(i);
+    if (!snap.is_deleted(id) &&
+        !std::binary_search(verts.begin(), verts.end(), id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// I10 equivalence: interleaved insert/delete schedules vs the oracle.
+// ---------------------------------------------------------------------------
+
+// Insert `pts` split into batches of `per` (bootstrap max(per, D+1)); after
+// every insert batch, delete the pre-marked ids of that batch (clamped so
+// at least D+2 points stay live — a legitimate mid-schedule hull always
+// exists). Every delete commit is checked against the oracle.
+template <int D>
+void dyn_sweep(std::size_t n, int seeds, double fraction) {
+  std::mt19937_64 rng(0x5DEECE66Dull ^
+                      static_cast<std::uint64_t>(fraction * 1024.0));
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  for (int seed = 0; seed < seeds; ++seed) {
+    auto pts = random_order(
+        uniform_ball<D>(n, static_cast<std::uint64_t>(seed)),
+        static_cast<std::uint64_t>(seed) + 2000);
+    ASSERT_TRUE(prepare_input<D>(pts));
+    std::vector<std::uint8_t> marked(pts.size(), 0);
+    for (std::size_t i = static_cast<std::size_t>(D) + 1; i < pts.size();
+         ++i) {
+      marked[i] = u01(rng) < fraction ? 1 : 0;
+    }
+    const std::size_t root =
+        static_cast<std::size_t>(std::sqrt(static_cast<double>(pts.size())));
+    const std::size_t splits[] = {pts.size(), (pts.size() + 1) / 2,
+                                  std::max<std::size_t>(1, root), 1};
+    for (std::size_t per : splits) {
+      HullEngine<D> engine;
+      std::vector<std::uint8_t> del;
+      std::size_t live = 0;
+      std::size_t first = 0;
+      while (first < pts.size()) {
+        const std::size_t len =
+            first == 0 ? std::max(per, static_cast<std::size_t>(D) + 1) : per;
+        const std::size_t last = std::min(pts.size(), first + len);
+        PointSet<D> batch(pts.begin() + static_cast<std::ptrdiff_t>(first),
+                          pts.begin() + static_cast<std::ptrdiff_t>(last));
+        ASSERT_TRUE(engine.insert_batch(batch).ok)
+            << "seed " << seed << " per " << per << " at " << first;
+        del.resize(last, 0);
+        live += last - first;
+        std::vector<PointId> dels;
+        for (std::size_t id = first; id < last; ++id) {
+          if (marked[id] != 0 &&
+              live - dels.size() > static_cast<std::size_t>(D) + 2) {
+            dels.push_back(static_cast<PointId>(id));
+          }
+        }
+        if (!dels.empty()) {
+          auto res = engine.delete_batch(dels);
+          ASSERT_TRUE(res.ok) << "seed " << seed << " per " << per << " at "
+                              << first << ": " << to_string(res.status);
+          for (PointId id : dels) del[id] = 1;
+          live -= dels.size();
+          EXPECT_EQ(res.live_points, live);
+          PointSet<D> sofar(pts.begin(),
+                            pts.begin() + static_cast<std::ptrdiff_t>(last));
+          ASSERT_EQ(canonical_snapshot_tuples<D>(*engine.snapshot()),
+                    oracle_tuples<D>(sofar, del))
+              << "seed " << seed << " per " << per << " after delete at "
+              << first;
+        }
+        first = last;
+      }
+      auto snap = engine.snapshot();
+      ASSERT_NE(snap, nullptr);
+      EXPECT_EQ(snap->live_points, live);
+      ASSERT_EQ(canonical_snapshot_tuples<D>(*snap),
+                oracle_tuples<D>(pts, del))
+          << "seed " << seed << " per " << per << " final";
+    }
+  }
+}
+
+TEST(EngineDynEquivalence2D, InterleavedDeleteSweep) {
+  for (double f : {0.1, 0.5, 0.9}) dyn_sweep<2>(96, 32, f);
+}
+
+TEST(EngineDynEquivalence3D, InterleavedDeleteSweep) {
+  for (double f : {0.1, 0.5, 0.9}) dyn_sweep<3>(80, 32, f);
+}
+
+TEST(EngineDynEquivalence3D, UpdateEqualsDeleteThenInsert) {
+  auto pts = random_order(uniform_ball<3>(240, 301), 302);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> a, b;
+  ASSERT_TRUE(a.insert_batch(pts).ok);
+  ASSERT_TRUE(b.insert_batch(pts).ok);
+  const auto verts = hull_vertex_ids<3>(*a.snapshot());
+  const auto inter = interior_ids<3>(*a.snapshot());
+  ASSERT_GE(verts.size(), 3u);
+  ASSERT_GE(inter.size(), 2u);
+  std::vector<PointId> del = {verts[0], verts[verts.size() / 2], verts.back(),
+                              inter[0], inter[inter.size() / 2]};
+  auto moved = uniform_ball<3>(40, 303);
+
+  auto ra = a.update_batch(del, moved);
+  ASSERT_TRUE(ra.ok) << to_string(ra.status);
+  EXPECT_EQ(ra.deleted_points, del.size());
+  EXPECT_EQ(ra.batch_points, moved.size());
+  EXPECT_EQ(ra.live_points, pts.size() - del.size() + moved.size());
+
+  ASSERT_TRUE(b.delete_batch(del).ok);
+  ASSERT_TRUE(b.insert_batch(moved).ok);
+
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*a.snapshot()),
+            canonical_snapshot_tuples<3>(*b.snapshot()));
+  EXPECT_EQ(a.snapshot()->live_points, b.snapshot()->live_points);
+  // But atomically: update publishes ONE epoch, delete+insert publishes two.
+  EXPECT_EQ(a.epoch(), 2u);
+  EXPECT_EQ(b.epoch(), 3u);
+
+  PointSet<3> all(pts);
+  all.insert(all.end(), moved.begin(), moved.end());
+  std::vector<std::uint8_t> mask(pts.size(), 0);
+  for (PointId id : del) mask[id] = 1;
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*a.snapshot()),
+            oracle_tuples<3>(all, mask));
+}
+
+TEST(EngineDynEquivalence3D, MovedPointsGrowBounds) {
+  // The replacement points widen the coordinate bounds 100x, so every
+  // surviving cached plane must be rebuilt; equivalence is the check.
+  auto pts = uniform_ball<3>(150, 311);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  const auto verts = hull_vertex_ids<3>(*engine.snapshot());
+  ASSERT_GE(verts.size(), 3u);
+  std::vector<PointId> del = {verts[0], verts[1], verts[2]};
+  auto moved = uniform_ball<3>(25, 313);
+  for (auto& p : moved) p = p * 100.0;
+
+  auto res = engine.update_batch(del, moved);
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  PointSet<3> all(pts);
+  all.insert(all.end(), moved.begin(), moved.end());
+  std::vector<std::uint8_t> mask(pts.size(), 0);
+  for (PointId id : del) mask[id] = 1;
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            oracle_tuples<3>(all, mask));
+}
+
+TEST(EngineDynEquivalence3D, MatchesParallelOneShotOfSurvivors) {
+  auto pts = random_order(uniform_ball<3>(300, 317), 318);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  std::vector<PointId> del;
+  for (PointId id = 4; id < 300; id += 5) del.push_back(id);
+  ASSERT_TRUE(engine.delete_batch(del).ok);
+
+  // Independent recompute with the PARALLEL one-shot driver over the
+  // compacted survivors, tuples mapped back to engine ids.
+  std::vector<std::uint8_t> mask(pts.size(), 0);
+  for (PointId id : del) mask[id] = 1;
+  PointSet<3> live;
+  std::vector<PointId> ids;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (mask[i] == 0) {
+      live.push_back(pts[i]);
+      ids.push_back(static_cast<PointId>(i));
+    }
+  }
+  ASSERT_TRUE(prepare_input_tracked<3>(live, ids));
+  ParallelHull<3> hull;
+  auto pres = hull.run(live);
+  ASSERT_TRUE(pres.ok);
+  Tuples<3> want;
+  for (FacetId fid : pres.hull) {
+    const Facet<3>& f = hull.facet(fid);
+    std::array<PointId, 3> t{};
+    for (int v = 0; v < 3; ++v) {
+      t[static_cast<std::size_t>(v)] =
+          ids[f.vertices[static_cast<std::size_t>(v)]];
+    }
+    std::sort(t.begin(), t.end());
+    want.push_back(t);
+  }
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), want);
+}
+
+// ---------------------------------------------------------------------------
+// Deletion semantics and degenerate batches.
+// ---------------------------------------------------------------------------
+
+TEST(EngineDynSemantics, InteriorOnlyDeleteSharesPointsAndFacets) {
+  auto pts = uniform_ball<3>(200, 331);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto snap0 = engine.snapshot();
+  const auto inter = interior_ids<3>(*snap0);
+  ASSERT_GE(inter.size(), 10u);
+  std::vector<PointId> del(inter.begin(), inter.begin() + 10);
+
+  auto res = engine.delete_batch(del);
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  // No hull vertex died: tombstone-only commit, every certificate survives.
+  EXPECT_EQ(res.tombstoned_facets, 0u);
+  EXPECT_EQ(res.closure_facets, 0u);
+  EXPECT_FALSE(res.full_rebuild);
+  auto snap1 = engine.snapshot();
+  EXPECT_EQ(snap1->epoch, snap0->epoch + 1);
+  // A pure delete shares the base's point sequence outright (no copy).
+  EXPECT_EQ(snap1->points.get(), snap0->points.get());
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*snap1),
+            canonical_snapshot_tuples<3>(*snap0));
+  EXPECT_EQ(snap1->live_points, 190u);
+  EXPECT_EQ(snap1->point_count(), 200u);
+  for (PointId id : del) EXPECT_TRUE(snap1->is_deleted(id));
+  EXPECT_FALSE(snap1->is_deleted(inter[10]));
+  EXPECT_FALSE(snap0->is_deleted(del[0]));  // the old epoch is unchanged
+}
+
+TEST(EngineDynSemantics, AllDeletedRollsBackDegenerate) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}},
+                     {{0, 0, 1}}, {{0.2, 0.2, 0.2}}, {{0.1, 0.1, 0.1}}};
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto before = engine.snapshot();
+  auto res = engine.delete_batch({0, 1, 2, 3, 4, 5});
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDegenerateInput);
+  EXPECT_EQ(engine.snapshot(), before);
+  EXPECT_EQ(engine.stats().failed_batches, 1u);
+  EXPECT_FALSE(engine.snapshot()->is_deleted(0));
+  // Still usable: a legal delete commits.
+  ASSERT_TRUE(engine.delete_batch({4}).ok);
+  EXPECT_EQ(engine.snapshot()->live_points, 5u);
+}
+
+TEST(EngineDynSemantics, TooFewSurvivorsRollsBack) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}},
+                     {{0, 0, 1}}, {{0.2, 0.2, 0.2}}, {{0.1, 0.1, 0.1}}};
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto before = engine.snapshot();
+  // One survivor cannot span a 3-simplex.
+  auto res = engine.delete_batch({0, 1, 2, 4, 5});
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDegenerateInput);
+  EXPECT_EQ(engine.snapshot(), before);
+}
+
+TEST(EngineDynSemantics, CoplanarSurvivorsRollBack) {
+  // Square in z=0 plus one apex: deleting the apex leaves a flat survivor
+  // set — typed degenerate rollback, and the engine recovers once a second
+  // apex restores full dimension.
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}},
+                     {{0.5, 0.5, 1}}, {{1, 1, 0}}};
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto before = engine.snapshot();
+  auto res = engine.delete_batch({3});
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDegenerateInput);
+  EXPECT_EQ(engine.snapshot(), before);
+
+  PointSet<3> second_apex = {{{0.5, 0.5, -1}}};
+  ASSERT_TRUE(engine.insert_batch(second_apex).ok);
+  res = engine.delete_batch({3});
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  std::vector<std::uint8_t> mask(6, 0);
+  mask[3] = 1;
+  PointSet<3> all(pts);
+  all.push_back(second_apex[0]);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            oracle_tuples<3>(all, mask));
+}
+
+TEST(EngineDynSemantics, DeleteEveryHullVertexFullRebuild) {
+  // A cube at 10x strictly contains the unit-ball cloud: after the cube's
+  // corners die, NO base hull vertex survives and change propagation must
+  // fall back to a fresh-simplex re-seed over the interior cloud.
+  auto inner = uniform_ball<3>(100, 337);
+  ASSERT_TRUE(prepare_input<3>(inner));
+  PointSet<3> cube;
+  for (int x = -1; x <= 1; x += 2) {
+    for (int y = -1; y <= 1; y += 2) {
+      for (int z = -1; z <= 1; z += 2) {
+        cube.push_back({{10.0 * x, 10.0 * y, 10.0 * z}});
+      }
+    }
+  }
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(inner).ok);
+  ASSERT_TRUE(engine.insert_batch(cube).ok);
+  std::vector<PointId> del;
+  for (PointId id = 100; id < 108; ++id) del.push_back(id);
+  auto res = engine.delete_batch(del);
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  EXPECT_TRUE(res.full_rebuild);
+  EXPECT_EQ(engine.stats().full_rebuilds, 1u);
+  PointSet<3> all(inner);
+  all.insert(all.end(), cube.begin(), cube.end());
+  std::vector<std::uint8_t> mask(all.size(), 0);
+  for (PointId id : del) mask[id] = 1;
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            oracle_tuples<3>(all, mask));
+  EXPECT_EQ(engine.snapshot()->live_points, 100u);
+}
+
+TEST(EngineDynSemantics, BadIdsRollBackTyped) {
+  auto pts = uniform_ball<3>(80, 347);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto before = engine.snapshot();
+
+  auto res = engine.delete_batch({80});  // out of range
+  EXPECT_EQ(res.status, HullStatus::kBadInput);
+  res = engine.delete_batch({3, 3});  // duplicate within the batch
+  EXPECT_EQ(res.status, HullStatus::kBadInput);
+  EXPECT_EQ(engine.snapshot(), before);
+  EXPECT_EQ(engine.stats().failed_batches, 2u);
+  EXPECT_FALSE(engine.snapshot()->is_deleted(3));
+
+  ASSERT_TRUE(engine.delete_batch({5}).ok);
+  res = engine.delete_batch({5});  // already deleted
+  EXPECT_EQ(res.status, HullStatus::kBadInput);
+
+  // NaN replacement points are rejected before anything is tombstoned.
+  PointSet<3> bad = {{{std::nan(""), 0, 0}}};
+  res = engine.update_batch({6}, bad);
+  EXPECT_EQ(res.status, HullStatus::kBadInput);
+  EXPECT_FALSE(engine.snapshot()->is_deleted(6));
+
+  // No ids exist before the first epoch.
+  HullEngine<3> fresh;
+  res = fresh.delete_batch({0});
+  EXPECT_EQ(res.status, HullStatus::kBadInput);
+  EXPECT_EQ(fresh.snapshot(), nullptr);
+}
+
+TEST(EngineDynSemantics, EmptyDeletionsDelegateToInsert) {
+  auto pts = uniform_ball<3>(60, 349);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  const Tuples<3> base = canonical_snapshot_tuples<3>(*engine.snapshot());
+
+  auto res = engine.delete_batch({});
+  ASSERT_TRUE(res.ok);  // trivial epoch, hull unchanged
+  EXPECT_EQ(res.deleted_points, 0u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), base);
+
+  auto extra = uniform_ball<3>(30, 351);
+  res = engine.update_batch({}, extra);
+  ASSERT_TRUE(res.ok);  // pure insert semantics
+  PointSet<3> all(pts);
+  all.insert(all.end(), extra.begin(), extra.end());
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            oracle_tuples<3>(all, {}));
+}
+
+TEST(EngineDynSemantics, TombstoneAccountingAndStats) {
+  auto pts = uniform_ball<3>(160, 349);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  const auto verts = hull_vertex_ids<3>(*engine.snapshot());
+  const auto inter = interior_ids<3>(*engine.snapshot());
+  ASSERT_GE(verts.size(), 2u);
+  ASSERT_GE(inter.size(), 2u);
+
+  ASSERT_TRUE(engine.delete_batch({verts[0], verts[1], inter[0]}).ok);
+  auto snap = engine.snapshot();
+  EXPECT_EQ(snap->live_points, 157u);
+  EXPECT_EQ(snap->point_count(), 160u);
+  EXPECT_TRUE(snap->is_deleted(verts[0]));
+  EXPECT_TRUE(snap->is_deleted(inter[0]));
+  EXPECT_FALSE(snap->is_deleted(inter[1]));
+  EngineStats s = engine.stats();
+  EXPECT_EQ(s.epoch, 2u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.delete_batches, 1u);
+  EXPECT_EQ(s.points_deleted_total, 3u);
+  EXPECT_EQ(s.live_points, 157u);
+  EXPECT_EQ(s.points, 160u);
+  EXPECT_EQ(s.last_deleted_points, 3u);
+  EXPECT_EQ(s.full_rebuilds, 0u);
+
+  ASSERT_TRUE(engine.delete_batch({inter[1]}).ok);
+  s = engine.stats();
+  EXPECT_EQ(s.delete_batches, 2u);
+  EXPECT_EQ(s.points_deleted_total, 4u);
+  EXPECT_EQ(s.last_deleted_points, 1u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            snapshot_oracle<3>(*engine.snapshot()));
+}
+
+TEST(EngineDynSemantics, InsertAfterDeleteSharesShorterMask) {
+  auto pts = uniform_ball<3>(60, 353);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  ASSERT_TRUE(engine.delete_batch({4, 9, 14, 19, 24}).ok);
+  auto mask_ptr = engine.snapshot()->deleted;
+  ASSERT_NE(mask_ptr, nullptr);
+
+  auto extra = uniform_ball<3>(20, 359);
+  ASSERT_TRUE(engine.insert_batch(extra).ok);
+  auto snap = engine.snapshot();
+  // Insert-only epochs share the base's mask; ids past its end are alive.
+  EXPECT_EQ(snap->deleted.get(), mask_ptr.get());
+  EXPECT_EQ(snap->deleted->size(), 60u);
+  EXPECT_EQ(snap->point_count(), 80u);
+  EXPECT_FALSE(snap->is_deleted(70));
+  EXPECT_TRUE(snap->is_deleted(9));
+  EXPECT_EQ(snap->live_points, 75u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*snap), snapshot_oracle<3>(*snap));
+}
+
+TEST(EngineDynSemantics, ReinsertedCoordinatesGetFreshId) {
+  auto pts = uniform_ball<3>(90, 367);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  const auto verts = hull_vertex_ids<3>(*engine.snapshot());
+  const PointId v = verts[0];
+  const Point<3> p = (*engine.snapshot()->points)[v];
+
+  ASSERT_TRUE(engine.delete_batch({v}).ok);
+  PointSet<3> again = {p};
+  ASSERT_TRUE(engine.insert_batch(again).ok);
+  auto snap = engine.snapshot();
+  // PointIds are stable forever: the dead id stays dead, the identical
+  // coordinates come back under a fresh id and retake the vertex slot.
+  EXPECT_TRUE(snap->is_deleted(v));
+  EXPECT_FALSE(snap->is_deleted(90));
+  const auto verts_after = hull_vertex_ids<3>(*snap);
+  EXPECT_FALSE(std::binary_search(verts_after.begin(), verts_after.end(), v));
+  EXPECT_TRUE(std::binary_search(verts_after.begin(), verts_after.end(),
+                                 static_cast<PointId>(90)));
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*snap), snapshot_oracle<3>(*snap));
+}
+
+TEST(EngineDynSemantics, FrontierCountersMatchSnapshot) {
+  auto pts = uniform_ball<3>(180, 373);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto snap0 = engine.snapshot();
+  const auto verts = hull_vertex_ids<3>(*snap0);
+  const PointId v = verts[verts.size() / 2];
+  std::size_t incident = 0;
+  for (const SnapshotFacet<3>& f : snap0->facets) {
+    for (PointId u : f.vertices) incident += (u == v) ? 1 : 0;
+  }
+  ASSERT_GE(incident, 3u);  // a 3D hull vertex has >= 3 incident facets
+
+  auto res = engine.delete_batch({v});
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  // The conflict frontier is exactly the base facets naming the dead
+  // vertex, and the hole is re-closed by at least one fresh facet.
+  EXPECT_EQ(res.tombstoned_facets, incident);
+  EXPECT_GE(res.closure_facets, 1u);
+  EXPECT_FALSE(res.full_rebuild);
+  EXPECT_EQ(res.hull_facets, engine.snapshot()->facet_count());
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            snapshot_oracle<3>(*engine.snapshot()));
+}
+
+// ---------------------------------------------------------------------------
+// Faults, cancellation, deadlines during deletes.
+// ---------------------------------------------------------------------------
+
+// Fires a CancelToken at the Nth crossing of a fault site (same idiom as
+// tests/test_engine.cpp): fault points are dense in the mutation machinery
+// — conv(K) rebuild, seed pool, ridge map — so sweeping the countdown
+// sweeps the cancellation across the whole delete.
+class CancelAtSiteInjector final : public FaultInjector {
+ public:
+  CancelAtSiteInjector(CancelToken token, FaultSite site, std::uint64_t after)
+      : token_(token), site_(site), remaining_(after) {}
+
+  bool should_fail(FaultSite site) override {
+    if (site == site_ &&
+        remaining_.fetch_sub(1, std::memory_order_acq_rel) == 0) {
+      token_.cancel();
+    }
+    return false;  // never injects the fault itself — only cancels
+  }
+
+ private:
+  CancelToken token_;
+  FaultSite site_;
+  std::atomic<std::uint64_t> remaining_;
+};
+
+TEST(EngineDynFaults, DeleteFaultSweepRollsBackAndRecovers) {
+  auto pts = uniform_ball<3>(220, 401);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  std::vector<PointId> dels;
+  for (PointId id = 4; id < 220; id += 7) dels.push_back(id);
+  std::vector<std::uint8_t> mask(pts.size(), 0);
+  for (PointId id : dels) mask[id] = 1;
+  const Tuples<3> want = oracle_tuples<3>(pts, mask);
+
+  const FaultSite sites[] = {FaultSite::kAllocation, FaultSite::kRidgeMapInsert,
+                             FaultSite::kPoolAllocate};
+  const std::uint64_t afters[] = {0, 1, 2, 5, 13, 37, 111};
+  for (FaultSite site : sites) {
+    for (std::uint64_t after : afters) {
+      HullEngine<3> engine;
+      ASSERT_TRUE(engine.insert_batch(pts).ok);
+      auto before = engine.snapshot();
+
+      CountdownFaultInjector inj(site, after);
+      HullEngine<3>::BatchResult res;
+      {
+        FaultScope scope(inj);
+        res = engine.delete_batch(dels);
+      }
+      if (!res.ok) {
+        // Rollback: previous epoch still published (same object), nothing
+        // tombstoned, the failure counted, the engine still usable.
+        EXPECT_TRUE(res.status == HullStatus::kCapacityExceeded ||
+                    res.status == HullStatus::kPoolExhausted)
+            << to_string(res.status);
+        EXPECT_EQ(engine.snapshot(), before);
+        EXPECT_EQ(engine.stats().failed_batches, 1u);
+        EXPECT_EQ(engine.snapshot()->live_points, 220u);
+        EXPECT_FALSE(engine.snapshot()->is_deleted(dels[0]));
+        res = engine.delete_batch(dels);  // injector gone: must commit
+      }
+      ASSERT_TRUE(res.ok) << to_string(res.status);
+      EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), want)
+          << "site " << static_cast<int>(site) << " after " << after;
+    }
+  }
+}
+
+TEST(EngineDynFaults, UpdateFaultSweepRollsBackAndRecovers) {
+  auto pts = uniform_ball<3>(180, 409);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  auto moved = uniform_ball<3>(30, 419);
+  std::vector<PointId> dels;
+  for (PointId id = 4; id < 180; id += 9) dels.push_back(id);
+  PointSet<3> all(pts);
+  all.insert(all.end(), moved.begin(), moved.end());
+  std::vector<std::uint8_t> mask(pts.size(), 0);
+  for (PointId id : dels) mask[id] = 1;
+  const Tuples<3> want = oracle_tuples<3>(all, mask);
+
+  const FaultSite sites[] = {FaultSite::kAllocation, FaultSite::kRidgeMapInsert,
+                             FaultSite::kPoolAllocate};
+  for (FaultSite site : sites) {
+    for (std::uint64_t after : {0ull, 2ull, 13ull, 111ull}) {
+      HullEngine<3> engine;
+      ASSERT_TRUE(engine.insert_batch(pts).ok);
+      auto before = engine.snapshot();
+
+      CountdownFaultInjector inj(site, after);
+      HullEngine<3>::BatchResult res;
+      {
+        FaultScope scope(inj);
+        res = engine.update_batch(dels, moved);
+      }
+      if (!res.ok) {
+        EXPECT_TRUE(res.status == HullStatus::kCapacityExceeded ||
+                    res.status == HullStatus::kPoolExhausted)
+            << to_string(res.status);
+        EXPECT_EQ(engine.snapshot(), before);
+        // The rolled-back point sequence was never extended.
+        EXPECT_EQ(engine.snapshot()->point_count(), pts.size());
+        res = engine.update_batch(dels, moved);
+      }
+      ASSERT_TRUE(res.ok) << to_string(res.status);
+      EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), want)
+          << "site " << static_cast<int>(site) << " after " << after;
+    }
+  }
+}
+
+TEST(EngineDynCancellation, CancelSweepAcrossDelete) {
+  auto pts = uniform_ball<3>(200, 421);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  std::vector<PointId> dels;
+  for (PointId id = 4; id < 200; id += 6) dels.push_back(id);
+  std::vector<std::uint8_t> mask(pts.size(), 0);
+  for (PointId id : dels) mask[id] = 1;
+  const Tuples<3> want = oracle_tuples<3>(pts, mask);
+
+  for (std::uint64_t after : {0ull, 1ull, 4ull, 16ull, 64ull, 256ull}) {
+    RunController ctrl;
+    HullEngine<3>::Params params;
+    params.controller = &ctrl;
+    HullEngine<3> engine(params);
+    ASSERT_TRUE(engine.insert_batch(pts).ok);
+    auto before = engine.snapshot();
+
+    CancelAtSiteInjector inj(CancelToken(&ctrl), FaultSite::kPoolAllocate,
+                             after);
+    HullEngine<3>::BatchResult res;
+    {
+      FaultScope scope(inj);
+      res = engine.delete_batch(dels);
+    }
+    if (!res.ok) {
+      EXPECT_EQ(res.status, HullStatus::kCancelled);
+      EXPECT_EQ(engine.snapshot(), before);
+      EXPECT_EQ(engine.epoch(), 1u);
+      ctrl.reset();
+      res = engine.delete_batch(dels);
+    }
+    ASSERT_TRUE(res.ok) << "after " << after << ": " << to_string(res.status);
+    EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), want);
+  }
+}
+
+TEST(EngineDynCancellation, DeadlineFailsDeleteTyped) {
+  auto pts = uniform_ball<3>(160, 431);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  RunController ctrl;
+  HullEngine<3>::Params params;
+  params.controller = &ctrl;
+  HullEngine<3> engine(params);
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  const auto verts = hull_vertex_ids<3>(*engine.snapshot());
+  std::vector<PointId> dels = {verts[0], verts[1]};
+
+  ctrl.reset();
+  ctrl.set_deadline_ms(1e-6);  // already expired at the first poll
+  auto res = engine.delete_batch(dels);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, HullStatus::kDeadlineExceeded);
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_FALSE(engine.snapshot()->is_deleted(verts[0]));
+
+  ctrl.reset();
+  ASSERT_TRUE(engine.delete_batch(dels).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            snapshot_oracle<3>(*engine.snapshot()));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent readers and epoch retirement across delete commits.
+// ---------------------------------------------------------------------------
+
+TEST(EngineDynConcurrency, ReadersDuringInterleavedMutations) {
+  auto pts = random_order(uniform_ball<3>(1200, 441), 443);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  PointSet<3> boot(pts.begin(), pts.begin() + 600);
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(boot).ok);
+  // Ids 0..3 are never deleted, so the centroid of those four points is
+  // interior to the hull of every epoch's live set — a torn or
+  // half-published snapshot would misclassify it (or crash).
+  const Point<3> probe = centroid<3>(pts.data(), 4);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> queries{0};
+  auto reader = [&] {
+    std::uint64_t last_epoch = 0;
+    std::uint64_t local = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      auto snap = engine.snapshot();
+      ASSERT_NE(snap, nullptr);
+      EXPECT_GE(snap->epoch, last_epoch);
+      last_epoch = snap->epoch;
+      EXPECT_GT(snap->facet_count(), 0u);
+      EXPECT_LE(snap->live_points, snap->point_count());
+      EXPECT_TRUE(point_in_hull<3>(*snap, probe));
+      const auto ex = extreme_point<3>(*snap, probe);
+      EXPECT_NE(ex.vertex, kInvalidPoint);
+      EXPECT_FALSE(snap->is_deleted(ex.vertex));
+      ++local;
+    }
+    queries.fetch_add(local, std::memory_order_relaxed);
+  };
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) readers.emplace_back(reader);
+
+  // Writer: 6 rounds of insert 100 + delete ~25, from the scheduler thread.
+  std::vector<std::uint8_t> mask(pts.size(), 0);
+  for (std::size_t first = 600; first < pts.size(); first += 100) {
+    PointSet<3> batch(pts.begin() + static_cast<std::ptrdiff_t>(first),
+                      pts.begin() + static_cast<std::ptrdiff_t>(first + 100));
+    ASSERT_TRUE(engine.insert_batch(batch).ok);
+    std::vector<PointId> dels;
+    for (std::size_t id = 4 + (first % 19); dels.size() < 25 && id < first;
+         id += 11) {
+      if (mask[id] == 0) dels.push_back(static_cast<PointId>(id));
+    }
+    ASSERT_FALSE(dels.empty());
+    ASSERT_TRUE(engine.delete_batch(dels).ok);
+    for (PointId id : dels) mask[id] = 1;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(engine.epoch(), 13u);  // bootstrap + 6 x (insert + delete)
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()),
+            oracle_tuples<3>(pts, mask));
+}
+
+TEST(EngineDynRetirement, PreDeleteEpochsStayIntact) {
+  auto pts = uniform_ball<3>(200, 449);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  auto held = engine.snapshot();  // reader keeps the pre-delete epoch alive
+  std::weak_ptr<const HullSnapshot<3>> w1 = held;
+  const Tuples<3> held_tuples = canonical_snapshot_tuples<3>(*held);
+  const auto verts = hull_vertex_ids<3>(*held);
+  const auto inter = interior_ids<3>(*held);
+
+  ASSERT_TRUE(engine.delete_batch({verts[0], inter[0]}).ok);
+  std::weak_ptr<const HullSnapshot<3>> w2 = engine.snapshot();
+  ASSERT_TRUE(engine.delete_batch({inter[1]}).ok);
+
+  // Epoch 2 had no outside reader: replaced by epoch 3, it must be gone.
+  EXPECT_TRUE(w2.expired());
+  // The held pre-delete epoch is alive, un-tombstoned, bit-for-bit intact.
+  ASSERT_FALSE(w1.expired());
+  EXPECT_EQ(held->epoch, 1u);
+  EXPECT_EQ(held->deleted, nullptr);
+  EXPECT_FALSE(held->is_deleted(verts[0]));
+  EXPECT_EQ(held->live_points, 200u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*held), held_tuples);
+  held.reset();
+  EXPECT_TRUE(w1.expired());
+
+  auto cur = engine.snapshot();
+  EXPECT_EQ(cur->epoch, 3u);
+  EXPECT_EQ(cur->live_points, 197u);
+}
+
+// ---------------------------------------------------------------------------
+// RequestBatcher delete/update requests.
+// ---------------------------------------------------------------------------
+
+TEST(EngineDynBatcher, DeleteAndUpdateRequestsResolve) {
+  auto boot = uniform_ball<3>(150, 457);
+  ASSERT_TRUE(prepare_input<3>(boot));
+  RequestBatcher<3> batcher;
+  ASSERT_TRUE(batcher.submit(boot).get().ok);
+
+  auto out = batcher.submit_delete({4, 5, 6}).get();
+  ASSERT_TRUE(out.ok) << to_string(out.status);
+  EXPECT_EQ(out.deleted_points, 3u);
+  EXPECT_TRUE(batcher.snapshot()->is_deleted(4));
+
+  auto moved = uniform_ball<3>(10, 461);
+  auto out2 = batcher.submit_update({7, 8}, moved).get();
+  ASSERT_TRUE(out2.ok) << to_string(out2.status);
+  EXPECT_GT(out2.epoch, out.epoch);
+  batcher.close();
+
+  auto snap = batcher.snapshot();
+  EXPECT_EQ(snap->live_points, 150u - 5u + 10u);
+  EXPECT_EQ(batcher.stats().delete_batches, 2u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*snap), snapshot_oracle<3>(*snap));
+}
+
+TEST(EngineDynBatcher, InvalidDeleteDoesNotPoisonTheRound) {
+  auto boot = uniform_ball<3>(100, 463);
+  ASSERT_TRUE(prepare_input<3>(boot));
+  RequestBatcher<3> batcher;
+  ASSERT_TRUE(batcher.submit(boot).get().ok);
+
+  // All three may coalesce into one round: the bad id must resolve
+  // kBadInput alone while the other two commit.
+  auto bad = batcher.submit_delete({999});
+  auto good = batcher.submit_delete({5});
+  auto ins = batcher.submit(uniform_ball<3>(20, 467));
+  EXPECT_EQ(bad.get().status, HullStatus::kBadInput);
+  EXPECT_TRUE(good.get().ok);
+  EXPECT_TRUE(ins.get().ok);
+  batcher.close();
+
+  auto snap = batcher.snapshot();
+  EXPECT_TRUE(snap->is_deleted(5));
+  EXPECT_EQ(snap->point_count(), 120u);
+  EXPECT_EQ(snap->live_points, 119u);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*snap), snapshot_oracle<3>(*snap));
+}
+
+TEST(EngineDynBatcher, ConflictingDeletesResolveExactlyOnce) {
+  auto boot = uniform_ball<3>(100, 479);
+  ASSERT_TRUE(prepare_input<3>(boot));
+  RequestBatcher<3> batcher;
+  ASSERT_TRUE(batcher.submit(boot).get().ok);
+
+  std::future<RequestBatcher<3>::InsertOutcome> fa, fb;
+  std::thread ta([&] { fa = batcher.submit_delete({7}); });
+  std::thread tb([&] { fb = batcher.submit_delete({7}); });
+  ta.join();
+  tb.join();
+  auto a = fa.get();
+  auto b = fb.get();
+  // Same round (claimed mask) or different rounds (is_deleted): either
+  // way exactly one request wins, the other is typed kBadInput.
+  EXPECT_EQ((a.ok ? 1 : 0) + (b.ok ? 1 : 0), 1);
+  EXPECT_EQ(a.ok ? b.status : a.status, HullStatus::kBadInput);
+  EXPECT_TRUE(batcher.snapshot()->is_deleted(7));
+  EXPECT_EQ(batcher.snapshot()->live_points, 99u);
+  batcher.close();
+}
+
+TEST(EngineDynBatcher, DeleteBeforeFirstEpochIsBadInput) {
+  RequestBatcher<3> batcher;
+  auto out = batcher.submit_delete({0}).get();
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.status, HullStatus::kBadInput);
+  EXPECT_EQ(batcher.snapshot(), nullptr);
+  // The rejection did not wedge the writer: a bootstrap still commits.
+  auto boot = uniform_ball<3>(40, 487);
+  ASSERT_TRUE(prepare_input<3>(boot));
+  EXPECT_TRUE(batcher.submit(boot).get().ok);
+  batcher.close();
+}
+
+TEST(EngineDynBatcher, CloseRaceEveryFutureResolves) {
+  // The satellite stress: producers race submit/submit_delete/submit_update
+  // against close(). EVERY future must resolve — a dropped promise throws
+  // std::future_error out of get() and fails the test. Accepted-then-closed
+  // requests commit; rejected-at-the-door requests resolve kCancelled.
+  for (int iter = 0; iter < 6; ++iter) {
+    auto boot = uniform_ball<3>(120, 700 + static_cast<std::uint64_t>(iter));
+    ASSERT_TRUE(prepare_input<3>(boot));
+    RequestBatcher<3> batcher;
+    ASSERT_TRUE(batcher.submit(boot).get().ok);
+
+    constexpr int kProducers = 3;
+    constexpr int kPerProducer = 8;
+    std::array<std::vector<std::future<RequestBatcher<3>::InsertOutcome>>,
+               kProducers>
+        futures;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const std::uint64_t s =
+              1000 + static_cast<std::uint64_t>(iter * 100 + p * 10 + i);
+          // Disjoint per-producer id pools: every delete target is alive,
+          // so a request fails only by landing after close().
+          const PointId base_id = static_cast<PointId>(4 + p * 32);
+          switch (i % 3) {
+            case 0:
+              futures[static_cast<std::size_t>(p)].push_back(
+                  batcher.submit(uniform_ball<3>(15, s)));
+              break;
+            case 1:
+              futures[static_cast<std::size_t>(p)].push_back(
+                  batcher.submit_delete({static_cast<PointId>(base_id + i)}));
+              break;
+            default:
+              futures[static_cast<std::size_t>(p)].push_back(
+                  batcher.submit_update(
+                      {static_cast<PointId>(base_id + 16 + i)},
+                      uniform_ball<3>(5, s + 1)));
+              break;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(60 * iter));
+    batcher.close();
+    for (auto& t : producers) t.join();
+
+    for (auto& vec : futures) {
+      for (auto& f : vec) {
+        auto out = f.get();  // must never throw or hang
+        EXPECT_TRUE(out.status == HullStatus::kOk ||
+                    out.status == HullStatus::kCancelled)
+            << to_string(out.status);
+        EXPECT_EQ(out.ok, out.status == HullStatus::kOk);
+      }
+    }
+    auto snap = batcher.snapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(canonical_snapshot_tuples<3>(*snap), snapshot_oracle<3>(*snap))
+        << "iter " << iter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden canonical-facet-tuple corpus (hand-computed expectations).
+// ---------------------------------------------------------------------------
+
+TEST(EngineGolden2D, SquareCorpus) {
+  // Unit square + strict interior point. Edges by id: 0-1 bottom, 0-2
+  // left, 1-3 right, 2-3 top.
+  PointSet<2> pts = {{{0, 0}}, {{1, 0}}, {{0, 1}}, {{1, 1}}, {{0.25, 0.25}}};
+  HullEngine<2> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  const Tuples<2> want = {{{0, 1}}, {{0, 2}}, {{1, 3}}, {{2, 3}}};
+  EXPECT_EQ(canonical_snapshot_tuples<2>(*engine.snapshot()), want);
+
+  ASSERT_TRUE(engine.delete_batch({3}).ok);
+  const Tuples<2> after = {{{0, 1}}, {{0, 2}}, {{1, 2}}};
+  EXPECT_EQ(canonical_snapshot_tuples<2>(*engine.snapshot()), after);
+
+  // The same input split across two batches lands on the same tuples.
+  HullEngine<2> split;
+  PointSet<2> first(pts.begin(), pts.begin() + 3);
+  PointSet<2> rest(pts.begin() + 3, pts.end());
+  ASSERT_TRUE(split.insert_batch(first).ok);
+  ASSERT_TRUE(split.insert_batch(rest).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<2>(*split.snapshot()), want);
+}
+
+TEST(EngineGolden3D, SimplexCorpus) {
+  PointSet<3> pts = {{{0, 0, 0}}, {{1, 0, 0}}, {{0, 1, 0}},
+                     {{0, 0, 1}}, {{0.2, 0.2, 0.2}}};
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  const Tuples<3> want = {{{0, 1, 2}}, {{0, 1, 3}}, {{0, 2, 3}}, {{1, 2, 3}}};
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), want);
+
+  // Deleting vertex 0 leaves only 3 surviving hull vertices: the full
+  // re-seed path, and the interior point resurfaces as a vertex.
+  auto res = engine.delete_batch({0});
+  ASSERT_TRUE(res.ok) << to_string(res.status);
+  EXPECT_TRUE(res.full_rebuild);
+  const Tuples<3> after = {{{1, 2, 3}}, {{1, 2, 4}}, {{1, 3, 4}}, {{2, 3, 4}}};
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), after);
+}
+
+TEST(EngineGolden3D, OctahedronCorpus) {
+  PointSet<3> pts = {{{1, 0, 0}},  {{-1, 0, 0}}, {{0, 1, 0}},
+                     {{0, 0, 1}},  {{0, -1, 0}}, {{0, 0, -1}}};
+  const Tuples<3> want = {{{0, 2, 3}}, {{0, 2, 5}}, {{0, 3, 4}}, {{0, 4, 5}},
+                          {{1, 2, 3}}, {{1, 2, 5}}, {{1, 3, 4}}, {{1, 4, 5}}};
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*engine.snapshot()), want);
+
+  HullEngine<3> split;
+  PointSet<3> first(pts.begin(), pts.begin() + 4);
+  PointSet<3> rest(pts.begin() + 4, pts.end());
+  ASSERT_TRUE(split.insert_batch(first).ok);
+  ASSERT_TRUE(split.insert_batch(rest).ok);
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*split.snapshot()), want);
+
+  auto snap = engine.snapshot();
+  EXPECT_EQ(locate_point<3>(*snap, {{0, 0, 0}}), PointLocation::kInside);
+  EXPECT_EQ(locate_point<3>(*snap, {{0.5, 0.5, 0}}),
+            PointLocation::kOnBoundary);
+  EXPECT_EQ(locate_point<3>(*snap, {{1, 1, 1}}), PointLocation::kOutside);
+}
+
+// ---------------------------------------------------------------------------
+// Negative-path query fuzz: empty, single-simplex, tombstone-heavy.
+// ---------------------------------------------------------------------------
+
+// Exact membership oracle: no cached planes, orient<D> per facet.
+template <int D>
+PointLocation brute_locate(const HullSnapshot<D>& snap, const Point<D>& q) {
+  bool boundary = false;
+  for (const SnapshotFacet<D>& f : snap.facets) {
+    std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
+    for (int i = 0; i < D; ++i) {
+      ptr[static_cast<std::size_t>(i)] =
+          &(*snap.points)[f.vertices[static_cast<std::size_t>(i)]];
+    }
+    ptr[static_cast<std::size_t>(D)] = &q;
+    const int s = orient<D>(ptr);
+    if (s > 0) return PointLocation::kOutside;
+    if (s == 0) boundary = true;
+  }
+  return boundary ? PointLocation::kOnBoundary : PointLocation::kInside;
+}
+
+TEST(EngineQueryFuzz, EmptySnapshotIsHullOfNothing) {
+  HullSnapshot<3> empty3;
+  EXPECT_EQ(locate_point<3>(empty3, {{0, 0, 0}}), PointLocation::kOutside);
+  EXPECT_FALSE(point_in_hull<3>(empty3, {{0.5, 0, 0}}));
+  EXPECT_TRUE(visible_facets<3>(empty3, {{1, 2, 3}}).empty());
+  const auto ex3 = extreme_point<3>(empty3, {{1, 0, 0}});
+  EXPECT_EQ(ex3.vertex, kInvalidPoint);
+  EXPECT_EQ(ex3.value, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(ex3.facets_visited, 0u);
+
+  HullSnapshot<2> empty2;
+  EXPECT_EQ(locate_point<2>(empty2, {{0, 0}}), PointLocation::kOutside);
+  const auto ex2 = extreme_point<2>(empty2, {{0, 1}});
+  EXPECT_EQ(ex2.vertex, kInvalidPoint);
+  EXPECT_EQ(ex2.value, -std::numeric_limits<double>::infinity());
+}
+
+TEST(EngineQueryFuzz, SingleSimplexMillionProbeAgreement) {
+  PointSet<3> tetra = {{{0, 0, 0}}, {{2, 0, 0}}, {{0, 2, 0}}, {{0, 0, 2}}};
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(tetra).ok);
+  auto snap = engine.snapshot();
+  ASSERT_EQ(snap->facet_count(), 4u);
+
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> u(-1.5, 2.5);
+  constexpr int kProbes = 1000000;
+  int mismatches = 0;
+  Point<3> first_bad{};
+  for (int i = 0; i < kProbes; ++i) {
+    const Point<3> q{{u(rng), u(rng), u(rng)}};
+    const PointLocation want = brute_locate<3>(*snap, q);
+    if (locate_point<3>(*snap, q) != want) {
+      if (mismatches == 0) first_bad = q;
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0) << "first at (" << first_bad[0] << ", "
+                           << first_bad[1] << ", " << first_bad[2] << ")";
+}
+
+TEST(EngineQueryFuzz, TombstoneHeavySnapshotAgreement) {
+  auto pts = random_order(uniform_ball<3>(2000, 467), 479);
+  ASSERT_TRUE(prepare_input<3>(pts));
+  HullEngine<3> engine;
+  ASSERT_TRUE(engine.insert_batch(pts).ok);
+  // Tombstone ~90% of the cloud in one batch.
+  std::vector<PointId> dels;
+  for (PointId id = 4; id < 2000; ++id) {
+    if ((static_cast<std::uint64_t>(id) * 2654435761ull) % 10 != 0) {
+      dels.push_back(id);
+    }
+  }
+  ASSERT_GT(dels.size(), 1600u);
+  ASSERT_TRUE(engine.delete_batch(dels).ok);
+  auto snap = engine.snapshot();
+  EXPECT_EQ(snap->live_points, 2000u - dels.size());
+  EXPECT_EQ(canonical_snapshot_tuples<3>(*snap), snapshot_oracle<3>(*snap));
+
+  std::mt19937_64 rng(987654321);
+  std::uniform_real_distribution<double> u(-1.5, 1.5);
+  int mismatches = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const Point<3> q{{u(rng), u(rng), u(rng)}};
+    if (locate_point<3>(*snap, q) != brute_locate<3>(*snap, q)) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+
+  // Extreme-point walks must land on LIVE hull vertices only.
+  const auto verts = hull_vertex_ids<3>(*snap);
+  auto dirs = uniform_ball<3>(200, 491);
+  for (const auto& dir : dirs) {
+    const auto res = extreme_point<3>(*snap, dir);
+    ASSERT_NE(res.vertex, kInvalidPoint);
+    EXPECT_FALSE(snap->is_deleted(res.vertex));
+    double best = -std::numeric_limits<double>::infinity();
+    for (PointId v : verts) best = std::max(best, dir.dot((*snap->points)[v]));
+    EXPECT_EQ(res.value, best);
+  }
+}
+
+}  // namespace
+}  // namespace parhull
