@@ -1,0 +1,541 @@
+// E18: hull service under load (docs/SERVICE.md, EXPERIMENTS.md §E18).
+//
+// A load-replay harness: an in-process HullServer on an ephemeral loopback
+// port, driven by ≥ 1000 simulated client connections spread across ≥ 8
+// tenants. Every connection runs a scripted mixed-traffic session — text
+// gen/insert, a binary bulk-insert frame, query/extreme/visible probes,
+// then deletions and an update of its OWN committed ids (parsed from the
+// insert reply's `ids [F..G)` range) — with one outstanding request per
+// connection, multiplexed by a handful of poll()-based client threads.
+//
+// Measured: per-verb reply latency (request written → reply line complete),
+// reported as p50/p99/p999/max. Verified, hard-fail: after the load drains,
+// every tenant's published facet set must be bit-identical to a one-shot
+// sequential hull of that tenant's survivor set (invariant I10 through the
+// socket path), there must be zero protocol errors, zero shed frames (the
+// run is sized under the shed thresholds — sheds would mean the admission
+// control fired on a healthy load), and every scripted request must have
+// received its reply (no stalls).
+//
+// Quick mode: 1000 connections x 12 requests across 8 tenants.
+// Full mode:  2000 connections x 16 requests across 16 tenants.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/hull/hull_common.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/service/listener.h"
+#include "parhull/service/protocol.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+using namespace parhull::bench;
+using namespace parhull::service;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Tuples = std::vector<std::array<PointId, 3>>;
+
+// Verbs with their own latency series.
+enum Verb : int {
+  kVerbInsert = 0,  // text gen / insert
+  kVerbBinInsert,   // binary bulk-insert frame
+  kVerbDelete,
+  kVerbUpdate,
+  kVerbQuery,
+  kVerbExtreme,
+  kVerbVisible,
+  kVerbTenant,  // the per-connection `tenant NAME` bind
+  kVerbCount
+};
+
+const char* verb_name(int v) {
+  switch (v) {
+    case kVerbInsert: return "insert";
+    case kVerbBinInsert: return "insert_binary";
+    case kVerbDelete: return "delete";
+    case kVerbUpdate: return "update";
+    case kVerbQuery: return "query";
+    case kVerbExtreme: return "extreme";
+    case kVerbVisible: return "visible";
+    case kVerbTenant: return "tenant";
+    default: return "?";
+  }
+}
+
+struct Config {
+  std::size_t connections = 1000;
+  std::size_t tenants = 8;
+  std::size_t requests_per_conn = 12;
+  std::size_t gen_points = 16;   // first insert of every connection
+  std::size_t seed_points = 512; // pre-seeded per tenant (bootstraps it)
+  int client_threads = 4;
+  int worker_threads = 4;
+};
+
+// One scripted request: pre-encoded bytes plus the id-range placeholder
+// resolution done at send time (delete/update target ids parsed from this
+// connection's own insert reply).
+struct ClientConn {
+  int fd = -1;
+  std::size_t id = 0;       // global connection index
+  std::string tenant;
+  std::size_t step = 0;     // next request to send
+  bool sent = false;        // request in flight
+  bool done = false;
+  std::string out;          // unsent request bytes
+  std::string in;           // reply bytes until '\n'
+  Clock::time_point t_send{};
+  int verb = 0;             // verb of the in-flight request
+  // ids [first, first+count) owned by this connection (from its gen).
+  std::uint64_t first_id = 0;
+  std::uint64_t id_count = 0;
+  std::size_t replies = 0;
+  std::size_t overloaded = 0;
+};
+
+struct Sample {
+  int verb;
+  double ms;
+};
+
+// Build the next request for `c`, or return false when the script is done.
+bool next_request(const Config& cfg, ClientConn& c) {
+  const std::size_t conn = c.id;
+  const std::uint64_t seed = 0x9e3779b97f4a7c15ull ^ (conn * 2654435761ull);
+  auto coord = [&](int k) {
+    // Deterministic pseudo-coordinates in (-1, 1), distinct per conn/step.
+    const std::uint64_t h =
+        (seed + c.step * 1315423911ull + static_cast<std::uint64_t>(k)) *
+        0x2545f4914f6cdd1dull;
+    return static_cast<double>(h % 20001) / 10000.5 - 1.0;
+  };
+  c.verb = kVerbQuery;
+  switch (c.step) {
+    case 0:
+      c.out = "tenant " + c.tenant + "\n";
+      c.verb = kVerbTenant;
+      break;
+    case 1:
+      c.out = "gen " + std::to_string(cfg.gen_points) + " " +
+              std::to_string(seed % 100000) + "\n";
+      c.verb = kVerbInsert;
+      break;
+    case 2: {
+      // Binary bulk insert: 4 points on the unit sphere.
+      const PointSet<3> pts = on_sphere<3>(4, seed ^ 0xabcdu);
+      std::string payload(reinterpret_cast<const char*>(pts.data()),
+                          pts.size() * sizeof(Point<3>));
+      c.out = build_binary_frame(kBinInsert, c.tenant, payload);
+      c.verb = kVerbBinInsert;
+      break;
+    }
+    case 3:
+      c.out = "insert " + std::to_string(coord(0)) + " " +
+              std::to_string(coord(1)) + " " + std::to_string(coord(2)) +
+              "\n";
+      c.verb = kVerbInsert;
+      break;
+    case 4:
+      c.out = "extreme " + std::to_string(coord(0)) + " " +
+              std::to_string(coord(1)) + " " + std::to_string(coord(2)) +
+              "\n";
+      c.verb = kVerbExtreme;
+      break;
+    case 5:
+      c.out = "visible 2 2 2\n";
+      c.verb = kVerbVisible;
+      break;
+    case 6:
+      // Delete two of this connection's own gen ids (unique ownership, so
+      // no cross-connection validation races).
+      if (c.id_count >= 4) {
+        c.out = "delete " + std::to_string(c.first_id) + " " +
+                std::to_string(c.first_id + 1) + "\n";
+        c.verb = kVerbDelete;
+      } else {
+        c.out = "query 0 0 0\n";
+      }
+      break;
+    case 7:
+      if (c.id_count >= 4) {
+        c.out = "update " + std::to_string(c.first_id + 2) + " " +
+                std::to_string(coord(0)) + " " + std::to_string(coord(1)) +
+                " " + std::to_string(coord(2)) + "\n";
+        c.verb = kVerbUpdate;
+      } else {
+        c.out = "query 0 0 0\n";
+      }
+      break;
+    default: {
+      if (c.step >= cfg.requests_per_conn) return false;
+      // Tail: alternating probes.
+      const int which = static_cast<int>(c.step % 3);
+      const char* v = which == 0 ? "query" : which == 1 ? "extreme"
+                                                        : "visible";
+      c.verb = which == 0 ? kVerbQuery : which == 1 ? kVerbExtreme
+                                                    : kVerbVisible;
+      c.out = std::string(v) + " " + std::to_string(coord(0)) + " " +
+              std::to_string(coord(1)) + " " + std::to_string(coord(2)) +
+              "\n";
+      break;
+    }
+  }
+  ++c.step;
+  return true;
+}
+
+// Parse "ids [F..G)" from a text insert reply.
+void parse_id_range(const std::string& reply, ClientConn& c) {
+  const std::size_t pos = reply.find("ids [");
+  if (pos == std::string::npos) return;
+  unsigned long first = 0, last = 0;
+  if (std::sscanf(reply.c_str() + pos, "ids [%lu..%lu)", &first, &last) == 2 &&
+      last > first) {
+    c.first_id = first;
+    c.id_count = last - first;
+  }
+}
+
+void handle_reply(const Config& cfg, ClientConn& c, const std::string& reply,
+                  std::vector<Sample>& samples) {
+  const double ms = std::chrono::duration<double, std::milli>(
+                        Clock::now() - c.t_send)
+                        .count();
+  samples.push_back({c.verb, ms});
+  ++c.replies;
+  if (reply.rfind("overloaded:", 0) == 0) ++c.overloaded;
+  if (c.verb == kVerbInsert && c.id_count == 0) parse_id_range(reply, c);
+  c.sent = false;
+  if (!next_request(cfg, c)) c.done = true;
+}
+
+// One client thread: poll()-multiplex its share of connections, one
+// outstanding request each. Returns false on a stall (no progress within
+// the timeout) or connection error.
+bool run_clients(const Config& cfg, std::uint16_t port,
+                 std::vector<ClientConn*> conns, std::vector<Sample>& samples,
+                 std::string& error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  for (ClientConn* c : conns) {
+    c->fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (c->fd < 0 ||
+        ::connect(c->fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      error = "connect failed: " + std::string(std::strerror(errno));
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(c->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    next_request(cfg, *c);
+  }
+
+  std::vector<pollfd> pfds(conns.size());
+  std::vector<char> buf(1 << 16);
+  std::size_t live = conns.size();
+  while (live > 0) {
+    std::size_t n = 0;
+    for (ClientConn* c : conns) {
+      if (c->done && !c->sent && c->out.empty()) continue;
+      pfds[n].fd = c->fd;
+      pfds[n].events = static_cast<short>(
+          (c->sent ? POLLIN : 0) | (!c->out.empty() || !c->sent ? POLLOUT : 0));
+      ++n;
+    }
+    const int rc = ::poll(pfds.data(), n, 20000);
+    if (rc == 0) {
+      error = "stall: no socket activity for 20 s";
+      return false;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      error = "poll: " + std::string(std::strerror(errno));
+      return false;
+    }
+    std::size_t k = 0;
+    for (ClientConn* c : conns) {
+      if (c->done && !c->sent && c->out.empty()) continue;
+      const short rev = pfds[k++].revents;
+      if (rev & (POLLERR | POLLHUP)) {
+        error = "connection dropped by the server";
+        return false;
+      }
+      if ((rev & POLLOUT) && (!c->out.empty() || !c->sent)) {
+        if (!c->sent && !c->out.empty()) c->t_send = Clock::now();
+        while (!c->out.empty()) {
+          const ssize_t w =
+              ::send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
+          if (w > 0) {
+            c->out.erase(0, static_cast<std::size_t>(w));
+            continue;
+          }
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (w < 0 && errno == EINTR) continue;
+          error = "send: " + std::string(std::strerror(errno));
+          return false;
+        }
+        if (c->out.empty()) c->sent = true;
+      }
+      if ((rev & POLLIN) && c->sent) {
+        const ssize_t r = ::recv(c->fd, buf.data(), buf.size(), 0);
+        if (r > 0) {
+          c->in.append(buf.data(), static_cast<std::size_t>(r));
+          std::size_t nl;
+          while ((nl = c->in.find('\n')) != std::string::npos) {
+            std::string reply = c->in.substr(0, nl + 1);
+            c->in.erase(0, nl + 1);
+            handle_reply(cfg, *c, reply, samples);
+            if (c->done) break;
+          }
+        } else if (r == 0) {
+          error = "server closed the connection mid-script";
+          return false;
+        } else if (errno != EAGAIN && errno != EINTR) {
+          error = "recv: " + std::string(std::strerror(errno));
+          return false;
+        }
+      }
+      if (c->done && !c->sent) {
+        ::close(c->fd);
+        c->fd = -1;
+        --live;
+      }
+    }
+  }
+  return true;
+}
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+// One-shot sequential hull of a snapshot's survivor set, as canonical
+// sorted id-tuples (the I10 oracle of tests/test_engine_dynamic.cpp,
+// without the gtest harness).
+bool snapshot_matches_oracle(const HullSnapshot<3>& snap) {
+  PointSet<3> live;
+  std::vector<PointId> ids;
+  for (std::size_t i = 0; i < snap.point_count(); ++i) {
+    const PointId id = static_cast<PointId>(i);
+    if (!snap.is_deleted(id)) {
+      live.push_back((*snap.points)[i]);
+      ids.push_back(id);
+    }
+  }
+  if (!prepare_input_tracked<3>(live, ids)) return false;
+  SequentialHull<3> seq;
+  auto res = seq.run(live);
+  if (!res.ok) return false;
+  Tuples oracle;
+  oracle.reserve(res.hull.size());
+  for (FacetId fid : res.hull) {
+    const Facet<3>& f = seq.facet(fid);
+    std::array<PointId, 3> t{};
+    for (int v = 0; v < 3; ++v) {
+      t[static_cast<std::size_t>(v)] =
+          ids[f.vertices[static_cast<std::size_t>(v)]];
+    }
+    std::sort(t.begin(), t.end());
+    oracle.push_back(t);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  return canonical_snapshot_tuples<3>(snap) == oracle;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  Config cfg;
+  if (opt.full) {
+    cfg.connections = 2000;
+    cfg.tenants = 16;
+    cfg.requests_per_conn = 16;
+  }
+
+  ServiceOptions sopts;
+  sopts.worker_threads = cfg.worker_threads;
+  sopts.max_connections = cfg.connections + 64;
+  // Sized so a healthy run never sheds: every shed is a reported failure.
+  sopts.max_queued_frames = cfg.connections * 2 + 64;
+  sopts.tenants.max_tenants = cfg.tenants + 4;
+  sopts.tenants.session.limits.max_pending_requests = cfg.connections + 64;
+  HullServer server(sopts);
+  if (server.start() != HullStatus::kOk) {
+    std::cerr << "failed to start the in-process service\n";
+    return 1;
+  }
+
+  // Pre-seed every tenant so clients never hit the bootstrap buffer.
+  {
+    TenantRegistry& reg = server.registry();
+    for (std::size_t t = 0; t < cfg.tenants; ++t) {
+      TenantSession* s = reg.get_or_create("bench-" + std::to_string(t));
+      const CommandResult res = s->execute(
+          "gen " + std::to_string(cfg.seed_points) + " " +
+          std::to_string(1000 + t));
+      if (res.status != HullStatus::kOk) {
+        std::cerr << "tenant seed failed: " << res.text;
+        return 1;
+      }
+    }
+  }
+
+  std::vector<ClientConn> conns(cfg.connections);
+  for (std::size_t i = 0; i < cfg.connections; ++i) {
+    conns[i].id = i;
+    conns[i].tenant = "bench-" + std::to_string(i % cfg.tenants);
+  }
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Sample>> samples(
+      static_cast<std::size_t>(cfg.client_threads));
+  std::vector<std::string> errors(static_cast<std::size_t>(cfg.client_threads));
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < cfg.client_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<ClientConn*> mine;
+      for (std::size_t i = static_cast<std::size_t>(t); i < conns.size();
+           i += static_cast<std::size_t>(cfg.client_threads)) {
+        mine.push_back(&conns[i]);
+      }
+      if (!run_clients(cfg, server.port(), std::move(mine),
+                       samples[static_cast<std::size_t>(t)],
+                       errors[static_cast<std::size_t>(t)])) {
+        ok = false;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  for (const std::string& e : errors) {
+    if (!e.empty()) std::cerr << "client error: " << e << "\n";
+  }
+
+  // Per-verb latency distribution.
+  std::array<std::vector<double>, kVerbCount> by_verb;
+  std::size_t total_replies = 0;
+  std::size_t overloaded_replies = 0;
+  for (const auto& vec : samples) {
+    for (const Sample& s : vec) by_verb[static_cast<std::size_t>(s.verb)]
+        .push_back(s.ms);
+  }
+  for (const ClientConn& c : conns) {
+    total_replies += c.replies;
+    overloaded_replies += c.overloaded;
+  }
+
+  Table lat({"verb", "count", "p50_ms", "p99_ms", "p999_ms", "max_ms"});
+  for (int v = 0; v < kVerbCount; ++v) {
+    auto& vec = by_verb[static_cast<std::size_t>(v)];
+    if (vec.empty()) continue;
+    const double mx = *std::max_element(vec.begin(), vec.end());
+    lat.row()
+        .cell(verb_name(v))
+        .cell(static_cast<std::uint64_t>(vec.size()))
+        .cell(percentile(vec, 0.50))
+        .cell(percentile(vec, 0.99))
+        .cell(percentile(vec, 0.999))
+        .cell(mx);
+  }
+  print_banner(std::cout, "E18: service latency under load");
+  emit(opt, lat, "latency_by_verb");
+
+  const ServiceStats stats = server.stats();
+  const std::size_t expected_replies = cfg.connections * cfg.requests_per_conn;
+  Table svc({"connections", "tenants", "frames", "commands", "shed",
+             "protocol_errors", "replies", "expected", "wall_ms",
+             "frames_per_s"});
+  svc.row()
+      .cell(static_cast<std::uint64_t>(cfg.connections))
+      .cell(static_cast<std::uint64_t>(cfg.tenants))
+      .cell(stats.frames_total)
+      .cell(stats.commands_total)
+      .cell(stats.shed_frames)
+      .cell(stats.protocol_errors)
+      .cell(static_cast<std::uint64_t>(total_replies))
+      .cell(static_cast<std::uint64_t>(expected_replies))
+      .cell(wall_ms, 1)
+      .cell(wall_ms > 0 ? static_cast<double>(stats.frames_total) /
+                              (wall_ms / 1000.0)
+                        : 0,
+            1);
+  emit(opt, svc, "service");
+
+  // I10 through the socket path: every tenant's facet set must equal the
+  // one-shot hull of its survivors.
+  bool i10_ok = true;
+  Table ver({"tenant", "points", "live", "facets", "oracle"});
+  for (const std::string& name : server.registry().names()) {
+    TenantSession* s = server.registry().find(name);
+    auto snap = s->snapshot();
+    const bool match = snap != nullptr && snapshot_matches_oracle(*snap);
+    if (!match) i10_ok = false;
+    ver.row()
+        .cell(name)
+        .cell(static_cast<std::uint64_t>(snap ? snap->point_count() : 0))
+        .cell(static_cast<std::uint64_t>(snap ? snap->live_points : 0))
+        .cell(static_cast<std::uint64_t>(snap ? snap->facet_count() : 0))
+        .cell(match ? "match" : "MISMATCH");
+  }
+  emit(opt, ver, "i10_verification");
+
+  server.stop();
+  write_json(opt, "E18");
+
+  if (!ok) {
+    std::cerr << "FAIL: client stall or connection error\n";
+    return 1;
+  }
+  if (total_replies != expected_replies) {
+    std::cerr << "FAIL: " << total_replies << " replies for "
+              << expected_replies << " requests\n";
+    return 1;
+  }
+  if (stats.protocol_errors != 0 || stats.shed_frames != 0 ||
+      overloaded_replies != 0) {
+    std::cerr << "FAIL: " << stats.protocol_errors << " protocol errors, "
+              << stats.shed_frames << " shed frames, " << overloaded_replies
+              << " overloaded replies on a healthy load\n";
+    return 1;
+  }
+  if (!i10_ok) {
+    std::cerr << "FAIL: a tenant's facet set differs from the one-shot "
+                 "oracle (invariant I10)\n";
+    return 1;
+  }
+  std::cout << "OK: " << total_replies << " replies from "
+            << cfg.connections << " connections across " << cfg.tenants
+            << " tenants; every tenant matches the I10 oracle\n";
+  return 0;
+}

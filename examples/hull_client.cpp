@@ -1,0 +1,144 @@
+// Transcript replay client for the hull service: pumps stdin to the
+// server and server bytes to stdout until both sides are done. Relies on
+// the service's half-close contract (docs/SERVICE.md): after the client
+// shuts down its write side, the server executes everything it received,
+// flushes every reply, and closes — so
+//
+//   ./example_hull_client --port P < transcript.txt > replies.txt
+//
+// replays a REPL transcript over the socket and captures byte-exact
+// replies (the service-smoke CI job diffs them against the stdio REPL's
+// golden output).
+//
+// Flags:
+//   --host ADDR     server address (default 127.0.0.1)
+//   --port P        server port (required)
+//   --timeout-ms T  give up when the server goes silent this long
+//                   (default 30000; exit code 3)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool next_arg(int argc, char** argv, int& i, long& value) {
+  if (i + 1 >= argc) return false;
+  value = std::strtol(argv[++i], nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long port = 0;
+  long timeout_ms = 30000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long v = 0;
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && next_arg(argc, argv, i, v)) {
+      port = v;
+    } else if (arg == "--timeout-ms" && next_arg(argc, argv, i, v)) {
+      timeout_ms = v;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::cerr << "usage: hull_client --port P [--host ADDR] [--timeout-ms T]\n";
+    return 2;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::cerr << "connect " << host << ":" << port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Ship the whole transcript, then half-close: the server's reply-drain
+  // contract does the rest. Transcripts are scripts, not conversations, so
+  // there is no need to interleave reads with writes for correctness —
+  // but we still drain the socket while writing so a reply burst larger
+  // than the kernel buffers cannot deadlock the two pipes.
+  std::string pending;
+  std::vector<char> buf(1 << 16);
+  bool stdin_eof = false;
+  bool sent_fin = false;
+  while (true) {
+    if (!stdin_eof && pending.size() < buf.size()) {
+      std::cin.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+      const std::streamsize got = std::cin.gcount();
+      if (got > 0) pending.append(buf.data(), static_cast<std::size_t>(got));
+      if (!std::cin) stdin_eof = true;
+    }
+    if (stdin_eof && pending.empty() && !sent_fin) {
+      ::shutdown(fd, SHUT_WR);
+      sent_fin = true;
+    }
+
+    pollfd pfd{fd, POLLIN, 0};
+    if (!pending.empty()) pfd.events |= POLLOUT;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc == 0) {
+      std::cerr << "timeout: no server activity for " << timeout_ms
+                << " ms\n";
+      ::close(fd);
+      return 3;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "poll: " << std::strerror(errno) << "\n";
+      ::close(fd);
+      return 1;
+    }
+    if (pfd.revents & (POLLIN | POLLERR | POLLHUP)) {
+      const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+      if (n > 0) {
+        std::cout.write(buf.data(), n);
+        continue;
+      }
+      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) {
+        break;  // server closed (or died): transcript is done
+      }
+    }
+    if ((pfd.revents & POLLOUT) && !pending.empty()) {
+      const ssize_t n =
+          ::send(fd, pending.data(), pending.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        pending.erase(0, static_cast<std::size_t>(n));
+      } else if (n < 0 && errno != EAGAIN && errno != EINTR) {
+        std::cerr << "send: " << std::strerror(errno) << "\n";
+        ::close(fd);
+        return 1;
+      }
+    }
+  }
+  std::cout << std::flush;
+  ::close(fd);
+  return 0;
+}

@@ -1,244 +1,72 @@
-// Interactive hull server: a stdin command loop over the batch-dynamic
-// engine (docs/ENGINE.md). Inserts go through a RequestBatcher — the same
-// MPMC submit / coalesce / publish path a real service would use — and
-// queries run the engine/query.h kernels against the freshest snapshot,
-// which never blocks on a batch in flight.
+// Interactive hull REPL: a thin stdio adapter over the shared service
+// command dispatch (src/parhull/service/commands.h). Every verb — gen /
+// insert / delete / update / query / extreme / visible / stats — runs
+// through TenantSession::execute, the exact code path the network service
+// (examples/hull_service.cpp) multiplexes across tenants, so the two
+// surfaces answer byte-for-byte identically and the golden-transcript
+// tests pin both at once (docs/SERVICE.md).
 //
 //   ./example_hull_server < commands.txt
 //
-// Commands (one per line; '#' starts a comment):
-//   gen N SEED        submit N pseudo-random points on the unit sphere
-//   insert X Y Z      submit one point
-//   delete ID...      tombstone points by id (change propagation re-closes
-//                     the hull when deleted ids are hull vertices)
-//   update ID X Y Z   atomically delete ID and insert (X,Y,Z) in one epoch
-//   query X Y Z       locate the point: inside / boundary / outside
-//   extreme X Y Z     hull vertex maximizing the dot product with (X,Y,Z)
-//   visible X Y Z     count facets visible from the point
-//   stats             engine epoch statistics
-//   help              this list
-//   quit              drain pending inserts and exit
+// Flags:
+//   --max-points-per-command N   per-command admission cap (default 2^20)
+//   --max-points-per-tenant N    whole-session point budget (default 2^23)
+//   --deadline-ms MS             per-batch Supervisor deadline (SLO)
+//   --watchdog-ms MS             per-batch stall watchdog
 //
-// The first submission must contain 4 affinely independent points
-// (HullEngine's first-batch contract), so manual `insert`s are buffered
-// locally until the buffer passes prepare_input<3>; everything after the
-// bootstrap is submitted immediately.
-#include <future>
+// The abuse guards live in the dispatch, not here: `gen` is capped before
+// it allocates, and `extreme`/`visible` against an empty hull answer
+// "hull is empty" instead of indexing with an invalid vertex id.
+#include <cstdlib>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "parhull/engine/batcher.h"
-#include "parhull/engine/query.h"
-#include "parhull/engine/snapshot.h"
-#include "parhull/workload/generators.h"
+#include "parhull/service/commands.h"
 
 using namespace parhull;
+using namespace parhull::service;
 
 namespace {
 
-using Batcher = RequestBatcher<3>;
-
-void print_help() {
-  std::cout << "commands:\n"
-               "  gen N SEED      submit N points on the unit sphere\n"
-               "  insert X Y Z    submit one point\n"
-               "  delete ID...    tombstone points by id\n"
-               "  update ID X Y Z atomic delete + insert in one epoch\n"
-               "  query X Y Z     inside / boundary / outside\n"
-               "  extreme X Y Z   hull vertex maximizing dot(v, dir)\n"
-               "  visible X Y Z   count facets visible from the point\n"
-               "  stats           engine epoch statistics\n"
-               "  help            this list\n"
-               "  quit            drain pending inserts and exit\n";
-}
-
-// Submit and report synchronously; the REPL is single-producer, so waiting
-// on the future here keeps the output ordered with the commands.
-void submit_and_report(Batcher& batcher, PointSet<3> pts) {
-  const std::size_t n = pts.size();
-  auto fut = batcher.submit(std::move(pts));
-  const Batcher::InsertOutcome out = fut.get();
-  if (out.ok) {
-    std::cout << "ok: +" << n << " points committed at epoch " << out.epoch
-              << " (batch of " << out.batch_points << ")\n";
-  } else {
-    std::cout << "insert failed: " << to_string(out.status) << "\n";
-  }
-}
-
-bool read_point(std::istringstream& in, Point<3>& p) {
-  if (!(in >> p[0] >> p[1] >> p[2])) {
-    std::cout << "expected three coordinates\n";
-    return false;
-  }
-  if (!finite<3>(p)) {
-    std::cout << "coordinates must be finite\n";
-    return false;
-  }
+bool next_arg(int argc, char** argv, int& i, long& value) {
+  if (i + 1 >= argc) return false;
+  value = std::strtol(argv[++i], nullptr, 10);
   return true;
 }
 
 }  // namespace
 
-int main() {
-  Batcher batcher;
-  PointSet<3> bootstrap;  // buffered until it can seed the first simplex
-  bool bootstrapped = false;
-  print_help();
+int main(int argc, char** argv) {
+  TenantSession::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long v = 0;
+    if (arg == "--max-points-per-command" && next_arg(argc, argv, i, v)) {
+      opts.limits.max_points_per_command = static_cast<std::size_t>(v);
+    } else if (arg == "--max-points-per-tenant" && next_arg(argc, argv, i, v)) {
+      opts.limits.max_points_per_tenant = static_cast<std::size_t>(v);
+    } else if (arg == "--deadline-ms" && next_arg(argc, argv, i, v)) {
+      opts.batcher.supervisor.deadline_ms = static_cast<double>(v);
+    } else if (arg == "--watchdog-ms" && next_arg(argc, argv, i, v)) {
+      opts.batcher.supervisor.watchdog_ms = static_cast<double>(v);
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  TenantSession session(opts);
+  std::cout << TenantSession::help_text();
 
   std::string line;
   while (std::getline(std::cin, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream in(line);
-    std::string cmd;
-    if (!(in >> cmd)) continue;
-
-    if (cmd == "quit" || cmd == "exit") break;
-    if (cmd == "help") {
-      print_help();
-      continue;
-    }
-
-    if (cmd == "gen" || cmd == "insert") {
-      PointSet<3> pts;
-      if (cmd == "gen") {
-        long n = 0;
-        unsigned long seed = 0;
-        if (!(in >> n >> seed) || n <= 0) {
-          std::cout << "usage: gen N SEED\n";
-          continue;
-        }
-        pts = on_sphere<3>(static_cast<std::size_t>(n),
-                           static_cast<std::uint64_t>(seed));
-      } else {
-        Point<3> p;
-        if (!read_point(in, p)) continue;
-        pts.push_back(p);
-      }
-      if (!bootstrapped) {
-        bootstrap.insert(bootstrap.end(), pts.begin(), pts.end());
-        PointSet<3> seeded = bootstrap;
-        if (!prepare_input<3>(seeded)) {
-          std::cout << "buffered " << pts.size() << " point(s); "
-                    << bootstrap.size()
-                    << " total (need 4 affinely independent to start)\n";
-          continue;
-        }
-        bootstrapped = true;
-        bootstrap.clear();
-        submit_and_report(batcher, std::move(seeded));
-      } else {
-        submit_and_report(batcher, std::move(pts));
-      }
-      continue;
-    }
-
-    if (cmd == "delete") {
-      std::vector<PointId> ids;
-      unsigned long id = 0;
-      while (in >> id) ids.push_back(static_cast<PointId>(id));
-      if (ids.empty()) {
-        std::cout << "usage: delete ID [ID...]\n";
-        continue;
-      }
-      auto fut = batcher.submit_delete(std::move(ids));
-      const Batcher::InsertOutcome out = fut.get();
-      if (out.ok) {
-        std::cout << "ok: " << out.deleted_points
-                  << " point(s) tombstoned at epoch " << out.epoch << "\n";
-      } else if (out.status == HullStatus::kBadInput) {
-        std::cout << "delete rejected: ids must be in range, alive, and "
-                     "distinct (docs/ERRORS.md)\n";
-      } else {
-        std::cout << "delete failed: " << to_string(out.status) << "\n";
-      }
-      continue;
-    }
-
-    if (cmd == "update") {
-      unsigned long id = 0;
-      if (!(in >> id)) {
-        std::cout << "usage: update ID X Y Z\n";
-        continue;
-      }
-      Point<3> p;
-      if (!read_point(in, p)) continue;
-      PointSet<3> moved;
-      moved.push_back(p);
-      auto fut = batcher.submit_update({static_cast<PointId>(id)},
-                                       std::move(moved));
-      const Batcher::InsertOutcome out = fut.get();
-      if (out.ok) {
-        std::cout << "ok: point " << id << " moved at epoch " << out.epoch
-                  << " (the replacement has a fresh id)\n";
-      } else if (out.status == HullStatus::kBadInput) {
-        std::cout << "update rejected: id must be in range and alive "
-                     "(docs/ERRORS.md)\n";
-      } else {
-        std::cout << "update failed: " << to_string(out.status) << "\n";
-      }
-      continue;
-    }
-
-    if (cmd == "query" || cmd == "extreme" || cmd == "visible") {
-      Point<3> p;
-      if (!read_point(in, p)) continue;
-      auto snap = batcher.snapshot();
-      if (snap == nullptr) {
-        std::cout << "no hull yet (insert points first)\n";
-        continue;
-      }
-      if (cmd == "query") {
-        switch (locate_point<3>(*snap, p)) {
-          case PointLocation::kInside:
-            std::cout << "inside (epoch " << snap->epoch << ")\n";
-            break;
-          case PointLocation::kOnBoundary:
-            std::cout << "on boundary (epoch " << snap->epoch << ")\n";
-            break;
-          case PointLocation::kOutside:
-            std::cout << "outside (epoch " << snap->epoch << ")\n";
-            break;
-        }
-      } else if (cmd == "extreme") {
-        const auto res = extreme_point<3>(*snap, p);
-        const Point<3>& v = (*snap->points)[res.vertex];
-        std::cout << "vertex " << res.vertex << " = (" << v[0] << ", " << v[1]
-                  << ", " << v[2] << "), dot " << res.value << " ("
-                  << res.facets_visited << " facets visited)\n";
-      } else {
-        const auto vis = visible_facets<3>(*snap, p);
-        std::cout << vis.size() << " of " << snap->facet_count()
-                  << " facets visible\n";
-      }
-      continue;
-    }
-
-    if (cmd == "stats") {
-      const EngineStats s = batcher.stats();
-      std::cout << "epoch " << s.epoch << ": " << s.live_points << " live of "
-                << s.points << " points, " << s.hull_facets
-                << " hull facets\n"
-                << "batches " << s.batches << " (" << s.delete_batches
-                << " with deletions, " << s.failed_batches << " failed, "
-                << batcher.pending_requests() << " pending), "
-                << s.points_deleted_total << " points deleted, "
-                << s.facets_created_total << " facets created, "
-                << s.visibility_tests_total << " visibility tests, "
-                << s.regrows_total << " regrows\n"
-                << "last batch: " << s.last_batch_points << " points in "
-                << s.last_batch_ms << " ms\n";
-      continue;
-    }
-
-    std::cout << "unknown command '" << cmd << "' (try help)\n";
+    const CommandResult res = session.execute(line);
+    std::cout << res.text << std::flush;
+    if (res.quit) break;
   }
 
-  batcher.close();
-  const EngineStats s = batcher.stats();
+  session.close();
+  const EngineStats s = session.stats();
   std::cout << "final: epoch " << s.epoch << ", " << s.live_points
             << " live of " << s.points << " points, " << s.hull_facets
             << " hull facets\n";

@@ -1,0 +1,122 @@
+// Network daemon for the hull service (docs/SERVICE.md): binds the
+// epoll-based HullServer and serves the line-oriented JSON / plain-text /
+// length-prefixed binary protocol over TCP, multiplexing the REPL verbs
+// across per-tenant engines. SIGINT/SIGTERM (or `quit` on any connection,
+// which only closes that connection — the daemon is stopped by signal)
+// drains accepted work and exits cleanly.
+//
+//   ./example_hull_service --port 7070 --workers 4
+//
+// Flags:
+//   --host ADDR            bind address        (default 127.0.0.1)
+//   --port P               TCP port, 0 = ephemeral (default 0; the chosen
+//                          port is printed on stdout either way)
+//   --workers N            command worker threads (default 4)
+//   --max-connections N    admission cap; beyond it accepts are answered
+//                          kOverloaded and closed (default 4096)
+//   --max-queued-frames N  global shed threshold (default 1024)
+//   --max-tenants N        tenant registry cap (default 64)
+//   --max-pending N        per-tenant batcher depth before shed (def. 256)
+//   --max-points-per-command N / --max-points-per-tenant N
+//                          per-tenant admission budgets
+//   --deadline-ms MS       per-batch Supervisor deadline (the SLO knob)
+//   --watchdog-ms MS       per-batch stall watchdog
+//
+// Prints exactly one readiness line ("hull_service listening on
+// HOST:PORT") so scripts (scripts/service_smoke.sh, bench_e18) can wait
+// for it, then blocks until a signal arrives.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include <semaphore.h>
+
+#include "parhull/service/listener.h"
+
+using namespace parhull;
+using namespace parhull::service;
+
+namespace {
+
+// Signal handling via a semaphore: sem_post is async-signal-safe, and the
+// main thread blocks in sem_wait instead of polling.
+sem_t g_stop_sem;
+
+void on_signal(int) { sem_post(&g_stop_sem); }
+
+bool next_arg(int argc, char** argv, int& i, long& value) {
+  if (i + 1 >= argc) return false;
+  value = std::strtol(argv[++i], nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long v = 0;
+    if (arg == "--host" && i + 1 < argc) {
+      opts.host = argv[++i];
+    } else if (arg == "--port" && next_arg(argc, argv, i, v)) {
+      opts.port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--workers" && next_arg(argc, argv, i, v)) {
+      opts.worker_threads = static_cast<int>(v);
+    } else if (arg == "--max-connections" && next_arg(argc, argv, i, v)) {
+      opts.max_connections = static_cast<std::size_t>(v);
+    } else if (arg == "--max-queued-frames" && next_arg(argc, argv, i, v)) {
+      opts.max_queued_frames = static_cast<std::size_t>(v);
+    } else if (arg == "--max-tenants" && next_arg(argc, argv, i, v)) {
+      opts.tenants.max_tenants = static_cast<std::size_t>(v);
+    } else if (arg == "--max-pending" && next_arg(argc, argv, i, v)) {
+      opts.tenants.session.limits.max_pending_requests =
+          static_cast<std::size_t>(v);
+    } else if (arg == "--max-points-per-command" &&
+               next_arg(argc, argv, i, v)) {
+      opts.tenants.session.limits.max_points_per_command =
+          static_cast<std::size_t>(v);
+    } else if (arg == "--max-points-per-tenant" &&
+               next_arg(argc, argv, i, v)) {
+      opts.tenants.session.limits.max_points_per_tenant =
+          static_cast<std::size_t>(v);
+    } else if (arg == "--deadline-ms" && next_arg(argc, argv, i, v)) {
+      opts.tenants.session.batcher.supervisor.deadline_ms =
+          static_cast<double>(v);
+    } else if (arg == "--watchdog-ms" && next_arg(argc, argv, i, v)) {
+      opts.tenants.session.batcher.supervisor.watchdog_ms =
+          static_cast<double>(v);
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  sem_init(&g_stop_sem, 0, 0);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  HullServer server(opts);
+  if (server.start() != HullStatus::kOk) {
+    std::cerr << "failed to bind " << opts.host << ":" << opts.port << "\n";
+    return 1;
+  }
+  std::cout << "hull_service listening on " << opts.host << ":"
+            << server.port() << "\n"
+            << std::flush;
+
+  while (sem_wait(&g_stop_sem) != 0) {
+  }
+  server.stop();
+
+  const ServiceStats s = server.stats();
+  std::cout << "final: " << s.accepted_total << " connections ("
+            << s.rejected_connections << " rejected), " << s.frames_total
+            << " frames (" << s.shed_frames << " shed, " << s.protocol_errors
+            << " protocol errors), " << s.commands_total << " commands, "
+            << s.tenants << " tenants, " << s.bytes_in << " bytes in, "
+            << s.bytes_out << " bytes out\n";
+  return 0;
+}

@@ -22,6 +22,10 @@
 #   BENCH_e17.json         deletion by change propagation: delete_batch vs
 #                          survivor recompute across deleted fractions,
 #                          update_batch roundtrip latency
+#   BENCH_e18.json         hull service under load: per-verb reply latency
+#                          (p50/p99/p999) from >= 1000 simulated clients
+#                          across >= 8 tenants, with a hard per-tenant
+#                          I10 oracle check through the socket path
 #
 # Exits nonzero if any benchmark fails or if any kernel mode produces a
 # facet set different from the kernel-off reference.
@@ -73,6 +77,10 @@ echo "==== E17: deletion by change propagation ===="
 "$build_dir/bench/bench_e17_deletion" "${full_flag[@]}" \
   --json "$out_dir/BENCH_e17.json"
 
+echo "==== E18: hull service under load ===="
+"$build_dir/bench/bench_e18_service" "${full_flag[@]}" \
+  --json "$out_dir/BENCH_e18.json"
+
 echo "==== kernel on/off facet-set equivalence ===="
 # Same demo cloud under each kernel mode. hull_cli emits facets in
 # canonical order (core/hull_output.h), so equal facet sets mean
@@ -121,4 +129,4 @@ if ! diff "$del4" "$del8" > /dev/null; then
 fi
 echo "survivor hull facet set is split-invariant"
 
-echo "OK: wrote $out_dir/BENCH_e3_work.json, BENCH_e5_runtime.json, BENCH_e13_micro.json, BENCH_e16.json, BENCH_e17.json"
+echo "OK: wrote $out_dir/BENCH_e3_work.json, BENCH_e5_runtime.json, BENCH_e13_micro.json, BENCH_e16.json, BENCH_e17.json, BENCH_e18.json"

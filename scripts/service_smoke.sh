@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Service smoke test (docs/SERVICE.md): start the hull_service daemon on an
+# ephemeral port, replay tests/data/service_transcript.txt through the
+# hull_client, and require the reply stream to be byte-identical to
+# tests/data/service_golden.txt. The transcript mixes plain-text REPL verbs,
+# JSON frames (id echo, tenant routing, error paths), and multi-tenant
+# traffic; the golden pins every reply byte, so any drift in the dispatch
+# core, the wire protocol, or the half-close drain contract fails the diff.
+#
+# The transcript assumes a FRESH server (epochs and ids start at zero), so
+# this script always starts its own daemon and tears it down; it also checks
+# that shutdown is clean (SIGTERM -> exit 0 + a "final:" stats line).
+#
+# Usage: scripts/service_smoke.sh [--build-dir DIR] [--out-dir DIR]
+set -euo pipefail
+
+build_dir=build
+out_dir=smoke_out
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift ;;
+    --out-dir) out_dir="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+repo_dir=$(cd "$(dirname "$0")/.." && pwd)
+transcript="$repo_dir/tests/data/service_transcript.txt"
+golden="$repo_dir/tests/data/service_golden.txt"
+service="$build_dir/examples/example_hull_service"
+client="$build_dir/examples/example_hull_client"
+
+mkdir -p "$out_dir"
+svc_log="$out_dir/service.log"
+replay="$out_dir/service_replay.txt"
+
+"$service" --port 0 --workers 2 > "$svc_log" 2>&1 &
+svc_pid=$!
+cleanup() {
+  kill -TERM "$svc_pid" 2> /dev/null || true
+  wait "$svc_pid" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+# Wait for the single readiness line ("hull_service listening on HOST:PORT").
+port=""
+for _ in $(seq 100); do
+  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9][0-9]*\)$/\1/p' "$svc_log")
+  [[ -n "$port" ]] && break
+  if ! kill -0 "$svc_pid" 2> /dev/null; then
+    echo "service exited before becoming ready:" >&2
+    cat "$svc_log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "service never printed its readiness line:" >&2
+  cat "$svc_log" >&2
+  exit 1
+fi
+echo "service up on port $port (pid $svc_pid)"
+
+"$client" --port "$port" --timeout-ms 30000 < "$transcript" > "$replay"
+
+if ! diff -u "$golden" "$replay"; then
+  echo "SERVICE SMOKE FAILED: reply stream differs from $golden" >&2
+  exit 1
+fi
+echo "reply stream matches the golden transcript ($(wc -l < "$replay") lines)"
+
+# Clean shutdown: SIGTERM must produce exit 0 and the final stats line.
+kill -TERM "$svc_pid"
+if ! wait "$svc_pid"; then
+  echo "SERVICE SMOKE FAILED: daemon exited nonzero on SIGTERM" >&2
+  cat "$svc_log" >&2
+  exit 1
+fi
+trap - EXIT
+if ! grep -q '^final: ' "$svc_log"; then
+  echo "SERVICE SMOKE FAILED: no final stats line in $svc_log" >&2
+  cat "$svc_log" >&2
+  exit 1
+fi
+grep '^final: ' "$svc_log"
+echo "OK: service smoke passed"

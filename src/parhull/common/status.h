@@ -28,6 +28,12 @@
 //   kStalled           the Supervisor's watchdog saw no heartbeat progress
 //                      for its window and cancelled the run. Transient: the
 //                      Supervisor retries it (often with fewer workers).
+//   kOverloaded        the service declined the request at admission time
+//                      (queue depth, tenant cap, or connection cap reached;
+//                      src/parhull/service/). The hull was not touched.
+//                      Transient from the client's point of view — back off
+//                      and retry — but the Supervisor never retries it: the
+//                      shed is the point (docs/SERVICE.md).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +49,7 @@ enum class HullStatus : std::uint8_t {
   kDeadlineExceeded,
   kCancelled,
   kStalled,
+  kOverloaded,
 };
 
 inline const char* to_string(HullStatus s) {
@@ -55,6 +62,7 @@ inline const char* to_string(HullStatus s) {
     case HullStatus::kDeadlineExceeded: return "deadline_exceeded";
     case HullStatus::kCancelled: return "cancelled";
     case HullStatus::kStalled: return "stalled";
+    case HullStatus::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

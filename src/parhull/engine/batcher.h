@@ -126,6 +126,14 @@ class RequestBatcher {
     std::uint64_t epoch = 0;     // epoch the coalesced batch published
     std::size_t batch_points = 0;    // points in the coalesced batch
     std::size_t deleted_points = 0;  // tombstones in the coalesced batch
+    // Stable ids assigned to THIS request's points: [first_id, first_id +
+    // inserted_points). The engine appends the coalesced batch in request
+    // order and PointIds are insertion order, so the range is exact — the
+    // one exception is the caller-side prepare_input reorder of the very
+    // first batch, which permutes ids WITHIN the ranges of the requests it
+    // coalesced (the set is still right). Meaningful only when ok.
+    PointId first_id = kInvalidPoint;
+    std::size_t inserted_points = 0;
   };
 
   explicit RequestBatcher(Options opts = {})
@@ -224,6 +232,7 @@ class RequestBatcher {
       PointSet<D> batch;
       std::vector<PointId> deletions;
       std::vector<Request*> accepted;
+      std::vector<std::size_t> offsets;  // accepted[i]'s points start here
       for (Request& r : reqs) {
         bool valid = true;
         for (PointId id : r.deletions) {
@@ -242,6 +251,7 @@ class RequestBatcher {
         for (PointId id : r.deletions) claimed[id] = 1;
         deletions.insert(deletions.end(), r.deletions.begin(),
                          r.deletions.end());
+        offsets.push_back(batch.size());
         batch.insert(batch.end(), r.points.begin(), r.points.end());
         accepted.push_back(&r);
       }
@@ -286,8 +296,20 @@ class RequestBatcher {
       out.epoch = sup.result.epoch;
       out.batch_points = batch.size();
       out.deleted_points = deletions.size();
+      // Engine ids continue the base snapshot's sequence in batch order,
+      // so each accepted request owns a contiguous range.
+      const PointId base_id =
+          static_cast<PointId>(snap != nullptr ? snap->point_count() : 0);
       PARHULL_SCHEDULE_POINT();  // epoch published, futures not yet resolved
-      for (Request* r : accepted) r->promise.set_value(out);
+      for (std::size_t i = 0; i < accepted.size(); ++i) {
+        Request* r = accepted[i];
+        InsertOutcome mine = out;
+        if (sup.ok && !r->points.empty()) {
+          mine.first_id = base_id + static_cast<PointId>(offsets[i]);
+          mine.inserted_points = r->points.size();
+        }
+        r->promise.set_value(mine);
+      }
       reqs.clear();
     }
   }

@@ -1,0 +1,404 @@
+#include "parhull/service/commands.h"
+
+#include <sstream>
+
+#include "parhull/workload/generators.h"
+
+namespace parhull::service {
+
+namespace {
+
+void add_field(CommandResult& res, std::string key, std::uint64_t value) {
+  res.fields.emplace_back(std::move(key), std::to_string(value));
+}
+
+void add_field(CommandResult& res, std::string key, std::string raw) {
+  res.fields.emplace_back(std::move(key), std::move(raw));
+}
+
+CommandResult usage(const char* text) {
+  CommandResult res;
+  res.status = HullStatus::kBadInput;
+  res.text = text;
+  return res;
+}
+
+CommandResult no_hull_yet() {
+  CommandResult res;
+  res.text = "no hull yet (insert points first)\n";
+  add_field(res, "empty", "true");
+  return res;
+}
+
+bool read_point(std::istringstream& in, Point<3>& p, CommandResult& res) {
+  if (!(in >> p[0] >> p[1] >> p[2])) {
+    res = usage("expected three coordinates\n");
+    return false;
+  }
+  if (!finite<3>(p)) {
+    res = usage("coordinates must be finite\n");
+    return false;
+  }
+  return true;
+}
+
+std::string format_point(const Point<3>& v) {
+  std::ostringstream os;
+  os << "(" << v[0] << ", " << v[1] << ", " << v[2] << ")";
+  return os.str();
+}
+
+}  // namespace
+
+CommandResult query_reply(const HullSnapshot<3>* snap, const Point<3>& p) {
+  if (snap == nullptr) return no_hull_yet();
+  CommandResult res;
+  const char* where = nullptr;
+  switch (locate_point<3>(*snap, p)) {
+    case PointLocation::kInside: where = "inside"; break;
+    case PointLocation::kOnBoundary: where = "on boundary"; break;
+    case PointLocation::kOutside: where = "outside"; break;
+  }
+  std::ostringstream os;
+  os << where << " (epoch " << snap->epoch << ")\n";
+  res.text = os.str();
+  std::string loc = "\"";
+  loc += where;
+  loc += '"';
+  add_field(res, "location", std::move(loc));
+  add_field(res, "epoch", snap->epoch);
+  return res;
+}
+
+CommandResult extreme_reply(const HullSnapshot<3>* snap, const Point<3>& dir) {
+  if (snap == nullptr) return no_hull_yet();
+  CommandResult res;
+  // Empty-hull guard (the pre-service REPL indexed the point sequence with
+  // kInvalidPoint here): a snapshot with no facets has no vertices, and an
+  // extreme walk that found no vertex must not be dereferenced either.
+  if (snap->facet_count() == 0) {
+    res.text = "hull is empty: no extreme vertex\n";
+    add_field(res, "empty", "true");
+    return res;
+  }
+  const auto ext = extreme_point<3>(*snap, dir);
+  if (ext.vertex == kInvalidPoint || ext.vertex >= snap->point_count()) {
+    res.text = "hull is empty: no extreme vertex\n";
+    add_field(res, "empty", "true");
+    return res;
+  }
+  const Point<3>& v = (*snap->points)[ext.vertex];
+  std::ostringstream os;
+  os << "vertex " << ext.vertex << " = " << format_point(v) << ", dot "
+     << ext.value << " (" << ext.facets_visited << " facets visited)\n";
+  res.text = os.str();
+  add_field(res, "vertex", ext.vertex);
+  std::ostringstream dot;
+  dot << ext.value;
+  add_field(res, "dot", dot.str());
+  return res;
+}
+
+CommandResult visible_reply(const HullSnapshot<3>* snap, const Point<3>& p) {
+  if (snap == nullptr) return no_hull_yet();
+  CommandResult res;
+  if (snap->facet_count() == 0) {
+    res.text = "hull is empty: no facets visible\n";
+    add_field(res, "empty", "true");
+    add_field(res, "visible", std::uint64_t{0});
+    return res;
+  }
+  const auto vis = visible_facets<3>(*snap, p);
+  std::ostringstream os;
+  os << vis.size() << " of " << snap->facet_count() << " facets visible\n";
+  res.text = os.str();
+  add_field(res, "visible", static_cast<std::uint64_t>(vis.size()));
+  add_field(res, "facets", static_cast<std::uint64_t>(snap->facet_count()));
+  return res;
+}
+
+const char* TenantSession::help_text() {
+  return
+      "commands:\n"
+      "  gen N SEED      submit N points on the unit sphere\n"
+      "  insert X Y Z    submit one point\n"
+      "  delete ID...    tombstone points by id\n"
+      "  update ID X Y Z atomic delete + insert in one epoch\n"
+      "  query X Y Z     inside / on boundary / outside\n"
+      "  extreme X Y Z   hull vertex maximizing dot(v, dir)\n"
+      "  visible X Y Z   count facets visible from the point\n"
+      "  stats           engine epoch statistics\n"
+      "  help            this list\n"
+      "  quit            drain pending work and exit\n";
+}
+
+TenantSession::TenantSession() : TenantSession(Options()) {}
+
+TenantSession::TenantSession(Options opts)
+    : opts_(std::move(opts)), batcher_(opts_.batcher) {}
+
+bool TenantSession::admit_points(std::size_t n, CommandResult& res) {
+  if (n > opts_.limits.max_points_per_command) {
+    std::ostringstream os;
+    os << "rejected: " << n << " points exceeds the per-command limit of "
+       << opts_.limits.max_points_per_command << "\n";
+    res.status = HullStatus::kBadInput;
+    res.text = os.str();
+    return false;
+  }
+  if (pending_requests() >= opts_.limits.max_pending_requests) {
+    std::ostringstream os;
+    os << "overloaded: " << pending_requests()
+       << " mutation requests pending (limit "
+       << opts_.limits.max_pending_requests << "); retry later\n";
+    res.status = HullStatus::kOverloaded;
+    res.text = os.str();
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (admitted_points_ + n > opts_.limits.max_points_per_tenant) {
+    std::ostringstream os;
+    os << "rejected: tenant point budget exhausted (limit "
+       << opts_.limits.max_points_per_tenant << " points)\n";
+    res.status = HullStatus::kBadInput;
+    res.text = os.str();
+    return false;
+  }
+  admitted_points_ += n;
+  return true;
+}
+
+CommandResult TenantSession::submit_points(PointSet<3> pts) {
+  // Bootstrap: HullEngine's first batch must satisfy prepare_input<3>
+  // (>= 4 affinely independent points leading). Buffer until then.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!bootstrapped_) {
+      bootstrap_.insert(bootstrap_.end(), pts.begin(), pts.end());
+      PointSet<3> seeded = bootstrap_;
+      if (!prepare_input<3>(seeded)) {
+        CommandResult res;
+        std::ostringstream os;
+        os << "buffered " << pts.size() << " point(s); " << bootstrap_.size()
+           << " total (need 4 affinely independent to start)\n";
+        res.text = os.str();
+        add_field(res, "buffered", static_cast<std::uint64_t>(pts.size()));
+        return res;
+      }
+      bootstrapped_ = true;
+      bootstrap_.clear();
+      pts = std::move(seeded);
+    }
+  }
+  const std::size_t n = pts.size();
+  auto fut = batcher_.submit(std::move(pts));
+  const Batcher::InsertOutcome out = fut.get();
+  CommandResult res;
+  res.status = out.status;
+  std::ostringstream os;
+  if (out.ok) {
+    os << "ok: +" << n << " point(s) committed at epoch " << out.epoch
+       << " (batch of " << out.batch_points << ", ids [" << out.first_id
+       << ".." << out.first_id + out.inserted_points << "))\n";
+    add_field(res, "epoch", out.epoch);
+    add_field(res, "batch_points",
+              static_cast<std::uint64_t>(out.batch_points));
+    add_field(res, "first_id", out.first_id);
+    add_field(res, "count", static_cast<std::uint64_t>(out.inserted_points));
+  } else {
+    os << "insert failed: " << to_string(out.status) << "\n";
+  }
+  res.text = os.str();
+  return res;
+}
+
+CommandResult TenantSession::insert_points(PointSet<3> pts) {
+  CommandResult res;
+  if (pts.empty()) return usage("insert rejected: no points\n");
+  if (!all_finite<3>(pts)) return usage("coordinates must be finite\n");
+  if (!admit_points(pts.size(), res)) return res;
+  return submit_points(std::move(pts));
+}
+
+CommandResult TenantSession::locate_points(const PointSet<3>& pts) {
+  CommandResult res;
+  auto snap = snapshot();
+  std::uint64_t inside = 0, boundary = 0, outside = 0;
+  for (const Point<3>& p : pts) {
+    if (snap == nullptr) {
+      ++outside;  // the hull of nothing contains nothing
+      continue;
+    }
+    switch (locate_point<3>(*snap, p)) {
+      case PointLocation::kInside: ++inside; break;
+      case PointLocation::kOnBoundary: ++boundary; break;
+      case PointLocation::kOutside: ++outside; break;
+    }
+  }
+  std::ostringstream os;
+  os << inside << " inside, " << boundary << " on boundary, " << outside
+     << " outside (of " << pts.size() << ")\n";
+  res.text = os.str();
+  add_field(res, "inside", inside);
+  add_field(res, "boundary", boundary);
+  add_field(res, "outside", outside);
+  return res;
+}
+
+CommandResult TenantSession::execute(std::string_view line) {
+  std::string cleaned(line);
+  const std::size_t hash = cleaned.find('#');
+  if (hash != std::string::npos) cleaned.erase(hash);
+  std::istringstream in(cleaned);
+  std::string cmd;
+  if (!(in >> cmd)) return CommandResult{};  // blank / comment line
+
+  if (cmd == "quit" || cmd == "exit") {
+    CommandResult res;
+    res.quit = true;
+    return res;
+  }
+  if (cmd == "help") {
+    CommandResult res;
+    res.text = help_text();
+    return res;
+  }
+
+  if (cmd == "gen") {
+    long n = 0;
+    unsigned long seed = 0;
+    if (!(in >> n >> seed) || n <= 0) return usage("usage: gen N SEED\n");
+    CommandResult res;
+    // Admission BEFORE allocation: `gen` used to accept any positive long
+    // and allocate it — the one-line-OOM abuse path.
+    if (!admit_points(static_cast<std::size_t>(n), res)) return res;
+    return submit_points(on_sphere<3>(static_cast<std::size_t>(n),
+                                      static_cast<std::uint64_t>(seed)));
+  }
+
+  if (cmd == "insert") {
+    Point<3> p;
+    CommandResult res;
+    if (!read_point(in, p, res)) return res;
+    if (!admit_points(1, res)) return res;
+    PointSet<3> pts;
+    pts.push_back(p);
+    return submit_points(std::move(pts));
+  }
+
+  if (cmd == "delete") {
+    std::vector<PointId> ids;
+    unsigned long id = 0;
+    while (in >> id) ids.push_back(static_cast<PointId>(id));
+    if (ids.empty()) return usage("usage: delete ID [ID...]\n");
+    CommandResult res;
+    if (ids.size() > opts_.limits.max_points_per_command) {
+      std::ostringstream os;
+      os << "rejected: " << ids.size()
+         << " ids exceeds the per-command limit of "
+         << opts_.limits.max_points_per_command << "\n";
+      res.status = HullStatus::kBadInput;
+      res.text = os.str();
+      return res;
+    }
+    if (pending_requests() >= opts_.limits.max_pending_requests) {
+      std::ostringstream os;
+      os << "overloaded: " << pending_requests()
+         << " mutation requests pending (limit "
+         << opts_.limits.max_pending_requests << "); retry later\n";
+      res.status = HullStatus::kOverloaded;
+      res.text = os.str();
+      return res;
+    }
+    const std::size_t n = ids.size();
+    auto fut = batcher_.submit_delete(std::move(ids));
+    const Batcher::InsertOutcome out = fut.get();
+    res.status = out.status;
+    std::ostringstream os;
+    if (out.ok) {
+      os << "ok: " << n << " point(s) tombstoned at epoch " << out.epoch
+         << "\n";
+      add_field(res, "epoch", out.epoch);
+      add_field(res, "deleted", static_cast<std::uint64_t>(n));
+    } else if (out.status == HullStatus::kBadInput) {
+      os << "delete rejected: ids must be in range, alive, and distinct "
+            "(docs/ERRORS.md)\n";
+    } else {
+      os << "delete failed: " << to_string(out.status) << "\n";
+    }
+    res.text = os.str();
+    return res;
+  }
+
+  if (cmd == "update") {
+    unsigned long id = 0;
+    if (!(in >> id)) return usage("usage: update ID X Y Z\n");
+    Point<3> p;
+    CommandResult res;
+    if (!read_point(in, p, res)) return res;
+    if (!admit_points(1, res)) return res;
+    PointSet<3> moved;
+    moved.push_back(p);
+    auto fut = batcher_.submit_update({static_cast<PointId>(id)},
+                                      std::move(moved));
+    const Batcher::InsertOutcome out = fut.get();
+    res.status = out.status;
+    std::ostringstream os;
+    if (out.ok) {
+      os << "ok: point " << id << " moved at epoch " << out.epoch
+         << " (the replacement has id " << out.first_id << ")\n";
+      add_field(res, "epoch", out.epoch);
+      add_field(res, "new_id", out.first_id);
+    } else if (out.status == HullStatus::kBadInput) {
+      os << "update rejected: id must be in range and alive "
+            "(docs/ERRORS.md)\n";
+    } else {
+      os << "update failed: " << to_string(out.status) << "\n";
+    }
+    res.text = os.str();
+    return res;
+  }
+
+  if (cmd == "query" || cmd == "extreme" || cmd == "visible") {
+    Point<3> p;
+    CommandResult res;
+    if (!read_point(in, p, res)) return res;
+    auto snap = snapshot();
+    if (cmd == "query") return query_reply(snap.get(), p);
+    if (cmd == "extreme") return extreme_reply(snap.get(), p);
+    return visible_reply(snap.get(), p);
+  }
+
+  if (cmd == "stats") {
+    const EngineStats s = stats();
+    CommandResult res;
+    std::ostringstream os;
+    os << "epoch " << s.epoch << ": " << s.live_points << " live of "
+       << s.points << " points, " << s.hull_facets << " hull facets\n"
+       << "batches " << s.batches << " (" << s.delete_batches
+       << " with deletions, " << s.failed_batches << " failed, "
+       << pending_requests() << " pending), " << s.points_deleted_total
+       << " points deleted, " << s.facets_created_total
+       << " facets created, " << s.visibility_tests_total
+       << " visibility tests, " << s.regrows_total << " regrows\n"
+       << "last batch: " << s.last_batch_points << " points in "
+       << s.last_batch_ms << " ms\n";
+    res.text = os.str();
+    add_field(res, "epoch", s.epoch);
+    add_field(res, "points", s.points);
+    add_field(res, "live_points", s.live_points);
+    add_field(res, "hull_facets", s.hull_facets);
+    add_field(res, "pending",
+              static_cast<std::uint64_t>(pending_requests()));
+    return res;
+  }
+
+  CommandResult res;
+  res.status = HullStatus::kBadInput;
+  std::ostringstream os;
+  os << "unknown command '" << cmd << "' (try help)\n";
+  res.text = os.str();
+  return res;
+}
+
+}  // namespace parhull::service

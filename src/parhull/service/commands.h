@@ -1,0 +1,130 @@
+// Command-dispatch core of the hull service (docs/SERVICE.md): one tenant's
+// REPL verbs (gen / insert / delete / update / query / extreme / visible /
+// stats / help / quit) executed against that tenant's HullEngine<3> +
+// RequestBatcher. BOTH front-ends run every command through this — the
+// stdin REPL (examples/hull_server.cpp) prints CommandResult::text
+// verbatim, and the epoll server (service/listener.h) wraps the same
+// result in a protocol reply — so the two surfaces cannot drift, and the
+// golden-transcript tests (tests/test_service_commands.cpp) pin the reply
+// bytes for both at once.
+//
+// The dispatch is also where the server's abuse guards live:
+//
+//   * `extreme`/`visible` against an empty hull (no snapshot yet, a
+//     snapshot with zero facets, or an extreme walk that found no vertex)
+//     answer "hull is empty" instead of indexing the point sequence with
+//     kInvalidPoint — the crash path the pre-service REPL had.
+//   * `gen N SEED` and bulk inserts are capped per command
+//     (SessionLimits::max_points_per_command) and per tenant
+//     (max_points_per_tenant), so no single request line can OOM the
+//     process; violations are typed kBadInput with the limit in the text.
+//   * Mutations are shed with kOverloaded when the tenant's batcher queue
+//     is already max_pending_requests deep — admission control instead of
+//     an ever-growing intake queue (the service layer adds a second,
+//     global shed on its own worker queue; see service/listener.h).
+//
+// Thread safety: execute() may be called from any number of threads (the
+// socket server runs one call per in-flight frame). Queries only touch the
+// lock-free snapshot; mutations serialize on a small session mutex that
+// guards the bootstrap buffer and the admission counter, then submit to
+// the MPMC batcher and wait on the future (group commit resolves every
+// waiter of a round together).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "parhull/common/status.h"
+#include "parhull/engine/batcher.h"
+#include "parhull/engine/query.h"
+#include "parhull/engine/snapshot.h"
+
+namespace parhull::service {
+
+struct SessionLimits {
+  // Hard cap on the points one command may add (gen N, binary bulk
+  // insert). One request line can never allocate more than this.
+  std::size_t max_points_per_command = 1u << 20;
+  // Cap on a tenant's whole point sequence (tombstones included — ids are
+  // never recycled). Admission-time accounting: rolled-back batches still
+  // consume budget, which keeps the check race-free and monotone.
+  std::size_t max_points_per_tenant = 1u << 23;
+  // Mutations are shed with kOverloaded once this many coalesced requests
+  // are already queued at the tenant's batcher.
+  std::size_t max_pending_requests = 256;
+};
+
+// One executed command. `fields` carries the machine-readable facts the
+// JSON protocol layer emits as reply fields (key, raw JSON token) — the
+// text already folds them in for humans.
+struct CommandResult {
+  HullStatus status = HullStatus::kOk;
+  bool quit = false;  // "quit"/"exit" seen; adapters end the session
+  std::string text;   // '\n'-terminated human-readable reply lines
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// Query formatting helpers, split out so the empty-hull guards are
+// testable against handcrafted snapshots (a default-constructed snapshot
+// is a legal "hull of nothing"). `snap` may be null: "no hull yet".
+CommandResult query_reply(const HullSnapshot<3>* snap, const Point<3>& p);
+CommandResult extreme_reply(const HullSnapshot<3>* snap, const Point<3>& dir);
+CommandResult visible_reply(const HullSnapshot<3>* snap, const Point<3>& p);
+
+class TenantSession {
+ public:
+  using Batcher = RequestBatcher<3>;
+
+  struct Options {
+    SessionLimits limits{};
+    Batcher::Options batcher{};  // engine params + Supervisor SLO policy
+  };
+
+  TenantSession();  // default Options
+  explicit TenantSession(Options opts);
+  TenantSession(const TenantSession&) = delete;
+  TenantSession& operator=(const TenantSession&) = delete;
+
+  // Execute one command line ('#' starts a comment; blank lines are kOk
+  // with empty text). Never throws, never aborts: every outcome is a
+  // typed CommandResult.
+  CommandResult execute(std::string_view line);
+
+  // Bulk insert, the binary-frame fast path: same admission guards and
+  // reply shape as `gen`, without a text parse per coordinate.
+  CommandResult insert_points(PointSet<3> pts);
+  // Bulk locate: counts of inside / on-boundary / outside over the
+  // current snapshot (no hull yet = hull of nothing = all outside).
+  CommandResult locate_points(const PointSet<3>& pts);
+
+  std::shared_ptr<const HullSnapshot<3>> snapshot() const {
+    return batcher_.snapshot();
+  }
+  EngineStats stats() const { return batcher_.stats(); }
+  std::size_t pending_requests() const { return batcher_.pending_requests(); }
+  const SessionLimits& limits() const { return opts_.limits; }
+
+  // The canonical verb list, shared by both front-ends' help output.
+  static const char* help_text();
+
+  // Stop intake and drain the tenant's writer (idempotent).
+  void close() { batcher_.close(); }
+
+ private:
+  CommandResult submit_points(PointSet<3> pts);
+  bool admit_points(std::size_t n, CommandResult& res);
+
+  Options opts_;
+  Batcher batcher_;
+  std::mutex mu_;            // bootstrap buffer + admission counter
+  PointSet<3> bootstrap_;    // buffered until 4 affinely independent points
+  bool bootstrapped_ = false;
+  std::size_t admitted_points_ = 0;  // points ever accepted for submission
+};
+
+}  // namespace parhull::service

@@ -1,0 +1,195 @@
+#include "parhull/service/connection.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace parhull::service {
+
+namespace {
+
+CommandResult typed_error(HullStatus status, std::string text) {
+  CommandResult res;
+  res.status = status;
+  res.text = std::move(text);
+  return res;
+}
+
+// Resolve a tenant name to its session, folding registry outcomes into
+// typed replies: unknown names create (lazy), malformed names are
+// kBadInput, a full registry is kOverloaded (admission control).
+TenantSession* resolve_tenant(const ServerContext& ctx,
+                              std::string_view name, CommandResult& err) {
+  TenantRegistry::GetStatus why = TenantRegistry::GetStatus::kOk;
+  TenantSession* session = ctx.registry.get_or_create(name, &why);
+  if (session != nullptr) return session;
+  if (why == TenantRegistry::GetStatus::kAtCapacity) {
+    err = typed_error(HullStatus::kOverloaded,
+                      "overloaded: tenant limit reached; retry later\n");
+  } else {
+    err = typed_error(HullStatus::kBadInput,
+                      "invalid tenant name (want [A-Za-z0-9_.-]{1,64})\n");
+  }
+  return nullptr;
+}
+
+FrameOutcome text_frame(const ServerContext& ctx, Connection& conn,
+                        std::string_view line) {
+  FrameOutcome out;
+  // `tenant NAME` is a connection-level verb: it retargets subsequent
+  // text-mode commands, so a plain-transcript client can drive several
+  // tenants over one socket.
+  std::istringstream in{std::string(line)};
+  std::string cmd;
+  if ((in >> cmd) && cmd == "tenant") {
+    std::string name;
+    if (!(in >> name) || !TenantRegistry::valid_name(name)) {
+      out.reply = "usage: tenant NAME (want [A-Za-z0-9_.-]{1,64})\n";
+      return out;
+    }
+    conn.tenant = name;
+    out.reply = "ok: tenant " + name + "\n";
+    return out;
+  }
+
+  CommandResult err;
+  TenantSession* session = resolve_tenant(ctx, conn.tenant, err);
+  if (session == nullptr) {
+    out.reply = err.text;
+    out.overloaded = err.status == HullStatus::kOverloaded;
+    return out;
+  }
+  CommandResult res = session->execute(line);
+  out.reply = res.text;  // byte-identical to the stdio REPL's output
+  out.close = res.quit;
+  out.overloaded = res.status == HullStatus::kOverloaded;
+  return out;
+}
+
+FrameOutcome json_frame(const ServerContext& ctx, Connection& conn,
+                        std::string_view body) {
+  FrameOutcome out;
+  std::vector<JsonField> fields;
+  std::string err;
+  if (!parse_json_object(body, fields, &err)) {
+    out.reply = json_reply(
+        typed_error(HullStatus::kBadInput, "bad request: " + err + "\n"),
+        nullptr);
+    return out;
+  }
+  const JsonField* id = find_field(fields, "id");
+  const JsonField* cmd = find_field(fields, "cmd");
+  if (cmd == nullptr || !cmd->quoted) {
+    out.reply = json_reply(
+        typed_error(HullStatus::kBadInput,
+                    "bad request: missing string field 'cmd'\n"),
+        id);
+    return out;
+  }
+  const JsonField* tenant = find_field(fields, "tenant");
+  const std::string_view tenant_name =
+      tenant != nullptr ? std::string_view(tenant->value)
+                        : std::string_view(conn.tenant);
+  CommandResult res;
+  TenantSession* session = resolve_tenant(ctx, tenant_name, res);
+  if (session != nullptr) res = session->execute(cmd->value);
+  out.reply = json_reply(res, id);
+  out.close = res.quit;
+  out.overloaded = res.status == HullStatus::kOverloaded;
+  return out;
+}
+
+FrameOutcome binary_frame(const ServerContext& ctx, Connection& conn,
+                          std::string_view body) {
+  FrameOutcome out;
+  BinaryFrame frame;
+  if (!parse_binary_frame(body, frame)) {
+    // extract_frame only hands over length-consistent frames, so this is
+    // defensive; treat it as fatal for the connection.
+    out.reply = json_reply(
+        typed_error(HullStatus::kBadInput, "bad binary frame\n"), nullptr);
+    out.close = true;
+    return out;
+  }
+  const std::string_view tenant_name =
+      frame.tenant.empty() ? std::string_view(conn.tenant) : frame.tenant;
+  CommandResult res;
+  TenantSession* session = resolve_tenant(ctx, tenant_name, res);
+  if (session != nullptr) {
+    constexpr std::size_t kPointBytes = 3 * sizeof(double);
+    if (frame.op != kBinInsert && frame.op != kBinLocate) {
+      res = typed_error(HullStatus::kBadInput, "unknown binary op\n");
+    } else if (frame.payload.size() % kPointBytes != 0) {
+      res = typed_error(HullStatus::kBadInput,
+                        "binary payload is not a whole number of points\n");
+    } else {
+      const std::size_t n = frame.payload.size() / kPointBytes;
+      PointSet<3> pts;
+      pts.resize(n);
+      // Coordinates are f64 little-endian; a straight copy on the LE
+      // hosts this service targets.
+      if (n != 0) {
+        std::memcpy(pts.data(), frame.payload.data(), frame.payload.size());
+      }
+      res = frame.op == kBinInsert ? session->insert_points(std::move(pts))
+                                   : session->locate_points(pts);
+    }
+  }
+  out.reply = json_reply(res, nullptr);
+  out.overloaded = res.status == HullStatus::kOverloaded;
+  return out;
+}
+
+}  // namespace
+
+std::string json_reply(const CommandResult& res, const JsonField* id) {
+  std::string out = "{";
+  if (id != nullptr) {
+    out += "\"id\":";
+    if (id->quoted) {
+      out += '"';
+      append_json_escaped(out, id->value);
+      out += '"';
+    } else {
+      out += id->value;
+    }
+    out += ',';
+  }
+  out += "\"status\":\"";
+  out += to_string(res.status);
+  out += '"';
+  for (const auto& [key, value] : res.fields) {
+    out += ",\"";
+    append_json_escaped(out, key);
+    out += "\":";
+    out += value;
+  }
+  out += ",\"reply\":\"";
+  append_json_escaped(out, res.text);
+  out += "\"}\n";
+  return out;
+}
+
+std::string shed_reply(FrameType type, std::string_view body) {
+  CommandResult res;
+  res.status = HullStatus::kOverloaded;
+  res.text = "overloaded: server command queue is full; retry later\n";
+  if (type == FrameType::kText) return res.text;
+  const JsonField* id = nullptr;
+  std::vector<JsonField> fields;
+  if (type == FrameType::kJson &&
+      parse_json_object(body, fields, nullptr)) {
+    id = find_field(fields, "id");
+  }
+  return json_reply(res, id);
+}
+
+FrameOutcome process_frame(const ServerContext& ctx, Connection& conn,
+                           const std::string& frame) {
+  ctx.counters.commands_total.fetch_add(1, std::memory_order_relaxed);
+  if (frame.empty()) return {};
+  if (frame.front() == kBinaryMagic) return binary_frame(ctx, conn, frame);
+  if (frame.front() == '{') return json_frame(ctx, conn, frame);
+  return text_frame(ctx, conn, frame);
+}
+
+}  // namespace parhull::service

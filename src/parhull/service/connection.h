@@ -1,0 +1,113 @@
+// Per-connection state and frame execution for the hull service
+// (docs/SERVICE.md). A Connection is a passive record shared between the
+// event loop (service/listener.cpp — the only thread that ever touches
+// the socket) and the worker pool (which executes complete frames through
+// the shared command dispatch and appends reply bytes). The split keeps
+// socket IO single-owner while command execution — which may block on a
+// tenant's group commit — runs off the event loop.
+//
+// Locking discipline:
+//   * `pending` and `scheduled` are guarded by the server's work-queue
+//     mutex (they ARE the work queue's per-connection shard).
+//   * `out`, `want_write`, `close_after_flush`, `peer_eof` and `closed`
+//     are guarded by `io_mu`.
+//   * `in` and the epoll interest set belong to the event loop alone.
+//   * `tenant` is touched only by the single worker currently running the
+//     connection's frames (at most one — `scheduled` enforces it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "parhull/service/protocol.h"
+#include "parhull/service/tenant_registry.h"
+
+namespace parhull::service {
+
+// Monotonic service-level counters (lock-free; sampled by stats()).
+struct ServiceCounters {
+  std::atomic<std::uint64_t> accepted_total{0};
+  std::atomic<std::uint64_t> rejected_connections{0};  // admission shed
+  std::atomic<std::uint64_t> active_connections{0};
+  std::atomic<std::uint64_t> frames_total{0};
+  std::atomic<std::uint64_t> shed_frames{0};       // kOverloaded replies
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> commands_total{0};    // frames executed
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+};
+
+struct ServiceStats {
+  std::uint64_t accepted_total = 0;
+  std::uint64_t rejected_connections = 0;
+  std::uint64_t active_connections = 0;
+  std::uint64_t frames_total = 0;
+  std::uint64_t shed_frames = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t commands_total = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t tenants = 0;
+};
+
+// What frame execution needs from the server.
+struct ServerContext {
+  TenantRegistry& registry;
+  ServiceCounters& counters;
+};
+
+class Connection {
+ public:
+  explicit Connection(int fd) : fd_(fd) {}
+  int fd() const { return fd_; }
+
+  // --- event loop only ---
+  std::string in;  // raw bytes; frames peeled off by the event loop
+
+  // --- work queue (guarded by the server's work mutex) ---
+  std::deque<std::string> pending;  // complete frames awaiting a worker
+  bool scheduled = false;           // a worker owns this connection now
+
+  // --- reply channel (guarded by io_mu) ---
+  std::mutex io_mu;
+  std::string out;                // bytes awaiting the socket
+  bool want_write = false;        // EPOLLOUT currently armed
+  bool close_after_flush = false; // quit / protocol error / peer EOF
+  bool peer_eof = false;          // read() returned 0
+  bool closed = false;            // fd closed; late replies are dropped
+
+  // --- worker only (single owner via `scheduled`) ---
+  std::string tenant = "default";  // text-mode tenant; `tenant NAME` swaps
+
+ private:
+  int fd_;
+};
+
+// Result of executing one frame.
+struct FrameOutcome {
+  std::string reply;       // bytes to append to the connection's output
+  bool close = false;      // close the connection once the reply flushed
+  bool overloaded = false; // counted as a shed by the caller
+};
+
+// Execute one complete frame (text / JSON / binary — the frame grammar of
+// service/protocol.h) against the registry. Runs on a worker thread; may
+// block on the tenant's group commit. Never throws.
+FrameOutcome process_frame(const ServerContext& ctx, Connection& conn,
+                           const std::string& frame);
+
+// One JSON reply line for `res`, echoing the request's `id` token when
+// present. Shared by process_frame and the event loop's shed path so shed
+// replies are indistinguishable in shape from executed ones.
+std::string json_reply(const CommandResult& res, const JsonField* id);
+
+// The kOverloaded shed reply for a frame of the given type (the event
+// loop answers these without dispatching; docs/SERVICE.md "load
+// shedding"). For JSON frames the request line is re-scanned only for its
+// `id` token.
+std::string shed_reply(FrameType type, std::string_view body);
+
+}  // namespace parhull::service

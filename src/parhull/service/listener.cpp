@@ -1,0 +1,401 @@
+#include "parhull/service/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace parhull::service {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+HullServer::HullServer(ServiceOptions opts)
+    : opts_(std::move(opts)), registry_(opts_.tenants) {}
+
+HullServer::~HullServer() { stop(); }
+
+HullStatus HullServer::start() {
+  if (running_) return HullStatus::kOk;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return HullStatus::kBadInput;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, SOMAXCONN) != 0 || !set_nonblocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return HullStatus::kBadInput;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return HullStatus::kBadInput;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_ = false;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_stop_ = false;
+  }
+  running_ = true;
+  loop_thread_ = std::thread([this] { event_loop(); });
+  const int n_workers = opts_.worker_threads > 0 ? opts_.worker_threads : 1;
+  workers_.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return HullStatus::kOk;
+}
+
+void HullServer::stop() {
+  if (!running_) return;
+  stopping_ = true;
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  // Tenants drain last: a worker blocked on a group commit has resolved
+  // by now, and accepted mutations commit before the writers exit.
+  registry_.close_all();
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  epoll_fd_ = wake_fd_ = -1;
+  running_ = false;
+}
+
+ServiceStats HullServer::stats() const {
+  ServiceStats s;
+  s.accepted_total = counters_.accepted_total.load();
+  s.rejected_connections = counters_.rejected_connections.load();
+  s.active_connections = counters_.active_connections.load();
+  s.frames_total = counters_.frames_total.load();
+  s.shed_frames = counters_.shed_frames.load();
+  s.protocol_errors = counters_.protocol_errors.load();
+  s.commands_total = counters_.commands_total.load();
+  s.bytes_in = counters_.bytes_in.load();
+  s.bytes_out = counters_.bytes_out.load();
+  s.tenants = registry_.size();
+  return s;
+}
+
+void HullServer::handle_accept() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient accept error: move on
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (conns_.size() >= opts_.max_connections) {
+      // Admission shed: answer and close instead of letting the backlog
+      // absorb connections the workers will never get to.
+      counters_.rejected_connections.fetch_add(1, std::memory_order_relaxed);
+      CommandResult res;
+      res.status = HullStatus::kOverloaded;
+      res.text = "overloaded: connection limit reached; retry later\n";
+      const std::string reply = json_reply(res, nullptr);
+      [[maybe_unused]] ssize_t n =
+          ::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    counters_.accepted_total.fetch_add(1, std::memory_order_relaxed);
+    counters_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(fd);
+    conns_.emplace(fd, conn);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void HullServer::handle_readable(const ConnPtr& conn) {
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      counters_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+      conn->in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // Peer finished sending (half-close): execute what was received,
+      // flush every reply, then close.
+      std::lock_guard<std::mutex> lock(conn->io_mu);
+      conn->peer_eof = true;
+      conn->close_after_flush = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(conn);
+    return;
+  }
+  ingest_frames(conn);
+  maybe_close(conn);
+}
+
+void HullServer::ingest_frames(const ConnPtr& conn) {
+  bool woke_worker = false;
+  while (true) {
+    Frame frame = extract_frame(conn->in, opts_.max_frame_bytes);
+    if (frame.type == FrameType::kNone) break;
+    if (frame.type == FrameType::kError) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      CommandResult res;
+      res.status = HullStatus::kBadInput;
+      res.text = "protocol error: " + frame.error + "\n";
+      std::lock_guard<std::mutex> lock(conn->io_mu);
+      conn->out += json_reply(res, nullptr);
+      conn->close_after_flush = true;
+      conn->in.clear();  // nothing after a framing error is trustworthy
+      break;
+    }
+    counters_.frames_total.fetch_add(1, std::memory_order_relaxed);
+    std::string body(conn->in, 0, frame.consumed);
+    const FrameType type = frame.type;
+    std::string_view line = frame.body;  // views into conn->in
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      if (queued_frames_ >= opts_.max_queued_frames) {
+        shed = true;
+      } else {
+        // Text/JSON frames are queued without their '\n'; binary frames
+        // keep the whole encoding (process_frame re-parses the header).
+        if (type == FrameType::kBinary) {
+          conn->pending.push_back(std::move(body));
+        } else {
+          conn->pending.emplace_back(line);
+        }
+        ++queued_frames_;
+        if (!conn->scheduled) {
+          conn->scheduled = true;
+          work_.push_back(conn);
+          woke_worker = true;
+        }
+      }
+    }
+    if (shed) {
+      counters_.shed_frames.fetch_add(1, std::memory_order_relaxed);
+      const std::string reply = shed_reply(type, line);
+      std::lock_guard<std::mutex> lock(conn->io_mu);
+      if (!reply.empty()) conn->out += reply;
+    }
+    conn->in.erase(0, frame.consumed);
+  }
+  if (woke_worker) work_cv_.notify_all();
+  flush_writes(conn);
+}
+
+void HullServer::set_interest(const ConnPtr& conn, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+}
+
+void HullServer::flush_writes(const ConnPtr& conn) {
+  bool arm = false;
+  bool disarm = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    if (conn->closed) return;
+    while (!conn->out.empty()) {
+      const ssize_t n = ::send(conn->fd(), conn->out.data(),
+                               conn->out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        counters_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                      std::memory_order_relaxed);
+        conn->out.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          arm = true;
+        }
+        break;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      // Peer vanished mid-write: drop the rest and close below.
+      conn->out.clear();
+      conn->close_after_flush = true;
+      break;
+    }
+    if (conn->out.empty() && conn->want_write) {
+      conn->want_write = false;
+      disarm = true;
+    }
+  }
+  if (arm) set_interest(conn, true);
+  if (disarm) set_interest(conn, false);
+  maybe_close(conn);
+}
+
+void HullServer::maybe_close(const ConnPtr& conn) {
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> io(conn->io_mu);
+    if (conn->closed || !conn->close_after_flush || !conn->out.empty()) {
+      return;
+    }
+    std::lock_guard<std::mutex> work(work_mu_);
+    close_now = conn->pending.empty() && !conn->scheduled;
+  }
+  if (close_now) close_conn(conn);
+}
+
+void HullServer::close_conn(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->io_mu);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
+  ::close(conn->fd());
+  conns_.erase(conn->fd());
+  counters_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void HullServer::request_flush(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_.push_back(conn);
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void HullServer::event_loop() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stopping_) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n && !stopping_; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        handle_accept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        std::vector<ConnPtr> to_flush;
+        {
+          std::lock_guard<std::mutex> lock(flush_mu_);
+          to_flush.swap(flush_);
+        }
+        for (const ConnPtr& conn : to_flush) flush_writes(conn);
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this wakeup
+      ConnPtr conn = it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        close_conn(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) handle_readable(conn);
+      if (events[i].events & EPOLLOUT) flush_writes(conn);
+    }
+  }
+  // Teardown on the loop thread: every socket belongs to it.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<ConnPtr> all;
+  all.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) all.push_back(conn);
+  for (const ConnPtr& conn : all) close_conn(conn);
+  conns_.clear();
+}
+
+void HullServer::worker_loop() {
+  const ServerContext ctx{registry_, counters_};
+  while (true) {
+    ConnPtr conn;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [&] { return workers_stop_ || !work_.empty(); });
+      if (work_.empty()) return;  // workers_stop_ and drained
+      conn = std::move(work_.front());
+      work_.pop_front();
+    }
+    while (true) {
+      std::string frame;
+      {
+        std::lock_guard<std::mutex> lock(work_mu_);
+        if (conn->pending.empty()) {
+          conn->scheduled = false;
+          break;
+        }
+        frame = std::move(conn->pending.front());
+        conn->pending.pop_front();
+        --queued_frames_;
+      }
+      FrameOutcome outcome = process_frame(ctx, *conn, frame);
+      if (outcome.overloaded) {
+        counters_.shed_frames.fetch_add(1, std::memory_order_relaxed);
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->io_mu);
+        if (!conn->closed) {
+          conn->out += outcome.reply;
+          if (outcome.close) conn->close_after_flush = true;
+        }
+      }
+    }
+    // One wakeup per scheduling round: the event loop sends what
+    // accumulated and re-evaluates the close condition.
+    request_flush(conn);
+  }
+}
+
+}  // namespace parhull::service

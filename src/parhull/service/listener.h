@@ -1,0 +1,124 @@
+// Epoll-based async front-end of the hull service (docs/SERVICE.md): one
+// event-loop thread owns the listening socket, every connection's fd and
+// all socket IO; a fixed worker pool executes complete frames through the
+// shared command dispatch (service/commands.h) against per-tenant engines
+// (service/tenant_registry.h). Workers may block on a tenant's group
+// commit — that is the design: blocking a worker never blocks intake,
+// reads, or other connections' replies, and the batcher coalesces every
+// waiter of a round into one engine batch.
+//
+// Admission control and load shedding (ROADMAP "engine -> service"):
+//   * connection cap: past max_connections an accept is answered with a
+//     single kOverloaded line and closed — the listener never stops
+//     accepting, so the kernel backlog cannot silently fill;
+//   * global queue depth: when max_queued_frames frames are already
+//     waiting for workers, new frames are answered kOverloaded straight
+//     from the event loop without dispatching (a shed reply can therefore
+//     overtake earlier in-flight replies; JSON clients correlate by `id`);
+//   * per-tenant depth, point budgets and per-command caps live in the
+//     dispatch itself (SessionLimits);
+//   * per-batch SLOs: every tenant's batcher runs under a Supervisor with
+//     the configured deadline / watchdog / retry policy, so a wedged or
+//     over-deadline batch resolves with a typed status instead of
+//     stalling the tenant's writer forever.
+//
+// stop() (and the destructor) performs an orderly drain: intake closes,
+// workers finish the frames already accepted, tenants' writers drain
+// their group-commit queues, every fd is closed — clean under ASan/TSan,
+// which the CI service-smoke job checks end to end.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <condition_variable>
+
+#include "parhull/common/status.h"
+#include "parhull/service/connection.h"
+#include "parhull/service/tenant_registry.h"
+
+namespace parhull::service {
+
+struct ServiceOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; HullServer::port() has the pick
+  int worker_threads = 4;
+  std::size_t max_connections = 4096;
+  std::size_t max_frame_bytes = 1u << 20;   // one line / binary frame
+  std::size_t max_queued_frames = 1024;     // global shed threshold
+  TenantRegistry::Options tenants{};
+};
+
+class HullServer {
+ public:
+  explicit HullServer(ServiceOptions opts = {});
+  HullServer(const HullServer&) = delete;
+  HullServer& operator=(const HullServer&) = delete;
+  ~HullServer();  // stop()
+
+  // Bind + listen + spawn the event loop and workers. kOk, or kBadInput
+  // when the address cannot be bound (port in use, bad host).
+  HullStatus start();
+
+  // Orderly drain (see header comment). Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+  std::uint16_t port() const { return port_; }
+  ServiceStats stats() const;
+  TenantRegistry& registry() { return registry_; }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void event_loop();
+  void worker_loop();
+  void handle_accept();
+  void handle_readable(const ConnPtr& conn);
+  void ingest_frames(const ConnPtr& conn);
+  void flush_writes(const ConnPtr& conn);
+  void request_flush(const ConnPtr& conn);
+  void maybe_close(const ConnPtr& conn);
+  void close_conn(const ConnPtr& conn);
+  void set_interest(const ConnPtr& conn, bool want_write);
+
+  ServiceOptions opts_;
+  TenantRegistry registry_;
+  ServiceCounters counters_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  // Connections, owned by the event loop thread (other threads only ever
+  // hold ConnPtrs handed out through the work/flush queues).
+  std::unordered_map<int, ConnPtr> conns_;
+
+  // Worker queue: connections with pending frames. `scheduled` and
+  // `pending` of every Connection are guarded by work_mu_.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<ConnPtr> work_;
+  std::size_t queued_frames_ = 0;
+  bool workers_stop_ = false;
+
+  // Flush channel: workers appended reply bytes; the event loop owns the
+  // actual send().
+  std::mutex flush_mu_;
+  std::vector<ConnPtr> flush_;
+};
+
+}  // namespace parhull::service

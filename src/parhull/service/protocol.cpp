@@ -1,0 +1,308 @@
+#include "parhull/service/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace parhull::service {
+
+namespace {
+
+inline std::uint16_t read_u16le(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t read_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+Frame error_frame(std::string msg) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.error = std::move(msg);
+  return f;
+}
+
+}  // namespace
+
+Frame extract_frame(std::string_view in, std::size_t max_frame_bytes) {
+  Frame f;
+  if (in.empty()) return f;
+
+  if (in.front() == kBinaryMagic) {
+    if (in.size() < kBinaryHeaderBytes) {
+      if (max_frame_bytes < kBinaryHeaderBytes) {
+        return error_frame("frame limit below binary header size");
+      }
+      return f;  // header incomplete
+    }
+    const auto* h = reinterpret_cast<const unsigned char*>(in.data());
+    const std::size_t tenant_len = read_u16le(h + 2);
+    const std::size_t payload_len = read_u32le(h + 4);
+    const std::size_t total = kBinaryHeaderBytes + tenant_len + payload_len;
+    if (total > max_frame_bytes) {
+      return error_frame("binary frame exceeds the frame size limit");
+    }
+    if (in.size() < total) return f;  // body incomplete
+    f.type = FrameType::kBinary;
+    f.consumed = total;
+    f.body = in.substr(0, total);
+    return f;
+  }
+
+  const std::size_t nl = in.find('\n');
+  if (nl == std::string_view::npos) {
+    if (in.size() > max_frame_bytes) {
+      return error_frame("line exceeds the frame size limit");
+    }
+    return f;  // line incomplete
+  }
+  if (nl > max_frame_bytes) {
+    return error_frame("line exceeds the frame size limit");
+  }
+  std::string_view line = in.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  f.type = !line.empty() && line.front() == '{' ? FrameType::kJson
+                                                : FrameType::kText;
+  f.consumed = nl + 1;
+  f.body = line;
+  return f;
+}
+
+bool parse_binary_frame(std::string_view frame, BinaryFrame& out) {
+  if (frame.size() < kBinaryHeaderBytes || frame.front() != kBinaryMagic) {
+    return false;
+  }
+  const auto* h = reinterpret_cast<const unsigned char*>(frame.data());
+  const std::size_t tenant_len = read_u16le(h + 2);
+  const std::size_t payload_len = read_u32le(h + 4);
+  if (frame.size() != kBinaryHeaderBytes + tenant_len + payload_len) {
+    return false;
+  }
+  out.op = h[1];
+  out.tenant = frame.substr(kBinaryHeaderBytes, tenant_len);
+  out.payload = frame.substr(kBinaryHeaderBytes + tenant_len, payload_len);
+  return true;
+}
+
+std::string build_binary_frame(std::uint8_t op, std::string_view tenant,
+                               std::string_view payload) {
+  std::string out;
+  out.reserve(kBinaryHeaderBytes + tenant.size() + payload.size());
+  out.push_back(kBinaryMagic);
+  out.push_back(static_cast<char>(op));
+  out.push_back(static_cast<char>(tenant.size() & 0xff));
+  out.push_back(static_cast<char>((tenant.size() >> 8) & 0xff));
+  const std::uint32_t plen = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((plen >> (8 * i)) & 0xff));
+  }
+  out.append(tenant);
+  out.append(payload);
+  return out;
+}
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n')) {
+    ++i;
+  }
+}
+
+bool parse_string(std::string_view s, std::size_t& i, std::string& out,
+                  std::string* err) {
+  // s[i] == '"'
+  ++i;
+  out.clear();
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      if (i + 1 >= s.size()) break;
+      char e = s[i + 1];
+      i += 2;
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (i + 4 > s.size()) {
+            if (err) *err = "truncated \\u escape";
+            return false;
+          }
+          unsigned v = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = s[i + static_cast<std::size_t>(k)];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              if (err) *err = "bad \\u escape";
+              return false;
+            }
+          }
+          i += 4;
+          // The protocol only needs ASCII round-trips; encode the BMP code
+          // point as UTF-8 so nothing is silently dropped.
+          if (v < 0x80) {
+            out.push_back(static_cast<char>(v));
+          } else if (v < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (v >> 6)));
+            out.push_back(static_cast<char>(0x80 | (v & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (v >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((v >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (v & 0x3f)));
+          }
+          break;
+        }
+        default:
+          if (err) *err = "unknown escape";
+          return false;
+      }
+      continue;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) {
+      if (err) *err = "raw control byte in string";
+      return false;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  if (err) *err = "unterminated string";
+  return false;
+}
+
+bool parse_scalar(std::string_view s, std::size_t& i, std::string& out,
+                  std::string* err) {
+  const std::size_t start = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ' ' &&
+         s[i] != '\t' && s[i] != '\r' && s[i] != '\n') {
+    if (s[i] == '{' || s[i] == '[') {
+      if (err) *err = "nested values are not part of the protocol";
+      return false;
+    }
+    ++i;
+  }
+  if (i == start) {
+    if (err) *err = "missing value";
+    return false;
+  }
+  out.assign(s.substr(start, i - start));
+  return true;
+}
+
+}  // namespace
+
+bool parse_json_object(std::string_view text, std::vector<JsonField>& out,
+                       std::string* err) {
+  out.clear();
+  std::size_t i = 0;
+  skip_ws(text, i);
+  if (i >= text.size() || text[i] != '{') {
+    if (err) *err = "expected '{'";
+    return false;
+  }
+  ++i;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    skip_ws(text, i);
+    if (i != text.size()) {
+      if (err) *err = "trailing bytes after object";
+      return false;
+    }
+    return true;
+  }
+  while (true) {
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != '"') {
+      if (err) *err = "expected a key string";
+      return false;
+    }
+    JsonField field;
+    if (!parse_string(text, i, field.key, err)) return false;
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') {
+      if (err) *err = "expected ':'";
+      return false;
+    }
+    ++i;
+    skip_ws(text, i);
+    if (i >= text.size()) {
+      if (err) *err = "missing value";
+      return false;
+    }
+    if (text[i] == '"') {
+      field.quoted = true;
+      if (!parse_string(text, i, field.value, err)) return false;
+    } else {
+      if (!parse_scalar(text, i, field.value, err)) return false;
+    }
+    out.push_back(std::move(field));
+    skip_ws(text, i);
+    if (i >= text.size()) {
+      if (err) *err = "unterminated object";
+      return false;
+    }
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') {
+      ++i;
+      skip_ws(text, i);
+      if (i != text.size()) {
+        if (err) *err = "trailing bytes after object";
+        return false;
+      }
+      return true;
+    }
+    if (err) *err = "expected ',' or '}'";
+    return false;
+  }
+}
+
+const JsonField* find_field(const std::vector<JsonField>& fields,
+                            std::string_view key) {
+  for (const JsonField& f : fields) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace parhull::service

@@ -1,0 +1,103 @@
+// Wire protocol of the hull service (docs/SERVICE.md): the frame grammar
+// shared by the epoll server (service/listener.h), the replay client
+// (examples/hull_client.cpp), the load harness (bench/bench_e18_service.cpp)
+// and the protocol tests.
+//
+// A connection carries a sequence of self-delimiting FRAMES; the first byte
+// of each frame selects its encoding, so text, JSON and binary frames may
+// be freely interleaved on one connection:
+//
+//   '{' ...... one JSON object per line ('\n'-terminated):
+//                {"cmd": "insert 1 2 3"[, "tenant": "name"][, "id": tok]}
+//              `cmd` is any REPL verb line (service/commands.h); `tenant`
+//              overrides the connection's current tenant for this frame
+//              only; `id` is an opaque token echoed back in the reply.
+//              Reply: one JSON line {"status": "...", ...fields,
+//              "reply": "text"}.
+//   0x00 ..... length-prefixed binary frame (bulk data path):
+//                [0x00][op:u8][tenant_len:u16le][payload_len:u32le]
+//                [tenant bytes][payload bytes]
+//              op 0x01 kBinInsert: payload = N x D x f64le coordinates.
+//              op 0x02 kBinLocate: payload likewise; reply counts
+//              inside/boundary/outside. Replies are JSON lines.
+//   other .... one plain-text REPL command per line, byte-identical to the
+//              stdin REPL (examples/hull_server.cpp): the reply is the raw
+//              dispatch text, so a transcript replayed over the socket
+//              diffs byte-exact against the stdio run.
+//
+// Nothing here allocates per byte: extract_frame is a pure scan over the
+// connection's input buffer, and the JSON parser handles exactly the flat
+// one-level objects the protocol admits (no nesting, no arrays) — a typed
+// parse error, never UB, on anything else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parhull::service {
+
+inline constexpr char kBinaryMagic = '\0';
+inline constexpr std::uint8_t kBinInsert = 0x01;
+inline constexpr std::uint8_t kBinLocate = 0x02;
+inline constexpr std::size_t kBinaryHeaderBytes = 8;
+
+enum class FrameType : std::uint8_t {
+  kNone,    // incomplete: wait for more bytes
+  kText,    // plain REPL command line
+  kJson,    // one-line JSON command object
+  kBinary,  // length-prefixed binary frame
+  kError,   // malformed or over-limit: reply + close the connection
+};
+
+struct Frame {
+  FrameType type = FrameType::kNone;
+  std::size_t consumed = 0;   // bytes to erase from the input buffer
+  std::string_view body;      // text/json: the line without '\n';
+                              // binary: the whole frame incl. header
+  std::string error;          // set when type == kError
+};
+
+// Scan the start of `in` for one complete frame. `max_frame_bytes` bounds
+// any single frame (text line, JSON line, or binary header+tenant+payload):
+// a longer one is a protocol error — the abuse guard that keeps one
+// connection from growing an unbounded buffer server-side.
+Frame extract_frame(std::string_view in, std::size_t max_frame_bytes);
+
+struct BinaryFrame {
+  std::uint8_t op = 0;
+  std::string_view tenant;   // empty = the connection's current tenant
+  std::string_view payload;
+};
+
+// Decode a complete binary frame (extract_frame returned kBinary). False
+// iff the header is inconsistent with the frame length.
+bool parse_binary_frame(std::string_view frame, BinaryFrame& out);
+
+// Encode a binary frame (client side: tests, bench, hull_client).
+std::string build_binary_frame(std::uint8_t op, std::string_view tenant,
+                               std::string_view payload);
+
+// One field of a flat JSON object. `quoted` distinguishes "1" from 1 so a
+// reply can echo the request's `id` token exactly as it arrived.
+struct JsonField {
+  std::string key;
+  std::string value;  // unescaped for strings; raw token otherwise
+  bool quoted = false;
+};
+
+// Parse a flat JSON object: string, number, true/false/null values only.
+// Returns false (with *err set) on nesting, arrays, or malformed syntax.
+bool parse_json_object(std::string_view text, std::vector<JsonField>& out,
+                       std::string* err);
+
+const JsonField* find_field(const std::vector<JsonField>& fields,
+                            std::string_view key);
+
+// JSON string escaping for reply emission ("\n" and friends, \u00XX for
+// other control bytes).
+void append_json_escaped(std::string& out, std::string_view s);
+
+}  // namespace parhull::service

@@ -1,0 +1,116 @@
+// Tenant registry: the multi-tenant spine of the hull service
+// (docs/SERVICE.md). Each tenant name owns an isolated TenantSession —
+// its own HullEngine<3>, RequestBatcher writer thread, bootstrap buffer
+// and admission budget — so one tenant's load, deletions, or failed
+// batches can never perturb another tenant's hull (the per-tenant I10
+// check in tests/test_service.cpp leans on exactly this isolation).
+//
+// Creation is lazy (first command naming a tenant creates it) and capped:
+// past max_tenants the registry answers kAtCapacity and the service sheds
+// the request with kOverloaded instead of growing without bound — tenant
+// names are client-controlled input, so an uncapped registry would be an
+// allocation amplifier. Sessions live until the registry is destroyed;
+// returned pointers stay valid for the registry's lifetime.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parhull/service/commands.h"
+
+namespace parhull::service {
+
+class TenantRegistry {
+ public:
+  struct Options {
+    TenantSession::Options session{};  // limits + engine/SLO policy, shared
+    std::size_t max_tenants = 64;
+  };
+
+  enum class GetStatus { kOk, kInvalidName, kAtCapacity };
+
+  TenantRegistry() : TenantRegistry(Options()) {}
+  explicit TenantRegistry(Options opts) : opts_(std::move(opts)) {}
+
+  // Tenant names are a tight charset so they can pass through every frame
+  // encoding (JSON, binary, logs) unescaped: [A-Za-z0-9_.-], 1..64 bytes.
+  static bool valid_name(std::string_view name) {
+    if (name.empty() || name.size() > 64) return false;
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                      c == '-';
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  // Find or lazily create the named tenant. Null with *why set when the
+  // name is malformed or the registry is full.
+  TenantSession* get_or_create(std::string_view name,
+                               GetStatus* why = nullptr) {
+    if (!valid_name(name)) {
+      if (why) *why = GetStatus::kInvalidName;
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it != tenants_.end()) {
+      if (why) *why = GetStatus::kOk;
+      return it->second.get();
+    }
+    if (tenants_.size() >= opts_.max_tenants) {
+      if (why) *why = GetStatus::kAtCapacity;
+      return nullptr;
+    }
+    auto session = std::make_unique<TenantSession>(opts_.session);
+    TenantSession* raw = session.get();
+    tenants_.emplace(std::string(name), std::move(session));
+    if (why) *why = GetStatus::kOk;
+    return raw;
+  }
+
+  TenantSession* find(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    return it != tenants_.end() ? it->second.get() : nullptr;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tenants_.size();
+  }
+
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(tenants_.size());
+    for (const auto& [name, _] : tenants_) out.push_back(name);
+    return out;
+  }
+
+  // Stop intake and drain every tenant's writer thread (group commit
+  // finishes accepted work first — the engine contract).
+  void close_all() {
+    std::vector<TenantSession*> sessions;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [_, s] : tenants_) sessions.push_back(s.get());
+    }
+    for (TenantSession* s : sessions) s->close();
+  }
+
+ private:
+  Options opts_;
+  mutable std::mutex mu_;
+  // Heterogeneous lookup (std::less<>) so string_view probes do not
+  // allocate a temporary key.
+  std::map<std::string, std::unique_ptr<TenantSession>, std::less<>>
+      tenants_;
+};
+
+}  // namespace parhull::service

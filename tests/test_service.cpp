@@ -1,0 +1,412 @@
+// End-to-end tests of the epoll hull service (src/parhull/service/
+// listener.h): an in-process HullServer on an ephemeral loopback port,
+// driven by real client sockets. Covers the three frame encodings, the
+// multi-client multi-tenant I10 differential check (every tenant's facet
+// set must equal a one-shot sequential hull of its survivors after
+// concurrent mixed traffic through the socket path), admission control
+// (connection cap, global queue shed, tenant-name validation), protocol
+// abuse (oversized and malformed frames), the half-close drain contract,
+// and clean shutdown with connections still open.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parhull/engine/snapshot.h"
+#include "parhull/hull/hull_common.h"
+#include "parhull/hull/sequential_hull.h"
+#include "parhull/service/listener.h"
+#include "parhull/service/protocol.h"
+#include "parhull/workload/generators.h"
+
+using namespace parhull;
+using namespace parhull::service;
+
+namespace {
+
+// A small blocking client: one request, one reply line, in lockstep.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+    if (connected_) {
+      int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+  }
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return connected_; }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  void half_close() { ::shutdown(fd_, SHUT_WR); }
+
+  bool send_raw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0 && errno != EINTR) return false;
+      if (n > 0) off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Read one '\n'-terminated line (10 s guard); empty string on EOF/error.
+  std::string read_line() {
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl + 1);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 10000) <= 0) return {};
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return {};
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  // Drain everything until the server closes (the half-close contract).
+  std::string read_all() {
+    std::string out = std::move(buf_);
+    buf_.clear();
+    while (true) {
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 10000) <= 0) return out;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return out;
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string roundtrip(const std::string& line) {
+    if (!send_raw(line)) return {};
+    return read_line();
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+// One-shot sequential hull of the snapshot's survivors, as canonical
+// sorted tuples (the I10 oracle of test_engine_dynamic.cpp).
+std::vector<std::array<PointId, 3>> survivor_oracle(
+    const HullSnapshot<3>& snap) {
+  PointSet<3> live;
+  std::vector<PointId> ids;
+  for (std::size_t i = 0; i < snap.point_count(); ++i) {
+    const PointId id = static_cast<PointId>(i);
+    if (!snap.is_deleted(id)) {
+      live.push_back((*snap.points)[i]);
+      ids.push_back(id);
+    }
+  }
+  EXPECT_TRUE(prepare_input_tracked<3>(live, ids));
+  SequentialHull<3> seq;
+  auto res = seq.run(live);
+  EXPECT_TRUE(res.ok) << to_string(res.status);
+  std::vector<std::array<PointId, 3>> out;
+  out.reserve(res.hull.size());
+  for (FacetId fid : res.hull) {
+    const Facet<3>& f = seq.facet(fid);
+    std::array<PointId, 3> t{};
+    for (int v = 0; v < 3; ++v) {
+      t[static_cast<std::size_t>(v)] =
+          ids[f.vertices[static_cast<std::size_t>(v)]];
+    }
+    std::sort(t.begin(), t.end());
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ServiceOptions small_service() {
+  ServiceOptions opts;
+  opts.worker_threads = 3;
+  return opts;
+}
+
+TEST(Service, TextModeMatchesTheReplDispatch) {
+  HullServer server(small_service());
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+  EXPECT_EQ(c.roundtrip("gen 32 7\n"),
+            "ok: +32 point(s) committed at epoch 1 (batch of 32, "
+            "ids [0..32))\n");
+  EXPECT_EQ(c.roundtrip("query 0 0 0\n"), "inside (epoch 1)\n");
+  EXPECT_EQ(c.roundtrip("bogus\n"), "unknown command 'bogus' (try help)\n");
+  // `tenant` retargets the rest of this connection's text commands.
+  EXPECT_EQ(c.roundtrip("tenant other\n"), "ok: tenant other\n");
+  EXPECT_EQ(c.roundtrip("query 0 0 0\n"),
+            "no hull yet (insert points first)\n");
+  EXPECT_EQ(c.roundtrip("tenant bad!name\n"),
+            "usage: tenant NAME (want [A-Za-z0-9_.-]{1,64})\n");
+  server.stop();
+}
+
+TEST(Service, HalfCloseDrainsEveryReply) {
+  HullServer server(small_service());
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+  // Ship the whole transcript, half-close, then collect: every command
+  // must still be answered, in order, before the server closes.
+  ASSERT_TRUE(c.send_raw("gen 16 3\nquery 0 0 0\nvisible 9 9 9\n"));
+  c.half_close();
+  const std::string replies = c.read_all();
+  EXPECT_NE(replies.find("ok: +16 point(s) committed at epoch 1"),
+            std::string::npos);
+  EXPECT_NE(replies.find("inside (epoch 1)\n"), std::string::npos);
+  EXPECT_NE(replies.find("facets visible\n"), std::string::npos);
+  server.stop();
+}
+
+TEST(Service, JsonFramesEchoIdsAndTargetTenants) {
+  HullServer server(small_service());
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+  EXPECT_EQ(c.roundtrip(R"({"cmd":"gen 8 1","tenant":"acme","id":7})"
+                        "\n"),
+            "{\"id\":7,\"status\":\"ok\",\"epoch\":1,\"batch_points\":8,"
+            "\"first_id\":0,\"count\":8,\"reply\":\"ok: +8 point(s) "
+            "committed at epoch 1 (batch of 8, ids [0..8))\\n\"}\n");
+  EXPECT_EQ(c.roundtrip(R"({"cmd":"query 0 0 0","tenant":"acme","id":"q"})"
+                        "\n"),
+            "{\"id\":\"q\",\"status\":\"ok\",\"location\":\"inside\","
+            "\"epoch\":1,\"reply\":\"inside (epoch 1)\\n\"}\n");
+  // Malformed JSON and a missing cmd are typed errors, not disconnects.
+  const std::string bad = c.roundtrip("{\"cmd\":\n");
+  EXPECT_NE(bad.find("\"status\":\"bad_input\""), std::string::npos);
+  const std::string missing = c.roundtrip("{\"id\":1}\n");
+  EXPECT_NE(missing.find("missing string field 'cmd'"), std::string::npos);
+  EXPECT_NE(missing.find("\"id\":1"), std::string::npos);
+  // Invalid tenant names are rejected by the registry.
+  const std::string invalid =
+      c.roundtrip(R"({"cmd":"stats","tenant":"sp ace"})"
+                  "\n");
+  EXPECT_NE(invalid.find("invalid tenant name"), std::string::npos);
+  server.stop();
+}
+
+TEST(Service, BinaryFramesInsertAndLocate) {
+  HullServer server(small_service());
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+
+  const PointSet<3> pts = on_sphere<3>(32, 11);
+  const std::string payload(reinterpret_cast<const char*>(pts.data()),
+                            pts.size() * sizeof(Point<3>));
+  std::string reply =
+      c.roundtrip(build_binary_frame(kBinInsert, "bin", payload));
+  EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(reply.find("\"count\":32"), std::string::npos);
+
+  // Locate the same cloud: all on the boundary (they ARE the vertices).
+  reply = c.roundtrip(build_binary_frame(kBinLocate, "bin", payload));
+  EXPECT_NE(reply.find("32 on boundary"), std::string::npos);
+
+  // A payload that is not a whole number of points is a typed error.
+  reply = c.roundtrip(build_binary_frame(kBinInsert, "bin", "xyz"));
+  EXPECT_NE(reply.find("whole number of points"), std::string::npos);
+  // Unknown ops likewise.
+  reply = c.roundtrip(build_binary_frame(0x7f, "bin", payload));
+  EXPECT_NE(reply.find("unknown binary op"), std::string::npos);
+  server.stop();
+}
+
+TEST(Service, OversizedFramesCloseTheConnection) {
+  ServiceOptions opts = small_service();
+  opts.max_frame_bytes = 128;
+  HullServer server(opts);
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+  // A 4 KiB line with no newline can never become a frame: the server
+  // answers with a protocol error and closes instead of buffering it.
+  const std::string reply = c.roundtrip(std::string(4096, 'x'));
+  EXPECT_NE(reply.find("protocol error"), std::string::npos);
+  EXPECT_EQ(c.read_line(), "");  // then EOF
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(Service, ConnectionCapShedsNewAccepts) {
+  ServiceOptions opts = small_service();
+  opts.max_connections = 2;
+  HullServer server(opts);
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client a(server.port()), b(server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  // Make sure both are registered with the event loop before the third.
+  EXPECT_EQ(a.roundtrip("tenant a\n"), "ok: tenant a\n");
+  EXPECT_EQ(b.roundtrip("tenant b\n"), "ok: tenant b\n");
+  Client shed(server.port());
+  const std::string reply = shed.read_line();
+  EXPECT_NE(reply.find("\"status\":\"overloaded\""), std::string::npos);
+  EXPECT_EQ(shed.read_line(), "");  // closed after the shed line
+  // The admitted connections keep working.
+  EXPECT_EQ(a.roundtrip("query 0 0 0\n"),
+            "no hull yet (insert points first)\n");
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_connections, 1u);
+  server.stop();
+}
+
+TEST(Service, GlobalQueueShedAnswersWithoutDispatching) {
+  ServiceOptions opts = small_service();
+  opts.max_queued_frames = 0;  // deterministic: every frame sheds
+  HullServer server(opts);
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+  EXPECT_EQ(c.roundtrip("query 0 0 0\n"),
+            "overloaded: server command queue is full; retry later\n");
+  // JSON sheds echo the id so clients can correlate out-of-order sheds.
+  const std::string reply =
+      c.roundtrip(R"({"cmd":"stats","id":"x1"})"
+                  "\n");
+  EXPECT_NE(reply.find("\"id\":\"x1\""), std::string::npos);
+  EXPECT_NE(reply.find("\"status\":\"overloaded\""), std::string::npos);
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.shed_frames, 2u);
+  EXPECT_EQ(stats.commands_total, 0u);  // nothing reached a worker
+  server.stop();
+}
+
+TEST(Service, StopWithOpenConnectionsIsClean) {
+  HullServer server(small_service());
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  auto a = std::make_unique<Client>(server.port());
+  auto b = std::make_unique<Client>(server.port());
+  ASSERT_TRUE(a->connected());
+  ASSERT_TRUE(b->connected());
+  EXPECT_EQ(a->roundtrip("gen 16 5\n"),
+            "ok: +16 point(s) committed at epoch 1 (batch of 16, "
+            "ids [0..16))\n");
+  ASSERT_TRUE(b->send_raw("gen 16 6\n"));  // may be mid-flight at stop
+  server.stop();  // must drain workers and close every fd without hanging
+  EXPECT_FALSE(server.running());
+  // Idempotent.
+  server.stop();
+}
+
+// The headline test: N client threads x M tenants of concurrent mixed
+// traffic through real sockets, then the per-tenant I10 differential
+// check — each tenant's published facet set must be bit-identical to a
+// one-shot sequential hull of that tenant's survivor set.
+TEST(Service, MultiClientMixedTrafficKeepsI10PerTenant) {
+  constexpr int kThreads = 8;
+  constexpr int kTenants = 4;
+  ServiceOptions opts;
+  opts.worker_threads = 4;
+  HullServer server(opts);
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client c(server.port());
+      if (!c.connected()) {
+        failures[t] = 1;
+        return;
+      }
+      const std::string tenant = "t" + std::to_string(t % kTenants);
+      if (c.roundtrip("tenant " + tenant + "\n") !=
+          "ok: tenant " + tenant + "\n") {
+        failures[t] = 2;
+        return;
+      }
+      // Mixed traffic. The gen reply names this thread's own id range, so
+      // its deletes/updates never race another thread's validation.
+      const std::string gen_reply =
+          c.roundtrip("gen 48 " + std::to_string(100 + t) + "\n");
+      unsigned long first = 0, last = 0;
+      const std::size_t pos = gen_reply.find("ids [");
+      if (pos == std::string::npos ||
+          std::sscanf(gen_reply.c_str() + pos, "ids [%lu..%lu)", &first,
+                      &last) != 2) {
+        failures[t] = 3;
+        return;
+      }
+      for (int i = 0; i < 6; ++i) {
+        if (c.roundtrip("query 0 0 0\n").empty() ||
+            c.roundtrip("extreme 1 2 3\n").empty() ||
+            c.roundtrip("visible 5 5 5\n").empty()) {
+          failures[t] = 4;
+          return;
+        }
+        const unsigned long id = first + static_cast<unsigned long>(i) * 3;
+        const std::string del =
+            c.roundtrip("delete " + std::to_string(id) + " " +
+                        std::to_string(id + 1) + "\n");
+        if (del.rfind("ok:", 0) != 0) {
+          failures[t] = 5;
+          return;
+        }
+        const std::string upd = c.roundtrip(
+            "update " + std::to_string(id + 2) + " 0.1 0.2 0.3\n");
+        if (upd.rfind("ok:", 0) != 0) {
+          failures[t] = 6;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "client thread " << t;
+  }
+
+  // I10 per tenant, through the socket path.
+  EXPECT_EQ(server.registry().size(), static_cast<std::size_t>(kTenants));
+  for (const std::string& name : server.registry().names()) {
+    TenantSession* s = server.registry().find(name);
+    ASSERT_NE(s, nullptr);
+    auto snap = s->snapshot();
+    ASSERT_NE(snap, nullptr) << name;
+    EXPECT_EQ(canonical_snapshot_tuples<3>(*snap), survivor_oracle(*snap))
+        << "tenant " << name;
+  }
+  server.stop();
+}
+
+}  // namespace
