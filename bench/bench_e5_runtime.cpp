@@ -6,14 +6,19 @@
 // NOTE: this host exposes a single hardware thread, so T > 1 cannot show
 // real speedup here; the worker sweep is still exercised for overhead
 // measurement and the machine-independent metrics live in E1–E4.
+#include <array>
 #include <functional>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "parhull/common/timer.h"
 #include "parhull/core/parallel_hull.h"
 #include "parhull/geometry/plane_kernel.h"
+#include "parhull/geometry/point_store.h"
 #include "parhull/hull/baselines.h"
+#include "parhull/hull/hull_common.h"
 #include "parhull/hull/sequential_hull.h"
 #include "parhull/workload/generators.h"
 
@@ -25,6 +30,66 @@ double time_once(const std::function<void()>& f) {
   Timer t;
   f();
   return t.elapsed();
+}
+
+// Batched visibility sweep: classify every point of the cloud against one
+// cached facet plane, per kernel mode and per point layout. This is the
+// inner loop the mega-batch conflict filter runs (hull_common.h), isolated
+// from hull bookkeeping, so the table directly measures what the SoA store
+// and the AVX-512 lane kernel buy. Speedups are relative to scalar/AoS;
+// the headline claim in docs/PERF.md compares simd/AoS (the previous
+// backend) against the widest available SoA row.
+template <int D>
+void sweep_bench(const bench::Options& opt, const char* name,
+                 const std::string& json_name) {
+  // Always n = 1M: one sweep is a few ms, so unlike the hull runs above
+  // the quick configuration can afford the full-size measurement (and the
+  // committed trajectory then records the headline layout/ISA speedups).
+  const std::size_t n = 1000000;
+  auto pts = uniform_ball<D>(n, 7);
+  const PointStore<D> store(pts);
+  std::array<PointId, static_cast<std::size_t>(D)> fv{};
+  for (int i = 0; i < D; ++i)
+    fv[static_cast<std::size_t>(i)] = static_cast<PointId>(i);
+  Plane<D> pl = make_plane<D>(pts, fv, coord_bounds<D>(pts));
+  const std::size_t count = n - static_cast<std::size_t>(D);
+  std::vector<std::int8_t> out(count);
+  const int reps = opt.full ? 20 : 5;
+
+  Table table({name, "n", "seconds/sweep", "Mpts/s", "speedup"});
+  const PlaneKernelMode saved = plane_kernel_mode();
+  double base = 0;
+  for (PlaneKernelMode req : {PlaneKernelMode::kScalar, PlaneKernelMode::kSimd,
+                              PlaneKernelMode::kAvx512}) {
+    set_plane_kernel_mode(req);
+    if (plane_kernel_mode() != req) continue;  // downgraded: skip duplicate
+    for (int layout = 0; layout < 2; ++layout) {
+      double t = time_once([&] {
+        for (int r = 0; r < reps; ++r) {
+          if (layout == 0) {
+            classify_plane_side<D>(pts, pl, nullptr,
+                                   static_cast<PointId>(D), count,
+                                   out.data());
+          } else {
+            classify_plane_side<D>(store, pl, nullptr,
+                                   static_cast<PointId>(D), count,
+                                   out.data());
+          }
+        }
+      });
+      const double per_sweep = t / reps;
+      if (base == 0) base = per_sweep;
+      table.row()
+          .cell(std::string(plane_kernel_mode_name(req)) +
+                (layout == 0 ? " / AoS" : " / SoA"))
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(per_sweep, 4)
+          .cell(static_cast<double>(count) / per_sweep / 1e6, 1)
+          .cell(base / per_sweep, 2);
+    }
+  }
+  set_plane_kernel_mode(saved);
+  bench::emit(opt, table, json_name);
 }
 
 }  // namespace
@@ -111,6 +176,11 @@ int main(int argc, char** argv) {
     }
     bench::emit(opt, table, "runtime_3d");
   }
+
+  // ---- batched visibility sweep: kernel mode x point layout ----
+  std::cout << "\n";
+  sweep_bench<2>(opt, "visibility sweep 2D (mode/layout)", "sweep_2d");
+  sweep_bench<3>(opt, "visibility sweep 3D (mode/layout)", "sweep_3d");
 
   std::cout << "\nPASS criterion (shape): Alg 3 at T=1 is within a small "
                "factor of Alg 2 (same tests, relaxed order), and classic "

@@ -6,12 +6,18 @@
 # modes.
 #
 # Usage: scripts/run_benches.sh [--quick|--full] [--build-dir DIR] [--out-dir DIR]
-#                                [--deadline-ms N]
+#                                [--deadline-ms N] [--baseline DIR]
 #
 # --deadline-ms (default 600000 = 10 min) arms a whole-process deadline in
 # every benchmark binary (exported as PARHULL_BENCH_DEADLINE_MS, so even the
 # google-benchmark E13 binary honors it): a wedged run exits 124 instead of
 # hanging CI.
+#
+# --baseline DIR diffs the fresh E5/E16 JSON against the committed trajectory
+# in DIR (typically bench_results/): every timing column of every row present
+# on both sides is printed with its speedup, and the script fails if any row
+# regressed by more than 10%. Rows or tables that exist on only one side are
+# reported and skipped; a quick-vs-full config mismatch skips the file.
 #
 # Outputs (in --out-dir, default bench_out/):
 #   BENCH_e3_work.json     work counters + Alg2/Alg3 test-set identity
@@ -35,6 +41,7 @@ mode=quick
 build_dir=build
 out_dir=bench_out
 deadline_ms=600000
+baseline_dir=
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) mode=quick ;;
@@ -42,6 +49,7 @@ while [[ $# -gt 0 ]]; do
     --build-dir) build_dir="$2"; shift ;;
     --out-dir) out_dir="$2"; shift ;;
     --deadline-ms) deadline_ms="$2"; shift ;;
+    --baseline) baseline_dir="$2"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
@@ -90,7 +98,7 @@ cli="$build_dir/examples/example_hull_cli"
 ref="$out_dir/hull_kernel_off.off"
 PARHULL_PLANE_KERNEL=off "$cli" --deadline-ms "$deadline_ms" --demo "$ref" \
   > /dev/null
-for kmode in scalar simd; do
+for kmode in scalar simd avx512; do
   out="$out_dir/hull_kernel_$kmode.off"
   PARHULL_PLANE_KERNEL=$kmode "$cli" --deadline-ms "$deadline_ms" --demo "$out" \
     > /dev/null
@@ -128,5 +136,79 @@ if ! diff "$del4" "$del8" > /dev/null; then
   exit 1
 fi
 echo "survivor hull facet set is split-invariant"
+
+if [[ -n "$baseline_dir" ]]; then
+  echo "==== baseline diff vs $baseline_dir ===="
+  # Match rows by their first cell (the label column) within same-named
+  # tables, compare every timing column, and fail on any >10% slowdown.
+  if ! python3 - "$baseline_dir" "$out_dir" <<'PYEOF'
+import json, os, sys
+
+base_dir, new_dir = sys.argv[1], sys.argv[2]
+TIME_KEYS = ("second", "ms", "latency")
+fail = False
+compared = 0
+for fname in ("BENCH_e5_runtime.json", "BENCH_e16.json"):
+    bpath = os.path.join(base_dir, fname)
+    npath = os.path.join(new_dir, fname)
+    if not (os.path.exists(bpath) and os.path.exists(npath)):
+        print(f"{fname}: missing on one side; skipped")
+        continue
+    with open(bpath) as f:
+        base = json.load(f)
+    with open(npath) as f:
+        new = json.load(f)
+    if base.get("full") != new.get("full"):
+        print(f"{fname}: quick/full config mismatch; skipped")
+        continue
+    btabs = {t["name"]: t["data"] for t in base.get("tables", [])}
+    for t in new.get("tables", []):
+        name, data = t["name"], t["data"]
+        if name not in btabs:
+            print(f"{fname}:{name}: new table, no baseline row to diff")
+            continue
+        bdata = btabs[name]
+        cols = data["columns"]
+        if cols != bdata["columns"]:
+            print(f"{fname}:{name}: column set changed; skipped")
+            continue
+        time_cols = [i for i, c in enumerate(cols)
+                     if any(k in c.lower() for k in TIME_KEYS)
+                     or c.lower().rstrip().endswith(" s")]
+        # Tables are emitted by deterministic code, so rows line up by
+        # position; requiring the label cell to agree as well makes an
+        # inserted/reordered row skip instead of comparing against the
+        # wrong baseline. (Plain label keying is not enough: some tables
+        # repeat a label across rows, e.g. one insert_latency row per
+        # batch count.)
+        bd_rows = bdata["rows"]
+        for ri, row in enumerate(data["rows"]):
+            if not row or ri >= len(bd_rows) or not bd_rows[ri] \
+               or str(bd_rows[ri][0]) != str(row[0]):
+                continue
+            brow = bd_rows[ri]
+            for ci in time_cols:
+                try:
+                    b, n = float(brow[ci]), float(row[ci])
+                except (TypeError, ValueError):
+                    continue
+                if b <= 0 or n <= 0:
+                    continue
+                compared += 1
+                speedup = b / n
+                flag = "  REGRESSION >10%" if n > b * 1.10 else ""
+                if flag:
+                    fail = True
+                print(f"  {fname}:{name} | {row[0]} | {cols[ci]}: "
+                      f"{b:.4g} -> {n:.4g}  ({speedup:.2f}x){flag}")
+print(f"compared {compared} timing cells")
+sys.exit(1 if fail else 0)
+PYEOF
+  then
+    echo "BASELINE REGRESSION: some row slowed down by more than 10%" >&2
+    exit 1
+  fi
+  echo "baseline diff OK (no >10% regressions)"
+fi
 
 echo "OK: wrote $out_dir/BENCH_e3_work.json, BENCH_e5_runtime.json, BENCH_e13_micro.json, BENCH_e16.json, BENCH_e17.json, BENCH_e18.json"

@@ -144,6 +144,10 @@ class ParallelHull {
         return res;
       }
     }
+    // SoA mirror for the mega-batch visibility sweeps, built once per run:
+    // regrow attempts rerun on the same input, so reset_state() leaves it
+    // alone. The exact predicate path keeps reading `pts`.
+    store_.assign(pts);
     std::size_t expected = params_.expected_keys != 0
                                ? params_.expected_keys
                                : 4 * static_cast<std::size_t>(D) * n;
@@ -280,10 +284,11 @@ class ParallelHull {
     }
     // Conflict lists of the initial facets, each via a batched range
     // filter over all later points (parallel chunks above the grain).
+    const PointsView<D> view(pts, &store_);
     parallel_for(0, static_cast<std::size_t>(D) + 1, [&](std::size_t k) {
       Facet<D>& f = (*pool_)[initial[k]];
       f.conflicts = filter_visible_range<D>(
-          pts, f.plane, f.vertices, static_cast<PointId>(D + 1),
+          view, f.plane, f.vertices, static_cast<PointId>(D + 1),
           n - (static_cast<std::size_t>(D) + 1), *arena_, filter_grain(),
           params_.controller);
       tests_.add(Scheduler::worker_id(),
@@ -421,7 +426,8 @@ class ParallelHull {
     detail::atomic_max(max_depth_, t.depth);
     detail::atomic_max(max_round_, round);
 
-    auto mf = merge_filter_conflicts<D>(f1.conflicts, f2.conflicts, pts,
+    auto mf = merge_filter_conflicts<D>(f1.conflicts, f2.conflicts,
+                                        PointsView<D>(pts, &store_),
                                         t.plane, t.vertices, p, *arena_,
                                         filter_grain(), params_.controller);
     t.conflicts = mf.conflicts;
@@ -473,6 +479,7 @@ class ParallelHull {
 
   Params params_;
   const PointSet<D>* pts_ = nullptr;
+  PointStore<D> store_;  // SoA mirror of the current run's input
   bool completed_ = false;
   std::unique_ptr<ConcurrentPool<Facet<D>>> pool_;
   // Backs every facet's ConflictList; reset together with pool_.

@@ -257,6 +257,11 @@ class HullEngine {
                    : std::make_shared<PointSet<D>>();
     const PointId first_new = static_cast<PointId>(pts->size());
     pts->insert(pts->end(), batch.begin(), batch.end());
+    // SoA mirror, copy-on-write exactly like `pts`: extend the base epoch's
+    // store by the batch (or transpose from scratch when there is none).
+    auto store = base != nullptr && base->store != nullptr
+                     ? std::make_shared<PointStore<D>>(*base->store, batch)
+                     : std::make_shared<PointStore<D>>(*pts);
 
     CoordBounds<D> bounds = coord_bounds<D>(*pts);
     const bool bounds_grew =
@@ -273,8 +278,8 @@ class HullEngine {
 
     std::shared_ptr<HullSnapshot<D>> built =
         attempt_loop(expected, res, [&](auto& map) {
-          return run_attempt(*pts, first_new, bounds, bounds_grew, interior,
-                             base.get(), map, res);
+          return run_attempt(*pts, store.get(), first_new, bounds,
+                             bounds_grew, interior, base.get(), map, res);
         });
     if (built == nullptr) {
       reset_working_state();
@@ -287,6 +292,7 @@ class HullEngine {
     // epoch. A batch that only appends shares its base's tombstone mask.
     built->epoch = (base != nullptr ? base->epoch : 0) + 1;
     built->points = pts;
+    built->store = store;
     built->deleted = base != nullptr ? base->deleted : nullptr;
     built->live_points =
         (base != nullptr ? base->live_points : 0) + batch.size();
@@ -353,6 +359,16 @@ class HullEngine {
     }
     const PointId first_new = static_cast<PointId>(old_n);
     const std::size_t n = pts->size();
+    // SoA mirror: a pure delete shares the base epoch's store (indices are
+    // tombstone-stable), an update COW-extends it by the moved points.
+    std::shared_ptr<const PointStore<D>> store;
+    if (moved.empty() && base->store != nullptr) {
+      store = base->store;
+    } else if (base->store != nullptr) {
+      store = std::make_shared<PointStore<D>>(*base->store, moved);
+    } else {
+      store = std::make_shared<PointStore<D>>(*pts);
+    }
 
     // Bounds only ever widen (deleted coordinates keep their contribution:
     // plane error bounds stay conservative, and surviving cached planes
@@ -382,8 +398,8 @@ class HullEngine {
 
     std::shared_ptr<HullSnapshot<D>> built =
         attempt_loop(expected, res, [&](auto& map) {
-          return run_mutation_attempt(*pts, first_new, n, bounds, bounds_grew,
-                                      *base, plan, map, res);
+          return run_mutation_attempt(*pts, store.get(), first_new, n, bounds,
+                                      bounds_grew, *base, plan, map, res);
         });
     if (built == nullptr) {
       reset_working_state();
@@ -392,6 +408,7 @@ class HullEngine {
 
     built->epoch = base->epoch + 1;
     built->points = pts;
+    built->store = store;
     built->deleted = mask;
     built->live_points =
         base->live_points - deletions.size() + moved.size();
@@ -428,6 +445,7 @@ class HullEngine {
 
   void reset_working_state() {
     pts_ = nullptr;
+    store_ = nullptr;
     pool_.reset();
     arena_.reset();
     map_.reset();
@@ -445,13 +463,14 @@ class HullEngine {
   // the (unpublished) snapshot. Returns null unless res.status == kOk.
   template <class Map>
   std::shared_ptr<HullSnapshot<D>> run_attempt(
-      const PointSet<D>& pts, PointId first_new, const CoordBounds<D>& bounds,
-      bool bounds_grew, const Point<D>& interior,
+      const PointSet<D>& pts, const PointStore<D>* store, PointId first_new,
+      const CoordBounds<D>& bounds, bool bounds_grew, const Point<D>& interior,
       const HullSnapshot<D>* base, Map& map, BatchResult& res) {
     res.facets_created = 0;
     res.visibility_tests = 0;
     const std::size_t n = pts.size();
     pts_ = &pts;
+    store_ = store;
     pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
     const int workers = Scheduler::get().num_workers();
     arena_ = std::make_unique<ConflictArena>(workers);
@@ -489,7 +508,8 @@ class HullEngine {
       parallel_for(0, static_cast<std::size_t>(D) + 1, [&](std::size_t k) {
         Facet<D>& f = (*pool_)[initial[k]];
         f.conflicts = filter_visible_range<D>(
-            pts, f.plane, f.vertices, static_cast<PointId>(D + 1),
+            PointsView<D>(pts, store_), f.plane, f.vertices,
+            static_cast<PointId>(D + 1),
             n - (static_cast<std::size_t>(D) + 1), *arena_, filter_grain(),
             params_.controller);
         tests_.add(Scheduler::worker_id(),
@@ -538,8 +558,8 @@ class HullEngine {
       parallel_for(0, seed_count, [&](std::size_t i) {
         Facet<D>& f = (*pool_)[static_cast<FacetId>(i)];
         f.conflicts = filter_visible_range<D>(
-            pts, f.plane, f.vertices, first_new, n - first_new, *arena_,
-            filter_grain(), params_.controller);
+            PointsView<D>(pts, store_), f.plane, f.vertices, first_new,
+            n - first_new, *arena_, filter_grain(), params_.controller);
         tests_.add(Scheduler::worker_id(), n - first_new);
       }, 1);
       for (std::size_t i = 0; i < seed_count; ++i) {
@@ -887,13 +907,14 @@ class HullEngine {
   // adjacency yet), run ProcessRidge to quiescence, build the snapshot.
   template <class Map>
   std::shared_ptr<HullSnapshot<D>> run_mutation_attempt(
-      const PointSet<D>& pts, PointId first_new, std::size_t n,
-      const CoordBounds<D>& bounds, bool bounds_grew,
+      const PointSet<D>& pts, const PointStore<D>* store, PointId first_new,
+      std::size_t n, const CoordBounds<D>& bounds, bool bounds_grew,
       const HullSnapshot<D>& base, const MutationPlan& plan, Map& map,
       BatchResult& res) {
     res.facets_created = 0;
     res.visibility_tests = 0;
     pts_ = &pts;
+    store_ = store;
     pool_ = std::make_unique<ConcurrentPool<Facet<D>>>();
     const int workers = Scheduler::get().num_workers();
     arena_ = std::make_unique<ConflictArena>(workers);
@@ -970,13 +991,14 @@ class HullEngine {
 
     parallel_for(0, seed_count, [&](std::size_t i) {
       Facet<D>& f = (*pool_)[static_cast<FacetId>(i)];
+      const PointsView<D> view(pts, store_);
       if (plan.seeds[i].base_index != MutationPlan::kNewFacet) {
         f.conflicts = filter_visible_range<D>(
-            pts, f.plane, f.vertices, first_new, n - first_new, *arena_,
+            view, f.plane, f.vertices, first_new, n - first_new, *arena_,
             filter_grain(), params_.controller);
         tests_.add(Scheduler::worker_id(), n - first_new);
       } else {
-        f.conflicts = filter_visible_ids<D>(pts, f.plane, f.vertices, cand,
+        f.conflicts = filter_visible_ids<D>(view, f.plane, f.vertices, cand,
                                             cand_n, *arena_, filter_grain(),
                                             params_.controller);
         tests_.add(Scheduler::worker_id(), cand_n);
@@ -1073,7 +1095,8 @@ class HullEngine {
     engine_detail::atomic_max_u32(max_depth_, t.depth);
     engine_detail::atomic_max_u32(max_round_, round);
 
-    auto mf = merge_filter_conflicts<D>(f1.conflicts, f2.conflicts, pts,
+    auto mf = merge_filter_conflicts<D>(f1.conflicts, f2.conflicts,
+                                        PointsView<D>(pts, store_),
                                         t.plane, t.vertices, p, *arena_,
                                         filter_grain(), params_.controller);
     t.conflicts = mf.conflicts;
@@ -1175,6 +1198,7 @@ class HullEngine {
 
   // Per-batch working state, dropped on commit or rollback.
   const PointSet<D>* pts_ = nullptr;
+  const PointStore<D>* store_ = nullptr;  // SoA mirror of *pts_ (not owned)
   std::unique_ptr<ConcurrentPool<Facet<D>>> pool_;
   std::unique_ptr<ConflictArena> arena_;
   std::unique_ptr<MapT<D>> map_;

@@ -149,11 +149,16 @@ ExtremeResult<D> extreme_point(const HullSnapshot<D>& snap,
     return none;
   }
   const PointSet<D>& pts = *snap.points;
+  // The SoA store and the AoS array hold the same doubles, and
+  // PointStore::dot accumulates in Point::dot's order, so either source
+  // rounds fl(dot(dir, v)) identically — the store just avoids pulling a
+  // whole Point<D> record per vertex probe.
+  const PointStore<D>* store = snap.store.get();
   auto facet_best = [&](const SnapshotFacet<D>& f, PointId& arg) {
     double best = -std::numeric_limits<double>::infinity();
     for (int v = 0; v < D; ++v) {
       PointId id = f.vertices[static_cast<std::size_t>(v)];
-      double s = dir.dot(pts[id]);
+      double s = store != nullptr ? store->dot(dir, id) : dir.dot(pts[id]);
       if (s > best) {
         best = s;
         arg = id;

@@ -27,6 +27,7 @@
 #include "parhull/common/types.h"
 #include "parhull/geometry/plane.h"
 #include "parhull/geometry/point.h"
+#include "parhull/geometry/point_store.h"
 
 namespace parhull {
 
@@ -49,6 +50,13 @@ struct HullSnapshot {
   // engine do not duplicate the cloud. Deleted points stay in the sequence
   // as tombstones (the mask below), so PointIds are stable forever.
   std::shared_ptr<const PointSet<D>> points;
+  // SoA mirror of `points` (geometry/point_store.h): same doubles, one
+  // contiguous lane per coordinate, same epoch-stable indices. The engine's
+  // mega-batch visibility sweeps and the query kernels' dot products read
+  // it; the exact predicates keep reading `points`. Shared exactly like
+  // `points`: insert batches COW-extend the base's store, pure-delete
+  // epochs alias it outright.
+  std::shared_ptr<const PointStore<D>> store;
   // Tombstone mask: deleted[i] != 0 iff point i was removed by some
   // delete_batch/update_batch up to this epoch. Null when nothing was ever
   // deleted; may be SHORTER than `points` (insert-only epochs share their

@@ -1,7 +1,8 @@
 // Plane construction (strict FP: this TU is compiled with
 // PARHULL_STRICT_FP_FLAGS, see src/CMakeLists.txt) and the compiled SIMD
-// classification batches. The AVX2 bodies use target attributes so the TU
-// itself needs no -mavx2; dispatch checks the CPU at runtime.
+// classification batches. The AVX2/AVX-512 bodies use target attributes so
+// the TU itself needs no -mavx2/-mavx512f; dispatch checks the CPU at
+// runtime.
 
 #include "parhull/geometry/plane_kernel.h"
 
@@ -17,12 +18,16 @@
 #if defined(PARHULL_SIMD) && PARHULL_SIMD
 #if defined(__x86_64__) || defined(_M_X64)
 #define PARHULL_SIMD_AVX2 1
+#define PARHULL_SIMD_AVX512 1
 #include <immintrin.h>
 #elif defined(__aarch64__)
 #define PARHULL_SIMD_NEON 1
 #include <arm_neon.h>
 #endif
 #endif
+
+static_assert(sizeof(parhull::PointId) == 4,
+              "the id-gather SIMD paths load PointId arrays as 32-bit lanes");
 
 namespace parhull {
 
@@ -130,9 +135,33 @@ bool plane_kernel_simd_available() {
 #endif
 }
 
+bool plane_kernel_avx512_available() {
+#if defined(PARHULL_SIMD_AVX512)
+  static const bool ok = __builtin_cpu_supports("avx512f") &&
+                         __builtin_cpu_supports("avx512dq");
+  return ok;
+#else
+  return false;
+#endif
+}
+
 namespace {
 
 std::atomic<int> g_mode{-1};  // -1 = unresolved
+
+// Requests degrade down the chain avx512 -> simd -> scalar so that an
+// observed mode always implies its path is executable: mode() == kAvx512
+// guarantees plane_kernel_avx512_available(), and kSimd likewise. Callers
+// never re-check availability.
+PlaneKernelMode degrade_to_available(PlaneKernelMode mode) {
+  if (mode == PlaneKernelMode::kAvx512 && !plane_kernel_avx512_available()) {
+    mode = PlaneKernelMode::kSimd;
+  }
+  if (mode == PlaneKernelMode::kSimd && !plane_kernel_simd_available()) {
+    mode = PlaneKernelMode::kScalar;
+  }
+  return mode;
+}
 
 PlaneKernelMode resolve_default_mode() {
   const char* env = std::getenv("PARHULL_PLANE_KERNEL");
@@ -140,13 +169,14 @@ PlaneKernelMode resolve_default_mode() {
     if (std::strcmp(env, "off") == 0) return PlaneKernelMode::kOff;
     if (std::strcmp(env, "scalar") == 0) return PlaneKernelMode::kScalar;
     if (std::strcmp(env, "simd") == 0) {
-      return plane_kernel_simd_available() ? PlaneKernelMode::kSimd
-                                           : PlaneKernelMode::kScalar;
+      return degrade_to_available(PlaneKernelMode::kSimd);
+    }
+    if (std::strcmp(env, "avx512") == 0) {
+      return degrade_to_available(PlaneKernelMode::kAvx512);
     }
     // Unknown value: fall through to the default rather than abort.
   }
-  return plane_kernel_simd_available() ? PlaneKernelMode::kSimd
-                                       : PlaneKernelMode::kScalar;
+  return degrade_to_available(PlaneKernelMode::kAvx512);
 }
 
 }  // namespace
@@ -161,10 +191,8 @@ PlaneKernelMode plane_kernel_mode() {
 }
 
 void set_plane_kernel_mode(PlaneKernelMode mode) {
-  if (mode == PlaneKernelMode::kSimd && !plane_kernel_simd_available()) {
-    mode = PlaneKernelMode::kScalar;
-  }
-  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+  g_mode.store(static_cast<int>(degrade_to_available(mode)),
+               std::memory_order_relaxed);
 }
 
 const char* plane_kernel_mode_name(PlaneKernelMode mode) {
@@ -172,6 +200,7 @@ const char* plane_kernel_mode_name(PlaneKernelMode mode) {
     case PlaneKernelMode::kOff: return "off";
     case PlaneKernelMode::kScalar: return "scalar";
     case PlaneKernelMode::kSimd: return "simd";
+    case PlaneKernelMode::kAvx512: return "avx512";
   }
   return "?";
 }
@@ -367,6 +396,167 @@ void classify_simd_d3(const double* coords, const PointId* ids, PointId first,
 }
 
 #endif
+
+// --------------------------------------------------------------------------
+// Lane kernels (runtime dimension d over SoA coordinate lanes)
+// --------------------------------------------------------------------------
+
+namespace {
+
+// Shared scalar tail for every ISA body: classify candidates [i, count)
+// one at a time straight off the lanes.
+inline void scalar_lane_tail(const double* const* lanes, int d,
+                             const double* normal, double offset, double err,
+                             const PointId* ids, PointId first, std::size_t i,
+                             std::size_t count, std::int8_t* out) {
+  for (; i < count; ++i) {
+    const std::size_t q = ids != nullptr
+                              ? static_cast<std::size_t>(ids[i])
+                              : static_cast<std::size_t>(first) + i;
+    double s = -offset;
+    for (int j = 0; j < d; ++j) s += normal[j] * lanes[j][q];
+    out[i] = s > err ? std::int8_t{1}
+                     : (s < -err ? std::int8_t{-1} : std::int8_t{0});
+  }
+}
+
+#if defined(PARHULL_SIMD_AVX512)
+
+__attribute__((target("avx512f,avx512dq,bmi2")))
+void lanes_avx512(const double* const* lanes, int d, const double* normal,
+                  double offset, double err, const PointId* ids, PointId first,
+                  std::size_t count, std::int8_t* out) {
+  __m512d nv[detail::kMaxGenericDim];
+  for (int j = 0; j < d; ++j) nv[j] = _mm512_set1_pd(normal[j]);
+  const __m512d noffv = _mm512_set1_pd(-offset);
+  const __m512d errv = _mm512_set1_pd(err);
+  const __m512d nerrv = _mm512_set1_pd(-err);
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m512d s = noffv;
+    if (ids == nullptr) {
+      const std::size_t base = static_cast<std::size_t>(first) + i;
+      for (int j = 0; j < d; ++j) {
+        s = _mm512_fmadd_pd(_mm512_loadu_pd(lanes[j] + base), nv[j], s);
+      }
+    } else {
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ids + i));
+      for (int j = 0; j < d; ++j) {
+        s = _mm512_fmadd_pd(_mm512_i32gather_pd(idx, lanes[j], 8), nv[j], s);
+      }
+    }
+    const __mmask8 pm = _mm512_cmp_pd_mask(s, errv, _CMP_GT_OQ);
+    const __mmask8 nm = _mm512_cmp_pd_mask(s, nerrv, _CMP_LT_OQ);
+    // Branchless verdict emit: spread each mask bit to the LSB of its own
+    // byte (pdep; BMI2 predates AVX-512 on every vendor), widen the
+    // negative bytes to 0xFF (a {0,1}-byte word times 0xFF keeps every
+    // product inside its byte — no carries), and OR: pm and nm are
+    // disjoint, so byte k is exactly +1, -1 (0xFF), or 0. One 8-byte
+    // store replaces the eight scalar shift/mask iterations that
+    // dominated this kernel at small d.
+    const std::uint64_t kLsb = 0x0101010101010101ULL;
+    const std::uint64_t verdicts =
+        _pdep_u64(pm, kLsb) | (_pdep_u64(nm, kLsb) * 0xFFULL);
+    std::memcpy(out + i, &verdicts, sizeof(verdicts));
+  }
+  scalar_lane_tail(lanes, d, normal, offset, err, ids, first, i, count, out);
+}
+
+#endif
+
+#if defined(PARHULL_SIMD_AVX2)
+
+__attribute__((target("avx2,fma")))
+void lanes_avx2(const double* const* lanes, int d, const double* normal,
+                double offset, double err, const PointId* ids, PointId first,
+                std::size_t count, std::int8_t* out) {
+  __m256d nv[detail::kMaxGenericDim];
+  for (int j = 0; j < d; ++j) nv[j] = _mm256_set1_pd(normal[j]);
+  const __m256d noffv = _mm256_set1_pd(-offset);
+  const __m256d errv = _mm256_set1_pd(err);
+  const __m256d nerrv = _mm256_set1_pd(-err);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256d s = noffv;
+    if (ids == nullptr) {
+      const std::size_t base = static_cast<std::size_t>(first) + i;
+      for (int j = 0; j < d; ++j) {
+        s = _mm256_fmadd_pd(_mm256_loadu_pd(lanes[j] + base), nv[j], s);
+      }
+    } else {
+      const __m128i idx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(ids + i));
+      for (int j = 0; j < d; ++j) {
+        s = _mm256_fmadd_pd(_mm256_i32gather_pd(lanes[j], idx, 8), nv[j], s);
+      }
+    }
+    emit_masks(s, errv, nerrv, out + i);
+  }
+  scalar_lane_tail(lanes, d, normal, offset, err, ids, first, i, count, out);
+}
+
+#endif
+
+#if defined(PARHULL_SIMD_NEON)
+
+void lanes_neon(const double* const* lanes, int d, const double* normal,
+                double offset, double err, const PointId* ids, PointId first,
+                std::size_t count, std::int8_t* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const std::size_t qa = ids != nullptr
+                               ? static_cast<std::size_t>(ids[i])
+                               : static_cast<std::size_t>(first) + i;
+    const std::size_t qb = ids != nullptr
+                               ? static_cast<std::size_t>(ids[i + 1])
+                               : static_cast<std::size_t>(first) + i + 1;
+    float64x2_t s = vdupq_n_f64(-offset);
+    for (int j = 0; j < d; ++j) {
+      float64x2_t pj = {lanes[j][qa], lanes[j][qb]};
+      s = vfmaq_n_f64(s, pj, normal[j]);
+    }
+    emit_pair(s, err, out + i);
+  }
+  scalar_lane_tail(lanes, d, normal, offset, err, ids, first, i, count, out);
+}
+
+#endif
+
+}  // namespace
+
+bool try_classify_lanes_avx512(const double* const* lanes, int d,
+                               const double* normal, double offset, double err,
+                               const PointId* ids, PointId first,
+                               std::size_t count, std::int8_t* out) {
+#if defined(PARHULL_SIMD_AVX512)
+  if (!plane_kernel_avx512_available()) return false;
+  lanes_avx512(lanes, d, normal, offset, err, ids, first, count, out);
+  return true;
+#else
+  (void)lanes; (void)d; (void)normal; (void)offset; (void)err; (void)ids;
+  (void)first; (void)count; (void)out;
+  return false;
+#endif
+}
+
+bool try_classify_lanes_simd(const double* const* lanes, int d,
+                             const double* normal, double offset, double err,
+                             const PointId* ids, PointId first,
+                             std::size_t count, std::int8_t* out) {
+#if defined(PARHULL_SIMD_AVX2)
+  if (!plane_kernel_simd_available()) return false;
+  lanes_avx2(lanes, d, normal, offset, err, ids, first, count, out);
+  return true;
+#elif defined(PARHULL_SIMD_NEON)
+  lanes_neon(lanes, d, normal, offset, err, ids, first, count, out);
+  return true;
+#else
+  (void)lanes; (void)d; (void)normal; (void)offset; (void)err; (void)ids;
+  (void)first; (void)count; (void)out;
+  return false;
+#endif
+}
 
 }  // namespace detail
 

@@ -10,20 +10,32 @@
 // carry the exact-sign guarantee of Plane<D>::err, so callers only pay the
 // expansion path for the uncertain residue.
 //
-// Three kernel modes, selected at runtime (PARHULL_PLANE_KERNEL=off|scalar|
-// simd, or set_plane_kernel_mode for tests):
+// Four kernel modes, selected at runtime (PARHULL_PLANE_KERNEL=off|scalar|
+// simd|avx512, or set_plane_kernel_mode for tests):
 //   off    — callers bypass classification and run the classic per-point
 //            orient<D> loop (reference behavior);
 //   scalar — the templated cores below: contiguous flat-array loops the
 //            compiler auto-vectorizes;
-//   simd   — hand-written AVX2/FMA (x86-64) or NEON (aarch64) batches for
-//            D = 2, 3, compiled behind the PARHULL_SIMD build option and
-//            dispatched only if the CPU supports them; other D fall back
-//            to the scalar core.
+//   simd   — hand-written AVX2/FMA (x86-64) or NEON (aarch64) batches,
+//            compiled behind the PARHULL_SIMD build option and dispatched
+//            only if the CPU supports them. D = 2, 3 keep dedicated AoS
+//            bodies; D = 4..8 go through the lane kernels below.
+//   avx512 — 8-wide AVX-512F/DQ lane kernels for every D = 2..8, dispatched
+//            only on CPUs that execute them (requesting avx512 elsewhere
+//            degrades to simd, then scalar — always safe).
 // All modes classify with the same plane and the same conservative bound,
 // so the certain/uncertain *split* may differ between modes (FMA rounds
 // differently) but certified signs never disagree — the facet sets and the
 // logical test multisets are mode-invariant.
+//
+// Candidates come in two layouts (geometry/point_store.h):
+//   * AoS — the flat PointSet coordinate array. D = 2, 3 have dedicated
+//     deinterleaving SIMD bodies; higher dimensions transpose stack-resident
+//     blocks into lanes and reuse the lane kernels.
+//   * SoA — a PointStore with one contiguous double lane per coordinate.
+//     The lane kernels stream each lane directly (range variant) or gather
+//     within a lane (ids variant); this is the layout the mega-batch
+//     visibility sweep (hull/hull_common.h) runs on.
 #pragma once
 
 #include <cstddef>
@@ -31,18 +43,23 @@
 
 #include "parhull/common/types.h"
 #include "parhull/geometry/plane.h"
+#include "parhull/geometry/point_store.h"
 
 namespace parhull {
 
-enum class PlaneKernelMode { kOff, kScalar, kSimd };
+enum class PlaneKernelMode { kOff, kScalar, kSimd, kAvx512 };
 
 // Current mode: the first call resolves PARHULL_PLANE_KERNEL from the
-// environment (default: simd when compiled in and supported, else scalar).
+// environment (default: the widest compiled-in path this CPU executes —
+// avx512, then simd, then scalar).
 PlaneKernelMode plane_kernel_mode();
 void set_plane_kernel_mode(PlaneKernelMode mode);
 const char* plane_kernel_mode_name(PlaneKernelMode mode);
-// True iff the SIMD batch path is compiled in and this CPU executes it.
+// True iff the AVX2/NEON batch path is compiled in and this CPU executes it.
 bool plane_kernel_simd_available();
+// True iff the AVX-512 lane kernels are compiled in and this CPU executes
+// them (AVX-512F + AVX-512DQ).
+bool plane_kernel_avx512_available();
 
 namespace detail {
 
@@ -60,12 +77,24 @@ inline std::int8_t classify_one(const double* p, const Plane<D>& pl) {
 // coords + q * D). The gather variant indexes through ids; the range
 // variant classifies points first..first+count-1 (contiguous loads, which
 // the compiler vectorizes).
+//
+// The plane is hoisted into locals ONCE per batch: `out` is an int8_t
+// (char-family) store that may alias anything, so without the hoist the
+// compiler must reload normal/offset/err from memory on every iteration.
 template <int D>
 inline void classify_scalar_ids(const double* coords, const PointId* ids,
                                 std::size_t count, const Plane<D>& pl,
                                 std::int8_t* out) {
+  double nrm[D];
+  for (int j = 0; j < D; ++j) nrm[j] = pl.normal[static_cast<std::size_t>(j)];
+  const double off = pl.offset;
+  const double err = pl.err;
   for (std::size_t i = 0; i < count; ++i) {
-    out[i] = classify_one<D>(coords + static_cast<std::size_t>(ids[i]) * D, pl);
+    const double* p = coords + static_cast<std::size_t>(ids[i]) * D;
+    double s = -off;
+    for (int j = 0; j < D; ++j) s += nrm[j] * p[j];
+    out[i] = s > err ? std::int8_t{1}
+                     : (s < -err ? std::int8_t{-1} : std::int8_t{0});
   }
 }
 
@@ -73,19 +102,115 @@ template <int D>
 inline void classify_scalar_range(const double* coords, PointId first,
                                   std::size_t count, const Plane<D>& pl,
                                   std::int8_t* out) {
+  double nrm[D];
+  for (int j = 0; j < D; ++j) nrm[j] = pl.normal[static_cast<std::size_t>(j)];
+  const double off = pl.offset;
+  const double err = pl.err;
   const double* p = coords + static_cast<std::size_t>(first) * D;
   for (std::size_t i = 0; i < count; ++i, p += D) {
-    out[i] = classify_one<D>(p, pl);
+    double s = -off;
+    for (int j = 0; j < D; ++j) s += nrm[j] * p[j];
+    out[i] = s > err ? std::int8_t{1}
+                     : (s < -err ? std::int8_t{-1} : std::int8_t{0});
   }
 }
 
-// Compiled SIMD batches (plane_kernel.cpp). ids == nullptr means the range
-// variant starting at `first`. Fall back to the scalar cores when SIMD is
-// compiled out or unsupported.
+// Scalar SoA core: one contiguous stream per lane (auto-vectorizable), or a
+// per-lane gather through ids. Same hoist discipline as above.
+template <int D>
+inline void classify_scalar_lanes(
+    const std::array<const double*, static_cast<std::size_t>(D)>& lanes,
+    const PointId* ids, PointId first, std::size_t count, const Plane<D>& pl,
+    std::int8_t* out) {
+  double nrm[D];
+  for (int j = 0; j < D; ++j) nrm[j] = pl.normal[static_cast<std::size_t>(j)];
+  const double off = pl.offset;
+  const double err = pl.err;
+  if (ids == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t q = static_cast<std::size_t>(first) + i;
+      double s = -off;
+      for (int j = 0; j < D; ++j) {
+        s += nrm[j] * lanes[static_cast<std::size_t>(j)][q];
+      }
+      out[i] = s > err ? std::int8_t{1}
+                       : (s < -err ? std::int8_t{-1} : std::int8_t{0});
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t q = static_cast<std::size_t>(ids[i]);
+      double s = -off;
+      for (int j = 0; j < D; ++j) {
+        s += nrm[j] * lanes[static_cast<std::size_t>(j)][q];
+      }
+      out[i] = s > err ? std::int8_t{1}
+                       : (s < -err ? std::int8_t{-1} : std::int8_t{0});
+    }
+  }
+}
+
+// Compiled AoS SIMD batches for D = 2, 3 (plane_kernel.cpp). ids == nullptr
+// means the range variant starting at `first`. Fall back to the scalar
+// cores when SIMD is compiled out or unsupported.
 void classify_simd_d2(const double* coords, const PointId* ids, PointId first,
                       std::size_t count, const Plane<2>& pl, std::int8_t* out);
 void classify_simd_d3(const double* coords, const PointId* ids, PointId first,
                       std::size_t count, const Plane<3>& pl, std::int8_t* out);
+
+// Compiled lane kernels over d coordinate lanes (runtime dimension,
+// d <= kMaxGenericDim from predicates.h): evaluate
+// s = fl(sum_j normal[j] * lanes[j][q] - offset) for 8 (AVX-512), 4 (AVX2)
+// or 2 (NEON) candidates at a time and emit the three-way verdicts. Return
+// false when the path is compiled out or the CPU lacks it — the caller then
+// runs the scalar lane core. ids == nullptr selects the contiguous range
+// variant (pure lane streaming); otherwise each lane is gathered at ids[i].
+bool try_classify_lanes_avx512(const double* const* lanes, int d,
+                               const double* normal, double offset, double err,
+                               const PointId* ids, PointId first,
+                               std::size_t count, std::int8_t* out);
+bool try_classify_lanes_simd(const double* const* lanes, int d,
+                             const double* normal, double offset, double err,
+                             const PointId* ids, PointId first,
+                             std::size_t count, std::int8_t* out);
+
+// AoS candidates under a lane kernel: transpose stack-resident blocks into
+// lanes, then stream them. This is what gives D = 4..8 (and every D in
+// avx512 mode) a vector path without a per-dimension deinterleave body.
+inline constexpr std::size_t kTransposeBlock = 256;
+
+template <int D>
+void classify_aos_blocked(const double* coords, const PointId* ids,
+                          PointId first, std::size_t count,
+                          const Plane<D>& pl, std::int8_t* out,
+                          bool want_avx512) {
+  double lanes[D][kTransposeBlock];
+  const double* lp[D];
+  std::array<const double*, static_cast<std::size_t>(D)> lanes_arr{};
+  for (int j = 0; j < D; ++j) {
+    lp[j] = lanes[j];
+    lanes_arr[static_cast<std::size_t>(j)] = lanes[j];
+  }
+  for (std::size_t beg = 0; beg < count; beg += kTransposeBlock) {
+    const std::size_t len =
+        count - beg < kTransposeBlock ? count - beg : kTransposeBlock;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t q = ids != nullptr
+                                ? static_cast<std::size_t>(ids[beg + i])
+                                : static_cast<std::size_t>(first) + beg + i;
+      const double* p = coords + q * D;
+      for (int j = 0; j < D; ++j) lanes[j][i] = p[j];
+    }
+    const bool done =
+        want_avx512
+            ? try_classify_lanes_avx512(lp, D, pl.normal.data(), pl.offset,
+                                        pl.err, nullptr, 0, len, out + beg)
+            : try_classify_lanes_simd(lp, D, pl.normal.data(), pl.offset,
+                                      pl.err, nullptr, 0, len, out + beg);
+    if (!done) {
+      classify_scalar_lanes<D>(lanes_arr, nullptr, 0, len, pl, out + beg);
+    }
+  }
+}
 
 }  // namespace detail
 
@@ -100,12 +225,23 @@ inline void classify_plane_side(const PointSet<D>& pts, const Plane<D>& pl,
   static_assert(sizeof(Point<D>) == static_cast<std::size_t>(D) *
                 sizeof(double), "PointSet must be a flat coordinate array");
   const double* coords = reinterpret_cast<const double*>(pts.data());
-  if (plane_kernel_mode() == PlaneKernelMode::kSimd) {
+  const PlaneKernelMode mode = plane_kernel_mode();
+  if (mode == PlaneKernelMode::kAvx512) {
+    // mode() == kAvx512 implies plane_kernel_avx512_available().
+    detail::classify_aos_blocked<D>(coords, ids, first, count, pl, out,
+                                    /*want_avx512=*/true);
+    return;
+  }
+  if (mode == PlaneKernelMode::kSimd) {
     if constexpr (D == 2) {
       detail::classify_simd_d2(coords, ids, first, count, pl, out);
       return;
     } else if constexpr (D == 3) {
       detail::classify_simd_d3(coords, ids, first, count, pl, out);
+      return;
+    } else {
+      detail::classify_aos_blocked<D>(coords, ids, first, count, pl, out,
+                                      /*want_avx512=*/false);
       return;
     }
   }
@@ -114,6 +250,32 @@ inline void classify_plane_side(const PointSet<D>& pts, const Plane<D>& pl,
   } else {
     detail::classify_scalar_range<D>(coords, first, count, pl, out);
   }
+}
+
+// SoA overload: classify straight off the PointStore's coordinate lanes.
+// The range variant (ids == nullptr) is the mega-batch building block — one
+// plane against a contiguous index range with every lane read as a straight
+// stream; the ids variant gathers within each lane (conflict-list merges).
+template <int D>
+inline void classify_plane_side(const PointStore<D>& store,
+                                const Plane<D>& pl, const PointId* ids,
+                                PointId first, std::size_t count,
+                                std::int8_t* out) {
+  const auto lanes = store.lane_ptrs();
+  const PlaneKernelMode mode = plane_kernel_mode();
+  if (mode == PlaneKernelMode::kAvx512 &&
+      detail::try_classify_lanes_avx512(lanes.data(), D, pl.normal.data(),
+                                        pl.offset, pl.err, ids, first, count,
+                                        out)) {
+    return;
+  }
+  if ((mode == PlaneKernelMode::kSimd || mode == PlaneKernelMode::kAvx512) &&
+      detail::try_classify_lanes_simd(lanes.data(), D, pl.normal.data(),
+                                      pl.offset, pl.err, ids, first, count,
+                                      out)) {
+    return;
+  }
+  detail::classify_scalar_lanes<D>(lanes, ids, first, count, pl, out);
 }
 
 }  // namespace parhull

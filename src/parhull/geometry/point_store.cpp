@@ -1,0 +1,66 @@
+// Out-of-line PointStore lane maintenance (transpose, append, round-trip),
+// instantiated for every dimension the predicates support. Kept compiled so
+// the transpose loops live in one TU the optimizer can specialize per D.
+
+#include "parhull/geometry/point_store.h"
+
+#include "parhull/geometry/predicates.h"
+
+namespace parhull {
+
+template <int D>
+PointStore<D>::PointStore(const PointStore& base, const PointSet<D>& appended) {
+  for (int j = 0; j < D; ++j) {
+    auto& lane = lanes_[static_cast<std::size_t>(j)];
+    const auto& src = base.lanes_[static_cast<std::size_t>(j)];
+    lane.reserve(src.size() + appended.size());
+    lane.assign(src.begin(), src.end());
+  }
+  size_ = base.size_;
+  append(appended);
+}
+
+template <int D>
+void PointStore<D>::assign(const PointSet<D>& pts) {
+  for (int j = 0; j < D; ++j) {
+    auto& lane = lanes_[static_cast<std::size_t>(j)];
+    lane.clear();
+    lane.reserve(pts.size());
+  }
+  size_ = 0;
+  append(pts);
+}
+
+template <int D>
+void PointStore<D>::append(const PointSet<D>& pts) {
+  for (int j = 0; j < D; ++j) {
+    auto& lane = lanes_[static_cast<std::size_t>(j)];
+    lane.reserve(size_ + pts.size());
+    for (const Point<D>& p : pts) lane.push_back(p[j]);
+  }
+  size_ += pts.size();
+}
+
+template <int D>
+PointSet<D> PointStore<D>::to_point_set() const {
+  PointSet<D> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(point(static_cast<PointId>(i)));
+  }
+  return out;
+}
+
+template class PointStore<1>;
+template class PointStore<2>;
+template class PointStore<3>;
+template class PointStore<4>;
+template class PointStore<5>;
+template class PointStore<6>;
+template class PointStore<7>;
+template class PointStore<8>;
+
+static_assert(detail::kMaxGenericDim == 8,
+              "instantiate PointStore for every supported dimension");
+
+}  // namespace parhull

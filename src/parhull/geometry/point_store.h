@@ -1,0 +1,140 @@
+// Structure-of-arrays point store: one contiguous, cache-line-aligned
+// double lane per coordinate.
+//
+// The hull drivers historically walked points as AoS Point<D> records, so
+// every batched plane-side classification paid a strided gather per
+// candidate. The SoA layout makes the one-plane-vs-many-points sweep read
+// each coordinate lane as a straight contiguous stream — the layout GPU
+// hull implementations use — so the sweep is bandwidth-bound rather than
+// gather-bound, and a CUDA/SYCL backend can later consume the same lanes
+// unchanged.
+//
+// Contract:
+//  * Indices are epoch-stable: point i of the store is point i of the
+//    PointSet it mirrors (insertion priority order), forever. Appends only
+//    ever extend the lanes; nothing moves.
+//  * A store is IMMUTABLE once published (the engine wraps it in a
+//    shared_ptr<const PointStore<D>> inside each HullSnapshot). Epochs that
+//    do not add points share the previous epoch's store outright
+//    (copy-on-write: only an appending batch pays a lane copy, exactly like
+//    the snapshot's shared PointSet).
+//  * The store is a MIRROR, not a replacement: the exact predicate path
+//    (orient<D>) keeps reading the AoS PointSet. Both views hold the same
+//    doubles, so any dot product evaluated in the same order from either
+//    layout rounds identically.
+//
+// PointsView bundles the two layouts for the filter drivers
+// (hull/hull_common.h): every driver takes a view, and a bare PointSet
+// converts implicitly (soa == nullptr → the classic AoS path).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+namespace detail {
+
+// Minimal aligned allocator so each lane starts on a cache-line (and thus
+// 64-byte vector-register) boundary. Unaligned SIMD loads are cheap on the
+// CPUs we target, but aligned lanes keep streams split-line-free.
+template <class T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+using LaneVector = std::vector<double, AlignedAllocator<double, kCacheLine>>;
+
+}  // namespace detail
+
+template <int D>
+class PointStore {
+  static_assert(D >= 1, "dimension must be positive");
+
+ public:
+  PointStore() = default;
+  explicit PointStore(const PointSet<D>& pts) { assign(pts); }
+  // Copy-on-write extension: base's lanes copied, then `appended` added.
+  // (Compiled in point_store.cpp; instantiated for D = 1..8.)
+  PointStore(const PointStore& base, const PointSet<D>& appended);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const double* lane(int j) const {
+    return lanes_[static_cast<std::size_t>(j)].data();
+  }
+  std::array<const double*, static_cast<std::size_t>(D)> lane_ptrs() const {
+    std::array<const double*, static_cast<std::size_t>(D)> out{};
+    for (int j = 0; j < D; ++j) out[static_cast<std::size_t>(j)] = lane(j);
+    return out;
+  }
+
+  double coord(PointId i, int j) const {
+    return lanes_[static_cast<std::size_t>(j)][i];
+  }
+  Point<D> point(PointId i) const {
+    Point<D> p;
+    for (int j = 0; j < D; ++j) p[j] = coord(i, j);
+    return p;
+  }
+  // Same accumulation order as Point<D>::dot, so either layout rounds the
+  // dot product identically (engine/query.h relies on this).
+  double dot(const Point<D>& dir, PointId i) const {
+    double s = 0;
+    for (int j = 0; j < D; ++j) s += dir[j] * coord(i, j);
+    return s;
+  }
+
+  void assign(const PointSet<D>& pts);   // replace contents (transpose)
+  void append(const PointSet<D>& pts);   // extend lanes in place
+  PointSet<D> to_point_set() const;      // AoS round-trip (tests)
+
+ private:
+  std::array<detail::LaneVector, static_cast<std::size_t>(D)> lanes_;
+  std::size_t size_ = 0;
+};
+
+// The two layouts of one point sequence, passed by value through the filter
+// drivers. `aos` is always present (exact predicates read it); `soa` is
+// optional — null means "no store built, classify from the AoS array".
+template <int D>
+struct PointsView {
+  const PointSet<D>* aos = nullptr;
+  const PointStore<D>* soa = nullptr;
+
+  PointsView(const PointSet<D>& pts) : aos(&pts) {}  // NOLINT: implicit
+  PointsView(const PointSet<D>& pts, const PointStore<D>* store)
+      : aos(&pts), soa(store) {}
+
+  const PointSet<D>& points() const { return *aos; }
+  const Point<D>& operator[](std::size_t i) const { return (*aos)[i]; }
+  std::size_t size() const { return aos->size(); }
+};
+
+}  // namespace parhull

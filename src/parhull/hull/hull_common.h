@@ -35,6 +35,7 @@
 #include "parhull/geometry/plane.h"
 #include "parhull/geometry/plane_kernel.h"
 #include "parhull/geometry/point.h"
+#include "parhull/geometry/point_store.h"
 #include "parhull/geometry/predicates.h"
 #include "parhull/parallel/primitives.h"
 #include "parhull/parallel/scheduler.h"
@@ -211,10 +212,50 @@ inline constexpr std::size_t kFilterBlock = 1024;
 // Chunk length of the parallel filter path (the per-task unit forked by
 // parallel_for over chunks).
 inline constexpr std::size_t kFilterParChunk = 2048;
+// Candidates per mega-batch sweep block (SoA path): one cached plane
+// against thousands of lane-resident points per classify call, so the
+// kernel dispatch cost vanishes and every lane is read as a long stream.
+// Sized so the int8 verdict buffer stays well inside the 256 KiB fiber
+// stacks (common/fiber.h) the supervised drivers may run on.
+inline constexpr std::size_t kMegaBlock = 8192;
+
+// Mega-batch visibility sweep over the SoA store: classify candidates in
+// kMegaBlock strips straight off the coordinate lanes, partition into
+// certainly-visible (kept) / certainly-invisible (dropped), and resolve the
+// uncertain residue via the exact path on the AoS mirror. Same counter
+// contract as filter_visible_block below.
+template <int D>
+std::uint32_t mega_sweep_visible(
+    const PointStore<D>& store, const PointSet<D>& pts, const Plane<D>& pl,
+    const std::array<PointId, static_cast<std::size_t>(D)>& fv,
+    const PointId* ids, PointId first, std::size_t count, PointId* out) {
+  std::uint32_t m = 0;
+  std::int8_t cls[kMegaBlock];
+  for (std::size_t beg = 0; beg < count; beg += kMegaBlock) {
+    const std::size_t len = std::min(kMegaBlock, count - beg);
+    classify_plane_side<D>(store, pl, ids != nullptr ? ids + beg : nullptr,
+                           static_cast<PointId>(first + beg), len, cls);
+    std::size_t uncertain = 0;
+    for (std::size_t k = 0; k < len; ++k) {
+      PointId q = ids != nullptr ? ids[beg + k]
+                                 : static_cast<PointId>(first + beg + k);
+      if (cls[k] > 0) {
+        out[m++] = q;
+      } else if (cls[k] == 0) {
+        ++uncertain;
+        if (visible<D>(pts, fv, q)) out[m++] = q;
+      }
+    }
+    add_filtered_predicate_calls(static_cast<std::uint64_t>(len - uncertain));
+  }
+  return m;
+}
 
 // Filter one candidate block against facet (fv, pl): append the visible
 // candidates (order preserved) to out, return how many. Candidates are
-// ids[0..count) when ids != nullptr, else first..first+count.
+// ids[0..count) when ids != nullptr, else first..first+count. When the view
+// carries an SoA store, classification streams the coordinate lanes via the
+// mega-batch sweep; otherwise it reads the AoS array in kFilterBlock strips.
 //
 // Counter contract (predicates.h): with the kernel off, every candidate
 // goes through orient<D>, which self-counts. With the kernel on, the
@@ -223,9 +264,10 @@ inline constexpr std::size_t kFilterParChunk = 2048;
 // once per logical test in every mode.
 template <int D>
 std::uint32_t filter_visible_block(
-    const PointSet<D>& pts, const Plane<D>& pl,
+    PointsView<D> view, const Plane<D>& pl,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv,
     const PointId* ids, PointId first, std::size_t count, PointId* out) {
+  const PointSet<D>& pts = view.points();
   if (plane_kernel_mode() == PlaneKernelMode::kOff) {
     std::uint32_t m = 0;
     for (std::size_t i = 0; i < count; ++i) {
@@ -233,6 +275,10 @@ std::uint32_t filter_visible_block(
       if (visible<D>(pts, fv, q)) out[m++] = q;
     }
     return m;
+  }
+  if (view.soa != nullptr) {
+    return mega_sweep_visible<D>(*view.soa, pts, pl, fv, ids, first, count,
+                                 out);
   }
   std::uint32_t m = 0;
   std::int8_t cls[kFilterBlock];
@@ -292,14 +338,14 @@ ConflictList run_filter_into_arena(std::size_t count, ConflictArena& arena,
 // could influence a returned result (docs/CONCURRENCY.md).
 template <int D>
 ConflictList filter_visible(
-    const PointSet<D>& pts, const Plane<D>& pl,
+    PointsView<D> view, const Plane<D>& pl,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv,
     const PointId* ids, PointId first, std::size_t count,
     ConflictArena& arena, std::size_t grain, RunController* ctrl = nullptr) {
   if (grain == 0 || count < grain) {
     return run_filter_into_arena(count, arena, [&](PointId* out) {
       if (ctrl == nullptr) {
-        return filter_visible_block<D>(pts, pl, fv, ids, first, count, out);
+        return filter_visible_block<D>(view, pl, fv, ids, first, count, out);
       }
       // Supervised: chunk the scan so a deadline/cancel lands within one
       // chunk of latency even on the huge initial-facet filters.
@@ -307,7 +353,7 @@ ConflictList filter_visible(
       for (std::size_t beg = 0; beg < count; beg += kFilterParChunk) {
         if (PARHULL_RUN_POLL(ctrl, Scheduler::worker_id())) break;
         const std::size_t len = std::min(kFilterParChunk, count - beg);
-        m += filter_visible_block<D>(pts, pl, fv,
+        m += filter_visible_block<D>(view, pl, fv,
                                      ids != nullptr ? ids + beg : nullptr,
                                      static_cast<PointId>(first + beg), len,
                                      out + m);
@@ -323,7 +369,7 @@ ConflictList filter_visible(
       const std::size_t beg = c * kFilterParChunk;
       const std::size_t len = std::min(kFilterParChunk, count - beg);
       cnt[c] = filter_visible_block<D>(
-          pts, pl, fv, ids != nullptr ? ids + beg : nullptr,
+          view, pl, fv, ids != nullptr ? ids + beg : nullptr,
           static_cast<PointId>(first + beg), len, out + beg);
     }, 1);
     std::uint32_t m = cnt[0];
@@ -344,11 +390,11 @@ ConflictList filter_visible(
 // (initial facets: every point after the simplex).
 template <int D>
 ConflictList filter_visible_range(
-    const PointSet<D>& pts, const Plane<D>& pl,
+    PointsView<D> view, const Plane<D>& pl,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv,
     PointId first, std::size_t count, ConflictArena& arena,
     std::size_t grain = 0, RunController* ctrl = nullptr) {
-  return detail::filter_visible<D>(pts, pl, fv, nullptr, first, count, arena,
+  return detail::filter_visible<D>(view, pl, fv, nullptr, first, count, arena,
                                    grain, ctrl);
 }
 
@@ -359,11 +405,11 @@ ConflictList filter_visible_range(
 // so an ascending input yields an ascending conflict list.
 template <int D>
 ConflictList filter_visible_ids(
-    const PointSet<D>& pts, const Plane<D>& pl,
+    PointsView<D> view, const Plane<D>& pl,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv,
     const PointId* ids, std::size_t count, ConflictArena& arena,
     std::size_t grain = 0, RunController* ctrl = nullptr) {
-  return detail::filter_visible<D>(pts, pl, fv, ids, 0, count, arena, grain,
+  return detail::filter_visible<D>(view, pl, fv, ids, 0, count, arena, grain,
                                    ctrl);
 }
 
@@ -385,7 +431,7 @@ struct MergeFilterResult {
 
 template <int D>
 MergeFilterResult<D> merge_filter_conflicts(
-    ConflictList a, ConflictList b, const PointSet<D>& pts,
+    ConflictList a, ConflictList b, PointsView<D> view,
     const Plane<D>& plane,
     const std::array<PointId, static_cast<std::size_t>(D)>& fv, PointId apex,
     ConflictArena& arena, std::size_t parallel_grain = 0,
@@ -419,7 +465,7 @@ MergeFilterResult<D> merge_filter_conflicts(
     }
     result.tests = candidates.size();
     result.conflicts = detail::filter_visible<D>(
-        pts, plane, fv, candidates.data(), 0, candidates.size(), arena,
+        view, plane, fv, candidates.data(), 0, candidates.size(), arena,
         parallel_grain, ctrl);
     return result;
   }
@@ -446,15 +492,15 @@ MergeFilterResult<D> merge_filter_conflicts(
           cand[len++] = next;
           if (len == detail::kFilterBlock) {
             result.tests += len;
-            m += detail::filter_visible_block<D>(pts, plane, fv, cand, 0, len,
-                                                 out + m);
+            m += detail::filter_visible_block<D>(view, plane, fv, cand, 0,
+                                                 len, out + m);
             len = 0;
             if (PARHULL_RUN_POLL(ctrl, Scheduler::worker_id())) break;
           }
         }
         if (len != 0) {
           result.tests += len;
-          m += detail::filter_visible_block<D>(pts, plane, fv, cand, 0, len,
+          m += detail::filter_visible_block<D>(view, plane, fv, cand, 0, len,
                                                out + m);
         }
         return m;

@@ -66,6 +66,10 @@ class SequentialHull {
     ConcurrentPool<Facet<D>>& pool = *pool_;
     interior_ = centroid<D>(pts.data(), D + 1);
     bounds_ = coord_bounds<D>(pts);
+    // SoA mirror of the input for the mega-batch visibility sweeps; the
+    // exact path keeps reading `pts`.
+    store_.assign(pts);
+    const PointsView<D> view(pts, &store_);
 
     // --- Initial simplex: facet F_k omits point k (Algorithm 2, line 2).
     point_facets_.assign(n, {});
@@ -112,7 +116,7 @@ class SequentialHull {
       FacetId id = initial[static_cast<std::size_t>(k)];
       Facet<D>& f = pool[id];
       f.conflicts = filter_visible_range<D>(
-          pts, f.plane, f.vertices, static_cast<PointId>(D + 1),
+          view, f.plane, f.vertices, static_cast<PointId>(D + 1),
           n - (static_cast<std::size_t>(D) + 1), *arena_, 0, controller);
       res.visibility_tests += n - (static_cast<std::size_t>(D) + 1);
       for (PointId q : f.conflicts) point_facets_[q].push_back(id);
@@ -181,7 +185,7 @@ class SequentialHull {
           t.depth = 1 + std::max(f.depth, g.depth);
           if (t.depth > res.dependence_depth) res.dependence_depth = t.depth;
 
-          auto mf = merge_filter_conflicts<D>(f.conflicts, g.conflicts, pts,
+          auto mf = merge_filter_conflicts<D>(f.conflicts, g.conflicts, view,
                                               t.plane, t.vertices, p, *arena_,
                                               0, controller);
           res.visibility_tests += mf.tests;
@@ -247,6 +251,7 @@ class SequentialHull {
   // live until the next run replaces both.
   std::unique_ptr<ConflictArena> arena_;
   std::vector<std::vector<FacetId>> point_facets_;  // C^-1
+  PointStore<D> store_;  // SoA mirror of the current run's input
   Point<D> interior_{};
   CoordBounds<D> bounds_{};
 };

@@ -11,9 +11,11 @@
 #include <set>
 #include <vector>
 
+#include "parhull/common/random.h"
 #include "parhull/core/parallel_hull.h"
 #include "parhull/geometry/plane.h"
 #include "parhull/geometry/plane_kernel.h"
+#include "parhull/geometry/point_store.h"
 #include "parhull/geometry/predicates.h"
 #include "parhull/hull/hull_common.h"
 #include "parhull/hull/sequential_hull.h"
@@ -35,8 +37,18 @@ class ModeGuard {
 std::vector<PlaneKernelMode> classify_modes() {
   std::vector<PlaneKernelMode> modes = {PlaneKernelMode::kScalar};
   if (plane_kernel_simd_available()) modes.push_back(PlaneKernelMode::kSimd);
+  if (plane_kernel_avx512_available()) {
+    modes.push_back(PlaneKernelMode::kAvx512);
+  }
   return modes;
 }
+
+// Every requestable mode. On hardware lacking a path the request downgrades
+// (set_plane_kernel_mode), so some entries repeat a mode — harmless, and it
+// keeps the invariance tests exercising the request surface everywhere.
+constexpr PlaneKernelMode kAllModes[] = {
+    PlaneKernelMode::kOff, PlaneKernelMode::kScalar, PlaneKernelMode::kSimd,
+    PlaneKernelMode::kAvx512};
 
 // Classify `ids` (or the whole range when ids is empty) against the facet's
 // plane in every available kernel mode and check each certified verdict
@@ -49,11 +61,15 @@ std::size_t check_against_exact(
     const std::vector<PointId>& ids) {
   ModeGuard guard;
   Plane<D> pl = make_plane<D>(pts, fv, coord_bounds<D>(pts));
+  const PointStore<D> store(pts);  // SoA mirror: same doubles, same verdicts
   std::vector<std::int8_t> cls(ids.size());
+  std::vector<std::int8_t> cls_soa(ids.size());
   std::size_t scalar_uncertain = 0;
   for (PlaneKernelMode mode : classify_modes()) {
     set_plane_kernel_mode(mode);
     classify_plane_side<D>(pts, pl, ids.data(), 0, ids.size(), cls.data());
+    classify_plane_side<D>(store, pl, ids.data(), 0, ids.size(),
+                           cls_soa.data());
     std::size_t uncertain = 0;
     for (std::size_t i = 0; i < ids.size(); ++i) {
       std::array<const Point<D>*, static_cast<std::size_t>(D) + 1> ptr{};
@@ -61,20 +77,37 @@ std::size_t check_against_exact(
         ptr[static_cast<std::size_t>(v)] = &pts[fv[static_cast<std::size_t>(v)]];
       ptr[static_cast<std::size_t>(D)] = &pts[ids[i]];
       int exact = orient<D>(ptr);
-      if (cls[i] == 0) {
-        ++uncertain;  // allowed: resolved by the exact path
-      } else {
-        EXPECT_EQ(cls[i] > 0, exact > 0)
-            << "certified verdict disagrees with orient<" << D << "> at "
-            << i << " (mode " << plane_kernel_mode_name(mode) << ")";
-        EXPECT_NE(exact, 0)
-            << "kernel certified a point exactly on the hyperplane";
-        if (::testing::Test::HasFailure()) return uncertain;
+      for (std::int8_t c : {cls[i], cls_soa[i]}) {
+        if (c != 0) {
+          EXPECT_EQ(c > 0, exact > 0)
+              << "certified verdict disagrees with orient<" << D << "> at "
+              << i << " (mode " << plane_kernel_mode_name(mode) << ")";
+          EXPECT_NE(exact, 0)
+              << "kernel certified a point exactly on the hyperplane";
+          if (::testing::Test::HasFailure()) return uncertain;
+        }
       }
+      if (cls[i] == 0) ++uncertain;  // allowed: resolved by the exact path
     }
     if (mode == PlaneKernelMode::kScalar) scalar_uncertain = uncertain;
   }
   return scalar_uncertain;
+}
+
+// Random cloud in [-1,1]^D for dimensions the workload generators do not
+// instantiate (generate<D> stops at D=6).
+template <int D>
+PointSet<D> rng_cloud(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  PointSet<D> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point<D> p{};
+    for (int j = 0; j < D; ++j)
+      p.x[static_cast<std::size_t>(j)] = rng.next_double(-1.0, 1.0);
+    pts.push_back(p);
+  }
+  return pts;
 }
 
 TEST(PlaneKernelFuzz, RandomClouds2D) {
@@ -181,6 +214,94 @@ TEST(PlaneKernelFuzz, NearDegenerate3D) {
   check_against_exact<3>(pts, fv, ids);
 }
 
+// High-dimensional sign-agreement fuzz (the AoS transpose-block and AVX-512
+// lane kernels own these shapes): random clouds plus exact-on-plane
+// integer-combination probes and their ±ulp nudges, for every D the generic
+// kernels serve.
+template <int D>
+void run_high_d_fuzz(std::uint64_t seed) {
+  const std::size_t n = 20000;
+  auto pts = rng_cloud<D>(n, seed);
+  std::array<PointId, static_cast<std::size_t>(D)> fv{};
+  for (int i = 0; i < D; ++i)
+    fv[static_cast<std::size_t>(i)] = static_cast<PointId>(i);
+  std::vector<PointId> ids;
+  for (std::size_t i = static_cast<std::size_t>(D); i < n; ++i)
+    ids.push_back(static_cast<PointId>(i));
+  std::size_t uncertain = check_against_exact<D>(pts, fv, ids);
+  EXPECT_LT(uncertain, ids.size() / 20);
+}
+
+// Facet through D affinely independent small-integer vertices (q0 = origin,
+// the rest lower-triangular with nonzero diagonal). Integer combinations
+// q = sum c_i * q_i stay exact in double and lie exactly on the hyperplane
+// through the vertices — the kernel must leave every one uncertain in every
+// mode — and the same probes nudged a few ulps off the plane must never be
+// certified with the wrong sign.
+template <int D>
+void run_high_d_degenerate() {
+  PointSet<D> pts;
+  for (int i = 0; i < D; ++i) {
+    Point<D> p{};
+    for (int j = 0; j < D; ++j) {
+      double c = 0;
+      if (i > 0 && j < i) c = static_cast<double>((i + j) % 5 - 2);
+      if (i > 0 && j == i) c = static_cast<double>(i + 1);
+      p.x[static_cast<std::size_t>(j)] = c;
+    }
+    pts.push_back(p);
+  }
+  std::array<PointId, static_cast<std::size_t>(D)> fv{};
+  for (int i = 0; i < D; ++i)
+    fv[static_cast<std::size_t>(i)] = static_cast<PointId>(i);
+
+  Rng rng(static_cast<std::uint64_t>(101 + D));
+  std::vector<PointId> on_plane_ids;
+  for (int probe = 0; probe < 300; ++probe) {
+    Point<D> q{};
+    for (int i = 1; i < D; ++i) {
+      double c = static_cast<double>(static_cast<int>(rng.next_below(5)) - 2);
+      for (int j = 0; j < D; ++j)
+        q.x[static_cast<std::size_t>(j)] +=
+            c * pts[static_cast<std::size_t>(i)].x[static_cast<std::size_t>(j)];
+    }
+    on_plane_ids.push_back(static_cast<PointId>(pts.size()));
+    pts.push_back(q);  // exact integer point on the hyperplane
+    Point<D> qn = q;
+    double& last = qn.x[static_cast<std::size_t>(D - 1)];
+    for (int k = 0; k <= probe % 3; ++k)
+      last = std::nextafter(last, probe % 2 ? 1e30 : -1e30);
+    pts.push_back(qn);
+  }
+  std::vector<PointId> ids;
+  for (std::size_t i = static_cast<std::size_t>(D); i < pts.size(); ++i)
+    ids.push_back(static_cast<PointId>(i));
+  check_against_exact<D>(pts, fv, ids);
+
+  ModeGuard guard;
+  Plane<D> pl = make_plane<D>(pts, fv, coord_bounds<D>(pts));
+  for (PlaneKernelMode mode : classify_modes()) {
+    set_plane_kernel_mode(mode);
+    std::vector<std::int8_t> cls(on_plane_ids.size());
+    classify_plane_side<D>(pts, pl, on_plane_ids.data(), 0,
+                           on_plane_ids.size(), cls.data());
+    for (std::size_t i = 0; i < on_plane_ids.size(); ++i) {
+      ASSERT_EQ(cls[i], 0) << "on-plane point certified in D=" << D
+                           << " mode " << plane_kernel_mode_name(mode);
+    }
+  }
+}
+
+TEST(PlaneKernelFuzz, RandomClouds4D) { run_high_d_fuzz<4>(47); }
+TEST(PlaneKernelFuzz, RandomClouds5D) { run_high_d_fuzz<5>(53); }
+TEST(PlaneKernelFuzz, RandomClouds6D) { run_high_d_fuzz<6>(59); }
+TEST(PlaneKernelFuzz, RandomClouds7D) { run_high_d_fuzz<7>(61); }
+TEST(PlaneKernelFuzz, RandomClouds8D) { run_high_d_fuzz<8>(67); }
+
+TEST(PlaneKernelFuzz, NearDegenerate4D) { run_high_d_degenerate<4>(); }
+TEST(PlaneKernelFuzz, NearDegenerate6D) { run_high_d_degenerate<6>(); }
+TEST(PlaneKernelFuzz, NearDegenerate8D) { run_high_d_degenerate<8>(); }
+
 // E3-style assertion with the kernel enabled: Algorithms 2 and 3 perform
 // identical work in every kernel mode (invariant I2 holds through the
 // staged filter).
@@ -188,8 +309,7 @@ TEST(PlaneKernelIdentity, SeqParWorkIdenticalAllModes) {
   ModeGuard guard;
   auto pts = random_order(uniform_ball<3>(4000, 5), 31);
   ASSERT_TRUE(prepare_input<3>(pts));
-  for (PlaneKernelMode mode : {PlaneKernelMode::kOff, PlaneKernelMode::kScalar,
-                               PlaneKernelMode::kSimd}) {
+  for (PlaneKernelMode mode : kAllModes) {
     set_plane_kernel_mode(mode);
     SequentialHull<3> seq;
     auto sres = seq.run(pts);
@@ -216,8 +336,7 @@ TEST(PlaneKernelIdentity, FacetSetAndCountersModeInvariant) {
   std::set<std::array<PointId, 3>> ref_facets;
   std::uint64_t ref_calls = 0, ref_tests = 0;
   bool first = true;
-  for (PlaneKernelMode mode : {PlaneKernelMode::kOff, PlaneKernelMode::kScalar,
-                               PlaneKernelMode::kSimd}) {
+  for (PlaneKernelMode mode : kAllModes) {
     set_plane_kernel_mode(mode);
     reset_predicate_stats();
     ParallelHull<3> h;
@@ -249,8 +368,7 @@ TEST(PlaneKernelCounters, OneCallPerLogicalTest) {
   std::array<PointId, 2> fv = {0, 1};
   Plane<2> pl = make_plane<2>(pts, fv, coord_bounds<2>(pts));
   ConflictArena arena(1);
-  for (PlaneKernelMode mode : {PlaneKernelMode::kOff, PlaneKernelMode::kScalar,
-                               PlaneKernelMode::kSimd}) {
+  for (PlaneKernelMode mode : kAllModes) {
     set_plane_kernel_mode(mode);
     reset_predicate_stats();
     ConflictList got = filter_visible_range<2>(pts, pl, fv, 2,
@@ -267,6 +385,63 @@ TEST(PlaneKernelCounters, OneCallPerLogicalTest) {
   }
 }
 
+// The mega-batch SoA sweep (detail::mega_sweep_visible, routed whenever the
+// PointsView carries a store) must be invisible at the contract level:
+// identical survivor sets and identical predicate-call counts to the classic
+// AoS block filter, in every kernel mode.
+TEST(PlaneKernelMegaSweep, SoAMatchesAoSAllModes) {
+  ModeGuard guard;
+  auto pts = uniform_ball<3>(60000, 77);
+  const PointStore<3> store(pts);
+  std::array<PointId, 3> fv = {0, 1, 2};
+  Plane<3> pl = make_plane<3>(pts, fv, coord_bounds<3>(pts));
+  ConflictArena arena(1);
+
+  // Reference: classic AoS path with the kernel disabled (pure exact).
+  set_plane_kernel_mode(PlaneKernelMode::kOff);
+  reset_predicate_stats();
+  ConflictList ref = filter_visible_range<3>(PointsView<3>(pts), pl, fv, 3,
+                                             pts.size() - 3, arena);
+  const std::uint64_t ref_calls = predicate_calls();
+  const std::vector<PointId> ref_ids(ref.begin(), ref.end());
+  EXPECT_EQ(ref_calls, pts.size() - 3);
+  ASSERT_FALSE(ref_ids.empty());
+
+  for (PlaneKernelMode mode : kAllModes) {
+    set_plane_kernel_mode(mode);
+    reset_predicate_stats();
+    ConflictList got = filter_visible_range<3>(PointsView<3>(pts, &store), pl,
+                                               fv, 3, pts.size() - 3, arena);
+    EXPECT_EQ(predicate_calls(), ref_calls) << plane_kernel_mode_name(mode);
+    EXPECT_EQ(std::vector<PointId>(got.begin(), got.end()), ref_ids)
+        << plane_kernel_mode_name(mode);
+  }
+}
+
+// SoA <-> AoS round trip is value-exact, and the COW-append constructor
+// yields exactly base-then-appended. PointStore::dot accumulates in
+// Point::dot's order, so either layout rounds support values identically.
+TEST(PointStoreRoundTrip, ExactAndCowAppend) {
+  auto base = uniform_ball<3>(1000, 5);
+  PointStore<3> store(base);
+  ASSERT_EQ(store.size(), base.size());
+  PointSet<3> back = store.to_point_set();
+  ASSERT_EQ(back.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(back[i][j], base[i][j]);
+  }
+  auto extra = gaussian<3>(257, 6);
+  PointStore<3> grown(store, extra);
+  ASSERT_EQ(grown.size(), base.size() + extra.size());
+  const Point<3> dir = {{0.375, -1.25, 2.5}};
+  for (std::size_t i = 0; i < grown.size(); ++i) {
+    const Point<3>& src = i < base.size() ? base[i] : extra[i - base.size()];
+    for (int j = 0; j < 3; ++j)
+      EXPECT_EQ(grown.coord(static_cast<PointId>(i), j), src[j]);
+    EXPECT_EQ(grown.dot(dir, static_cast<PointId>(i)), dir.dot(src));
+  }
+}
+
 // set_plane_kernel_mode(kSimd) downgrades to scalar when the batch paths
 // are compiled out or the CPU lacks them — requesting simd is always safe.
 TEST(PlaneKernelModes, SimdRequestAlwaysSafe) {
@@ -274,6 +449,21 @@ TEST(PlaneKernelModes, SimdRequestAlwaysSafe) {
   set_plane_kernel_mode(PlaneKernelMode::kSimd);
   PlaneKernelMode got = plane_kernel_mode();
   if (plane_kernel_simd_available()) {
+    EXPECT_EQ(got, PlaneKernelMode::kSimd);
+  } else {
+    EXPECT_EQ(got, PlaneKernelMode::kScalar);
+  }
+}
+
+// Requesting avx512 degrades down the chain avx512 -> simd -> scalar, so
+// mode() == kAvx512 always implies the AVX-512 lane kernel is usable.
+TEST(PlaneKernelModes, Avx512RequestAlwaysSafe) {
+  ModeGuard guard;
+  set_plane_kernel_mode(PlaneKernelMode::kAvx512);
+  PlaneKernelMode got = plane_kernel_mode();
+  if (plane_kernel_avx512_available()) {
+    EXPECT_EQ(got, PlaneKernelMode::kAvx512);
+  } else if (plane_kernel_simd_available()) {
     EXPECT_EQ(got, PlaneKernelMode::kSimd);
   } else {
     EXPECT_EQ(got, PlaneKernelMode::kScalar);
