@@ -21,6 +21,18 @@
 //                          per-tenant admission budgets
 //   --deadline-ms MS       per-batch Supervisor deadline (the SLO knob)
 //   --watchdog-ms MS       per-batch stall watchdog
+//   --idle-timeout-ms MS   close connections idle this long (slow-loris
+//                          guard; 0 disables, default 30000)
+//   --max-outbound-bytes N per-connection reply backlog cap (default 8 MiB)
+//   --data-dir DIR         durability root: per-tenant WAL + checkpoints
+//                          under DIR/<tenant>/, recovered at startup (one
+//                          "recovered ..." line per tenant precedes the
+//                          readiness line). Empty = in-memory only.
+//   --sync MODE            WAL sync policy: always | interval | none
+//                          (default always: acked implies fsync'd)
+//   --sync-interval-ms MS  fsync cadence for --sync interval (default 50)
+//   --checkpoint-bytes N   auto-checkpoint once the log exceeds N bytes
+//                          (0 = only explicit `persist`; default 8 MiB)
 //
 // Prints exactly one readiness line ("hull_service listening on
 // HOST:PORT") so scripts (scripts/service_smoke.sh, bench_e18) can wait
@@ -87,6 +99,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--watchdog-ms" && next_arg(argc, argv, i, v)) {
       opts.tenants.session.batcher.supervisor.watchdog_ms =
           static_cast<double>(v);
+    } else if (arg == "--idle-timeout-ms" && next_arg(argc, argv, i, v)) {
+      opts.tenants.session.limits.idle_timeout_ms =
+          static_cast<std::uint64_t>(v);
+    } else if (arg == "--max-outbound-bytes" && next_arg(argc, argv, i, v)) {
+      opts.max_outbound_bytes = static_cast<std::size_t>(v);
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      opts.tenants.data_dir = argv[++i];
+    } else if (arg == "--sync" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "always") {
+        opts.tenants.wal.sync = durability::WalSync::kAlways;
+      } else if (mode == "interval") {
+        opts.tenants.wal.sync = durability::WalSync::kInterval;
+      } else if (mode == "none") {
+        opts.tenants.wal.sync = durability::WalSync::kNone;
+      } else {
+        std::cerr << "bad --sync mode " << mode
+                  << " (always | interval | none)\n";
+        return 2;
+      }
+    } else if (arg == "--sync-interval-ms" && next_arg(argc, argv, i, v)) {
+      opts.tenants.wal.sync_interval_ms = static_cast<double>(v);
+    } else if (arg == "--checkpoint-bytes" && next_arg(argc, argv, i, v)) {
+      opts.tenants.checkpoint_every_bytes = static_cast<std::uint64_t>(v);
     } else {
       std::cerr << "unknown flag " << arg << "\n";
       return 2;
@@ -102,6 +138,12 @@ int main(int argc, char** argv) {
   if (server.start() != HullStatus::kOk) {
     std::cerr << "failed to bind " << opts.host << ":" << opts.port << "\n";
     return 1;
+  }
+  // Per-tenant recovery summaries BEFORE the readiness line, so a script
+  // waiting for readiness can also capture what was recovered.
+  for (const auto& [name, rep] : server.registry().recovery_reports()) {
+    std::cout << "recovered tenant " << name << ": " << to_string(rep.status)
+              << " — " << rep.detail << "\n";
   }
   std::cout << "hull_service listening on " << opts.host << ":"
             << server.port() << "\n"

@@ -1,0 +1,247 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test (docs/SERVICE.md "Durability"): the
+# socket-level end of the durability story, complementing the in-process
+# 32-seed kill-point sweep in tests/test_durability.cpp.
+#
+# Per seed:
+#   1. Generate a deterministic mutation script (gen + insert/delete/
+#      update) and a load script with `persist` checkpoints sprinkled in.
+#   2. Start the daemon with --data-dir and --sync always (acked implies
+#      fsync'd), replay the load through hull_client, and kill -9 the
+#      daemon at a randomized moment mid-stream.
+#   3. Count the acked mutations in the captured replies, restart the
+#      daemon on the same data dir, and read `recover-stats`: the
+#      recovered sequence number S must cover every ack (S >= acked).
+#   4. Oracle check: replay the first S mutation lines into a FRESH tenant
+#      of the restarted daemon and require its `hullhash` to equal the
+#      recovered tenant's — the canonical digest of points, tombstones and
+#      facet tuples, i.e. invariant I10 across the kill.
+#   5. Torn-tail leg: kill -9 again, truncate the tenant's WAL at a random
+#      byte, restart, and re-run the oracle check against the (shorter)
+#      recovered prefix. Recovery must come back typed, never refuse.
+#
+# A final SIGTERM leg checks the orderly path: shutdown writes a final
+# checkpoint, and a restart recovers from it with zero replayed records.
+#
+# Usage: scripts/crash_recovery_smoke.sh [--build-dir DIR] [--out-dir DIR]
+#                                        [--seeds N]
+set -euo pipefail
+
+build_dir=build
+out_dir=crash_smoke_out
+seeds=6
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift ;;
+    --out-dir) out_dir="$2"; shift ;;
+    --seeds) seeds="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+service="$build_dir/examples/example_hull_service"
+client="$build_dir/examples/example_hull_client"
+[[ -x "$service" && -x "$client" ]] || {
+  echo "build $service and $client first" >&2
+  exit 2
+}
+
+rm -rf "$out_dir"
+mkdir -p "$out_dir"
+svc_pid=""
+cleanup() {
+  [[ -n "$svc_pid" ]] && kill -9 "$svc_pid" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+# Start the daemon on an ephemeral port against $1 (data dir), log to $2.
+# Sets svc_pid and port.
+start_daemon() {
+  local data_dir="$1" log="$2"
+  "$service" --port 0 --workers 2 --data-dir "$data_dir" --sync always \
+    > "$log" 2>&1 &
+  svc_pid=$!
+  port=""
+  for _ in $(seq 200); do
+    port=$(sed -n 's/.*listening on [0-9.]*:\([0-9][0-9]*\)$/\1/p' "$log")
+    [[ -n "$port" ]] && return 0
+    if ! kill -0 "$svc_pid" 2> /dev/null; then
+      echo "daemon exited before becoming ready:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.05
+  done
+  echo "daemon never printed its readiness line" >&2
+  exit 1
+}
+
+hard_kill() {
+  kill -9 "$svc_pid" 2> /dev/null || true
+  wait "$svc_pid" 2> /dev/null || true
+  svc_pid=""
+}
+
+# Deterministic mutation script for a seed: one mutation per line, and
+# every line must succeed — that makes the k-th line (1-based) exactly WAL
+# sequence k, the mapping the oracle check depends on. Deletes tombstone
+# the gen ids ascending from 0 and updates descending from 63, each id at
+# most once; with far fewer than 64 mutations the two never meet, so every
+# delete/update targets a live id.
+gen_muts() {
+  local seed="$1" n="$2"
+  RANDOM=$seed
+  echo "gen 64 $seed"
+  local del_idx=0 upd_idx=63 i a b c
+  for ((i = 1; i < n; ++i)); do
+    a="$((RANDOM % 200 - 100)).$((RANDOM % 90 + 10))"
+    b="$((RANDOM % 200 - 100)).$((RANDOM % 90 + 10))"
+    c="$((RANDOM % 200 - 100)).$((RANDOM % 90 + 10))"
+    case $((RANDOM % 4)) in
+      0)
+        echo "delete $del_idx"
+        del_idx=$((del_idx + 1))
+        ;;
+      1)
+        echo "update $upd_idx $a $b $c"
+        upd_idx=$((upd_idx - 1))
+        ;;
+      *)
+        echo "insert $a $b $c"
+        ;;
+    esac
+  done
+}
+
+count_acked() {
+  grep -cE 'committed at epoch|tombstoned at epoch|moved at epoch' "$1" \
+    || true
+}
+
+# Replay `tenant $2` + the first $3 lines of $1 + hullhash on the live
+# daemon; print the 16-hex digest.
+oracle_hash() {
+  local muts="$1" tenant="$2" n="$3" out="$4"
+  {
+    echo "tenant $tenant"
+    head -n "$n" "$muts"
+    echo "hullhash"
+  } | "$client" --port "$port" --timeout-ms 30000 > "$out"
+  sed -n 's/^hull hash \([0-9a-f]\{16\}\) .*/\1/p' "$out" | tail -1
+}
+
+# Ask the recovered tenant for its state; prints "S hash".
+recovered_state() {
+  local tenant="$1" out="$2"
+  printf 'tenant %s\nrecover-stats\nhullhash\n' "$tenant" \
+    | "$client" --port "$port" --timeout-ms 30000 > "$out"
+  local s hash
+  s=$(sed -n 's/^last seq \([0-9][0-9]*\)$/\1/p' "$out" | tail -1)
+  hash=$(sed -n 's/^hull hash \([0-9a-f]\{16\}\) .*/\1/p' "$out" | tail -1)
+  echo "$s $hash"
+}
+
+fail() {
+  echo "CRASH RECOVERY SMOKE FAILED: $*" >&2
+  exit 1
+}
+
+n_lines=48
+for seed in $(seq 1 "$seeds"); do
+  dir="$out_dir/seed$seed"
+  data="$dir/data"
+  mkdir -p "$dir"
+  gen_muts "$seed" "$n_lines" > "$dir/muts.txt"
+
+  # Load script: the mutations with `persist` checkpoints sprinkled in
+  # (~ every 12 lines) under the same RANDOM stream continuation.
+  RANDOM=$((seed + 7000))
+  {
+    echo "tenant t1"
+    while IFS= read -r line; do
+      echo "$line"
+      if ((RANDOM % 12 == 0)); then echo "persist"; fi
+    done < "$dir/muts.txt"
+  } > "$dir/load.txt"
+
+  # --- kill -9 leg -------------------------------------------------------
+  start_daemon "$data" "$dir/svc1.log"
+  "$client" --port "$port" --timeout-ms 30000 \
+    < "$dir/load.txt" > "$dir/client1.out" 2> /dev/null &
+  client_pid=$!
+  # Randomized kill point: 0 .. ~0.45 s into the stream.
+  sleep "0.$(printf '%02d' $((RANDOM % 45)))"
+  hard_kill
+  wait "$client_pid" 2> /dev/null || true
+
+  acked=$(count_acked "$dir/client1.out")
+  start_daemon "$data" "$dir/svc2.log"
+  grep -q '^recovered tenant t1: ' "$dir/svc2.log" \
+    || fail "seed $seed: no typed recovery line for t1 in svc2.log"
+  read -r S hash_rec <<< "$(recovered_state t1 "$dir/verify1.out")"
+  [[ -n "$S" && -n "$hash_rec" ]] \
+    || fail "seed $seed: could not parse recover-stats/hullhash"
+  ((S >= acked)) \
+    || fail "seed $seed: recovered seq $S < $acked acked mutations"
+  ((S <= n_lines)) \
+    || fail "seed $seed: recovered seq $S > $n_lines issued mutations"
+  hash_oracle=$(oracle_hash "$dir/muts.txt" "oracle1" "$S" "$dir/oracle1.out")
+  [[ "$hash_rec" == "$hash_oracle" ]] \
+    || fail "seed $seed: kill -9 leg hash mismatch ($hash_rec != $hash_oracle at seq $S)"
+  echo "seed $seed: kill -9 at ack $acked -> recovered seq $S, hash $hash_rec OK"
+
+  # --- torn-tail leg -----------------------------------------------------
+  hard_kill
+  wal="$data/t1/wal"
+  cut=""
+  size=$(stat -c %s "$wal" 2> /dev/null || echo 0)
+  if ((size > 16)); then
+    cut=$((16 + RANDOM % (size - 16)))
+    truncate -s "$cut" "$wal"
+  fi
+  start_daemon "$data" "$dir/svc3.log"
+  grep -q '^recovered tenant t1: ' "$dir/svc3.log" \
+    || fail "seed $seed: no typed recovery line after torn tail"
+  read -r S2 hash_torn <<< "$(recovered_state t1 "$dir/verify2.out")"
+  [[ -n "$S2" && -n "$hash_torn" ]] \
+    || fail "seed $seed: torn-tail recover-stats/hullhash unparseable"
+  ((S2 <= S)) || fail "seed $seed: torn-tail seq grew ($S2 > $S)"
+  hash_oracle2=$(oracle_hash "$dir/muts.txt" "oracle2" "$S2" "$dir/oracle2.out")
+  [[ "$hash_torn" == "$hash_oracle2" ]] \
+    || fail "seed $seed: torn-tail hash mismatch ($hash_torn != $hash_oracle2 at seq $S2)"
+  echo "seed $seed: torn tail (cut at ${cut:-none} of $size) -> seq $S2, hash $hash_torn OK"
+  hard_kill
+done
+
+# --- SIGTERM leg: orderly shutdown writes a final checkpoint ------------
+dir="$out_dir/sigterm"
+data="$dir/data"
+mkdir -p "$dir"
+gen_muts 99 24 > "$dir/muts.txt"
+start_daemon "$data" "$dir/svc1.log"
+{
+  echo "tenant t1"
+  cat "$dir/muts.txt"
+} | "$client" --port "$port" --timeout-ms 30000 > "$dir/client.out"
+kill -TERM "$svc_pid"
+wait "$svc_pid" || fail "daemon exited nonzero on SIGTERM"
+svc_pid=""
+[[ -f "$data/t1/checkpoint" ]] \
+  || fail "SIGTERM shutdown left no checkpoint for t1"
+start_daemon "$data" "$dir/svc2.log"
+grep -q '^recovered tenant t1: ok' "$dir/svc2.log" \
+  || fail "post-SIGTERM restart did not recover t1 cleanly"
+read -r S3 hash3 <<< "$(recovered_state t1 "$dir/verify.out")"
+grep -q 'checkpoint: loaded' "$dir/verify.out" \
+  || fail "post-SIGTERM recovery did not load the final checkpoint"
+grep -q 'replay: 0 applied' "$dir/verify.out" \
+  || fail "post-SIGTERM recovery replayed records past the final checkpoint"
+hash_oracle3=$(oracle_hash "$dir/muts.txt" "oracle3" 24 "$dir/oracle.out")
+[[ "$hash3" == "$hash_oracle3" ]] \
+  || fail "post-SIGTERM hash mismatch ($hash3 != $hash_oracle3)"
+echo "sigterm: final checkpoint recovered at seq $S3, hash $hash3 OK"
+hard_kill
+trap - EXIT
+
+echo "OK: crash recovery smoke passed ($seeds seeds, kill -9 + torn-tail + SIGTERM)"

@@ -34,6 +34,19 @@
 //                      Transient from the client's point of view — back off
 //                      and retry — but the Supervisor never retries it: the
 //                      shed is the point (docs/SERVICE.md).
+//   kCorruptLog        a durability artifact (write-ahead log or checkpoint,
+//                      src/parhull/durability/) failed its CRC or framing
+//                      check past the last consistent prefix. Recovery keeps
+//                      the valid prefix and reports what was dropped — it
+//                      never refuses to start (docs/SERVICE.md).
+//   kRecoveredPartial  recovery succeeded but stopped short of the full log:
+//                      a torn tail was truncated or a mid-log record could
+//                      not be replayed. The tenant is consistent as of the
+//                      reported sequence number.
+//   kPersistFailed     a WAL append, fsync, or checkpoint write failed at
+//                      the filesystem level (ENOSPC, EIO). The in-memory
+//                      hull is still correct; durability of later mutations
+//                      is degraded until the operator intervenes.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +63,9 @@ enum class HullStatus : std::uint8_t {
   kCancelled,
   kStalled,
   kOverloaded,
+  kCorruptLog,
+  kRecoveredPartial,
+  kPersistFailed,
 };
 
 inline const char* to_string(HullStatus s) {
@@ -63,6 +79,9 @@ inline const char* to_string(HullStatus s) {
     case HullStatus::kCancelled: return "cancelled";
     case HullStatus::kStalled: return "stalled";
     case HullStatus::kOverloaded: return "overloaded";
+    case HullStatus::kCorruptLog: return "corrupt_log";
+    case HullStatus::kRecoveredPartial: return "recovered_partial";
+    case HullStatus::kPersistFailed: return "persist_failed";
   }
   return "unknown";
 }

@@ -1,0 +1,195 @@
+#include "parhull/durability/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace parhull::durability {
+
+namespace {
+
+constexpr char kCkptMagic[8] = {'P', 'H', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::size_t kCkptFixedBytes = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n != 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// fsync the directory containing `path` so the rename's directory entry is
+// durable too (a crash after rename but before the metadata flush would
+// otherwise resurrect the old checkpoint).
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+HullStatus write_checkpoint(const std::string& path,
+                            const CheckpointData& data) {
+  std::string buf;
+  buf.reserve(kCkptFixedBytes +
+              data.points.size() *
+                  (8 * static_cast<std::size_t>(kWalDim) + 1) +
+              4);
+  buf.append(kCkptMagic, sizeof(kCkptMagic));
+  put_u32(buf, kCheckpointVersion);
+  put_u32(buf, static_cast<std::uint32_t>(kWalDim));
+  put_u64(buf, data.epoch);
+  put_u64(buf, data.wal_seq);
+  put_u64(buf, static_cast<std::uint64_t>(data.points.size()));
+  std::uint64_t live = 0;
+  for (std::size_t i = 0; i < data.points.size(); ++i) {
+    if (i >= data.mask.size() || data.mask[i] == 0) ++live;
+  }
+  put_u64(buf, live);
+  for (const Point<kWalDim>& p : data.points) {
+    for (int j = 0; j < kWalDim; ++j) {
+      const double c = p[j];
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &c, sizeof(bits));
+      put_u64(buf, bits);
+    }
+  }
+  for (std::size_t i = 0; i < data.points.size(); ++i) {
+    buf.push_back(
+        static_cast<char>(i < data.mask.size() && data.mask[i] != 0 ? 1 : 0));
+  }
+  put_u32(buf, crc32c(buf.data(), buf.size()));
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return HullStatus::kPersistFailed;
+  const bool ok = write_all(fd, buf.data(), buf.size()) &&
+                  ::fdatasync(fd) == 0;
+  ::close(fd);
+  if (!ok || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return HullStatus::kPersistFailed;
+  }
+  fsync_parent_dir(path);
+  return HullStatus::kOk;
+}
+
+CheckpointLoad load_checkpoint(const std::string& path) {
+  CheckpointLoad out;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno != ENOENT) out.status = HullStatus::kPersistFailed;
+    return out;  // absent: fresh tenant
+  }
+  out.found = true;
+  std::string buf;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      out.status = HullStatus::kPersistFailed;
+      return out;
+    }
+    break;
+  }
+  ::close(fd);
+
+  if (buf.size() < kCkptFixedBytes + 4 ||
+      std::memcmp(buf.data(), kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    out.status = HullStatus::kCorruptLog;
+    return out;
+  }
+  // CRC first: a bit-flipped version field must read as corruption, not as
+  // a (trusted) foreign format.
+  const std::uint32_t stored_crc = get_u32(buf.data() + buf.size() - 4);
+  if (crc32c(buf.data(), buf.size() - 4) != stored_crc) {
+    out.status = HullStatus::kCorruptLog;
+    return out;
+  }
+  const std::uint32_t version = get_u32(buf.data() + 8);
+  const std::uint32_t dim = get_u32(buf.data() + 12);
+  if (version > kCheckpointVersion ||
+      dim != static_cast<std::uint32_t>(kWalDim)) {
+    out.status = HullStatus::kBadInput;  // future format: typed, not corrupt
+    return out;
+  }
+  out.data.epoch = get_u64(buf.data() + 16);
+  out.data.wal_seq = get_u64(buf.data() + 24);
+  const std::uint64_t count = get_u64(buf.data() + 32);
+  const std::uint64_t expect =
+      kCkptFixedBytes +
+      count * (8ull * static_cast<std::uint64_t>(kWalDim) + 1ull) + 4ull;
+  if (buf.size() != expect) {
+    out.status = HullStatus::kCorruptLog;
+    out.data = CheckpointData{};
+    return out;
+  }
+  const char* cur = buf.data() + kCkptFixedBytes;
+  out.data.points.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (int j = 0; j < kWalDim; ++j, cur += 8) {
+      const std::uint64_t bits = get_u64(cur);
+      std::memcpy(&out.data.points[i][j], &bits, sizeof(double));
+    }
+  }
+  out.data.mask.assign(count, 0);
+  for (std::uint64_t i = 0; i < count; ++i, ++cur) {
+    out.data.mask[i] = static_cast<std::uint8_t>(*cur) != 0 ? 1 : 0;
+  }
+  out.status = HullStatus::kOk;
+  return out;
+}
+
+}  // namespace parhull::durability

@@ -1,0 +1,63 @@
+// Checkpointed tenant snapshots (docs/SERVICE.md "Durability").
+//
+// A checkpoint serializes everything needed to reconstruct a tenant's
+// engine state without replaying its whole history: the full point
+// sequence (insertion order — already prepared, so re-inserting it
+// verbatim reproduces the identical PointIds), the tombstone mask, and
+// the (epoch, WAL sequence) watermark the snapshot corresponds to. The
+// facets themselves are NOT stored: re-running the engine on the stored
+// survivors rebuilds the byte-identical canonical facet set (invariant
+// I10), which keeps the format small and self-verifying.
+//
+// File layout ("PHCKPT01", little-endian):
+//
+//   magic:8 | version:u32 | dim:u32 | epoch:u64 | wal_seq:u64 |
+//   point_count:u64 | live_points:u64 | point_count x dim x coord:f64 |
+//   point_count x mask:u8 | crc32c(everything before):u32
+//
+// Publication is atomic: the bytes are written to `<path>.tmp`, fdatasync'd,
+// rename()d over `<path>`, and the directory entry is fsync'd — a crash at
+// any instant leaves either the old checkpoint or the new one, never a mix.
+// A reader that finds a short file, a CRC mismatch, or a foreign magic gets
+// kCorruptLog; a FUTURE format (newer version, different dimension) is
+// kBadInput — both degrade recovery to the log, never fail startup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parhull/common/status.h"
+#include "parhull/durability/wal.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull::durability {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+struct CheckpointData {
+  std::uint64_t epoch = 0;
+  std::uint64_t wal_seq = 0;  // every WAL record with seq <= this is folded in
+  PointSet<kWalDim> points;   // full sequence, tombstones included
+  std::vector<std::uint8_t> mask;  // mask[i] != 0: point i is deleted
+};
+
+struct CheckpointLoad {
+  // kOk with found=false: no checkpoint on disk (fresh tenant).
+  // kCorruptLog: present but torn/corrupt — recover from the log alone.
+  // kBadInput: a newer format version or foreign dimension — unusable by
+  // this build, typed so the operator can tell "corrupt" from "too new".
+  // kPersistFailed: the file could not be read at all.
+  HullStatus status = HullStatus::kOk;
+  bool found = false;
+  CheckpointData data;
+};
+
+// Atomically publish `data` as `path` (tmp + rename + dir fsync).
+HullStatus write_checkpoint(const std::string& path,
+                            const CheckpointData& data);
+
+// Load and verify `path`. Never throws; see CheckpointLoad for outcomes.
+CheckpointLoad load_checkpoint(const std::string& path);
+
+}  // namespace parhull::durability

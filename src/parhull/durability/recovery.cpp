@@ -1,0 +1,291 @@
+#include "parhull/durability/recovery.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+namespace parhull::durability {
+
+namespace {
+
+// Headline precedence for the recovery report: an unusable data directory
+// outranks a future-format checkpoint outranks a corrupt checkpoint
+// outranks a dropped tail.
+int severity(HullStatus s) {
+  switch (s) {
+    case HullStatus::kPersistFailed:
+      return 4;
+    case HullStatus::kBadInput:
+      return 3;
+    case HullStatus::kCorruptLog:
+      return 2;
+    case HullStatus::kRecoveredPartial:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+void raise_status(RecoveryReport& rep, HullStatus s) {
+  if (severity(s) > severity(rep.status)) rep.status = s;
+}
+
+const std::vector<PointId> kNoDeletions;
+
+}  // namespace
+
+RecoveryReport TenantDurability::recover(const ReplayTarget& target) {
+  RecoveryReport rep;
+  if (opts_.dir.empty()) {
+    report_ = rep;  // durability not configured: nothing to do, kOk
+    return rep;
+  }
+  rep.attempted = true;
+  std::ostringstream notes;
+
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.dir, ec);
+  if (ec) {
+    rep.status = HullStatus::kPersistFailed;
+    rep.detail = "data directory unusable (" + ec.message() +
+                 "); tenant is running non-durable";
+    report_ = rep;
+    return rep;
+  }
+
+  // 1. Newest checkpoint, if any. A corrupt or future-format checkpoint
+  // degrades to log-only recovery; it never refuses startup.
+  std::uint64_t watermark = 0;
+  bool base_restored = false;
+  const CheckpointLoad ckpt = load_checkpoint(checkpoint_path());
+  if (ckpt.found && ckpt.status == HullStatus::kOk) {
+    const HullStatus rs =
+        target.restore_base(ckpt.data.points, ckpt.data.mask);
+    if (rs != HullStatus::kOk) {
+      // The engine rejected its own checkpointed state — replaying the log
+      // on top would diverge and truncating would destroy good data, so
+      // leave the artifacts alone and run this tenant non-durable.
+      rep.status = HullStatus::kPersistFailed;
+      rep.detail = "checkpoint restore failed (" +
+                   std::string(to_string(rs)) +
+                   "); tenant is running non-durable";
+      report_ = rep;
+      return rep;
+    }
+    base_restored = true;
+    watermark = ckpt.data.wal_seq;
+    rep.checkpoint_loaded = true;
+    rep.checkpoint_epoch = ckpt.data.epoch;
+    rep.checkpoint_seq = ckpt.data.wal_seq;
+    rep.checkpoint_points = ckpt.data.points.size();
+    rep.last_seq = watermark;
+  } else if (ckpt.found) {
+    if (ckpt.status == HullStatus::kBadInput) {
+      raise_status(rep, HullStatus::kBadInput);
+      notes << "checkpoint is a newer format than this build; ";
+    } else {
+      raise_status(rep, HullStatus::kCorruptLog);
+      notes << "checkpoint corrupt; ";
+    }
+    notes << "recovering from the log alone; ";
+  }
+
+  // 2. Log tail. scan_wal returns the longest valid prefix; everything
+  // after it (torn write, bit flip, garbage) is dropped below.
+  const WalScan scan = scan_wal(wal_path());
+  if (scan.status == HullStatus::kPersistFailed) {
+    rep.status = HullStatus::kPersistFailed;
+    rep.detail = notes.str() +
+                 "log unreadable; tenant is running non-durable";
+    report_ = rep;
+    return rep;
+  }
+  rep.records_scanned = scan.records.size();
+
+  // Kind-2 bootstrap records are superseded by the first kind-1 record
+  // (which carries the full prepared union) and by any checkpoint.
+  bool any_mutation = base_restored;
+  for (const WalRecord& rec : scan.records) {
+    if (rec.kind == kWalMutation && rec.seq > watermark) any_mutation = true;
+  }
+
+  // 3. Replay, in sequence order. A record the engine refuses stops the
+  // replay there: the state is consistent as of the previous record, and
+  // the refused suffix is truncated so disk and memory agree.
+  std::uint64_t max_seq_kept = watermark;
+  std::uint64_t buffered_seq = 0;
+  std::size_t stop_index = scan.records.size();
+  PointSet<kWalDim> buffered;
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    const WalRecord& rec = scan.records[i];
+    if (rec.seq <= watermark) {
+      ++rep.records_skipped;  // already folded into the checkpoint
+      continue;
+    }
+    if (rec.kind == kWalBuffered) {
+      if (any_mutation) {
+        ++rep.records_skipped;  // superseded bootstrap record
+      } else {
+        buffered.insert(buffered.end(), rec.points.begin(),
+                        rec.points.end());
+        buffered_seq = rec.seq;
+      }
+      max_seq_kept = std::max(max_seq_kept, rec.seq);
+      continue;
+    }
+    const HullStatus as = target.apply_record(rec);
+    if (as != HullStatus::kOk) {
+      stop_index = i;
+      raise_status(rep, HullStatus::kRecoveredPartial);
+      notes << "replay stopped at seq " << rec.seq << " ("
+            << to_string(as) << "); ";
+      break;
+    }
+    ++rep.records_applied;
+    rep.last_seq = std::max(rep.last_seq, rec.seq);
+    max_seq_kept = std::max(max_seq_kept, rec.seq);
+  }
+
+  if (!buffered.empty()) {
+    const HullStatus bs = target.buffer_points(buffered);
+    if (bs == HullStatus::kOk) {
+      rep.buffered_points = buffered.size();
+      rep.last_seq = std::max(rep.last_seq, buffered_seq);
+    } else {
+      raise_status(rep, HullStatus::kRecoveredPartial);
+      notes << "bootstrap buffer restore failed (" << to_string(bs)
+            << "); ";
+    }
+  }
+
+  // 4. Truncate the log to the prefix that is actually reflected in
+  // memory: the scan's valid prefix, or less if replay stopped early.
+  const std::uint64_t keep_bytes = stop_index < scan.records.size()
+                                       ? scan.offsets[stop_index]
+                                       : scan.valid_bytes;
+  rep.torn_bytes = scan.file_bytes > keep_bytes
+                       ? scan.file_bytes - keep_bytes
+                       : 0;
+  if (rep.torn_bytes != 0 && scan.torn_bytes != 0) {
+    raise_status(rep, HullStatus::kRecoveredPartial);
+    notes << "dropped " << scan.torn_bytes << " torn byte(s); ";
+  }
+  if (scan.found && scan.file_bytes > keep_bytes) {
+    if (::truncate(wal_path().c_str(),
+                   static_cast<off_t>(keep_bytes)) != 0) {
+      // Appending after untrusted bytes would corrupt the log for the
+      // NEXT recovery; better to run non-durable than to do that.
+      rep.status = HullStatus::kPersistFailed;
+      rep.detail =
+          notes.str() + "could not truncate the log's invalid tail; "
+                        "tenant is running non-durable";
+      report_ = rep;
+      return rep;
+    }
+  }
+
+  // 5. Open the writer after the last sequence number still on disk.
+  if (wal_.open(wal_path(), opts_.wal, max_seq_kept + 1) !=
+      HullStatus::kOk) {
+    rep.status = HullStatus::kPersistFailed;
+    rep.detail = notes.str() +
+                 "could not open the log for appending; "
+                 "tenant is running non-durable";
+    report_ = rep;
+    return rep;
+  }
+
+  std::ostringstream line;
+  line << "recovered";
+  if (rep.checkpoint_loaded) {
+    line << " checkpoint(epoch=" << rep.checkpoint_epoch
+         << ", seq=" << rep.checkpoint_seq
+         << ", points=" << rep.checkpoint_points << ")";
+  } else {
+    line << " fresh";
+  }
+  line << " +" << rep.records_applied << " replayed, " << rep.records_skipped
+       << " skipped, " << rep.buffered_points
+       << " buffered; last seq " << rep.last_seq;
+  const std::string extra = notes.str();
+  if (!extra.empty()) line << "; " << extra;
+  rep.detail = line.str();
+  report_ = rep;
+  return rep;
+}
+
+HullStatus TenantDurability::on_commit(const Commit& commit) {
+  static const PointSet<kWalDim> kNoPoints;
+  const std::vector<PointId>& dels =
+      commit.deletions != nullptr ? *commit.deletions : kNoDeletions;
+  const PointSet<kWalDim>& pts =
+      commit.points != nullptr ? *commit.points : kNoPoints;
+  const HullStatus s = wal_.append(kWalMutation, commit.epoch,
+                                   commit.first_id, dels, pts, nullptr);
+  if (s != HullStatus::kOk) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++append_failures_;
+    return HullStatus::kPersistFailed;
+  }
+  if (opts_.checkpoint_every_bytes != 0 && commit.snapshot != nullptr &&
+      wal_.bytes() > opts_.checkpoint_every_bytes) {
+    // Auto-checkpoint. Its failure does not fail the commit — the record
+    // just appended already makes the round durable.
+    (void)on_checkpoint(*commit.snapshot);
+  }
+  return HullStatus::kOk;
+}
+
+HullStatus TenantDurability::on_checkpoint(const HullSnapshot<kWalDim>& snap) {
+  CheckpointData data;
+  data.epoch = snap.epoch;
+  // Exact by construction: this runs on the batcher's writer thread, the
+  // only thread that appends kind-1 records, so nothing commits between
+  // the snapshot and this watermark.
+  data.wal_seq = wal_.last_seq();
+  if (snap.points != nullptr) data.points = *snap.points;
+  if (snap.deleted != nullptr) data.mask = *snap.deleted;
+  data.mask.resize(data.points.size(), 0);
+  const HullStatus ws = write_checkpoint(checkpoint_path(), data);
+  if (ws != HullStatus::kOk) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++append_failures_;
+    return HullStatus::kPersistFailed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++checkpoints_written_;
+  }
+  // Drop the log body behind the watermark. A no-op if anything landed
+  // past it; stale records below the watermark are skipped on recovery
+  // anyway, so a failed truncation only costs disk, not correctness.
+  (void)wal_.reset_to(data.wal_seq);
+  return HullStatus::kOk;
+}
+
+HullStatus TenantDurability::on_buffered(const PointSet<kWalDim>& pts) {
+  const HullStatus s =
+      wal_.append(kWalBuffered, 0, 0, kNoDeletions, pts, nullptr);
+  if (s != HullStatus::kOk) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++append_failures_;
+    return HullStatus::kPersistFailed;
+  }
+  return HullStatus::kOk;
+}
+
+DurabilityStats TenantDurability::stats() const {
+  DurabilityStats s;
+  s.last_seq = wal_.last_seq();
+  s.wal_bytes = wal_.bytes();
+  s.wal_records = wal_.appended_records();
+  s.sync = opts_.wal.sync;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  s.checkpoints_written = checkpoints_written_;
+  s.append_failures = append_failures_;
+  return s;
+}
+
+}  // namespace parhull::durability

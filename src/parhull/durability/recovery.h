@@ -1,0 +1,136 @@
+// Crash recovery for durable tenants (docs/SERVICE.md "Durability").
+//
+// TenantDurability owns one tenant's on-disk state — `<dir>/wal` and
+// `<dir>/checkpoint` — and plugs into the engine through the BatchJournal
+// seam (engine/journal.h). Lifecycle:
+//
+//   1. recover(target): load the newest valid checkpoint, replay the log
+//      tail through the target's callbacks, truncate any torn tail, open
+//      the writer. Runs BEFORE the journal is attached to the batcher, so
+//      replayed batches are not re-journaled. Always produces a typed
+//      RecoveryReport; never refuses — torn tails, CRC mismatches and
+//      corrupt checkpoints degrade to the last consistent prefix.
+//   2. on_commit / on_checkpoint: live journaling on the batcher's writer
+//      thread (group commit), with an automatic checkpoint once the log
+//      grows past checkpoint_every_bytes.
+//   3. on_buffered: kind-2 records for bootstrap-buffered points, called
+//      from command threads under the session's bootstrap mutex (which
+//      orders every kind-2 sequence before the first kind-1).
+//
+// The replay target is a trio of std::functions rather than a TenantSession
+// pointer so this layer depends on the engine alone — the service wires
+// itself in (service/commands.cpp), and tests can drive recovery against a
+// bare engine or a recording stub.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "parhull/common/status.h"
+#include "parhull/durability/checkpoint.h"
+#include "parhull/durability/wal.h"
+#include "parhull/engine/journal.h"
+
+namespace parhull::durability {
+
+struct DurabilityOptions {
+  std::string dir;  // tenant directory (created on demand); empty = disabled
+  WalOptions wal{};
+  // Auto-checkpoint once the log exceeds this many bytes (0 = only explicit
+  // `persist` / shutdown checkpoints).
+  std::uint64_t checkpoint_every_bytes = 8ull << 20;
+};
+
+// Typed outcome of one tenant's recovery. status is the headline:
+//   kOk                clean recovery (possibly of nothing).
+//   kRecoveredPartial  recovered, but a torn/corrupt tail was dropped or a
+//                      mid-log record failed to replay; consistent as of
+//                      last_seq.
+//   kCorruptLog        the checkpoint was corrupt (log-only recovery ran).
+//   kBadInput          the checkpoint is a newer format than this build.
+//   kPersistFailed     the data directory itself is unusable; the tenant
+//                      runs NON-durable (in-memory only).
+struct RecoveryReport {
+  HullStatus status = HullStatus::kOk;
+  bool attempted = false;          // durability configured for this tenant
+  bool checkpoint_loaded = false;
+  std::uint64_t checkpoint_epoch = 0;
+  std::uint64_t checkpoint_seq = 0;
+  std::uint64_t checkpoint_points = 0;
+  std::uint64_t records_scanned = 0;  // valid records found in the log
+  std::uint64_t records_applied = 0;  // kind-1 records replayed
+  std::uint64_t records_skipped = 0;  // behind the watermark or superseded
+  std::uint64_t buffered_points = 0;  // kind-2 points re-buffered
+  std::uint64_t torn_bytes = 0;       // bytes dropped past the valid prefix
+  std::uint64_t last_seq = 0;         // state is consistent as of this seq
+  std::string detail;                 // one human-readable line
+};
+
+// How replay reaches the tenant's engine. All callbacks run on the
+// recovering thread, sequentially, and must return kOk to continue.
+struct ReplayTarget {
+  // Reinstall a checkpoint: insert the full (already prepared) point
+  // sequence as the first batch, then tombstone the masked ids.
+  std::function<HullStatus(const PointSet<kWalDim>&,
+                           const std::vector<std::uint8_t>&)>
+      restore_base;
+  // Apply one kind-1 record (deletions + appended points). The target
+  // verifies rec.first_id matches its current point count — a mismatch is
+  // a log/state divergence and stops replay with a typed status.
+  std::function<HullStatus(const WalRecord&)> apply_record;
+  // Reinstall kind-2 bootstrap-buffered points (no engine state yet).
+  std::function<HullStatus(const PointSet<kWalDim>&)> buffer_points;
+};
+
+struct DurabilityStats {
+  std::uint64_t last_seq = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_records = 0;      // appended since open
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t append_failures = 0;
+  WalSync sync = WalSync::kAlways;
+};
+
+class TenantDurability final : public BatchJournal<kWalDim> {
+ public:
+  explicit TenantDurability(DurabilityOptions opts)
+      : opts_(std::move(opts)) {}
+
+  // Full recovery pass (see file comment). Call exactly once, before the
+  // batcher journals through this object. Idempotent state on failure: a
+  // kPersistFailed report leaves the writer closed and every later append
+  // a typed no-op, so the tenant still serves traffic (non-durably).
+  RecoveryReport recover(const ReplayTarget& target);
+
+  // BatchJournal (batcher writer thread).
+  HullStatus on_commit(const Commit& commit) override;
+  HullStatus on_checkpoint(const HullSnapshot<kWalDim>& snap) override;
+
+  // Kind-2 bootstrap record (command threads, under the session's mutex).
+  HullStatus on_buffered(const PointSet<kWalDim>& pts);
+
+  // Explicit fsync of the log (the `persist` verb pairs this with an
+  // on_checkpoint through the batcher).
+  HullStatus sync_wal() { return wal_.sync(); }
+
+  DurabilityStats stats() const;
+  const RecoveryReport& report() const { return report_; }
+  const DurabilityOptions& options() const { return opts_; }
+
+ private:
+  std::string wal_path() const { return opts_.dir + "/wal"; }
+  std::string checkpoint_path() const { return opts_.dir + "/checkpoint"; }
+
+  DurabilityOptions opts_;
+  WalWriter wal_;
+  RecoveryReport report_;
+  mutable std::mutex stats_mu_;
+  std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t append_failures_ = 0;
+};
+
+}  // namespace parhull::durability

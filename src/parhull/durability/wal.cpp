@@ -1,0 +1,367 @@
+#include "parhull/durability/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace parhull::durability {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'P', 'H', 'W', 'A', 'L', '0', '0', '1'};
+// seq + epoch + kind + first_id + n_del + n_pts
+constexpr std::size_t kBodyFixedBytes = 8 + 8 + 1 + 4 + 4 + 4;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(const char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string wal_header() {
+  std::string out(kWalMagic, sizeof(kWalMagic));
+  put_u32(out, kWalVersion);
+  put_u32(out, static_cast<std::uint32_t>(kWalDim));
+  return out;
+}
+
+// Write the whole buffer, riding out EINTR and short writes — the same
+// discipline the service's socket path uses, applied to the log fd.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n != 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  // Table-driven CRC32C (Castagnoli polynomial 0x82F63B78, reflected).
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string encode_wal_record(const WalRecord& rec) {
+  std::string body;
+  body.reserve(kBodyFixedBytes + 4 * rec.deletions.size() +
+               8 * static_cast<std::size_t>(kWalDim) * rec.points.size());
+  put_u64(body, rec.seq);
+  put_u64(body, rec.epoch);
+  body.push_back(static_cast<char>(rec.kind));
+  put_u32(body, rec.first_id);
+  put_u32(body, static_cast<std::uint32_t>(rec.deletions.size()));
+  put_u32(body, static_cast<std::uint32_t>(rec.points.size()));
+  for (PointId id : rec.deletions) put_u32(body, id);
+  for (const Point<kWalDim>& p : rec.points) {
+    for (int j = 0; j < kWalDim; ++j) put_f64(body, p[j]);
+  }
+  std::string out;
+  out.reserve(4 + body.size() + 4);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out += body;
+  put_u32(out, crc32c(body.data(), body.size()));
+  return out;
+}
+
+WalScan scan_wal(const std::string& path) {
+  WalScan scan;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno != ENOENT) scan.status = HullStatus::kPersistFailed;
+    return scan;  // absent log = empty log
+  }
+  scan.found = true;
+  std::string data;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      data.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      scan.status = HullStatus::kPersistFailed;
+      return scan;
+    }
+    break;
+  }
+  ::close(fd);
+  scan.file_bytes = data.size();
+
+  const std::string header = wal_header();
+  if (data.size() < header.size() ||
+      std::memcmp(data.data(), header.data(), header.size()) != 0) {
+    // Short or foreign header: nothing trustworthy in this file. An empty
+    // file (crash before the header hit the disk) counts as torn, not
+    // fatal — the valid prefix is simply empty.
+    scan.valid_bytes = 0;
+    scan.torn_bytes = data.size();
+    scan.status =
+        data.empty() ? HullStatus::kOk : HullStatus::kCorruptLog;
+    return scan;
+  }
+  std::size_t off = header.size();
+  scan.valid_bytes = off;
+  std::uint64_t prev_seq = 0;
+  while (off < data.size()) {
+    if (data.size() - off < 4) break;  // torn length prefix
+    const std::uint32_t body_len = get_u32(data.data() + off);
+    if (body_len < kBodyFixedBytes ||
+        static_cast<std::uint64_t>(body_len) + 8 > data.size() - off) {
+      break;  // nonsense or oversized length: torn/corrupt from here on
+    }
+    const char* body = data.data() + off + 4;
+    const std::uint32_t stored_crc = get_u32(body + body_len);
+    if (crc32c(body, body_len) != stored_crc) break;
+
+    WalRecord rec;
+    rec.seq = get_u64(body);
+    rec.epoch = get_u64(body + 8);
+    rec.kind = static_cast<std::uint8_t>(body[16]);
+    rec.first_id = get_u32(body + 17);
+    const std::uint32_t n_del = get_u32(body + 21);
+    const std::uint32_t n_pts = get_u32(body + 25);
+    const std::uint64_t need =
+        kBodyFixedBytes + 4ull * n_del +
+        8ull * static_cast<std::uint64_t>(kWalDim) * n_pts;
+    if (need != body_len) break;  // counts disagree with the frame length
+    if (rec.seq <= prev_seq ||
+        (rec.kind != kWalMutation && rec.kind != kWalBuffered)) {
+      break;  // non-monotonic sequence or unknown kind: stop trusting
+    }
+    const char* cur = body + kBodyFixedBytes;
+    rec.deletions.reserve(n_del);
+    for (std::uint32_t i = 0; i < n_del; ++i, cur += 4) {
+      rec.deletions.push_back(get_u32(cur));
+    }
+    rec.points.resize(n_pts);
+    for (std::uint32_t i = 0; i < n_pts; ++i) {
+      for (int j = 0; j < kWalDim; ++j, cur += 8) {
+        rec.points[i][j] = get_f64(cur);
+      }
+    }
+    prev_seq = rec.seq;
+    scan.offsets.push_back(off);
+    scan.records.push_back(std::move(rec));
+    off += 4ull + body_len + 4ull;
+    scan.valid_bytes = off;
+  }
+  scan.torn_bytes = scan.file_bytes - scan.valid_bytes;
+  if (scan.torn_bytes != 0) scan.status = HullStatus::kCorruptLog;
+  return scan;
+}
+
+HullStatus WalWriter::open(const std::string& path, const WalOptions& opts,
+                           std::uint64_t next_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  opts_ = opts;
+  next_seq_ = next_seq == 0 ? 1 : next_seq;
+  records_ = 0;
+  failed_ = false;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    failed_ = true;
+    return HullStatus::kPersistFailed;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    failed_ = true;
+    return HullStatus::kPersistFailed;
+  }
+  bytes_ = static_cast<std::uint64_t>(st.st_size);
+  if (bytes_ < kWalHeaderBytes) {
+    // Fresh (or header-torn) file: (re)write the header and start clean.
+    if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+      failed_ = true;
+      return HullStatus::kPersistFailed;
+    }
+    const std::string header = wal_header();
+    if (!write_all(fd_, header.data(), header.size()) ||
+        ::fdatasync(fd_) != 0) {
+      failed_ = true;
+      return HullStatus::kPersistFailed;
+    }
+    bytes_ = header.size();
+  } else if (::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET) < 0) {
+    failed_ = true;
+    return HullStatus::kPersistFailed;
+  }
+  last_sync_ = std::chrono::steady_clock::now();
+  return HullStatus::kOk;
+}
+
+HullStatus WalWriter::maybe_sync_locked() {
+  switch (opts_.sync) {
+    case WalSync::kAlways:
+      break;
+    case WalSync::kNone:
+      return HullStatus::kOk;
+    case WalSync::kInterval: {
+      const auto now = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(now - last_sync_)
+              .count();
+      if (ms < opts_.sync_interval_ms) return HullStatus::kOk;
+      break;
+    }
+  }
+  if (::fdatasync(fd_) != 0) {
+    failed_ = true;
+    return HullStatus::kPersistFailed;
+  }
+  last_sync_ = std::chrono::steady_clock::now();
+  return HullStatus::kOk;
+}
+
+HullStatus WalWriter::append(std::uint8_t kind, std::uint64_t epoch,
+                             PointId first_id,
+                             const std::vector<PointId>& deletions,
+                             const PointSet<kWalDim>& points,
+                             std::uint64_t* seq_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || failed_) return HullStatus::kPersistFailed;
+  WalRecord rec;
+  rec.seq = next_seq_;
+  rec.epoch = epoch;
+  rec.kind = kind;
+  rec.first_id = first_id;
+  rec.deletions = deletions;
+  rec.points = points;
+  const std::string encoded = encode_wal_record(rec);
+  if (!write_all(fd_, encoded.data(), encoded.size())) {
+    failed_ = true;
+    return HullStatus::kPersistFailed;
+  }
+  bytes_ += encoded.size();
+  records_ += 1;
+  if (seq_out != nullptr) *seq_out = next_seq_;
+  ++next_seq_;
+  return maybe_sync_locked();
+}
+
+HullStatus WalWriter::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || failed_) return HullStatus::kPersistFailed;
+  if (::fdatasync(fd_) != 0) {
+    failed_ = true;
+    return HullStatus::kPersistFailed;
+  }
+  last_sync_ = std::chrono::steady_clock::now();
+  return HullStatus::kOk;
+}
+
+HullStatus WalWriter::reset_to(std::uint64_t watermark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || failed_) return HullStatus::kPersistFailed;
+  if (next_seq_ != watermark + 1) return HullStatus::kOk;  // records past it
+  if (::ftruncate(fd_, static_cast<off_t>(kWalHeaderBytes)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(kWalHeaderBytes), SEEK_SET) < 0 ||
+      ::fdatasync(fd_) != 0) {
+    failed_ = true;
+    return HullStatus::kPersistFailed;
+  }
+  bytes_ = kWalHeaderBytes;
+  return HullStatus::kOk;
+}
+
+bool WalWriter::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0 && !failed_;
+}
+
+std::uint64_t WalWriter::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t WalWriter::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::uint64_t WalWriter::appended_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void WalWriter::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (!failed_ && opts_.sync != WalSync::kNone) ::fdatasync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace parhull::durability

@@ -1,0 +1,153 @@
+// Per-tenant append-only write-ahead log (docs/SERVICE.md "Durability").
+//
+// File layout — everything explicitly little-endian:
+//
+//   header (16 bytes): "PHWAL001" | version:u32 | dim:u32
+//   record:            [body_len:u32] [body] [crc32c(body):u32]
+//   body:              seq:u64 | epoch:u64 | kind:u8 | first_id:u32 |
+//                      n_del:u32 | n_pts:u32 | n_del x id:u32 |
+//                      n_pts x dim x coord:f64
+//
+// Record kinds:
+//   kWalMutation (1)  one committed coalesced round of the tenant's
+//                     batcher: the deletions and appended points the engine
+//                     applied, in application order, with the id the first
+//                     appended point received. Replaying the kind-1 records
+//                     in sequence order through update_batch rebuilds the
+//                     identical point sequence and (by invariant I10) the
+//                     byte-identical canonical facet set.
+//   kWalBuffered (2)  points acknowledged as "buffered" while the tenant's
+//                     bootstrap buffer was still short of 4 affinely
+//                     independent points. These precede every kind-1 record
+//                     (the bootstrap flip is ordered before the first
+//                     submit); the first kind-1 record carries the full
+//                     prepared union and SUPERSEDES them, so recovery uses
+//                     kind-2 records only when no kind-1 state exists.
+//
+// Sequence numbers are monotonic per tenant and assigned by the writer;
+// scan_wal() accepts any valid prefix and stops at the first framing or
+// CRC violation (a torn tail after kill -9 is the expected case, not an
+// error to refuse startup over). Group commit: the batcher's writer thread
+// appends ONE record per coalesced round and the sync policy runs once per
+// append — kAlways fsyncs every round (acked implies durable), kInterval
+// fsyncs at most once per window, kNone leaves flushing to the kernel.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "parhull/common/status.h"
+#include "parhull/common/types.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull::durability {
+
+// Software CRC32C (Castagnoli) — the framing checksum of both the WAL and
+// the checkpoint file. Table-driven; no hardware dependency.
+std::uint32_t crc32c(const void* data, std::size_t n,
+                     std::uint32_t seed = 0);
+
+enum class WalSync : std::uint8_t {
+  kAlways,    // fdatasync after every append: acked implies durable
+  kInterval,  // fdatasync at most once per sync_interval_ms
+  kNone,      // never fsync; the kernel flushes when it pleases
+};
+
+struct WalOptions {
+  WalSync sync = WalSync::kAlways;
+  double sync_interval_ms = 50.0;  // kInterval cadence
+};
+
+inline constexpr int kWalDim = 3;
+inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr std::size_t kWalHeaderBytes = 16;
+inline constexpr std::uint8_t kWalMutation = 1;
+inline constexpr std::uint8_t kWalBuffered = 2;
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+  std::uint8_t kind = kWalMutation;
+  PointId first_id = 0;
+  std::vector<PointId> deletions;
+  PointSet<kWalDim> points;
+};
+
+struct WalScan {
+  // kOk: clean file (possibly empty/absent). kCorruptLog: a torn or
+  // CRC-failing tail was found past `valid_bytes` — the prefix in
+  // `records` is still good. kPersistFailed: the file could not be read.
+  HullStatus status = HullStatus::kOk;
+  bool found = false;  // the file existed
+  std::vector<WalRecord> records;       // the valid prefix, in order
+  std::vector<std::uint64_t> offsets;   // byte offset of each record start
+  std::uint64_t valid_bytes = 0;  // end of the last valid record (or header)
+  std::uint64_t file_bytes = 0;
+  std::uint64_t torn_bytes = 0;   // file_bytes - valid_bytes
+};
+
+// Scan `path` for the longest valid record prefix. Never throws, never
+// refuses: every outcome is typed in WalScan::status.
+WalScan scan_wal(const std::string& path);
+
+// One record's full wire encoding ([len][body][crc]); exposed so tests and
+// the torn-write fuzzer can build byte-precise logs.
+std::string encode_wal_record(const WalRecord& rec);
+
+// Append side of the log. Thread-safe (internal mutex): the batcher's
+// writer thread appends kind-1 records while command threads may append
+// kind-2 bootstrap records; the session's bootstrap mutex orders every
+// kind-2 seq before the first kind-1 seq. An IO failure latches: the
+// writer reports kPersistFailed for every later append until reopened.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter() { close(); }
+
+  // Open `path` for appending with the next sequence number to assign.
+  // Creates the file (and writes the header) when absent; otherwise
+  // appends after the existing bytes — the caller (recovery) has already
+  // truncated the file to its valid prefix.
+  HullStatus open(const std::string& path, const WalOptions& opts,
+                  std::uint64_t next_seq);
+
+  // Append one record (sequence assigned internally) as a single write(),
+  // then run the sync policy. Returns the assigned seq through *seq_out.
+  HullStatus append(std::uint8_t kind, std::uint64_t epoch, PointId first_id,
+                    const std::vector<PointId>& deletions,
+                    const PointSet<kWalDim>& points,
+                    std::uint64_t* seq_out = nullptr);
+
+  // Explicit fdatasync (the `persist` verb and final-checkpoint path).
+  HullStatus sync();
+
+  // After a checkpoint recorded `watermark`: drop the log body iff nothing
+  // past the watermark has been appended (kind-2 bootstrap records in
+  // flight keep the log intact; they are superseded later, not lost).
+  HullStatus reset_to(std::uint64_t watermark);
+
+  bool is_open() const;
+  std::uint64_t last_seq() const;   // 0 before the first append
+  std::uint64_t bytes() const;      // current log size incl. header
+  std::uint64_t appended_records() const;
+  void close();
+
+ private:
+  HullStatus maybe_sync_locked();
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  WalOptions opts_{};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+  std::chrono::steady_clock::time_point last_sync_{};
+  bool failed_ = false;  // sticky IO failure
+};
+
+}  // namespace parhull::durability

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <future>
 #include <mutex>
@@ -45,6 +46,7 @@
 #include "parhull/common/run_control.h"
 #include "parhull/common/status.h"
 #include "parhull/engine/engine.h"
+#include "parhull/engine/journal.h"
 #include "parhull/engine/snapshot.h"
 #include "parhull/parallel/supervisor.h"
 #include "parhull/testing/schedule_point.h"
@@ -134,6 +136,10 @@ class RequestBatcher {
     // coalesced (the set is still right). Meaningful only when ok.
     PointId first_id = kInvalidPoint;
     std::size_t inserted_points = 0;
+    // Durability outcome of the round (kOk when no journal is attached).
+    // kPersistFailed means the mutation IS in the hull but its log record
+    // could not be appended — the caller decides how to surface that.
+    HullStatus journal = HullStatus::kOk;
   };
 
   explicit RequestBatcher(Options opts = {})
@@ -177,6 +183,25 @@ class RequestBatcher {
     return enqueue(std::move(req));
   }
 
+  // Attach (or detach, with nullptr) the durability journal. The writer
+  // thread calls journal->on_commit after every committed round and
+  // journal->on_checkpoint for submit_checkpoint() requests. Attach BEFORE
+  // traffic that must be journaled; recovery replays are performed with no
+  // journal attached precisely so they are not re-logged.
+  void set_journal(BatchJournal<D>* journal) {
+    journal_.store(journal, std::memory_order_release);
+  }
+
+  // Enqueue a checkpoint request. The writer handles it after the round's
+  // mutations commit, observing the freshest snapshot and the exact log
+  // watermark (journal.h explains why this pairing is race-free). Resolves
+  // kOk immediately when no journal is attached or nothing was published.
+  std::future<InsertOutcome> submit_checkpoint() {
+    Request req;
+    req.checkpoint = true;
+    return enqueue(std::move(req));
+  }
+
   // Freshest published snapshot (see HullEngine::snapshot) — safe from any
   // thread, never blocks, never observes a partial epoch.
   std::shared_ptr<const HullSnapshot<D>> snapshot() const {
@@ -209,6 +234,7 @@ class RequestBatcher {
   struct Request {
     PointSet<D> points;
     std::vector<PointId> deletions;
+    bool checkpoint = false;  // a submit_checkpoint() marker, not a mutation
     std::promise<InsertOutcome> promise;
   };
 
@@ -232,8 +258,13 @@ class RequestBatcher {
       PointSet<D> batch;
       std::vector<PointId> deletions;
       std::vector<Request*> accepted;
+      std::vector<Request*> checkpoints;
       std::vector<std::size_t> offsets;  // accepted[i]'s points start here
       for (Request& r : reqs) {
+        if (r.checkpoint) {
+          checkpoints.push_back(&r);
+          continue;
+        }
         bool valid = true;
         for (PointId id : r.deletions) {
           if (snap == nullptr || id >= claimed.size() ||
@@ -256,6 +287,7 @@ class RequestBatcher {
         accepted.push_back(&r);
       }
       if (accepted.empty()) {
+        resolve_checkpoints(checkpoints);
         reqs.clear();
         continue;
       }
@@ -300,6 +332,23 @@ class RequestBatcher {
       // so each accepted request owns a contiguous range.
       const PointId base_id =
           static_cast<PointId>(snap != nullptr ? snap->point_count() : 0);
+      // Journal the committed round before any future resolves: a client
+      // that sees its mutation acknowledged knows the record was appended
+      // (journal.h). A failed append does NOT roll the epoch back — it is
+      // reported through InsertOutcome::journal instead.
+      if (sup.ok) {
+        if (BatchJournal<D>* journal =
+                journal_.load(std::memory_order_acquire)) {
+          auto committed = engine_.snapshot();
+          typename BatchJournal<D>::Commit commit;
+          commit.epoch = sup.result.epoch;
+          commit.first_id = base_id;
+          commit.deletions = &deletions;
+          commit.points = &batch;
+          commit.snapshot = committed.get();
+          out.journal = journal->on_commit(commit);
+        }
+      }
       PARHULL_SCHEDULE_POINT();  // epoch published, futures not yet resolved
       for (std::size_t i = 0; i < accepted.size(); ++i) {
         Request* r = accepted[i];
@@ -310,13 +359,32 @@ class RequestBatcher {
         }
         r->promise.set_value(mine);
       }
+      // Checkpoints run after the round's mutations so a `persist` acked
+      // behind them folds them in.
+      resolve_checkpoints(checkpoints);
       reqs.clear();
     }
+  }
+
+  void resolve_checkpoints(const std::vector<Request*>& checkpoints) {
+    if (checkpoints.empty()) return;
+    InsertOutcome cp;
+    cp.status = HullStatus::kOk;
+    if (BatchJournal<D>* journal = journal_.load(std::memory_order_acquire)) {
+      if (auto latest = engine_.snapshot()) {
+        cp.status = journal->on_checkpoint(*latest);
+        cp.epoch = latest->epoch;
+      }
+    }
+    cp.ok = cp.status == HullStatus::kOk;
+    cp.journal = cp.status;
+    for (Request* r : checkpoints) r->promise.set_value(cp);
   }
 
   Options opts_;
   Engine engine_;
   Supervisor supervisor_;
+  std::atomic<BatchJournal<D>*> journal_{nullptr};
   engine_detail::RequestQueue<Request> queue_;
   mutable std::mutex log_mu_;
   std::vector<AttemptRecord> attempt_log_;

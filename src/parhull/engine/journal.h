@@ -1,0 +1,60 @@
+// Journal hook of the batch-dynamic engine: the seam between the
+// RequestBatcher's single writer thread and the durability subsystem
+// (src/parhull/durability/, docs/SERVICE.md "Durability").
+//
+// The batcher calls on_commit() on its writer thread after an epoch has
+// been published and BEFORE the round's futures resolve, so a client that
+// sees its mutation acknowledged knows the corresponding log record was
+// already appended (and, under WalSync::kAlways, fsync'd). One call covers
+// the whole coalesced round — the group-commit shape of the batcher is
+// exactly the group-commit shape of the log.
+//
+// on_checkpoint() runs on the same thread for checkpoint requests routed
+// through RequestBatcher::submit_checkpoint(), which is what makes the
+// (snapshot, last-appended-sequence) pair exact: nothing can commit between
+// the epoch the snapshot describes and the watermark the checkpoint
+// records, because both are observed by the only thread that commits.
+//
+// The engine layer depends only on this interface; the concrete
+// implementation (durability::TenantDurability) lives behind it so the
+// engine does not link against the filesystem code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parhull/common/status.h"
+#include "parhull/common/types.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/geometry/point.h"
+
+namespace parhull {
+
+template <int D>
+class BatchJournal {
+ public:
+  // One committed coalesced round, in engine-application order. `first_id`
+  // is the id the first point of `points` received (== the base snapshot's
+  // point_count), so replay can verify it rebuilds the identical id
+  // sequence. Pointers reference the batcher's round-local storage and the
+  // freshly published snapshot; valid only for the duration of the call.
+  struct Commit {
+    std::uint64_t epoch = 0;
+    PointId first_id = 0;
+    const std::vector<PointId>* deletions = nullptr;
+    const PointSet<D>* points = nullptr;
+    const HullSnapshot<D>* snapshot = nullptr;
+  };
+
+  virtual ~BatchJournal() = default;
+
+  // Append the round to the log. kOk or kPersistFailed; a failure does NOT
+  // roll the epoch back (the in-memory hull is already correct) — it is
+  // surfaced to the waiting clients so they know durability degraded.
+  virtual HullStatus on_commit(const Commit& commit) = 0;
+
+  // Serialize `snap` as a checkpoint and truncate the log behind it.
+  virtual HullStatus on_checkpoint(const HullSnapshot<D>& snap) = 0;
+};
+
+}  // namespace parhull

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <iosfwd>
 #include <memory>
 #include <vector>
@@ -92,6 +93,41 @@ canonical_snapshot_tuples(const HullSnapshot<D>& snap) {
     out.push_back(v);
   }
   return out;
+}
+
+// FNV-1a digest of a snapshot's full observable state: the point sequence
+// (coordinate BIT patterns, so -0.0 vs 0.0 and NaN payloads distinguish),
+// the tombstone mask, and the canonical facet tuples. Two snapshots of
+// byte-identical state hash equal regardless of the schedule that built
+// them — which is what lets the `hullhash` service verb and the
+// crash-recovery harness compare a recovered tenant against an oracle
+// replay of the acked prefix with a single line of output.
+template <int D>
+std::uint64_t canonical_hull_hash(const HullSnapshot<D>& snap) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(snap.point_count());
+  if (snap.points != nullptr) {
+    for (std::size_t i = 0; i < snap.points->size(); ++i) {
+      const Point<D>& p = (*snap.points)[i];
+      for (int j = 0; j < D; ++j) {
+        const double c = p[j];
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &c, sizeof(bits));
+        mix(bits);
+      }
+      mix(snap.is_deleted(static_cast<PointId>(i)) ? 1 : 0);
+    }
+  }
+  for (const auto& tuple : canonical_snapshot_tuples(snap)) {
+    for (PointId id : tuple) mix(id);
+  }
+  return h;
 }
 
 // Aggregate counters the engine maintains across batches; readable at any

@@ -1,5 +1,7 @@
 #include "parhull/service/commands.h"
 
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 #include "parhull/workload/generators.h"
@@ -46,6 +48,18 @@ std::string format_point(const Point<3>& v) {
   std::ostringstream os;
   os << "(" << v[0] << ", " << v[1] << ", " << v[2] << ")";
   return os.str();
+}
+
+// A committed round whose log append failed: the mutation IS in the hull,
+// but it would not survive a crash. The ok line keeps its shape (clients
+// and the smoke harness count acks by it); the warning line and the
+// kPersistFailed status carry the degradation.
+void note_journal_failure(CommandResult& res, std::ostringstream& os,
+                          HullStatus journal) {
+  if (journal == HullStatus::kOk) return;
+  res.status = HullStatus::kPersistFailed;
+  os << "warning: committed but NOT journaled (" << to_string(journal)
+     << ")\n";
 }
 
 }  // namespace
@@ -128,6 +142,9 @@ const char* TenantSession::help_text() {
       "  extreme X Y Z   hull vertex maximizing dot(v, dir)\n"
       "  visible X Y Z   count facets visible from the point\n"
       "  stats           engine epoch statistics\n"
+      "  hullhash        canonical digest of the hull state\n"
+      "  persist         fsync the log and write a checkpoint\n"
+      "  recover-stats   durability and recovery counters\n"
       "  help            this list\n"
       "  quit            drain pending work and exit\n";
 }
@@ -181,8 +198,14 @@ CommandResult TenantSession::submit_points(PointSet<3> pts) {
         std::ostringstream os;
         os << "buffered " << pts.size() << " point(s); " << bootstrap_.size()
            << " total (need 4 affinely independent to start)\n";
-        res.text = os.str();
         add_field(res, "buffered", static_cast<std::uint64_t>(pts.size()));
+        // Kind-2 record: a "buffered" ack must survive a crash too. Only
+        // the increment is journaled; the first committed batch carries
+        // the full prepared union and supersedes these (durability/wal.h).
+        if (durability_ != nullptr) {
+          note_journal_failure(res, os, durability_->on_buffered(pts));
+        }
+        res.text = os.str();
         return res;
       }
       bootstrapped_ = true;
@@ -205,6 +228,7 @@ CommandResult TenantSession::submit_points(PointSet<3> pts) {
               static_cast<std::uint64_t>(out.batch_points));
     add_field(res, "first_id", out.first_id);
     add_field(res, "count", static_cast<std::uint64_t>(out.inserted_points));
+    note_journal_failure(res, os, out.journal);
   } else {
     os << "insert failed: " << to_string(out.status) << "\n";
   }
@@ -320,6 +344,7 @@ CommandResult TenantSession::execute(std::string_view line) {
          << "\n";
       add_field(res, "epoch", out.epoch);
       add_field(res, "deleted", static_cast<std::uint64_t>(n));
+      note_journal_failure(res, os, out.journal);
     } else if (out.status == HullStatus::kBadInput) {
       os << "delete rejected: ids must be in range, alive, and distinct "
             "(docs/ERRORS.md)\n";
@@ -349,6 +374,7 @@ CommandResult TenantSession::execute(std::string_view line) {
          << " (the replacement has id " << out.first_id << ")\n";
       add_field(res, "epoch", out.epoch);
       add_field(res, "new_id", out.first_id);
+      note_journal_failure(res, os, out.journal);
     } else if (out.status == HullStatus::kBadInput) {
       os << "update rejected: id must be in range and alive "
             "(docs/ERRORS.md)\n";
@@ -393,12 +419,182 @@ CommandResult TenantSession::execute(std::string_view line) {
     return res;
   }
 
+  if (cmd == "hullhash") {
+    // Canonical digest of the full observable state (point bit patterns,
+    // tombstones, facet tuples) — NOT the epoch, so a recovered tenant and
+    // an oracle replay of the same acked prefix print the same hash even
+    // though their epoch counters differ.
+    CommandResult res;
+    auto snap = snapshot();
+    const std::uint64_t h = snap != nullptr ? canonical_hull_hash<3>(*snap) : 0;
+    std::ostringstream os;
+    os << "hull hash " << std::hex << std::setfill('0') << std::setw(16) << h
+       << std::dec << std::setfill(' ') << " (epoch "
+       << (snap != nullptr ? snap->epoch : 0) << ", "
+       << (snap != nullptr ? snap->facet_count() : 0) << " facets, "
+       << (snap != nullptr ? snap->live_points : 0) << " live points)\n";
+    res.text = os.str();
+    std::ostringstream hexs;
+    hexs << "\"" << std::hex << std::setfill('0') << std::setw(16) << h
+         << "\"";
+    add_field(res, "hash", hexs.str());
+    add_field(res, "epoch",
+              static_cast<std::uint64_t>(snap != nullptr ? snap->epoch : 0));
+    return res;
+  }
+
+  if (cmd == "persist") {
+    CommandResult res;
+    if (durability_ == nullptr) {
+      res.status = HullStatus::kBadInput;
+      res.text = "persist unavailable: durability is not configured\n";
+      return res;
+    }
+    // Belt and braces for kInterval/kNone tenants: flush the log even if
+    // the checkpoint below fails.
+    (void)durability_->sync_wal();
+    auto fut = batcher_.submit_checkpoint();
+    const Batcher::InsertOutcome out = fut.get();
+    res.status = out.status;
+    std::ostringstream os;
+    if (out.ok) {
+      const durability::DurabilityStats s = durability_->stats();
+      os << "checkpointed at epoch " << out.epoch << " (seq " << s.last_seq
+         << ")\n";
+      add_field(res, "epoch", out.epoch);
+      add_field(res, "seq", s.last_seq);
+    } else {
+      os << "persist failed: " << to_string(out.status) << "\n";
+    }
+    res.text = os.str();
+    return res;
+  }
+
+  if (cmd == "recover-stats") {
+    CommandResult res;
+    if (durability_ == nullptr) {
+      res.status = HullStatus::kBadInput;
+      res.text = "recover-stats unavailable: durability is not configured\n";
+      return res;
+    }
+    const durability::RecoveryReport& rep = durability_->report();
+    const durability::DurabilityStats s = durability_->stats();
+    std::ostringstream os;
+    os << "recovery: " << to_string(rep.status) << "\n";
+    if (!rep.detail.empty()) os << "  " << rep.detail << "\n";
+    os << "  checkpoint: " << (rep.checkpoint_loaded ? "loaded" : "none")
+       << " (epoch " << rep.checkpoint_epoch << ", seq "
+       << rep.checkpoint_seq << ", points " << rep.checkpoint_points
+       << ")\n"
+       << "  replay: " << rep.records_applied << " applied, "
+       << rep.records_skipped << " skipped, " << rep.buffered_points
+       << " buffered, " << rep.torn_bytes << " torn byte(s)\n"
+       << "  wal: " << s.wal_records << " record(s) appended, "
+       << s.wal_bytes << " bytes, " << s.checkpoints_written
+       << " checkpoint(s), " << s.append_failures << " failure(s)\n"
+       << "last seq " << s.last_seq << "\n";
+    res.text = os.str();
+    std::string status = "\"";
+    status += to_string(rep.status);
+    status += '"';
+    add_field(res, "status", std::move(status));
+    add_field(res, "last_seq", s.last_seq);
+    add_field(res, "applied", rep.records_applied);
+    add_field(res, "torn_bytes", rep.torn_bytes);
+    return res;
+  }
+
   CommandResult res;
   res.status = HullStatus::kBadInput;
   std::ostringstream os;
   os << "unknown command '" << cmd << "' (try help)\n";
   res.text = os.str();
   return res;
+}
+
+durability::RecoveryReport TenantSession::open_durable(
+    durability::DurabilityOptions opts) {
+  durability_ =
+      std::make_unique<durability::TenantDurability>(std::move(opts));
+
+  durability::ReplayTarget target;
+  // Checkpoint restore: the stored sequence is the engine's own committed
+  // (already prepared) order, so re-inserting it verbatim reproduces the
+  // identical PointIds; the mask is then applied as one delete batch.
+  target.restore_base = [this](const PointSet<3>& pts,
+                               const std::vector<std::uint8_t>& mask) {
+    if (pts.empty()) return HullStatus::kOk;  // checkpoint of nothing
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bootstrapped_ = true;
+      admitted_points_ = pts.size();
+    }
+    const Batcher::InsertOutcome ins = batcher_.submit(pts).get();
+    if (!ins.ok) return HullStatus::kCorruptLog;
+    std::vector<PointId> dead;
+    for (std::size_t i = 0; i < pts.size() && i < mask.size(); ++i) {
+      if (mask[i] != 0) dead.push_back(static_cast<PointId>(i));
+    }
+    if (!dead.empty()) {
+      const Batcher::InsertOutcome del =
+          batcher_.submit_delete(std::move(dead)).get();
+      if (!del.ok) return HullStatus::kCorruptLog;
+    }
+    auto snap = batcher_.snapshot();
+    return snap != nullptr && snap->point_count() == pts.size()
+               ? HullStatus::kOk
+               : HullStatus::kCorruptLog;
+  };
+
+  // One kind-1 record = one coalesced round; replaying them serially (each
+  // future awaited) reproduces the identical round sequence. first_id
+  // doubles as the divergence check: the record's points must continue the
+  // id sequence exactly where the current state ends.
+  target.apply_record = [this](const durability::WalRecord& rec) {
+    auto snap = batcher_.snapshot();
+    const std::size_t have = snap != nullptr ? snap->point_count() : 0;
+    if (!rec.points.empty() &&
+        rec.first_id != static_cast<PointId>(have)) {
+      return HullStatus::kCorruptLog;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bootstrapped_ = true;
+      admitted_points_ += rec.points.size();
+    }
+    const Batcher::InsertOutcome out =
+        rec.deletions.empty()
+            ? batcher_.submit(rec.points).get()
+            : batcher_.submit_update(rec.deletions, rec.points).get();
+    return out.ok ? HullStatus::kOk
+                  : (out.status == HullStatus::kOk ? HullStatus::kCorruptLog
+                                                   : out.status);
+  };
+
+  target.buffer_points = [this](const PointSet<3>& pts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bootstrap_ = pts;
+    bootstrapped_ = false;
+    admitted_points_ = pts.size();
+    return HullStatus::kOk;
+  };
+
+  const durability::RecoveryReport rep = durability_->recover(target);
+  // Attach only AFTER recovery so the replay itself is not re-journaled.
+  // Attached even when recovery degraded to non-durable: every later
+  // mutation then carries the kPersistFailed warning, which is how the
+  // degradation stays visible instead of silent.
+  batcher_.set_journal(durability_.get());
+  return rep;
+}
+
+void TenantSession::shutdown() {
+  if (durability_ != nullptr) {
+    // Final checkpoint: fold everything committed into the snapshot file.
+    // Failure is survivable — every acked round is already in the log.
+    (void)batcher_.submit_checkpoint().get();
+  }
+  batcher_.close();
 }
 
 }  // namespace parhull::service

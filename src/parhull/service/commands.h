@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "parhull/common/status.h"
+#include "parhull/durability/recovery.h"
 #include "parhull/engine/batcher.h"
 #include "parhull/engine/query.h"
 #include "parhull/engine/snapshot.h"
@@ -57,6 +58,11 @@ struct SessionLimits {
   // Mutations are shed with kOverloaded once this many coalesced requests
   // are already queued at the tenant's batcher.
   std::size_t max_pending_requests = 256;
+  // A connection that has sat idle this long while holding a half-parsed
+  // frame is closed with a typed kDeadlineExceeded reply (the slow-loris
+  // guard; enforced by the epoll server's idle scan, service/listener.h).
+  // 0 disables the scan.
+  std::uint64_t idle_timeout_ms = 30000;
 };
 
 // One executed command. `fields` carries the machine-readable facts the
@@ -112,6 +118,21 @@ class TenantSession {
   // The canonical verb list, shared by both front-ends' help output.
   static const char* help_text();
 
+  // Bind this tenant to a data directory: recover whatever is on disk
+  // (checkpoint, then the log tail) and journal every later mutation. Must
+  // run before the session serves traffic — replayed batches are applied
+  // with no journal attached, so they are not re-logged. The returned
+  // report is also kept for the `recover-stats` verb.
+  durability::RecoveryReport open_durable(durability::DurabilityOptions opts);
+
+  // Durability state, null when open_durable was never called.
+  durability::TenantDurability* durability() { return durability_.get(); }
+
+  // Orderly exit: write a final checkpoint (when durable), then close().
+  // close() itself stays drain-only ON PURPOSE — dropping a session
+  // without shutdown() is exactly how the tests simulate kill -9.
+  void shutdown();
+
   // Stop intake and drain the tenant's writer (idempotent).
   void close() { batcher_.close(); }
 
@@ -120,6 +141,9 @@ class TenantSession {
   bool admit_points(std::size_t n, CommandResult& res);
 
   Options opts_;
+  // Declared before batcher_: the batcher's destructor joins the writer
+  // thread, which may still be journaling through this pointer.
+  std::unique_ptr<durability::TenantDurability> durability_;
   Batcher batcher_;
   std::mutex mu_;            // bootstrap buffer + admission counter
   PointSet<3> bootstrap_;    // buffered until 4 affinely independent points

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -38,6 +39,8 @@ struct ServiceCounters {
   std::atomic<std::uint64_t> commands_total{0};    // frames executed
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> idle_closed{0};     // slow-loris scan closes
+  std::atomic<std::uint64_t> overrun_closed{0};  // outbound-cap sheds
 };
 
 struct ServiceStats {
@@ -50,6 +53,8 @@ struct ServiceStats {
   std::uint64_t commands_total = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t idle_closed = 0;
+  std::uint64_t overrun_closed = 0;
   std::uint64_t tenants = 0;
 };
 
@@ -66,6 +71,10 @@ class Connection {
 
   // --- event loop only ---
   std::string in;  // raw bytes; frames peeled off by the event loop
+  // Last moment bytes arrived (set at accept, refreshed per read). The
+  // event loop's idle scan compares it against SessionLimits::
+  // idle_timeout_ms — the slow-loris guard.
+  std::chrono::steady_clock::time_point last_activity{};
 
   // --- work queue (guarded by the server's work mutex) ---
   std::deque<std::string> pending;  // complete frames awaiting a worker
@@ -78,6 +87,10 @@ class Connection {
   bool close_after_flush = false; // quit / protocol error / peer EOF
   bool peer_eof = false;          // read() returned 0
   bool closed = false;            // fd closed; late replies are dropped
+  // Outbound buffer overran max_outbound_bytes: the backlog was dropped,
+  // one typed kOverloaded line queued, and every later reply is discarded
+  // until the close lands (service/listener.cpp, append_outbound_locked).
+  bool overrun = false;
 
   // --- worker only (single owner via `scheduled`) ---
   std::string tenant = "default";  // text-mode tenant; `tenant NAME` swaps

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace parhull::service {
@@ -30,6 +31,13 @@ HullServer::~HullServer() { stop(); }
 
 HullStatus HullServer::start() {
   if (running_) return HullStatus::kOk;
+
+  // Crash recovery before the first byte of traffic: every tenant
+  // directory under data_dir is replayed now, so a client of a restarted
+  // service sees its acked state, not a lazily-recovering one. Recovery
+  // never fails startup — degraded tenants carry a typed report
+  // (registry().recovery_reports()).
+  registry_.recover_existing();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return HullStatus::kBadInput;
@@ -115,6 +123,8 @@ ServiceStats HullServer::stats() const {
   s.commands_total = counters_.commands_total.load();
   s.bytes_in = counters_.bytes_in.load();
   s.bytes_out = counters_.bytes_out.load();
+  s.idle_closed = counters_.idle_closed.load();
+  s.overrun_closed = counters_.overrun_closed.load();
   s.tenants = registry_.size();
   return s;
 }
@@ -142,6 +152,7 @@ void HullServer::handle_accept() {
     counters_.accepted_total.fetch_add(1, std::memory_order_relaxed);
     counters_.active_connections.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>(fd);
+    conn->last_activity = std::chrono::steady_clock::now();
     conns_.emplace(fd, conn);
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -152,6 +163,7 @@ void HullServer::handle_accept() {
 
 void HullServer::handle_readable(const ConnPtr& conn) {
   char buf[1 << 16];
+  conn->last_activity = std::chrono::steady_clock::now();
   while (true) {
     const ssize_t n = ::recv(conn->fd(), buf, sizeof(buf), 0);
     if (n > 0) {
@@ -188,7 +200,7 @@ void HullServer::ingest_frames(const ConnPtr& conn) {
       res.status = HullStatus::kBadInput;
       res.text = "protocol error: " + frame.error + "\n";
       std::lock_guard<std::mutex> lock(conn->io_mu);
-      conn->out += json_reply(res, nullptr);
+      append_outbound_locked(*conn, json_reply(res, nullptr));
       conn->close_after_flush = true;
       conn->in.clear();  // nothing after a framing error is trustworthy
       break;
@@ -222,7 +234,7 @@ void HullServer::ingest_frames(const ConnPtr& conn) {
       counters_.shed_frames.fetch_add(1, std::memory_order_relaxed);
       const std::string reply = shed_reply(type, line);
       std::lock_guard<std::mutex> lock(conn->io_mu);
-      if (!reply.empty()) conn->out += reply;
+      if (!reply.empty()) append_outbound_locked(*conn, reply);
     }
     conn->in.erase(0, frame.consumed);
   }
@@ -300,6 +312,69 @@ void HullServer::close_conn(const ConnPtr& conn) {
   counters_.active_connections.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void HullServer::append_outbound_locked(Connection& conn,
+                                        const std::string& bytes) {
+  if (conn.overrun) return;  // already shedding: late replies are dropped
+  if (conn.out.size() + bytes.size() > opts_.max_outbound_bytes) {
+    // The peer is not reading. Drop the backlog it is not consuming, queue
+    // one typed line explaining the close, and shed the connection.
+    conn.overrun = true;
+    counters_.overrun_closed.fetch_add(1, std::memory_order_relaxed);
+    CommandResult res;
+    res.status = HullStatus::kOverloaded;
+    res.text = "overloaded: outbound buffer limit reached; closing\n";
+    conn.out.clear();
+    conn.out = json_reply(res, nullptr);
+    conn.close_after_flush = true;
+    return;
+  }
+  conn.out += bytes;
+}
+
+void HullServer::idle_scan() {
+  const std::uint64_t timeout_ms =
+      opts_.tenants.session.limits.idle_timeout_ms;
+  if (timeout_ms == 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<ConnPtr> stale;
+  for (auto& [fd, conn] : conns_) {
+    const auto idle_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - conn->last_activity)
+            .count();
+    if (idle_ms < static_cast<long long>(timeout_ms)) continue;
+    {
+      // A worker still executing this connection's frames is progress,
+      // not idleness (a group commit may legitimately exceed the window).
+      std::lock_guard<std::mutex> work(work_mu_);
+      if (conn->scheduled || !conn->pending.empty()) continue;
+    }
+    bool overrun = false;
+    {
+      std::lock_guard<std::mutex> io(conn->io_mu);
+      if (conn->closed) continue;
+      overrun = conn->overrun;
+      if (!overrun) {
+        counters_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+        CommandResult res;
+        res.status = HullStatus::kDeadlineExceeded;
+        res.text = "idle timeout: no complete frame in " +
+                   std::to_string(timeout_ms) + " ms; closing\n";
+        append_outbound_locked(*conn, json_reply(res, nullptr));
+        conn->close_after_flush = true;
+      }
+    }
+    stale.push_back(conn);
+  }
+  for (const ConnPtr& conn : stale) {
+    // Best-effort delivery of the typed close line, then a hard close —
+    // waiting for a peer that never reads is exactly what the guard is
+    // against (an overrun peer past the window gets the hard close too).
+    flush_writes(conn);
+    close_conn(conn);
+  }
+}
+
 void HullServer::request_flush(const ConnPtr& conn) {
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
@@ -311,13 +386,17 @@ void HullServer::request_flush(const ConnPtr& conn) {
 
 void HullServer::event_loop() {
   constexpr int kMaxEvents = 128;
+  // Bounded wait so the idle scan runs even when no fd fires — a
+  // slow-loris peer's whole point is to generate no events.
+  constexpr int kTickMs = 500;
   epoll_event events[kMaxEvents];
   while (!stopping_) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, kTickMs);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    idle_scan();
     for (int i = 0; i < n && !stopping_; ++i) {
       const int fd = events[i].data.fd;
       if (fd == listen_fd_) {
@@ -387,7 +466,7 @@ void HullServer::worker_loop() {
       {
         std::lock_guard<std::mutex> lock(conn->io_mu);
         if (!conn->closed) {
-          conn->out += outcome.reply;
+          append_outbound_locked(*conn, outcome.reply);
           if (outcome.close) conn->close_after_flush = true;
         }
       }

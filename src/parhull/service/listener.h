@@ -52,6 +52,12 @@ struct ServiceOptions {
   std::size_t max_connections = 4096;
   std::size_t max_frame_bytes = 1u << 20;   // one line / binary frame
   std::size_t max_queued_frames = 1024;     // global shed threshold
+  // Cap on one connection's unflushed reply bytes. A peer that sends
+  // commands without reading replies (or reads too slowly) trips it: the
+  // backlog is dropped, one typed kOverloaded line is queued, and the
+  // connection closes — backpressure becomes a typed shed instead of
+  // unbounded server memory.
+  std::size_t max_outbound_bytes = 8u << 20;
   TenantRegistry::Options tenants{};
 };
 
@@ -83,6 +89,10 @@ class HullServer {
   void handle_accept();
   void handle_readable(const ConnPtr& conn);
   void ingest_frames(const ConnPtr& conn);
+  void idle_scan();
+  // conn.io_mu must be held. Appends under max_outbound_bytes; sheds the
+  // connection (typed kOverloaded + close) on overrun.
+  void append_outbound_locked(Connection& conn, const std::string& bytes);
   void flush_writes(const ConnPtr& conn);
   void request_flush(const ConnPtr& conn);
   void maybe_close(const ConnPtr& conn);

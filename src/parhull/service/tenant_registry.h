@@ -13,11 +13,13 @@
 // returned pointers stay valid for the registry's lifetime.
 #pragma once
 
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "parhull/service/commands.h"
@@ -29,6 +31,13 @@ class TenantRegistry {
   struct Options {
     TenantSession::Options session{};  // limits + engine/SLO policy, shared
     std::size_t max_tenants = 64;
+    // Durability root. Empty = in-memory tenants (the pre-durability
+    // behavior). Otherwise each tenant owns `<data_dir>/<name>/` and is
+    // recovered from it on creation — lazily, or eagerly through
+    // recover_existing() at startup.
+    std::string data_dir;
+    durability::WalOptions wal{};
+    std::uint64_t checkpoint_every_bytes = 8ull << 20;
   };
 
   enum class GetStatus { kOk, kInvalidName, kAtCapacity };
@@ -38,8 +47,11 @@ class TenantRegistry {
 
   // Tenant names are a tight charset so they can pass through every frame
   // encoding (JSON, binary, logs) unescaped: [A-Za-z0-9_.-], 1..64 bytes.
+  // "." and ".." are additionally rejected — names double as directory
+  // names under data_dir, and those two would escape it.
   static bool valid_name(std::string_view name) {
     if (name.empty() || name.size() > 64) return false;
+    if (name == "." || name == "..") return false;
     for (char c : name) {
       const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                       (c >= '0' && c <= '9') || c == '_' || c == '.' ||
@@ -69,9 +81,48 @@ class TenantRegistry {
     }
     auto session = std::make_unique<TenantSession>(opts_.session);
     TenantSession* raw = session.get();
+    if (!opts_.data_dir.empty()) {
+      // Recover before the tenant is reachable by name: the first command
+      // that lazily creates a durable tenant already sees its restored
+      // state. Registered even on a degraded outcome (the report and the
+      // per-mutation warnings carry the degradation); creation never fails
+      // for durability reasons.
+      durability::DurabilityOptions dopts;
+      dopts.dir = opts_.data_dir + "/" + std::string(name);
+      dopts.wal = opts_.wal;
+      dopts.checkpoint_every_bytes = opts_.checkpoint_every_bytes;
+      durability::RecoveryReport rep = raw->open_durable(std::move(dopts));
+      reports_.emplace_back(std::string(name), std::move(rep));
+    }
     tenants_.emplace(std::string(name), std::move(session));
     if (why) *why = GetStatus::kOk;
     return raw;
+  }
+
+  // Eagerly recover every tenant directory already under data_dir (the
+  // startup pass, so a restart does not wait for first contact to replay
+  // logs). Foreign directory names are skipped. No-op when not durable.
+  std::size_t recover_existing() {
+    if (opts_.data_dir.empty()) return 0;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(opts_.data_dir, ec);
+    if (ec) return 0;
+    std::size_t recovered = 0;
+    for (const auto& entry : it) {
+      if (!entry.is_directory(ec) || ec) continue;
+      const std::string name = entry.path().filename().string();
+      if (!valid_name(name)) continue;
+      GetStatus why = GetStatus::kOk;
+      if (get_or_create(name, &why) != nullptr) ++recovered;
+    }
+    return recovered;
+  }
+
+  // Recovery outcomes in creation order, for startup logging and tests.
+  std::vector<std::pair<std::string, durability::RecoveryReport>>
+  recovery_reports() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reports_;
   }
 
   TenantSession* find(std::string_view name) const {
@@ -93,15 +144,17 @@ class TenantRegistry {
     return out;
   }
 
-  // Stop intake and drain every tenant's writer thread (group commit
-  // finishes accepted work first — the engine contract).
+  // Orderly shutdown: final checkpoint for every durable tenant, then stop
+  // intake and drain every writer thread (group commit finishes accepted
+  // work first — the engine contract). Simply destroying the registry
+  // instead skips the checkpoints — that is the simulated-crash path.
   void close_all() {
     std::vector<TenantSession*> sessions;
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (auto& [_, s] : tenants_) sessions.push_back(s.get());
     }
-    for (TenantSession* s : sessions) s->close();
+    for (TenantSession* s : sessions) s->shutdown();
   }
 
  private:
@@ -111,6 +164,7 @@ class TenantRegistry {
   // allocate a temporary key.
   std::map<std::string, std::unique_ptr<TenantSession>, std::less<>>
       tenants_;
+  std::vector<std::pair<std::string, durability::RecoveryReport>> reports_;
 };
 
 }  // namespace parhull::service

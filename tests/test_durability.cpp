@@ -1,0 +1,709 @@
+// Crash-recovery tests for durable tenants (src/parhull/durability/,
+// docs/SERVICE.md "Durability"). The contract under test is invariant I10
+// extended across process lifetimes: after ANY crash point — mid-log torn
+// write, bit flip, lost checkpoint, lost log — a recovered tenant's
+// observable state (canonical_hull_hash: point bit patterns, tombstones,
+// canonical facet tuples) equals an oracle session that replays exactly
+// the acked prefix of the same command script. Sessions are crashed by
+// DESTROYING them without shutdown(): close() is drain-only on purpose, so
+// a dropped TenantSession leaves whatever the WAL had at that instant,
+// exactly like kill -9 (the socket-level version lives in
+// scripts/crash_recovery_smoke.sh).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/durability/checkpoint.h"
+#include "parhull/durability/recovery.h"
+#include "parhull/durability/wal.h"
+#include "parhull/engine/snapshot.h"
+#include "parhull/service/commands.h"
+#include "parhull/service/tenant_registry.h"
+
+using namespace parhull;
+using namespace parhull::service;
+using namespace parhull::durability;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "parhull_dur_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char* made = ::mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    if (made != nullptr) path_ = made;
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      fs::remove_all(path_, ec);
+    }
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// kNone sync keeps the unit tests off fsync; the bytes still reach the
+// file (same kernel), which is all a same-machine crash simulation needs.
+// kAlways is exercised end-to-end by scripts/crash_recovery_smoke.sh.
+DurabilityOptions fast_opts(const std::string& dir,
+                            std::uint64_t checkpoint_bytes = 0) {
+  DurabilityOptions o;
+  o.dir = dir;
+  o.wal.sync = WalSync::kNone;
+  o.checkpoint_every_bytes = checkpoint_bytes;
+  return o;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A deterministic mutation script whose k-th line (1-based) is exactly the
+// mutation that gets WAL sequence k: every line is one ok'd mutation
+// command, and one command is one coalesced round on an otherwise idle
+// session. That bijection is what lets the kill-point sweep turn a
+// recovered last_seq back into "replay the first last_seq lines".
+std::vector<std::string> make_script(std::uint64_t seed, int n_cmds) {
+  Rng rng(seed * 7919 + 13);
+  std::vector<std::string> cmds;
+  cmds.push_back("gen 32 " + std::to_string(seed % 997));
+  std::vector<int> live;
+  for (int i = 0; i < 32; ++i) live.push_back(i);
+  int next_id = 32;
+  auto coords = [&rng] {
+    std::ostringstream os;
+    os.precision(17);
+    os << rng.next_double(-10.0, 10.0) << " " << rng.next_double(-10.0, 10.0)
+       << " " << rng.next_double(-10.0, 10.0);
+    return os.str();
+  };
+  for (int i = 1; i < n_cmds; ++i) {
+    const std::uint64_t kind = rng.next_below(5);
+    if (kind == 0 && live.size() > 12) {
+      const std::size_t j =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      cmds.push_back("delete " + std::to_string(live[j]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(j));
+    } else if (kind == 1 && live.size() > 12) {
+      const std::size_t j =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      cmds.push_back("update " + std::to_string(live[j]) + " " + coords());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(j));
+      live.push_back(next_id++);
+    } else {
+      cmds.push_back("insert " + coords());
+      live.push_back(next_id++);
+    }
+  }
+  return cmds;
+}
+
+// Replay the first n_cmds lines through a fresh in-memory session and
+// digest the result — the "one-shot hull of the acked prefix" oracle.
+std::uint64_t oracle_hash(const std::vector<std::string>& cmds,
+                          std::uint64_t n_cmds) {
+  TenantSession oracle;
+  for (std::uint64_t i = 0; i < n_cmds && i < cmds.size(); ++i) {
+    const CommandResult r = oracle.execute(cmds[i]);
+    EXPECT_EQ(r.status, HullStatus::kOk) << "oracle: " << cmds[i];
+  }
+  auto snap = oracle.snapshot();
+  return snap != nullptr ? canonical_hull_hash<3>(*snap) : 0;
+}
+
+std::uint64_t session_hash(TenantSession& s) {
+  auto snap = s.snapshot();
+  return snap != nullptr ? canonical_hull_hash<3>(*snap) : 0;
+}
+
+void run_all(TenantSession& s, const std::vector<std::string>& cmds) {
+  for (const std::string& c : cmds) {
+    const CommandResult r = s.execute(c);
+    ASSERT_EQ(r.status, HullStatus::kOk) << c << " -> " << r.text;
+  }
+}
+
+TEST(Durability, WalRoundTripAndTornTail) {
+  TempDir td;
+  const std::string path = td.path() + "/wal";
+  WalOptions wopts;
+  wopts.sync = WalSync::kNone;
+  WalWriter w;
+  ASSERT_EQ(w.open(path, wopts, 1), HullStatus::kOk);
+  PointSet<3> pts;
+  pts.push_back(Point<3>{{1.0, 2.0, 3.0}});
+  pts.push_back(Point<3>{{-0.5, 4.0, 8.25}});
+  const std::vector<PointId> dels{7, 11};
+  std::uint64_t seq = 0;
+  ASSERT_EQ(w.append(kWalBuffered, 0, 0, {}, pts, &seq), HullStatus::kOk);
+  EXPECT_EQ(seq, 1u);
+  ASSERT_EQ(w.append(kWalMutation, 3, 42, dels, pts, &seq), HullStatus::kOk);
+  EXPECT_EQ(seq, 2u);
+  EXPECT_EQ(w.last_seq(), 2u);
+  EXPECT_EQ(w.appended_records(), 2u);
+  w.close();
+
+  WalScan scan = scan_wal(path);
+  EXPECT_EQ(scan.status, HullStatus::kOk);
+  EXPECT_TRUE(scan.found);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].kind, kWalBuffered);
+  EXPECT_EQ(scan.records[1].kind, kWalMutation);
+  EXPECT_EQ(scan.records[1].seq, 2u);
+  EXPECT_EQ(scan.records[1].epoch, 3u);
+  EXPECT_EQ(scan.records[1].first_id, 42u);
+  EXPECT_EQ(scan.records[1].deletions, dels);
+  ASSERT_EQ(scan.records[1].points.size(), 2u);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(scan.records[1].points[0][j], pts[0][j]);
+    EXPECT_EQ(scan.records[1].points[1][j], pts[1][j]);
+  }
+  EXPECT_EQ(scan.valid_bytes, scan.file_bytes);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+
+  // A torn tail (half-written record after kill -9) keeps the prefix and
+  // types the damage; it never invalidates the good records.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "\xff\xff\xff\xffgarbage tail";
+  }
+  scan = scan_wal(path);
+  EXPECT_EQ(scan.status, HullStatus::kCorruptLog);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_GT(scan.torn_bytes, 0u);
+  EXPECT_EQ(scan.valid_bytes + scan.torn_bytes, scan.file_bytes);
+
+  // A bit flip MID-log cuts the valid prefix at the flipped record.
+  const std::uint64_t rec2_off = scan.offsets[1];
+  std::string bytes = read_file(path);
+  bytes[rec2_off + 6] ^= 0x20;
+  write_file(path, bytes);
+  scan = scan_wal(path);
+  EXPECT_EQ(scan.status, HullStatus::kCorruptLog);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+  EXPECT_EQ(scan.valid_bytes, rec2_off);
+}
+
+TEST(Durability, CheckpointRoundTripCorruptionAndFutureVersion) {
+  TempDir td;
+  const std::string path = td.path() + "/checkpoint";
+  CheckpointData data;
+  data.epoch = 5;
+  data.wal_seq = 9;
+  for (int i = 0; i < 6; ++i) {
+    data.points.push_back(
+        Point<3>{{0.25 * i, -1.5 * i, static_cast<double>(i)}});
+  }
+  data.mask = {0, 1, 0, 0, 1, 0};
+  ASSERT_EQ(write_checkpoint(path, data), HullStatus::kOk);
+
+  CheckpointLoad load = load_checkpoint(path);
+  EXPECT_TRUE(load.found);
+  ASSERT_EQ(load.status, HullStatus::kOk);
+  EXPECT_EQ(load.data.epoch, 5u);
+  EXPECT_EQ(load.data.wal_seq, 9u);
+  ASSERT_EQ(load.data.points.size(), 6u);
+  EXPECT_EQ(load.data.mask, data.mask);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(load.data.points[i][j], data.points[i][j]);
+    }
+  }
+
+  // Absent file: not found, kOk (a fresh tenant, not an error).
+  load = load_checkpoint(td.path() + "/nope");
+  EXPECT_FALSE(load.found);
+  EXPECT_EQ(load.status, HullStatus::kOk);
+
+  // Any flipped byte is kCorruptLog — including one INSIDE the version
+  // field, which must read as corruption, not as a trusted future format.
+  const std::string good = read_file(path);
+  for (const std::size_t at : {std::size_t{9}, good.size() / 2}) {
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    write_file(path, bad);
+    load = load_checkpoint(path);
+    EXPECT_TRUE(load.found);
+    EXPECT_EQ(load.status, HullStatus::kCorruptLog) << "flip at " << at;
+  }
+
+  // A well-formed checkpoint from a NEWER build (version bumped, CRC
+  // recomputed) is typed kBadInput: refuse to guess, don't call it corrupt.
+  std::string future = good;
+  future[8] = 2;  // version u32le at offset 8
+  const std::uint32_t crc = crc32c(future.data(), future.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    future[future.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  write_file(path, future);
+  load = load_checkpoint(path);
+  EXPECT_TRUE(load.found);
+  EXPECT_EQ(load.status, HullStatus::kBadInput);
+
+  // Truncated to a stub: corrupt, not a crash.
+  write_file(path, good.substr(0, 11));
+  load = load_checkpoint(path);
+  EXPECT_EQ(load.status, HullStatus::kCorruptLog);
+}
+
+TEST(Durability, EmptyDataDirIsAFreshTenant) {
+  TempDir td;
+  TenantSession s;
+  const RecoveryReport rep = s.open_durable(fast_opts(td.path() + "/t"));
+  EXPECT_EQ(rep.status, HullStatus::kOk);
+  EXPECT_TRUE(rep.attempted);
+  EXPECT_FALSE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.records_scanned, 0u);
+  EXPECT_EQ(rep.last_seq, 0u);
+
+  ASSERT_EQ(s.execute("gen 16 5").status, HullStatus::kOk);
+  const CommandResult rs = s.execute("recover-stats");
+  EXPECT_EQ(rs.status, HullStatus::kOk);
+  EXPECT_NE(rs.text.find("recovery: ok"), std::string::npos);
+  EXPECT_NE(rs.text.find("last seq 1"), std::string::npos);
+  s.shutdown();
+}
+
+TEST(Durability, LogOnlyCrashRecoveryMatchesOracle) {
+  TempDir td;
+  const auto cmds = make_script(1, 16);
+  std::uint64_t live_hash = 0;
+  {
+    auto s = std::make_unique<TenantSession>();
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    run_all(*s, cmds);
+    live_hash = session_hash(*s);
+    // Crash: the session is destroyed with no shutdown(), no checkpoint.
+  }
+  EXPECT_FALSE(fs::exists(td.path() + "/checkpoint"));
+
+  TenantSession rec;
+  const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kOk) << rep.detail;
+  EXPECT_FALSE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.records_applied, cmds.size());
+  EXPECT_EQ(rep.last_seq, cmds.size());
+  EXPECT_EQ(rep.torn_bytes, 0u);
+  EXPECT_EQ(session_hash(rec), live_hash);
+  EXPECT_EQ(session_hash(rec), oracle_hash(cmds, cmds.size()));
+  rec.shutdown();
+}
+
+TEST(Durability, CheckpointTruncatesLogAndRecoversTail) {
+  TempDir td;
+  const auto cmds = make_script(2, 12);
+  {
+    auto s = std::make_unique<TenantSession>();
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      ASSERT_EQ(s->execute(cmds[i]).status, HullStatus::kOk);
+      if (i == 7) {
+        const CommandResult p = s->execute("persist");
+        ASSERT_EQ(p.status, HullStatus::kOk) << p.text;
+        EXPECT_NE(p.text.find("checkpointed at epoch"), std::string::npos);
+        // The checkpoint's watermark covers every record, so the log body
+        // was dropped: just the 16-byte header remains.
+        EXPECT_EQ(fs::file_size(td.path() + "/wal"), kWalHeaderBytes);
+      }
+    }
+  }
+  TenantSession rec;
+  const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kOk) << rep.detail;
+  EXPECT_TRUE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.checkpoint_seq, 8u);
+  EXPECT_EQ(rep.records_applied, cmds.size() - 8);
+  EXPECT_EQ(rep.last_seq, cmds.size());
+  EXPECT_EQ(session_hash(rec), oracle_hash(cmds, cmds.size()));
+  rec.shutdown();
+}
+
+TEST(Durability, CheckpointOnlyRecovers) {
+  TempDir td;
+  const auto cmds = make_script(3, 10);
+  {
+    auto s = std::make_unique<TenantSession>();
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    run_all(*s, cmds);
+    ASSERT_EQ(s->execute("persist").status, HullStatus::kOk);
+  }
+  // Lose the log entirely; the checkpoint alone must restore the state.
+  ASSERT_TRUE(fs::remove(td.path() + "/wal"));
+
+  TenantSession rec;
+  const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kOk) << rep.detail;
+  EXPECT_TRUE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.records_scanned, 0u);
+  EXPECT_EQ(rep.last_seq, cmds.size());
+  EXPECT_EQ(session_hash(rec), oracle_hash(cmds, cmds.size()));
+  // The writer reopened past the checkpoint's watermark: fresh mutations
+  // must not reuse sequence numbers the checkpoint already covers.
+  ASSERT_EQ(rec.execute("insert 20 21 22").status, HullStatus::kOk);
+  ASSERT_NE(rec.durability(), nullptr);
+  EXPECT_EQ(rec.durability()->stats().last_seq, cmds.size() + 1);
+  rec.shutdown();
+}
+
+TEST(Durability, ShutdownWritesTheFinalCheckpoint) {
+  TempDir td;
+  const auto cmds = make_script(4, 8);
+  {
+    auto s = std::make_unique<TenantSession>();
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    run_all(*s, cmds);
+    s->shutdown();  // orderly exit: checkpoint + drain
+  }
+  EXPECT_TRUE(fs::exists(td.path() + "/checkpoint"));
+  EXPECT_EQ(fs::file_size(td.path() + "/wal"), kWalHeaderBytes);
+
+  TenantSession rec;
+  const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kOk) << rep.detail;
+  EXPECT_TRUE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.records_applied, 0u);
+  EXPECT_EQ(session_hash(rec), oracle_hash(cmds, cmds.size()));
+  rec.shutdown();
+}
+
+TEST(Durability, DuplicateSeqReplayIsIdempotent) {
+  TempDir td;
+  const auto cmds = make_script(5, 9);
+  {
+    auto s = std::make_unique<TenantSession>();
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    run_all(*s, cmds);
+    // Stash the full log, checkpoint (which truncates it), then put the
+    // stale log back: every record is now at-or-below the watermark and
+    // must be skipped, not replayed on top of the restored base.
+    const std::string stale = read_file(td.path() + "/wal");
+    ASSERT_EQ(s->execute("persist").status, HullStatus::kOk);
+    write_file(td.path() + "/wal", stale);
+  }
+  TenantSession rec;
+  const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kOk) << rep.detail;
+  EXPECT_TRUE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.records_scanned, cmds.size());
+  EXPECT_EQ(rep.records_skipped, cmds.size());
+  EXPECT_EQ(rep.records_applied, 0u);
+  EXPECT_EQ(rep.last_seq, cmds.size());
+  EXPECT_EQ(session_hash(rec), oracle_hash(cmds, cmds.size()));
+  rec.shutdown();
+}
+
+TEST(Durability, CorruptCheckpointDegradesTyped) {
+  TempDir td;
+  const auto cmds = make_script(6, 8);
+  {
+    auto s = std::make_unique<TenantSession>();
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    run_all(*s, cmds);
+    ASSERT_EQ(s->execute("persist").status, HullStatus::kOk);
+  }
+  std::string bytes = read_file(td.path() + "/checkpoint");
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  write_file(td.path() + "/checkpoint", bytes);
+
+  // The checkpoint is gone and the log behind its watermark was already
+  // truncated — the data is genuinely lost. The contract is graceful,
+  // typed degradation: startup succeeds, the report says kCorruptLog, and
+  // the tenant serves traffic.
+  TenantSession rec;
+  const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kCorruptLog);
+  EXPECT_FALSE(rep.checkpoint_loaded);
+  EXPECT_NE(rep.detail.find("checkpoint corrupt"), std::string::npos);
+  EXPECT_EQ(rec.execute("gen 16 9").status, HullStatus::kOk);
+  rec.shutdown();
+}
+
+TEST(Durability, FutureFormatCheckpointIsBadInputNotCorrupt) {
+  TempDir td;
+  const auto cmds = make_script(7, 6);
+  {
+    auto s = std::make_unique<TenantSession>();
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    run_all(*s, cmds);
+    ASSERT_EQ(s->execute("persist").status, HullStatus::kOk);
+  }
+  std::string bytes = read_file(td.path() + "/checkpoint");
+  bytes[8] = 2;  // version u32le
+  const std::uint32_t crc = crc32c(bytes.data(), bytes.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  write_file(td.path() + "/checkpoint", bytes);
+
+  TenantSession rec;
+  const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kBadInput);
+  EXPECT_FALSE(rep.checkpoint_loaded);
+  EXPECT_NE(rep.detail.find("newer format"), std::string::npos);
+  EXPECT_EQ(rec.execute("gen 16 9").status, HullStatus::kOk);
+  rec.shutdown();
+}
+
+TEST(Durability, BootstrapBufferedPointsSurviveCrashes) {
+  TempDir td;
+  {
+    auto s = std::make_unique<TenantSession>();
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    const CommandResult r1 = s->execute("insert 0 0 0");
+    ASSERT_EQ(r1.status, HullStatus::kOk);
+    EXPECT_NE(r1.text.find("buffered"), std::string::npos);
+    ASSERT_EQ(s->execute("insert 1 0 0").status, HullStatus::kOk);
+  }
+  // First crash: only kind-2 records on disk, no engine state ever.
+  auto rec = std::make_unique<TenantSession>();
+  RecoveryReport rep = rec->open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kOk) << rep.detail;
+  EXPECT_EQ(rep.buffered_points, 2u);
+  EXPECT_EQ(rec->snapshot(), nullptr);
+  rec.reset();  // second crash, still bootstrap-only
+
+  rec = std::make_unique<TenantSession>();
+  rep = rec->open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.buffered_points, 2u);
+  // Two more affinely independent points complete the tetrahedron; the
+  // first kind-1 record now carries the full prepared union.
+  ASSERT_EQ(rec->execute("insert 0 1 0").status, HullStatus::kOk);
+  ASSERT_EQ(rec->execute("insert 0 0 1").status, HullStatus::kOk);
+  auto snap = rec->snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->point_count(), 4u);
+  EXPECT_EQ(snap->facet_count(), 4u);
+  const std::uint64_t full = session_hash(*rec);
+  rec.reset();  // third crash, after the bootstrap flip
+
+  TenantSession last;
+  rep = last.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kOk) << rep.detail;
+  // The kind-1 record superseded the kind-2 prefix.
+  EXPECT_EQ(rep.buffered_points, 0u);
+  EXPECT_EQ(rep.records_applied, 1u);
+  EXPECT_GE(rep.records_skipped, 2u);
+  EXPECT_EQ(session_hash(last), full);
+  last.shutdown();
+}
+
+TEST(Durability, AutoCheckpointKeepsTheLogBounded) {
+  TempDir td;
+  const auto cmds = make_script(8, 10);
+  {
+    auto s = std::make_unique<TenantSession>();
+    // Threshold 1 byte: every commit exceeds it, so every round checkpoints
+    // and truncates — the watermark-exactness stress (the checkpoint runs
+    // on the batcher's writer thread, between appends).
+    ASSERT_EQ(s->open_durable(fast_opts(td.path(), 1)).status,
+              HullStatus::kOk);
+    run_all(*s, cmds);
+    EXPECT_EQ(fs::file_size(td.path() + "/wal"), kWalHeaderBytes);
+    ASSERT_NE(s->durability(), nullptr);
+    EXPECT_GE(s->durability()->stats().checkpoints_written, cmds.size());
+  }
+  TenantSession rec;
+  const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+  EXPECT_EQ(rep.status, HullStatus::kOk) << rep.detail;
+  EXPECT_TRUE(rep.checkpoint_loaded);
+  EXPECT_EQ(rep.records_applied, 0u);
+  EXPECT_EQ(rep.last_seq, cmds.size());
+  EXPECT_EQ(session_hash(rec), oracle_hash(cmds, cmds.size()));
+  rec.shutdown();
+}
+
+TEST(Durability, PointBudgetCountsRecoveredPoints) {
+  TempDir td;
+  TenantSession::Options o;
+  o.limits.max_points_per_tenant = 40;
+  {
+    auto s = std::make_unique<TenantSession>(o);
+    ASSERT_EQ(s->open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+    ASSERT_EQ(s->execute("gen 32 4").status, HullStatus::kOk);
+  }
+  TenantSession rec(o);
+  ASSERT_EQ(rec.open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+  // 32 of the 40-point budget are already spent by the replayed state.
+  EXPECT_EQ(rec.execute("gen 32 5").status, HullStatus::kBadInput);
+  EXPECT_EQ(rec.execute("gen 8 5").status, HullStatus::kOk);
+  rec.shutdown();
+}
+
+TEST(Durability, UnusableDataDirRunsNonDurableWithTypedWarnings) {
+  TempDir td;
+  const std::string dir = td.path() + "/tenant";
+  write_file(dir, "not a directory");  // create_directories must fail
+
+  TenantSession s;
+  const RecoveryReport rep = s.open_durable(fast_opts(dir));
+  EXPECT_EQ(rep.status, HullStatus::kPersistFailed);
+  EXPECT_NE(rep.detail.find("non-durable"), std::string::npos);
+
+  // The tenant still serves traffic; every committed mutation carries the
+  // typed "committed but NOT journaled" warning.
+  const CommandResult r = s.execute("gen 16 2");
+  EXPECT_EQ(r.status, HullStatus::kPersistFailed);
+  EXPECT_NE(r.text.find("NOT journaled"), std::string::npos);
+  auto snap = s.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->point_count(), 16u);
+  // persist cannot fabricate durability either, but must answer typed.
+  EXPECT_EQ(s.execute("persist").status, HullStatus::kPersistFailed);
+  s.close();
+}
+
+TEST(Durability, VerbsRequireDurabilityAndReportState) {
+  TenantSession plain;
+  EXPECT_EQ(plain.execute("persist").status, HullStatus::kBadInput);
+  EXPECT_EQ(plain.execute("recover-stats").status, HullStatus::kBadInput);
+
+  TempDir td;
+  TenantSession s;
+  ASSERT_EQ(s.open_durable(fast_opts(td.path())).status, HullStatus::kOk);
+  ASSERT_EQ(s.execute("gen 16 3").status, HullStatus::kOk);
+  const CommandResult hh = s.execute("hullhash");
+  EXPECT_EQ(hh.status, HullStatus::kOk);
+  ASSERT_NE(hh.text.find("hull hash "), std::string::npos);
+  const std::string hex = hh.text.substr(hh.text.find("hull hash ") + 10, 16);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+  auto snap = s.snapshot();
+  ASSERT_NE(snap, nullptr);
+  std::ostringstream want;
+  want << std::hex << std::setfill('0') << std::setw(16)
+       << canonical_hull_hash<3>(*snap);
+  EXPECT_EQ(hex, want.str());
+
+  const CommandResult rs = s.execute("recover-stats");
+  EXPECT_EQ(rs.status, HullStatus::kOk);
+  EXPECT_NE(rs.text.find("recovery: ok"), std::string::npos);
+  EXPECT_NE(rs.text.find("last seq 1"), std::string::npos);
+  s.shutdown();
+}
+
+TEST(Durability, RegistryRecoversExistingTenantsAtStartup) {
+  TempDir td;
+  TenantRegistry::Options ropts;
+  ropts.data_dir = td.path();
+  ropts.wal.sync = WalSync::kNone;
+  const auto cmds_a = make_script(9, 6);
+  const auto cmds_b = make_script(10, 6);
+  std::uint64_t hash_a = 0, hash_b = 0;
+  {
+    TenantRegistry reg(ropts);
+    TenantSession* a = reg.get_or_create("alpha");
+    TenantSession* b = reg.get_or_create("beta");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    run_all(*a, cmds_a);
+    run_all(*b, cmds_b);
+    hash_a = session_hash(*a);
+    hash_b = session_hash(*b);
+    // Crash the whole registry: no close_all, no final checkpoints.
+  }
+  TenantRegistry reg(ropts);
+  EXPECT_EQ(reg.recover_existing(), 2u);
+  const auto reports = reg.recovery_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& [name, rep] : reports) {
+    EXPECT_EQ(rep.status, HullStatus::kOk) << name << ": " << rep.detail;
+  }
+  ASSERT_NE(reg.find("alpha"), nullptr);
+  ASSERT_NE(reg.find("beta"), nullptr);
+  EXPECT_EQ(session_hash(*reg.find("alpha")), hash_a);
+  EXPECT_EQ(session_hash(*reg.find("beta")), hash_b);
+  // Directory-traversal names can never become tenant directories.
+  EXPECT_FALSE(TenantRegistry::valid_name(".."));
+  EXPECT_FALSE(TenantRegistry::valid_name("."));
+  EXPECT_FALSE(TenantRegistry::valid_name("a/b"));
+  reg.close_all();
+}
+
+// The tentpole acceptance sweep: 32 seeds, each running a randomized
+// mutation script with interleaved checkpoints, crashing (session drop),
+// then corrupting the log tail a randomized way — truncation at an
+// arbitrary byte, a bit flip at an arbitrary offset, or no damage at all.
+// Recovery must come back typed, and the recovered state must equal the
+// oracle replay of exactly the first last_seq script lines (invariant I10
+// across the crash).
+TEST(Durability, KillPointSweep32) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    TempDir td;
+    const auto cmds = make_script(seed, 14);
+    {
+      auto s = std::make_unique<TenantSession>();
+      ASSERT_EQ(s->open_durable(fast_opts(td.path())).status,
+                HullStatus::kOk);
+      Rng prng(seed ^ 0x9e3779b97f4a7c15ull);
+      for (const std::string& c : cmds) {
+        ASSERT_EQ(s->execute(c).status, HullStatus::kOk) << c;
+        if (prng.next_below(5) == 0) {
+          ASSERT_EQ(s->execute("persist").status, HullStatus::kOk);
+        }
+      }
+    }
+    Rng crng(seed * 31 + 7);
+    const std::string wal_path = td.path() + "/wal";
+    std::string bytes = read_file(wal_path);
+    const std::uint64_t damage = crng.next_below(3);
+    if (damage == 0 && !bytes.empty()) {
+      // Torn write: the file ends mid-record (maybe mid-header).
+      bytes.resize(static_cast<std::size_t>(crng.next_below(bytes.size())));
+      write_file(wal_path, bytes);
+    } else if (damage == 1 && !bytes.empty()) {
+      const std::size_t at =
+          static_cast<std::size_t>(crng.next_below(bytes.size()));
+      bytes[at] = static_cast<char>(
+          bytes[at] ^ static_cast<char>(1u << crng.next_below(8)));
+      write_file(wal_path, bytes);
+    }  // damage == 2: clean crash, log intact
+
+    TenantSession rec;
+    const RecoveryReport rep = rec.open_durable(fast_opts(td.path()));
+    EXPECT_NE(rep.status, HullStatus::kPersistFailed) << rep.detail;
+    ASSERT_LE(rep.last_seq, cmds.size());
+    EXPECT_EQ(session_hash(rec), oracle_hash(cmds, rep.last_seq))
+        << rep.detail;
+    // The truncated log must re-scan clean: disk agrees with memory, and
+    // the next crash recovers from exactly this state.
+    const WalScan rescan = scan_wal(wal_path);
+    EXPECT_EQ(rescan.status, HullStatus::kOk);
+    EXPECT_EQ(rescan.torn_bytes, 0u);
+    rec.shutdown();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+// Seeded mutation fuzzer for the service wire protocol
+// (src/parhull/service/protocol.h). Starting from VALID frame streams —
+// text lines, one-line JSON objects, length-prefixed binary frames — each
+// iteration applies randomized damage (truncation, bit flips, oversized
+// length prefixes, interleaved garbage) and pushes the bytes through the
+// same consumption loop the epoll server runs: extract_frame, then the
+// per-encoding parser, then TenantSession::execute for whatever survives.
+// The contract under test is the fuzz-surface half of the service's
+// robustness story: every input yields a typed outcome (kNone / a parsed
+// frame / kError-with-message), the scan always makes progress or stops,
+// consumed never exceeds the buffer, and nothing crashes — ASan and the
+// fault-injection CI lane run this suite alongside the Durability tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parhull/common/random.h"
+#include "parhull/service/commands.h"
+#include "parhull/service/protocol.h"
+
+using namespace parhull;
+using namespace parhull::service;
+
+namespace {
+
+constexpr std::size_t kMaxFrame = 1u << 16;
+
+std::string binary_insert_payload(Rng& rng, std::size_t n_points) {
+  std::string payload;
+  payload.reserve(n_points * 3 * 8);
+  for (std::size_t i = 0; i < n_points * 3; ++i) {
+    const double c = rng.next_double(-8.0, 8.0);
+    char buf[8];
+    std::memcpy(buf, &c, 8);
+    payload.append(buf, 8);
+  }
+  return payload;
+}
+
+// One valid frame of a random encoding.
+std::string valid_frame(Rng& rng) {
+  switch (rng.next_below(6)) {
+    case 0:
+      return "gen 8 " + std::to_string(rng.next_below(100)) + "\n";
+    case 1:
+      return "query 0.5 0.5 0.5\n";
+    case 2:
+      return "{\"cmd\": \"stats\", \"id\": " +
+             std::to_string(rng.next_below(1000)) + "}\n";
+    case 3:
+      return "{\"cmd\": \"insert 1 2 3\", \"tenant\": \"fuzz\"}\n";
+    case 4:
+      return build_binary_frame(kBinInsert, "fuzz",
+                                binary_insert_payload(rng, 4));
+    default:
+      return build_binary_frame(kBinLocate, "",
+                                binary_insert_payload(rng, 2));
+  }
+}
+
+// The server's consumption loop, minus the socket: pull frames until the
+// buffer is exhausted, incomplete, or a protocol error closes the
+// "connection". Reports the number of frames handled through the out
+// param (void return: gtest ASSERTs abort the calling function). Every
+// assertion the server's safety rests on lives here.
+void consume_stream(std::string buf, TenantSession* session,
+                    std::size_t* handled_out = nullptr) {
+  std::size_t handled = 0;
+  while (!buf.empty()) {
+    const Frame f = extract_frame(buf, kMaxFrame);
+    ASSERT_LE(f.consumed, buf.size()) << "consumed past the buffer";
+    if (f.type == FrameType::kNone) {
+      // Incomplete: the server waits for more bytes. Nothing may have
+      // been consumed — a partial frame stays buffered.
+      EXPECT_EQ(f.consumed, 0u);
+      break;
+    }
+    if (f.type == FrameType::kError) {
+      // Typed rejection: the server replies with the message and closes.
+      EXPECT_FALSE(f.error.empty());
+      break;
+    }
+    ASSERT_GT(f.consumed, 0u) << "no progress on a complete frame";
+    if (f.type == FrameType::kText) {
+      if (session != nullptr) (void)session->execute(f.body);
+    } else if (f.type == FrameType::kJson) {
+      std::vector<JsonField> fields;
+      std::string err;
+      if (parse_json_object(f.body, fields, &err)) {
+        const JsonField* cmd = find_field(fields, "cmd");
+        if (cmd != nullptr && session != nullptr) {
+          (void)session->execute(cmd->value);
+        }
+      } else {
+        EXPECT_FALSE(err.empty()) << "untyped JSON parse failure";
+      }
+    } else if (f.type == FrameType::kBinary) {
+      BinaryFrame bin;
+      if (parse_binary_frame(f.body, bin) && session != nullptr &&
+          bin.op == kBinInsert && bin.payload.size() % 24 == 0) {
+        PointSet<3> pts(bin.payload.size() / 24);
+        std::memcpy(pts.data()->x.data(), bin.payload.data(),
+                    bin.payload.size());
+        (void)session->insert_points(std::move(pts));
+      }
+    }
+    ++handled;
+    buf.erase(0, f.consumed);
+  }
+  if (handled_out != nullptr) *handled_out = handled;
+}
+
+TEST(ProtocolFuzz, ValidStreamsAllParse) {
+  Rng rng(2026);
+  TenantSession session;
+  for (int iter = 0; iter < 20; ++iter) {
+    std::string buf;
+    const std::size_t n = 1 + rng.next_below(6);
+    for (std::size_t i = 0; i < n; ++i) buf += valid_frame(rng);
+    std::size_t handled = 0;
+    ASSERT_NO_FATAL_FAILURE(consume_stream(buf, &session, &handled));
+    EXPECT_EQ(handled, n);
+  }
+  session.close();
+}
+
+TEST(ProtocolFuzz, TruncationYieldsIncompleteOrTypedError) {
+  Rng rng(7);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string frame = valid_frame(rng);
+    frame.resize(static_cast<std::size_t>(rng.next_below(frame.size())));
+    const Frame f = extract_frame(frame, kMaxFrame);
+    // A prefix of one valid frame can never be a COMPLETE later frame of
+    // the same encoding... except text, where any shorter line is still a
+    // line. Binary and JSON prefixes must come back incomplete (or typed,
+    // for a truncated-magic stub).
+    ASSERT_LE(f.consumed, frame.size());
+    if (!frame.empty() && frame[0] == kBinaryMagic) {
+      EXPECT_TRUE(f.type == FrameType::kNone || f.type == FrameType::kError)
+          << "binary prefix parsed as complete";
+    }
+    if (f.type == FrameType::kError) {
+      EXPECT_FALSE(f.error.empty());
+    }
+  }
+}
+
+TEST(ProtocolFuzz, OversizedLengthPrefixIsATypedErrorNotAnAllocation) {
+  // Handcrafted binary header claiming a 4 GiB payload: the server must
+  // answer with a typed frame error (and close), never wait for — or
+  // allocate — the claimed bytes.
+  std::string frame;
+  frame.push_back(kBinaryMagic);
+  frame.push_back(static_cast<char>(kBinInsert));
+  frame.push_back(4);  // tenant_len = 4
+  frame.push_back(0);
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>(0xFF));
+  frame += "fuzz";
+  const Frame f = extract_frame(frame, kMaxFrame);
+  EXPECT_EQ(f.type, FrameType::kError);
+  EXPECT_FALSE(f.error.empty());
+
+  // Same with a text line that never ends: over the cap is typed, too.
+  const std::string long_line(kMaxFrame + 1, 'a');
+  const Frame t = extract_frame(long_line, kMaxFrame);
+  EXPECT_EQ(t.type, FrameType::kError);
+  EXPECT_FALSE(t.error.empty());
+}
+
+TEST(ProtocolFuzz, BitFlipSweepNeverCrashesTheDispatch) {
+  Rng rng(1234);
+  TenantSession session;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string buf;
+    const std::size_t n = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < n; ++i) buf += valid_frame(rng);
+    const std::size_t flips = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t at =
+          static_cast<std::size_t>(rng.next_below(buf.size()));
+      buf[at] = static_cast<char>(
+          buf[at] ^ static_cast<char>(1u << rng.next_below(8)));
+    }
+    ASSERT_NO_FATAL_FAILURE(consume_stream(std::move(buf), &session));
+  }
+  session.close();
+}
+
+TEST(ProtocolFuzz, GarbageInterleaveTerminates) {
+  Rng rng(99);
+  TenantSession session;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string buf;
+    const std::size_t parts = 1 + rng.next_below(6);
+    for (std::size_t i = 0; i < parts; ++i) {
+      if (rng.next_below(2) == 0) {
+        buf += valid_frame(rng);
+      } else {
+        const std::size_t len = rng.next_below(64);
+        for (std::size_t j = 0; j < len; ++j) {
+          buf.push_back(static_cast<char>(rng.next_below(256)));
+        }
+        if (rng.next_below(2) == 0) buf.push_back('\n');
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(consume_stream(std::move(buf), &session));
+  }
+  session.close();
+}
+
+TEST(ProtocolFuzz, MutatedJsonIsTypedNeverUB) {
+  Rng rng(555);
+  const std::string seeds[] = {
+      "{\"cmd\": \"gen 8 1\", \"id\": 42}",
+      "{\"cmd\": \"query 1 2 3\", \"tenant\": \"a\", \"id\": \"x\"}",
+      "{\"k\": true, \"l\": null, \"m\": -1.5e3}",
+  };
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string s = seeds[rng.next_below(3)];
+    switch (rng.next_below(3)) {
+      case 0:
+        s.resize(static_cast<std::size_t>(rng.next_below(s.size() + 1)));
+        break;
+      case 1: {
+        const std::size_t at =
+            static_cast<std::size_t>(rng.next_below(s.size()));
+        s[at] = static_cast<char>(rng.next_below(256));
+        break;
+      }
+      default:
+        s.insert(static_cast<std::size_t>(rng.next_below(s.size() + 1)),
+                 1, static_cast<char>(rng.next_below(256)));
+        break;
+    }
+    std::vector<JsonField> fields;
+    std::string err;
+    if (!parse_json_object(s, fields, &err)) {
+      EXPECT_FALSE(err.empty()) << "untyped failure for: " << s;
+    }
+  }
+}
+
+}  // namespace

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -325,6 +326,71 @@ TEST(Service, StopWithOpenConnectionsIsClean) {
   server.stop();  // must drain workers and close every fd without hanging
   EXPECT_FALSE(server.running());
   // Idempotent.
+  server.stop();
+}
+
+TEST(Service, IdleConnectionsAreClosedTyped) {
+  ServiceOptions opts = small_service();
+  // The slow-loris guard: a connection holding a half-parsed frame for
+  // longer than the idle window is closed with a typed reply. The epoll
+  // loop ticks every 500 ms, so a 300 ms window closes within ~1 s.
+  opts.tenants.session.limits.idle_timeout_ms = 300;
+  HullServer server(opts);
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client slow(server.port());
+  ASSERT_TRUE(slow.connected());
+  ASSERT_TRUE(slow.send_raw("gen 16"));  // no '\n': never a complete frame
+  const std::string reply = slow.read_line();
+  EXPECT_NE(reply.find("\"status\":\"deadline_exceeded\""),
+            std::string::npos);
+  EXPECT_NE(reply.find("idle timeout"), std::string::npos);
+  EXPECT_EQ(slow.read_line(), "");  // then EOF
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.idle_closed, 1u);
+  server.stop();
+}
+
+TEST(Service, ActiveConnectionsSurviveTheIdleScan) {
+  ServiceOptions opts = small_service();
+  opts.tenants.session.limits.idle_timeout_ms = 400;
+  HullServer server(opts);
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+  // Every received byte refreshes the activity clock, so steady traffic
+  // with gaps shorter than the window is never reaped.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(c.roundtrip("query 0 0 0\n"),
+              "no hull yet (insert points first)\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.idle_closed, 0u);
+  server.stop();
+}
+
+TEST(Service, OutboundBacklogOverrunShedsTyped) {
+  ServiceOptions opts = small_service();
+  // A reply backlog past the cap drops the backlog and answers with ONE
+  // typed kOverloaded line before closing — bounded memory per connection
+  // no matter how slowly the peer reads. A 128-byte cap makes the help
+  // text (several hundred bytes) overrun deterministically.
+  opts.max_outbound_bytes = 128;
+  HullServer server(opts);
+  ASSERT_EQ(server.start(), HullStatus::kOk);
+  Client c(server.port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.send_raw("help\n"));
+  const std::string reply = c.read_line();
+  EXPECT_NE(reply.find("\"status\":\"overloaded\""), std::string::npos);
+  EXPECT_NE(reply.find("outbound buffer limit"), std::string::npos);
+  EXPECT_EQ(c.read_line(), "");  // then EOF
+  const ServiceStats stats = server.stats();
+  EXPECT_EQ(stats.overrun_closed, 1u);
+  // Small replies under the cap keep flowing on a fresh connection.
+  Client ok(server.port());
+  EXPECT_EQ(ok.roundtrip("query 0 0 0\n"),
+            "no hull yet (insert points first)\n");
   server.stop();
 }
 
